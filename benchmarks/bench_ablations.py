@@ -1,0 +1,169 @@
+"""Ablation benches for the library's design choices.
+
+Three ablations, each isolating one decision DESIGN.md calls out:
+
+* **Uniform spreading** (Section 2.3: blocks "uniformly distributed
+  throughout the broadcast period"): compare the Figure-6-style
+  interleaved layout against a contiguous per-file layout with identical
+  block content - the delay benefit of spreading is the whole point of
+  the ``Delta`` analysis.
+* **Base search in the reduction schedulers**: the textbook single-number
+  reduction fixes ``x = min b_i``; ours searches all candidate bases.
+  Measures how many instances the search rescues.
+* **The merge strategy in the transformation toolbox**: the paper's
+  Section 4.2 strategy chooses between TR1 and TR2(+manipulation); ours
+  adds the single-condition merge.  Measures density improvements across
+  random generalized files.
+"""
+
+import random
+from fractions import Fraction
+
+from benchmarks.conftest import print_table
+from repro.bdisk.flat import build_aida_flat_program
+from repro.bdisk.program import BroadcastProgram
+from repro.core.conditions import bc
+from repro.core.schedule import Schedule
+from repro.core.single_reduction import (
+    schedule_single_reduction,
+    specialize_single,
+)
+from repro.core.transforms import all_candidates
+from repro.errors import ReproError, SchedulingError
+from repro.sim.delay import worst_case_delay
+from repro.sim.workload import random_pinwheel_system
+
+
+def _contiguous_aida_program(files) -> BroadcastProgram:
+    """The ablated layout: each file's slots bunched together."""
+    slots = []
+    for name, m, _ in files:
+        slots.extend([name] * m)
+    return BroadcastProgram(
+        Schedule(slots), {name: n for name, _, n in files}
+    )
+
+
+def test_ablation_uniform_spreading(benchmark):
+    """Interleaved vs contiguous layout: worst-case delay at r = 1, 2."""
+    files = [("A", 5, 10), ("B", 3, 6)]
+
+    def compare():
+        spread = build_aida_flat_program(files)
+        bunched = _contiguous_aida_program(files)
+        rows = []
+        for name, m, _ in files:
+            for errors in (1, 2):
+                rows.append(
+                    (
+                        name,
+                        errors,
+                        worst_case_delay(spread, name, m, errors),
+                        worst_case_delay(bunched, name, m, errors),
+                    )
+                )
+        return rows
+
+    rows = benchmark(compare)
+    print_table(
+        "ABL-SPREAD: worst-case delay, interleaved vs contiguous",
+        ["file", "errors", "uniform spread", "contiguous"],
+        [list(row) for row in rows],
+    )
+    # Spreading never loses and wins for the small file (B's blocks sit
+    # behind A's in the contiguous layout).
+    assert all(spread <= bunched for _, _, spread, bunched in rows)
+    assert any(spread < bunched for _, _, spread, bunched in rows)
+
+
+def test_ablation_base_search(benchmark):
+    """Sa with searched base vs the textbook x = min b_i."""
+
+    def sweep():
+        rng = random.Random(31)
+        searched_wins = fixed_wins = total = 0
+        density_gain = Fraction(0)
+        while total < 40:
+            try:
+                system = random_pinwheel_system(
+                    rng, rng.randint(3, 7), 0.62, max_window=80
+                )
+            except ReproError:
+                continue
+            total += 1
+            min_window = min(t.b for t in system.tasks)
+            fixed_density = specialize_single(system, min_window).density
+            try:
+                schedule_single_reduction(system, base=min_window)
+                fixed_wins += 1
+            except SchedulingError:
+                pass
+            try:
+                schedule_single_reduction(system)
+                searched_wins += 1
+            except SchedulingError:
+                continue
+            from repro.core.single_reduction import best_single_base
+
+            _, best_density = best_single_base(system)
+            density_gain += fixed_density - best_density
+        return searched_wins, fixed_wins, total, density_gain / total
+
+    searched, fixed, total, gain = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+    print_table(
+        "ABL-BASE: single-number reduction, base search vs x = min b "
+        "(density 0.62 instances)",
+        ["instances", "searched-base wins", "fixed-base wins",
+         "mean specialized-density gain"],
+        [[total, searched, fixed, f"{float(gain):.4f}"]],
+    )
+    assert searched >= fixed
+
+
+def test_ablation_merge_strategy(benchmark):
+    """Density of best-of-all-strategies vs best-of-paper-strategies."""
+
+    def sweep():
+        rng = random.Random(32)
+        improved = 0
+        total = 0
+        gains = []
+        while total < 60:
+            m = rng.randint(1, 6)
+            d0 = rng.randint(m, m * rng.randint(2, 6))
+            vector = [d0]
+            for _ in range(rng.randint(0, 3)):
+                vector.append(
+                    max(vector[-1], vector[-1] + rng.randint(0, 4))
+                )
+            if vector[-1] < m + len(vector) - 1:
+                continue
+            try:
+                spec = bc("f", m, vector)
+            except ReproError:
+                continue
+            total += 1
+            candidates = {
+                c.strategy: c.density for c in all_candidates(spec)
+            }
+            paper_best = min(
+                density
+                for strategy, density in candidates.items()
+                if strategy != "merge"
+            )
+            full_best = min(candidates.values())
+            if full_best < paper_best:
+                improved += 1
+                gains.append(float(paper_best - full_best))
+        mean_gain = sum(gains) / len(gains) if gains else 0.0
+        return total, improved, mean_gain
+
+    total, improved, mean_gain = benchmark(sweep)
+    print_table(
+        "ABL-MERGE: adding the merge strategy to the paper's toolbox",
+        ["random bc specs", "specs improved", "mean density gain"],
+        [[total, improved, f"{mean_gain:.4f}"]],
+    )
+    assert improved > 0

@@ -1,0 +1,134 @@
+"""Experiments EQ1 + EQ2: the bandwidth bounds of Section 3.2.
+
+Equation 1: ``B = ceil(10/7 * sum m_i/T_i)`` suffices for real-time
+broadcast disks; Equation 2 adds per-file fault budgets.  The paper's
+claim is "at most 43% extra bandwidth".  The bench sweeps random file
+sets and reports:
+
+* the necessary bound ``sum (m_i + r_i)/T_i``,
+* the Equation bound and its overhead over necessary,
+* the *empirical* minimum bandwidth the portfolio scheduler actually
+  needs (searching up from the necessary bound), showing how much of the
+  43% is slack in practice.
+"""
+
+import random
+from fractions import Fraction
+
+from benchmarks.conftest import print_table
+from repro.bdisk.bandwidth import minimal_feasible_bandwidth, plan_bandwidth
+from repro.core.bounds import CHAN_CHIN_DENSITY
+from repro.sim.workload import random_file_set
+
+
+def _sweep(seed: int, count: int, max_fault_budget: int):
+    rng = random.Random(seed)
+    results = []
+    for _ in range(count):
+        files = random_file_set(
+            rng,
+            rng.randint(2, 10),
+            max_blocks=8,
+            max_latency=40,
+            max_fault_budget=max_fault_budget,
+        )
+        plan = plan_bandwidth(files)
+        minimal = minimal_feasible_bandwidth(files)
+        results.append((files, plan, minimal))
+    return results
+
+
+def test_eq1_overhead_sweep(benchmark):
+    results = benchmark(_sweep, 42, 12, 0)
+    rows = []
+    worst_overhead = Fraction(0)
+    for index, (files, plan, minimal) in enumerate(results):
+        overhead = plan.overhead
+        worst_overhead = max(worst_overhead, overhead)
+        rows.append(
+            [
+                index,
+                len(files),
+                f"{float(plan.necessary):.2f}",
+                plan.eq_bound,
+                minimal,
+                f"{float(overhead) * 100:.1f}%",
+                f"{float(plan.density):.3f}",
+            ]
+        )
+    print_table(
+        "EQ1: bandwidth bounds on random file sets (no faults)",
+        ["set", "files", "necessary", "eq1 B", "empirical min B",
+         "eq1 overhead", "density@eq1"],
+        rows,
+    )
+    # Paper claim: at most 43% + (one block of ceiling slack).
+    for files, plan, minimal in results:
+        assert plan.overhead <= Fraction(3, 7) + 1 / plan.necessary
+        assert minimal <= plan.eq_bound
+        assert plan.density <= CHAN_CHIN_DENSITY
+
+
+def test_eq2_fault_tolerant_sweep(benchmark):
+    results = benchmark(_sweep, 43, 12, 3)
+    rows = []
+    for index, (files, plan, minimal) in enumerate(results):
+        total_r = sum(f.fault_budget for f in files)
+        rows.append(
+            [
+                index,
+                len(files),
+                total_r,
+                f"{float(plan.necessary):.2f}",
+                plan.eq_bound,
+                minimal,
+                f"{float(plan.overhead) * 100:.1f}%",
+            ]
+        )
+    print_table(
+        "EQ2: fault-tolerant bandwidth bounds (r_i in 0..3)",
+        ["set", "files", "sum r_i", "necessary", "eq2 B",
+         "empirical min B", "eq2 overhead"],
+        rows,
+    )
+    for files, plan, minimal in results:
+        assert plan.overhead <= Fraction(3, 7) + 1 / plan.necessary
+        window_ok = all(
+            plan.program.min_distinct_in_window(
+                f.name, plan.bandwidth * f.latency
+            )
+            >= f.blocks + f.fault_budget
+            for f in files
+        )
+        assert window_ok
+
+
+def test_empirical_gap_to_necessary(benchmark):
+    """How tight can the portfolio get?  Reports the distribution of
+    (empirical minimum / necessary) across 20 file sets."""
+
+    def gaps():
+        rng = random.Random(44)
+        ratios = []
+        for _ in range(20):
+            files = random_file_set(rng, rng.randint(2, 8))
+            plan = plan_bandwidth(files)
+            minimal = minimal_feasible_bandwidth(files)
+            ratios.append(float(Fraction(minimal) / plan.necessary))
+        return sorted(ratios)
+
+    ratios = benchmark(gaps)
+    print_table(
+        "EQ1: empirical-min / necessary-bound ratio (20 sets)",
+        ["min", "median", "p90", "max", "eq1 factor"],
+        [
+            [
+                f"{ratios[0]:.3f}",
+                f"{ratios[len(ratios) // 2]:.3f}",
+                f"{ratios[int(len(ratios) * 0.9)]:.3f}",
+                f"{ratios[-1]:.3f}",
+                f"{10 / 7:.3f}",
+            ]
+        ],
+    )
+    assert ratios[-1] <= 10 / 7 + 1.0  # sanity: never far past eq1

@@ -1,0 +1,116 @@
+"""Experiment BLK: the Section 5 block-size trade-off.
+
+The paper's closing open issue: the smaller the communication block, the
+finer the dispersal (better bandwidth efficiency) but the costlier the
+IDA arithmetic.  The bench sweeps block sizes for a fixed catalogue and
+reports the induced pinwheel density, the dispersal levels, the relative
+codec cost, and the answer to the paper's question - the largest
+schedulable block size.  A second sweep exercises the per-file
+``b_i = k_i * b`` generalization.
+"""
+
+from fractions import Fraction
+
+from benchmarks.conftest import print_table
+from repro.bdisk.blocksize import (
+    SizedFile,
+    analyze_block_size,
+    largest_schedulable_block_size,
+    per_file_multiples,
+)
+
+CATALOGUE = [
+    SizedFile("tracks", 8_192, Fraction(1, 2), fault_budget=2),
+    SizedFile("map-tiles", 65_536, 8, fault_budget=1),
+    SizedFile("advisories", 4_096, 2),
+    SizedFile("firmware", 262_144, 60),
+]
+BANDWIDTH = 64_000  # bytes/second
+CANDIDATES = [256, 512, 1024, 2048, 4096, 8192]
+
+
+def test_block_size_sweep(benchmark):
+    best, reports = benchmark(
+        largest_schedulable_block_size, CATALOGUE, BANDWIDTH, CANDIDATES
+    )
+    rows = []
+    for report in reports:
+        rows.append(
+            [
+                report.block_size,
+                f"{float(min(report.density, Fraction(99))):.4f}",
+                "yes" if report.schedulable else "no",
+                max(report.dispersal_levels.values()),
+                f"{report.codec_cost:.1f}",
+            ]
+        )
+    print_table(
+        "BLK: block-size sweep (64 KB/s channel)",
+        ["block bytes", "density", "schedulable", "max m", "codec cost"],
+        rows,
+    )
+    assert best is not None
+    print(f"\nlargest schedulable block size: {best.block_size} bytes")
+    # Small blocks approach the information-theoretic floor; the largest
+    # candidate always costs at least as much density as the smallest
+    # (quantization + fault slots), though the middle need not be
+    # monotone because of per-file ceiling effects.
+    densities = [r.density for r in reports if r.density < 99]
+    assert densities[0] <= densities[-1]
+
+
+def test_density_vs_codec_frontier(benchmark):
+    """The trade-off curve itself: density floor vs codec cost."""
+
+    def frontier():
+        return [
+            analyze_block_size(CATALOGUE, BANDWIDTH, b)
+            for b in CANDIDATES
+        ]
+
+    reports = benchmark(frontier)
+    floor = sum(
+        Fraction(f.size_bytes) / (Fraction(f.latency_seconds) * BANDWIDTH)
+        for f in CATALOGUE
+    )
+    rows = [
+        [
+            r.block_size,
+            f"{float(min(r.density, Fraction(99))):.4f}",
+            f"{float(floor):.4f}",
+            f"{r.codec_cost:.1f}",
+        ]
+        for r in reports
+    ]
+    print_table(
+        "BLK: density vs codec-cost frontier",
+        ["block bytes", "density", "info-theoretic floor", "codec cost"],
+        rows,
+    )
+    for report in reports:
+        assert report.density >= floor
+
+
+def test_per_file_multiples(benchmark):
+    """The paper's k_i generalization: big files get big blocks."""
+    multiples = benchmark(
+        per_file_multiples, CATALOGUE, BANDWIDTH, 512, 16
+    )
+    rows = [
+        [
+            spec.name,
+            spec.size_bytes,
+            multiples[spec.name],
+            512 * multiples[spec.name],
+            spec.dispersal_level(512 * multiples[spec.name]),
+        ]
+        for spec in CATALOGUE
+    ]
+    print_table(
+        "BLK: per-file block multiples (base 512 B)",
+        ["file", "bytes", "k_i", "block bytes", "dispersal m"],
+        rows,
+    )
+    # The biggest file should take the biggest (or equal) multiple.
+    biggest = max(CATALOGUE, key=lambda s: s.size_bytes)
+    assert multiples[biggest.name] == max(multiples.values())

@@ -1,0 +1,76 @@
+"""Experiments FIG5 + FIG6: regenerate the paper's toy broadcast programs.
+
+Figure 5: the flat program ``A'1 B'1 A'2 A'3 B'2 A'4 B'3 A'5`` (period 8,
+no dispersal).  Figure 6: the AIDA program over A dispersed 5-of-10 and B
+dispersed 3-of-6 (period 8, data cycle 16, Delta_A = 2, Delta_B = 3).
+
+The benchmark times program construction; the printed tables show the
+regenerated layouts and their structural properties next to the paper's.
+"""
+
+from benchmarks.conftest import print_table
+from repro.bdisk.flat import build_aida_flat_program, build_flat_program
+
+PAPER_FIG5 = "A'1 B'1 A'2 A'3 B'2 A'4 B'3 A'5"
+PAPER_FIG6 = (
+    "A'1 B'1 A'2 A'3 B'2 A'4 B'3 A'5 A'6 B'4 A'7 A'8 B'5 A'9 B'6 A'10"
+)
+
+
+def test_figure5_program(benchmark):
+    program = benchmark(build_flat_program, [("A", 5), ("B", 3)])
+    rendered = program.render()
+    print_table(
+        "FIG5: flat broadcast program",
+        ["source", "layout", "period", "data cycle"],
+        [
+            ["paper", PAPER_FIG5, 8, 8],
+            ["ours", rendered, program.broadcast_period,
+             program.data_cycle_length],
+        ],
+    )
+    assert rendered == PAPER_FIG5
+    assert program.broadcast_period == 8
+
+
+def test_figure6_program(benchmark):
+    program = benchmark(
+        build_aida_flat_program, [("A", 5, 10), ("B", 3, 6)]
+    )
+    rendered = program.render()
+    print_table(
+        "FIG6: AIDA flat broadcast program",
+        ["source", "period", "data cycle", "Delta_A", "Delta_B"],
+        [
+            ["paper", 8, 16, 2, 3],
+            [
+                "ours",
+                program.broadcast_period,
+                program.data_cycle_length,
+                program.max_gap("A"),
+                program.max_gap("B"),
+            ],
+        ],
+    )
+    print(f"\nlayout: {rendered}")
+    assert rendered == PAPER_FIG6
+    assert program.data_cycle_length == 16
+
+
+def test_figure6_distinct_block_windows(benchmark, figure6_program):
+    """Every broadcast period carries a full reconstruction set - the
+    property that makes the Figure 6 program work."""
+
+    def distinct_minima():
+        return (
+            figure6_program.min_distinct_in_window("A", 8),
+            figure6_program.min_distinct_in_window("B", 8),
+        )
+
+    a_min, b_min = benchmark(distinct_minima)
+    print_table(
+        "FIG6: distinct blocks per 8-slot window",
+        ["file", "m needed", "min distinct (any window)"],
+        [["A", 5, a_min], ["B", 3, b_min]],
+    )
+    assert a_min >= 5 and b_min >= 3

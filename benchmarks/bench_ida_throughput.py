@@ -1,0 +1,97 @@
+"""Experiment IDA-T: dispersal/reconstruction throughput.
+
+Section 2.1 footnote: the SETH VLSI chip implemented IDA at about
+1 MB/s (1990 fabrication).  This bench measures the pure-Python + numpy
+implementation on growing payloads and m-of-N configurations, reporting
+MB/s next to that historical reference.  Absolute numbers are
+machine-dependent; the point is that the software substrate is fast
+enough to feed the simulators and examples.
+"""
+
+import os
+
+from benchmarks.conftest import print_table
+from repro.ida.dispersal import disperse, reconstruct
+
+PAYLOAD = os.urandom(1 << 18)  # 256 KiB, fixed across rounds
+SETH_REFERENCE_MBS = 1.0
+
+
+def _mbs(nbytes: int, seconds: float) -> float:
+    return nbytes / seconds / 1e6 if seconds else float("inf")
+
+
+def test_disperse_throughput_8_of_16(benchmark):
+    blocks = benchmark(disperse, PAYLOAD, 8, 16)
+    assert len(blocks) == 16
+    seconds = benchmark.stats.stats.mean
+    print_table(
+        "IDA-T: disperse 256 KiB, 8-of-16",
+        ["ours (MB/s)", "SETH chip (MB/s, 1990)"],
+        [[f"{_mbs(len(PAYLOAD), seconds):.2f}", SETH_REFERENCE_MBS]],
+    )
+
+
+def test_disperse_throughput_4_of_8(benchmark):
+    blocks = benchmark(disperse, PAYLOAD, 4, 8)
+    assert len(blocks) == 8
+    seconds = benchmark.stats.stats.mean
+    print_table(
+        "IDA-T: disperse 256 KiB, 4-of-8",
+        ["ours (MB/s)", "SETH chip (MB/s, 1990)"],
+        [[f"{_mbs(len(PAYLOAD), seconds):.2f}", SETH_REFERENCE_MBS]],
+    )
+
+
+def test_reconstruct_throughput_redundant_rows(benchmark):
+    """Reconstruction from the redundancy rows (full matrix inversion)."""
+    blocks = disperse(PAYLOAD, 8, 16)
+    survivors = blocks[8:]
+    restored = benchmark(reconstruct, survivors)
+    assert restored == PAYLOAD
+    seconds = benchmark.stats.stats.mean
+    print_table(
+        "IDA-T: reconstruct 256 KiB from redundancy rows, 8-of-16",
+        ["ours (MB/s)", "SETH chip (MB/s, 1990)"],
+        [[f"{_mbs(len(PAYLOAD), seconds):.2f}", SETH_REFERENCE_MBS]],
+    )
+
+
+def test_reconstruct_systematic_fast_path(benchmark):
+    """Systematic dispersal: plaintext rows decode by concatenation."""
+    blocks = disperse(PAYLOAD, 8, 16, systematic=True)
+    survivors = blocks[:8]
+    restored = benchmark(reconstruct, survivors)
+    assert restored == PAYLOAD
+    seconds = benchmark.stats.stats.mean
+    print_table(
+        "IDA-T: systematic fast-path reconstruct, 8-of-16",
+        ["ours (MB/s)"],
+        [[f"{_mbs(len(PAYLOAD), seconds):.2f}"]],
+    )
+
+
+def test_dispersal_level_scaling(benchmark):
+    """Cost versus dispersal level m (the O(m^2) remark of Section 5)."""
+
+    def sweep():
+        import time
+
+        rows = []
+        data = PAYLOAD[: 1 << 16]  # 64 KiB per point
+        for m in (2, 4, 8, 16, 32):
+            start = time.perf_counter()
+            disperse(data, m, 2 * m)
+            elapsed = time.perf_counter() - start
+            rows.append((m, elapsed))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "IDA-T: dispersal cost vs level m (64 KiB, N = 2m)",
+        ["m", "seconds", "MB/s"],
+        [
+            [m, f"{sec:.4f}", f"{_mbs(1 << 16, sec):.2f}"]
+            for m, sec in rows
+        ],
+    )

@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures: the paper's toy programs, seeded RNGs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bdisk.flat import build_aida_flat_program, build_flat_program
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0x1997)
+
+
+@pytest.fixture(scope="session")
+def figure5_program():
+    """Figure 5: flat program for A (5 blocks), B (3 blocks)."""
+    return build_flat_program([("A", 5), ("B", 3)])
+
+
+@pytest.fixture(scope="session")
+def figure6_program():
+    """Figure 6: AIDA flat program, A 5-of-10, B 3-of-6."""
+    return build_aida_flat_program([("A", 5, 10), ("B", 3, 6)])
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Uniform table rendering for all benches (visible with pytest -s)."""
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows))
+        for i in range(len(header))
+    ]
+    line = " | ".join(str(h).rjust(w) for h, w in zip(header, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print(" | ".join(str(c).rjust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,77 @@
+"""The block-size trade-off (Section 5, the paper's open issue).
+
+Smaller communication blocks disperse files into more pieces: bandwidth
+is used more efficiently (less quantization, cheaper fault slots) but
+IDA arithmetic costs grow.  This example sweeps system-wide block sizes
+for a sensor-network catalogue, answers the paper's question (the
+largest schedulable block size), and then lets each file pick its own
+multiple of the base block - the ``b_i = k_i * b`` generalization.
+
+Run with::
+
+    python examples/block_size_tradeoff.py
+"""
+
+from fractions import Fraction
+
+from repro.bdisk.blocksize import (
+    SizedFile,
+    largest_schedulable_block_size,
+    per_file_multiples,
+)
+
+BANDWIDTH = 128_000  # bytes per second on the downlink
+
+CATALOGUE = [
+    SizedFile("alerts", 2_048, Fraction(1, 4), fault_budget=2),
+    SizedFile("sensor-grid", 49_152, 4, fault_budget=1),
+    SizedFile("base-map", 196_608, 30),
+    SizedFile("archive", 524_288, 120),
+]
+
+
+def main() -> None:
+    candidates = [128, 256, 512, 1024, 2048, 4096, 8192]
+    best, reports = largest_schedulable_block_size(
+        CATALOGUE, BANDWIDTH, candidates
+    )
+
+    print("== block-size sweep ==")
+    print(f"{'block':>7} {'density':>9} {'ok':>4} "
+          f"{'max m':>6} {'codec':>7}")
+    for report in reports:
+        density = min(report.density, Fraction(99))
+        print(
+            f"{report.block_size:>7} {float(density):>9.4f} "
+            f"{'yes' if report.schedulable else 'no':>4} "
+            f"{max(report.dispersal_levels.values()):>6} "
+            f"{report.codec_cost:>7.1f}"
+        )
+    if best is None:
+        print("no candidate block size is schedulable!")
+        return
+    print(f"\nlargest schedulable block size: {best.block_size} bytes")
+    print("dispersal levels at that size:")
+    for name, level in best.dispersal_levels.items():
+        print(f"  {name:<12} m = {level}")
+
+    print("\n== per-file multiples of a 256-byte base block ==")
+    multiples = per_file_multiples(
+        CATALOGUE, BANDWIDTH, base_block=256, max_multiple=32
+    )
+    for spec in CATALOGUE:
+        k = multiples[spec.name]
+        block = 256 * k
+        print(
+            f"  {spec.name:<12} k = {k:>2} -> {block:>5}-byte blocks, "
+            f"m = {spec.dispersal_level(block)}"
+        )
+    print(
+        "\nBig lazy files take big blocks (cheap codecs); small urgent "
+        "files stay fine-grained (tight windows) - the behaviour the "
+        "paper anticipated."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""IVHS: an Intelligent Vehicle Highway System broadcast disk.
+
+The paper's opening scenario: vehicles with on-board navigation receive
+traffic data by satellite broadcast and must react to incidents in real
+time.  This example builds the IVHS server's broadcast disk:
+
+* *incident alerts* - small, urgent, and critical (drivers reroute);
+* *congestion maps* - medium, refreshed every few seconds;
+* *construction schedules* and *points of interest* - large and lazy.
+
+It then simulates a fleet of vehicles tuning in at random times over a
+noisy channel and reports deadline compliance, contrasting the pinwheel
+program with the demand-driven multidisk layout.
+
+Run with::
+
+    python examples/ivhs_traffic.py
+"""
+
+import random
+
+from repro import FileSpec, design_program, BernoulliFaults, simulate_requests
+from repro.bdisk.multidisk import build_multidisk_program, config_from_demand
+from repro.sim.workload import request_stream
+
+
+def main() -> None:
+    files = [
+        FileSpec("incidents", blocks=2, latency=2, fault_budget=2),
+        FileSpec("congestion", blocks=6, latency=6, fault_budget=1),
+        FileSpec("construction", blocks=8, latency=20),
+        FileSpec("poi", blocks=10, latency=40),
+    ]
+    design = design_program(files)
+    plan = design.bandwidth_plan
+    print("== IVHS broadcast disk ==")
+    print(f"bandwidth: {plan.bandwidth} blocks/s "
+          f"(necessary >= {float(plan.necessary):.2f}, "
+          f"density {float(plan.density):.3f})")
+    print(f"period {design.program.broadcast_period} slots, "
+          f"data cycle {design.program.data_cycle_length} slots")
+
+    # A fleet of vehicles: Zipf-skewed interest (incidents are hot).
+    rng = random.Random(1995)
+    requests = request_stream(
+        rng,
+        files,
+        count=200,
+        horizon=2_000,
+        bandwidth=plan.bandwidth,
+        zipf_skew=1.5,
+    )
+    sizes = {f.name: f.blocks for f in files}
+
+    print("\n== fleet simulation: clear channel ==")
+    clear = simulate_requests(design.program, requests, file_sizes=sizes)
+    print(f"latency: {clear.summary}")
+    print(f"deadline miss rate: {clear.deadline_miss_rate:.3f}")
+
+    print("\n== fleet simulation: 5% block loss ==")
+    noisy = simulate_requests(
+        design.program,
+        requests,
+        file_sizes=sizes,
+        faults=BernoulliFaults(0.05, seed=3),
+    )
+    print(f"latency: {noisy.summary}")
+    print(f"deadline miss rate: {noisy.deadline_miss_rate:.3f}")
+
+    # Baseline: the demand-driven multidisk layout on the same stream.
+    demand = {"incidents": 20.0, "congestion": 6.0,
+              "construction": 2.0, "poi": 1.0}
+    multidisk = build_multidisk_program(
+        config_from_demand(
+            [(f.name, f.blocks) for f in files], demand, levels=(4, 2, 1)
+        )
+    )
+    baseline = simulate_requests(
+        multidisk, requests, file_sizes=sizes, need_distinct=False
+    )
+    print("\n== demand-driven multidisk baseline (clear channel) ==")
+    print(f"latency: {baseline.summary}")
+    print(f"deadline miss rate: {baseline.deadline_miss_rate:.3f}")
+    print(
+        "\nThe multidisk layout optimizes hot-item averages; the pinwheel "
+        "program pays a slightly higher mean to guarantee EVERY deadline - "
+        "the paper's central trade."
+    )
+
+
+if __name__ == "__main__":
+    main()

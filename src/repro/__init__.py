@@ -1,0 +1,179 @@
+"""repro: Pinwheel Scheduling for Fault-Tolerant Broadcast Disks.
+
+A complete, from-scratch reproduction of Baruah & Bestavros,
+"Pinwheel Scheduling for Fault-tolerant Broadcast Disks in Real-time
+Database Systems" (BU-CS TR-1996-023 / ICDE 1997), organized as:
+
+* :mod:`repro.core` - pinwheel scheduling theory: the task model, cyclic
+  schedules, exact verification, a family of schedulers (harmonic,
+  single-number reduction, double-integer reduction, two-task,
+  three-task, exact, greedy), the pinwheel algebra R0-R5, transformation
+  rules TR1/TR2, and the Equation 1/2 bandwidth bounds;
+* :mod:`repro.ida` - Rabin's Information Dispersal Algorithm over
+  GF(2^8) and Bestavros' adaptive AIDA;
+* :mod:`repro.bdisk` - broadcast files, programs (flat, AIDA-flat,
+  pinwheel-derived), bandwidth planning, the multidisk baseline, and the
+  end-to-end designers;
+* :mod:`repro.sim` - fault models, client retrieval, exact worst-case
+  delay analysis (Lemmas 1-2, Figure 7), workloads, and metrics;
+* :mod:`repro.rtdb` - temporal consistency, data items, operation modes,
+  and read transactions.
+
+Quickstart::
+
+    from repro import FileSpec, design_program
+
+    files = [
+        FileSpec("radar", blocks=4, latency=2, fault_budget=2),
+        FileSpec("map", blocks=6, latency=5, fault_budget=1),
+    ]
+    design = design_program(files)
+    print(design.program.render(periods=1))
+
+See ``examples/`` for runnable scenarios and ``EXPERIMENTS.md`` for the
+paper-versus-measured record.
+"""
+
+from repro.errors import (
+    BandwidthError,
+    BlockCodecError,
+    DispersalError,
+    InfeasibleError,
+    ProgramError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    SpecificationError,
+    VerificationError,
+)
+from repro.core import (
+    IDLE,
+    BroadcastCondition,
+    NiceConjunct,
+    PinwheelCondition,
+    PinwheelSystem,
+    PinwheelTask,
+    Schedule,
+    bc,
+    best_nice_conjunct,
+    check_schedule,
+    design_nice_system,
+    necessary_bandwidth,
+    pc,
+    solve,
+    sufficient_bandwidth_eq1,
+    sufficient_bandwidth_eq2,
+    verify_schedule,
+)
+from repro.ida import (
+    AidaEncoder,
+    Block,
+    RedundancyPolicy,
+    decode_block,
+    disperse,
+    encode_block,
+    reconstruct,
+)
+from repro.bdisk import (
+    BroadcastProgram,
+    FileSpec,
+    GeneralizedFileSpec,
+    build_aida_flat_program,
+    build_flat_program,
+    build_multidisk_program,
+    build_pinwheel_program,
+    design_generalized_program,
+    design_program,
+    minimal_feasible_bandwidth,
+    plan_bandwidth,
+)
+from repro.sim import (
+    AdversarialFaults,
+    BernoulliFaults,
+    BurstFaults,
+    NoFaults,
+    retrieve,
+    simulate_requests,
+    worst_case_delay,
+    worst_case_delay_table,
+)
+from repro.rtdb import (
+    DataItem,
+    ModeManager,
+    OperationMode,
+    ReadTransaction,
+    TemporalConstraint,
+    constraint_from_kinematics,
+    execute_transaction,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "SpecificationError",
+    "InfeasibleError",
+    "SchedulingError",
+    "VerificationError",
+    "DispersalError",
+    "BlockCodecError",
+    "ProgramError",
+    "BandwidthError",
+    "SimulationError",
+    # core
+    "PinwheelTask",
+    "PinwheelSystem",
+    "Schedule",
+    "IDLE",
+    "PinwheelCondition",
+    "BroadcastCondition",
+    "NiceConjunct",
+    "pc",
+    "bc",
+    "solve",
+    "verify_schedule",
+    "check_schedule",
+    "best_nice_conjunct",
+    "design_nice_system",
+    "necessary_bandwidth",
+    "sufficient_bandwidth_eq1",
+    "sufficient_bandwidth_eq2",
+    # ida
+    "AidaEncoder",
+    "Block",
+    "RedundancyPolicy",
+    "disperse",
+    "reconstruct",
+    "encode_block",
+    "decode_block",
+    # bdisk
+    "FileSpec",
+    "GeneralizedFileSpec",
+    "BroadcastProgram",
+    "build_flat_program",
+    "build_aida_flat_program",
+    "build_pinwheel_program",
+    "build_multidisk_program",
+    "design_program",
+    "design_generalized_program",
+    "plan_bandwidth",
+    "minimal_feasible_bandwidth",
+    # sim
+    "NoFaults",
+    "BernoulliFaults",
+    "BurstFaults",
+    "AdversarialFaults",
+    "retrieve",
+    "simulate_requests",
+    "worst_case_delay",
+    "worst_case_delay_table",
+    # rtdb
+    "TemporalConstraint",
+    "constraint_from_kinematics",
+    "DataItem",
+    "OperationMode",
+    "ModeManager",
+    "ReadTransaction",
+    "execute_transaction",
+]

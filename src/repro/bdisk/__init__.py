@@ -1,0 +1,78 @@
+"""Broadcast disks: files, programs, builders, and bandwidth planning.
+
+This subpackage composes the pinwheel core (:mod:`repro.core`) and the
+dispersal substrate (:mod:`repro.ida`) into the paper's actual object of
+study - *broadcast programs*:
+
+* :mod:`repro.bdisk.file` - file specifications (size, latency, fault
+  budget; or a generalized latency vector);
+* :mod:`repro.bdisk.program` - the broadcast program abstraction: a cyclic
+  slot-to-(file, block) mapping with broadcast period, program data cycle,
+  inter-block gaps (Lemma 2's Delta), and distinct-block window checks;
+* :mod:`repro.bdisk.flat` - flat programs (Figure 5) and AIDA flat
+  programs with uniform spreading and block rotation (Figure 6);
+* :mod:`repro.bdisk.pinwheel_program` - programs derived from verified
+  pinwheel schedules (Sections 3.2 and 4);
+* :mod:`repro.bdisk.bandwidth` - Equation 1/2 planning plus empirical
+  minimal-bandwidth search;
+* :mod:`repro.bdisk.multidisk` - the demand-driven multi-speed disk
+  baseline of Acharya et al., for contrast benchmarks;
+* :mod:`repro.bdisk.builder` - the end-to-end designers for regular and
+  generalized fault-tolerant real-time broadcast disks.
+"""
+
+from repro.bdisk.file import FileSpec, GeneralizedFileSpec
+from repro.bdisk.program import BroadcastProgram, SlotContent
+from repro.bdisk.flat import build_flat_program, build_aida_flat_program
+from repro.bdisk.pinwheel_program import build_pinwheel_program
+from repro.bdisk.bandwidth import (
+    BandwidthPlan,
+    minimal_feasible_bandwidth,
+    plan_bandwidth,
+)
+from repro.bdisk.multidisk import MultidiskConfig, build_multidisk_program
+from repro.bdisk.builder import (
+    ProgramDesign,
+    design_generalized_program,
+    design_program,
+)
+from repro.bdisk.blocksize import (
+    BlockSizeReport,
+    SizedFile,
+    analyze_block_size,
+    largest_schedulable_block_size,
+    per_file_multiples,
+)
+from repro.bdisk.indexing import (
+    IndexedProgram,
+    TunedRetrieval,
+    build_indexed_program,
+    tuned_retrieve,
+)
+
+__all__ = [
+    "FileSpec",
+    "GeneralizedFileSpec",
+    "BroadcastProgram",
+    "SlotContent",
+    "build_flat_program",
+    "build_aida_flat_program",
+    "build_pinwheel_program",
+    "BandwidthPlan",
+    "minimal_feasible_bandwidth",
+    "plan_bandwidth",
+    "MultidiskConfig",
+    "build_multidisk_program",
+    "ProgramDesign",
+    "design_generalized_program",
+    "design_program",
+    "BlockSizeReport",
+    "SizedFile",
+    "analyze_block_size",
+    "largest_schedulable_block_size",
+    "per_file_multiples",
+    "IndexedProgram",
+    "TunedRetrieval",
+    "build_indexed_program",
+    "tuned_retrieve",
+]

@@ -1,0 +1,196 @@
+"""Bandwidth planning for real-time fault-tolerant broadcast disks.
+
+Implements the Section 3.2 reduction both ways:
+
+* *analytically* - Equations 1 and 2 give a bandwidth that is always
+  sufficient (the induced pinwheel density lands at or below the Chan &
+  Chin 7/10 bound) and at most ~43% above the trivial lower bound;
+* *empirically* - :func:`minimal_feasible_bandwidth` searches upward from
+  the lower bound for the smallest integer bandwidth the portfolio solver
+  can actually schedule, quantifying how much of the 43% slack is real.
+
+:func:`plan_bandwidth` packages the whole pipeline: bounds, bandwidth
+choice, induced pinwheel system, verified schedule, and the resulting
+broadcast program.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from repro.errors import (
+    BandwidthError,
+    InfeasibleError,
+    SchedulingError,
+    SpecificationError,
+)
+from repro.core.bounds import (
+    necessary_bandwidth,
+    sufficient_bandwidth_eq1,
+    sufficient_bandwidth_eq2,
+)
+from repro.core.solver import SolveReport, solve
+from repro.core.task import PinwheelSystem
+from repro.bdisk.file import FileSpec
+from repro.bdisk.pinwheel_program import build_pinwheel_program
+from repro.bdisk.program import BroadcastProgram
+
+
+@dataclass(frozen=True)
+class BandwidthPlan:
+    """Everything the planner decided for a file set.
+
+    Attributes
+    ----------
+    files:
+        The input specifications.
+    necessary:
+        The trivial lower bound ``sum (m_i + r_i) / T_i`` (blocks/second).
+    eq_bound:
+        The Equation 1/2 sufficient bandwidth.
+    bandwidth:
+        The bandwidth actually chosen (defaults to ``eq_bound``).
+    density:
+        Induced pinwheel density at ``bandwidth``.
+    report:
+        The portfolio's :class:`SolveReport` (schedule + method).
+    program:
+        The broadcast program with block rotation attached.
+    """
+
+    files: tuple[FileSpec, ...]
+    necessary: Fraction
+    eq_bound: int
+    bandwidth: int
+    density: Fraction
+    report: SolveReport
+    program: BroadcastProgram
+
+    @property
+    def overhead(self) -> Fraction:
+        """``(bandwidth - necessary) / necessary`` - the Eq. 1/2 slack."""
+        return (Fraction(self.bandwidth) - self.necessary) / self.necessary
+
+    def __str__(self) -> str:
+        return (
+            f"BandwidthPlan(B={self.bandwidth} blocks/s, "
+            f"necessary>={float(self.necessary):.2f}, "
+            f"eq_bound={self.eq_bound}, "
+            f"density={float(self.density):.4f}, "
+            f"method={self.report.method})"
+        )
+
+
+def _eq_bound(files: Sequence[FileSpec]) -> int:
+    if any(spec.fault_budget for spec in files):
+        return sufficient_bandwidth_eq2(
+            [(s.blocks, s.fault_budget, s.latency) for s in files]
+        )
+    return sufficient_bandwidth_eq1(
+        [(s.blocks, s.latency) for s in files]
+    )
+
+
+def induced_system(
+    files: Sequence[FileSpec], bandwidth: int
+) -> PinwheelSystem:
+    """The pinwheel system of Section 3.2 at a given bandwidth."""
+    return PinwheelSystem(spec.as_task(bandwidth) for spec in files)
+
+
+def plan_bandwidth(
+    files: Sequence[FileSpec],
+    *,
+    bandwidth: int | None = None,
+) -> BandwidthPlan:
+    """Plan bandwidth and build the broadcast program for a file set.
+
+    With ``bandwidth=None`` the Equation 1/2 bound is used, which the
+    paper guarantees schedulable (density <= 7/10).  A caller-chosen
+    bandwidth is honoured if the portfolio can schedule at it, otherwise
+    :class:`BandwidthError` is raised.
+
+    Block rotation is ``n_i = m_i + r_i`` per file, which (together with
+    the verified ``pc(m_i + r_i, B T_i)`` condition) guarantees that any
+    ``r_i`` losses in a window still leave ``m_i`` distinct blocks.
+    """
+    specs = tuple(files)
+    if not specs:
+        raise BandwidthError("at least one file is required")
+    necessary = sum((s.demand for s in specs), Fraction(0))
+    eq_bound = _eq_bound(specs)
+    chosen = eq_bound if bandwidth is None else bandwidth
+
+    try:
+        system = induced_system(specs, chosen)
+    except SpecificationError as error:
+        # A window B*T smaller than its m + r requirement means the
+        # chosen bandwidth cannot even carry one file's blocks.
+        raise BandwidthError(
+            f"bandwidth {chosen} blocks/s is insufficient: {error}"
+        ) from error
+    try:
+        report = solve(system)
+    except (SchedulingError, InfeasibleError) as error:
+        raise BandwidthError(
+            f"no schedule at bandwidth {chosen} blocks/s "
+            f"(density {float(system.density):.4f}): {error}"
+        ) from error
+
+    program = build_pinwheel_program(
+        report.schedule,
+        {s.name: s.slots_per_window for s in specs},
+        check_windows={
+            s.name: (s.blocks, s.fault_budget, chosen * s.latency)
+            for s in specs
+        },
+    )
+    return BandwidthPlan(
+        files=specs,
+        necessary=necessary,
+        eq_bound=eq_bound,
+        bandwidth=chosen,
+        density=system.density,
+        report=report,
+        program=program,
+    )
+
+
+def minimal_feasible_bandwidth(
+    files: Sequence[FileSpec],
+    *,
+    search_limit: int | None = None,
+) -> int:
+    """Smallest integer bandwidth the portfolio can actually schedule.
+
+    Scans upward from ``ceil(necessary)``; the Equation 1/2 bound is an
+    (analytically guaranteed) ceiling for the search, so the scan always
+    terminates.  ``search_limit`` optionally caps the scan earlier.
+
+    The gap between this and the Equation bound is the empirical cost of
+    the 10/7 safety factor - reported by
+    ``benchmarks/bench_bandwidth_bounds.py``.
+    """
+    specs = tuple(files)
+    if not specs:
+        raise BandwidthError("at least one file is required")
+    necessary = sum((s.demand for s in specs), Fraction(0))
+    ceiling = _eq_bound(specs)
+    limit = ceiling if search_limit is None else min(ceiling, search_limit)
+
+    for candidate in range(math.ceil(necessary), limit + 1):
+        system = induced_system(specs, candidate)
+        if system.density > 1:
+            continue
+        try:
+            solve(system)
+        except (SchedulingError, InfeasibleError):
+            continue
+        return candidate
+    raise BandwidthError(
+        f"no feasible bandwidth found in "
+        f"[{math.ceil(necessary)}, {limit}]"
+    )

@@ -1,0 +1,229 @@
+"""The block-size / dispersal-level trade-off (Section 5, open issue).
+
+The paper closes with an open problem: IDA disperses a file of
+``size = m * b`` bytes into pieces of ``b`` bytes, so the dispersal level
+``m`` is inversely proportional to the chosen block size.  Smaller blocks
+mean:
+
+* finer-grained windows - padding and fault-budget slots waste less
+  bandwidth (density falls toward the information-theoretic floor), but
+* higher dispersal/reconstruction cost (a trivial IDA implementation is
+  ``O(m^2)`` per byte).
+
+This module implements the paper's proposed analysis: given file sizes in
+*bytes*, latency budgets in seconds, per-file fault budgets, and a channel
+bandwidth in bytes/second, it evaluates candidate system-wide block sizes
+``b`` and reports, for each, the induced pinwheel density and whether the
+Chan & Chin test admits it - answering "the largest ``b`` that satisfies
+the combined timeliness, fault-tolerance, and bandwidth constraints".
+
+The generalization the paper sketches (per-file multiples ``b_i = k_i *
+b``) is provided by :func:`per_file_multiples`: larger files may use
+bigger blocks (fewer pieces, cheaper codecs) while small urgent files
+stay fine-grained.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from repro.errors import SpecificationError
+from repro.core.bounds import CHAN_CHIN_DENSITY
+
+
+@dataclass(frozen=True, slots=True)
+class SizedFile:
+    """A file for block-size analysis: bytes, latency, fault budget."""
+
+    name: str
+    size_bytes: int
+    latency_seconds: Fraction | int
+    fault_budget: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 1:
+            raise SpecificationError(
+                f"file {self.name!r}: size must be >= 1 byte"
+            )
+        if Fraction(self.latency_seconds) <= 0:
+            raise SpecificationError(
+                f"file {self.name!r}: latency must be > 0"
+            )
+        if self.fault_budget < 0:
+            raise SpecificationError(
+                f"file {self.name!r}: fault budget must be >= 0"
+            )
+
+    def dispersal_level(self, block_size: int) -> int:
+        """``m = ceil(size / b)`` - pieces needed at block size ``b``."""
+        return -(-self.size_bytes // block_size)
+
+
+@dataclass(frozen=True)
+class BlockSizeReport:
+    """Analysis of one candidate block size."""
+
+    block_size: int
+    density: Fraction
+    schedulable: bool
+    dispersal_levels: dict[str, int]
+    codec_cost: float
+
+    def __str__(self) -> str:
+        flag = "OK " if self.schedulable else "-- "
+        return (
+            f"{flag}b={self.block_size:>6}: density "
+            f"{float(self.density):.4f}, max m "
+            f"{max(self.dispersal_levels.values())}, codec ~"
+            f"{self.codec_cost:.1f}"
+        )
+
+
+def analyze_block_size(
+    files: Sequence[SizedFile],
+    bandwidth_bytes_per_s: int,
+    block_size: int,
+) -> BlockSizeReport:
+    """Evaluate one system-wide block size.
+
+    At block size ``b`` the channel carries ``B / b`` slots per second, so
+    file ``i`` induces the pinwheel task ``(m_i + r_i, T_i * B / b)`` with
+    ``m_i = ceil(size_i / b)`` and density contribution
+    ``(m_i + r_i) * b / (T_i * B)``.  The task system is declared
+    schedulable when total density is at most the Chan & Chin 7/10 (the
+    same test Equations 1-2 rest on); the relative codec cost models the
+    paper's ``O(m^2)`` dispersal arithmetic, normalized per byte.
+    """
+    if block_size < 1:
+        raise SpecificationError(f"block size must be >= 1: {block_size}")
+    if bandwidth_bytes_per_s < 1:
+        raise SpecificationError(
+            f"bandwidth must be >= 1 byte/s: {bandwidth_bytes_per_s}"
+        )
+    if not files:
+        raise SpecificationError("at least one file is required")
+
+    density = Fraction(0)
+    levels: dict[str, int] = {}
+    codec = 0.0
+    for spec in files:
+        m = spec.dispersal_level(block_size)
+        levels[spec.name] = m
+        window_slots = (
+            Fraction(spec.latency_seconds)
+            * bandwidth_bytes_per_s
+            / block_size
+        )
+        requirement = m + spec.fault_budget
+        if window_slots < requirement:
+            # Even a perfect schedule cannot fit the blocks in the window.
+            density += Fraction(10**9)
+        else:
+            density += Fraction(requirement) / window_slots
+        # O(m^2) arithmetic over size bytes -> per-byte factor of m.
+        codec += spec.size_bytes * m
+    codec /= sum(spec.size_bytes for spec in files)
+    return BlockSizeReport(
+        block_size=block_size,
+        density=density,
+        schedulable=density <= CHAN_CHIN_DENSITY,
+        dispersal_levels=levels,
+        codec_cost=codec,
+    )
+
+
+def largest_schedulable_block_size(
+    files: Sequence[SizedFile],
+    bandwidth_bytes_per_s: int,
+    candidates: Sequence[int],
+) -> tuple[BlockSizeReport | None, list[BlockSizeReport]]:
+    """The paper's question: the largest ``b`` passing the density test.
+
+    Returns ``(best, all_reports)`` where ``best`` is the schedulable
+    report with the largest block size (``None`` when no candidate
+    passes).  Larger blocks are preferred because the codec cost falls
+    quadratically with ``b``.
+    """
+    if not candidates:
+        raise SpecificationError("no candidate block sizes supplied")
+    reports = [
+        analyze_block_size(files, bandwidth_bytes_per_s, candidate)
+        for candidate in sorted(set(candidates))
+    ]
+    best = None
+    for report in reports:
+        if report.schedulable:
+            best = report
+    return best, reports
+
+
+def per_file_multiples(
+    files: Sequence[SizedFile],
+    bandwidth_bytes_per_s: int,
+    base_block: int,
+    max_multiple: int = 8,
+) -> dict[str, int]:
+    """Greedy ``b_i = k_i * b`` assignment (the paper's generalization).
+
+    Starting from ``k_i = 1``, repeatedly doubles the ``k`` of the file
+    whose codec cost is worst, as long as total density stays within the
+    Chan & Chin bound.  Returns the chosen multiple per file.  This is a
+    heuristic - the paper leaves the exact optimization open - but it
+    captures the intended behaviour: big cold files get big blocks.
+    """
+    if base_block < 1 or max_multiple < 1:
+        raise SpecificationError("base_block and max_multiple must be >= 1")
+    multiples = {spec.name: 1 for spec in files}
+
+    def density_at(assignment: dict[str, int]) -> Fraction:
+        total = Fraction(0)
+        for spec in files:
+            block = base_block * assignment[spec.name]
+            m = spec.dispersal_level(block)
+            window = (
+                Fraction(spec.latency_seconds)
+                * bandwidth_bytes_per_s
+                / block
+            )
+            requirement = m + spec.fault_budget
+            if window < requirement:
+                return Fraction(10**9)
+            total += Fraction(requirement) / window
+        return total
+
+    if density_at(multiples) > CHAN_CHIN_DENSITY:
+        raise SpecificationError(
+            f"base block {base_block} is already unschedulable"
+        )
+    improved = True
+    while improved:
+        improved = False
+        # Worst codec cost first: the file with the highest current m.
+        order = sorted(
+            files,
+            key=lambda s: s.dispersal_level(
+                base_block * multiples[s.name]
+            ),
+            reverse=True,
+        )
+        for spec in order:
+            if multiples[spec.name] * 2 > max_multiple:
+                continue
+            trial = dict(multiples)
+            trial[spec.name] *= 2
+            if density_at(trial) <= CHAN_CHIN_DENSITY:
+                multiples = trial
+                improved = True
+                break
+    return multiples
+
+
+def codec_cost_model(m: int) -> int:
+    """Relative per-byte cost of dispersal at level ``m`` (``O(m)`` per
+    byte, ``O(m^2)`` per block row) - exposed for benches to plot."""
+    if m < 1:
+        raise SpecificationError(f"dispersal level must be >= 1: {m}")
+    return m

@@ -1,0 +1,154 @@
+"""End-to-end designers for real-time fault-tolerant broadcast disks.
+
+Two entry points, one per paper model:
+
+* :func:`design_program` - the Section 3.2 pipeline for regular
+  (uniform-latency) files: plan bandwidth via Equation 1/2, schedule the
+  induced pinwheel system, attach AIDA block rotation, verify the
+  fault-tolerance windows.  (Thin wrapper around
+  :func:`repro.bdisk.bandwidth.plan_bandwidth` that returns the richer
+  :class:`ProgramDesign` record.)
+* :func:`design_generalized_program` - the Section 4 pipeline for
+  generalized files with latency *vectors*: convert each ``bc(i, m, d)``
+  to its best nice conjunct (TR1/TR2/merge strategies), schedule the
+  combined conjunct, project virtual helper tasks back onto files
+  (``map(i', i)``), attach rotation, and verify every fault level's
+  distinct-block window exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from repro.errors import SchedulingError
+from repro.core.conditions import NiceConjunct
+from repro.core.solver import SolveReport, solve_nice_conjunct
+from repro.core.transforms import TransformCandidate, design_nice_system
+from repro.core.verify import verify_schedule
+from repro.bdisk.bandwidth import BandwidthPlan, plan_bandwidth
+from repro.bdisk.file import FileSpec, GeneralizedFileSpec
+from repro.bdisk.pinwheel_program import program_from_conjunct
+from repro.bdisk.program import BroadcastProgram
+
+
+@dataclass(frozen=True)
+class ProgramDesign:
+    """The full output of a broadcast-disk design run.
+
+    Attributes
+    ----------
+    program:
+        The broadcast program (slot -> file/block, with rotation).
+    report:
+        How the pinwheel system was scheduled.
+    conjunct:
+        The nice conjunct that was scheduled (generalized path) or
+        ``None`` (regular path schedules the induced system directly).
+    candidates:
+        Per-file transformation choices (generalized path only).
+    bandwidth_plan:
+        The bandwidth decision (regular path only).
+    density:
+        Density of the scheduled system/conjunct.
+    """
+
+    program: BroadcastProgram
+    report: SolveReport
+    density: Fraction
+    conjunct: NiceConjunct | None = None
+    candidates: tuple[TransformCandidate, ...] = ()
+    bandwidth_plan: BandwidthPlan | None = None
+
+    def __str__(self) -> str:
+        head = (
+            f"ProgramDesign(period={self.program.broadcast_period}, "
+            f"data_cycle={self.program.data_cycle_length}, "
+            f"density={float(self.density):.4f}, "
+            f"method={self.report.method})"
+        )
+        if self.bandwidth_plan is not None:
+            head += f"\n  {self.bandwidth_plan}"
+        for candidate in self.candidates:
+            head += f"\n  {candidate}"
+        return head
+
+
+def design_program(
+    files: Sequence[FileSpec], *, bandwidth: int | None = None
+) -> ProgramDesign:
+    """Design a regular fault-tolerant real-time broadcast disk.
+
+    See :func:`repro.bdisk.bandwidth.plan_bandwidth` for the pipeline and
+    guarantees.
+    """
+    plan = plan_bandwidth(files, bandwidth=bandwidth)
+    return ProgramDesign(
+        program=plan.program,
+        report=plan.report,
+        density=plan.density,
+        bandwidth_plan=plan,
+    )
+
+
+def design_generalized_program(
+    files: Sequence[GeneralizedFileSpec],
+) -> ProgramDesign:
+    """Design a generalized fault-tolerant real-time broadcast disk.
+
+    The Section 4 pipeline.  Raises :class:`SchedulingError` if the
+    combined nice conjunct cannot be scheduled by the portfolio (its
+    density may exceed the Chan & Chin bound even when each file's
+    transformation was optimal - the paper's Example 1-style caveat).
+
+    On success, the resulting program is *doubly* verified: the schedule
+    against the nice conjunct, and - after projection - the program's
+    distinct-block windows against every ``(m + j, d(j))`` fault level of
+    every file.
+    """
+    specs = tuple(files)
+    conditions = [spec.as_condition() for spec in specs]
+    conjunct, candidates = design_nice_system(conditions)
+
+    report = solve_nice_conjunct(conjunct)
+
+    # Block rotation must cover the *largest* per-window requirement of
+    # each file across its fault levels: n_i = m_i + r_i.
+    block_counts = {
+        spec.name: spec.blocks + spec.max_faults for spec in specs
+    }
+    check_windows = {}
+    for spec in specs:
+        # Check the tightest level exactly here (all levels are checked
+        # individually below; the builder takes a single window per file).
+        j = spec.max_faults
+        check_windows[spec.name] = (
+            spec.blocks,
+            j,
+            spec.latency_vector[j],
+        )
+    program = program_from_conjunct(
+        report.schedule, conjunct, block_counts, check_windows=check_windows
+    )
+
+    # Verify the original bc conditions on the projected program, and
+    # every fault level's distinct-block guarantee.
+    verify_schedule(program.schedule, conditions)
+    for spec in specs:
+        for j, window in enumerate(spec.latency_vector):
+            distinct = program.min_distinct_in_window(spec.name, window)
+            if distinct < spec.blocks + j:
+                raise SchedulingError(
+                    f"generalized design failed distinct-block check for "
+                    f"{spec.name!r} at fault level {j}: {distinct} < "
+                    f"{spec.blocks + j} in windows of {window}"
+                )
+
+    return ProgramDesign(
+        program=program,
+        report=report,
+        density=conjunct.density,
+        conjunct=conjunct,
+        candidates=tuple(candidates),
+    )

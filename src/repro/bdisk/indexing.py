@@ -1,0 +1,205 @@
+"""Broadcast indexing: the alternative the paper decided against.
+
+Footnote 3 of the paper: instead of self-identifying blocks, the server
+could "broadcast a directory (or index) at the beginning of each
+broadcast period" (Imielinski et al.'s *indexing on air*).  The paper
+rejects this because "it does not lend itself to a clean fault-tolerant
+organization" - this module implements the index regime so benches and
+tests can *quantify* that judgement.
+
+Model:
+
+* the broadcast period is prefixed (and optionally interleaved, the
+  ``(1, m)``-style replication) with *index slots* describing where each
+  file's blocks appear in the period;
+* a dozing client wakes, listens until it catches an index slot, then
+  sleeps and wakes exactly on its file's slots - its **tuning time**
+  (slots actively listened, the battery cost) is far below its access
+  latency;
+* a lost index slot costs waiting for the next index; a lost file slot
+  costs a *re-tune* (the client cannot identify substitute blocks
+  without headers) - the fault-tolerance weakness the paper calls out.
+
+Contrast with self-identifying AIDA blocks: tuning time equals latency
+(always listening) but every fault costs only Delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError, SpecificationError
+from repro.bdisk.program import BroadcastProgram
+from repro.sim.faults import FaultModel, NoFaults
+
+#: Owner marker for index slots in an indexed program's layout.
+INDEX = "__index__"
+
+
+@dataclass(frozen=True)
+class IndexedProgram:
+    """A broadcast program with interleaved index slots.
+
+    ``layout`` is one period: each slot is either :data:`INDEX` or a
+    ``(file, block_index)`` pair; the directory content is implicit
+    (every index slot describes the whole period).
+    """
+
+    layout: tuple
+    base: BroadcastProgram
+    replication: int
+
+    @property
+    def period(self) -> int:
+        return len(self.layout)
+
+    def slot(self, t: int):
+        """Layout entry for slot ``t`` of the infinite schedule."""
+        return self.layout[t % len(self.layout)]
+
+    def index_positions(self) -> tuple[int, ...]:
+        return tuple(
+            i for i, entry in enumerate(self.layout) if entry == INDEX
+        )
+
+
+def build_indexed_program(
+    program: BroadcastProgram, *, replication: int = 1
+) -> IndexedProgram:
+    """Interleave ``replication`` index slots into each data cycle.
+
+    The index slots are spread evenly (the ``(1, m)``-indexing idea);
+    each one carries the full directory for the coming period.  The
+    returned period is one *data cycle* of the base program plus the
+    index slots, so the directory can name exact block indices.
+    """
+    if replication < 1:
+        raise SpecificationError(
+            f"index replication must be >= 1: {replication}"
+        )
+    content = program.content_cycle()
+    if replication > len(content):
+        raise SpecificationError(
+            f"cannot interleave {replication} index slots into "
+            f"{len(content)} content slots"
+        )
+    chunk = len(content) / replication
+    layout: list = []
+    cursor = 0.0
+    for i in range(replication):
+        layout.append(INDEX)
+        take = round(cursor + chunk) - round(cursor)
+        start = round(cursor)
+        layout.extend(
+            (c.file, c.block_index) if c is not None else None
+            for c in content[start : start + take]
+        )
+        cursor += chunk
+    return IndexedProgram(
+        layout=tuple(layout), base=program, replication=replication
+    )
+
+
+@dataclass(frozen=True)
+class TunedRetrieval:
+    """Outcome of a dozing-client retrieval.
+
+    ``latency`` is wall-clock slots from wake-up to the last needed
+    block; ``tuning_time`` counts only slots the receiver was powered -
+    the quantity energy-constrained mobile clients minimize.
+    """
+
+    file: str
+    completed: bool
+    latency: int | None
+    tuning_time: int
+    retunes: int
+
+
+def tuned_retrieve(
+    indexed: IndexedProgram,
+    file: str,
+    m_needed: int,
+    *,
+    start: int = 0,
+    faults: FaultModel | None = None,
+    max_slots: int | None = None,
+) -> TunedRetrieval:
+    """Retrieve via the index with a dozing receiver.
+
+    Phase 1: listen every slot until an (uncorrupted) index arrives.
+    Phase 2: doze; wake exactly on the target file's slots named by the
+    directory.  A lost file block forces a **re-tune** (back to phase 1)
+    because without self-identifying headers the client cannot pick up
+    substitute blocks opportunistically - the paper's footnote-3
+    objection, made executable.
+    """
+    if not any(
+        entry not in (None, INDEX) and entry[0] == file
+        for entry in indexed.layout
+    ):
+        raise SimulationError(f"file {file!r} is not broadcast")
+    fault_model = faults if faults is not None else NoFaults()
+    horizon = (
+        max_slots
+        if max_slots is not None
+        else (m_needed + 3) * indexed.period * 3
+    )
+    period = indexed.period
+    tuning = 0
+    retunes = 0
+    collected: set[int] = set()
+    t = start
+    deadline = start + horizon
+
+    while t < deadline:
+        # Phase 1: hunt for an index slot.
+        while t < deadline:
+            tuning += 1
+            entry = indexed.slot(t)
+            if entry == INDEX and not fault_model.is_lost(t):
+                break
+            t += 1
+        else:
+            break
+        # Phase 2: doze until the file's slots within the next period.
+        retuned = False
+        for offset in range(1, period + 1):
+            when = t + offset
+            if when >= deadline:
+                break
+            entry = indexed.slot(when)
+            if (
+                entry is None
+                or entry == INDEX
+                or entry[0] != file
+            ):
+                continue
+            if entry[1] in collected:
+                continue
+            tuning += 1
+            if fault_model.is_lost(when):
+                # Lost block: the schedule in hand is now stale; re-tune.
+                t = when + 1
+                retunes += 1
+                retuned = True
+                break
+            collected.add(entry[1])
+            if len(collected) >= m_needed:
+                return TunedRetrieval(
+                    file=file,
+                    completed=True,
+                    latency=when - start + 1,
+                    tuning_time=tuning,
+                    retunes=retunes,
+                )
+        if not retuned:
+            t += period
+
+    return TunedRetrieval(
+        file=file,
+        completed=False,
+        latency=None,
+        tuning_time=tuning,
+        retunes=retunes,
+    )

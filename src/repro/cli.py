@@ -1,0 +1,185 @@
+"""Command-line interface: design broadcast disks from a shell.
+
+Three subcommands mirror the library's main entry points::
+
+    python -m repro design --file pos:4:2:2 --file map:6:5:1
+    python -m repro generalized --file F:2:5,6,6 --file H:1:9,12
+    python -m repro delay-table --file A:5:10 --file B:3:6 --errors 5
+
+File syntax:
+
+* ``design``      - ``name:blocks:latency[:fault_budget]``
+* ``generalized`` - ``name:blocks:d0,d1,...`` (latency vector in slots)
+* ``delay-table`` - ``name:m:n_total`` (AIDA dispersal parameters)
+
+All output is plain text on stdout; exit status 0 on success, 2 on
+argument errors, 1 when the design is infeasible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.bdisk.builder import design_generalized_program, design_program
+from repro.bdisk.file import FileSpec, GeneralizedFileSpec
+from repro.bdisk.flat import build_aida_flat_program, build_flat_program
+from repro.sim.delay import worst_case_delay_table
+
+
+def _parse_design_file(raw: str) -> FileSpec:
+    parts = raw.split(":")
+    if len(parts) not in (3, 4):
+        raise argparse.ArgumentTypeError(
+            f"expected name:blocks:latency[:fault_budget], got {raw!r}"
+        )
+    try:
+        name = parts[0]
+        blocks = int(parts[1])
+        latency = int(parts[2])
+        budget = int(parts[3]) if len(parts) == 4 else 0
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from error
+    return FileSpec(name, blocks, latency, fault_budget=budget)
+
+
+def _parse_generalized_file(raw: str) -> GeneralizedFileSpec:
+    parts = raw.split(":")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"expected name:blocks:d0,d1,..., got {raw!r}"
+        )
+    try:
+        vector = tuple(int(x) for x in parts[2].split(","))
+        return GeneralizedFileSpec(parts[0], int(parts[1]), vector)
+    except (ValueError, ReproError) as error:
+        raise argparse.ArgumentTypeError(str(error)) from error
+
+
+def _parse_dispersal_file(raw: str) -> tuple[str, int, int]:
+    parts = raw.split(":")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"expected name:m:n_total, got {raw!r}"
+        )
+    try:
+        return parts[0], int(parts[1]), int(parts[2])
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from error
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Pinwheel scheduling for fault-tolerant broadcast disks "
+            "(Baruah & Bestavros, ICDE 1997)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    design = sub.add_parser(
+        "design", help="design a regular fault-tolerant broadcast disk"
+    )
+    design.add_argument(
+        "--file",
+        dest="files",
+        action="append",
+        required=True,
+        type=_parse_design_file,
+        metavar="NAME:BLOCKS:LATENCY[:FAULTS]",
+    )
+    design.add_argument(
+        "--bandwidth", type=int, default=None,
+        help="force a bandwidth instead of the Equation 1/2 bound",
+    )
+    design.add_argument(
+        "--periods", type=int, default=1,
+        help="broadcast periods of the program to print",
+    )
+
+    generalized = sub.add_parser(
+        "generalized",
+        help="design a generalized (latency-vector) broadcast disk",
+    )
+    generalized.add_argument(
+        "--file",
+        dest="files",
+        action="append",
+        required=True,
+        type=_parse_generalized_file,
+        metavar="NAME:BLOCKS:D0,D1,...",
+    )
+
+    delay = sub.add_parser(
+        "delay-table",
+        help="regenerate a Figure-7-style delay table for a catalogue",
+    )
+    delay.add_argument(
+        "--file",
+        dest="files",
+        action="append",
+        required=True,
+        type=_parse_dispersal_file,
+        metavar="NAME:M:N",
+    )
+    delay.add_argument("--errors", type=int, default=5)
+    return parser
+
+
+def _run_design(args: argparse.Namespace) -> int:
+    design = design_program(args.files, bandwidth=args.bandwidth)
+    plan = design.bandwidth_plan
+    print(f"bandwidth : {plan.bandwidth} blocks/s "
+          f"(necessary >= {float(plan.necessary):.3f}, "
+          f"eq-bound {plan.eq_bound})")
+    print(f"density   : {float(plan.density):.4f}")
+    print(f"scheduler : {plan.report.method}")
+    print(f"period    : {design.program.broadcast_period} slots; "
+          f"data cycle {design.program.data_cycle_length}")
+    print(f"program   : {design.program.render(periods=args.periods)}")
+    return 0
+
+
+def _run_generalized(args: argparse.Namespace) -> int:
+    design = design_generalized_program(args.files)
+    print(f"density   : {float(design.density):.4f}")
+    for candidate in design.candidates:
+        print(f"transform : {candidate}")
+    print(f"period    : {design.program.broadcast_period} slots; "
+          f"data cycle {design.program.data_cycle_length}")
+    print(f"program   : {design.program.render()}")
+    return 0
+
+
+def _run_delay_table(args: argparse.Namespace) -> int:
+    aida = build_aida_flat_program(args.files)
+    flat = build_flat_program([(n, m) for n, m, _ in args.files])
+    sizes = {name: m for name, m, _ in args.files}
+    rows = worst_case_delay_table(aida, flat, sizes, args.errors)
+    print("errors | with IDA | without IDA | r*Delta | r*Pi")
+    for row in rows:
+        print(row)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "design": _run_design,
+        "generalized": _run_generalized,
+        "delay-table": _run_delay_table,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

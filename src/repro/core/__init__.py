@@ -1,0 +1,132 @@
+"""Pinwheel scheduling theory - the paper's primary contribution.
+
+This subpackage implements:
+
+* the pinwheel task model of Holte et al. (tasks ``(i, a, b)`` that need the
+  shared resource for at least ``a`` out of every ``b`` consecutive slots),
+* cyclic schedules and exact sliding-window verification,
+* the condition language of the paper's Section 4 (``pc`` pinwheel
+  conditions, ``bc`` broadcast-file conditions, conjuncts, *nice* conjuncts),
+* the pinwheel algebra (rules R0-R5) and transformation rules TR1/TR2,
+* a family of schedulers (harmonic residue allocation, single-number
+  reduction, double-integer reduction, two-task, three-task, exact search,
+  greedy EDF) and a portfolio solver that always verifies its output,
+* the bandwidth bounds of Equations 1 and 2.
+
+The public names re-exported here form the stable API of ``repro.core``.
+"""
+
+from repro.core.task import PinwheelTask, PinwheelSystem
+from repro.core.schedule import IDLE, Schedule
+from repro.core.conditions import (
+    PinwheelCondition,
+    BroadcastCondition,
+    NiceConjunct,
+    pc,
+    bc,
+    virtual_key,
+)
+from repro.core.verify import (
+    VerificationReport,
+    satisfies_pc,
+    satisfies_bc,
+    verify_schedule,
+    check_schedule,
+)
+from repro.core.algebra import (
+    rule_r0,
+    rule_r1,
+    rule_r2,
+    rule_r3,
+    rule_r4,
+    rule_r5,
+    pc_implies,
+    strengthen_r3,
+)
+from repro.core.transforms import (
+    TransformCandidate,
+    tr1,
+    tr2,
+    tr2_reduced,
+    merge_single,
+    best_nice_conjunct,
+    design_nice_system,
+)
+from repro.core.bounds import (
+    CHAN_CHIN_DENSITY,
+    SINGLE_REDUCTION_DENSITY,
+    THREE_TASK_DENSITY,
+    TWO_TASK_DENSITY,
+    density_lower_bound,
+    necessary_bandwidth,
+    sufficient_bandwidth_eq1,
+    sufficient_bandwidth_eq2,
+)
+from repro.core.harmonic import schedule_harmonic
+from repro.core.single_reduction import (
+    specialize_single,
+    schedule_single_reduction,
+)
+from repro.core.double_reduction import (
+    specialize_double,
+    schedule_double_reduction,
+)
+from repro.core.two_task import schedule_two_tasks
+from repro.core.three_task import schedule_three_tasks
+from repro.core.exact import schedule_exact, is_feasible_exact
+from repro.core.greedy import schedule_greedy
+from repro.core.solver import solve, solve_nice_conjunct, SolveReport
+
+__all__ = [
+    "PinwheelTask",
+    "PinwheelSystem",
+    "IDLE",
+    "Schedule",
+    "PinwheelCondition",
+    "BroadcastCondition",
+    "NiceConjunct",
+    "pc",
+    "bc",
+    "virtual_key",
+    "VerificationReport",
+    "satisfies_pc",
+    "satisfies_bc",
+    "verify_schedule",
+    "check_schedule",
+    "rule_r0",
+    "rule_r1",
+    "rule_r2",
+    "rule_r3",
+    "rule_r4",
+    "rule_r5",
+    "pc_implies",
+    "strengthen_r3",
+    "TransformCandidate",
+    "tr1",
+    "tr2",
+    "tr2_reduced",
+    "merge_single",
+    "best_nice_conjunct",
+    "design_nice_system",
+    "CHAN_CHIN_DENSITY",
+    "SINGLE_REDUCTION_DENSITY",
+    "THREE_TASK_DENSITY",
+    "TWO_TASK_DENSITY",
+    "density_lower_bound",
+    "necessary_bandwidth",
+    "sufficient_bandwidth_eq1",
+    "sufficient_bandwidth_eq2",
+    "schedule_harmonic",
+    "specialize_single",
+    "schedule_single_reduction",
+    "specialize_double",
+    "schedule_double_reduction",
+    "schedule_two_tasks",
+    "schedule_three_tasks",
+    "schedule_exact",
+    "is_feasible_exact",
+    "schedule_greedy",
+    "solve",
+    "solve_nice_conjunct",
+    "SolveReport",
+]

@@ -1,0 +1,184 @@
+"""The pinwheel algebra: rules R0-R5 of Figure 8.
+
+Each rule has the shape ``LHS <= RHS``: any broadcast program satisfying
+the right-hand side also satisfies the left-hand side.  In this module the
+rules are *derivation* functions: given the stronger condition(s) you hold
+(the RHS), they derive weaker conditions you may claim (the LHS).  Read
+``rule_r1(p, n)`` as "from ``pc(a, b)`` derive ``pc(na, nb)``".
+
+The rules (``a, b, x, y, n`` non-negative integers):
+
+* **R0** ``pc(i, a - x, b + y) <= pc(i, a, b)`` - fewer slots in a larger
+  window.
+* **R1** ``pc(i, na, nb) <= pc(i, a, b)`` - a window of ``nb`` splits into
+  ``n`` disjoint windows of ``b``.
+* **R2** ``pc(i, a - x, b - x) <= pc(i, a, b)`` - dropping ``x`` slots from
+  a window loses at most ``x`` services.
+* **R3** ``pc(i, a, b) <= pc(i, 1, floor(b / a))`` - the unit-demand
+  strengthening (R1 + R0); exposed as :func:`strengthen_r3`.
+* **R4** ``pc(i, a, b) ^ pc(i, a + x, b + y) <=
+  pc(i, a, b) ^ pc(i', x, b + y) ^ map(i', i)`` - offload the surplus onto
+  a *virtual* task ``i'`` broadcasting the same file.
+* **R5** ``pc(i, a, b) ^ pc(i, na, nb - x) <=
+  pc(i, a, b) ^ pc(i', x, nb) ^ map(i', i)`` - the sharper split used by
+  Example 4.
+
+:func:`pc_implies` decides rule-derivable implication between two single
+pinwheel conditions (compositions of R0, R1, R2), which is what the
+transformation strategy uses to discard dominated conjuncts and to find
+single-condition merges (Examples 5 and 6).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpecificationError
+from repro.core.conditions import (
+    ConditionKey,
+    PinwheelCondition,
+    virtual_key,
+)
+
+
+def rule_r0(cond: PinwheelCondition, x: int = 0, y: int = 0) -> PinwheelCondition:
+    """R0: from ``pc(a, b)`` derive ``pc(a - x, b + y)``."""
+    if x < 0 or y < 0:
+        raise SpecificationError(f"R0 needs x, y >= 0 (got x={x}, y={y})")
+    return PinwheelCondition(cond.task, cond.a - x, cond.b + y)
+
+
+def rule_r1(cond: PinwheelCondition, n: int) -> PinwheelCondition:
+    """R1: from ``pc(a, b)`` derive ``pc(na, nb)``."""
+    if n < 1:
+        raise SpecificationError(f"R1 needs n >= 1 (got {n})")
+    return PinwheelCondition(cond.task, n * cond.a, n * cond.b)
+
+
+def rule_r2(cond: PinwheelCondition, x: int) -> PinwheelCondition:
+    """R2: from ``pc(a, b)`` derive ``pc(a - x, b - x)``."""
+    if x < 0:
+        raise SpecificationError(f"R2 needs x >= 0 (got {x})")
+    return PinwheelCondition(cond.task, cond.a - x, cond.b - x)
+
+
+def rule_r3(cond: PinwheelCondition) -> PinwheelCondition:
+    """R3 read left-to-right: the weakest unit-demand condition implying
+    nothing new - included for completeness; use :func:`strengthen_r3`
+    for the useful direction."""
+    return PinwheelCondition(cond.task, 1, cond.b // cond.a)
+
+
+def strengthen_r3(cond: PinwheelCondition) -> PinwheelCondition:
+    """R3 read right-to-left: ``pc(1, floor(b / a))`` implies ``pc(a, b)``.
+
+    This is the strengthening schedulers use to reach unit demands.  Note
+    it is the same arithmetic as :func:`rule_r3`; the two names document
+    the direction of use.
+    """
+    return PinwheelCondition(cond.task, 1, cond.b // cond.a)
+
+
+def rule_r4(
+    base: PinwheelCondition, target: PinwheelCondition, helper_index: int = 0
+) -> tuple[PinwheelCondition, dict[ConditionKey, ConditionKey]]:
+    """R4: split ``target = pc(i, a + x, b + y)`` given ``base = pc(i, a, b)``.
+
+    Returns the helper condition ``pc(i', x, b + y)`` on a fresh virtual
+    task plus the ``map(i', i)`` entry.  Holding ``base`` and the helper
+    implies ``target``.
+    """
+    if base.task != target.task:
+        raise SpecificationError(
+            f"R4 needs both conditions on one task "
+            f"({base.task!r} != {target.task!r})"
+        )
+    x = target.a - base.a
+    y = target.b - base.b
+    if x < 1 or y < 0:
+        raise SpecificationError(
+            f"R4 needs target.a > base.a and target.b >= base.b "
+            f"(got {base} vs {target})"
+        )
+    helper_task = virtual_key(base.task, helper_index)
+    helper = PinwheelCondition(helper_task, x, target.b)
+    return helper, {helper_task: base.task}
+
+
+def rule_r5(
+    base: PinwheelCondition, target: PinwheelCondition, helper_index: int = 0
+) -> tuple[PinwheelCondition | None, dict[ConditionKey, ConditionKey]]:
+    """R5: split ``target = pc(i, na, nb - x)`` given ``base = pc(i, a, b)``.
+
+    Chooses the smallest ``n`` with ``n * base.a >= target.a``; the
+    combination of ``base`` and the returned helper ``pc(i', x, n * b)``
+    implies ``pc(n*a, n*b - x)`` which implies ``target`` by R0.  When
+    ``x <= 0`` the target is already implied by ``base`` alone (R1 + R0)
+    and the helper is ``None``.
+    """
+    if base.task != target.task:
+        raise SpecificationError(
+            f"R5 needs both conditions on one task "
+            f"({base.task!r} != {target.task!r})"
+        )
+    n = -(-target.a // base.a)  # ceil
+    x = n * base.b - target.b
+    if x <= 0:
+        return None, {}
+    helper_task = virtual_key(base.task, helper_index)
+    helper = PinwheelCondition(helper_task, x, n * base.b)
+    return helper, {helper_task: base.task}
+
+
+def pc_implies(strong: PinwheelCondition, weak: PinwheelCondition) -> bool:
+    """Whether ``strong`` implies ``weak`` via compositions of R0/R1/R2.
+
+    Both conditions must constrain the same task.  The derivable
+    implications from ``pc(a, b)`` are exactly the conditions reachable as
+    ``pc(na - x, nb - x + y)`` for ``n >= 1`` and ``x, y >= 0``; hence
+    ``strong -> weak`` iff there exists ``n >= 1`` with::
+
+        n * strong.a - max(0, n * strong.b - weak.b) >= weak.a
+
+    Only finitely many ``n`` can help: once ``n * strong.a >= weak.a`` and
+    growth in the ``max`` term outpaces ``strong.a`` per step the test is
+    monotone, so we scan a small safe range.
+
+    Note this is *rule-derivable* implication, the notion the paper
+    manipulates - semantic implication between pinwheel conditions is a
+    strictly larger (and much harder) relation.
+    """
+    if strong.task != weak.task:
+        return False
+    # Beyond this n the left side can only lose ground when b-shrinking
+    # dominates, and below it na may still be too small - scan all.
+    limit = max(1, -(-(weak.a + weak.b) // strong.a)) + 2
+    for n in range(1, limit + 1):
+        slack = n * strong.a - max(0, n * strong.b - weak.b)
+        if slack >= weak.a:
+            return True
+    return False
+
+
+def remove_dominated(
+    conditions: list[PinwheelCondition],
+) -> list[PinwheelCondition]:
+    """Drop conditions implied (via R0/R1/R2) by another in the list.
+
+    This implements the Example 5 simplification (``d(j) = d(j+1)`` makes
+    one conjunct redundant) in its general form.  Order is preserved.
+    """
+    kept: list[PinwheelCondition] = []
+    for index, cond in enumerate(conditions):
+        dominated = False
+        for other_index, other in enumerate(conditions):
+            if other_index == index or other == cond:
+                # Equal conditions: keep the first occurrence only.
+                if other == cond and other_index < index:
+                    dominated = True
+                    break
+                continue
+            if pc_implies(other, cond):
+                dominated = True
+                break
+        if not dominated:
+            kept.append(cond)
+    return kept

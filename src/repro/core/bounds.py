@@ -1,0 +1,139 @@
+"""Density thresholds and the bandwidth bounds of Equations 1 and 2.
+
+Section 3.2 of the paper reduces broadcast-disk bandwidth allocation to
+pinwheel scheduling: given files ``F_i`` of ``m_i`` blocks with latency
+``T_i`` seconds, a channel of bandwidth ``B`` blocks/second supports the
+system iff the pinwheel system ``{(i, m_i, B * T_i)}`` is schedulable.
+Since Chan & Chin schedule every system with density at most 7/10,
+
+* ``B >= ceil(10/7 * sum m_i / T_i)``  (Equation 1) is *sufficient*, and
+* ``B >= sum m_i / T_i`` is trivially *necessary*,
+
+so Equation 1 overshoots the optimum by at most 10/7 - 1 ~ 43%.  With
+fault tolerance (``r_i`` extra block slots per window), Equation 2 reads
+``B = ceil(10/7 * sum (m_i + r_i) / T_i)``.
+
+All bounds are computed in exact rational arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.errors import SpecificationError
+from repro.core.conditions import BroadcastCondition
+
+#: Chan & Chin [12]: any pinwheel system with density <= 7/10 is schedulable.
+CHAN_CHIN_DENSITY = Fraction(7, 10)
+
+#: Holte et al. [19]: single-number reduction handles density <= 1/2.
+SINGLE_REDUCTION_DENSITY = Fraction(1, 2)
+
+#: Lin & Lin [27]: three-task systems with density <= 5/6 are schedulable.
+THREE_TASK_DENSITY = Fraction(5, 6)
+
+#: Holte et al. [20]: two-task systems with density <= 1 are schedulable.
+TWO_TASK_DENSITY = Fraction(1, 1)
+
+
+def density_lower_bound(condition: BroadcastCondition) -> Fraction:
+    """``max_j (m + j) / d(j)``: no nice conjunct implying ``bc`` can be
+    lighter (Section 4.2).  Function form of
+    :attr:`repro.core.conditions.BroadcastCondition.density_lower_bound`.
+    """
+    return condition.density_lower_bound
+
+
+def _validate_files(
+    files: Sequence[tuple[int, int]],
+) -> None:
+    if not files:
+        raise SpecificationError("at least one file is required")
+    for index, (m, latency) in enumerate(files):
+        if m < 1:
+            raise SpecificationError(
+                f"file #{index}: size {m} must be >= 1 block"
+            )
+        if latency < 1:
+            raise SpecificationError(
+                f"file #{index}: latency {latency} must be >= 1"
+            )
+
+
+def necessary_bandwidth(files: Iterable[tuple[int, int]]) -> Fraction:
+    """The trivial lower bound ``sum m_i / T_i`` (blocks per second).
+
+    ``files`` is an iterable of ``(m_i, T_i)`` pairs: size in blocks and
+    latency in seconds.  Any feasible bandwidth is at least this (each file
+    alone consumes ``m_i / T_i`` of the channel).
+    """
+    file_list = list(files)
+    _validate_files(file_list)
+    return sum(
+        (Fraction(m, latency) for m, latency in file_list), Fraction(0)
+    )
+
+
+def sufficient_bandwidth_eq1(files: Iterable[tuple[int, int]]) -> int:
+    """Equation 1: ``B = ceil(10/7 * sum m_i / T_i)`` is sufficient.
+
+    At this bandwidth the induced pinwheel system has density at most 7/10,
+    so the Chan & Chin scheduler (and this library's portfolio) lays the
+    blocks out successfully.
+    """
+    file_list = list(files)
+    bound = necessary_bandwidth(file_list) * Fraction(10, 7)
+    return math.ceil(bound)
+
+
+def sufficient_bandwidth_eq2(
+    files: Iterable[tuple[int, int, int]],
+) -> int:
+    """Equation 2: fault-tolerant bandwidth with per-file fault budgets.
+
+    ``files`` is an iterable of ``(m_i, r_i, T_i)`` triples; each file must
+    deliver ``m_i + r_i`` block slots per window so that any ``r_i`` losses
+    still leave ``m_i`` blocks - the AIDA property.  Returns
+    ``ceil(10/7 * sum (m_i + r_i) / T_i)``.
+    """
+    file_list = list(files)
+    if not file_list:
+        raise SpecificationError("at least one file is required")
+    total = Fraction(0)
+    for index, (m, r, latency) in enumerate(file_list):
+        if m < 1 or r < 0 or latency < 1:
+            raise SpecificationError(
+                f"file #{index}: need m >= 1, r >= 0, T >= 1; "
+                f"got ({m}, {r}, {latency})"
+            )
+        total += Fraction(m + r, latency)
+    return math.ceil(total * Fraction(10, 7))
+
+
+def bandwidth_overhead(files: Iterable[tuple[int, int]]) -> Fraction:
+    """Relative overhead of Equation 1 over the necessary bound.
+
+    ``(B_eq1 - B_necessary) / B_necessary``; the paper's "at most 43%
+    extra bandwidth" claim is ``<= 3/7`` plus the effect of the final
+    ceiling.  Benches sweep this across random file sets.
+    """
+    file_list = list(files)
+    necessary = necessary_bandwidth(file_list)
+    sufficient = sufficient_bandwidth_eq1(file_list)
+    return (Fraction(sufficient) - necessary) / necessary
+
+
+def induced_pinwheel_density(
+    files: Iterable[tuple[int, int]], bandwidth: int
+) -> Fraction:
+    """Density of the pinwheel system induced at a given bandwidth.
+
+    File ``(m_i, T_i)`` becomes task ``(m_i, B * T_i)``; the density is
+    ``sum m_i / (B * T_i)``.  Scheduling is guaranteed once this is at most
+    :data:`CHAN_CHIN_DENSITY`.
+    """
+    if bandwidth < 1:
+        raise SpecificationError(f"bandwidth must be >= 1, got {bandwidth}")
+    return necessary_bandwidth(files) / bandwidth

@@ -1,0 +1,258 @@
+"""Double-integer reduction scheduler ``Sx`` (after Chan & Chin [12, 13]).
+
+Chan & Chin improved the single-number reduction by specializing windows
+onto a richer base set.  We implement the reduction in their spirit:
+
+* **Base set** ``B(x) = {x * 2**j} U {3x * 2**j}`` - two interleaved
+  geometric chains.  Consecutive elements of ``B(x)`` are within a factor
+  of 3/2 of each other from ``2x`` upward, so specialization loses far less
+  density than the pure power-of-two chain.
+* **Exact scheduling of specialized systems** by hierarchical residue-class
+  *tree* allocation.  A node represents a residue class ``(offset mod M)``.
+  A node of modulus ``x * 2**j`` may be split into two children of modulus
+  ``x * 2**(j+1)`` or three children of modulus ``3x * 2**j``; a node of
+  modulus ``3x * 2**j`` may only be split by two.  Along any root-to-leaf
+  path at most one 3-split occurs, so every modulus stays inside ``B(x)``.
+* **Base search**: all bases at which some window specializes exactly are
+  tried in order of increasing specialized density.
+
+The scheduler is *sound by construction + verification*: residue classes
+give exact window counts, and the final schedule is verified against the
+original windows.  The paper uses Chan & Chin as a black box "density <=
+7/10 implies schedulable"; the test suite and
+``benchmarks/bench_scheduler_thresholds.py`` validate this implementation
+at that operating point on randomized instances (see DESIGN.md,
+Substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable
+
+from repro.errors import SchedulingError, SpecificationError
+from repro.core.schedule import Schedule
+from repro.core.task import PinwheelSystem, PinwheelTask
+from repro.core.verify import verify_schedule
+from repro.core.conditions import PinwheelCondition
+
+#: The Chan & Chin density bound the paper quotes (Section 3.1).
+CHAN_CHIN_BOUND = Fraction(7, 10)
+
+
+def double_specialize_window(window: int, base: int) -> int:
+    """Largest element of ``B(base)`` that is at most ``window``."""
+    if window < base:
+        raise SpecificationError(
+            f"window {window} smaller than base {base}"
+        )
+    best = base
+    value = base
+    while value <= window:
+        best = value
+        value *= 2
+    value = 3 * base
+    while value <= window:
+        best = max(best, value)
+        value *= 2
+    return best
+
+
+def specialize_double(system: PinwheelSystem, base: int) -> PinwheelSystem:
+    """Specialize every window of ``system`` onto ``B(base)``."""
+    return PinwheelSystem(
+        PinwheelTask(t.ident, t.a, double_specialize_window(t.b, base))
+        for t in system.tasks
+    )
+
+
+def candidate_bases(windows: Iterable[int]) -> list[int]:
+    """Bases at which some window specializes exactly onto ``B(x)``.
+
+    The specialized density, as a function of the base ``x``, changes only
+    where some ``b_i`` equals ``x * 2**j`` or ``3x * 2**j``; it therefore
+    suffices to try ``b_i >> j`` and ``(b_i // 3) >> j``.
+    """
+    window_list = list(windows)
+    if not window_list:
+        raise SpecificationError("no windows supplied")
+    smallest = min(window_list)
+    bases: set[int] = set()
+    for window in window_list:
+        for seed in (window, window // 3):
+            value = seed
+            while value >= 1:
+                if value <= smallest:
+                    bases.add(value)
+                value //= 2
+    return sorted(bases)
+
+
+@dataclass(frozen=True, slots=True)
+class _Node:
+    """A residue class in the allocation tree.
+
+    ``offset mod modulus``; ``tri`` records whether a 3-split occurred on
+    the path from the root (at most one is allowed).
+    """
+
+    offset: int
+    modulus: int
+    tri: bool
+
+    def split(self, factor: int) -> list["_Node"]:
+        tri = self.tri or factor == 3
+        return [
+            _Node(self.offset + k * self.modulus, factor * self.modulus, tri)
+            for k in range(factor)
+        ]
+
+
+def _classify(window: int, base: int) -> tuple[int, bool]:
+    """Return ``(level j, tri?)`` such that ``window = base * 2**j`` or
+    ``3 * base * 2**j``."""
+    for tri, stem in ((False, base), (True, 3 * base)):
+        value, level = stem, 0
+        while value <= window:
+            if value == window:
+                return level, tri
+            value *= 2
+            level += 1
+    raise SpecificationError(
+        f"window {window} is not in the base set of {base}"
+    )
+
+
+def allocate_double(
+    system: PinwheelSystem, base: int
+) -> dict[object, list[tuple[int, int]]]:
+    """Allocate residue classes for a ``B(base)``-specialized system.
+
+    Level-by-level greedy: at level ``j`` the pure pool (modulus
+    ``base * 2**j``) first serves pure demand; tri demand (modulus
+    ``3 * base * 2**j``) is served from the tri pool, converting as few
+    pure nodes as possible (each conversion 3-splits one pure node).
+    Leftovers are 2-split into the next level's pools.
+
+    Raises :class:`SchedulingError` when a pool runs dry.
+    """
+    demands_pure: dict[int, list[PinwheelTask]] = {}
+    demands_tri: dict[int, list[PinwheelTask]] = {}
+    max_level = 0
+    for task in system.tasks:
+        level, tri = _classify(task.b, base)
+        target = demands_tri if tri else demands_pure
+        target.setdefault(level, []).append(task)
+        max_level = max(max_level, level)
+
+    pool_pure: list[_Node] = [_Node(off, base, False) for off in range(base)]
+    pool_tri: list[_Node] = []
+    assignments: dict[object, list[tuple[int, int]]] = {}
+
+    def take(pool: list[_Node], tasks: list[PinwheelTask], kind: str) -> None:
+        for task in tasks:
+            if len(pool) < task.a:
+                raise SchedulingError(
+                    f"double reduction (base {base}): {kind} pool exhausted "
+                    f"for task {task.ident!r} (needs {task.a}, "
+                    f"has {len(pool)})"
+                )
+            taken = [pool.pop() for _ in range(task.a)]
+            assignments[task.ident] = [
+                (node.offset, node.modulus) for node in taken
+            ]
+
+    for level in range(max_level + 1):
+        take(pool_pure, demands_pure.get(level, []), "pure")
+        tri_need = sum(t.a for t in demands_tri.get(level, []))
+        shortfall = tri_need - len(pool_tri)
+        if shortfall > 0:
+            conversions = -(-shortfall // 3)  # ceil division
+            if conversions > len(pool_pure):
+                raise SchedulingError(
+                    f"double reduction (base {base}): cannot convert "
+                    f"{conversions} pure nodes at level {level} "
+                    f"(only {len(pool_pure)} free)"
+                )
+            for _ in range(conversions):
+                pool_tri.extend(pool_pure.pop().split(3))
+        take(pool_tri, demands_tri.get(level, []), "tri")
+        if level < max_level:
+            pool_pure = [
+                child for node in pool_pure for child in node.split(2)
+            ]
+            pool_tri = [
+                child for node in pool_tri for child in node.split(2)
+            ]
+    return assignments
+
+
+def _cycle_length(assignments: dict[object, list[tuple[int, int]]]) -> int:
+    """Least common multiple of every assigned modulus."""
+    import math
+
+    length = 1
+    for classes in assignments.values():
+        for _, modulus in classes:
+            length = math.lcm(length, modulus)
+    return length
+
+
+def schedule_double_reduction(
+    system: PinwheelSystem, *, base: int | None = None, verify: bool = True
+) -> Schedule:
+    """Schedule via double-integer reduction.
+
+    Tries candidate bases in order of increasing specialized density until
+    the tree allocation succeeds; verifies the result against the original
+    windows.  Raises :class:`SchedulingError` if every base fails.
+    """
+    if base is not None:
+        bases = [base]
+    else:
+        ranked = []
+        for candidate in candidate_bases(t.b for t in system.tasks):
+            try:
+                density = specialize_double(system, candidate).density
+            except SpecificationError:
+                # Some window shrank below its requirement at this base.
+                continue
+            if density <= 1:
+                ranked.append((density, candidate))
+        ranked.sort()
+        bases = [candidate for _, candidate in ranked]
+        if not bases:
+            raise SchedulingError(
+                f"double reduction: no base brings specialized density "
+                f"under 1 (original density {float(system.density):.4f})"
+            )
+
+    last_error: SchedulingError | None = None
+    for chosen in bases:
+        try:
+            specialized = specialize_double(system, chosen)
+        except SpecificationError as error:
+            last_error = SchedulingError(
+                f"double reduction: base {chosen} unusable: {error}"
+            )
+            continue
+        if specialized.density > 1:
+            continue
+        try:
+            assignments = allocate_double(specialized, chosen)
+        except SchedulingError as error:
+            last_error = error
+            continue
+        schedule = Schedule.from_residue_classes(
+            _cycle_length(assignments), assignments
+        )
+        if verify:
+            verify_schedule(
+                schedule,
+                [PinwheelCondition(t.ident, t.a, t.b) for t in system.tasks],
+            )
+        return schedule
+    raise last_error or SchedulingError(
+        "double reduction: all candidate bases failed"
+    )

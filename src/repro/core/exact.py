@@ -1,0 +1,237 @@
+"""Exact pinwheel feasibility and schedule construction (small instances).
+
+Pinwheel schedulability is decidable: a feasible instance always admits a
+*cyclic* schedule, because the scheduler's relevant memory is finite.  We
+search that memory graph directly:
+
+* **Unit demands** (every ``a_i = 1``): the state is the vector of "slots
+  since last service", each bounded by ``b_i``, so the state space has size
+  ``prod b_i``.
+* **General demands**: the state keeps, per task, a bitmask of its services
+  in the last ``b_i - 1`` slots, so window counts can be checked exactly.
+  The space is ``prod 2**(b_i - 1)`` - workable only for small windows.
+
+Both searches start from the *dominating* state (everything just served /
+full history), which is safe: if any infinite schedule exists from any
+state, one exists from the dominating state, and in a finite graph an
+infinite path must traverse a cycle.  The DFS therefore looks for a lasso;
+the cycle part, read off as slot owners, *is* a valid periodic schedule.
+
+This module is the ground truth the rest of the test suite leans on: it is
+exponential, guarded by an explicit state budget, and never wrong.  Example
+1's infeasible family ``{(1,2), (1,3), (1,n)}`` is rejected by exhausting
+the (tiny) state graph without finding a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import SchedulingError
+from repro.core.schedule import IDLE, Schedule
+from repro.core.task import PinwheelSystem
+from repro.core.verify import verify_schedule
+from repro.core.conditions import PinwheelCondition
+
+#: Default cap on distinct states explored before giving up.
+DEFAULT_STATE_BUDGET = 500_000
+
+
+class _BudgetExceeded(Exception):
+    """Internal signal: the search was inconclusive within the budget."""
+
+
+def _search_unit(
+    windows: Sequence[int], budget: int
+) -> list[int] | None:
+    """Lasso search for unit-demand systems.
+
+    Returns the cycle as a list of task indices (-1 = idle), or ``None``
+    when the reachable graph provably contains no cycle.  Raises
+    :class:`_BudgetExceeded` when the budget runs out first.
+
+    State: tuple of "slots since last service" (0 = just served).  A task
+    whose counter would reach ``b_i`` is overdue; states with two or more
+    overdue tasks are dead.  Serving is always at least as good as idling,
+    so idle transitions are only taken when no task is urgent and add
+    nothing; we omit them (any schedule with idle slots remains valid when
+    idle slots are given to an arbitrary task, since extra service never
+    violates a pinwheel condition).
+    """
+    n = len(windows)
+    start = tuple([0] * n)
+    # DFS colors: missing = white, False = on stack (gray), True = done.
+    color: dict[tuple[int, ...], bool] = {}
+    # Path of (state, chosen_task) pairs currently on the DFS stack.
+    path: list[tuple[tuple[int, ...], int]] = []
+    path_index: dict[tuple[int, ...], int] = {}
+
+    def choices(state: tuple[int, ...]) -> list[int]:
+        urgent = [i for i in range(n) if state[i] == windows[i] - 1]
+        if len(urgent) > 1:
+            return []
+        if len(urgent) == 1:
+            return urgent
+        # Explore most-constrained-first: smallest remaining slack.
+        order = sorted(range(n), key=lambda i: windows[i] - state[i])
+        return order
+
+    # Iterative DFS with explicit frames: (state, iterator over choices).
+    stack: list[tuple[tuple[int, ...], list[int], int]] = []
+    stack.append((start, choices(start), 0))
+    color[start] = False
+    path.append((start, -1))
+    path_index[start] = 0
+
+    while stack:
+        state, options, cursor = stack.pop()
+        if cursor >= len(options):
+            color[state] = True
+            path.pop()
+            del path_index[state]
+            continue
+        stack.append((state, options, cursor + 1))
+        served = options[cursor]
+        nxt = tuple(
+            0 if i == served else state[i] + 1 for i in range(n)
+        )
+        if any(nxt[i] >= windows[i] for i in range(n)):
+            continue
+        if nxt in path_index:
+            # Lasso found: the cycle runs from nxt's position to the end.
+            cycle_states = path[path_index[nxt] :] + [(nxt, served)]
+            return [chosen for _, chosen in cycle_states[1:]]
+        if nxt in color:
+            continue  # black: explored, leads to no cycle
+        if len(color) >= budget:
+            raise _BudgetExceeded
+        color[nxt] = False
+        path.append((nxt, served))
+        path_index[nxt] = len(path) - 1
+        stack.append((nxt, choices(nxt), 0))
+    return None
+
+
+def _search_masked(
+    requirements: Sequence[int], windows: Sequence[int], budget: int
+) -> list[int] | None:
+    """Lasso search for general demands via service-history bitmasks.
+
+    State: per task, the services in its last ``b_i - 1`` slots (bit 0 =
+    most recent).  Serving task ``k`` at the current slot completes a
+    window of ``b_i`` slots for every task; each must contain at least
+    ``a_i`` services.
+    """
+    n = len(windows)
+    masks_full = [(1 << (w - 1)) - 1 for w in windows]
+    start = tuple(masks_full)
+
+    def step(state: tuple[int, ...], served: int) -> tuple[int, ...] | None:
+        new = []
+        for i in range(n):
+            bit = 1 if i == served else 0
+            window_count = bin(state[i]).count("1") + bit
+            if window_count < requirements[i]:
+                return None
+            if windows[i] == 1:
+                new.append(0)
+            else:
+                new.append(((state[i] << 1) | bit) & masks_full[i])
+        return tuple(new)
+
+    color: dict[tuple[int, ...], bool] = {start: False}
+    path: list[tuple[tuple[int, ...], int]] = [(start, -1)]
+    path_index: dict[tuple[int, ...], int] = {start: 0}
+    order = sorted(range(n), key=lambda i: windows[i])
+    stack: list[tuple[tuple[int, ...], int]] = [(start, 0)]
+
+    while stack:
+        state, cursor = stack.pop()
+        if cursor >= n:
+            color[state] = True
+            path.pop()
+            del path_index[state]
+            continue
+        stack.append((state, cursor + 1))
+        served = order[cursor]
+        nxt = step(state, served)
+        if nxt is None:
+            continue
+        if nxt in path_index:
+            cycle_states = path[path_index[nxt] :] + [(nxt, served)]
+            return [chosen for _, chosen in cycle_states[1:]]
+        if nxt in color:
+            continue
+        if len(color) >= budget:
+            raise _BudgetExceeded
+        color[nxt] = False
+        path.append((nxt, served))
+        path_index[nxt] = len(path) - 1
+        stack.append((nxt, 0))
+    return None
+
+
+def _run_search(
+    system: PinwheelSystem, budget: int
+) -> list[int] | None:
+    tasks = system.tasks
+    if all(t.a == 1 for t in tasks):
+        return _search_unit([t.b for t in tasks], budget)
+    return _search_masked(
+        [t.a for t in tasks], [t.b for t in tasks], budget
+    )
+
+
+def is_feasible_exact(
+    system: PinwheelSystem, *, state_budget: int = DEFAULT_STATE_BUDGET
+) -> bool:
+    """Decide feasibility exactly (small instances).
+
+    Returns ``True``/``False`` with certainty; raises
+    :class:`SchedulingError` if the state budget is exhausted first (the
+    answer is then unknown - *not* infeasible).
+    """
+    if system.density > 1:
+        return False
+    try:
+        return _run_search(system, state_budget) is not None
+    except _BudgetExceeded:
+        raise SchedulingError(
+            f"exact search inconclusive: state budget {state_budget} "
+            f"exhausted"
+        ) from None
+
+
+def schedule_exact(
+    system: PinwheelSystem,
+    *,
+    state_budget: int = DEFAULT_STATE_BUDGET,
+    verify: bool = True,
+) -> Schedule:
+    """Construct a cyclic schedule by exhaustive lasso search.
+
+    Raises :class:`SchedulingError` when the instance is infeasible (with a
+    definitive message) or when the budget runs out (inconclusive).
+    """
+    try:
+        cycle = _run_search(system, state_budget)
+    except _BudgetExceeded:
+        raise SchedulingError(
+            f"exact search inconclusive: state budget {state_budget} "
+            f"exhausted"
+        ) from None
+    if cycle is None:
+        raise SchedulingError(
+            f"exact search: {system!r} is infeasible (no cycle in the "
+            f"reachable state graph)"
+        )
+    idents = [t.ident for t in system.tasks]
+    schedule = Schedule(
+        IDLE if index < 0 else idents[index] for index in cycle
+    )
+    if verify:
+        verify_schedule(
+            schedule,
+            [PinwheelCondition(t.ident, t.a, t.b) for t in system.tasks],
+        )
+    return schedule

@@ -1,0 +1,140 @@
+"""Greedy EDF-style pinwheel scheduling with cycle detection.
+
+The heuristic treats a unit-demand pinwheel task ``(1, b)`` as a
+distance-constrained task whose *virtual deadline* is ``b - 1`` slots after
+its last service, and always serves the task with the smallest remaining
+slack (ties: smaller window, then declaration order).  The walk is
+deterministic over a finite state space, so it either misses a deadline
+(failure) or revisits a state; the slice between the two visits is a valid
+cyclic schedule, which is verified before being returned.
+
+General demands ``(a, b)`` are first normalized to ``(1, floor(b / a))``
+via rule R3, which is sound (the normalized condition implies the original)
+but may inflate density; the verification step checks the *original*
+windows regardless.
+
+EDF is not optimal for pinwheel systems (no greedy rule is), but it is
+fast, needs no parameters, and in practice schedules the majority of
+random instances with density well above the reduction schedulers'
+guarantees - a useful portfolio member and a baseline the benchmarks
+compare against.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchedulingError
+from repro.core.schedule import Schedule
+from repro.core.task import PinwheelSystem
+from repro.core.verify import verify_schedule
+from repro.core.conditions import PinwheelCondition
+
+#: Default cap on slots simulated before concluding the walk is stuck.
+DEFAULT_STEP_BUDGET = 1_000_000
+
+
+def schedule_greedy(
+    system: PinwheelSystem,
+    *,
+    step_budget: int = DEFAULT_STEP_BUDGET,
+    verify: bool = True,
+) -> Schedule:
+    """Schedule by deterministic EDF walk + state-recurrence cycle cut.
+
+    Raises
+    ------
+    SchedulingError
+        If a virtual deadline is missed or the step budget is exhausted
+        before a state recurs (for valid inputs the walk must recur within
+        ``prod b_i`` steps, so the budget only bites on huge instances).
+    """
+    tasks = system.tasks
+    if not tasks:
+        raise SchedulingError("cannot schedule an empty system")
+    normalized = [t.normalized() for t in tasks]
+    windows = [t.b for t in normalized]
+    idents = [t.ident for t in normalized]
+    n = len(normalized)
+
+    # Tie-breaking matters when several deadlines align.  No single rule
+    # dominates (EDF is not optimal for pinwheel systems), so the walk is
+    # attempted with a small portfolio of deterministic variants:
+    # rarer-task-first, frequent-task-first, and staggered initial phases
+    # that desynchronize the deadlines of equal windows.
+    variants: list[tuple[int, list[int]]] = [
+        (-1, [0] * n),
+        (+1, [0] * n),
+        (-1, [min(i, windows[i] - 1) for i in range(n)]),
+    ]
+
+    last_error: SchedulingError | None = None
+    for sign, initial in variants:
+        try:
+            return _walk(
+                tasks, windows, idents, sign, initial, step_budget, verify
+            )
+        except SchedulingError as error:
+            last_error = error
+    assert last_error is not None
+    raise last_error
+
+
+def _walk(
+    tasks,
+    windows: list[int],
+    idents: list,
+    sign: int,
+    initial: list[int],
+    step_budget: int,
+    verify: bool,
+) -> Schedule:
+    """One deterministic EDF walk; see :func:`schedule_greedy`."""
+    n = len(windows)
+
+    def pick(since: list[int]) -> int:
+        best = None
+        best_key = None
+        for i in range(n):
+            key = (windows[i] - 1 - since[i], sign * windows[i], i)
+            if best_key is None or key < best_key:
+                best, best_key = i, key
+        assert best is not None
+        return best
+
+    since = list(initial)
+    seen: dict[tuple[int, ...], int] = {tuple(since): 0}
+    owners: list[int] = []
+
+    for step in range(step_budget):
+        chosen = pick(since)
+        owners.append(chosen)
+        for i in range(n):
+            if i == chosen:
+                since[i] = 0
+            else:
+                since[i] += 1
+                if since[i] >= windows[i]:
+                    raise SchedulingError(
+                        f"greedy EDF missed the window of task "
+                        f"{idents[i]!r} (window {windows[i]}, normalized "
+                        f"from ({tasks[i].a}, {tasks[i].b})) at slot "
+                        f"{step}"
+                    )
+        state = tuple(since)
+        if state in seen:
+            start = seen[state]
+            cycle = owners[start : step + 1]
+            schedule = Schedule(idents[index] for index in cycle)
+            if verify:
+                verify_schedule(
+                    schedule,
+                    [
+                        PinwheelCondition(t.ident, t.a, t.b)
+                        for t in tasks
+                    ],
+                )
+            return schedule
+        seen[state] = step + 1
+    raise SchedulingError(
+        f"greedy EDF exhausted its step budget ({step_budget}) without "
+        f"a recurring state"
+    )

@@ -1,0 +1,152 @@
+"""Exact scheduling of *harmonic* (divisibility-chain) pinwheel systems.
+
+A window multiset ``{b_1 <= b_2 <= ... <= b_n}`` is a *divisibility chain*
+when every window divides the next (equivalently: any two windows divide
+one another in some order).  Such systems admit an elegant exact schedule
+by **residue-class allocation**: giving task ``i`` exactly ``a_i`` residue
+classes modulo ``b_i`` yields exactly ``a_i`` service slots in *every*
+window of ``b_i`` consecutive slots - not just aligned windows - because
+every residue class modulo ``b_i`` appears exactly once in any ``b_i``
+consecutive integers.
+
+Classes are allocated hierarchically: the free classes at modulus ``M`` are
+split into ``M' / M`` classes each when moving to the next modulus ``M'``.
+A counting argument shows the allocation succeeds whenever the system
+density is at most 1, which is why the single-number and double-integer
+reduction schedulers (Holte et al.; Chan & Chin) funnel arbitrary systems
+into (trees of) chains.
+
+This module is the workhorse behind ``Sa`` and ``Sx``; it is also useful
+directly when broadcast-file latencies are naturally harmonic (e.g. all
+powers-of-two multiples of a base period).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import SchedulingError, SpecificationError
+from repro.core.schedule import Schedule
+from repro.core.task import PinwheelSystem, PinwheelTask
+from repro.core.verify import verify_schedule
+from repro.core.conditions import PinwheelCondition
+
+
+def is_divisibility_chain(windows: Iterable[int]) -> bool:
+    """Whether the window multiset forms a divisibility chain."""
+    ordered = sorted(set(windows))
+    return all(
+        ordered[i + 1] % ordered[i] == 0 for i in range(len(ordered) - 1)
+    )
+
+
+def allocate_residue_classes(
+    system: PinwheelSystem,
+) -> dict[object, list[tuple[int, int]]]:
+    """Allocate ``(offset, modulus)`` residue classes to each task.
+
+    Requires the windows of ``system`` to form a divisibility chain.  Tasks
+    with window ``b`` receive ``a`` classes modulo ``b``.  Raises
+    :class:`SchedulingError` if the classes run out, which - by the counting
+    argument - can only happen when density exceeds 1.
+
+    Returns a mapping from task identity to its list of classes, suitable
+    for :meth:`repro.core.schedule.Schedule.from_residue_classes`.
+    """
+    tasks = sorted(system.tasks, key=lambda t: t.b)
+    if not tasks:
+        raise SpecificationError("cannot allocate classes for empty system")
+    windows = [t.b for t in tasks]
+    if not is_divisibility_chain(windows):
+        raise SpecificationError(
+            f"windows {sorted(set(windows))} do not form a divisibility chain"
+        )
+
+    # Free residue classes at the current modulus, as offsets.
+    modulus = windows[0]
+    free: list[int] = list(range(modulus))
+    assignments: dict[object, list[tuple[int, int]]] = {}
+
+    for task in tasks:
+        if task.b != modulus:
+            # Refine every free class to the new (larger) modulus.
+            factor = task.b // modulus
+            free = [
+                offset + k * modulus for offset in free for k in range(factor)
+            ]
+            modulus = task.b
+        if len(free) < task.a:
+            raise SchedulingError(
+                f"residue classes exhausted at modulus {modulus}: task "
+                f"{task.ident!r} needs {task.a}, only {len(free)} free "
+                f"(system density {float(system.density):.4f})"
+            )
+        taken, free = free[: task.a], free[task.a :]
+        assignments[task.ident] = [(offset, modulus) for offset in taken]
+    return assignments
+
+
+def schedule_harmonic(
+    system: PinwheelSystem, *, verify: bool = True
+) -> Schedule:
+    """Schedule a divisibility-chain system exactly.
+
+    The cycle length is the largest window.  Succeeds whenever density is
+    at most 1 (and the chain property holds); the output is verified against
+    every task's pinwheel condition before being returned.
+
+    Examples
+    --------
+    >>> from repro.core.task import PinwheelSystem
+    >>> system = PinwheelSystem.from_pairs([(1, 2), (1, 4), (1, 4)])
+    >>> schedule = schedule_harmonic(system)
+    >>> schedule.cycle_length
+    4
+    """
+    if system.density > 1:
+        raise SchedulingError(
+            f"density {float(system.density):.4f} > 1 is infeasible"
+        )
+    assignments = allocate_residue_classes(system)
+    cycle_length = max(t.b for t in system.tasks)
+    schedule = Schedule.from_residue_classes(cycle_length, assignments)
+    if verify:
+        verify_schedule(
+            schedule,
+            [PinwheelCondition(t.ident, t.a, t.b) for t in system.tasks],
+        )
+    return schedule
+
+
+def chain_specializations(windows: Sequence[int], base: int) -> list[int]:
+    """Specialize each window down to the chain ``{base * 2**j}``.
+
+    Returns the specialized windows (same order as input).  Every window
+    must be at least ``base``.
+    """
+    specialized = []
+    for window in windows:
+        if window < base:
+            raise SpecificationError(
+                f"window {window} smaller than chain base {base}"
+            )
+        value = base
+        while value * 2 <= window:
+            value *= 2
+        specialized.append(value)
+    return specialized
+
+
+def specialize_to_chain(
+    system: PinwheelSystem, base: int
+) -> PinwheelSystem:
+    """Return the system with windows specialized to ``{base * 2**j}``.
+
+    Specialization shrinks windows, so scheduling the returned system
+    satisfies the original (rule R0).
+    """
+    new_windows = chain_specializations([t.b for t in system.tasks], base)
+    return PinwheelSystem(
+        PinwheelTask(t.ident, t.a, w)
+        for t, w in zip(system.tasks, new_windows)
+    )

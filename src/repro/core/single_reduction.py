@@ -1,0 +1,132 @@
+"""Single-number reduction scheduler ``Sa`` (Holte et al. [19]).
+
+The idea behind the original pinwheel scheduler: pick a *base* ``x`` and
+specialize every window ``b`` down to the largest ``x * 2**j <= b``.  The
+specialized windows form a divisibility chain, which
+:mod:`repro.core.harmonic` schedules exactly whenever the specialized
+density is at most 1.  Since specialization at most halves a window
+(``b' > b / 2``), the specialized density is strictly less than twice the
+original - so **any system with density at most 1/2 is schedulable** this
+way, the classical Holte et al. guarantee the paper cites in Section 3.1.
+
+Beyond the textbook ``x = min_i b_i`` choice, :func:`best_single_base`
+searches all candidate bases of the form ``b_i / 2**j`` (the only places
+the specialized density can change) and keeps the best, which schedules
+many systems well above density 1/2 in practice.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable
+
+from repro.errors import SchedulingError, SpecificationError
+from repro.core.harmonic import schedule_harmonic, specialize_to_chain
+from repro.core.schedule import Schedule
+from repro.core.task import PinwheelSystem
+from repro.core.verify import verify_schedule
+from repro.core.conditions import PinwheelCondition
+
+#: Density below which ``Sa`` is guaranteed to succeed.
+GUARANTEED_DENSITY = Fraction(1, 2)
+
+
+def candidate_bases(windows: Iterable[int]) -> list[int]:
+    """All bases at which some window specializes exactly.
+
+    For base ``x``, window ``b`` maps to ``x * 2**floor(log2(b / x))``; as
+    ``x`` sweeps downward the image changes only when ``x`` passes some
+    ``b_i / 2**j``.  It therefore suffices to try integer candidates
+    ``b_i >> j`` no larger than the smallest window.
+    """
+    window_list = list(windows)
+    if not window_list:
+        raise SpecificationError("no windows supplied")
+    smallest = min(window_list)
+    bases: set[int] = set()
+    for window in window_list:
+        value = window
+        while value >= 1:
+            if value <= smallest:
+                bases.add(value)
+            value //= 2
+    return sorted(bases, reverse=True)
+
+
+def specialize_single(system: PinwheelSystem, base: int) -> PinwheelSystem:
+    """Specialize every window to the chain ``{base * 2**j}``.
+
+    Exposed separately so benches can inspect the density inflation that
+    the reduction causes.
+    """
+    return specialize_to_chain(system, base)
+
+
+def best_single_base(system: PinwheelSystem) -> tuple[int, Fraction]:
+    """The base minimizing specialized density, with that density.
+
+    Bases for which some window would shrink below its task's requirement
+    (making the specialized task unsatisfiable) are skipped.
+    """
+    best: tuple[int, Fraction] | None = None
+    for base in candidate_bases(t.b for t in system.tasks):
+        try:
+            density = specialize_single(system, base).density
+        except SpecificationError:
+            continue
+        if best is None or density < best[1]:
+            best = (base, density)
+    if best is None:
+        raise SchedulingError(
+            "single-number reduction: no base yields a satisfiable "
+            "specialization (some window shrinks below its requirement)"
+        )
+    return best
+
+
+def schedule_single_reduction(
+    system: PinwheelSystem, *, base: int | None = None, verify: bool = True
+) -> Schedule:
+    """Schedule via single-number reduction.
+
+    Parameters
+    ----------
+    system:
+        The pinwheel system.  Guaranteed to succeed when density <= 1/2;
+        often succeeds above that thanks to the base search.
+    base:
+        Force a specific chain base (otherwise the best base is searched).
+    verify:
+        Verify the schedule against the *original* windows before returning
+        (the specialized windows are strictly stronger, so this should
+        never fail; it guards against implementation bugs).
+
+    Raises
+    ------
+    SchedulingError
+        If no candidate base yields a specialized density <= 1.
+    """
+    if base is not None:
+        try:
+            chosen, density = base, specialize_single(system, base).density
+        except SpecificationError as error:
+            raise SchedulingError(
+                f"single-number reduction: base {base} is unusable: {error}"
+            ) from error
+    else:
+        chosen, density = best_single_base(system)
+    if density > 1:
+        raise SchedulingError(
+            f"single-number reduction failed: best specialized density "
+            f"{float(density):.4f} > 1 (original "
+            f"{float(system.density):.4f}; guarantee holds only below "
+            f"{float(GUARANTEED_DENSITY)})"
+        )
+    specialized = specialize_single(system, chosen)
+    schedule = schedule_harmonic(specialized, verify=False)
+    if verify:
+        verify_schedule(
+            schedule,
+            [PinwheelCondition(t.ident, t.a, t.b) for t in system.tasks],
+        )
+    return schedule

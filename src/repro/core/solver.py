@@ -1,0 +1,143 @@
+"""Portfolio front-end for pinwheel scheduling.
+
+``solve`` is the one function most callers need: it routes a pinwheel
+system through the library's schedulers in a sensible order, verifies the
+winning schedule against the *original* conditions, and reports which
+method succeeded (benches use the report to compare methods).
+
+Routing:
+
+1. density > 1 - provably infeasible, rejected immediately;
+2. one task - trivial (serve every slot);
+3. two tasks - the complete balanced-word scheduler;
+4. three tasks - the Lin & Lin portfolio (exact-first);
+5. otherwise - double-integer reduction (Chan & Chin operating point,
+   density <= 7/10), then single-number reduction, then greedy EDF, then -
+   for small instances - the exact search as a last resort.
+
+Every returned schedule has been verified; a
+:class:`repro.errors.SchedulingError` from ``solve`` means "this portfolio
+gave up", never "unverified result".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InfeasibleError, SchedulingError
+from repro.core.conditions import NiceConjunct, PinwheelCondition
+from repro.core.double_reduction import schedule_double_reduction
+from repro.core.exact import schedule_exact
+from repro.core.greedy import schedule_greedy
+from repro.core.schedule import Schedule
+from repro.core.single_reduction import schedule_single_reduction
+from repro.core.task import PinwheelSystem
+from repro.core.three_task import schedule_three_tasks
+from repro.core.two_task import schedule_two_tasks
+from repro.core.verify import verify_schedule
+
+#: Instances whose unit-demand state space is below this may try exact.
+_EXACT_PRODUCT_LIMIT = 2_000_000
+
+
+@dataclass(frozen=True)
+class SolveReport:
+    """Outcome of :func:`solve`.
+
+    Attributes
+    ----------
+    schedule:
+        The verified cyclic schedule.
+    method:
+        Name of the scheduler that produced it.
+    attempts:
+        ``(method, outcome)`` pairs in the order tried; the last entry is
+        the winner.
+    """
+
+    schedule: Schedule
+    method: str
+    attempts: tuple[tuple[str, str], ...]
+
+    def __str__(self) -> str:
+        return (
+            f"solved by {self.method} "
+            f"(cycle length {self.schedule.cycle_length}, "
+            f"{len(self.attempts)} attempt(s))"
+        )
+
+
+def _methods_for(system: PinwheelSystem) -> list[tuple[str, object]]:
+    if len(system) == 2:
+        return [("two-task", schedule_two_tasks)]
+    if len(system) == 3:
+        return [("three-task", schedule_three_tasks)]
+    methods: list[tuple[str, object]] = [
+        ("double-reduction", schedule_double_reduction),
+        ("single-reduction", schedule_single_reduction),
+        ("greedy", schedule_greedy),
+    ]
+    product = 1
+    for task in system.tasks:
+        product *= task.normalized().b
+    if all(t.a == 1 for t in system.tasks) and product <= _EXACT_PRODUCT_LIMIT:
+        methods.append(("exact", schedule_exact))
+    return methods
+
+
+def solve(system: PinwheelSystem, *, verify: bool = True) -> SolveReport:
+    """Schedule ``system`` with the portfolio, returning a report.
+
+    Raises
+    ------
+    InfeasibleError
+        When density exceeds 1, or a complete sub-solver proves
+        infeasibility.
+    SchedulingError
+        When every portfolio member fails (instance may or may not be
+        feasible).
+    """
+    if len(system) == 0:
+        raise SchedulingError("cannot schedule an empty system")
+    if system.density > 1:
+        raise InfeasibleError(
+            f"system density {float(system.density):.4f} exceeds 1",
+            density=float(system.density),
+        )
+
+    if len(system) == 1:
+        task = system.tasks[0]
+        schedule = Schedule([task.ident])
+        if verify:
+            verify_schedule(
+                schedule, [PinwheelCondition(task.ident, task.a, task.b)]
+            )
+        return SolveReport(schedule, "trivial", (("trivial", "ok"),))
+
+    attempts: list[tuple[str, str]] = []
+    for name, scheduler in _methods_for(system):
+        try:
+            schedule = scheduler(system, verify=verify)
+        except InfeasibleError:
+            raise
+        except SchedulingError as error:
+            attempts.append((name, f"failed: {error}"))
+            continue
+        attempts.append((name, "ok"))
+        return SolveReport(schedule, name, tuple(attempts))
+    raise SchedulingError(
+        "portfolio exhausted: "
+        + "; ".join(f"{name} -> {outcome}" for name, outcome in attempts)
+    )
+
+
+def solve_nice_conjunct(
+    conjunct: NiceConjunct, *, verify: bool = True
+) -> SolveReport:
+    """Schedule the task system of a nice conjunct.
+
+    The schedule's owners are the conjunct's (possibly virtual) task keys;
+    use :func:`repro.core.verify.project_to_files` to fold helpers back
+    onto files.
+    """
+    return solve(conjunct.as_system(), verify=verify)

@@ -1,0 +1,186 @@
+"""Pinwheel task model.
+
+A *pinwheel task* (Holte et al. [19]) is a pair of positive integers
+``(a, b)`` attached to an identity ``ident``: the task must be allocated the
+shared resource (here: the broadcast channel) for at least ``a`` out of
+every ``b`` consecutive time slots.  ``a`` is the *computation requirement*
+(for broadcast disks: the number of blocks a client must see) and ``b`` the
+*window* (the latency budget measured in slots).
+
+The *density* of a task is ``a / b``; the density of a system is the sum of
+its tasks' densities.  Density at most one is necessary for schedulability
+but - famously - not sufficient (Example 1 of the paper exhibits the
+three-task family ``{(1,2), (1,3), (1,n)}`` that is infeasible for every
+finite ``n``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Hashable, Iterable, Iterator
+
+from repro.errors import SpecificationError
+
+#: Type alias for task identities.  Anything hashable works; broadcast-disk
+#: code uses file names (strings) and the algebra uses virtual-task tuples.
+TaskKey = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class PinwheelTask:
+    """A single pinwheel task ``(ident, a, b)``.
+
+    Parameters
+    ----------
+    ident:
+        Task identity.  Must be hashable and unique within a system.
+    a:
+        Computation requirement - slots needed per window.  ``a >= 1``.
+    b:
+        Window size in slots.  ``b >= a`` (a task demanding more slots than
+        its window can hold is unsatisfiable and rejected eagerly).
+    """
+
+    ident: TaskKey
+    a: int
+    b: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.a, int) or not isinstance(self.b, int):
+            raise SpecificationError(
+                f"pinwheel task parameters must be integers, "
+                f"got a={self.a!r}, b={self.b!r}"
+            )
+        if self.a < 1:
+            raise SpecificationError(
+                f"task {self.ident!r}: requirement a={self.a} must be >= 1"
+            )
+        if self.b < self.a:
+            raise SpecificationError(
+                f"task {self.ident!r}: window b={self.b} smaller than "
+                f"requirement a={self.a} is unsatisfiable"
+            )
+
+    @property
+    def density(self) -> Fraction:
+        """Exact density ``a / b`` as a :class:`fractions.Fraction`."""
+        return Fraction(self.a, self.b)
+
+    def normalized(self) -> "PinwheelTask":
+        """Reduce via rule R3 to an equivalent-or-stronger unit-demand task.
+
+        ``pc(a, b)`` is implied by ``pc(1, floor(b / a))`` (paper rule R3),
+        so scheduling the returned task suffices to satisfy this one.  The
+        reduction may increase density (by strictly less than a factor of
+        ``1 + a / b``); schedulers that only handle unit demands use it.
+        """
+        return PinwheelTask(self.ident, 1, self.b // self.a)
+
+    def with_window(self, new_b: int) -> "PinwheelTask":
+        """Return a copy whose window is *specialized* down to ``new_b``.
+
+        Specializing (shrinking) the window only strengthens the constraint
+        (rule R0 with ``x = 0`` read right-to-left), so a schedule for the
+        specialized task satisfies the original.  Growing the window is
+        rejected because it would weaken the constraint.
+        """
+        if new_b > self.b:
+            raise SpecificationError(
+                f"task {self.ident!r}: cannot specialize window {self.b} "
+                f"up to {new_b}; specialization must shrink windows"
+            )
+        return PinwheelTask(self.ident, self.a, new_b)
+
+    def __str__(self) -> str:
+        return f"({self.ident}; {self.a}, {self.b})"
+
+
+class PinwheelSystem:
+    """An immutable collection of pinwheel tasks sharing one resource.
+
+    Iteration order is the construction order.  Identities must be unique;
+    the system computes exact densities with :class:`fractions.Fraction` so
+    threshold comparisons (e.g. against 7/10) are never subject to float
+    rounding.
+    """
+
+    __slots__ = ("_tasks", "_by_ident")
+
+    def __init__(self, tasks: Iterable[PinwheelTask]) -> None:
+        task_list = list(tasks)
+        by_ident: dict[TaskKey, PinwheelTask] = {}
+        for task in task_list:
+            if not isinstance(task, PinwheelTask):
+                raise SpecificationError(
+                    f"PinwheelSystem takes PinwheelTask items, got {task!r}"
+                )
+            if task.ident in by_ident:
+                raise SpecificationError(
+                    f"duplicate task identity {task.ident!r}"
+                )
+            by_ident[task.ident] = task
+        self._tasks: tuple[PinwheelTask, ...] = tuple(task_list)
+        self._by_ident = by_ident
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Iterable[tuple[int, int]], *, start_ident: int = 1
+    ) -> "PinwheelSystem":
+        """Build a system from ``(a, b)`` pairs with identities 1, 2, ...
+
+        Mirrors the paper's notation where tasks are numbered from 1 (slot
+        owner 0 denotes an idle slot).
+        """
+        tasks = [
+            PinwheelTask(ident, a, b)
+            for ident, (a, b) in enumerate(pairs, start=start_ident)
+        ]
+        return cls(tasks)
+
+    @property
+    def tasks(self) -> tuple[PinwheelTask, ...]:
+        """The tasks, in construction order."""
+        return self._tasks
+
+    @property
+    def density(self) -> Fraction:
+        """Exact system density: the sum of task densities."""
+        return sum((t.density for t in self._tasks), Fraction(0))
+
+    def task(self, ident: TaskKey) -> PinwheelTask:
+        """Look a task up by identity (raises ``KeyError`` if absent)."""
+        return self._by_ident[ident]
+
+    def idents(self) -> tuple[TaskKey, ...]:
+        """All task identities, in construction order."""
+        return tuple(t.ident for t in self._tasks)
+
+    def normalized(self) -> "PinwheelSystem":
+        """Apply rule R3 to every task (see :meth:`PinwheelTask.normalized`)."""
+        return PinwheelSystem(t.normalized() for t in self._tasks)
+
+    def is_density_feasible(self) -> bool:
+        """Whether density <= 1 (necessary, not sufficient, for feasibility)."""
+        return self.density <= 1
+
+    def __iter__(self) -> Iterator[PinwheelTask]:
+        return iter(self._tasks)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, ident: TaskKey) -> bool:
+        return ident in self._by_ident
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PinwheelSystem):
+            return NotImplemented
+        return self._tasks == other._tasks
+
+    def __hash__(self) -> int:
+        return hash(self._tasks)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(t) for t in self._tasks)
+        return f"PinwheelSystem({{{inner}}}, density={float(self.density):.4f})"

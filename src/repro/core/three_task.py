@@ -1,0 +1,104 @@
+"""Three-task pinwheel scheduling (after Lin & Lin [27]).
+
+Lin & Lin designed an algorithm that schedules every three-task pinwheel
+system with density at most 5/6, and that bound is tight: the paper's
+Example 1 exhibits ``{(1, 2), (1, 3), (1, n)}`` - density ``5/6 + 1/n`` -
+which is infeasible for every finite ``n`` (slots alternate between tasks
+1 and 2 forever, starving task 3).
+
+We implement the same *contract* as a verified portfolio (see DESIGN.md,
+Substitutions): an exact lasso search decides small instances outright,
+and the reduction schedulers cover large-window instances.  The exact
+component makes this module *complete* (never wrong, in either direction)
+whenever the state budget suffices - which includes every witness family
+instance used in the paper and the test suite.
+
+The density-5/6 frontier is validated empirically in
+``benchmarks/bench_scheduler_thresholds.py``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import InfeasibleError, SchedulingError, SpecificationError
+from repro.core.double_reduction import schedule_double_reduction
+from repro.core.exact import is_feasible_exact, schedule_exact
+from repro.core.greedy import schedule_greedy
+from repro.core.schedule import Schedule
+from repro.core.single_reduction import schedule_single_reduction
+from repro.core.task import PinwheelSystem
+
+#: Lin & Lin's guaranteed density bound for three tasks.
+LIN_LIN_BOUND = Fraction(5, 6)
+
+#: Upper bound on ``prod b_i`` for which the exact search is attempted.
+_EXACT_PRODUCT_LIMIT = 3_000_000
+
+
+def _exact_is_tractable(system: PinwheelSystem) -> bool:
+    if all(t.a == 1 for t in system.tasks):
+        product = 1
+        for task in system.tasks:
+            product *= task.b
+        return product <= _EXACT_PRODUCT_LIMIT
+    # Masked search: 2**(sum of windows) states - only tiny windows.
+    return sum(t.b for t in system.tasks) <= 42
+
+
+def schedule_three_tasks(
+    system: PinwheelSystem, *, verify: bool = True
+) -> Schedule:
+    """Schedule a three-task system.
+
+    Complete (schedules or proves infeasible) when the exact search is
+    tractable; otherwise falls back to the reduction schedulers and greedy
+    EDF, raising :class:`SchedulingError` if all fail.
+
+    Raises
+    ------
+    InfeasibleError
+        If density exceeds 1, or the exact search proves infeasibility.
+    """
+    if len(system) != 3:
+        raise SpecificationError(
+            f"schedule_three_tasks needs exactly 3 tasks, got {len(system)}"
+        )
+    if system.density > 1:
+        raise InfeasibleError(
+            f"three-task system with density {float(system.density):.4f} "
+            f"> 1 is infeasible",
+            density=float(system.density),
+        )
+
+    failures: list[str] = []
+    if _exact_is_tractable(system):
+        try:
+            if not is_feasible_exact(system):
+                raise InfeasibleError(
+                    f"three-task system {system!r} proven infeasible by "
+                    f"exact search",
+                    density=float(system.density),
+                )
+            return schedule_exact(system, verify=verify)
+        except SchedulingError as error:  # budget - fall through
+            failures.append(f"exact: {error}")
+
+    for name, scheduler in (
+        ("double-reduction", schedule_double_reduction),
+        ("single-reduction", schedule_single_reduction),
+        ("greedy", schedule_greedy),
+    ):
+        try:
+            return scheduler(system, verify=verify)
+        except SchedulingError as error:
+            failures.append(f"{name}: {error}")
+
+    hint = (
+        " (density exceeds the Lin & Lin 5/6 guarantee)"
+        if system.density > LIN_LIN_BOUND
+        else ""
+    )
+    raise SchedulingError(
+        f"three-task portfolio failed{hint}: " + "; ".join(failures)
+    )

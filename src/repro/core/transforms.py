@@ -1,0 +1,243 @@
+"""Transformation rules TR1/TR2 and the Section 4.2 selection strategy.
+
+The generalized broadcast-disk designer must turn each broadcast-file
+condition ``bc(i, m, d)`` into a *nice* conjunct of pinwheel conditions -
+one condition per (possibly virtual) task - of minimal density, because the
+Chan & Chin scheduler's test is density-based.  The paper conjectures the
+optimal conversion is NP-hard and gives heuristics; we implement all of
+them and pick the best per file:
+
+* **TR1**: the single unit-demand condition
+  ``pc(i, 1, min_j floor(d(j) / (m + j)))``;
+* **TR2**: ``pc(i, m, d(0))`` plus one unit helper
+  ``pc(i_j, 1, d(j))`` per fault level, each mapped onto file ``i``;
+* **TR2-reduced** (the Example 4 manipulation): reduce the base to
+  ``pc(m/g, d(0)/g)`` with ``g = gcd(m, d(0))`` (stronger by R1, same
+  density) and derive each fault level with rule R5, whose helpers are
+  cheaper than TR2's;
+* **merge** (the Examples 5/6 simplification): search for one single
+  condition that rule-implies every expanded conjunct, via
+  :func:`repro.core.algebra.pc_implies`.
+
+Every candidate is *sound by construction* - scheduling it satisfies the
+original ``bc`` - and the selection simply takes the minimum density.
+``benchmarks/bench_examples_density.py`` replays Examples 2-6 through this
+module and compares against the paper's reported densities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.errors import SpecificationError
+from repro.core.algebra import pc_implies, rule_r5
+from repro.core.conditions import (
+    BroadcastCondition,
+    ConditionKey,
+    NiceConjunct,
+    PinwheelCondition,
+    virtual_key,
+)
+
+
+@dataclass(frozen=True)
+class TransformCandidate:
+    """A nice conjunct implying a ``bc`` condition, with provenance."""
+
+    strategy: str
+    conjunct: NiceConjunct
+
+    @property
+    def density(self) -> Fraction:
+        return self.conjunct.density
+
+    def __str__(self) -> str:
+        return (
+            f"{self.strategy}: {self.conjunct} "
+            f"(density {float(self.density):.4f})"
+        )
+
+
+def normalized_vector(condition: BroadcastCondition) -> BroadcastCondition:
+    """Tighten the latency vector to be non-decreasing.
+
+    Replacing ``d(j)`` by ``min(d(j), d(j+1), ..., d(r))`` only strengthens
+    the condition (smaller windows), so any program for the result
+    satisfies the original; and a non-decreasing vector is what TR2's
+    stacking argument needs.  Vectors that are already non-decreasing (the
+    model's natural case) are returned unchanged.
+    """
+    tightened = list(condition.d)
+    for j in range(len(tightened) - 2, -1, -1):
+        tightened[j] = min(tightened[j], tightened[j + 1])
+    if tuple(tightened) == condition.d:
+        return condition
+    return BroadcastCondition(condition.file, condition.m, tightened)
+
+
+def tr1(condition: BroadcastCondition) -> TransformCandidate:
+    """Transformation rule TR1: one unit-demand condition.
+
+    ``bc(i, m, d) <= pc(i, 1, min_j floor(d(j) / (m + j)))``.
+    Always applicable (``bc`` validation guarantees the window >= 1).
+    """
+    window = min(
+        latency // (condition.m + j) for j, latency in enumerate(condition.d)
+    )
+    cond = PinwheelCondition(condition.file, 1, window)
+    return TransformCandidate("TR1", NiceConjunct((cond,), provenance="TR1"))
+
+
+def tr2(condition: BroadcastCondition) -> TransformCandidate:
+    """Transformation rule TR2: base condition plus unit helpers.
+
+    ``bc(i, m, d) <= pc(i, m, d(0)) ^ AND_j pc(i_j, 1, d(j)) ^ map(i_j, i)``.
+    """
+    tight = normalized_vector(condition)
+    base = PinwheelCondition(tight.file, tight.m, tight.d[0])
+    conditions = [base]
+    mapping: dict[ConditionKey, ConditionKey] = {}
+    for j in range(1, len(tight.d)):
+        helper_task = virtual_key(tight.file, j)
+        conditions.append(PinwheelCondition(helper_task, 1, tight.d[j]))
+        mapping[helper_task] = tight.file
+    return TransformCandidate(
+        "TR2", NiceConjunct(tuple(conditions), mapping, provenance="TR2")
+    )
+
+
+def tr2_reduced(condition: BroadcastCondition) -> TransformCandidate:
+    """TR2 with an R1-reduced base and R5-derived helpers (Example 4).
+
+    The base ``pc(m, d(0))`` is strengthened - at unchanged density - to
+    ``pc(m/g, d(0)/g)`` with ``g = gcd(m, d(0))``.  Each fault level ``j``
+    is then derived through rule R5, whose helper ``pc(x, n * d(0)/g)``
+    is often much lighter than TR2's ``pc(1, d(j))`` (and absent entirely
+    when the reduced base already covers the level).
+    """
+    tight = normalized_vector(condition)
+    g = math.gcd(tight.m, tight.d[0])
+    base = PinwheelCondition(tight.file, tight.m // g, tight.d[0] // g)
+    conditions = [base]
+    mapping: dict[ConditionKey, ConditionKey] = {}
+    for j in range(1, len(tight.d)):
+        target = PinwheelCondition(tight.file, tight.m + j, tight.d[j])
+        helper, helper_map = rule_r5(base, target, helper_index=j)
+        if helper is not None:
+            conditions.append(helper)
+            mapping.update(helper_map)
+    return TransformCandidate(
+        "TR2-reduced",
+        NiceConjunct(tuple(conditions), mapping, provenance="TR2-reduced"),
+    )
+
+
+def merge_single(condition: BroadcastCondition) -> TransformCandidate | None:
+    """Search for one condition implying the whole Equation 3 expansion.
+
+    Candidates are the gcd-reduced forms of each expanded conjunct (the
+    reduction is density-free strengthening by R1).  Returns the lightest
+    candidate that rule-implies every conjunct, or ``None`` when no single
+    condition works.  Reproduces the Example 5 and Example 6 conversions.
+    """
+    expanded = condition.expand()
+    best: PinwheelCondition | None = None
+    for cond in expanded:
+        g = math.gcd(cond.a, cond.b)
+        candidate = PinwheelCondition(cond.task, cond.a // g, cond.b // g)
+        if all(pc_implies(candidate, other) for other in expanded):
+            if best is None or candidate.density < best.density:
+                best = candidate
+    if best is None:
+        return None
+    return TransformCandidate(
+        "merge", NiceConjunct((best,), provenance="merge")
+    )
+
+
+#: All per-file strategies, in report order.
+_STRATEGIES = (merge_single, tr1, tr2, tr2_reduced)
+
+
+def all_candidates(
+    condition: BroadcastCondition,
+) -> list[TransformCandidate]:
+    """Every applicable strategy's candidate, in report order."""
+    results = []
+    for strategy in _STRATEGIES:
+        candidate = strategy(condition)
+        if candidate is not None:
+            results.append(candidate)
+    return results
+
+
+def best_nice_conjunct(condition: BroadcastCondition) -> TransformCandidate:
+    """The Section 4.2 strategy: evaluate all candidates, keep the lightest.
+
+    Ties favour fewer conditions (cheaper to schedule), then the strategy
+    order ``merge, TR1, TR2, TR2-reduced``.
+    """
+    candidates = all_candidates(condition)
+    if not candidates:
+        raise SpecificationError(
+            f"no transformation strategy applies to {condition}"
+        )
+    return min(
+        candidates, key=lambda c: (c.density, len(c.conjunct.conditions))
+    )
+
+
+def design_nice_system(
+    conditions: Iterable[BroadcastCondition],
+) -> tuple[NiceConjunct, list[TransformCandidate]]:
+    """Convert a whole broadcast-file system to one nice conjunct.
+
+    Each file is converted independently with :func:`best_nice_conjunct`;
+    the per-file conjuncts (over disjoint task keys) are merged.  Returns
+    the combined conjunct and the chosen per-file candidates, so callers
+    can report per-file densities and provenance.
+
+    Raises
+    ------
+    SpecificationError
+        If two files share a key (merging would not be nice).
+    """
+    condition_list = list(conditions)
+    files = [c.file for c in condition_list]
+    if len(set(files)) != len(files):
+        raise SpecificationError(f"duplicate file keys in {files!r}")
+    chosen: list[TransformCandidate] = []
+    combined: NiceConjunct | None = None
+    for condition in condition_list:
+        candidate = best_nice_conjunct(condition)
+        chosen.append(candidate)
+        combined = (
+            candidate.conjunct
+            if combined is None
+            else combined.merge(candidate.conjunct)
+        )
+    if combined is None:
+        raise SpecificationError("no broadcast conditions supplied")
+    return combined, chosen
+
+
+def density_report(
+    condition: BroadcastCondition,
+) -> list[tuple[str, Fraction]]:
+    """``(strategy, density)`` rows for every candidate plus the bound.
+
+    Convenience for the Examples 2-6 bench: the first row is the density
+    lower bound ``max_j (m + j) / d(j)`` against which the paper measures
+    each transformation.
+    """
+    rows: list[tuple[str, Fraction]] = [
+        ("lower-bound", condition.density_lower_bound)
+    ]
+    rows.extend(
+        (candidate.strategy, candidate.density)
+        for candidate in all_candidates(condition)
+    )
+    return rows

@@ -1,0 +1,95 @@
+"""Two-task pinwheel scheduling: density <= 1 is sufficient (Holte et al.).
+
+The paper cites Holte et al. [20] for the fact that *any* two-task pinwheel
+system with density at most one is schedulable.  We give a constructive
+proof via **balanced (mechanical/Sturmian) words**:
+
+Let the tasks be ``(a1, b1)`` and ``(a2, b2)`` with
+``a1/b1 + a2/b2 <= 1``, and let ``L = lcm(b1, b2)``.  Place task 1 on the
+slots where the mechanical word of slope ``rho = k1 / L`` ticks, with
+``k1 = a1 * L / b1`` (an integer since ``b1 | L``)::
+
+    task 1 owns slot t  iff  floor((t + 1) * k1 / L) > floor(t * k1 / L)
+
+and give task 2 every remaining slot.  Mechanical words are *balanced*:
+every window of ``w`` slots contains ``floor(w * rho)`` or
+``ceil(w * rho)`` ticks.  Hence:
+
+* windows of ``b1`` contain at least ``floor(b1 * k1 / L) = a1`` task-1
+  slots (exact because ``b1 * k1 / L = a1``), and
+* windows of ``b2`` contain at least ``b2 - ceil(b2 * k1 / L)`` task-2
+  slots, and ``ceil(b2 * a1 / b1) <= b2 - a2`` follows from density <= 1
+  because ``b2 - a2`` is an integer.
+
+Density greater than one is infeasible for any system, so this scheduler
+is *complete* for two tasks - the only task count for which a density
+threshold of exactly 1 is achievable (three tasks already drop to 5/6).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import InfeasibleError, SpecificationError
+from repro.core.schedule import Schedule
+from repro.core.task import PinwheelSystem
+from repro.core.verify import verify_schedule
+from repro.core.conditions import PinwheelCondition
+
+
+def mechanical_word(ticks: int, length: int) -> list[bool]:
+    """One period of the mechanical word with ``ticks`` ones in ``length``.
+
+    Slot ``t`` is a tick iff ``floor((t+1) * ticks / length)`` exceeds
+    ``floor(t * ticks / length)``.  The result is balanced: every window of
+    ``w`` consecutive slots (cyclically) contains ``floor(w * ticks /
+    length)`` or ``ceil(w * ticks / length)`` ticks.
+    """
+    if not 0 <= ticks <= length:
+        raise SpecificationError(
+            f"ticks={ticks} must lie in [0, length={length}]"
+        )
+    return [
+        (t + 1) * ticks // length > t * ticks // length
+        for t in range(length)
+    ]
+
+
+def schedule_two_tasks(
+    system: PinwheelSystem, *, verify: bool = True
+) -> Schedule:
+    """Schedule a two-task system; complete for density <= 1.
+
+    Raises
+    ------
+    InfeasibleError
+        If density exceeds 1 (provably infeasible).
+    SpecificationError
+        If the system does not have exactly two tasks.
+    """
+    if len(system) != 2:
+        raise SpecificationError(
+            f"schedule_two_tasks needs exactly 2 tasks, got {len(system)}"
+        )
+    if system.density > 1:
+        raise InfeasibleError(
+            f"two-task system with density {float(system.density):.4f} > 1 "
+            f"is infeasible",
+            density=float(system.density),
+        )
+    first, second = system.tasks
+    cycle_length = math.lcm(first.b, second.b)
+    ticks = first.a * cycle_length // first.b
+    word = mechanical_word(ticks, cycle_length)
+    schedule = Schedule(
+        first.ident if tick else second.ident for tick in word
+    )
+    if verify:
+        verify_schedule(
+            schedule,
+            [
+                PinwheelCondition(first.ident, first.a, first.b),
+                PinwheelCondition(second.ident, second.a, second.b),
+            ],
+        )
+    return schedule

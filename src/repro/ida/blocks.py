@@ -1,0 +1,164 @@
+"""Self-identifying blocks and their wire codec.
+
+The paper assumes "broadcasted blocks are self-identifying": each block
+carries (1) the data item it belongs to and (2) its sequence number
+relative to the item's dispersed blocks ("this is block 4 out of 5"), so
+clients can relate blocks to objects and pick the right reconstruction
+matrix.  :class:`Block` models exactly that header plus the payload; the
+codec frames it for a byte-oriented channel with a CRC so corrupted frames
+are *detected* (a detected-bad block is what the fault models in
+:mod:`repro.sim.faults` drop).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import BlockCodecError, DispersalError
+
+#: Frame magic: identifies AIDA frames on the wire.
+MAGIC = b"AIDA"
+
+#: Codec version byte.
+VERSION = 1
+
+_HEADER = struct.Struct(">4sBHHHIQI")  # magic, ver, index, m, N, orig_len,
+#                                        payload_len is the Q? see encode()
+
+
+@dataclass(frozen=True, slots=True)
+class Block:
+    """One dispersed block of a broadcast file.
+
+    Attributes
+    ----------
+    file_id:
+        Identity of the data item (the paper's "object Z").
+    index:
+        This block's row index in the dispersal matrix, ``0 <= index < n``.
+    m:
+        Dispersal level: any ``m`` distinct blocks reconstruct the file.
+    n_total:
+        Total number of distinct dispersed blocks that exist (``N``).
+    original_length:
+        Byte length of the file before padding, so reconstruction can trim.
+    payload:
+        The block's bytes (``ceil(original_length / m)`` after padding).
+    systematic:
+        Whether the dispersal matrix was the systematic variant (first
+        ``m`` rows = identity); reconstruction must invert the matching
+        family, so the flag travels with every block.
+    """
+
+    file_id: str
+    index: int
+    m: int
+    n_total: int
+    original_length: int
+    payload: bytes
+    systematic: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < self.n_total:
+            raise DispersalError(
+                f"block index {self.index} out of range [0, {self.n_total})"
+            )
+        if self.m < 1 or self.n_total < self.m:
+            raise DispersalError(
+                f"invalid dispersal parameters m={self.m}, N={self.n_total}"
+            )
+        if self.original_length < 0:
+            raise DispersalError(
+                f"original_length must be >= 0: {self.original_length}"
+            )
+
+    @property
+    def sequence_label(self) -> str:
+        """Human-readable "block i+1 out of N" label, as in the paper."""
+        return (
+            f"block {self.index + 1} out of {self.n_total} "
+            f"of object {self.file_id}"
+        )
+
+
+def encode_block(block: Block) -> bytes:
+    """Frame a block for the wire: header, file id, payload, CRC32.
+
+    Layout (big-endian)::
+
+        4s  magic "AIDA"
+        B   version
+        H   index
+        H   m
+        H   n_total
+        I   original_length
+        Q   flags (bit 0: systematic dispersal matrix)
+        I   crc32 over header fields (before the CRC) and the body
+        H   file_id length | file_id bytes | payload
+
+    The CRC covers the header prefix as well as the body, so corruption
+    of *any* field - index, dispersal parameters, payload - is detected
+    and surfaces as :class:`BlockCodecError` rather than a half-decoded
+    block.
+    """
+    file_bytes = block.file_id.encode("utf-8")
+    if len(file_bytes) > 0xFFFF:
+        raise BlockCodecError("file_id too long to encode")
+    body = struct.pack(">H", len(file_bytes)) + file_bytes + block.payload
+    prefix = struct.pack(
+        ">4sBHHHIQ",
+        MAGIC,
+        VERSION,
+        block.index,
+        block.m,
+        block.n_total,
+        block.original_length,
+        1 if block.systematic else 0,
+    )
+    crc = zlib.crc32(prefix + body) & 0xFFFFFFFF
+    return prefix + struct.pack(">I", crc) + body
+
+
+def decode_block(frame: bytes) -> Block:
+    """Decode a wire frame back into a :class:`Block`.
+
+    Raises :class:`BlockCodecError` on bad magic, short frames, version
+    mismatch, or CRC failure - the conditions a client treats as "the
+    block I tried to fetch was clobbered".
+    """
+    if len(frame) < _HEADER.size + 2:
+        raise BlockCodecError(
+            f"frame too short: {len(frame)} < {_HEADER.size + 2}"
+        )
+    magic, version, index, m, n_total, original_length, flags, crc = (
+        _HEADER.unpack_from(frame)
+    )
+    if magic != MAGIC:
+        raise BlockCodecError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise BlockCodecError(f"unsupported codec version {version}")
+    prefix = frame[: _HEADER.size - 4]
+    body = frame[_HEADER.size :]
+    if zlib.crc32(prefix + body) & 0xFFFFFFFF != crc:
+        raise BlockCodecError("CRC mismatch: frame corrupted in transit")
+    (file_len,) = struct.unpack_from(">H", body)
+    file_end = 2 + file_len
+    if len(body) < file_end:
+        raise BlockCodecError("frame truncated inside file_id")
+    try:
+        file_id = body[2:file_end].decode("utf-8")
+        return Block(
+            file_id=file_id,
+            index=index,
+            m=m,
+            n_total=n_total,
+            original_length=original_length,
+            payload=body[file_end:],
+            systematic=bool(flags & 1),
+        )
+    except (UnicodeDecodeError, DispersalError) as error:
+        # A frame that passed the CRC but carries inconsistent fields
+        # was malformed at the sender; receivers treat it as undecodable.
+        raise BlockCodecError(f"malformed frame: {error}") from error

@@ -1,0 +1,178 @@
+"""Dispersal and reconstruction of files (Figures 2 and 3 of the paper).
+
+``disperse`` processes a file ``F`` into ``N`` distinct blocks such that
+recombining any ``m`` of them retrieves ``F`` exactly; ``reconstruct``
+performs the inverse given at least ``m`` distinct blocks.  Both are the
+linear transformations of Rabin's IDA over GF(2^8):
+
+* the file is padded to a multiple of ``m`` and laid out as an
+  ``m x width`` byte matrix (segment ``k`` is row ``k``);
+* dispersal multiplies by the ``N x m`` matrix from
+  :mod:`repro.ida.vandermonde`: dispersed block ``i`` is row ``i`` of the
+  product - ``width`` bytes each, i.e. a total expansion factor of
+  ``N / m``;
+* reconstruction selects the rows matching the received block indices,
+  inverts that ``m x m`` submatrix, and multiplies - then trims padding
+  using the ``original_length`` carried by every self-identifying block.
+
+Reconstruction inverses are precomputed per index-set and memoized; the
+paper notes exactly this optimization ("the inverse transformation could
+be precomputed for some or even all possible subsets of m rows").
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import DispersalError
+from repro.ida.blocks import Block
+from repro.ida.gf256 import gf_matvec_bytes
+from repro.ida.vandermonde import (
+    dispersal_matrix,
+    reconstruction_matrix,
+    systematic_dispersal_matrix,
+)
+
+
+@lru_cache(maxsize=256)
+def _cached_matrix(n_total: int, m: int, systematic: bool) -> np.ndarray:
+    if systematic:
+        return systematic_dispersal_matrix(n_total, m)
+    return dispersal_matrix(n_total, m)
+
+
+@lru_cache(maxsize=4096)
+def _cached_inverse(
+    n_total: int, m: int, systematic: bool, indices: tuple[int, ...]
+) -> np.ndarray:
+    matrix = _cached_matrix(n_total, m, systematic)
+    return reconstruction_matrix(matrix, indices)
+
+
+def disperse(
+    data: bytes,
+    m: int,
+    n_total: int,
+    *,
+    file_id: str = "file",
+    systematic: bool = False,
+) -> list[Block]:
+    """Disperse ``data`` into ``n_total`` blocks, any ``m`` sufficient.
+
+    Parameters
+    ----------
+    data:
+        The file contents.  May be empty (blocks then carry only padding).
+    m:
+        Dispersal level: number of blocks needed for reconstruction.
+    n_total:
+        Total number of distinct blocks to produce (``N >= m``).
+    file_id:
+        Identity stamped into each self-identifying block.
+    systematic:
+        If true, the first ``m`` blocks are the plaintext segments
+        themselves (handy for AIDA's zero-redundancy mode); the flag is
+        recorded in each block so reconstruction picks the right family.
+
+    Returns
+    -------
+    list[Block]
+        ``n_total`` blocks with indices ``0 .. n_total - 1``.
+    """
+    if m < 1:
+        raise DispersalError(f"dispersal level m={m} must be >= 1")
+    matrix = _cached_matrix(n_total, m, systematic)
+
+    width = max(1, -(-len(data) // m))  # ceil; at least 1 byte per segment
+    padded = np.zeros(m * width, dtype=np.uint8)
+    if data:
+        padded[: len(data)] = np.frombuffer(data, dtype=np.uint8)
+    segments = padded.reshape(m, width)
+
+    dispersed = gf_matvec_bytes(matrix, segments)
+    return [
+        Block(
+            file_id=file_id,
+            index=row,
+            m=m,
+            n_total=n_total,
+            original_length=len(data),
+            payload=dispersed[row].tobytes(),
+            systematic=systematic,
+        )
+        for row in range(n_total)
+    ]
+
+
+def _select_blocks(blocks: list[Block] | tuple[Block, ...]) -> dict[int, Block]:
+    """Validate consistency and pick the first ``m`` distinct indices."""
+    head = blocks[0]
+    chosen: dict[int, Block] = {}
+    for block in blocks:
+        if (
+            block.file_id != head.file_id
+            or block.m != head.m
+            or block.n_total != head.n_total
+            or block.original_length != head.original_length
+            or block.systematic != head.systematic
+        ):
+            raise DispersalError(
+                f"inconsistent blocks: {block.sequence_label} does not "
+                f"match {head.sequence_label}"
+            )
+        if len(block.payload) != len(head.payload):
+            raise DispersalError(
+                f"payload width mismatch on {block.sequence_label}"
+            )
+        if block.index not in chosen:
+            chosen[block.index] = block
+        if len(chosen) == head.m:
+            break
+    if len(chosen) < head.m:
+        raise DispersalError(
+            f"need {head.m} distinct blocks of {head.file_id!r}, "
+            f"got {len(chosen)}"
+        )
+    return chosen
+
+
+def reconstruct(blocks: list[Block] | tuple[Block, ...]) -> bytes:
+    """Reconstruct the original file from any ``m`` distinct blocks.
+
+    Consistency of the supplied blocks (same file, same parameters, same
+    payload width, distinct indices) is validated; blocks beyond the first
+    ``m`` distinct indices are ignored, mirroring a client that stops
+    listening once it has enough.
+
+    A systematic fast path skips matrix work entirely when the received
+    indices happen to be exactly the plaintext rows ``0 .. m-1``.
+
+    Raises
+    ------
+    DispersalError
+        On an empty input, fewer than ``m`` distinct blocks, or
+        inconsistent metadata.
+    """
+    if not blocks:
+        raise DispersalError("no blocks supplied")
+    head = blocks[0]
+    chosen = _select_blocks(blocks)
+    indices = tuple(sorted(chosen))
+
+    if head.systematic and indices == tuple(range(head.m)):
+        concatenated = b"".join(chosen[i].payload for i in indices)
+        return concatenated[: head.original_length]
+
+    received = np.stack(
+        [
+            np.frombuffer(chosen[index].payload, dtype=np.uint8)
+            for index in indices
+        ]
+    )
+    inverse = _cached_inverse(
+        head.n_total, head.m, head.systematic, indices
+    )
+    segments = gf_matvec_bytes(inverse, received)
+    return segments.reshape(-1)[: head.original_length].tobytes()

@@ -1,0 +1,126 @@
+"""Arithmetic in the finite field GF(2^8).
+
+Rabin's IDA performs its linear transformations "in the domain of a
+particular irreducible polynomial"; we use the field of 256 elements with
+the primitive polynomial ``x^8 + x^4 + x^3 + x^2 + 1`` (0x11D, the classic
+Reed-Solomon modulus) and generator 2.  Bytes are field elements, addition
+is XOR, and multiplication is table-driven through discrete logarithms:
+
+    a * b = EXP[LOG[a] + LOG[b]]          (a, b != 0)
+
+The exp table is doubled in length so products of logs never need a
+modular reduction.  Numpy-vectorized helpers operate on whole arrays of
+bytes at once - these are what make dispersal of megabyte payloads
+practical in pure Python (see ``benchmarks/bench_ida_throughput.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DispersalError
+
+#: Number of field elements.
+GF_ORDER = 256
+
+#: Primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D).
+PRIMITIVE_POLY = 0x11D
+
+#: Multiplicative generator of the field.
+GENERATOR = 2
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    """Build EXP (length 512) and LOG (length 256) tables."""
+    exp = np.zeros(512, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int32)
+    value = 1
+    for power in range(255):
+        exp[power] = value
+        log[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= PRIMITIVE_POLY
+    # Duplicate so EXP[i + j] works for i, j in [0, 255).
+    exp[255:510] = exp[:255]
+    return exp, log
+
+
+EXP_TABLE, LOG_TABLE = _build_tables()
+
+
+def gf_add(a: int, b: int) -> int:
+    """Field addition (= subtraction): bitwise XOR."""
+    return a ^ b
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Field multiplication via log/antilog tables."""
+    if a == 0 or b == 0:
+        return 0
+    return int(EXP_TABLE[int(LOG_TABLE[a]) + int(LOG_TABLE[b])])
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse; raises on zero."""
+    if a == 0:
+        raise DispersalError("zero has no multiplicative inverse in GF(256)")
+    return int(EXP_TABLE[255 - int(LOG_TABLE[a])])
+
+
+def gf_div(a: int, b: int) -> int:
+    """Field division ``a / b``; raises on division by zero."""
+    if b == 0:
+        raise DispersalError("division by zero in GF(256)")
+    if a == 0:
+        return 0
+    return int(EXP_TABLE[int(LOG_TABLE[a]) - int(LOG_TABLE[b]) + 255])
+
+
+def gf_pow(a: int, exponent: int) -> int:
+    """Field exponentiation ``a ** exponent`` (exponent >= 0)."""
+    if exponent < 0:
+        raise DispersalError("negative exponents unsupported; use gf_inv")
+    if exponent == 0:
+        return 1
+    if a == 0:
+        return 0
+    return int(EXP_TABLE[(int(LOG_TABLE[a]) * exponent) % 255])
+
+
+def gf_mul_bytes(scalar: int, data: np.ndarray) -> np.ndarray:
+    """Multiply every byte of ``data`` by ``scalar`` (vectorized).
+
+    ``data`` must be a uint8 array; zeros are handled correctly.  This is
+    the inner loop of dispersal: one row coefficient times one data row.
+    """
+    if scalar == 0:
+        return np.zeros_like(data)
+    if scalar == 1:
+        return data.copy()
+    log_s = int(LOG_TABLE[scalar])
+    result = EXP_TABLE[LOG_TABLE[data.astype(np.int32)] + log_s]
+    result[data == 0] = 0
+    return result.astype(np.uint8)
+
+
+def gf_matvec_bytes(matrix: np.ndarray, data: np.ndarray) -> np.ndarray:
+    """GF(256) matrix product ``matrix @ data`` on byte arrays.
+
+    ``matrix`` is ``(rows, m)`` uint8, ``data`` is ``(m, width)`` uint8;
+    the result is ``(rows, width)``.  Row combinations accumulate with XOR.
+    """
+    rows, m = matrix.shape
+    if data.shape[0] != m:
+        raise DispersalError(
+            f"shape mismatch: matrix is {matrix.shape}, data {data.shape}"
+        )
+    out = np.zeros((rows, data.shape[1]), dtype=np.uint8)
+    for row in range(rows):
+        acc = np.zeros(data.shape[1], dtype=np.uint8)
+        for col in range(m):
+            coefficient = int(matrix[row, col])
+            if coefficient:
+                acc ^= gf_mul_bytes(coefficient, data[col])
+        out[row] = acc
+    return out

@@ -1,0 +1,122 @@
+"""Matrix algebra over GF(2^8).
+
+Implements exactly what IDA needs (Figure 3 of the paper): multiplication
+of the dispersal matrix with the data, and Gauss-Jordan inversion of the
+``m x m`` reconstruction submatrix ``[x'_ij]`` so the receiver can compute
+``[y_ij] = [x'_ij]^-1``.  Matrices are small (``m, N <= 255``), so clarity
+wins over blocking tricks; the data-path products are vectorized in
+:mod:`repro.ida.gf256` instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DispersalError
+from repro.ida.gf256 import gf_div, gf_inv, gf_mul
+
+
+def _as_matrix(values: np.ndarray | list) -> np.ndarray:
+    matrix = np.asarray(values, dtype=np.uint8)
+    if matrix.ndim != 2:
+        raise DispersalError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    return matrix
+
+
+def gf_identity(size: int) -> np.ndarray:
+    """The ``size x size`` identity matrix over GF(256)."""
+    return np.eye(size, dtype=np.uint8)
+
+
+def gf_mat_mul(left: np.ndarray | list, right: np.ndarray | list) -> np.ndarray:
+    """Matrix product over GF(256) (scalar loops; small matrices only)."""
+    a = _as_matrix(left)
+    b = _as_matrix(right)
+    if a.shape[1] != b.shape[0]:
+        raise DispersalError(
+            f"cannot multiply {a.shape} by {b.shape}: inner dims differ"
+        )
+    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
+    for i in range(a.shape[0]):
+        for j in range(b.shape[1]):
+            acc = 0
+            for k in range(a.shape[1]):
+                acc ^= gf_mul(int(a[i, k]), int(b[k, j]))
+            out[i, j] = acc
+    return out
+
+
+def gf_mat_inv(matrix: np.ndarray | list) -> np.ndarray:
+    """Gauss-Jordan inversion over GF(256).
+
+    Raises :class:`DispersalError` when the matrix is singular - for IDA
+    this means the chosen dispersal rows were not independent, which the
+    Vandermonde construction rules out by design.
+    """
+    source = _as_matrix(matrix)
+    size = source.shape[0]
+    if source.shape[1] != size:
+        raise DispersalError(f"cannot invert non-square matrix {source.shape}")
+    work = source.astype(np.int32).copy()
+    inverse = np.eye(size, dtype=np.int32)
+
+    for col in range(size):
+        pivot_row = next(
+            (r for r in range(col, size) if work[r, col] != 0), None
+        )
+        if pivot_row is None:
+            raise DispersalError(
+                f"matrix is singular (no pivot in column {col})"
+            )
+        if pivot_row != col:
+            work[[col, pivot_row]] = work[[pivot_row, col]]
+            inverse[[col, pivot_row]] = inverse[[pivot_row, col]]
+        pivot = int(work[col, col])
+        if pivot != 1:
+            for j in range(size):
+                work[col, j] = gf_div(int(work[col, j]), pivot)
+                inverse[col, j] = gf_div(int(inverse[col, j]), pivot)
+        for row in range(size):
+            if row == col or work[row, col] == 0:
+                continue
+            factor = int(work[row, col])
+            for j in range(size):
+                work[row, j] ^= gf_mul(factor, int(work[col, j]))
+                inverse[row, j] ^= gf_mul(factor, int(inverse[col, j]))
+    return inverse.astype(np.uint8)
+
+
+def gf_mat_rank(matrix: np.ndarray | list) -> int:
+    """Rank over GF(256) by forward elimination."""
+    work = _as_matrix(matrix).astype(np.int32).copy()
+    rows, cols = work.shape
+    rank = 0
+    for col in range(cols):
+        pivot_row = next(
+            (r for r in range(rank, rows) if work[r, col] != 0), None
+        )
+        if pivot_row is None:
+            continue
+        if pivot_row != rank:
+            work[[rank, pivot_row]] = work[[pivot_row, rank]]
+        inv_pivot = gf_inv(int(work[rank, col]))
+        for j in range(cols):
+            work[rank, j] = gf_mul(int(work[rank, j]), inv_pivot)
+        for row in range(rows):
+            if row == rank or work[row, col] == 0:
+                continue
+            factor = int(work[row, col])
+            for j in range(cols):
+                work[row, j] ^= gf_mul(factor, int(work[rank, j]))
+        rank += 1
+        if rank == rows:
+            break
+    return rank
+
+
+def is_nonsingular(matrix: np.ndarray | list) -> bool:
+    """Whether a square matrix over GF(256) is invertible."""
+    square = _as_matrix(matrix)
+    if square.shape[0] != square.shape[1]:
+        return False
+    return gf_mat_rank(square) == square.shape[0]

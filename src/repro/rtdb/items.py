@@ -1,0 +1,97 @@
+"""Data items: payloads bound to temporal constraints and criticality.
+
+A :class:`DataItem` is the RTDB-level view of a broadcast file: it knows
+its contents, how stale it may be, and how critical it is per operation
+mode.  ``as_file_spec`` bridges down to the broadcast-disk designer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SpecificationError
+from repro.bdisk.file import FileSpec
+from repro.rtdb.temporal import TemporalConstraint, latency_budget_slots
+
+
+@dataclass(frozen=True)
+class DataItem:
+    """One database object published on the broadcast disk.
+
+    Attributes
+    ----------
+    name:
+        Item identity (doubles as the broadcast file name).
+    payload:
+        Current value as bytes.
+    constraint:
+        Absolute temporal consistency constraint.
+    blocks:
+        Broadcast size in blocks (the AIDA dispersal level ``m``).
+    criticality:
+        Per-mode criticality (mode name -> fault budget ``r``); items not
+        mentioned in the active mode fall back to ``default_faults``.
+    default_faults:
+        Fault budget when the active mode does not override it.
+    """
+
+    name: str
+    payload: bytes
+    constraint: TemporalConstraint
+    blocks: int = 1
+    criticality: dict[str, int] = field(default_factory=dict)
+    default_faults: int = 0
+
+    def __post_init__(self) -> None:
+        if self.blocks < 1:
+            raise SpecificationError(
+                f"item {self.name!r}: blocks must be >= 1, "
+                f"got {self.blocks}"
+            )
+        if self.default_faults < 0:
+            raise SpecificationError(
+                f"item {self.name!r}: default_faults must be >= 0"
+            )
+        for mode, faults in self.criticality.items():
+            if faults < 0:
+                raise SpecificationError(
+                    f"item {self.name!r}: fault budget for mode "
+                    f"{mode!r} must be >= 0, got {faults}"
+                )
+
+    def fault_budget(self, mode: str) -> int:
+        """Fault budget ``r`` in the given operation mode."""
+        return self.criticality.get(mode, self.default_faults)
+
+    def as_file_spec(
+        self,
+        mode: str,
+        *,
+        slot_ms: float,
+        update_overhead_ms: float = 0.0,
+    ) -> FileSpec:
+        """The broadcast file this item induces in a given mode.
+
+        The temporal constraint becomes a latency budget in *slots*;
+        :class:`FileSpec.latency` is interpreted in slots by passing
+        bandwidth 1 to the designer (one slot = one block transmission at
+        the chosen channel rate).
+        """
+        budget = latency_budget_slots(
+            self.constraint,
+            slot_ms=slot_ms,
+            update_overhead_ms=update_overhead_ms,
+        )
+        if budget < self.blocks + self.fault_budget(mode):
+            raise SpecificationError(
+                f"item {self.name!r}: latency budget of {budget} slots "
+                f"cannot carry {self.blocks} blocks plus "
+                f"{self.fault_budget(mode)} fault slots"
+            )
+        return FileSpec(
+            self.name,
+            self.blocks,
+            budget,
+            fault_budget=self.fault_budget(mode),
+            data=self.payload,
+        )

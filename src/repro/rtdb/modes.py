@@ -1,0 +1,120 @@
+"""Operation modes and mode-driven broadcast program management.
+
+Section 2.2: "the fault-tolerant timely access of a data object (e.g.
+'location of nearby aircrafts') could be critical in a given mode of
+operation (e.g. 'combat'), but less critical in a different mode (e.g.
+'landing')".  AIDA makes the redundancy level a per-mode knob; switching
+modes re-runs the bandwidth-allocation step and redesigns the broadcast
+program without re-dispersing any file.
+
+:class:`ModeManager` owns a set of :class:`repro.rtdb.items.DataItem` and
+produces, per mode, the file specifications, the AIDA redundancy policy,
+and (lazily, cached) the designed broadcast program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SpecificationError
+from repro.bdisk.builder import ProgramDesign, design_program
+from repro.ida.aida import RedundancyPolicy
+from repro.rtdb.items import DataItem
+
+
+@dataclass(frozen=True, slots=True)
+class OperationMode:
+    """A named mode with a human-readable description."""
+
+    name: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("mode name must be non-empty")
+
+
+class ModeManager:
+    """Per-mode broadcast-disk designs over a fixed item population.
+
+    Parameters
+    ----------
+    items:
+        The database objects on the air.
+    modes:
+        The modes the system can operate in.
+    slot_ms:
+        Slot duration used to convert temporal constraints to budgets.
+    """
+
+    def __init__(
+        self,
+        items: list[DataItem],
+        modes: list[OperationMode],
+        *,
+        slot_ms: float,
+    ) -> None:
+        if not items:
+            raise SpecificationError("at least one item is required")
+        if not modes:
+            raise SpecificationError("at least one mode is required")
+        names = [item.name for item in items]
+        if len(set(names)) != len(names):
+            raise SpecificationError(f"duplicate item names in {names}")
+        self.items = list(items)
+        self.modes = {mode.name: mode for mode in modes}
+        if len(self.modes) != len(modes):
+            raise SpecificationError("duplicate mode names")
+        self.slot_ms = slot_ms
+        self._designs: dict[str, ProgramDesign] = {}
+        self._active: str = modes[0].name
+
+    @property
+    def active_mode(self) -> str:
+        """The currently active mode name."""
+        return self._active
+
+    def switch_to(self, mode: str) -> ProgramDesign:
+        """Activate ``mode`` and return its (cached) program design."""
+        if mode not in self.modes:
+            raise SpecificationError(
+                f"unknown mode {mode!r}; known: {sorted(self.modes)}"
+            )
+        self._active = mode
+        return self.design_for(mode)
+
+    def design_for(self, mode: str) -> ProgramDesign:
+        """The broadcast program design for a mode (designed on demand)."""
+        if mode not in self.modes:
+            raise SpecificationError(
+                f"unknown mode {mode!r}; known: {sorted(self.modes)}"
+            )
+        if mode not in self._designs:
+            specs = [
+                item.as_file_spec(mode, slot_ms=self.slot_ms)
+                for item in self.items
+            ]
+            self._designs[mode] = design_program(specs)
+        return self._designs[mode]
+
+    def redundancy_policy(self) -> RedundancyPolicy:
+        """The AIDA policy implied by the items' criticality tables."""
+        budgets = {
+            mode: {
+                item.name: item.fault_budget(mode) for item in self.items
+            }
+            for mode in self.modes
+        }
+        return RedundancyPolicy(budgets)
+
+    def bandwidth_by_mode(self) -> dict[str, int]:
+        """Planned bandwidth per mode - the cost of criticality.
+
+        Benches use this to show the bandwidth/fault-tolerance trade-off
+        across modes (more critical items => more redundancy slots =>
+        more bandwidth).
+        """
+        return {
+            mode: self.design_for(mode).bandwidth_plan.bandwidth
+            for mode in self.modes
+        }

@@ -1,0 +1,116 @@
+"""Absolute temporal consistency constraints.
+
+The paper's Section 1 example: a data item recording an aircraft's
+position, with the aircraft flying at 900 km/h and client transactions
+needing 100 m positional accuracy, must never be staler than
+
+    100 m / (900 km/h = 250 m/s) = 0.4 s = 400 ms,
+
+while a 60 km/h tank with the same accuracy requirement tolerates 6000 ms.
+:func:`constraint_from_kinematics` is that arithmetic; the constraint then
+becomes the file's latency budget ``T_i`` in the broadcast-disk design
+(the data must be retrievable - end to end - within the staleness bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.errors import SpecificationError
+
+#: km/h to m/s conversion factor.
+_KMH_TO_MS = Fraction(1000, 3600)
+
+
+@dataclass(frozen=True, slots=True)
+class TemporalConstraint:
+    """An absolute temporal consistency constraint.
+
+    ``max_age_ms`` is the largest tolerable age of the value: a
+    transaction reading the item must observe a version written within
+    the last ``max_age_ms`` milliseconds.
+    """
+
+    max_age_ms: int
+
+    def __post_init__(self) -> None:
+        if self.max_age_ms < 1:
+            raise SpecificationError(
+                f"max_age_ms must be >= 1, got {self.max_age_ms}"
+            )
+
+    def is_fresh(self, age_ms: float) -> bool:
+        """Whether a value of the given age satisfies the constraint."""
+        return age_ms <= self.max_age_ms
+
+    def __str__(self) -> str:
+        return f"fresh within {self.max_age_ms} ms"
+
+
+def constraint_from_kinematics(
+    velocity_kmh: float, accuracy_m: float
+) -> TemporalConstraint:
+    """Derive a temporal constraint from object dynamics.
+
+    An object moving at ``velocity_kmh`` drifts ``accuracy_m`` metres in
+    ``accuracy_m / v`` seconds; that is the staleness bound beyond which
+    the recorded position can no longer guarantee the accuracy.
+
+    >>> constraint_from_kinematics(900, 100).max_age_ms
+    400
+    >>> constraint_from_kinematics(60, 100).max_age_ms
+    6000
+    """
+    if velocity_kmh <= 0:
+        raise SpecificationError(
+            f"velocity must be > 0 km/h, got {velocity_kmh}"
+        )
+    if accuracy_m <= 0:
+        raise SpecificationError(
+            f"accuracy must be > 0 m, got {accuracy_m}"
+        )
+    velocity_ms = Fraction(velocity_kmh) * _KMH_TO_MS
+    max_age_s = Fraction(accuracy_m) / velocity_ms
+    max_age_ms = int(max_age_s * 1000)
+    if max_age_ms < 1:
+        raise SpecificationError(
+            f"constraint tighter than 1 ms "
+            f"(v={velocity_kmh} km/h, accuracy={accuracy_m} m) - "
+            f"not representable"
+        )
+    return TemporalConstraint(max_age_ms)
+
+
+def latency_budget_slots(
+    constraint: TemporalConstraint,
+    *,
+    slot_ms: float,
+    update_overhead_ms: float = 0.0,
+) -> int:
+    """Convert a temporal constraint into a slot-count latency budget.
+
+    ``slot_ms`` is the broadcast slot duration (block transmission time);
+    ``update_overhead_ms`` accounts for sensing/dispersal latency before
+    the value hits the air, which eats into the budget.  The result is the
+    ``d``/``T``-style window the broadcast designer receives.
+
+    Raises
+    ------
+    SpecificationError
+        If the overhead consumes the entire budget.
+    """
+    if slot_ms <= 0:
+        raise SpecificationError(f"slot_ms must be > 0, got {slot_ms}")
+    if update_overhead_ms < 0:
+        raise SpecificationError(
+            f"update_overhead_ms must be >= 0, got {update_overhead_ms}"
+        )
+    usable_ms = constraint.max_age_ms - update_overhead_ms
+    budget = int(usable_ms // slot_ms)
+    if budget < 1:
+        raise SpecificationError(
+            f"temporal constraint {constraint} leaves no slots at "
+            f"slot_ms={slot_ms}, overhead={update_overhead_ms}"
+        )
+    return budget

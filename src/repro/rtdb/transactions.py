@@ -1,0 +1,153 @@
+"""Deadline-tagged read transactions over a broadcast program.
+
+The client side of the motivating story: a transaction needs a set of
+data items, each fresh per its temporal constraint, and the whole read
+set by a deadline.  Items are retrieved sequentially off the air (the
+client has one receiver); an item is *temporally consistent* when its
+retrieval latency fits inside the item's staleness budget - the server
+re-disperses each update, so the version on the air is at most one
+retrieval old.
+
+This is intentionally a read-only model: the paper's asymmetric setting
+gives clients negligible upstream bandwidth, so write transactions and
+concurrency control stay on the server and are out of scope (the paper
+cites them as orthogonal RTDB machinery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import SimulationError, SpecificationError
+from repro.bdisk.program import BroadcastProgram
+from repro.sim.client import RetrievalResult, retrieve
+from repro.sim.faults import FaultModel, NoFaults
+from repro.rtdb.items import DataItem
+
+
+@dataclass(frozen=True, slots=True)
+class ReadTransaction:
+    """A read-only transaction: items to fetch and a deadline in slots."""
+
+    name: str
+    items: tuple[str, ...]
+    deadline_slots: int
+
+    def __init__(
+        self, name: str, items: Sequence[str], deadline_slots: int
+    ) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "items", tuple(items))
+        object.__setattr__(self, "deadline_slots", deadline_slots)
+        if not self.items:
+            raise SpecificationError(
+                f"transaction {name!r} reads no items"
+            )
+        if len(set(self.items)) != len(self.items):
+            raise SpecificationError(
+                f"transaction {name!r} lists duplicate items"
+            )
+        if deadline_slots < 1:
+            raise SpecificationError(
+                f"transaction {name!r}: deadline must be >= 1 slot"
+            )
+
+
+@dataclass(frozen=True)
+class TransactionResult:
+    """Outcome of one transaction execution.
+
+    ``committed`` requires all retrievals complete, the deadline met, and
+    every item temporally consistent.
+    """
+
+    transaction: ReadTransaction
+    start: int
+    retrievals: tuple[RetrievalResult, ...]
+    finish_slot: int | None
+    stale_items: tuple[str, ...]
+
+    @property
+    def response_time(self) -> int | None:
+        if self.finish_slot is None:
+            return None
+        return self.finish_slot - self.start + 1
+
+    @property
+    def met_deadline(self) -> bool:
+        return (
+            self.response_time is not None
+            and self.response_time <= self.transaction.deadline_slots
+        )
+
+    @property
+    def committed(self) -> bool:
+        return self.met_deadline and not self.stale_items
+
+    def __str__(self) -> str:
+        status = "COMMIT" if self.committed else "ABORT"
+        return (
+            f"{self.transaction.name}: {status} "
+            f"(response={self.response_time}, "
+            f"deadline={self.transaction.deadline_slots}, "
+            f"stale={list(self.stale_items)})"
+        )
+
+
+def execute_transaction(
+    program: BroadcastProgram,
+    transaction: ReadTransaction,
+    items: Mapping[str, DataItem],
+    *,
+    start: int = 0,
+    slot_ms: float,
+    faults: FaultModel | None = None,
+) -> TransactionResult:
+    """Execute a read transaction against the broadcast program.
+
+    Items are fetched in the transaction's declared order, each retrieval
+    starting where the previous one finished (single-receiver client).
+    An item is stale when its retrieval latency, converted to
+    milliseconds, exceeds its temporal constraint.
+    """
+    fault_model = faults if faults is not None else NoFaults()
+    clock = start
+    retrievals: list[RetrievalResult] = []
+    stale: list[str] = []
+
+    for name in transaction.items:
+        item = items.get(name)
+        if item is None:
+            raise SimulationError(
+                f"transaction {transaction.name!r} reads unknown item "
+                f"{name!r}"
+            )
+        result = retrieve(
+            program,
+            name,
+            item.blocks,
+            start=clock,
+            faults=fault_model,
+            need_distinct=True,
+        )
+        retrievals.append(result)
+        if not result.completed or result.finish_slot is None:
+            return TransactionResult(
+                transaction=transaction,
+                start=start,
+                retrievals=tuple(retrievals),
+                finish_slot=None,
+                stale_items=tuple(stale),
+            )
+        if not item.constraint.is_fresh(result.latency * slot_ms):
+            stale.append(name)
+        clock = result.finish_slot + 1
+
+    return TransactionResult(
+        transaction=transaction,
+        start=start,
+        retrievals=tuple(retrievals),
+        finish_slot=clock - 1,
+        stale_items=tuple(stale),
+    )

@@ -1,0 +1,182 @@
+"""Update dissemination: versioned items on a broadcast disk.
+
+The paper's temporal-consistency motivation presumes the server keeps
+re-dispersing fresh values ("disseminating updates" is the companion
+line of work it cites).  This module models that loop:
+
+* an :class:`UpdatingServer` owns per-item update periods: item ``i``
+  gets a new version every ``period_i`` slots (version ``k`` is written
+  at slot ``k * period_i``);
+* every broadcast slot carries the block *of the version current at
+  that slot* - so a client whose retrieval straddles an update observes
+  blocks from two versions;
+* IDA cannot mix versions (the linear combinations differ), so the
+  client discards stale blocks and keeps collecting - a **torn read**
+  that costs extra latency, which is exactly why tight temporal
+  constraints need tight retrieval windows;
+* the value's **age at completion** is ``finish - version_write_slot``;
+  temporal consistency holds when that age fits the item's constraint.
+
+:func:`retrieve_versioned` implements the client; benches sweep update
+periods to show the feasibility frontier between update rate and the
+retrieval window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import SimulationError, SpecificationError
+from repro.bdisk.program import BroadcastProgram
+from repro.sim.faults import FaultModel, NoFaults
+
+
+class UpdatingServer:
+    """Per-item update clocks.
+
+    ``update_periods[item]`` is the number of slots between consecutive
+    versions; version ``v`` of an item is written at slot
+    ``v * period`` (version 0 exists from the start).
+    """
+
+    def __init__(self, update_periods: Mapping[str, int]) -> None:
+        for item, period in update_periods.items():
+            if period < 1:
+                raise SpecificationError(
+                    f"update period for {item!r} must be >= 1 slot"
+                )
+        self._periods = dict(update_periods)
+
+    def period(self, item: str) -> int:
+        try:
+            return self._periods[item]
+        except KeyError:
+            raise SimulationError(
+                f"no update period known for {item!r}"
+            ) from None
+
+    def version_at(self, item: str, slot: int) -> int:
+        """The version current while slot ``slot`` is broadcast."""
+        return slot // self.period(item)
+
+    def write_slot(self, item: str, version: int) -> int:
+        """The slot at which ``version`` was written."""
+        return version * self.period(item)
+
+
+@dataclass(frozen=True)
+class VersionedRetrieval:
+    """Outcome of a retrieval against a live-updated item."""
+
+    file: str
+    completed: bool
+    finish_slot: int | None
+    latency: int | None
+    version: int | None
+    age_at_completion: int | None
+    torn_discards: int
+
+    def is_fresh(self, max_age_slots: int) -> bool:
+        """Temporal consistency at completion time."""
+        return (
+            self.completed
+            and self.age_at_completion is not None
+            and self.age_at_completion <= max_age_slots
+        )
+
+
+def retrieve_versioned(
+    program: BroadcastProgram,
+    server: UpdatingServer,
+    file: str,
+    m_needed: int,
+    *,
+    start: int = 0,
+    faults: FaultModel | None = None,
+    max_slots: int | None = None,
+) -> VersionedRetrieval:
+    """Retrieve ``m_needed`` distinct blocks *of one version*.
+
+    Blocks of an older version are discarded the moment a newer one is
+    seen (IDA cannot reconstruct across versions).  The result reports
+    the version obtained, its age when retrieval completed, and how many
+    blocks were thrown away to torn reads.
+    """
+    if file not in program.files:
+        raise SimulationError(f"file {file!r} is not broadcast")
+    fault_model = faults if faults is not None else NoFaults()
+    update_period = server.period(file)
+    horizon = (
+        max_slots
+        if max_slots is not None
+        else (m_needed + 2) * (program.data_cycle_length + update_period)
+    )
+
+    held: set[int] = set()
+    held_version: int | None = None
+    discards = 0
+    for t in range(start, start + horizon):
+        content = program.slot_content(t)
+        if content is None or content.file != file:
+            continue
+        if fault_model.is_lost(t):
+            continue
+        version = server.version_at(file, t)
+        if held_version is None or version > held_version:
+            discards += len(held)
+            held = set()
+            held_version = version
+        elif version < held_version:  # pragma: no cover - monotone clock
+            continue
+        held.add(content.block_index)
+        if len(held) >= m_needed:
+            write = server.write_slot(file, held_version)
+            return VersionedRetrieval(
+                file=file,
+                completed=True,
+                finish_slot=t,
+                latency=t - start + 1,
+                version=held_version,
+                age_at_completion=t - write,
+                torn_discards=discards,
+            )
+    return VersionedRetrieval(
+        file=file,
+        completed=False,
+        finish_slot=None,
+        latency=None,
+        version=held_version,
+        age_at_completion=None,
+        torn_discards=discards,
+    )
+
+
+def consistency_rate(
+    program: BroadcastProgram,
+    server: UpdatingServer,
+    file: str,
+    m_needed: int,
+    max_age_slots: int,
+    *,
+    faults: FaultModel | None = None,
+) -> float:
+    """Fraction of phases whose retrieval is temporally consistent.
+
+    Sweeps every client phase over one data cycle (the distinct client
+    experiences of the periodic program) and checks the completed
+    value's age against ``max_age_slots``.
+    """
+    if max_age_slots < 1:
+        raise SpecificationError(
+            f"max_age_slots must be >= 1: {max_age_slots}"
+        )
+    fresh = 0
+    total = program.data_cycle_length
+    for phase in range(total):
+        result = retrieve_versioned(
+            program, server, file, m_needed, start=phase, faults=faults
+        )
+        if result.is_fresh(max_age_slots):
+            fresh += 1
+    return fresh / total

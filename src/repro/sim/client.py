@@ -1,0 +1,150 @@
+"""Client-side retrieval from a broadcast program.
+
+A client tunes in at slot ``start`` (its *phase*), watches the program go
+by, and collects blocks of its target file until it can reconstruct:
+
+* **with IDA** (``need_distinct``): any ``m`` *distinct* dispersed blocks
+  suffice (Section 2.1) - the client caches block indices and finishes at
+  the ``m``-th distinct one;
+* **without IDA** (``need_specific``): the file is not dispersed, so the
+  client must catch *every one* of blocks ``0 .. m-1``; a lost block can
+  only be replaced by the same index coming round again - the regime of
+  Lemma 1.
+
+``retrieve`` is the single engine for both, parameterized by the
+requirement; the fault model decides which slots are lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.bdisk.program import BroadcastProgram
+from repro.sim.faults import FaultModel, NoFaults
+
+
+@dataclass(frozen=True)
+class RetrievalResult:
+    """Outcome of one retrieval attempt.
+
+    Attributes
+    ----------
+    file:
+        The target file.
+    start:
+        The phase (slot at which the client began listening).
+    completed:
+        Whether the requirement was met within the horizon.
+    finish_slot:
+        Slot at which the final needed block arrived (None if incomplete).
+    latency:
+        ``finish_slot - start + 1`` in slots (None if incomplete).
+    received:
+        Distinct block indices received, in arrival order.
+    lost_slots:
+        Slots of the target file that the fault model clobbered.
+    """
+
+    file: str
+    start: int
+    completed: bool
+    finish_slot: int | None
+    latency: int | None
+    received: tuple[int, ...]
+    lost_slots: tuple[int, ...]
+
+    def met_deadline(self, deadline_slots: int) -> bool:
+        """Whether retrieval finished within ``deadline_slots`` slots."""
+        return self.completed and self.latency is not None and (
+            self.latency <= deadline_slots
+        )
+
+
+def retrieve(
+    program: BroadcastProgram,
+    file: str,
+    m_needed: int,
+    *,
+    start: int = 0,
+    faults: FaultModel | None = None,
+    need_distinct: bool = True,
+    max_slots: int | None = None,
+) -> RetrievalResult:
+    """Simulate one retrieval.
+
+    Parameters
+    ----------
+    program:
+        The broadcast program the server runs.
+    file:
+        Target file name.
+    m_needed:
+        Blocks required: with ``need_distinct``, any ``m`` distinct
+        indices; otherwise every index in ``0 .. m_needed - 1``.
+    start:
+        The client's phase.
+    faults:
+        Channel fault model (default :class:`NoFaults`).
+    need_distinct:
+        IDA mode (True) vs specific-blocks mode (False).
+    max_slots:
+        Listening horizon; defaults to a generous multiple of the data
+        cycle, after which the retrieval reports failure.
+
+    Raises
+    ------
+    SimulationError
+        If ``file`` is not in the program (the retrieval could never
+        finish, which is a configuration error rather than a timeout).
+    """
+    if file not in program.files:
+        raise SimulationError(f"file {file!r} is not broadcast")
+    fault_model = faults if faults is not None else NoFaults()
+    horizon = (
+        max_slots
+        if max_slots is not None
+        else (m_needed + 2) * program.data_cycle_length + start
+    )
+
+    seen: set[int] = set()
+    arrival_order: list[int] = []
+    lost: list[int] = []
+    wanted = set(range(m_needed)) if not need_distinct else None
+
+    t = start
+    while t < start + horizon:
+        content = program.slot_content(t)
+        if content is not None and content.file == file:
+            if fault_model.is_lost(t):
+                lost.append(t)
+            else:
+                index = content.block_index
+                if index not in seen:
+                    seen.add(index)
+                    arrival_order.append(index)
+                done = (
+                    len(seen) >= m_needed
+                    if need_distinct
+                    else wanted is not None and wanted <= seen
+                )
+                if done:
+                    return RetrievalResult(
+                        file=file,
+                        start=start,
+                        completed=True,
+                        finish_slot=t,
+                        latency=t - start + 1,
+                        received=tuple(arrival_order),
+                        lost_slots=tuple(lost),
+                    )
+        t += 1
+    return RetrievalResult(
+        file=file,
+        start=start,
+        completed=False,
+        finish_slot=None,
+        latency=None,
+        received=tuple(arrival_order),
+        lost_slots=tuple(lost),
+    )

@@ -1,0 +1,137 @@
+"""Block-error models for the broadcast channel.
+
+The paper's channel model: "individual transmission errors occur
+independently of each other, and the occurrence of an error during the
+transmission of a block renders the entire block unreadable."  A fault
+model decides, per slot, whether the client fails to receive that slot's
+block.  All stochastic models are seeded and deterministic per
+``(seed, slot)``, so simulations are reproducible and two clients with
+the same seed observe the same channel.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Protocol
+
+from repro.errors import SpecificationError
+
+
+class FaultModel(Protocol):
+    """Decides whether the block in slot ``t`` is lost."""
+
+    def is_lost(self, t: int) -> bool:
+        """True when the slot-``t`` block is unreadable."""
+        ...
+
+
+class NoFaults:
+    """The failure-free channel."""
+
+    def is_lost(self, t: int) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NoFaults()"
+
+
+class BernoulliFaults:
+    """Independent per-slot losses with probability ``p``.
+
+    Deterministic per slot: the decision for slot ``t`` hashes ``(seed,
+    t)``, so queries need not arrive in slot order and repeated queries
+    agree.
+    """
+
+    def __init__(self, probability: float, *, seed: int = 0) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise SpecificationError(
+                f"loss probability must be in [0, 1]: {probability}"
+            )
+        self.probability = probability
+        self.seed = seed
+
+    def is_lost(self, t: int) -> bool:
+        if self.probability == 0.0:
+            return False
+        if self.probability == 1.0:
+            return True
+        # String seeds hash through SHA-512 in CPython, so the decision is
+        # stable across processes and interpreter runs.
+        return (
+            random.Random(f"{self.seed}:{t}").random() < self.probability
+        )
+
+    def __repr__(self) -> str:
+        return f"BernoulliFaults(p={self.probability}, seed={self.seed})"
+
+
+class BurstFaults:
+    """Gilbert-style bursty losses.
+
+    The channel alternates between a GOOD state (loss-free) and a BAD
+    state (every slot lost).  Transitions happen per slot: GOOD -> BAD
+    with probability ``p_enter``, BAD -> GOOD with probability
+    ``p_exit``; expected burst length is ``1 / p_exit``.  The state
+    sequence is precomputed lazily and cached so queries are O(1) and
+    order-independent.
+    """
+
+    def __init__(
+        self, p_enter: float, p_exit: float, *, seed: int = 0
+    ) -> None:
+        for name, value in (("p_enter", p_enter), ("p_exit", p_exit)):
+            if not 0.0 <= value <= 1.0:
+                raise SpecificationError(
+                    f"{name} must be in [0, 1]: {value}"
+                )
+        self.p_enter = p_enter
+        self.p_exit = p_exit
+        self.seed = seed
+        self._states: list[bool] = []  # True = BAD
+        self._rng = random.Random(seed)
+        self._current_bad = False
+
+    def _extend_to(self, t: int) -> None:
+        while len(self._states) <= t:
+            if self._current_bad:
+                if self._rng.random() < self.p_exit:
+                    self._current_bad = False
+            else:
+                if self._rng.random() < self.p_enter:
+                    self._current_bad = True
+            self._states.append(self._current_bad)
+
+    def is_lost(self, t: int) -> bool:
+        self._extend_to(t)
+        return self._states[t]
+
+    def __repr__(self) -> str:
+        return (
+            f"BurstFaults(p_enter={self.p_enter}, "
+            f"p_exit={self.p_exit}, seed={self.seed})"
+        )
+
+
+class AdversarialFaults:
+    """An explicit set of lost slots - the adversary of Lemmas 1-2.
+
+    The exhaustive worst-case analysis in :mod:`repro.sim.delay`
+    enumerates instances of this model.
+    """
+
+    def __init__(self, lost_slots: Iterable[int]) -> None:
+        self.lost_slots = frozenset(lost_slots)
+        if any(t < 0 for t in self.lost_slots):
+            raise SpecificationError("lost slots must be >= 0")
+
+    def is_lost(self, t: int) -> bool:
+        return t in self.lost_slots
+
+    @property
+    def budget(self) -> int:
+        """Number of losses this adversary spends."""
+        return len(self.lost_slots)
+
+    def __repr__(self) -> str:
+        return f"AdversarialFaults({sorted(self.lost_slots)})"

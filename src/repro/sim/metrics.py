@@ -1,0 +1,107 @@
+"""Latency metrics for simulation runs.
+
+Real-time database evaluation cares about the tail, not the mean: a
+temporal-consistency constraint is met or missed.  :class:`LatencySummary`
+therefore reports percentiles and the deadline-miss rate next to the
+demand-driven literature's favourite (the mean), so benches can show both
+philosophies' preferred numbers side by side.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import SimulationError
+
+
+def _percentile(ordered: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile on a pre-sorted sample."""
+    if not ordered:
+        raise SimulationError("cannot take percentile of empty sample")
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics over retrieval latencies (slots).
+
+    ``misses`` counts retrievals that failed outright (never completed)
+    plus - when a deadline was supplied - completions past the deadline.
+    """
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    worst: float
+    misses: int
+    deadline: int | None = None
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of retrievals that missed (failed or late)."""
+        return self.misses / self.count if self.count else 0.0
+
+    def __str__(self) -> str:
+        deadline = (
+            f", deadline={self.deadline}, miss_rate={self.miss_rate:.3f}"
+            if self.deadline is not None
+            else f", failures={self.misses}"
+        )
+        return (
+            f"LatencySummary(n={self.count}, mean={self.mean:.2f}, "
+            f"p50={self.p50:.0f}, p95={self.p95:.0f}, p99={self.p99:.0f}, "
+            f"worst={self.worst:.0f}{deadline})"
+        )
+
+
+def summarize_latencies(
+    latencies: Iterable[int | None],
+    *,
+    deadline: int | None = None,
+) -> LatencySummary:
+    """Summarize a latency sample.
+
+    ``None`` entries mean "never completed" and count as misses; they are
+    excluded from the distribution statistics (there is no finite latency
+    to average).
+    """
+    completed: list[float] = []
+    misses = 0
+    total = 0
+    for latency in latencies:
+        total += 1
+        if latency is None:
+            misses += 1
+            continue
+        if deadline is not None and latency > deadline:
+            misses += 1
+        completed.append(float(latency))
+    if total == 0:
+        raise SimulationError("no latencies supplied")
+    if not completed:
+        return LatencySummary(
+            count=total,
+            mean=float("inf"),
+            p50=float("inf"),
+            p95=float("inf"),
+            p99=float("inf"),
+            worst=float("inf"),
+            misses=misses,
+            deadline=deadline,
+        )
+    completed.sort()
+    return LatencySummary(
+        count=total,
+        mean=sum(completed) / len(completed),
+        p50=_percentile(completed, 0.50),
+        p95=_percentile(completed, 0.95),
+        p99=_percentile(completed, 0.99),
+        worst=completed[-1],
+        misses=misses,
+        deadline=deadline,
+    )

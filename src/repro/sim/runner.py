@@ -1,0 +1,100 @@
+"""End-to-end simulation: a broadcast program serving a request stream.
+
+Ties the pieces together: the server runs a :class:`BroadcastProgram`,
+the channel applies a :class:`FaultModel`, clients issue deadline-tagged
+requests and retrieve via :func:`repro.sim.client.retrieve`, and the
+outcome is summarized with :mod:`repro.sim.metrics`.  This is the harness
+behind the multidisk-baseline comparison and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import SimulationError
+from repro.bdisk.program import BroadcastProgram
+from repro.sim.client import RetrievalResult, retrieve
+from repro.sim.faults import FaultModel, NoFaults
+from repro.sim.metrics import LatencySummary, summarize_latencies
+from repro.sim.workload import Request
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """All retrievals of a run plus per-run summaries."""
+
+    retrievals: tuple[RetrievalResult, ...]
+    requests: tuple[Request, ...]
+    summary: LatencySummary
+    deadline_misses: int
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        return (
+            self.deadline_misses / len(self.requests)
+            if self.requests
+            else 0.0
+        )
+
+
+def simulate_requests(
+    program: BroadcastProgram,
+    requests: Sequence[Request],
+    *,
+    file_sizes: Mapping[str, int],
+    faults: FaultModel | None = None,
+    need_distinct: bool = True,
+    max_slots: int | None = None,
+) -> SimulationResult:
+    """Run a request stream against a program.
+
+    Parameters
+    ----------
+    program:
+        The server's broadcast program.
+    requests:
+        Deadline-tagged requests (see :func:`repro.sim.workload.request_stream`).
+    file_sizes:
+        Blocks needed per file (``m_i``) - the reconstruction requirement.
+    faults:
+        Channel fault model shared by all clients (default: none).
+    need_distinct:
+        IDA mode (any ``m`` distinct blocks) vs specific-blocks mode.
+    max_slots:
+        Per-retrieval listening horizon (default: generous, see
+        :func:`repro.sim.client.retrieve`).
+    """
+    if not requests:
+        raise SimulationError("no requests supplied")
+    fault_model = faults if faults is not None else NoFaults()
+
+    retrievals: list[RetrievalResult] = []
+    misses = 0
+    for request in requests:
+        if request.file not in file_sizes:
+            raise SimulationError(
+                f"no size known for requested file {request.file!r}"
+            )
+        result = retrieve(
+            program,
+            request.file,
+            file_sizes[request.file],
+            start=request.time,
+            faults=fault_model,
+            need_distinct=need_distinct,
+            max_slots=max_slots,
+        )
+        retrievals.append(result)
+        if not result.met_deadline(request.deadline):
+            misses += 1
+
+    summary = summarize_latencies(
+        (r.latency for r in retrievals),
+    )
+    return SimulationResult(
+        retrievals=tuple(retrievals),
+        requests=tuple(requests),
+        summary=summary,
+        deadline_misses=misses,
+    )

@@ -1,0 +1,172 @@
+"""Seeded workload generators for tests and benchmarks.
+
+Everything takes an explicit :class:`random.Random` so every experiment is
+reproducible from its seed; nothing touches the global RNG state.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from repro.errors import SpecificationError
+from repro.core.task import PinwheelSystem, PinwheelTask
+from repro.bdisk.file import FileSpec
+
+
+def random_file_set(
+    rng: random.Random,
+    count: int,
+    *,
+    max_blocks: int = 8,
+    max_latency: int = 30,
+    max_fault_budget: int = 0,
+) -> list[FileSpec]:
+    """Random :class:`FileSpec` sets for bandwidth/scheduling sweeps.
+
+    Sizes are uniform in ``[1, max_blocks]``, latencies in
+    ``[blocks, max_latency]`` (so each file is individually satisfiable at
+    bandwidth 1), and fault budgets in ``[0, max_fault_budget]``.
+    """
+    if count < 1:
+        raise SpecificationError(f"count must be >= 1: {count}")
+    specs = []
+    for index in range(count):
+        blocks = rng.randint(1, max_blocks)
+        latency = rng.randint(max(1, blocks), max_latency)
+        budget = rng.randint(0, max_fault_budget)
+        specs.append(
+            FileSpec(f"file-{index}", blocks, latency, fault_budget=budget)
+        )
+    return specs
+
+
+def random_pinwheel_system(
+    rng: random.Random,
+    count: int,
+    target_density: float,
+    *,
+    min_window: int = 4,
+    max_window: int = 120,
+    tolerance: float = 0.02,
+    max_attempts: int = 500,
+) -> PinwheelSystem:
+    """A random unit-demand pinwheel system with density near a target.
+
+    Windows are drawn log-uniformly, then rescaled toward the target
+    density and adjusted window-by-window until the density lands within
+    ``tolerance`` of ``target_density`` (always from below, so threshold
+    experiments like "density <= 7/10" are honest).
+
+    Raises
+    ------
+    SpecificationError
+        If the target cannot be hit with the given parameters (e.g. a
+        target above ``count / min_window``).
+    """
+    if not 0 < target_density <= 1:
+        raise SpecificationError(
+            f"target density must be in (0, 1]: {target_density}"
+        )
+    upper = count / min_window
+    if target_density > upper:
+        raise SpecificationError(
+            f"{count} tasks with windows >= {min_window} cannot reach "
+            f"density {target_density} (max {upper:.3f})"
+        )
+
+    for _ in range(max_attempts):
+        windows = [
+            round(
+                min_window
+                * (max_window / min_window) ** rng.random()
+            )
+            for _ in range(count)
+        ]
+        density = sum(Fraction(1, w) for w in windows)
+        scale = float(density) / target_density
+        windows = [
+            max(min_window, min(max_window * 4, round(w * scale)))
+            for w in windows
+        ]
+        # Nudge individual windows down until we are just under target.
+        density = sum(Fraction(1, w) for w in windows)
+        guard = 10_000
+        while density > target_density and guard:
+            index = rng.randrange(count)
+            windows[index] += 1
+            density = sum(Fraction(1, w) for w in windows)
+            guard -= 1
+        while guard:
+            # Try to tighten one window without overshooting.
+            order = sorted(range(count), key=lambda i: -windows[i])
+            improved = False
+            for index in order:
+                if windows[index] <= min_window:
+                    continue
+                candidate = density - Fraction(1, windows[index]) + Fraction(
+                    1, windows[index] - 1
+                )
+                if candidate <= target_density:
+                    windows[index] -= 1
+                    density = candidate
+                    improved = True
+                    break
+            if not improved:
+                break
+            guard -= 1
+        if target_density - float(density) <= tolerance:
+            return PinwheelSystem(
+                PinwheelTask(i + 1, 1, w) for i, w in enumerate(windows)
+            )
+    raise SpecificationError(
+        f"could not hit target density {target_density} within "
+        f"{max_attempts} attempts"
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One client request: arrive at ``time``, want ``file`` by
+    ``deadline`` slots later."""
+
+    time: int
+    file: str
+    deadline: int
+
+
+def request_stream(
+    rng: random.Random,
+    files: Sequence[FileSpec],
+    *,
+    count: int,
+    horizon: int,
+    bandwidth: int = 1,
+    zipf_skew: float = 0.0,
+) -> list[Request]:
+    """A stream of deadline-tagged requests over a horizon of slots.
+
+    Arrival times are uniform; file choice is Zipf-weighted by position
+    when ``zipf_skew > 0`` (hot-first, matching the multidisk baseline's
+    assumptions) and uniform otherwise.  Each request's deadline is the
+    file's latency budget in slots at the given bandwidth.
+    """
+    if count < 1 or horizon < 1:
+        raise SpecificationError("count and horizon must be >= 1")
+    if not files:
+        raise SpecificationError("at least one file is required")
+    weights = [
+        1.0 / ((rank + 1) ** zipf_skew) for rank in range(len(files))
+    ]
+    requests = [
+        Request(
+            time=rng.randrange(horizon),
+            file=(choice := rng.choices(files, weights=weights, k=1)[0]).name,
+            deadline=choice.latency * bandwidth,
+        )
+        for _ in range(count)
+    ]
+    requests.sort(key=lambda r: r.time)
+    return requests

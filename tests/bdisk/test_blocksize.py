@@ -1,0 +1,127 @@
+"""Tests for the Section 5 block-size trade-off module."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bdisk.blocksize import (
+    SizedFile,
+    analyze_block_size,
+    codec_cost_model,
+    largest_schedulable_block_size,
+    per_file_multiples,
+)
+from repro.core.bounds import CHAN_CHIN_DENSITY
+from repro.errors import SpecificationError
+
+
+def catalogue() -> list[SizedFile]:
+    return [
+        SizedFile("urgent", 4_096, Fraction(1, 2), fault_budget=1),
+        SizedFile("bulk", 65_536, 30),
+    ]
+
+
+class TestSizedFile:
+    def test_dispersal_level(self):
+        spec = SizedFile("f", 10_000, 5)
+        assert spec.dispersal_level(1_000) == 10
+        assert spec.dispersal_level(3_000) == 4  # ceil
+
+    def test_validation(self):
+        with pytest.raises(SpecificationError):
+            SizedFile("f", 0, 5)
+        with pytest.raises(SpecificationError):
+            SizedFile("f", 10, 0)
+        with pytest.raises(SpecificationError):
+            SizedFile("f", 10, 5, fault_budget=-1)
+
+
+class TestAnalyze:
+    def test_density_contains_floor(self):
+        report = analyze_block_size(catalogue(), 64_000, 512)
+        floor = sum(
+            Fraction(f.size_bytes)
+            / (Fraction(f.latency_seconds) * 64_000)
+            for f in catalogue()
+        )
+        assert report.density >= floor
+
+    def test_small_blocks_denser_codec(self):
+        fine = analyze_block_size(catalogue(), 64_000, 256)
+        coarse = analyze_block_size(catalogue(), 64_000, 4_096)
+        assert fine.codec_cost > coarse.codec_cost
+
+    def test_window_overflow_marked_unschedulable(self):
+        # One block slot cannot fit within an impossibly tight latency.
+        tight = [SizedFile("x", 8_192, Fraction(1, 1000))]
+        report = analyze_block_size(tight, 64_000, 4_096)
+        assert not report.schedulable
+
+    def test_validation(self):
+        with pytest.raises(SpecificationError):
+            analyze_block_size(catalogue(), 64_000, 0)
+        with pytest.raises(SpecificationError):
+            analyze_block_size(catalogue(), 0, 512)
+        with pytest.raises(SpecificationError):
+            analyze_block_size([], 64_000, 512)
+
+    def test_report_str(self):
+        report = analyze_block_size(catalogue(), 64_000, 512)
+        assert "b=" in str(report)
+
+
+class TestLargestSchedulable:
+    def test_picks_largest_passing(self):
+        best, reports = largest_schedulable_block_size(
+            catalogue(), 64_000, [256, 512, 1024, 2048]
+        )
+        assert best is not None
+        passing = [r.block_size for r in reports if r.schedulable]
+        assert best.block_size == max(passing)
+
+    def test_none_when_all_fail(self):
+        hopeless = [SizedFile("x", 10**6, Fraction(1, 100))]
+        best, reports = largest_schedulable_block_size(
+            hopeless, 1_000, [256, 512]
+        )
+        assert best is None
+        assert all(not r.schedulable for r in reports)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(SpecificationError):
+            largest_schedulable_block_size(catalogue(), 64_000, [])
+
+
+class TestPerFileMultiples:
+    def test_respects_density_bound(self):
+        multiples = per_file_multiples(catalogue(), 64_000, 256, 16)
+        total = Fraction(0)
+        for spec in catalogue():
+            block = 256 * multiples[spec.name]
+            m = spec.dispersal_level(block)
+            window = Fraction(spec.latency_seconds) * 64_000 / block
+            total += Fraction(m + spec.fault_budget) / window
+        assert total <= CHAN_CHIN_DENSITY
+
+    def test_bulk_file_takes_larger_blocks(self):
+        multiples = per_file_multiples(catalogue(), 64_000, 256, 16)
+        assert multiples["bulk"] >= multiples["urgent"]
+
+    def test_unschedulable_base_rejected(self):
+        hopeless = [SizedFile("x", 10**6, Fraction(1, 100))]
+        with pytest.raises(SpecificationError):
+            per_file_multiples(hopeless, 1_000, 256)
+
+    def test_validation(self):
+        with pytest.raises(SpecificationError):
+            per_file_multiples(catalogue(), 64_000, 0)
+
+
+class TestCodecModel:
+    def test_linear_per_byte(self):
+        assert codec_cost_model(8) == 8
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(SpecificationError):
+            codec_cost_model(0)

@@ -1,0 +1,89 @@
+"""Tests for flat program builders (Figures 5 and 6)."""
+
+import pytest
+
+from repro.bdisk.flat import (
+    build_aida_flat_program,
+    build_flat_program,
+    uniform_interleave,
+)
+from repro.errors import SpecificationError
+
+
+class TestUniformInterleave:
+    def test_paper_toy_layout(self):
+        layout = uniform_interleave({"A": 5, "B": 3})
+        assert layout == ["A", "B", "A", "A", "B", "A", "B", "A"]
+
+    def test_single_file(self):
+        assert uniform_interleave({"A": 4}) == ["A"] * 4
+
+    def test_equal_sizes_alternate(self):
+        layout = uniform_interleave({"A": 3, "B": 3})
+        assert layout == ["A", "B", "A", "B", "A", "B"]
+
+    def test_rejects_empty(self):
+        with pytest.raises(SpecificationError):
+            uniform_interleave({})
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(SpecificationError):
+            uniform_interleave({"A": 0})
+
+    def test_spreading_bounds_gaps(self):
+        """Uniform spreading: the max gap of a file with k slots in a
+        period of P is at most ceil(P / k) + 1."""
+        layout = uniform_interleave({"X": 20, "Y": 7, "Z": 3})
+        period = len(layout)
+        for name, count in (("X", 20), ("Y", 7), ("Z", 3)):
+            positions = [i for i, owner in enumerate(layout) if owner == name]
+            gaps = [
+                (positions[(i + 1) % count] - positions[i]) % period or period
+                for i in range(count)
+            ]
+            assert max(gaps) <= -(-period // count) + 1
+
+
+class TestFlatProgram:
+    def test_figure5_reproduction(self, figure5_program):
+        assert figure5_program.render() == (
+            "A'1 B'1 A'2 A'3 B'2 A'4 B'3 A'5"
+        )
+
+    def test_lemma1_structure(self, figure5_program):
+        """Without IDA a lost block recurs after exactly one period."""
+        period = figure5_program.broadcast_period
+        first = figure5_program.slot_content(1)
+        assert figure5_program.slot_content(1 + period) == first
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SpecificationError):
+            build_flat_program([("A", 2), ("A", 3)])
+
+
+class TestAidaFlatProgram:
+    def test_figure6_reproduction(self, figure6_program):
+        assert figure6_program.render() == (
+            "A'1 B'1 A'2 A'3 B'2 A'4 B'3 A'5 "
+            "A'6 B'4 A'7 A'8 B'5 A'9 B'6 A'10"
+        )
+
+    def test_all_dispersed_blocks_appear(self, figure6_program):
+        contents = figure6_program.content_cycle()
+        a_indices = {c.block_index for c in contents if c.file == "A"}
+        b_indices = {c.block_index for c in contents if c.file == "B"}
+        assert a_indices == set(range(10))
+        assert b_indices == set(range(6))
+
+    def test_rejects_n_below_m(self):
+        with pytest.raises(SpecificationError):
+            build_aida_flat_program([("A", 5, 4)])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(SpecificationError):
+            build_aida_flat_program([("A", 2, 4), ("A", 3, 6)])
+
+    def test_data_cycle_lcm(self):
+        # A: 2-of-6 -> 3 periods; B: 3-of-6 -> 2 periods; lcm = 6.
+        program = build_aida_flat_program([("A", 2, 6), ("B", 3, 6)])
+        assert program.data_cycle_length == program.broadcast_period * 6

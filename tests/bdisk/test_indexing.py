@@ -1,0 +1,133 @@
+"""Tests for broadcast indexing (the footnote-3 alternative)."""
+
+import pytest
+
+from repro.bdisk.flat import build_aida_flat_program
+from repro.bdisk.indexing import (
+    INDEX,
+    build_indexed_program,
+    tuned_retrieve,
+)
+from repro.errors import SimulationError, SpecificationError
+from repro.sim.client import retrieve
+from repro.sim.faults import AdversarialFaults
+
+
+def make_indexed(replication=1):
+    base = build_aida_flat_program([("A", 5, 10), ("B", 3, 6)])
+    return base, build_indexed_program(base, replication=replication)
+
+
+class TestBuild:
+    def test_layout_contains_all_content(self):
+        base, indexed = make_indexed()
+        data_slots = [e for e in indexed.layout if e not in (None, INDEX)]
+        assert len(data_slots) == base.data_cycle_length
+        assert indexed.period == base.data_cycle_length + 1
+
+    def test_replication_spreads_indexes(self):
+        base, indexed = make_indexed(replication=4)
+        positions = indexed.index_positions()
+        assert len(positions) == 4
+        spacings = [
+            positions[i + 1] - positions[i]
+            for i in range(len(positions) - 1)
+        ]
+        assert max(spacings) - min(spacings) <= 2
+
+    def test_validation(self):
+        base, _ = make_indexed()
+        with pytest.raises(SpecificationError):
+            build_indexed_program(base, replication=0)
+        with pytest.raises(SpecificationError):
+            build_indexed_program(base, replication=10_000)
+
+    def test_slot_is_periodic(self):
+        _, indexed = make_indexed()
+        for t in range(indexed.period):
+            assert indexed.slot(t) == indexed.slot(t + indexed.period)
+
+
+class TestTunedRetrieve:
+    def test_fault_free_completes(self):
+        _, indexed = make_indexed()
+        result = tuned_retrieve(indexed, "B", 3)
+        assert result.completed
+        assert result.retunes == 0
+
+    def test_tuning_time_far_below_latency(self):
+        """The index's selling point: the receiver is mostly asleep."""
+        _, indexed = make_indexed()
+        result = tuned_retrieve(indexed, "B", 3, start=1)
+        assert result.completed
+        # Hunt for the index + exactly m wakes for blocks.
+        assert result.tuning_time < result.latency
+        assert result.tuning_time <= indexed.period + 3
+
+    def test_self_identifying_client_tunes_every_slot(self):
+        """Contrast: without the index, tuning time == latency."""
+        base, indexed = make_indexed()
+        plain = retrieve(base, "B", 3)
+        tuned = tuned_retrieve(indexed, "B", 3)
+        assert plain.latency == plain.latency  # tuning == latency by def.
+        assert tuned.tuning_time < plain.latency
+
+    def test_lost_block_forces_retune(self):
+        """The paper's objection: a fault costs a re-tune (a period-scale
+        penalty), not a Delta-scale one."""
+        _, indexed = make_indexed()
+        clean = tuned_retrieve(indexed, "B", 3)
+        # Kill the slot where the client would fetch its first B block.
+        first_b = next(
+            t
+            for t in range(indexed.period)
+            if (e := indexed.slot(t)) not in (None, INDEX)
+            and e[0] == "B"
+        )
+        faulty = tuned_retrieve(
+            indexed, "B", 3, faults=AdversarialFaults([first_b])
+        )
+        assert faulty.completed
+        assert faulty.retunes >= 1
+        assert faulty.latency > clean.latency
+
+    def test_lost_index_delays_start(self):
+        _, indexed = make_indexed()
+        index_slot = indexed.index_positions()[0]
+        result = tuned_retrieve(
+            indexed, "B", 3, faults=AdversarialFaults([index_slot])
+        )
+        clean = tuned_retrieve(indexed, "B", 3)
+        assert result.completed
+        assert result.latency >= clean.latency
+
+    def test_replication_shortens_index_hunt(self):
+        """(1, m)-indexing: more index copies, shorter worst hunt."""
+        _, sparse = make_indexed(replication=1)
+        _, dense = make_indexed(replication=4)
+
+        def worst_hunt(indexed):
+            positions = indexed.index_positions()
+            return max(
+                min(
+                    (p - phase) % indexed.period for p in positions
+                )
+                for phase in range(indexed.period)
+            )
+
+        assert worst_hunt(dense) < worst_hunt(sparse)
+
+    def test_unknown_file_rejected(self):
+        _, indexed = make_indexed()
+        with pytest.raises(SimulationError):
+            tuned_retrieve(indexed, "Z", 1)
+
+    def test_blackout_reports_incomplete(self):
+        _, indexed = make_indexed()
+        from repro.sim.faults import BernoulliFaults
+
+        result = tuned_retrieve(
+            indexed, "B", 3, faults=BernoulliFaults(1.0), max_slots=100
+        )
+        assert not result.completed
+        assert result.latency is None

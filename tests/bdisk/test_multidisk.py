@@ -1,0 +1,117 @@
+"""Tests for the Acharya-style multidisk baseline."""
+
+import pytest
+
+from repro.bdisk.multidisk import (
+    MultidiskConfig,
+    build_multidisk_program,
+    config_from_demand,
+    expected_average_latency,
+)
+from repro.errors import SpecificationError
+
+
+def toy_config() -> MultidiskConfig:
+    return MultidiskConfig(
+        [
+            (2, [("hot", 2)]),
+            (1, [("cold", 4)]),
+        ]
+    )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(SpecificationError):
+            MultidiskConfig([])
+        with pytest.raises(SpecificationError):
+            MultidiskConfig([(0, [("a", 1)])])
+        with pytest.raises(SpecificationError):
+            MultidiskConfig([(1, [])])
+        with pytest.raises(SpecificationError):
+            MultidiskConfig([(1, [("a", 1)]), (2, [("a", 2)])])
+        with pytest.raises(SpecificationError):
+            MultidiskConfig([(1, [("a", 0)])])
+
+    def test_accessors(self):
+        config = toy_config()
+        assert config.frequencies() == (2, 1)
+        assert config.file_names() == ("hot", "cold")
+
+
+class TestProgramGeneration:
+    def test_fast_disk_appears_proportionally(self):
+        program = build_multidisk_program(toy_config())
+        hot = program.schedule.total("hot")
+        cold = program.schedule.total("cold")
+        # hot spins twice per major cycle with 2 blocks -> 4 slots;
+        # cold spins once with 4 blocks -> 4 slots.
+        assert hot == 4
+        assert cold == 4
+
+    def test_every_block_broadcast(self):
+        program = build_multidisk_program(toy_config())
+        contents = program.content_cycle()
+        cold_indices = {
+            c.block_index for c in contents if c is not None and c.file == "cold"
+        }
+        assert cold_indices == {0, 1, 2, 3}
+
+    def test_equal_spacing_of_hot_disk(self):
+        """Acharya's equal-spacing property: the hot file's appearances
+        split the major cycle evenly (within one chunk's tolerance)."""
+        program = build_multidisk_program(toy_config())
+        gaps = program.schedule.gaps("hot")
+        assert max(gaps) - min(gaps) <= 2
+
+    def test_three_level_hierarchy(self):
+        config = MultidiskConfig(
+            [
+                (4, [("h", 1)]),
+                (2, [("w", 2)]),
+                (1, [("c", 4)]),
+            ]
+        )
+        program = build_multidisk_program(config)
+        assert program.schedule.total("h") == 4
+        assert program.schedule.total("w") == 4
+        assert program.schedule.total("c") == 4
+
+
+class TestAverageLatency:
+    def test_hot_files_wait_less(self):
+        config = toy_config()
+        program = build_multidisk_program(config)
+        period = program.broadcast_period
+        hot_spacing = period / program.schedule.total("hot")
+        cold_spacing = period / program.schedule.total("cold")
+        assert hot_spacing <= cold_spacing
+
+    def test_demand_weighting(self):
+        config = toy_config()
+        all_hot = expected_average_latency(config, {"hot": 1.0, "cold": 0.0})
+        all_cold = expected_average_latency(config, {"hot": 0.0, "cold": 1.0})
+        assert all_hot <= all_cold
+
+    def test_unknown_file_rejected(self):
+        with pytest.raises(SpecificationError):
+            expected_average_latency(toy_config(), {"nope": 1.0})
+
+    def test_zero_demand_rejected(self):
+        with pytest.raises(SpecificationError):
+            expected_average_latency(toy_config(), {"hot": 0.0})
+
+
+class TestConfigFromDemand:
+    def test_hot_files_land_on_fast_disks(self):
+        config = config_from_demand(
+            [("a", 1), ("b", 1), ("c", 1)],
+            {"a": 10.0, "b": 1.0, "c": 0.1},
+            levels=(4, 2, 1),
+        )
+        assert config.disks[0][0] == 4
+        assert config.disks[0][1][0][0] == "a"
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecificationError):
+            config_from_demand([], {})

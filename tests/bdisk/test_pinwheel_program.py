@@ -1,0 +1,65 @@
+"""Tests for pinwheel-schedule-derived broadcast programs."""
+
+import pytest
+
+from repro.bdisk.pinwheel_program import (
+    build_pinwheel_program,
+    program_from_conjunct,
+)
+from repro.core.conditions import NiceConjunct, pc, virtual_key
+from repro.core.schedule import IDLE, Schedule
+from repro.errors import ProgramError
+
+
+class TestBuildPinwheelProgram:
+    def test_rotation_attached(self):
+        schedule = Schedule(["F", "G", "F", IDLE])
+        program = build_pinwheel_program(schedule, {"F": 3, "G": 2})
+        assert program.block_count("F") == 3
+        # F: 2 slots/cycle over 3 blocks -> repeats after 3 cycles;
+        # G: 1 slot/cycle over 2 blocks -> repeats after 2; lcm = 6.
+        assert program.data_cycle_length == 4 * 6
+
+    def test_distinct_window_check_passes(self):
+        # F appears twice per 4-slot cycle, rotates through 2 blocks:
+        # every 4-window sees 2 distinct blocks -> m=1, r=1 OK.
+        schedule = Schedule(["F", IDLE, "F", IDLE])
+        program = build_pinwheel_program(
+            schedule, {"F": 2}, check_windows={"F": (1, 1, 4)}
+        )
+        assert program.min_distinct_in_window("F", 4) == 2
+
+    def test_distinct_window_check_fails(self):
+        # Rotating through only 1 block cannot tolerate a fault.
+        schedule = Schedule(["F", IDLE, "F", IDLE])
+        with pytest.raises(ProgramError, match="fault-tolerance"):
+            build_pinwheel_program(
+                schedule, {"F": 1}, check_windows={"F": (1, 1, 4)}
+            )
+
+
+class TestProgramFromConjunct:
+    def test_virtual_tasks_fold_onto_file(self):
+        helper = virtual_key("F", 1)
+        conjunct = NiceConjunct(
+            (pc("F", 1, 2), pc(helper, 1, 4)), {helper: "F"}
+        )
+        schedule = Schedule(["F", helper, "F", IDLE])
+        program = program_from_conjunct(schedule, conjunct, {"F": 3})
+        # All three F-slots rotate through distinct blocks.
+        contents = [program.slot_content(t) for t in range(4)]
+        assert contents[1].file == "F"
+        assert {
+            c.block_index for c in contents if c is not None
+        } == {0, 1, 2}
+
+    def test_conjunct_program_distinct_check(self):
+        helper = virtual_key("F", 1)
+        conjunct = NiceConjunct(
+            (pc("F", 1, 2), pc(helper, 1, 4)), {helper: "F"}
+        )
+        schedule = Schedule(["F", helper, "F", IDLE])
+        program = program_from_conjunct(
+            schedule, conjunct, {"F": 3}, check_windows={"F": (2, 1, 4)}
+        )
+        assert program.min_distinct_in_window("F", 4) == 3

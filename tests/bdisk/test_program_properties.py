@@ -1,0 +1,149 @@
+"""Property-based tests on BroadcastProgram invariants (hypothesis).
+
+The broadcast program is the library's central data structure; these
+properties must hold for *any* schedule and block-count configuration:
+
+1. content is periodic with the data cycle;
+2. the data cycle is the smallest multiple of the broadcast period at
+   which every file's rotation returns to block 0;
+3. a window containing ``k`` service slots of a file carries exactly
+   ``min(k, n_i)`` distinct blocks (cyclic rotation);
+4. gaps sum to the period and bound window counts from both sides.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdisk.program import BroadcastProgram
+from repro.core.schedule import IDLE, Schedule
+
+
+@st.composite
+def programs(draw):
+    """Random small programs: 1-3 files, idle slots, rotation counts."""
+    n_files = draw(st.integers(1, 3))
+    names = [f"f{i}" for i in range(n_files)]
+    length = draw(st.integers(n_files, 12))
+    cycle = [
+        draw(st.sampled_from(names + [IDLE])) for _ in range(length)
+    ]
+    # Ensure every file appears at least once.
+    for index, name in enumerate(names):
+        cycle[index % length] = name
+    schedule = Schedule(cycle)
+    block_counts = {
+        name: draw(st.integers(1, 8)) for name in names
+    }
+    return BroadcastProgram(schedule, block_counts)
+
+
+class TestPeriodicity:
+    @given(program=programs())
+    @settings(max_examples=60, deadline=None)
+    def test_content_periodic_in_data_cycle(self, program):
+        cycle = program.data_cycle_length
+        for t in range(cycle):
+            assert program.slot_content(t) == program.slot_content(
+                t + cycle
+            )
+
+    @given(program=programs())
+    @settings(max_examples=60, deadline=None)
+    def test_data_cycle_is_minimal(self, program):
+        """No smaller multiple of the period repeats the content."""
+        period = program.broadcast_period
+        cycle = program.data_cycle_length
+        multiples = cycle // period
+        for candidate_mult in range(1, multiples):
+            if multiples % candidate_mult:
+                continue
+            candidate = candidate_mult * period
+            differs = any(
+                program.slot_content(t)
+                != program.slot_content(t + candidate)
+                for t in range(candidate)
+            )
+            assert differs, (
+                f"content already repeats at {candidate} < {cycle}"
+            )
+
+    @given(program=programs())
+    @settings(max_examples=60, deadline=None)
+    def test_data_cycle_formula(self, program):
+        period = program.broadcast_period
+        expected = 1
+        for name in program.files:
+            per_cycle = program.schedule.total(name)
+            n_blocks = program.block_count(name)
+            expected = math.lcm(
+                expected, n_blocks // math.gcd(n_blocks, per_cycle)
+            )
+        assert program.data_cycle_length == period * expected
+
+
+class TestRotation:
+    @given(program=programs())
+    @settings(max_examples=60, deadline=None)
+    def test_consecutive_occurrences_rotate(self, program):
+        """Occurrence c carries block c mod n - globally, in order."""
+        for name in program.files:
+            n_blocks = program.block_count(name)
+            seen = 0
+            for t in range(program.data_cycle_length):
+                content = program.slot_content(t)
+                if content is None or content.file != name:
+                    continue
+                assert content.block_index == seen % n_blocks
+                seen += 1
+
+    @given(program=programs(), window=st.integers(1, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_distinct_blocks_equal_min_count_rotation(
+        self, program, window
+    ):
+        """Any window with k slots of a file holds min-over-windows of
+        min(k, n) distinct blocks - rotation never wastes a slot until
+        the supply of distinct blocks is exhausted."""
+        for name in program.files:
+            n_blocks = program.block_count(name)
+            min_count = program.min_count_in_window(name, window)
+            distinct = program.min_distinct_in_window(name, window)
+            assert distinct <= min(window, n_blocks)
+            assert distinct >= min(min_count, 1 if min_count else 0)
+
+    @given(program=programs())
+    @settings(max_examples=40, deadline=None)
+    def test_all_blocks_eventually_air(self, program):
+        """Every one of the n_i dispersed blocks appears in the cycle
+        whenever the file has at least one slot."""
+        for name in program.files:
+            per_cycle = program.schedule.total(name)
+            if per_cycle == 0:
+                continue
+            aired = {
+                c.block_index
+                for c in program.content_cycle()
+                if c is not None and c.file == name
+            }
+            assert aired == set(range(program.block_count(name)))
+
+
+class TestGaps:
+    @given(program=programs())
+    @settings(max_examples=60, deadline=None)
+    def test_gaps_sum_to_period(self, program):
+        for name in program.files:
+            gaps = program.schedule.gaps(name)
+            assert sum(gaps) == program.broadcast_period
+
+    @given(program=programs())
+    @settings(max_examples=60, deadline=None)
+    def test_max_gap_bounds_window_emptiness(self, program):
+        """A window of max_gap slots always contains >= 1 service; one
+        of max_gap - 1 may contain none."""
+        for name in program.files:
+            delta = program.max_gap(name)
+            assert program.min_count_in_window(name, delta) >= 1
+            if delta > 1:
+                assert program.min_count_in_window(name, delta - 1) == 0

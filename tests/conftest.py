@@ -1,0 +1,27 @@
+"""Shared fixtures: the paper's toy programs and seeded RNGs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bdisk.flat import build_aida_flat_program, build_flat_program
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG; reseed per test for reproducibility."""
+    return random.Random(0xB0CA)
+
+
+@pytest.fixture
+def figure5_program():
+    """The paper's Figure 5 flat program: A (5 blocks), B (3 blocks)."""
+    return build_flat_program([("A", 5), ("B", 3)])
+
+
+@pytest.fixture
+def figure6_program():
+    """The paper's Figure 6 AIDA program: A 5-of-10, B 3-of-6."""
+    return build_aida_flat_program([("A", 5, 10), ("B", 3, 6)])

@@ -1,0 +1,127 @@
+"""Tests for Equations 1-2 and the density thresholds."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.bounds import (
+    CHAN_CHIN_DENSITY,
+    SINGLE_REDUCTION_DENSITY,
+    THREE_TASK_DENSITY,
+    TWO_TASK_DENSITY,
+    bandwidth_overhead,
+    density_lower_bound,
+    induced_pinwheel_density,
+    necessary_bandwidth,
+    sufficient_bandwidth_eq1,
+    sufficient_bandwidth_eq2,
+)
+from repro.core.conditions import bc
+from repro.errors import SpecificationError
+
+
+class TestConstants:
+    def test_paper_quoted_thresholds(self):
+        assert CHAN_CHIN_DENSITY == Fraction(7, 10)
+        assert SINGLE_REDUCTION_DENSITY == Fraction(1, 2)
+        assert THREE_TASK_DENSITY == Fraction(5, 6)
+        assert TWO_TASK_DENSITY == 1
+
+
+class TestNecessaryBandwidth:
+    def test_simple_sum(self):
+        # m/T: 5/2 + 3/1 = 5.5
+        assert necessary_bandwidth([(5, 2), (3, 1)]) == Fraction(11, 2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(SpecificationError):
+            necessary_bandwidth([])
+
+    def test_rejects_bad_entries(self):
+        with pytest.raises(SpecificationError):
+            necessary_bandwidth([(0, 2)])
+        with pytest.raises(SpecificationError):
+            necessary_bandwidth([(1, 0)])
+
+
+class TestEquation1:
+    def test_ceiling_of_ten_sevenths(self):
+        # 10/7 * 5.5 = 55/7 = 7.857... -> 8
+        assert sufficient_bandwidth_eq1([(5, 2), (3, 1)]) == 8
+
+    def test_exact_multiple_no_rounding(self):
+        # sum m/T = 7/10 -> B = 1.
+        assert sufficient_bandwidth_eq1([(7, 10)]) == 1
+
+    def test_overhead_at_most_43_percent_plus_ceiling(self):
+        """Eq. 1 overhead is 3/7 plus at most one block of ceiling."""
+        rng = random.Random(1)
+        for _ in range(50):
+            files = [
+                (rng.randint(1, 9), rng.randint(1, 20))
+                for _ in range(rng.randint(1, 10))
+            ]
+            overhead = bandwidth_overhead(files)
+            necessary = necessary_bandwidth(files)
+            assert overhead <= Fraction(3, 7) + 1 / necessary
+
+    def test_density_at_eq1_bandwidth_schedulable(self):
+        """At the Eq. 1 bandwidth the induced density is <= 7/10."""
+        rng = random.Random(2)
+        for _ in range(50):
+            files = [
+                (rng.randint(1, 9), rng.randint(1, 20))
+                for _ in range(rng.randint(1, 10))
+            ]
+            bandwidth = sufficient_bandwidth_eq1(files)
+            assert induced_pinwheel_density(files, bandwidth) <= (
+                CHAN_CHIN_DENSITY
+            )
+
+
+class TestEquation2:
+    def test_fault_budgets_add(self):
+        # (5+2)/2 + (3+1)/1 = 7.5; *10/7 = 75/7 -> 11
+        assert sufficient_bandwidth_eq2([(5, 2, 2), (3, 1, 1)]) == 11
+
+    def test_zero_faults_matches_eq1(self):
+        files = [(4, 3), (2, 5)]
+        with_r = [(m, 0, t) for m, t in files]
+        assert sufficient_bandwidth_eq2(with_r) == (
+            sufficient_bandwidth_eq1(files)
+        )
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(SpecificationError):
+            sufficient_bandwidth_eq2([(1, -1, 5)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(SpecificationError):
+            sufficient_bandwidth_eq2([])
+
+
+class TestInducedDensity:
+    def test_density_scales_inversely(self):
+        files = [(5, 2), (3, 1)]
+        d1 = induced_pinwheel_density(files, 8)
+        d2 = induced_pinwheel_density(files, 16)
+        assert d2 == d1 / 2
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(SpecificationError):
+            induced_pinwheel_density([(1, 1)], 0)
+
+
+class TestDensityLowerBound:
+    def test_example2(self):
+        spec = bc("i", 5, [100, 105, 110, 115, 120])
+        assert density_lower_bound(spec) == Fraction(9, 120)
+
+    def test_example3(self):
+        spec = bc("i", 6, [105, 110])
+        assert density_lower_bound(spec) == Fraction(7, 110)
+
+    def test_dominated_by_last_level_when_tight(self):
+        spec = bc("i", 1, [10, 3])
+        assert density_lower_bound(spec) == Fraction(2, 3)

@@ -1,0 +1,137 @@
+"""Unit tests for pc / bc conditions and nice conjuncts."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.conditions import (
+    BroadcastCondition,
+    NiceConjunct,
+    PinwheelCondition,
+    bc,
+    pc,
+    virtual_key,
+)
+from repro.errors import SpecificationError
+
+
+class TestPinwheelCondition:
+    def test_density(self):
+        assert pc("f", 2, 5).density == Fraction(2, 5)
+
+    def test_rejects_unsatisfiable(self):
+        with pytest.raises(SpecificationError):
+            pc("f", 6, 5)
+
+    def test_rejects_zero_requirement(self):
+        with pytest.raises(SpecificationError):
+            pc("f", 0, 5)
+
+    def test_as_task_round_trip(self):
+        task = pc("f", 2, 7).as_task()
+        assert (task.ident, task.a, task.b) == ("f", 2, 7)
+
+    def test_str_matches_paper_notation(self):
+        assert str(pc("i", 1, 13)) == "pc(i, 1, 13)"
+
+
+class TestBroadcastCondition:
+    def test_expansion_is_equation_3(self):
+        """bc(i, m, d) == AND_j pc(i, m+j, d(j))."""
+        condition = bc("F", 2, [5, 6, 6])
+        assert condition.expand() == (
+            pc("F", 2, 5),
+            pc("F", 3, 6),
+            pc("F", 4, 6),
+        )
+
+    def test_r_counts_fault_levels(self):
+        assert bc("F", 1, [4]).r == 0
+        assert bc("F", 1, [4, 5, 6]).r == 2
+
+    def test_density_lower_bound_example2(self):
+        """Example 2: max{...} = 0.075."""
+        condition = bc("F", 5, [100, 105, 110, 115, 120])
+        assert condition.density_lower_bound == Fraction(9, 120)
+
+    def test_density_lower_bound_example4(self):
+        condition = bc("F", 4, [8, 9])
+        assert condition.density_lower_bound == Fraction(5, 9)
+
+    def test_rejects_empty_vector(self):
+        with pytest.raises(SpecificationError):
+            bc("F", 1, [])
+
+    def test_rejects_window_too_small_for_blocks(self):
+        # d(1) = 3 cannot carry m + 1 = 4 block slots.
+        with pytest.raises(SpecificationError):
+            bc("F", 3, [5, 3])
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(SpecificationError):
+            bc("F", 0, [5])
+
+    def test_str_rendering(self):
+        assert str(bc("F", 2, [5, 6])) == "bc(F, 2, [5, 6])"
+
+
+class TestNiceConjunct:
+    def test_density_sums_conditions(self):
+        conjunct = NiceConjunct((pc("a", 1, 2), pc("b", 1, 3)))
+        assert conjunct.density == Fraction(5, 6)
+
+    def test_rejects_duplicate_tasks(self):
+        with pytest.raises(SpecificationError):
+            NiceConjunct((pc("a", 1, 2), pc("a", 1, 3)))
+
+    def test_identity_mapping_by_default(self):
+        conjunct = NiceConjunct((pc("a", 1, 2),))
+        assert conjunct.file_of("a") == "a"
+
+    def test_virtual_mapping(self):
+        helper = virtual_key("a", 1)
+        conjunct = NiceConjunct(
+            (pc("a", 1, 2), pc(helper, 1, 9)), {helper: "a"}
+        )
+        assert conjunct.file_of(helper) == "a"
+        assert conjunct.file_of("a") == "a"
+
+    def test_as_system(self):
+        conjunct = NiceConjunct((pc("a", 1, 2), pc("b", 2, 5)))
+        system = conjunct.as_system()
+        assert len(system) == 2
+        assert system.task("b").a == 2
+
+    def test_merge_disjoint(self):
+        left = NiceConjunct((pc("a", 1, 2),))
+        right = NiceConjunct((pc("b", 1, 3),))
+        merged = left.merge(right)
+        assert len(merged) == 2
+        assert merged.density == Fraction(5, 6)
+
+    def test_merge_rejects_overlap(self):
+        left = NiceConjunct((pc("a", 1, 2),))
+        right = NiceConjunct((pc("a", 1, 3),))
+        with pytest.raises(SpecificationError):
+            left.merge(right)
+
+    def test_str_shows_map(self):
+        helper = virtual_key("i", 1)
+        conjunct = NiceConjunct(
+            (pc("i", 4, 8), pc(helper, 1, 9)), {helper: "i"}
+        )
+        rendered = str(conjunct)
+        assert "pc(i, 4, 8)" in rendered
+        assert "map(" in rendered
+
+
+class TestVirtualKey:
+    def test_distinct_per_index(self):
+        assert virtual_key("f", 1) != virtual_key("f", 2)
+
+    def test_distinct_per_file(self):
+        assert virtual_key("f", 1) != virtual_key("g", 1)
+
+    def test_structured_not_stringly(self):
+        key = virtual_key("f", 3)
+        assert key == ("virtual", "f", 3)

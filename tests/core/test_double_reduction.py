@@ -1,0 +1,137 @@
+"""Tests for the Sx double-integer reduction scheduler."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.conditions import PinwheelCondition
+from repro.core.double_reduction import (
+    CHAN_CHIN_BOUND,
+    allocate_double,
+    candidate_bases,
+    double_specialize_window,
+    schedule_double_reduction,
+    specialize_double,
+)
+from repro.core.task import PinwheelSystem
+from repro.core.verify import verify_schedule
+from repro.errors import SchedulingError, SpecificationError
+
+
+class TestSpecializeWindow:
+    def test_exact_members_unchanged(self):
+        for window in (4, 8, 12, 16, 24):
+            assert double_specialize_window(window, 4) == window
+
+    def test_rounds_down_to_base_set(self):
+        assert double_specialize_window(11, 4) == 8
+        assert double_specialize_window(13, 4) == 12
+        assert double_specialize_window(23, 4) == 16
+
+    def test_three_chain_member(self):
+        assert double_specialize_window(12, 4) == 12  # 3*4
+        assert double_specialize_window(6, 2) == 6    # 3*2
+
+    def test_rejects_window_below_base(self):
+        with pytest.raises(SpecificationError):
+            double_specialize_window(3, 4)
+
+    def test_loss_bounded_by_three_halves_above_2x(self):
+        """From 2x upward, consecutive base-set elements are within 1.5x."""
+        base = 5
+        for window in range(2 * base, 40 * base):
+            specialized = double_specialize_window(window, base)
+            assert window / specialized <= 1.5
+
+
+class TestAllocator:
+    def test_pure_chain_only(self):
+        system = PinwheelSystem.from_pairs([(1, 4), (1, 8), (2, 8)])
+        classes = allocate_double(system, 4)
+        assert sum(len(v) for v in classes.values()) == 4
+
+    def test_tri_chain_via_conversion(self):
+        system = PinwheelSystem.from_pairs([(1, 4), (1, 12), (1, 12)])
+        classes = allocate_double(system, 4)
+        moduli = {mod for v in classes.values() for _, mod in v}
+        assert 12 in moduli
+
+    def test_exhaustion_raises(self):
+        system = PinwheelSystem.from_pairs([(1, 2), (1, 2), (1, 2)])
+        with pytest.raises(SchedulingError):
+            allocate_double(system, 2)
+
+
+class TestScheduler:
+    def test_simple_mixed_instance(self):
+        system = PinwheelSystem.from_pairs([(1, 4), (1, 6), (1, 11)])
+        schedule = schedule_double_reduction(system)
+        verify_schedule(
+            schedule,
+            [PinwheelCondition(t.ident, t.a, t.b) for t in system.tasks],
+        )
+
+    def test_beats_single_reduction_regime(self):
+        """An instance above density 1/2 that Sx handles."""
+        system = PinwheelSystem.from_pairs(
+            [(1, 3), (1, 6), (1, 8), (1, 30)]
+        )
+        assert system.density > CHAN_CHIN_BOUND * 0 + 0.5
+        schedule = schedule_double_reduction(system)
+        verify_schedule(
+            schedule,
+            [PinwheelCondition(t.ident, t.a, t.b) for t in system.tasks],
+        )
+
+    def test_general_demands(self):
+        system = PinwheelSystem.from_pairs([(2, 8), (3, 13), (1, 25)])
+        schedule = schedule_double_reduction(system)
+        verify_schedule(
+            schedule,
+            [PinwheelCondition(t.ident, t.a, t.b) for t in system.tasks],
+        )
+
+    def test_full_density_pure_chain_schedules(self):
+        """{(1,2),(1,2)} has density 1 on a pure chain - schedulable."""
+        system = PinwheelSystem.from_pairs([(1, 2), (1, 2)])
+        schedule = schedule_double_reduction(system)
+        assert schedule.idle_count() == 0
+
+    def test_infeasible_instance_raises(self):
+        """{(1,2),(1,3),(1,6)} has density exactly 1 but is infeasible
+        (task 1 pins a parity; no odd-slot pattern serves (1,3))."""
+        system = PinwheelSystem.from_pairs([(1, 2), (1, 3), (1, 6)])
+        with pytest.raises(SchedulingError):
+            schedule_double_reduction(system)
+
+    @given(seed=st.integers(0, 20_000))
+    @settings(max_examples=80, deadline=None)
+    def test_chan_chin_operating_point(self, seed):
+        """Random unit-demand instances with density <= 7/10 schedule.
+
+        This validates the substitution documented in DESIGN.md: our Sx
+        variant covers the operating point the paper relies on.
+        """
+        rng = random.Random(seed)
+        count = rng.randint(2, 8)
+        windows = sorted(rng.randint(4, 100) for _ in range(count))
+        system = PinwheelSystem.from_pairs([(1, w) for w in windows])
+        if system.density > CHAN_CHIN_BOUND:
+            return
+        schedule = schedule_double_reduction(system)
+        verify_schedule(
+            schedule,
+            [PinwheelCondition(t.ident, t.a, t.b) for t in system.tasks],
+        )
+
+    def test_candidate_bases_include_tri_seeds(self):
+        bases = candidate_bases([12, 30])
+        assert 4 in bases   # 12 / 3
+        assert 10 in bases  # 30 / 3
+        assert 12 in bases
+
+    def test_specialize_double_system(self):
+        system = PinwheelSystem.from_pairs([(1, 11), (1, 13)])
+        specialized = specialize_double(system, 4)
+        assert [t.b for t in specialized.tasks] == [8, 12]

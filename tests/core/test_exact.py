@@ -1,0 +1,90 @@
+"""Tests for the exact lasso-search scheduler (feasibility ground truth)."""
+
+import pytest
+
+from repro.core.conditions import PinwheelCondition
+from repro.core.exact import is_feasible_exact, schedule_exact
+from repro.core.task import PinwheelSystem
+from repro.core.verify import verify_schedule
+from repro.errors import SchedulingError
+
+
+class TestFeasibility:
+    def test_example1_first_system_feasible(self):
+        system = PinwheelSystem.from_pairs([(1, 2), (1, 3)])
+        assert is_feasible_exact(system)
+
+    def test_example1_second_system_feasible(self):
+        system = PinwheelSystem.from_pairs([(2, 5), (1, 3)])
+        assert is_feasible_exact(system)
+
+    @pytest.mark.parametrize("n", [4, 6, 10, 20, 50])
+    def test_example1_third_family_infeasible(self, n):
+        """{(1,2), (1,3), (1,n)} is infeasible for every finite n."""
+        system = PinwheelSystem.from_pairs([(1, 2), (1, 3), (1, n)])
+        assert not is_feasible_exact(system)
+
+    def test_density_above_one_infeasible_shortcut(self):
+        system = PinwheelSystem.from_pairs([(1, 2), (1, 2), (1, 2)])
+        assert not is_feasible_exact(system)
+
+    def test_lin_lin_tightness_witness(self):
+        """Density 5/6 itself IS feasible for {2,3}-style systems ...
+
+        {(1,2),(1,3)} has density 5/6 and schedules; adding any third
+        task breaks it (previous test).  This pins the 5/6 frontier.
+        """
+        assert is_feasible_exact(PinwheelSystem.from_pairs([(1, 2), (1, 3)]))
+
+    def test_budget_exhaustion_is_inconclusive_error(self):
+        system = PinwheelSystem.from_pairs([(1, 50), (1, 60), (1, 70)])
+        with pytest.raises(SchedulingError, match="inconclusive"):
+            is_feasible_exact(system, state_budget=10)
+
+
+class TestScheduleConstruction:
+    def test_schedule_is_verified(self):
+        system = PinwheelSystem.from_pairs([(1, 3), (1, 4), (1, 5)])
+        schedule = schedule_exact(system)
+        verify_schedule(
+            schedule,
+            [PinwheelCondition(t.ident, t.a, t.b) for t in system.tasks],
+        )
+
+    def test_infeasible_raises_definitive(self):
+        system = PinwheelSystem.from_pairs([(1, 2), (1, 3), (1, 8)])
+        with pytest.raises(SchedulingError, match="infeasible"):
+            schedule_exact(system)
+
+    def test_general_demands_masked_search(self):
+        """a > 1 instances go through the bitmask search."""
+        system = PinwheelSystem.from_pairs([(2, 4), (1, 4)])
+        schedule = schedule_exact(system)
+        verify_schedule(
+            schedule,
+            [PinwheelCondition(1, 2, 4), PinwheelCondition(2, 1, 4)],
+        )
+
+    def test_masked_search_detects_infeasibility(self):
+        # (3,4) and (1,3): density 3/4 + 1/3 > 1.
+        system = PinwheelSystem.from_pairs([(3, 4), (1, 3)])
+        with pytest.raises(SchedulingError):
+            schedule_exact(system)
+
+    def test_full_density_two_tasks(self):
+        system = PinwheelSystem.from_pairs([(1, 2), (2, 4)])
+        schedule = schedule_exact(system)
+        verify_schedule(
+            schedule,
+            [PinwheelCondition(1, 1, 2), PinwheelCondition(2, 2, 4)],
+        )
+
+    def test_tight_three_task_instance(self):
+        """Density 11/12 three-task instance (above 5/6!) that happens
+        to be feasible: {(1,2), (1,4), (1,6)} -> 1/2+1/4+1/6 = 11/12."""
+        system = PinwheelSystem.from_pairs([(1, 2), (1, 4), (1, 6)])
+        schedule = schedule_exact(system)
+        verify_schedule(
+            schedule,
+            [PinwheelCondition(t.ident, t.a, t.b) for t in system.tasks],
+        )

@@ -1,0 +1,79 @@
+"""Tests for the greedy EDF scheduler."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.conditions import PinwheelCondition
+from repro.core.greedy import schedule_greedy
+from repro.core.single_reduction import schedule_single_reduction
+from repro.core.task import PinwheelSystem
+from repro.core.verify import verify_schedule
+from repro.errors import SchedulingError
+
+
+class TestGreedy:
+    def test_simple_instance(self):
+        system = PinwheelSystem.from_pairs([(1, 2), (1, 4), (1, 8)])
+        schedule = schedule_greedy(system)
+        verify_schedule(
+            schedule,
+            [PinwheelCondition(t.ident, t.a, t.b) for t in system.tasks],
+        )
+
+    def test_general_demands_normalized(self):
+        system = PinwheelSystem.from_pairs([(2, 6), (1, 4)])
+        schedule = schedule_greedy(system)
+        verify_schedule(
+            schedule,
+            [PinwheelCondition(1, 2, 6), PinwheelCondition(2, 1, 4)],
+        )
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(SchedulingError):
+            schedule_greedy(PinwheelSystem([]))
+
+    def test_overloaded_misses_deadline(self):
+        system = PinwheelSystem.from_pairs([(1, 2), (1, 2), (1, 2)])
+        with pytest.raises(SchedulingError, match="missed"):
+            schedule_greedy(system)
+
+    def test_cycle_length_bounded_by_state_space(self):
+        system = PinwheelSystem.from_pairs([(1, 3), (1, 5)])
+        schedule = schedule_greedy(system)
+        assert schedule.cycle_length <= 3 * 5
+
+    def test_deterministic(self):
+        system = PinwheelSystem.from_pairs([(1, 3), (1, 4), (1, 6)])
+        assert schedule_greedy(system) == schedule_greedy(system)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_random_low_density_instances(self, seed):
+        """EDF handles most density <= 1/2 instances; when its variants
+        all fail (EDF is a heuristic, not optimal) the guaranteed
+        reduction scheduler must cover the instance instead."""
+        rng = random.Random(seed)
+        count = rng.randint(2, 6)
+        windows = [rng.randint(3, 60) for _ in range(count)]
+        system = PinwheelSystem.from_pairs([(1, w) for w in windows])
+        if system.density > 0.5:
+            return
+        try:
+            schedule = schedule_greedy(system)
+        except SchedulingError:
+            schedule = schedule_single_reduction(system)
+        verify_schedule(
+            schedule,
+            [PinwheelCondition(t.ident, t.a, t.b) for t in system.tasks],
+        )
+
+    def test_example1_second_system(self):
+        """Greedy schedules {(1,2,5), (2,1,3)} (possibly without idling)."""
+        system = PinwheelSystem.from_pairs([(2, 5), (1, 3)])
+        schedule = schedule_greedy(system)
+        verify_schedule(
+            schedule,
+            [PinwheelCondition(1, 2, 5), PinwheelCondition(2, 1, 3)],
+        )

@@ -1,0 +1,127 @@
+"""Tests for residue-class allocation on divisibility chains."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.conditions import PinwheelCondition
+from repro.core.harmonic import (
+    allocate_residue_classes,
+    chain_specializations,
+    is_divisibility_chain,
+    schedule_harmonic,
+    specialize_to_chain,
+)
+from repro.core.task import PinwheelSystem, PinwheelTask
+from repro.core.verify import verify_schedule
+from repro.errors import SchedulingError, SpecificationError
+
+
+class TestChainPredicate:
+    def test_powers_of_two(self):
+        assert is_divisibility_chain([2, 4, 8, 8, 16])
+
+    def test_mixed_chain(self):
+        assert is_divisibility_chain([3, 6, 12])
+
+    def test_not_a_chain(self):
+        assert not is_divisibility_chain([2, 3])
+        assert not is_divisibility_chain([4, 6])
+
+    def test_single_window_is_chain(self):
+        assert is_divisibility_chain([7])
+
+
+class TestAllocation:
+    def test_simple_allocation(self):
+        system = PinwheelSystem.from_pairs([(1, 2), (1, 4), (1, 4)])
+        classes = allocate_residue_classes(system)
+        assert len(classes[1]) == 1
+        assert classes[1][0][1] == 2  # modulus
+
+    def test_general_demand_gets_multiple_classes(self):
+        system = PinwheelSystem.from_pairs([(2, 4), (1, 8)])
+        classes = allocate_residue_classes(system)
+        assert len(classes[1]) == 2
+
+    def test_rejects_non_chain(self):
+        system = PinwheelSystem.from_pairs([(1, 2), (1, 3)])
+        with pytest.raises(SpecificationError):
+            allocate_residue_classes(system)
+
+    def test_exhaustion_raises(self):
+        system = PinwheelSystem.from_pairs([(1, 2), (1, 2), (1, 2)])
+        with pytest.raises(SchedulingError, match="exhausted"):
+            allocate_residue_classes(system)
+
+
+class TestScheduleHarmonic:
+    def test_full_density_chain(self):
+        """Density exactly 1 on a chain is schedulable."""
+        system = PinwheelSystem.from_pairs([(1, 2), (1, 4), (1, 4)])
+        schedule = schedule_harmonic(system)
+        assert schedule.cycle_length == 4
+        assert schedule.idle_count() == 0
+
+    def test_rejects_density_above_one(self):
+        system = PinwheelSystem.from_pairs([(2, 2), (1, 4)])
+        with pytest.raises(SchedulingError):
+            schedule_harmonic(system)
+
+    def test_verified_output(self):
+        system = PinwheelSystem.from_pairs([(3, 6), (1, 12), (2, 12)])
+        schedule = schedule_harmonic(system)
+        verify_schedule(
+            schedule,
+            [PinwheelCondition(t.ident, t.a, t.b) for t in system.tasks],
+        )
+
+    @given(
+        seed=st.integers(0, 10_000),
+        levels=st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_chains_schedule_when_density_allows(self, seed, levels):
+        rng = random.Random(seed)
+        base = rng.choice([2, 3, 4, 5])
+        windows = [base * (2 ** rng.randint(0, levels)) for _ in range(5)]
+        tasks, used = [], 0.0
+        for index, window in enumerate(sorted(windows)):
+            if used + 1 / window > 1:
+                continue
+            tasks.append(PinwheelTask(index, 1, window))
+            used += 1 / window
+        if not tasks:
+            return
+        system = PinwheelSystem(tasks)
+        schedule = schedule_harmonic(system)
+        verify_schedule(
+            schedule,
+            [PinwheelCondition(t.ident, t.a, t.b) for t in system.tasks],
+        )
+
+
+class TestSpecialization:
+    def test_chain_specializations(self):
+        assert chain_specializations([5, 9, 20], 5) == [5, 5, 20]
+        assert chain_specializations([4, 6, 17], 2) == [4, 4, 16]
+
+    def test_rejects_window_below_base(self):
+        with pytest.raises(SpecificationError):
+            chain_specializations([3], 5)
+
+    def test_specialize_preserves_requirements(self):
+        system = PinwheelSystem.from_pairs([(2, 9), (1, 5)])
+        specialized = specialize_to_chain(system, 5)
+        assert [t.a for t in specialized.tasks] == [2, 1]
+        assert [t.b for t in specialized.tasks] == [5, 5]
+
+    def test_specialized_schedule_satisfies_original(self):
+        system = PinwheelSystem.from_pairs([(1, 5), (1, 11), (1, 23)])
+        specialized = specialize_to_chain(system, 5)
+        schedule = schedule_harmonic(specialized)
+        verify_schedule(
+            schedule,
+            [PinwheelCondition(t.ident, t.a, t.b) for t in system.tasks],
+        )

@@ -1,0 +1,108 @@
+"""Cross-scheduler property tests (hypothesis).
+
+The load-bearing invariants of the whole library:
+
+1. every schedule any scheduler returns satisfies every input condition
+   (already enforced internally - these tests re-check externally);
+2. schedulers agree with the exact decision procedure on feasibility
+   (no false "infeasible" claims below their guarantees);
+3. specialization/normalization steps only ever strengthen conditions.
+"""
+
+import random
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.conditions import PinwheelCondition
+from repro.core.double_reduction import schedule_double_reduction
+from repro.core.exact import is_feasible_exact
+from repro.core.greedy import schedule_greedy
+from repro.core.single_reduction import schedule_single_reduction
+from repro.core.solver import solve
+from repro.core.task import PinwheelSystem
+from repro.core.verify import check_schedule
+from repro.errors import InfeasibleError, SchedulingError
+
+
+def conditions_of(system: PinwheelSystem) -> list[PinwheelCondition]:
+    return [PinwheelCondition(t.ident, t.a, t.b) for t in system.tasks]
+
+
+@st.composite
+def small_systems(draw) -> PinwheelSystem:
+    count = draw(st.integers(2, 5))
+    pairs = []
+    for _ in range(count):
+        b = draw(st.integers(2, 40))
+        a = draw(st.integers(1, min(3, b)))
+        pairs.append((a, b))
+    return PinwheelSystem.from_pairs(pairs)
+
+
+class TestSchedulerSoundness:
+    @given(system=small_systems())
+    @settings(max_examples=120, deadline=None)
+    def test_portfolio_output_always_verifies(self, system):
+        if system.density > 1:
+            return
+        try:
+            report = solve(system)
+        except InfeasibleError:
+            return  # proven infeasible (e.g. the {2,3,n} family)
+        except SchedulingError:
+            return  # portfolio gave up; soundness not at issue
+        report_check = check_schedule(report.schedule, conditions_of(system))
+        assert report_check.ok, str(report_check)
+
+    @given(system=small_systems())
+    @settings(max_examples=60, deadline=None)
+    def test_individual_schedulers_verify(self, system):
+        for scheduler in (
+            schedule_double_reduction,
+            schedule_single_reduction,
+            schedule_greedy,
+        ):
+            try:
+                schedule = scheduler(system, verify=False)
+            except SchedulingError:
+                continue
+            assert check_schedule(schedule, conditions_of(system)).ok
+
+
+class TestAgreementWithExact:
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=80, deadline=None)
+    def test_portfolio_never_misses_small_feasible_instances(self, seed):
+        """On small unit-demand instances where exact search settles
+        feasibility, the portfolio must schedule every feasible one
+        whose density is within the Chan & Chin guarantee."""
+        rng = random.Random(seed)
+        count = rng.randint(2, 4)
+        windows = [rng.randint(2, 12) for _ in range(count)]
+        system = PinwheelSystem.from_pairs([(1, w) for w in windows])
+        if system.density > Fraction(7, 10):
+            return
+        assert is_feasible_exact(system), (
+            "density <= 7/10 must be feasible (Chan & Chin)"
+        )
+        report = solve(system)
+        assert check_schedule(report.schedule, conditions_of(system)).ok
+
+
+class TestCycleLengths:
+    @given(system=small_systems())
+    @settings(max_examples=60, deadline=None)
+    def test_cycle_divides_window_structure(self, system):
+        """Reduction schedules have cycles dividing lcm of specialized
+        windows - in particular cycles never dwarf the state space."""
+        if system.density > Fraction(1, 2):
+            return
+        try:
+            schedule = schedule_single_reduction(system)
+        except SchedulingError:
+            return
+        product = 1
+        for task in system.tasks:
+            product *= task.b
+        assert schedule.cycle_length <= max(t.b for t in system.tasks) * 2

@@ -1,0 +1,102 @@
+"""Tests for the Sa single-number reduction scheduler."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.conditions import PinwheelCondition
+from repro.core.single_reduction import (
+    GUARANTEED_DENSITY,
+    best_single_base,
+    candidate_bases,
+    schedule_single_reduction,
+    specialize_single,
+)
+from repro.core.task import PinwheelSystem
+from repro.core.verify import verify_schedule
+from repro.errors import SchedulingError
+
+
+class TestCandidates:
+    def test_candidates_bounded_by_smallest_window(self):
+        bases = candidate_bases([6, 10, 17])
+        assert all(base <= 6 for base in bases)
+        assert 6 in bases
+        assert 5 in bases  # 10 >> 1
+
+    def test_candidates_descending(self):
+        bases = candidate_bases([8, 12])
+        assert bases == sorted(bases, reverse=True)
+
+
+class TestSpecialization:
+    def test_halving_bound(self):
+        """Specialized windows stay within a factor 2 of the original."""
+        system = PinwheelSystem.from_pairs([(1, 7), (1, 13), (1, 30)])
+        specialized = specialize_single(system, 7)
+        for before, after in zip(system.tasks, specialized.tasks):
+            assert after.b <= before.b < 2 * after.b
+
+    def test_density_at_most_doubles(self):
+        system = PinwheelSystem.from_pairs([(1, 7), (1, 13), (1, 30)])
+        base = min(t.b for t in system.tasks)
+        specialized = specialize_single(system, base)
+        assert specialized.density < 2 * system.density
+
+
+class TestGuarantee:
+    def test_guaranteed_density_constant(self):
+        assert GUARANTEED_DENSITY == Fraction(1, 2)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_density_half_always_schedules(self, seed):
+        """The classical Sa guarantee, on random instances."""
+        rng = random.Random(seed)
+        count = rng.randint(2, 7)
+        windows = sorted(rng.randint(4, 80) for _ in range(count))
+        system = PinwheelSystem.from_pairs([(1, w) for w in windows])
+        if system.density > GUARANTEED_DENSITY:
+            return
+        schedule = schedule_single_reduction(system)
+        verify_schedule(
+            schedule,
+            [PinwheelCondition(t.ident, t.a, t.b) for t in system.tasks],
+        )
+
+    def test_general_demands_supported(self):
+        system = PinwheelSystem.from_pairs([(2, 12), (3, 24), (1, 9)])
+        schedule = schedule_single_reduction(system)
+        verify_schedule(
+            schedule,
+            [PinwheelCondition(t.ident, t.a, t.b) for t in system.tasks],
+        )
+
+    def test_base_search_beats_min_window_choice(self):
+        """Searching bases can schedule what x = min b cannot."""
+        # Windows {6, 7}: base 6 specializes 7 -> 6 (density 1/3);
+        # density with base 6: 1/6 + 1/6 = 1/3 fine either way; craft a
+        # case where min-window base fails but another works:
+        system = PinwheelSystem.from_pairs([(1, 5), (1, 9), (1, 9), (1, 9)])
+        # base 5: windows -> 5,5,5,5: density 4/5 <= 1 (OK); base 4
+        # would give 4,8,8,8 -> 1/4 + 3/8 = 5/8 (better).
+        base, density = best_single_base(system)
+        assert density <= Fraction(5, 8)
+        schedule = schedule_single_reduction(system)
+        verify_schedule(
+            schedule,
+            [PinwheelCondition(t.ident, t.a, t.b) for t in system.tasks],
+        )
+
+    def test_failure_raises_scheduling_error(self):
+        # Density 0.99 with awkward windows defeats the reduction.
+        system = PinwheelSystem.from_pairs([(1, 2), (1, 3), (1, 7), (1, 43)])
+        with pytest.raises(SchedulingError):
+            schedule_single_reduction(system)
+
+    def test_forced_base_respected(self):
+        system = PinwheelSystem.from_pairs([(1, 4), (1, 9)])
+        schedule = schedule_single_reduction(system, base=4)
+        assert schedule.cycle_length == 8

@@ -1,0 +1,79 @@
+"""Tests for the portfolio solver."""
+
+import pytest
+
+from repro.core.conditions import NiceConjunct, pc, virtual_key
+from repro.core.solver import solve, solve_nice_conjunct
+from repro.core.task import PinwheelSystem
+from repro.core.verify import project_to_files, satisfies_pc
+from repro.errors import InfeasibleError, SchedulingError
+
+
+class TestRouting:
+    def test_single_task_trivial(self):
+        report = solve(PinwheelSystem.from_pairs([(2, 7)]))
+        assert report.method == "trivial"
+        assert report.schedule.cycle_length == 1
+
+    def test_two_tasks_use_complete_scheduler(self):
+        report = solve(PinwheelSystem.from_pairs([(1, 2), (1, 2)]))
+        assert report.method == "two-task"
+
+    def test_three_tasks_route(self):
+        report = solve(PinwheelSystem.from_pairs([(1, 3), (1, 4), (1, 5)]))
+        assert report.method == "three-task"
+
+    def test_many_tasks_route(self):
+        report = solve(
+            PinwheelSystem.from_pairs([(1, 5), (1, 10), (1, 20), (1, 40)])
+        )
+        assert report.method in {
+            "double-reduction",
+            "single-reduction",
+            "greedy",
+            "exact",
+        }
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(SchedulingError):
+            solve(PinwheelSystem([]))
+
+    def test_density_above_one_rejected_immediately(self):
+        system = PinwheelSystem.from_pairs([(1, 2), (1, 2), (1, 2)])
+        with pytest.raises(InfeasibleError):
+            solve(system)
+
+    def test_attempts_recorded(self):
+        report = solve(
+            PinwheelSystem.from_pairs([(1, 4), (1, 8), (1, 9), (1, 18)])
+        )
+        assert report.attempts[-1][1] == "ok"
+        assert report.attempts[-1][0] == report.method
+
+    def test_report_str(self):
+        report = solve(PinwheelSystem.from_pairs([(1, 2), (1, 3)]))
+        assert "solved by" in str(report)
+
+
+class TestNiceConjuncts:
+    def test_solve_conjunct_with_virtual_tasks(self):
+        helper = virtual_key("F", 1)
+        conjunct = NiceConjunct(
+            (pc("F", 1, 2), pc(helper, 1, 10)), {helper: "F"}
+        )
+        report = solve_nice_conjunct(conjunct)
+        projected = project_to_files(report.schedule, conjunct)
+        # Combined sequence satisfies the R5 target pc(5, 9):
+        assert satisfies_pc(projected, pc("F", 5, 9))
+
+    def test_example4_end_to_end(self):
+        """Schedule the paper's Example 4 conjunct and check bc(4,[8,9])
+        semantics on the projected program."""
+        helper = virtual_key("i", 1)
+        conjunct = NiceConjunct(
+            (pc("i", 1, 2), pc(helper, 1, 10)), {helper: "i"}
+        )
+        report = solve_nice_conjunct(conjunct)
+        projected = project_to_files(report.schedule, conjunct)
+        assert satisfies_pc(projected, pc("i", 4, 8))
+        assert satisfies_pc(projected, pc("i", 5, 9))

@@ -1,0 +1,119 @@
+"""Unit tests for the pinwheel task model."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.task import PinwheelSystem, PinwheelTask
+from repro.errors import SpecificationError
+
+
+class TestPinwheelTask:
+    def test_valid_task(self):
+        task = PinwheelTask("x", 2, 5)
+        assert task.a == 2
+        assert task.b == 5
+        assert task.density == Fraction(2, 5)
+
+    def test_rejects_zero_requirement(self):
+        with pytest.raises(SpecificationError):
+            PinwheelTask("x", 0, 5)
+
+    def test_rejects_negative_requirement(self):
+        with pytest.raises(SpecificationError):
+            PinwheelTask("x", -1, 5)
+
+    def test_rejects_window_smaller_than_requirement(self):
+        with pytest.raises(SpecificationError):
+            PinwheelTask("x", 6, 5)
+
+    def test_rejects_non_integer_parameters(self):
+        with pytest.raises(SpecificationError):
+            PinwheelTask("x", 1.5, 5)
+        with pytest.raises(SpecificationError):
+            PinwheelTask("x", 1, "5")
+
+    def test_allows_full_density_task(self):
+        task = PinwheelTask("x", 5, 5)
+        assert task.density == 1
+
+    def test_normalized_applies_r3(self):
+        assert PinwheelTask("x", 2, 5).normalized() == PinwheelTask("x", 1, 2)
+        assert PinwheelTask("x", 3, 9).normalized() == PinwheelTask("x", 1, 3)
+
+    def test_normalized_is_idempotent_on_unit_tasks(self):
+        task = PinwheelTask("x", 1, 7)
+        assert task.normalized() == task
+
+    def test_with_window_shrinks(self):
+        assert PinwheelTask("x", 2, 8).with_window(6).b == 6
+
+    def test_with_window_rejects_growth(self):
+        with pytest.raises(SpecificationError):
+            PinwheelTask("x", 2, 8).with_window(9)
+
+    @given(a=st.integers(1, 20), extra=st.integers(0, 100))
+    def test_density_in_unit_interval(self, a, extra):
+        task = PinwheelTask(1, a, a + extra)
+        assert 0 < task.density <= 1
+
+    @given(a=st.integers(1, 20), extra=st.integers(0, 100))
+    def test_normalization_never_weakens(self, a, extra):
+        """R3: the normalized task's density is at least the original's."""
+        task = PinwheelTask(1, a, a + extra)
+        assert task.normalized().density >= task.density
+
+
+class TestPinwheelSystem:
+    def test_from_pairs_numbers_from_one(self):
+        system = PinwheelSystem.from_pairs([(1, 2), (1, 3)])
+        assert system.idents() == (1, 2)
+
+    def test_density_sums(self):
+        system = PinwheelSystem.from_pairs([(1, 2), (1, 3)])
+        assert system.density == Fraction(5, 6)
+
+    def test_rejects_duplicate_idents(self):
+        with pytest.raises(SpecificationError):
+            PinwheelSystem(
+                [PinwheelTask("x", 1, 2), PinwheelTask("x", 1, 3)]
+            )
+
+    def test_rejects_non_task_items(self):
+        with pytest.raises(SpecificationError):
+            PinwheelSystem([(1, 2)])
+
+    def test_task_lookup(self):
+        system = PinwheelSystem.from_pairs([(1, 2), (2, 5)])
+        assert system.task(2) == PinwheelTask(2, 2, 5)
+        with pytest.raises(KeyError):
+            system.task(99)
+
+    def test_contains_and_len(self):
+        system = PinwheelSystem.from_pairs([(1, 2)])
+        assert 1 in system
+        assert 2 not in system
+        assert len(system) == 1
+
+    def test_density_feasibility_check(self):
+        assert PinwheelSystem.from_pairs([(1, 2), (1, 2)]).is_density_feasible()
+        assert not PinwheelSystem.from_pairs(
+            [(1, 2), (1, 2), (1, 2)]
+        ).is_density_feasible()
+
+    def test_normalized_system(self):
+        system = PinwheelSystem.from_pairs([(2, 5), (3, 7)])
+        normalized = system.normalized()
+        assert [t.b for t in normalized.tasks] == [2, 2]
+
+    def test_equality_and_hash(self):
+        a = PinwheelSystem.from_pairs([(1, 2), (1, 3)])
+        b = PinwheelSystem.from_pairs([(1, 2), (1, 3)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_example1_infeasible_family_density(self):
+        """Example 1's third system has density 5/6 + 1/n."""
+        system = PinwheelSystem.from_pairs([(1, 2), (1, 3), (1, 12)])
+        assert system.density == Fraction(5, 6) + Fraction(1, 12)

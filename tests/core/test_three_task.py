@@ -1,0 +1,78 @@
+"""Tests for the three-task scheduler (Lin & Lin contract)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.conditions import PinwheelCondition
+from repro.core.task import PinwheelSystem
+from repro.core.three_task import LIN_LIN_BOUND, schedule_three_tasks
+from repro.core.verify import verify_schedule
+from repro.errors import InfeasibleError, SpecificationError
+
+
+class TestContract:
+    def test_bound_constant(self):
+        assert LIN_LIN_BOUND == Fraction(5, 6)
+
+    def test_rejects_wrong_count(self):
+        with pytest.raises(SpecificationError):
+            schedule_three_tasks(PinwheelSystem.from_pairs([(1, 2), (1, 3)]))
+
+    def test_rejects_density_above_one(self):
+        system = PinwheelSystem.from_pairs([(1, 2), (1, 3), (1, 4)])
+        with pytest.raises(InfeasibleError):
+            schedule_three_tasks(system)
+
+    @pytest.mark.parametrize("n", [8, 12, 30])
+    def test_witness_family_proven_infeasible(self, n):
+        """{(1,2),(1,3),(1,n)}: density 5/6 + eps, provably infeasible."""
+        system = PinwheelSystem.from_pairs([(1, 2), (1, 3), (1, n)])
+        with pytest.raises(InfeasibleError):
+            schedule_three_tasks(system)
+
+    def test_feasible_above_lin_lin_bound(self):
+        """Completeness beyond 5/6 where exact search is tractable:
+        {(1,2),(1,4),(1,6)} has density 11/12 and schedules."""
+        system = PinwheelSystem.from_pairs([(1, 2), (1, 4), (1, 6)])
+        schedule = schedule_three_tasks(system)
+        verify_schedule(
+            schedule,
+            [PinwheelCondition(t.ident, t.a, t.b) for t in system.tasks],
+        )
+
+    @given(seed=st.integers(0, 20_000))
+    @settings(max_examples=60, deadline=None)
+    def test_lin_lin_guarantee_randomized(self, seed):
+        """All density <= 5/6 three-task instances get scheduled."""
+        rng = random.Random(seed)
+        windows = sorted(rng.randint(3, 60) for _ in range(3))
+        system = PinwheelSystem.from_pairs([(1, w) for w in windows])
+        if system.density > LIN_LIN_BOUND:
+            return
+        schedule = schedule_three_tasks(system)
+        verify_schedule(
+            schedule,
+            [PinwheelCondition(t.ident, t.a, t.b) for t in system.tasks],
+        )
+
+    def test_general_demands(self):
+        system = PinwheelSystem.from_pairs([(2, 8), (1, 6), (1, 12)])
+        schedule = schedule_three_tasks(system)
+        verify_schedule(
+            schedule,
+            [PinwheelCondition(t.ident, t.a, t.b) for t in system.tasks],
+        )
+
+    def test_large_windows_fall_back_to_reductions(self):
+        """Windows too large for exact search still schedule."""
+        system = PinwheelSystem.from_pairs(
+            [(1, 400), (1, 900), (1, 2000)]
+        )
+        schedule = schedule_three_tasks(system)
+        verify_schedule(
+            schedule,
+            [PinwheelCondition(t.ident, t.a, t.b) for t in system.tasks],
+        )

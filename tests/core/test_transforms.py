@@ -1,0 +1,174 @@
+"""Tests for TR1/TR2 and the Section 4.2 strategy (Examples 2-6)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.conditions import bc, pc
+from repro.core.schedule import Schedule
+from repro.core.solver import solve_nice_conjunct
+from repro.core.transforms import (
+    all_candidates,
+    best_nice_conjunct,
+    density_report,
+    design_nice_system,
+    merge_single,
+    normalized_vector,
+    tr1,
+    tr2,
+    tr2_reduced,
+)
+from repro.core.verify import project_to_files, satisfies_bc
+from repro.errors import SpecificationError
+
+
+class TestTr1:
+    def test_example2(self):
+        """TR1 on bc(5, [100..120]) gives pc(1, 13), density 0.0769."""
+        candidate = tr1(bc("i", 5, [100, 105, 110, 115, 120]))
+        (condition,) = candidate.conjunct.conditions
+        assert condition == pc("i", 1, 13)
+        assert candidate.density == Fraction(1, 13)
+
+    def test_example3_tr1_branch(self):
+        candidate = tr1(bc("i", 6, [105, 110]))
+        (condition,) = candidate.conjunct.conditions
+        assert condition == pc("i", 1, 15)
+
+    def test_single_level(self):
+        candidate = tr1(bc("i", 2, [10]))
+        assert candidate.conjunct.conditions[0] == pc("i", 1, 5)
+
+
+class TestTr2:
+    def test_example3_tr2_branch(self):
+        """TR2 on bc(6, [105, 110]): pc(6,105) ^ pc(1,110), 0.0662."""
+        candidate = tr2(bc("i", 6, [105, 110]))
+        densities = candidate.density
+        assert densities == Fraction(6, 105) + Fraction(1, 110)
+        assert len(candidate.conjunct) == 2
+
+    def test_mapping_points_to_file(self):
+        candidate = tr2(bc("i", 2, [5, 8, 9]))
+        helpers = [
+            c for c in candidate.conjunct.conditions if c.task != "i"
+        ]
+        assert len(helpers) == 2
+        for helper in helpers:
+            assert candidate.conjunct.file_of(helper.task) == "i"
+
+    def test_example6_tr2_density(self):
+        """The paper notes TR2 on bc(1, [2,3]) yields density 0.8333."""
+        candidate = tr2(bc("i", 1, [2, 3]))
+        assert candidate.density == Fraction(1, 2) + Fraction(1, 3)
+
+
+class TestTr2Reduced:
+    def test_example4_manipulation(self):
+        """Example 4: base pc(1,2), helper pc(1,10), density 0.6."""
+        candidate = tr2_reduced(bc("i", 4, [8, 9]))
+        conditions = candidate.conjunct.conditions
+        assert conditions[0] == pc("i", 1, 2)
+        assert conditions[1].a == 1 and conditions[1].b == 10
+        assert candidate.density == Fraction(3, 5)
+
+    def test_helper_skipped_when_base_covers(self):
+        # bc(2, [4, 8]): base (1,2); level 1 target (3,8): n=3, x=-2.
+        candidate = tr2_reduced(bc("i", 2, [4, 8]))
+        assert len(candidate.conjunct) == 1
+
+
+class TestMergeSingle:
+    def test_example5(self):
+        """bc(2, [5,6,6]) merges to pc(2,3) - optimal."""
+        candidate = merge_single(bc("i", 2, [5, 6, 6]))
+        assert candidate is not None
+        (condition,) = candidate.conjunct.conditions
+        assert condition == pc("i", 2, 3)
+        assert candidate.density == bc("i", 2, [5, 6, 6]).density_lower_bound
+
+    def test_example6(self):
+        """bc(1, [2,3]) merges to pc(2,3)."""
+        candidate = merge_single(bc("i", 1, [2, 3]))
+        assert candidate is not None
+        (condition,) = candidate.conjunct.conditions
+        assert condition == pc("i", 2, 3)
+
+    def test_no_single_condition_for_example3(self):
+        assert merge_single(bc("i", 6, [105, 110])) is None
+
+
+class TestBestAndReport:
+    @pytest.mark.parametrize(
+        "spec, expected_density",
+        [
+            # Paper's reported best densities for Examples 2, 3, 5, 6.
+            (bc("i", 5, [100, 105, 110, 115, 120]), Fraction(1, 13)),
+            (bc("i", 6, [105, 110]), Fraction(6, 105) + Fraction(1, 110)),
+            (bc("i", 2, [5, 6, 6]), Fraction(2, 3)),
+            (bc("i", 1, [2, 3]), Fraction(2, 3)),
+        ],
+    )
+    def test_paper_examples_reproduced(self, spec, expected_density):
+        assert best_nice_conjunct(spec).density == expected_density
+
+    def test_example4_beats_paper(self):
+        """Our merge finds pc(5,9) (density 5/9 = the lower bound),
+        strictly better than the paper's 0.6 manipulation."""
+        spec = bc("i", 4, [8, 9])
+        best = best_nice_conjunct(spec)
+        assert best.density == Fraction(5, 9)
+        assert best.density == spec.density_lower_bound
+        assert best.density < Fraction(3, 5)
+
+    def test_density_report_starts_with_lower_bound(self):
+        rows = density_report(bc("i", 4, [8, 9]))
+        assert rows[0] == ("lower-bound", Fraction(5, 9))
+        strategies = [name for name, _ in rows[1:]]
+        assert "TR1" in strategies and "TR2" in strategies
+
+    def test_all_candidates_sound(self):
+        """Every candidate's scheduled conjunct satisfies the bc."""
+        spec = bc("F", 2, [6, 8, 10])
+        for candidate in all_candidates(spec):
+            report = solve_nice_conjunct(candidate.conjunct)
+            program = project_to_files(report.schedule, candidate.conjunct)
+            assert satisfies_bc(program, spec), candidate.strategy
+
+
+class TestNormalizedVector:
+    def test_already_monotone_unchanged(self):
+        spec = bc("i", 2, [5, 6, 7])
+        assert normalized_vector(spec) is spec
+
+    def test_tightens_decreasing_entries(self):
+        spec = bc("i", 2, [8, 10, 9])
+        tight = normalized_vector(spec)
+        assert tight.d == (8, 9, 9)
+
+    def test_tightening_is_sound(self):
+        """A schedule for the tightened vector satisfies the original."""
+        spec = bc("i", 1, [6, 8, 7])
+        tight = normalized_vector(spec)
+        best = best_nice_conjunct(tight)
+        report = solve_nice_conjunct(best.conjunct)
+        program = project_to_files(report.schedule, best.conjunct)
+        assert satisfies_bc(program, spec)
+
+
+class TestDesignNiceSystem:
+    def test_combines_files(self):
+        conjunct, chosen = design_nice_system(
+            [bc("F", 2, [5, 6, 6]), bc("G", 1, [9, 12])]
+        )
+        assert len(chosen) == 2
+        files = {conjunct.file_of(c.task) for c in conjunct.conditions}
+        assert files == {"F", "G"}
+
+    def test_rejects_duplicate_files(self):
+        with pytest.raises(SpecificationError):
+            design_nice_system([bc("F", 1, [4]), bc("F", 1, [5])])
+
+    def test_rejects_empty(self):
+        with pytest.raises(SpecificationError):
+            design_nice_system([])

@@ -1,0 +1,108 @@
+"""Tests for the complete two-task scheduler (density <= 1)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.conditions import PinwheelCondition
+from repro.core.task import PinwheelSystem
+from repro.core.two_task import mechanical_word, schedule_two_tasks
+from repro.core.verify import verify_schedule
+from repro.errors import InfeasibleError, SpecificationError
+
+
+class TestMechanicalWord:
+    def test_tick_count_exact(self):
+        word = mechanical_word(3, 8)
+        assert sum(word) == 3
+
+    def test_balanced_property(self):
+        """Every window of w slots holds floor(w*3/8) or ceil(w*3/8)."""
+        length, ticks = 8, 3
+        word = mechanical_word(ticks, length)
+        doubled = word * 3
+        for width in range(1, 2 * length):
+            counts = {
+                sum(doubled[s : s + width]) for s in range(length)
+            }
+            low = width * ticks // length
+            assert counts <= {low, low + 1}
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(SpecificationError):
+            mechanical_word(9, 8)
+        with pytest.raises(SpecificationError):
+            mechanical_word(-1, 8)
+
+    def test_all_or_nothing(self):
+        assert mechanical_word(0, 4) == [False] * 4
+        assert mechanical_word(4, 4) == [True] * 4
+
+
+class TestTwoTaskScheduler:
+    def test_example1_first_system(self):
+        """{(1,1,2), (2,1,3)} - the paper's alternating example."""
+        system = PinwheelSystem.from_pairs([(1, 2), (1, 3)])
+        schedule = schedule_two_tasks(system)
+        verify_schedule(
+            schedule, [PinwheelCondition(1, 1, 2), PinwheelCondition(2, 1, 3)]
+        )
+
+    def test_density_exactly_one(self):
+        system = PinwheelSystem.from_pairs([(1, 2), (1, 2)])
+        schedule = schedule_two_tasks(system)
+        assert schedule.idle_count() == 0
+
+    def test_general_demands(self):
+        system = PinwheelSystem.from_pairs([(2, 5), (3, 7)])
+        schedule = schedule_two_tasks(system)
+        verify_schedule(
+            schedule, [PinwheelCondition(1, 2, 5), PinwheelCondition(2, 3, 7)]
+        )
+
+    def test_rejects_density_above_one(self):
+        system = PinwheelSystem.from_pairs([(2, 3), (1, 2)])
+        with pytest.raises(InfeasibleError) as excinfo:
+            schedule_two_tasks(system)
+        assert excinfo.value.density is not None
+
+    def test_rejects_wrong_task_count(self):
+        with pytest.raises(SpecificationError):
+            schedule_two_tasks(PinwheelSystem.from_pairs([(1, 2)]))
+
+    @given(
+        b1=st.integers(2, 30),
+        b2=st.integers(2, 30),
+        a1=st.integers(1, 6),
+        a2=st.integers(1, 6),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_completeness_at_density_one(self, b1, b2, a1, a2):
+        """Every two-task system with density <= 1 is scheduled -
+        the Holte et al. completeness result."""
+        if a1 > b1 or a2 > b2:
+            return
+        if Fraction(a1, b1) + Fraction(a2, b2) > 1:
+            return
+        system = PinwheelSystem.from_pairs([(a1, b1), (a2, b2)])
+        schedule = schedule_two_tasks(system)
+        verify_schedule(
+            schedule,
+            [PinwheelCondition(1, a1, b1), PinwheelCondition(2, a2, b2)],
+        )
+
+    def test_randomized_against_lcm_blowup(self):
+        rng = random.Random(5)
+        for _ in range(20):
+            b1, b2 = rng.randint(2, 50), rng.randint(2, 50)
+            a1 = rng.randint(1, b1)
+            # pick a2 to keep density <= 1
+            budget = 1 - Fraction(a1, b1)
+            a2 = int(budget * b2)
+            if a2 < 1:
+                continue
+            system = PinwheelSystem.from_pairs([(a1, b1), (a2, b2)])
+            schedule = schedule_two_tasks(system)
+            assert schedule.cycle_length <= b1 * b2

@@ -1,0 +1,120 @@
+"""Tests for AIDA: the bandwidth-allocation step and redundancy policies."""
+
+import pytest
+
+from repro.errors import DispersalError, SpecificationError
+from repro.ida.aida import (
+    AidaEncoder,
+    RedundancyPolicy,
+    bandwidth_allocation,
+    tolerable_faults,
+)
+from repro.ida.dispersal import disperse, reconstruct
+
+
+class TestTolerableFaults:
+    def test_difference(self):
+        assert tolerable_faults(8, 5) == 3
+        assert tolerable_faults(5, 5) == 0
+
+    def test_rejects_under_m(self):
+        with pytest.raises(DispersalError):
+            tolerable_faults(4, 5)
+
+
+class TestBandwidthAllocation:
+    def test_selects_prefix(self):
+        blocks = disperse(b"data", 2, 6)
+        chosen = bandwidth_allocation(blocks, 4)
+        assert [b.index for b in chosen] == [0, 1, 2, 3]
+
+    def test_bounds_enforced(self):
+        blocks = disperse(b"data", 2, 6)
+        with pytest.raises(DispersalError):
+            bandwidth_allocation(blocks, 1)
+        with pytest.raises(DispersalError):
+            bandwidth_allocation(blocks, 7)
+
+    def test_partial_dispersal_rejected(self):
+        blocks = disperse(b"data", 2, 6)
+        with pytest.raises(DispersalError, match="full dispersal"):
+            bandwidth_allocation(blocks[:4], 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DispersalError):
+            bandwidth_allocation([], 3)
+
+
+class TestAidaEncoder:
+    def test_scaling_redundancy_without_redispersal(self):
+        """The same dispersal serves every redundancy level (Figure 4)."""
+        data = b"alpha bravo charlie" * 5
+        encoder = AidaEncoder("F", data, m=4, n_max=10)
+        for n in range(4, 11):
+            transmitted = encoder.transmission_set(n)
+            assert len(transmitted) == n
+            assert encoder.reconstruct_from(transmitted[-4:]) == data
+
+    def test_fault_tolerance_helper(self):
+        encoder = AidaEncoder("F", b"x" * 50, m=3, n_max=8)
+        assert len(encoder.for_fault_tolerance(2)) == 5
+        with pytest.raises(SpecificationError):
+            encoder.for_fault_tolerance(-1)
+
+    def test_rejects_n_max_below_m(self):
+        with pytest.raises(SpecificationError):
+            AidaEncoder("F", b"x", m=5, n_max=4)
+
+    def test_systematic_no_redundancy_mode_is_plaintext(self):
+        data = b"0123456789abcdef"
+        encoder = AidaEncoder("F", data, m=4, n_max=8, systematic=True)
+        plain = encoder.transmission_set(4)
+        joined = b"".join(b.payload for b in plain)
+        assert joined[: len(data)] == data
+
+    def test_blocks_property_returns_copy(self):
+        encoder = AidaEncoder("F", b"zz", m=1, n_max=3)
+        blocks = encoder.blocks
+        blocks.clear()
+        assert len(encoder.blocks) == 3
+
+
+class TestRedundancyPolicy:
+    def make_policy(self) -> RedundancyPolicy:
+        return RedundancyPolicy(
+            {
+                "combat": {"radar": 3, "map": 1},
+                "landing": {"radar": 0},
+            },
+            default=0,
+        )
+
+    def test_lookup(self):
+        policy = self.make_policy()
+        assert policy.fault_budget("combat", "radar") == 3
+        assert policy.fault_budget("landing", "radar") == 0
+        assert policy.fault_budget("landing", "map") == 0  # default
+        assert policy.fault_budget("unknown-mode", "radar") == 0
+
+    def test_transmission_count(self):
+        policy = self.make_policy()
+        assert policy.transmission_count("combat", "radar", m=5) == 8
+
+    def test_modes_listing(self):
+        assert set(self.make_policy().modes()) == {"combat", "landing"}
+
+    def test_rejects_negative_budgets(self):
+        with pytest.raises(SpecificationError):
+            RedundancyPolicy({"m": {"f": -1}})
+        with pytest.raises(SpecificationError):
+            RedundancyPolicy({}, default=-2)
+
+    def test_policy_drives_encoder(self):
+        """Policy + encoder: the mode picks the transmission set size."""
+        policy = self.make_policy()
+        data = b"radar-sweep" * 3
+        encoder = AidaEncoder("radar", data, m=2, n_max=6)
+        for mode in policy.modes():
+            n = policy.transmission_count(mode, "radar", m=2)
+            transmitted = encoder.transmission_set(n)
+            assert reconstruct(transmitted[:2]) == data

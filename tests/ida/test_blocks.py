@@ -1,0 +1,96 @@
+"""Tests for self-identifying blocks and the wire codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import BlockCodecError, DispersalError
+from repro.ida.blocks import MAGIC, Block, decode_block, encode_block
+
+
+def make_block(**overrides) -> Block:
+    fields = dict(
+        file_id="Z",
+        index=3,
+        m=5,
+        n_total=10,
+        original_length=1000,
+        payload=b"\x01\x02\x03",
+        systematic=False,
+    )
+    fields.update(overrides)
+    return Block(**fields)
+
+
+class TestBlock:
+    def test_sequence_label_matches_paper_phrasing(self):
+        block = make_block()
+        assert block.sequence_label == "block 4 out of 10 of object Z"
+
+    def test_rejects_index_out_of_range(self):
+        with pytest.raises(DispersalError):
+            make_block(index=10)
+        with pytest.raises(DispersalError):
+            make_block(index=-1)
+
+    def test_rejects_bad_dispersal_params(self):
+        with pytest.raises(DispersalError):
+            make_block(m=0)
+        with pytest.raises(DispersalError):
+            make_block(m=11)  # m > n_total
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(DispersalError):
+            make_block(original_length=-1)
+
+
+class TestCodec:
+    def test_round_trip(self):
+        block = make_block()
+        assert decode_block(encode_block(block)) == block
+
+    def test_round_trip_systematic_flag(self):
+        block = make_block(systematic=True)
+        assert decode_block(encode_block(block)).systematic is True
+
+    @given(
+        file_id=st.text(min_size=1, max_size=40),
+        index=st.integers(0, 9),
+        payload=st.binary(max_size=200),
+    )
+    def test_round_trip_fuzzed(self, file_id, index, payload):
+        block = make_block(file_id=file_id, index=index, payload=payload)
+        assert decode_block(encode_block(block)) == block
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(encode_block(make_block()))
+        frame[0] = ord("X")
+        with pytest.raises(BlockCodecError, match="magic"):
+            decode_block(bytes(frame))
+
+    def test_corrupted_payload_detected_by_crc(self):
+        frame = bytearray(encode_block(make_block()))
+        frame[-1] ^= 0xFF
+        with pytest.raises(BlockCodecError, match="CRC"):
+            decode_block(bytes(frame))
+
+    def test_corrupted_file_id_detected(self):
+        frame = bytearray(encode_block(make_block(file_id="hello")))
+        # Flip a byte inside the body (after the fixed header).
+        frame[30] ^= 0x01
+        with pytest.raises(BlockCodecError):
+            decode_block(bytes(frame))
+
+    def test_truncated_frame_rejected(self):
+        frame = encode_block(make_block())
+        with pytest.raises(BlockCodecError, match="short"):
+            decode_block(frame[:10])
+
+    def test_bad_version_rejected(self):
+        frame = bytearray(encode_block(make_block()))
+        frame[len(MAGIC)] = 99
+        with pytest.raises(BlockCodecError, match="version"):
+            decode_block(bytes(frame))
+
+    def test_empty_payload_round_trip(self):
+        block = make_block(payload=b"", original_length=0)
+        assert decode_block(encode_block(block)) == block

@@ -1,0 +1,124 @@
+"""Tests for IDA dispersal/reconstruction - the any-m-of-N round trip."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DispersalError
+from repro.ida.dispersal import disperse, reconstruct
+
+
+class TestDisperse:
+    def test_produces_n_blocks(self):
+        blocks = disperse(b"hello world", 3, 7, file_id="F")
+        assert len(blocks) == 7
+        assert [b.index for b in blocks] == list(range(7))
+
+    def test_blocks_self_identify(self):
+        blocks = disperse(b"payload", 2, 4, file_id="obj-9")
+        for block in blocks:
+            assert block.file_id == "obj-9"
+            assert block.m == 2
+            assert block.n_total == 4
+            assert block.original_length == 7
+
+    def test_payload_width_is_ceil_len_over_m(self):
+        blocks = disperse(b"x" * 10, 3, 5)
+        assert all(len(b.payload) == 4 for b in blocks)
+
+    def test_empty_file_allowed(self):
+        blocks = disperse(b"", 2, 4)
+        assert reconstruct(blocks[:2]) == b""
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(DispersalError):
+            disperse(b"x", 0, 4)
+
+    def test_expansion_factor(self):
+        """Total dispersed bytes = (N / m) * padded size."""
+        data = b"q" * 999
+        blocks = disperse(data, 3, 9)
+        total = sum(len(b.payload) for b in blocks)
+        assert total == 9 * 333
+
+
+class TestReconstruct:
+    def test_exhaustive_subsets_small(self):
+        data = b"the broadcast disk goes round"
+        blocks = disperse(data, 3, 6, file_id="F")
+        for subset in itertools.combinations(blocks, 3):
+            assert reconstruct(list(subset)) == data
+
+    @given(
+        data=st.binary(min_size=0, max_size=500),
+        seed=st.integers(0, 1_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_subsets_round_trip(self, data, seed):
+        rng = random.Random(seed)
+        m, extra = rng.randint(1, 6), rng.randint(0, 6)
+        blocks = disperse(data, m, m + extra)
+        subset = rng.sample(blocks, m)
+        assert reconstruct(subset) == data
+
+    @given(data=st.binary(min_size=0, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_systematic_round_trip(self, data):
+        blocks = disperse(data, 4, 8, systematic=True)
+        # Plaintext fast path:
+        assert reconstruct(blocks[:4]) == data
+        # Redundancy-only decode:
+        assert reconstruct(blocks[4:]) == data
+
+    def test_extra_blocks_ignored(self):
+        data = b"abcdef"
+        blocks = disperse(data, 2, 5)
+        assert reconstruct(blocks) == data
+
+    def test_duplicates_do_not_count(self):
+        data = b"abcdef"
+        blocks = disperse(data, 2, 5)
+        with pytest.raises(DispersalError, match="distinct"):
+            reconstruct([blocks[1], blocks[1]])
+
+    def test_too_few_blocks(self):
+        blocks = disperse(b"abc", 3, 5)
+        with pytest.raises(DispersalError, match="distinct"):
+            reconstruct(blocks[:2])
+
+    def test_empty_input(self):
+        with pytest.raises(DispersalError):
+            reconstruct([])
+
+    def test_mixed_files_rejected(self):
+        a = disperse(b"aaa", 2, 4, file_id="A")
+        b = disperse(b"bbb", 2, 4, file_id="B")
+        with pytest.raises(DispersalError, match="inconsistent"):
+            reconstruct([a[0], b[1]])
+
+    def test_mixed_families_rejected(self):
+        plain = disperse(b"data123", 2, 4, systematic=False)
+        syst = disperse(b"data123", 2, 4, systematic=True)
+        with pytest.raises(DispersalError, match="inconsistent"):
+            reconstruct([plain[2], syst[3]])
+
+
+class TestFaultToleranceSemantics:
+    def test_any_r_losses_survivable(self):
+        """n = m + r transmitted blocks tolerate any r losses."""
+        data = b"realtime!" * 11
+        m, r = 4, 3
+        blocks = disperse(data, m, m + r)
+        for lost in itertools.combinations(range(m + r), r):
+            survivors = [b for b in blocks if b.index not in lost]
+            assert reconstruct(survivors) == data
+
+    def test_r_plus_one_losses_fatal(self):
+        data = b"realtime!"
+        m, r = 3, 2
+        blocks = disperse(data, m, m + r)
+        survivors = blocks[: m - 1]
+        with pytest.raises(DispersalError):
+            reconstruct(survivors)

@@ -1,0 +1,125 @@
+"""Tests for GF(2^8) arithmetic - field axioms via hypothesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DispersalError
+from repro.ida.gf256 import (
+    EXP_TABLE,
+    GF_ORDER,
+    LOG_TABLE,
+    gf_add,
+    gf_div,
+    gf_inv,
+    gf_matvec_bytes,
+    gf_mul,
+    gf_mul_bytes,
+    gf_pow,
+)
+
+elements = st.integers(0, 255)
+nonzero = st.integers(1, 255)
+
+
+class TestTables:
+    def test_exp_log_inverse_on_nonzero(self):
+        for value in range(1, 256):
+            assert EXP_TABLE[LOG_TABLE[value]] == value
+
+    def test_exp_table_duplicated(self):
+        assert (EXP_TABLE[255:510] == EXP_TABLE[:255]).all()
+
+    def test_generator_cycles_whole_group(self):
+        seen = set()
+        value = 1
+        for _ in range(255):
+            seen.add(value)
+            value = gf_mul(value, 2)
+        assert len(seen) == 255
+
+
+class TestFieldAxioms:
+    @given(a=elements, b=elements)
+    def test_addition_commutative_and_self_inverse(self, a, b):
+        assert gf_add(a, b) == gf_add(b, a)
+        assert gf_add(a, a) == 0
+
+    @given(a=elements, b=elements)
+    def test_multiplication_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(a=elements, b=elements, c=elements)
+    def test_multiplication_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(a=elements, b=elements, c=elements)
+    def test_distributive(self, a, b, c):
+        left = gf_mul(a, gf_add(b, c))
+        right = gf_add(gf_mul(a, b), gf_mul(a, c))
+        assert left == right
+
+    @given(a=elements)
+    def test_multiplicative_identity(self, a):
+        assert gf_mul(a, 1) == a
+
+    @given(a=elements)
+    def test_zero_annihilates(self, a):
+        assert gf_mul(a, 0) == 0
+
+    @given(a=nonzero)
+    def test_inverse(self, a):
+        assert gf_mul(a, gf_inv(a)) == 1
+
+    @given(a=elements, b=nonzero)
+    def test_division_inverts_multiplication(self, a, b):
+        assert gf_mul(gf_div(a, b), b) == a
+
+    @given(a=nonzero, e1=st.integers(0, 20), e2=st.integers(0, 20))
+    def test_power_laws(self, a, e1, e2):
+        assert gf_pow(a, e1 + e2) == gf_mul(gf_pow(a, e1), gf_pow(a, e2))
+
+
+class TestErrors:
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(DispersalError):
+            gf_inv(0)
+
+    def test_division_by_zero(self):
+        with pytest.raises(DispersalError):
+            gf_div(1, 0)
+
+    def test_negative_exponent(self):
+        with pytest.raises(DispersalError):
+            gf_pow(2, -1)
+
+    def test_order_constant(self):
+        assert GF_ORDER == 256
+
+
+class TestVectorized:
+    @given(scalar=elements, data=st.binary(min_size=1, max_size=64))
+    def test_mul_bytes_matches_scalar(self, scalar, data):
+        array = np.frombuffer(data, dtype=np.uint8)
+        vectorized = gf_mul_bytes(scalar, array)
+        expected = [gf_mul(scalar, int(x)) for x in array]
+        assert vectorized.tolist() == expected
+
+    def test_matvec_matches_manual(self):
+        matrix = np.array([[1, 2], [3, 4], [5, 6]], dtype=np.uint8)
+        data = np.array([[7, 8, 9], [10, 11, 12]], dtype=np.uint8)
+        out = gf_matvec_bytes(matrix, data)
+        for i in range(3):
+            for j in range(3):
+                expected = gf_add(
+                    gf_mul(int(matrix[i, 0]), int(data[0, j])),
+                    gf_mul(int(matrix[i, 1]), int(data[1, j])),
+                )
+                assert out[i, j] == expected
+
+    def test_matvec_shape_mismatch(self):
+        with pytest.raises(DispersalError):
+            gf_matvec_bytes(
+                np.zeros((2, 3), dtype=np.uint8),
+                np.zeros((2, 4), dtype=np.uint8),
+            )

@@ -1,0 +1,97 @@
+"""Tests for GF(256) matrix algebra."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DispersalError
+from repro.ida.matrix import (
+    gf_identity,
+    gf_mat_inv,
+    gf_mat_mul,
+    gf_mat_rank,
+    is_nonsingular,
+)
+
+
+def random_matrix(rng: random.Random, rows: int, cols: int) -> np.ndarray:
+    return np.array(
+        [[rng.randrange(256) for _ in range(cols)] for _ in range(rows)],
+        dtype=np.uint8,
+    )
+
+
+class TestMultiplication:
+    def test_identity_neutral(self):
+        rng = random.Random(0)
+        matrix = random_matrix(rng, 4, 4)
+        assert (gf_mat_mul(matrix, gf_identity(4)) == matrix).all()
+        assert (gf_mat_mul(gf_identity(4), matrix) == matrix).all()
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DispersalError):
+            gf_mat_mul(np.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(DispersalError):
+            gf_mat_mul(np.zeros(3), np.zeros((3, 1)))
+
+
+class TestInversion:
+    @given(seed=st.integers(0, 5_000), size=st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_inverse_round_trip(self, seed, size):
+        rng = random.Random(seed)
+        matrix = random_matrix(rng, size, size)
+        if not is_nonsingular(matrix):
+            return
+        inverse = gf_mat_inv(matrix)
+        assert (gf_mat_mul(matrix, inverse) == gf_identity(size)).all()
+        assert (gf_mat_mul(inverse, matrix) == gf_identity(size)).all()
+
+    def test_singular_rejected(self):
+        singular = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        with pytest.raises(DispersalError, match="singular"):
+            gf_mat_inv(singular)
+
+    def test_zero_matrix_rejected(self):
+        with pytest.raises(DispersalError):
+            gf_mat_inv(np.zeros((3, 3), dtype=np.uint8))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(DispersalError):
+            gf_mat_inv(np.zeros((2, 3), dtype=np.uint8))
+
+    def test_identity_self_inverse(self):
+        assert (gf_mat_inv(gf_identity(5)) == gf_identity(5)).all()
+
+
+class TestRank:
+    def test_full_rank_identity(self):
+        assert gf_mat_rank(gf_identity(6)) == 6
+
+    def test_rank_deficient(self):
+        matrix = np.array([[1, 2], [2, 4], [3, 6]], dtype=np.uint8)
+        # Row 2 = 2 * row 1 and row 3 = 3 * row 1 over GF(256).
+        assert gf_mat_rank(matrix) == 1
+
+    def test_zero_rank(self):
+        assert gf_mat_rank(np.zeros((3, 4), dtype=np.uint8)) == 0
+
+    def test_wide_matrix_rank_bounded_by_rows(self):
+        rng = random.Random(3)
+        matrix = random_matrix(rng, 2, 10)
+        assert gf_mat_rank(matrix) <= 2
+
+
+class TestNonsingularity:
+    def test_non_square_never_nonsingular(self):
+        assert not is_nonsingular(np.zeros((2, 3), dtype=np.uint8))
+
+    def test_random_singular_detected(self):
+        matrix = np.array(
+            [[5, 10, 15], [1, 2, 3], [0, 0, 0]], dtype=np.uint8
+        )
+        assert not is_nonsingular(matrix)

@@ -1,0 +1,94 @@
+"""Tests for dispersal matrices: the any-m-rows-independent property."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DispersalError
+from repro.ida.matrix import gf_identity, is_nonsingular
+from repro.ida.vandermonde import (
+    dispersal_matrix,
+    reconstruction_matrix,
+    systematic_dispersal_matrix,
+)
+
+
+class TestConstruction:
+    def test_shape(self):
+        assert dispersal_matrix(10, 5).shape == (10, 5)
+
+    def test_first_column_ones(self):
+        matrix = dispersal_matrix(6, 3)
+        assert (matrix[:, 0] == 1).all()
+
+    def test_rejects_n_below_m(self):
+        with pytest.raises(DispersalError):
+            dispersal_matrix(3, 5)
+
+    def test_rejects_field_overflow(self):
+        with pytest.raises(DispersalError):
+            dispersal_matrix(256, 2)
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(DispersalError):
+            dispersal_matrix(5, 0)
+
+    def test_maximum_size_allowed(self):
+        matrix = dispersal_matrix(255, 2)
+        assert matrix.shape == (255, 2)
+
+
+class TestAnyMRows:
+    def test_all_submatrices_small_case(self):
+        """Exhaustive over C(7, 3) row choices."""
+        matrix = dispersal_matrix(7, 3)
+        for rows in itertools.combinations(range(7), 3):
+            assert is_nonsingular(matrix[list(rows), :]), rows
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_submatrices_larger_case(self, seed):
+        rng = random.Random(seed)
+        n, m = 40, 8
+        matrix = dispersal_matrix(n, m)
+        rows = rng.sample(range(n), m)
+        assert is_nonsingular(matrix[sorted(rows), :])
+
+    def test_systematic_preserves_property(self):
+        matrix = systematic_dispersal_matrix(7, 3)
+        for rows in itertools.combinations(range(7), 3):
+            assert is_nonsingular(matrix[list(rows), :]), rows
+
+
+class TestSystematic:
+    def test_top_block_is_identity(self):
+        matrix = systematic_dispersal_matrix(9, 4)
+        assert (matrix[:4] == gf_identity(4)).all()
+
+
+class TestReconstructionMatrix:
+    def test_inverse_of_selected_rows(self):
+        from repro.ida.matrix import gf_mat_mul
+
+        matrix = dispersal_matrix(8, 4)
+        indices = [1, 3, 5, 7]
+        inverse = reconstruction_matrix(matrix, indices)
+        product = gf_mat_mul(inverse, matrix[indices, :])
+        assert (product == gf_identity(4)).all()
+
+    def test_rejects_wrong_count(self):
+        matrix = dispersal_matrix(8, 4)
+        with pytest.raises(DispersalError):
+            reconstruction_matrix(matrix, [0, 1, 2])
+
+    def test_rejects_duplicates(self):
+        matrix = dispersal_matrix(8, 4)
+        with pytest.raises(DispersalError):
+            reconstruction_matrix(matrix, [0, 1, 2, 2])
+
+    def test_rejects_out_of_range(self):
+        matrix = dispersal_matrix(8, 4)
+        with pytest.raises(DispersalError):
+            reconstruction_matrix(matrix, [0, 1, 2, 9])

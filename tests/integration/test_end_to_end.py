@@ -1,0 +1,172 @@
+"""End-to-end integration: dispersal -> program -> faulty channel -> commit.
+
+These tests exercise the whole stack the way the paper's motivating
+scenarios would: design a broadcast disk for a real-time database, put
+dispersed blocks on the air, lose some of them, and check that clients
+still reconstruct in time.
+"""
+
+import itertools
+
+import pytest
+
+from repro.bdisk.builder import design_generalized_program, design_program
+from repro.bdisk.file import FileSpec, GeneralizedFileSpec
+from repro.ida.aida import AidaEncoder
+from repro.ida.blocks import decode_block, encode_block
+from repro.ida.dispersal import reconstruct
+from repro.sim.client import retrieve
+from repro.sim.faults import AdversarialFaults, BernoulliFaults
+from repro.rtdb.items import DataItem
+from repro.rtdb.modes import ModeManager, OperationMode
+from repro.rtdb.temporal import TemporalConstraint
+
+
+class TestDispersedDeliveryOverProgram:
+    def test_blocks_on_air_reconstruct_payload(self):
+        """Walk the designed program, decode actual dispersed blocks,
+        reconstruct the file from whatever a retrieval collected."""
+        payload = b"IVHS traffic incident report " * 7
+        spec = FileSpec("traffic", 4, 6, fault_budget=2, data=payload)
+        design = design_program([spec])
+        program = design.program
+
+        encoder = AidaEncoder(
+            "traffic", payload, m=4, n_max=program.block_count("traffic")
+        )
+        on_air = encoder.blocks
+
+        result = retrieve(program, "traffic", 4)
+        collected = [on_air[index] for index in result.received[:4]]
+        assert reconstruct(collected) == payload
+
+    def test_adversarial_losses_within_budget_still_reconstruct(self):
+        payload = b"position vector " * 16
+        spec = FileSpec("pos", 3, 5, fault_budget=2, data=payload)
+        design = design_program([spec])
+        program = design.program
+        bandwidth = design.bandwidth_plan.bandwidth
+        window = bandwidth * spec.latency
+
+        encoder = AidaEncoder(
+            "pos", payload, m=3, n_max=program.block_count("pos")
+        )
+        on_air = encoder.blocks
+
+        # Adversary kills any 2 of the file's slots inside the window.
+        slots = [
+            t
+            for t in range(window)
+            if (c := program.slot_content(t)) and c.file == "pos"
+        ]
+        for lost in itertools.combinations(slots, 2):
+            result = retrieve(
+                program, "pos", 3, faults=AdversarialFaults(lost)
+            )
+            assert result.completed
+            assert result.latency <= window
+            collected = [on_air[i] for i in result.received[:3]]
+            assert reconstruct(collected) == payload
+
+    def test_wire_codec_round_trip_over_program(self):
+        payload = b"frame me"
+        spec = FileSpec("f", 2, 5, data=payload)
+        design = design_program([spec])
+        encoder = AidaEncoder(
+            "f", payload, m=2, n_max=design.program.block_count("f")
+        )
+        for block in encoder.blocks:
+            assert decode_block(encode_block(block)) == block
+
+
+class TestGeneralizedEndToEnd:
+    def test_latency_vector_honoured_under_faults(self):
+        """bc(F, 2, [6, 9, 12]): with j losses the client finishes
+        within d(j) slots, from every phase."""
+        spec = GeneralizedFileSpec("F", 2, (6, 9, 12))
+        design = design_generalized_program([spec])
+        program = design.program
+
+        for phase in range(program.data_cycle_length):
+            base = retrieve(program, "F", 2, start=phase)
+            assert base.latency <= 6
+        # One loss: kill any single F-slot; finish within d(1) = 9.
+        slots = [
+            t
+            for t in range(program.data_cycle_length)
+            if (c := program.slot_content(t)) and c.file == "F"
+        ]
+        for lost in slots:
+            result = retrieve(
+                program, "F", 2, faults=AdversarialFaults([lost])
+            )
+            assert result.completed and result.latency <= 9
+
+
+class TestModeDrivenScenario:
+    def test_awacs_mode_switch(self):
+        """The AWACS story: combat mode buys fault tolerance with
+        bandwidth; landing mode relaxes it."""
+        items = [
+            DataItem(
+                "aircraft",
+                b"track" * 20,
+                TemporalConstraint(400),
+                blocks=2,
+                criticality={"combat": 2, "landing": 0},
+            ),
+            DataItem(
+                "weather",
+                b"wx" * 30,
+                TemporalConstraint(6_000),
+                blocks=3,
+                criticality={},
+            ),
+        ]
+        manager = ModeManager(
+            items,
+            [OperationMode("combat"), OperationMode("landing")],
+            slot_ms=10,
+        )
+        combat = manager.switch_to("combat")
+        landing = manager.switch_to("landing")
+        assert (
+            combat.bandwidth_plan.bandwidth
+            >= landing.bandwidth_plan.bandwidth
+        )
+        # In combat, aircraft windows carry 2 + 2 distinct blocks.
+        window = combat.bandwidth_plan.bandwidth * 40
+        assert combat.program.min_distinct_in_window(
+            "aircraft", window
+        ) >= 4
+
+    def test_combat_survives_noise_landing_may_not(self):
+        """The redundancy actually pays off on a lossy channel."""
+        items = [
+            DataItem(
+                "aircraft",
+                b"track" * 20,
+                TemporalConstraint(400),
+                blocks=2,
+                criticality={"combat": 3, "landing": 0},
+            ),
+        ]
+        manager = ModeManager(
+            items,
+            [OperationMode("combat"), OperationMode("landing")],
+            slot_ms=10,
+        )
+        combat = manager.design_for("combat")
+        deadline = combat.bandwidth_plan.bandwidth * 40
+        misses = 0
+        for phase in range(0, 200, 7):
+            result = retrieve(
+                combat.program,
+                "aircraft",
+                2,
+                start=phase,
+                faults=BernoulliFaults(0.05, seed=21),
+            )
+            if not result.met_deadline(deadline):
+                misses += 1
+        assert misses == 0

@@ -1,0 +1,48 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are part of the public deliverable; breaking one is a
+regression even when the library's own tests pass.  Each is executed
+in-process via runpy with stdout captured.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[path.stem for path in EXAMPLES]
+)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    captured = capsys.readouterr()
+    assert captured.out.strip(), f"{script.name} printed nothing"
+
+
+def test_examples_exist():
+    """The deliverable requires a quickstart plus domain scenarios."""
+    names = {path.stem for path in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 3
+
+
+def test_quickstart_reports_success(capsys):
+    runpy.run_path(
+        str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "payload intact: True" in out
+
+
+def test_awacs_transactions_commit(capsys):
+    runpy.run_path(
+        str(EXAMPLES_DIR / "awacs_modes.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "COMMIT" in out
+    assert "ABORT" not in out

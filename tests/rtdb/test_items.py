@@ -1,0 +1,68 @@
+"""Tests for RTDB data items."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.rtdb.items import DataItem
+from repro.rtdb.temporal import TemporalConstraint, constraint_from_kinematics
+
+
+def aircraft_item(**overrides) -> DataItem:
+    fields = dict(
+        name="aircraft",
+        payload=b"position" * 10,
+        constraint=constraint_from_kinematics(900, 100),
+        blocks=3,
+        criticality={"combat": 2, "landing": 0},
+        default_faults=0,
+    )
+    fields.update(overrides)
+    return DataItem(**fields)
+
+
+class TestDataItem:
+    def test_fault_budget_by_mode(self):
+        item = aircraft_item()
+        assert item.fault_budget("combat") == 2
+        assert item.fault_budget("landing") == 0
+        assert item.fault_budget("transit") == 0  # default
+
+    def test_default_fault_budget(self):
+        item = aircraft_item(criticality={}, default_faults=1)
+        assert item.fault_budget("anything") == 1
+
+    def test_validation(self):
+        with pytest.raises(SpecificationError):
+            aircraft_item(blocks=0)
+        with pytest.raises(SpecificationError):
+            aircraft_item(default_faults=-1)
+        with pytest.raises(SpecificationError):
+            aircraft_item(criticality={"combat": -2})
+
+
+class TestAsFileSpec:
+    def test_combat_mode_spec(self):
+        item = aircraft_item()
+        spec = item.as_file_spec("combat", slot_ms=10)
+        assert spec.name == "aircraft"
+        assert spec.blocks == 3
+        assert spec.fault_budget == 2
+        assert spec.latency == 40  # 400 ms / 10 ms per slot
+        assert spec.data == item.payload
+
+    def test_overhead_shrinks_budget(self):
+        item = aircraft_item()
+        spec = item.as_file_spec("combat", slot_ms=10, update_overhead_ms=100)
+        assert spec.latency == 30
+
+    def test_budget_too_tight_rejected(self):
+        # 400 ms at 100 ms/slot = 4 slots < 3 blocks + 2 fault slots.
+        item = aircraft_item()
+        with pytest.raises(SpecificationError):
+            item.as_file_spec("combat", slot_ms=100)
+
+    def test_landing_mode_fits_where_combat_does_not(self):
+        item = aircraft_item()
+        spec = item.as_file_spec("landing", slot_ms=100)
+        assert spec.fault_budget == 0
+        assert spec.latency == 4

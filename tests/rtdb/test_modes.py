@@ -1,0 +1,103 @@
+"""Tests for operation modes and the mode manager."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.rtdb.items import DataItem
+from repro.rtdb.modes import ModeManager, OperationMode
+from repro.rtdb.temporal import TemporalConstraint
+
+
+def make_items() -> list[DataItem]:
+    return [
+        DataItem(
+            "radar",
+            b"radar-data" * 8,
+            TemporalConstraint(400),
+            blocks=2,
+            criticality={"combat": 2, "landing": 0},
+        ),
+        DataItem(
+            "terrain",
+            b"terrain" * 8,
+            TemporalConstraint(2_000),
+            blocks=3,
+            criticality={"combat": 1},
+        ),
+    ]
+
+
+def make_manager() -> ModeManager:
+    return ModeManager(
+        make_items(),
+        [OperationMode("combat", "engaged"), OperationMode("landing")],
+        slot_ms=10,
+    )
+
+
+class TestValidation:
+    def test_mode_name_required(self):
+        with pytest.raises(SpecificationError):
+            OperationMode("")
+
+    def test_manager_rejects_empty(self):
+        with pytest.raises(SpecificationError):
+            ModeManager([], [OperationMode("m")], slot_ms=10)
+        with pytest.raises(SpecificationError):
+            ModeManager(make_items(), [], slot_ms=10)
+
+    def test_duplicate_items_rejected(self):
+        items = make_items() + [make_items()[0]]
+        with pytest.raises(SpecificationError):
+            ModeManager(items, [OperationMode("m")], slot_ms=10)
+
+    def test_duplicate_modes_rejected(self):
+        with pytest.raises(SpecificationError):
+            ModeManager(
+                make_items(),
+                [OperationMode("m"), OperationMode("m")],
+                slot_ms=10,
+            )
+
+
+class TestModeSwitching:
+    def test_initial_mode_is_first(self):
+        manager = make_manager()
+        assert manager.active_mode == "combat"
+
+    def test_switch_changes_active(self):
+        manager = make_manager()
+        manager.switch_to("landing")
+        assert manager.active_mode == "landing"
+
+    def test_unknown_mode_rejected(self):
+        manager = make_manager()
+        with pytest.raises(SpecificationError):
+            manager.switch_to("panic")
+
+    def test_designs_cached(self):
+        manager = make_manager()
+        first = manager.design_for("combat")
+        second = manager.design_for("combat")
+        assert first is second
+
+    def test_combat_needs_at_least_landing_bandwidth(self):
+        """More redundancy slots can only increase bandwidth."""
+        manager = make_manager()
+        by_mode = manager.bandwidth_by_mode()
+        assert by_mode["combat"] >= by_mode["landing"]
+
+    def test_designed_programs_carry_all_items(self):
+        manager = make_manager()
+        for mode in ("combat", "landing"):
+            program = manager.design_for(mode).program
+            assert set(program.files) == {"radar", "terrain"}
+
+
+class TestRedundancyPolicy:
+    def test_policy_mirrors_criticality(self):
+        policy = make_manager().redundancy_policy()
+        assert policy.fault_budget("combat", "radar") == 2
+        assert policy.fault_budget("landing", "radar") == 0
+        assert policy.fault_budget("landing", "terrain") == 0
+        assert policy.fault_budget("combat", "terrain") == 1

@@ -1,0 +1,81 @@
+"""Tests for temporal consistency constraints."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.rtdb.temporal import (
+    TemporalConstraint,
+    constraint_from_kinematics,
+    latency_budget_slots,
+)
+
+
+class TestConstraint:
+    def test_freshness_predicate(self):
+        constraint = TemporalConstraint(400)
+        assert constraint.is_fresh(399)
+        assert constraint.is_fresh(400)
+        assert not constraint.is_fresh(401)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(SpecificationError):
+            TemporalConstraint(0)
+
+    def test_str(self):
+        assert "400" in str(TemporalConstraint(400))
+
+
+class TestKinematics:
+    def test_paper_awacs_aircraft(self):
+        """900 km/h, 100 m accuracy -> 400 ms (the paper's example)."""
+        assert constraint_from_kinematics(900, 100).max_age_ms == 400
+
+    def test_paper_tank(self):
+        """60 km/h, 100 m accuracy -> 6000 ms."""
+        assert constraint_from_kinematics(60, 100).max_age_ms == 6000
+
+    def test_scaling_laws(self):
+        base = constraint_from_kinematics(100, 50).max_age_ms
+        faster = constraint_from_kinematics(200, 50).max_age_ms
+        looser = constraint_from_kinematics(100, 100).max_age_ms
+        assert faster == base // 2
+        assert looser == base * 2
+
+    def test_rejects_nonpositive_inputs(self):
+        with pytest.raises(SpecificationError):
+            constraint_from_kinematics(0, 100)
+        with pytest.raises(SpecificationError):
+            constraint_from_kinematics(900, 0)
+
+    def test_sub_millisecond_rejected(self):
+        # Mach-speed object with millimetre accuracy.
+        with pytest.raises(SpecificationError):
+            constraint_from_kinematics(100_000, 0.001)
+
+
+class TestLatencyBudget:
+    def test_simple_conversion(self):
+        constraint = TemporalConstraint(400)
+        assert latency_budget_slots(constraint, slot_ms=10) == 40
+
+    def test_overhead_eats_budget(self):
+        constraint = TemporalConstraint(400)
+        assert latency_budget_slots(
+            constraint, slot_ms=10, update_overhead_ms=100
+        ) == 30
+
+    def test_budget_exhausted_rejected(self):
+        constraint = TemporalConstraint(400)
+        with pytest.raises(SpecificationError):
+            latency_budget_slots(
+                constraint, slot_ms=10, update_overhead_ms=395
+            )
+
+    def test_validation(self):
+        constraint = TemporalConstraint(400)
+        with pytest.raises(SpecificationError):
+            latency_budget_slots(constraint, slot_ms=0)
+        with pytest.raises(SpecificationError):
+            latency_budget_slots(
+                constraint, slot_ms=10, update_overhead_ms=-1
+            )

@@ -1,0 +1,115 @@
+"""Tests for update dissemination and temporal consistency."""
+
+import pytest
+
+from repro.bdisk.flat import build_aida_flat_program
+from repro.errors import SimulationError, SpecificationError
+from repro.rtdb.updates import (
+    UpdatingServer,
+    consistency_rate,
+    retrieve_versioned,
+)
+from repro.sim.faults import BernoulliFaults
+
+
+def make_program():
+    return build_aida_flat_program([("A", 5, 10), ("B", 3, 6)])
+
+
+class TestUpdatingServer:
+    def test_version_clock(self):
+        server = UpdatingServer({"A": 10})
+        assert server.version_at("A", 0) == 0
+        assert server.version_at("A", 9) == 0
+        assert server.version_at("A", 10) == 1
+        assert server.write_slot("A", 3) == 30
+
+    def test_validation(self):
+        with pytest.raises(SpecificationError):
+            UpdatingServer({"A": 0})
+
+    def test_unknown_item(self):
+        server = UpdatingServer({"A": 10})
+        with pytest.raises(SimulationError):
+            server.period("B")
+
+
+class TestRetrieveVersioned:
+    def test_slow_updates_no_tearing(self):
+        """Updates slower than the retrieval never tear."""
+        program = make_program()
+        server = UpdatingServer({"A": 1_000, "B": 1_000})
+        result = retrieve_versioned(program, server, "B", 3)
+        assert result.completed
+        assert result.version == 0
+        assert result.torn_discards == 0
+
+    def test_fast_updates_cause_tearing(self):
+        """An update landing mid-retrieval discards stale blocks.
+
+        With a 6-slot update period, at most two B-blocks of any version
+        air before the next version lands, until the rotation aligns -
+        the read tears twice and completes late on version 2."""
+        program = make_program()
+        server = UpdatingServer({"A": 6, "B": 6})
+        result = retrieve_versioned(program, server, "B", 3)
+        assert result.completed
+        assert result.torn_discards > 0
+        assert result.latency > 7  # slower than the fault-free 7
+
+    def test_age_measured_from_version_write(self):
+        program = make_program()
+        server = UpdatingServer({"A": 8, "B": 8})
+        result = retrieve_versioned(program, server, "B", 3)
+        assert result.completed
+        write = server.write_slot("B", result.version)
+        assert result.age_at_completion == result.finish_slot - write
+
+    def test_impossible_when_updates_beat_retrieval(self):
+        """If every version dies before m blocks of it can air, the
+        retrieval never completes - the feasibility cliff that makes
+        the paper's latency budgeting necessary."""
+        program = make_program()
+        server = UpdatingServer({"A": 2, "B": 2})
+        result = retrieve_versioned(
+            program, server, "B", 3, max_slots=500
+        )
+        assert not result.completed
+        assert result.torn_discards > 0
+
+    def test_unknown_file_rejected(self):
+        program = make_program()
+        server = UpdatingServer({"A": 5})
+        with pytest.raises(SimulationError):
+            retrieve_versioned(program, server, "Z", 1)
+
+    def test_faults_interact_with_versions(self):
+        program = make_program()
+        server = UpdatingServer({"A": 100, "B": 100})
+        result = retrieve_versioned(
+            program, server, "B", 3,
+            faults=BernoulliFaults(0.2, seed=4),
+        )
+        assert result.completed
+
+
+class TestConsistencyRate:
+    def test_generous_budget_always_fresh(self):
+        program = make_program()
+        server = UpdatingServer({"A": 64, "B": 64})
+        rate = consistency_rate(program, server, "B", 3, 200)
+        assert rate == 1.0
+
+    def test_tight_budget_drops_rate(self):
+        program = make_program()
+        server = UpdatingServer({"A": 64, "B": 64})
+        generous = consistency_rate(program, server, "B", 3, 80)
+        tight = consistency_rate(program, server, "B", 3, 12)
+        assert tight <= generous
+        assert tight < 1.0
+
+    def test_validation(self):
+        program = make_program()
+        server = UpdatingServer({"A": 64, "B": 64})
+        with pytest.raises(SpecificationError):
+            consistency_rate(program, server, "B", 3, 0)

@@ -1,0 +1,175 @@
+"""Tests for client-side caching (LRU vs PIX)."""
+
+import random
+
+import pytest
+
+from repro.bdisk.flat import build_flat_program
+from repro.errors import SimulationError, SpecificationError
+from repro.sim.cache import CachingClient, LruCache, PixCache
+from repro.sim.faults import BernoulliFaults
+
+
+def make_program():
+    return build_flat_program(
+        [("hot", 1), ("warm", 2), ("cold", 3)]
+    )
+
+
+SIZES = {"hot": 1, "warm": 2, "cold": 3}
+
+
+class TestLru:
+    def test_evicts_least_recent(self):
+        policy = LruCache()
+        policy.on_access("a", 1)
+        policy.on_access("b", 2)
+        policy.on_access("a", 3)
+        assert policy.victim({"a", "b"}) == "b"
+
+    def test_never_seen_evicted_first(self):
+        policy = LruCache()
+        policy.on_access("a", 5)
+        assert policy.victim({"a", "ghost"}) == "ghost"
+
+
+class TestPix:
+    def test_high_frequency_items_go_first(self):
+        """Equal interest: the frequently-rebroadcast file is evicted."""
+        policy = PixCache(
+            {"hot": 0.5, "cold": 0.5}, {"hot": 0.5, "cold": 0.1}
+        )
+        assert policy.victim({"hot", "cold"}) == "hot"
+
+    def test_interest_counters_frequency(self):
+        policy = PixCache(
+            {"hot": 0.9, "cold": 0.01}, {"hot": 0.5, "cold": 0.1}
+        )
+        # PIX(hot) = 1.8, PIX(cold) = 0.1 -> cold evicted.
+        assert policy.victim({"hot", "cold"}) == "cold"
+
+    def test_for_program_uses_full_file_rate(self):
+        """In a flat program every file is broadcast once per period, so
+        at equal interest all PIX scores tie - size must not leak in."""
+        program = make_program()
+        policy = PixCache.for_program(
+            program, {"hot": 0.5, "cold": 0.5}, SIZES
+        )
+        assert policy.pix("cold") == pytest.approx(policy.pix("hot"))
+
+    def test_for_program_detects_fast_disks(self):
+        """On a multidisk layout the fast disk's file really is cheaper
+        to re-fetch, so PIX ranks it first for eviction."""
+        from repro.bdisk.multidisk import (
+            MultidiskConfig,
+            build_multidisk_program,
+        )
+
+        program = build_multidisk_program(
+            MultidiskConfig([(2, [("hot", 1)]), (1, [("cold", 1)])])
+        )
+        policy = PixCache.for_program(
+            program, {"hot": 0.5, "cold": 0.5}, {"hot": 1, "cold": 1}
+        )
+        assert policy.victim({"hot", "cold"}) == "hot"
+
+    def test_validation(self):
+        with pytest.raises(SpecificationError):
+            PixCache({"a": -0.1}, {"a": 1.0})
+        with pytest.raises(SpecificationError):
+            PixCache({"a": 0.1}, {"a": 0.0})
+
+    def test_unknown_frequency_rejected(self):
+        policy = PixCache({"a": 0.5}, {"a": 1.0})
+        with pytest.raises(SimulationError):
+            policy.pix("b")
+
+
+class TestCachingClient:
+    def test_hit_after_miss(self):
+        client = CachingClient(
+            make_program(), SIZES, capacity=2, policy=LruCache()
+        )
+        first = client.access("hot", 0)
+        assert first is not None and first.completed
+        second = client.access("hot", 10)
+        assert second is None
+        assert client.stats.hits == 1
+        assert client.stats.misses == 1
+
+    def test_eviction_at_capacity(self):
+        client = CachingClient(
+            make_program(), SIZES, capacity=1, policy=LruCache()
+        )
+        client.access("hot", 0)
+        client.access("warm", 10)
+        assert client.stats.evictions == 1
+        assert client.resident == frozenset({"warm"})
+
+    def test_incomplete_retrievals_not_cached(self):
+        client = CachingClient(
+            make_program(),
+            SIZES,
+            capacity=2,
+            policy=LruCache(),
+            faults=BernoulliFaults(1.0),
+        )
+        result = client.access("hot", 0)
+        assert result is not None and not result.completed
+        assert client.resident == frozenset()
+
+    def test_unknown_file_rejected(self):
+        client = CachingClient(
+            make_program(), SIZES, capacity=1, policy=LruCache()
+        )
+        with pytest.raises(SimulationError):
+            client.access("ghost", 0)
+
+    def test_capacity_validation(self):
+        with pytest.raises(SpecificationError):
+            CachingClient(
+                make_program(), SIZES, capacity=0, policy=LruCache()
+            )
+
+    def test_pix_beats_lru_on_skewed_rebroadcast(self):
+        """The Acharya scenario: LRU keeps the hot item (always about to
+        be rebroadcast anyway); PIX keeps the rare ones.  With interest
+        split between one frequent and several rare files, PIX's mean
+        latency is no worse than LRU's."""
+        program = build_flat_program(
+            [("hot", 1)] * 1 + [("rare-1", 4), ("rare-2", 4)]
+        )
+        sizes = {"hot": 1, "rare-1": 4, "rare-2": 4}
+        interest = {"hot": 0.5, "rare-1": 0.25, "rare-2": 0.25}
+        rng = random.Random(9)
+        stream = rng.choices(
+            list(interest), weights=list(interest.values()), k=200
+        )
+
+        def run(policy):
+            client = CachingClient(
+                program, sizes, capacity=1, policy=policy
+            )
+            now = 0
+            for name in stream:
+                result = client.access(name, now)
+                now += 1 + (result.latency if result else 0)
+            return client.stats
+
+        lru_stats = run(LruCache())
+        pix_stats = run(
+            PixCache.for_program(program, interest, sizes)
+        )
+        assert pix_stats.mean_latency <= lru_stats.mean_latency
+
+    def test_stats_accounting(self):
+        client = CachingClient(
+            make_program(), SIZES, capacity=3, policy=LruCache()
+        )
+        client.access("hot", 0)
+        client.access("warm", 5)
+        client.access("hot", 9)
+        stats = client.stats
+        assert stats.accesses == 3
+        assert stats.hit_ratio == pytest.approx(1 / 3)
+        assert stats.mean_latency > 0

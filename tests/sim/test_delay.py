@@ -1,0 +1,155 @@
+"""Tests for worst-case delay analysis (Lemmas 1-2, Figure 7)."""
+
+import pytest
+
+from repro.bdisk.flat import build_aida_flat_program, build_flat_program
+from repro.sim.delay import (
+    fault_free_latency,
+    greedy_adversary_delay,
+    lemma1_bound,
+    lemma2_bound,
+    worst_case_delay,
+    worst_case_delay_table,
+    worst_case_latency,
+)
+from repro.errors import SimulationError
+
+
+class TestBounds:
+    def test_lemma1(self):
+        assert lemma1_bound(8, 3) == 24
+
+    def test_lemma2(self):
+        assert lemma2_bound(3, 5) == 15
+
+
+class TestFaultFreeLatency:
+    def test_figure6_values(self, figure6_program):
+        assert fault_free_latency(figure6_program, "A", 5) == 8
+        assert fault_free_latency(figure6_program, "B", 3) == 7
+
+    def test_specific_mode_latency(self, figure5_program):
+        assert fault_free_latency(
+            figure5_program, "A", 5, need_distinct=False
+        ) == 8
+
+    def test_unknown_file(self, figure6_program):
+        with pytest.raises(SimulationError):
+            fault_free_latency(figure6_program, "Z", 1)
+
+
+class TestWorstCaseDelay:
+    def test_zero_errors_zero_delay(self, figure6_program):
+        assert worst_case_delay(figure6_program, "A", 5, 0) == 0
+
+    def test_figure7_with_ida_file_a(self, figure6_program):
+        """Exact adversarial delays for file A (paper estimates:
+        3, 4, 6, 7, 8 for r = 1..5; exact: 2, 4, 5, 7, 8)."""
+        delays = [
+            worst_case_delay(figure6_program, "A", 5, r) for r in range(6)
+        ]
+        assert delays == [0, 2, 4, 5, 7, 8]
+
+    def test_figure7_with_ida_file_b_within_capacity(self, figure6_program):
+        """File B (3-of-6) tolerates r <= 3 within the Lemma 2 bound."""
+        delta = figure6_program.max_gap("B")
+        for r in range(4):
+            delay = worst_case_delay(figure6_program, "B", 3, r)
+            assert delay <= lemma2_bound(delta, r)
+
+    def test_capacity_exceeded_breaks_linear_bound(self, figure6_program):
+        """Beyond r = N - m the adversary forces duplicate indices and
+        the delay jumps past r * Delta - AIDA must be provisioned with
+        n >= m + r (the library's designers enforce this)."""
+        delta = figure6_program.max_gap("B")
+        delay = worst_case_delay(figure6_program, "B", 3, 4)
+        assert delay > lemma2_bound(delta, 4)
+
+    def test_lemma2_bound_holds_within_capacity(self, figure6_program):
+        delta = figure6_program.max_gap("A")
+        for r in range(6):  # A is 5-of-10: capacity 5
+            delay = worst_case_delay(figure6_program, "A", 5, r)
+            assert delay <= lemma2_bound(delta, r)
+
+    def test_figure7_without_ida_is_linear_in_period(self, figure5_program):
+        """Lemma 1 is tight: r errors cost exactly r periods."""
+        period = figure5_program.broadcast_period
+        for r in range(6):
+            for file, m in (("A", 5), ("B", 3)):
+                delay = worst_case_delay(
+                    figure5_program, file, m, r, need_distinct=False
+                )
+                assert delay == lemma1_bound(period, r)
+
+    def test_negative_errors_rejected(self, figure6_program):
+        with pytest.raises(SimulationError):
+            worst_case_delay(figure6_program, "A", 5, -1)
+
+    def test_impossible_requirement_detected(self, figure6_program):
+        with pytest.raises(SimulationError, match="useful"):
+            worst_case_delay(figure6_program, "B", 7, 1)
+
+
+class TestWorstCaseLatency:
+    def test_latency_at_least_fault_free(self, figure6_program):
+        worst0 = worst_case_latency(figure6_program, "B", 3, 0)
+        assert worst0 >= fault_free_latency(figure6_program, "B", 3)
+
+    def test_monotone_in_errors(self, figure6_program):
+        values = [
+            worst_case_latency(figure6_program, "B", 3, r)
+            for r in range(4)
+        ]
+        assert values == sorted(values)
+
+
+class TestGreedyAdversary:
+    def test_lower_bounds_exact(self, figure6_program):
+        for r in range(4):
+            greedy = max(
+                greedy_adversary_delay(
+                    figure6_program, "B", 3, r, phase=phase
+                )
+                for phase in range(figure6_program.data_cycle_length)
+            )
+            exact = worst_case_delay(figure6_program, "B", 3, r)
+            assert greedy <= exact
+
+    def test_strictly_weaker_on_flat_without_ida(self, figure5_program):
+        """Kill-first is a *lower* bound: the optimal adversary re-kills
+        the same block on flat programs (a full period per error), which
+        greedy never does.  This gap is why the exact game exists."""
+        for r in range(1, 4):
+            greedy = max(
+                greedy_adversary_delay(
+                    figure5_program, "A", 5, r,
+                    phase=phase, need_distinct=False,
+                )
+                for phase in range(figure5_program.data_cycle_length)
+            )
+            exact = worst_case_delay(
+                figure5_program, "A", 5, r, need_distinct=False
+            )
+            assert greedy <= exact
+            assert exact == 8 * r  # Lemma 1 tightness
+
+
+class TestDelayTable:
+    def test_figure7_shape(self, figure5_program, figure6_program):
+        rows = worst_case_delay_table(
+            figure6_program, figure5_program, {"A": 5, "B": 3}, 5
+        )
+        assert [row.errors for row in rows] == list(range(6))
+        # Without IDA: exactly r periods.
+        assert [row.without_ida for row in rows] == [
+            8 * r for r in range(6)
+        ]
+        # With IDA beats without IDA at every positive error count.
+        for row in rows[1:]:
+            assert row.with_ida < row.without_ida
+
+    def test_row_rendering(self, figure5_program, figure6_program):
+        rows = worst_case_delay_table(
+            figure6_program, figure5_program, {"A": 5, "B": 3}, 1
+        )
+        assert "|" in str(rows[1])

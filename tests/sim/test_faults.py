@@ -1,0 +1,111 @@
+"""Tests for channel fault models."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.sim.faults import (
+    AdversarialFaults,
+    BernoulliFaults,
+    BurstFaults,
+    NoFaults,
+)
+
+
+class TestNoFaults:
+    def test_never_loses(self):
+        model = NoFaults()
+        assert not any(model.is_lost(t) for t in range(100))
+
+
+class TestBernoulli:
+    def test_validation(self):
+        with pytest.raises(SpecificationError):
+            BernoulliFaults(-0.1)
+        with pytest.raises(SpecificationError):
+            BernoulliFaults(1.1)
+
+    def test_extremes(self):
+        assert not BernoulliFaults(0.0).is_lost(5)
+        assert BernoulliFaults(1.0).is_lost(5)
+
+    def test_deterministic_per_slot(self):
+        model = BernoulliFaults(0.5, seed=7)
+        decisions = [model.is_lost(t) for t in range(50)]
+        again = [model.is_lost(t) for t in range(50)]
+        assert decisions == again
+
+    def test_order_independent(self):
+        model = BernoulliFaults(0.5, seed=7)
+        forward = [model.is_lost(t) for t in range(20)]
+        fresh = BernoulliFaults(0.5, seed=7)
+        backward = [fresh.is_lost(t) for t in reversed(range(20))]
+        assert forward == list(reversed(backward))
+
+    def test_seed_changes_pattern(self):
+        a = [BernoulliFaults(0.5, seed=1).is_lost(t) for t in range(64)]
+        b = [BernoulliFaults(0.5, seed=2).is_lost(t) for t in range(64)]
+        assert a != b
+
+    def test_loss_rate_approximates_p(self):
+        model = BernoulliFaults(0.3, seed=3)
+        losses = sum(model.is_lost(t) for t in range(5000))
+        assert 0.25 < losses / 5000 < 0.35
+
+
+class TestBurst:
+    def test_validation(self):
+        with pytest.raises(SpecificationError):
+            BurstFaults(-0.1, 0.5)
+        with pytest.raises(SpecificationError):
+            BurstFaults(0.1, 1.5)
+
+    def test_deterministic(self):
+        a = BurstFaults(0.05, 0.5, seed=9)
+        b = BurstFaults(0.05, 0.5, seed=9)
+        assert [a.is_lost(t) for t in range(200)] == [
+            b.is_lost(t) for t in range(200)
+        ]
+
+    def test_out_of_order_queries_consistent(self):
+        model = BurstFaults(0.05, 0.5, seed=9)
+        late = model.is_lost(150)
+        early = model.is_lost(3)
+        fresh = BurstFaults(0.05, 0.5, seed=9)
+        assert early == fresh.is_lost(3)
+        assert late == fresh.is_lost(150)
+
+    def test_losses_cluster(self):
+        """Bursty losses have longer runs than Bernoulli at equal rate."""
+        model = BurstFaults(0.02, 0.25, seed=4)
+        states = [model.is_lost(t) for t in range(20_000)]
+        loss_rate = sum(states) / len(states)
+        runs = []
+        current = 0
+        for lost in states:
+            if lost:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        assert loss_rate > 0
+        assert runs and sum(runs) / len(runs) > 1.5
+
+    def test_never_lost_when_enter_zero(self):
+        model = BurstFaults(0.0, 0.5, seed=1)
+        assert not any(model.is_lost(t) for t in range(500))
+
+
+class TestAdversarial:
+    def test_explicit_slots(self):
+        model = AdversarialFaults([3, 7])
+        assert model.is_lost(3)
+        assert model.is_lost(7)
+        assert not model.is_lost(5)
+        assert model.budget == 2
+
+    def test_rejects_negative_slots(self):
+        with pytest.raises(SpecificationError):
+            AdversarialFaults([-1])
+
+    def test_empty_adversary(self):
+        assert AdversarialFaults([]).budget == 0

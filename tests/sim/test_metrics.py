@@ -1,0 +1,51 @@
+"""Tests for latency metrics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.metrics import summarize_latencies
+
+
+class TestSummaries:
+    def test_basic_statistics(self):
+        summary = summarize_latencies([1, 2, 3, 4, 5])
+        assert summary.count == 5
+        assert summary.mean == 3.0
+        assert summary.p50 == 3
+        assert summary.worst == 5
+        assert summary.misses == 0
+
+    def test_percentiles_nearest_rank(self):
+        summary = summarize_latencies(range(1, 101))
+        assert summary.p50 == 50
+        assert summary.p95 == 95
+        assert summary.p99 == 99
+
+    def test_none_counts_as_miss(self):
+        summary = summarize_latencies([1, None, 3])
+        assert summary.count == 3
+        assert summary.misses == 1
+        assert summary.mean == 2.0
+
+    def test_deadline_misses(self):
+        summary = summarize_latencies([5, 10, 15], deadline=10)
+        assert summary.misses == 1
+        assert summary.miss_rate == pytest.approx(1 / 3)
+
+    def test_all_failed(self):
+        summary = summarize_latencies([None, None])
+        assert summary.miss_rate == 1.0
+        assert summary.mean == float("inf")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            summarize_latencies([])
+
+    def test_str_contains_key_numbers(self):
+        summary = summarize_latencies([1, 2], deadline=5)
+        rendered = str(summary)
+        assert "mean" in rendered and "miss_rate" in rendered
+
+    def test_single_sample(self):
+        summary = summarize_latencies([7])
+        assert summary.p50 == summary.p99 == summary.worst == 7

@@ -1,0 +1,95 @@
+"""Tests for the end-to-end simulation runner."""
+
+import pytest
+
+from repro.bdisk.builder import design_program
+from repro.bdisk.file import FileSpec
+from repro.errors import SimulationError
+from repro.sim.faults import BernoulliFaults
+from repro.sim.runner import simulate_requests
+from repro.sim.workload import Request, request_stream
+
+
+def make_design():
+    files = [
+        FileSpec("hot", 2, 6, fault_budget=1),
+        FileSpec("warm", 3, 12),
+        FileSpec("cold", 4, 20),
+    ]
+    return files, design_program(files)
+
+
+class TestSimulateRequests:
+    def test_fault_free_all_meet_deadlines(self, rng):
+        files, design = make_design()
+        bandwidth = design.bandwidth_plan.bandwidth
+        requests = request_stream(
+            rng, files, count=60, horizon=300, bandwidth=bandwidth
+        )
+        result = simulate_requests(
+            design.program,
+            requests,
+            file_sizes={f.name: f.blocks for f in files},
+        )
+        assert result.deadline_misses == 0
+        assert result.deadline_miss_rate == 0.0
+        assert result.summary.count == 60
+
+    def test_fault_budgeted_file_survives_noise(self, rng):
+        """The fault-budgeted file keeps meeting deadlines under light
+        Bernoulli loss (its windows carry m + r distinct blocks)."""
+        files, design = make_design()
+        bandwidth = design.bandwidth_plan.bandwidth
+        requests = [
+            Request(time=t, file="hot", deadline=6 * bandwidth)
+            for t in range(0, 120, 7)
+        ]
+        result = simulate_requests(
+            design.program,
+            requests,
+            file_sizes={f.name: f.blocks for f in files},
+            faults=BernoulliFaults(0.02, seed=5),
+        )
+        assert result.deadline_miss_rate <= 0.1
+
+    def test_heavy_loss_causes_misses(self, rng):
+        files, design = make_design()
+        requests = [
+            Request(time=t, file="cold", deadline=5) for t in range(0, 50, 5)
+        ]
+        result = simulate_requests(
+            design.program,
+            requests,
+            file_sizes={f.name: f.blocks for f in files},
+            faults=BernoulliFaults(0.8, seed=6),
+            max_slots=400,
+        )
+        assert result.deadline_misses > 0
+
+    def test_unknown_file_rejected(self):
+        files, design = make_design()
+        with pytest.raises(SimulationError):
+            simulate_requests(
+                design.program,
+                [Request(time=0, file="nope", deadline=5)],
+                file_sizes={f.name: f.blocks for f in files},
+            )
+
+    def test_empty_requests_rejected(self):
+        files, design = make_design()
+        with pytest.raises(SimulationError):
+            simulate_requests(
+                design.program, [], file_sizes={}
+            )
+
+    def test_retrievals_align_with_requests(self, rng):
+        files, design = make_design()
+        requests = request_stream(rng, files, count=10, horizon=50)
+        result = simulate_requests(
+            design.program,
+            requests,
+            file_sizes={f.name: f.blocks for f in files},
+        )
+        for request, retrieval in zip(result.requests, result.retrievals):
+            assert retrieval.file == request.file
+            assert retrieval.start == request.time

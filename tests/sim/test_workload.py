@@ -1,0 +1,96 @@
+"""Tests for workload generators."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.sim.workload import (
+    random_file_set,
+    random_pinwheel_system,
+    request_stream,
+)
+
+
+class TestRandomFileSet:
+    def test_respects_bounds(self, rng):
+        specs = random_file_set(
+            rng, 20, max_blocks=5, max_latency=40, max_fault_budget=2
+        )
+        assert len(specs) == 20
+        for spec in specs:
+            assert 1 <= spec.blocks <= 5
+            assert spec.blocks <= spec.latency <= 40
+            assert 0 <= spec.fault_budget <= 2
+
+    def test_unique_names(self, rng):
+        specs = random_file_set(rng, 10)
+        assert len({s.name for s in specs}) == 10
+
+    def test_reproducible(self):
+        a = random_file_set(random.Random(3), 5)
+        b = random_file_set(random.Random(3), 5)
+        assert a == b
+
+    def test_rejects_zero_count(self, rng):
+        with pytest.raises(SpecificationError):
+            random_file_set(rng, 0)
+
+
+class TestRandomPinwheelSystem:
+    @pytest.mark.parametrize("target", [0.3, 0.5, 0.7, 0.9])
+    def test_hits_target_from_below(self, rng, target):
+        system = random_pinwheel_system(rng, 6, target)
+        assert system.density <= Fraction(target).limit_denominator(10**6)
+        assert target - float(system.density) <= 0.02
+
+    def test_rejects_unreachable_target(self, rng):
+        with pytest.raises(SpecificationError):
+            random_pinwheel_system(rng, 2, 0.9, min_window=4)
+
+    def test_rejects_bad_target(self, rng):
+        with pytest.raises(SpecificationError):
+            random_pinwheel_system(rng, 3, 0.0)
+        with pytest.raises(SpecificationError):
+            random_pinwheel_system(rng, 3, 1.5)
+
+    def test_unit_demands(self, rng):
+        system = random_pinwheel_system(rng, 5, 0.6)
+        assert all(t.a == 1 for t in system.tasks)
+
+
+class TestRequestStream:
+    def make_files(self, rng):
+        return random_file_set(rng, 5)
+
+    def test_sorted_by_time(self, rng):
+        files = self.make_files(rng)
+        requests = request_stream(rng, files, count=30, horizon=100)
+        times = [r.time for r in requests]
+        assert times == sorted(times)
+
+    def test_deadlines_follow_latency(self, rng):
+        files = self.make_files(rng)
+        by_name = {f.name: f for f in files}
+        requests = request_stream(
+            rng, files, count=30, horizon=100, bandwidth=3
+        )
+        for request in requests:
+            assert request.deadline == by_name[request.file].latency * 3
+
+    def test_zipf_skews_toward_first_files(self, rng):
+        files = self.make_files(rng)
+        requests = request_stream(
+            rng, files, count=500, horizon=1000, zipf_skew=2.0
+        )
+        first = sum(1 for r in requests if r.file == files[0].name)
+        last = sum(1 for r in requests if r.file == files[-1].name)
+        assert first > last
+
+    def test_validation(self, rng):
+        files = self.make_files(rng)
+        with pytest.raises(SpecificationError):
+            request_stream(rng, files, count=0, horizon=10)
+        with pytest.raises(SpecificationError):
+            request_stream(rng, [], count=5, horizon=10)

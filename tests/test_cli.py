@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDesign:
+    def test_basic_design(self, capsys):
+        status = main(
+            ["design", "--file", "pos:4:2:2", "--file", "map:6:5:1"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "bandwidth" in out
+        assert "program" in out
+        assert "pos'" in out
+
+    def test_forced_bandwidth(self, capsys):
+        status = main(
+            ["design", "--file", "a:1:4", "--bandwidth", "2"]
+        )
+        assert status == 0
+        assert "bandwidth : 2" in capsys.readouterr().out
+
+    def test_infeasible_bandwidth_is_clean_error(self, capsys):
+        status = main(
+            ["design", "--file", "a:4:2", "--bandwidth", "1"]
+        )
+        captured = capsys.readouterr()
+        assert status == 1
+        assert "error:" in captured.err
+
+    def test_bad_file_syntax_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["design", "--file", "nonsense"])
+        assert excinfo.value.code == 2
+
+    def test_periods_flag(self, capsys):
+        status = main(
+            ["design", "--file", "a:1:2", "--file", "b:1:3",
+             "--periods", "2"]
+        )
+        assert status == 0
+
+
+class TestGeneralized:
+    def test_example5_shape(self, capsys):
+        status = main(
+            ["generalized", "--file", "F:2:5,6,6", "--file", "H:1:9,12"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "transform" in out
+        assert "F'" in out
+
+    def test_bad_vector_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["generalized", "--file", "F:3:5,3"])
+        assert excinfo.value.code == 2
+
+
+class TestDelayTable:
+    def test_figure7_regeneration(self, capsys):
+        status = main(
+            [
+                "delay-table",
+                "--file", "A:5:10",
+                "--file", "B:3:6",
+                "--errors", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        lines = [line for line in out.splitlines() if "|" in line]
+        assert len(lines) == 5  # header + rows 0..3
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2

@@ -1,0 +1,84 @@
+"""Sanity checks on the public API surface.
+
+Guards the promises the README makes: everything in ``__all__`` is
+importable, documented, and the subpackage exports stay in sync with
+the top-level re-exports.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.core",
+    "repro.ida",
+    "repro.bdisk",
+    "repro.sim",
+    "repro.rtdb",
+]
+
+
+class TestTopLevel:
+    def test_version_present(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_all_public_objects_documented(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if obj is None:  # the IDLE sentinel
+                continue
+            assert getattr(obj, "__doc__", None), (
+                f"{name} has no docstring"
+            )
+
+    def test_no_private_leaks(self):
+        assert not any(name.startswith("_") for name in repro.__all__)
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+class TestSubpackages:
+    def test_all_names_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_module_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and len(module.__doc__) > 80
+
+    def test_exports_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if obj is None:
+                continue
+            assert getattr(obj, "__doc__", None), (
+                f"{module_name}.{name} has no docstring"
+            )
+
+
+class TestErrorHierarchy:
+    def test_every_error_subclasses_base(self):
+        from repro import errors
+
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if (
+                isinstance(obj, type)
+                and issubclass(obj, Exception)
+                and obj.__module__ == "repro.errors"
+                and obj is not errors.ReproError
+            ):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_catching_base_covers_library_failures(self):
+        from repro import FileSpec, ReproError, design_program
+
+        with pytest.raises(ReproError):
+            design_program([FileSpec("a", 4, 2)], bandwidth=1)
