@@ -8,14 +8,11 @@ both program styles and reports mean latency (where multidisk shines)
 next to deadline-miss rate (where pinwheel wins by construction).
 """
 
-import random
-
 from benchmarks.conftest import print_table
-from repro.bdisk.builder import design_program
+from repro.api import BroadcastEngine, Scenario, WorkloadSpec
 from repro.bdisk.file import FileSpec
 from repro.bdisk.multidisk import build_multidisk_program, config_from_demand
 from repro.sim.runner import simulate_requests
-from repro.sim.workload import request_stream
 
 FILES = [
     FileSpec("hot", 2, 8),
@@ -28,31 +25,34 @@ DEMAND = {"hot": 20.0, "warm-1": 5.0, "warm-2": 4.0,
           "cold-1": 1.0, "cold-2": 0.5}
 
 
+def _scenario(seed: int) -> Scenario:
+    # Deadlines are in pinwheel slots; the multidisk channel runs at the
+    # same slot rate, so the same deadline applies to both programs.
+    return Scenario(
+        name="mdisk",
+        files=FILES,
+        workload=WorkloadSpec(
+            requests=150, horizon=600, zipf_skew=1.2, seed=seed
+        ),
+    )
+
+
 def _run_both(seed: int):
-    rng = random.Random(seed)
-    design = design_program(FILES)
-    bandwidth = design.bandwidth_plan.bandwidth
+    result = BroadcastEngine(_scenario(seed)).run()
 
     multidisk = build_multidisk_program(
         config_from_demand(
             [(f.name, f.blocks) for f in FILES], DEMAND, levels=(4, 2, 1)
         )
     )
-    sizes = {f.name: f.blocks for f in FILES}
-
-    # Deadlines are in pinwheel slots; the multidisk channel runs at the
-    # same slot rate, so the same deadline applies to both programs.
-    requests = request_stream(
-        rng, FILES, count=150, horizon=600,
-        bandwidth=bandwidth, zipf_skew=1.2,
-    )
-    pinwheel_result = simulate_requests(
-        design.program, requests, file_sizes=sizes, need_distinct=True
-    )
+    # Replay the engine's exact request stream on the baseline layout.
     multi_result = simulate_requests(
-        multidisk, requests, file_sizes=sizes, need_distinct=False
+        multidisk,
+        result.simulation.requests,
+        file_sizes={f.name: f.blocks for f in FILES},
+        need_distinct=False,
     )
-    return design, pinwheel_result, multi_result
+    return result.design, result.simulation, multi_result
 
 
 def test_multidisk_vs_pinwheel(benchmark):
@@ -86,7 +86,7 @@ def test_pinwheel_guarantee_under_any_phase(benchmark):
     """Worst-case check: every phase of every file meets its window."""
 
     def worst_phase_check():
-        design = design_program(FILES)
+        design = BroadcastEngine(_scenario(77)).design()
         program = design.program
         bandwidth = design.bandwidth_plan.bandwidth
         worst = {}

@@ -2,26 +2,34 @@
 
 The paper's opening scenario: vehicles with on-board navigation receive
 traffic data by satellite broadcast and must react to incidents in real
-time.  This example builds the IVHS server's broadcast disk:
+time.  This example builds the IVHS server's broadcast disk through the
+declarative Scenario API:
 
 * *incident alerts* - small, urgent, and critical (drivers reroute);
 * *congestion maps* - medium, refreshed every few seconds;
 * *construction schedules* and *points of interest* - large and lazy.
 
-It then simulates a fleet of vehicles tuning in at random times over a
-noisy channel and reports deadline compliance, contrasting the pinwheel
-program with the demand-driven multidisk layout.
+Two scenarios share the catalogue and workload seed - a clear channel
+and a 5% lossy one - and run as a batch (:func:`repro.run_scenarios`).
+The same request stream then replays against the demand-driven multidisk
+layout for the paper's positioning contrast.
 
 Run with::
 
     python examples/ivhs_traffic.py
 """
 
-import random
+from dataclasses import replace
 
-from repro import FileSpec, design_program, BernoulliFaults, simulate_requests
+from repro import (
+    FaultSpec,
+    FileSpec,
+    Scenario,
+    WorkloadSpec,
+    run_scenarios,
+    simulate_requests,
+)
 from repro.bdisk.multidisk import build_multidisk_program, config_from_demand
-from repro.sim.workload import request_stream
 
 
 def main() -> None:
@@ -31,43 +39,44 @@ def main() -> None:
         FileSpec("construction", blocks=8, latency=20),
         FileSpec("poi", blocks=10, latency=40),
     ]
-    design = design_program(files)
-    plan = design.bandwidth_plan
+    # A fleet of vehicles: Zipf-skewed interest (incidents are hot).
+    clear = Scenario(
+        name="ivhs-clear",
+        files=files,
+        workload=WorkloadSpec(
+            requests=200, horizon=2_000, zipf_skew=1.5, seed=1995
+        ),
+    )
+    noisy = replace(
+        clear,
+        name="ivhs-noisy",
+        faults=FaultSpec(kind="bernoulli", probability=0.05, seed=3),
+    )
+
+    clear_result, noisy_result = run_scenarios([clear, noisy])
+    plan = clear_result.design.bandwidth_plan
     print("== IVHS broadcast disk ==")
     print(f"bandwidth: {plan.bandwidth} blocks/s "
           f"(necessary >= {float(plan.necessary):.2f}, "
           f"density {float(plan.density):.3f})")
-    print(f"period {design.program.broadcast_period} slots, "
-          f"data cycle {design.program.data_cycle_length} slots")
+    print(f"period {clear_result.stats.broadcast_period} slots, "
+          f"data cycle {clear_result.stats.data_cycle_length} slots")
 
-    # A fleet of vehicles: Zipf-skewed interest (incidents are hot).
-    rng = random.Random(1995)
-    requests = request_stream(
-        rng,
-        files,
-        count=200,
-        horizon=2_000,
-        bandwidth=plan.bandwidth,
-        zipf_skew=1.5,
-    )
-    sizes = {f.name: f.blocks for f in files}
+    for result in (clear_result, noisy_result):
+        label = (
+            "clear channel"
+            if result.scenario.faults.kind == "none"
+            else "5% block loss"
+        )
+        print(f"\n== fleet simulation: {label} ==")
+        print(f"latency: {result.simulation.summary}")
+        print(
+            f"deadline miss rate: "
+            f"{result.simulation.deadline_miss_rate:.3f}"
+        )
 
-    print("\n== fleet simulation: clear channel ==")
-    clear = simulate_requests(design.program, requests, file_sizes=sizes)
-    print(f"latency: {clear.summary}")
-    print(f"deadline miss rate: {clear.deadline_miss_rate:.3f}")
-
-    print("\n== fleet simulation: 5% block loss ==")
-    noisy = simulate_requests(
-        design.program,
-        requests,
-        file_sizes=sizes,
-        faults=BernoulliFaults(0.05, seed=3),
-    )
-    print(f"latency: {noisy.summary}")
-    print(f"deadline miss rate: {noisy.deadline_miss_rate:.3f}")
-
-    # Baseline: the demand-driven multidisk layout on the same stream.
+    # Baseline: the demand-driven multidisk layout on the very same
+    # request stream (the engine's result carries it).
     demand = {"incidents": 20.0, "congestion": 6.0,
               "construction": 2.0, "poi": 1.0}
     multidisk = build_multidisk_program(
@@ -76,7 +85,10 @@ def main() -> None:
         )
     )
     baseline = simulate_requests(
-        multidisk, requests, file_sizes=sizes, need_distinct=False
+        multidisk,
+        clear_result.simulation.requests,
+        file_sizes={f.name: f.blocks for f in files},
+        need_distinct=False,
     )
     print("\n== demand-driven multidisk baseline (clear channel) ==")
     print(f"latency: {baseline.summary}")

@@ -1,56 +1,71 @@
 """Quickstart: design a fault-tolerant real-time broadcast disk.
 
-Walks the library's core loop end to end:
+Walks the library's core loop end to end through the declarative
+Scenario API:
 
-1. specify broadcast files (size, latency, fault budget);
-2. plan bandwidth with Equation 2 and schedule the induced pinwheel
-   system;
-3. inspect the resulting broadcast program;
-4. disperse a real payload with AIDA and retrieve it through a lossy
+1. specify broadcast files (size, latency, fault budget) and a workload
+   in one :class:`repro.Scenario`;
+2. run it: bandwidth planning (Equation 2), pinwheel scheduling, AIDA
+   block rotation, and a lossy-channel simulation in one call;
+3. inspect the structured result (plan, program, latencies);
+4. disperse a real payload with AIDA and retrieve it through the same
    channel.
 
 Run with::
 
     python examples/quickstart.py
+
+The identical experiment is available from a shell: save the scenario
+with ``scenario.save("quickstart.json")`` and run
+``repro run quickstart.json``.
 """
 
 from repro import (
     AidaEncoder,
     BernoulliFaults,
+    BroadcastEngine,
+    FaultSpec,
     FileSpec,
-    design_program,
+    Scenario,
+    WorkloadSpec,
     reconstruct,
     retrieve,
 )
 
 
 def main() -> None:
-    # 1. Three database objects with real-time delivery requirements.
+    # 1. Three database objects with real-time delivery requirements and
+    #    a fleet of clients tuning in over a 10%-loss channel.
     #    "pos" updates must arrive within 2 s even if 2 blocks are lost.
-    files = [
-        FileSpec("pos", blocks=4, latency=2, fault_budget=2),
-        FileSpec("map", blocks=6, latency=5, fault_budget=1),
-        FileSpec("weather", blocks=2, latency=10),
-    ]
+    scenario = Scenario(
+        name="quickstart",
+        files=[
+            FileSpec("pos", blocks=4, latency=2, fault_budget=2),
+            FileSpec("map", blocks=6, latency=5, fault_budget=1),
+            FileSpec("weather", blocks=2, latency=10),
+        ],
+        faults=FaultSpec(kind="bernoulli", probability=0.1, seed=7),
+        workload=WorkloadSpec(requests=60, horizon=300, seed=11),
+    )
 
-    # 2. Plan bandwidth and build the program (Equation 2 + portfolio
-    #    scheduler + AIDA block rotation; everything verified).
-    design = design_program(files)
-    plan = design.bandwidth_plan
+    # 2. One call: Equation 2 + portfolio scheduler + AIDA block rotation
+    #    + fault-channel simulation; everything verified.
+    result = BroadcastEngine(scenario).run()
+    plan = result.design.bandwidth_plan
     print("== bandwidth plan ==")
     print(f"necessary  >= {float(plan.necessary):.2f} blocks/s")
     print(f"equation 2  = {plan.eq_bound} blocks/s (chosen)")
     print(f"density     = {float(plan.density):.4f} "
           f"(schedulable below 0.70)")
-    print(f"scheduler   = {plan.report.method}")
+    print(f"scheduler   = {result.stats.method}")
 
     # 3. The broadcast program: slot -> (file, dispersed block).
-    program = design.program
+    program = result.program
     print("\n== broadcast program ==")
     print(f"broadcast period   = {program.broadcast_period} slots")
     print(f"program data cycle = {program.data_cycle_length} slots")
     print("first period:", program.render(periods=1))
-    for spec in files:
+    for spec in scenario.files:
         window = plan.bandwidth * spec.latency
         distinct = program.min_distinct_in_window(spec.name, window)
         print(
@@ -59,19 +74,24 @@ def main() -> None:
             f"(needs {spec.blocks} + {spec.fault_budget} spare)"
         )
 
+    sim = result.simulation
+    print("\n== fleet simulation over the 10%-loss channel ==")
+    print(f"latency: {sim.summary}")
+    print(f"deadline miss rate: {sim.deadline_miss_rate:.3f}")
+
     # 4. Put real bytes on the air and fetch them through a lossy channel.
     payload = b"vehicle 42 at (42.3601 N, 71.0589 W), heading 095\n" * 5
     encoder = AidaEncoder(
         "pos", payload, m=4, n_max=program.block_count("pos")
     )
-    result = retrieve(
+    retrieval = retrieve(
         program, "pos", 4, faults=BernoulliFaults(0.1, seed=7)
     )
-    blocks = [encoder.blocks[i] for i in result.received[:4]]
+    blocks = [encoder.blocks[i] for i in retrieval.received[:4]]
     restored = reconstruct(blocks)
     print("\n== retrieval over a 10%-loss channel ==")
-    print(f"completed in {result.latency} slots "
-          f"({len(result.lost_slots)} blocks lost on air)")
+    print(f"completed in {retrieval.latency} slots "
+          f"({len(retrieval.lost_slots)} blocks lost on air)")
     print(f"payload intact: {restored == payload}")
 
 

@@ -17,18 +17,29 @@ Database Systems" (BU-CS TR-1996-023 / ICDE 1997), organized as:
 * :mod:`repro.sim` - fault models, client retrieval, exact worst-case
   delay analysis (Lemmas 1-2, Figure 7), workloads, and metrics;
 * :mod:`repro.rtdb` - temporal consistency, data items, operation modes,
-  and read transactions.
+  and read transactions;
+* :mod:`repro.api` - the declarative front door: :class:`Scenario`
+  specifications (JSON-round-trippable), the :class:`BroadcastEngine`
+  facade, and batch sweeps over scenarios.
 
 Quickstart::
 
-    from repro import FileSpec, design_program
+    from repro import FileSpec, Scenario, WorkloadSpec, run_scenario
 
-    files = [
-        FileSpec("radar", blocks=4, latency=2, fault_budget=2),
-        FileSpec("map", blocks=6, latency=5, fault_budget=1),
-    ]
-    design = design_program(files)
-    print(design.program.render(periods=1))
+    scenario = Scenario(
+        name="radar-map",
+        files=[
+            FileSpec("radar", blocks=4, latency=2, fault_budget=2),
+            FileSpec("map", blocks=6, latency=5, fault_budget=1),
+        ],
+        workload=WorkloadSpec(requests=100, horizon=500, seed=7),
+    )
+    result = run_scenario(scenario)
+    print(result.summary())
+
+The same scenario runs from a shell via ``repro run scenario.json``;
+lower-level entry points (``solve``, ``design_program``,
+``simulate_requests``) remain available for piecewise use.
 
 See ``examples/`` for runnable scenarios and ``EXPERIMENTS.md`` for the
 paper-versus-measured record.
@@ -60,6 +71,12 @@ from repro.core import (
     design_nice_system,
     necessary_bandwidth,
     pc,
+    register_scheduler,
+    registered_schedulers,
+    scheduler_names,
+    get_scheduler,
+    SchedulerEntry,
+    SolveReport,
     solve,
     sufficient_bandwidth_eq1,
     sufficient_bandwidth_eq2,
@@ -106,6 +123,15 @@ from repro.rtdb import (
     constraint_from_kinematics,
     execute_transaction,
 )
+from repro.api import (
+    BroadcastEngine,
+    FaultSpec,
+    Scenario,
+    ScenarioResult,
+    WorkloadSpec,
+    run_scenario,
+    run_scenarios,
+)
 
 __version__ = "1.0.0"
 
@@ -132,6 +158,12 @@ __all__ = [
     "pc",
     "bc",
     "solve",
+    "SolveReport",
+    "SchedulerEntry",
+    "register_scheduler",
+    "registered_schedulers",
+    "get_scheduler",
+    "scheduler_names",
     "verify_schedule",
     "check_schedule",
     "best_nice_conjunct",
@@ -176,4 +208,12 @@ __all__ = [
     "ModeManager",
     "ReadTransaction",
     "execute_transaction",
+    # api
+    "Scenario",
+    "FaultSpec",
+    "WorkloadSpec",
+    "BroadcastEngine",
+    "ScenarioResult",
+    "run_scenario",
+    "run_scenarios",
 ]

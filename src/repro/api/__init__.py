@@ -1,0 +1,56 @@
+"""The declarative front door: scenarios, the engine, structured results.
+
+Where the subpackages expose each pipeline stage separately, this package
+is the single entry point for end-to-end experiments:
+
+* :mod:`repro.api.scenario` - the :class:`Scenario` specification
+  (files, bandwidth, redundancy policy, fault model, workload, scheduler
+  policy) with dict/JSON round-tripping and eager validation;
+* :mod:`repro.api.engine` - the :class:`BroadcastEngine` facade running
+  design -> program -> simulation -> delay analysis in one call, the
+  structured :class:`ScenarioResult`, and :func:`run_scenarios` for batch
+  sweeps.
+
+Quickstart::
+
+    from repro.api import Scenario, WorkloadSpec, run_scenario
+
+    scenario = Scenario(
+        name="demo",
+        files=[FileSpec("pos", 4, 2, fault_budget=2)],
+        workload=WorkloadSpec(requests=50, horizon=200, seed=7),
+    )
+    result = run_scenario(scenario)
+    print(result.summary())
+
+The same scenario serializes to JSON (``scenario.save(path)``) and runs
+from a shell with ``repro run path``.
+"""
+
+from repro.api.scenario import (
+    FAULT_KINDS,
+    FaultSpec,
+    Scenario,
+    WorkloadSpec,
+)
+from repro.api.engine import (
+    BroadcastEngine,
+    DelayEntry,
+    ProgramStats,
+    ScenarioResult,
+    run_scenario,
+    run_scenarios,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "Scenario",
+    "WorkloadSpec",
+    "BroadcastEngine",
+    "DelayEntry",
+    "ProgramStats",
+    "ScenarioResult",
+    "run_scenario",
+    "run_scenarios",
+]

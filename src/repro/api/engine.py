@@ -1,0 +1,369 @@
+"""The one-call facade: run a :class:`Scenario` end to end.
+
+``BroadcastEngine(scenario).run()`` walks the whole paper pipeline -
+
+1. **design**: plan bandwidth and schedule the induced pinwheel system
+   (regular files, Section 3.2) or transform-and-schedule the nice
+   conjunct (generalized files, Section 4), honouring the scenario's
+   scheduler policy;
+2. **program**: summarize the verified broadcast program;
+3. **simulation**: when a workload is specified, replay a seeded request
+   stream against the program through the scenario's fault model;
+4. **delay analysis**: when requested, regenerate the exact worst-case
+   delay table (Figure 7 style) by exhaustive adversary.
+
+The outcome is a structured :class:`ScenarioResult`; :func:`run_scenarios`
+maps the same pipeline over a batch for parameter sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Iterable, Mapping
+
+from repro.errors import SpecificationError
+from repro.core.solver import SolveReport
+from repro.ida import AidaEncoder, reconstruct
+from repro.bdisk.builder import (
+    ProgramDesign,
+    design_generalized_program,
+    design_program,
+)
+from repro.bdisk.program import BroadcastProgram
+from repro.sim.delay import worst_case_delay
+from repro.sim.runner import SimulationResult, simulate_requests
+from repro.sim.workload import request_stream
+from repro.api.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class ProgramStats:
+    """Headline numbers of a designed broadcast program."""
+
+    bandwidth: int | None
+    density: Fraction
+    method: str
+    attempts: tuple[tuple[str, str], ...]
+    broadcast_period: int
+    data_cycle_length: int
+    block_counts: dict[str, int]
+
+    def __str__(self) -> str:
+        bandwidth = (
+            f"{self.bandwidth} blocks/s" if self.bandwidth else "per-slot"
+        )
+        return (
+            f"bandwidth {bandwidth}, density {float(self.density):.4f}, "
+            f"method {self.method}, period {self.broadcast_period} slots, "
+            f"data cycle {self.data_cycle_length} slots"
+        )
+
+
+@dataclass(frozen=True)
+class DelayEntry:
+    """Exact worst-case added delay for one file at one fault count."""
+
+    file: str
+    errors: int
+    delay: int
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Everything one scenario run produced.
+
+    Attributes
+    ----------
+    scenario:
+        The input specification.
+    design:
+        The full :class:`ProgramDesign` (program, solve report, bandwidth
+        plan or transform candidates).
+    stats:
+        Headline program numbers for quick inspection.
+    simulation:
+        The workload replay, or ``None`` when no workload was specified.
+    delay_table:
+        Worst-case delay entries, empty unless ``delay_errors`` was set.
+    payload_checks:
+        Per-file end-to-end AIDA integrity: each file's payload (at the
+        scenario's ``block_size``) dispersed, retrieved through the fault
+        channel, and reconstructed bit-for-bit.  ``None`` without a
+        simulation; files whose retrievals never completed are absent.
+    """
+
+    scenario: Scenario
+    design: ProgramDesign
+    stats: ProgramStats
+    simulation: SimulationResult | None
+    delay_table: tuple[DelayEntry, ...]
+    payload_checks: Mapping[str, bool] | None = None
+
+    @property
+    def program(self) -> BroadcastProgram:
+        """The verified broadcast program."""
+        return self.design.program
+
+    @property
+    def report(self) -> SolveReport:
+        """How the pinwheel system was scheduled."""
+        return self.design.report
+
+    def summary(self) -> str:
+        """A human-readable multi-line report (the CLI's output)."""
+        lines = [f"scenario  : {self.scenario.name}", f"design    : {self.stats}"]
+        lines.append(
+            "attempts  : "
+            + "; ".join(f"{n} -> {o}" for n, o in self.stats.attempts)
+        )
+        if self.simulation is not None:
+            sim = self.simulation
+            lines.append(
+                f"workload  : {len(sim.requests)} requests, "
+                f"latency {sim.summary}, "
+                f"deadline miss rate {sim.deadline_miss_rate:.3f}"
+            )
+        if self.payload_checks:
+            verdicts = ", ".join(
+                f"{name}={'intact' if ok else 'CORRUPT'}"
+                for name, ok in sorted(self.payload_checks.items())
+            )
+            lines.append(f"payloads  : {verdicts}")
+        if self.delay_table:
+            lines.append("delay     : file errors worst-case-added-delay")
+            for entry in self.delay_table:
+                lines.append(
+                    f"            {entry.file} {entry.errors} {entry.delay}"
+                )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-able result record (for ``repro run --json`` and CI).
+
+        Latency statistics are ``null`` when no retrieval completed
+        (the all-miss summary is ``inf``, which strict JSON rejects).
+        """
+
+        def finite(value: float) -> float | None:
+            return value if math.isfinite(value) else None
+
+        simulation = None
+        if self.simulation is not None:
+            sim = self.simulation
+            simulation = {
+                "requests": len(sim.requests),
+                "deadline_misses": sim.deadline_misses,
+                "deadline_miss_rate": sim.deadline_miss_rate,
+                "latency": {
+                    "mean": finite(sim.summary.mean),
+                    "p50": finite(sim.summary.p50),
+                    "p95": finite(sim.summary.p95),
+                    "p99": finite(sim.summary.p99),
+                    "worst": finite(sim.summary.worst),
+                },
+                "payload_checks": (
+                    None
+                    if self.payload_checks is None
+                    else dict(self.payload_checks)
+                ),
+            }
+        return {
+            "scenario": self.scenario.to_dict(),
+            "stats": {
+                "bandwidth": self.stats.bandwidth,
+                "density": float(self.stats.density),
+                "method": self.stats.method,
+                "attempts": [list(a) for a in self.stats.attempts],
+                "broadcast_period": self.stats.broadcast_period,
+                "data_cycle_length": self.stats.data_cycle_length,
+                "block_counts": dict(self.stats.block_counts),
+            },
+            "simulation": simulation,
+            "delay_table": [
+                {"file": e.file, "errors": e.errors, "delay": e.delay}
+                for e in self.delay_table
+            ],
+        }
+
+
+class BroadcastEngine:
+    """Facade running design -> program -> simulation for one scenario.
+
+    The engine is cheap to construct and caches its design, so
+    ``engine.design()`` followed by ``engine.run()`` designs once.
+    """
+
+    def __init__(self, scenario: Scenario) -> None:
+        if not isinstance(scenario, Scenario):
+            raise SpecificationError(
+                f"BroadcastEngine expects a Scenario, got "
+                f"{type(scenario).__name__}"
+            )
+        self._scenario = scenario
+        self._design: ProgramDesign | None = None
+
+    @property
+    def scenario(self) -> Scenario:
+        """The scenario this engine runs."""
+        return self._scenario
+
+    def design(self) -> ProgramDesign:
+        """Design the broadcast program (cached after the first call)."""
+        if self._design is None:
+            scenario = self._scenario
+            policy = scenario.scheduler_policy
+            if scenario.generalized:
+                self._design = design_generalized_program(
+                    scenario.files, policy=policy
+                )
+            else:
+                self._design = design_program(
+                    scenario.effective_files,
+                    bandwidth=scenario.bandwidth,
+                    policy=policy,
+                )
+        return self._design
+
+    def _stats(self, design: ProgramDesign) -> ProgramStats:
+        plan = design.bandwidth_plan
+        program = design.program
+        return ProgramStats(
+            bandwidth=None if plan is None else plan.bandwidth,
+            density=design.density,
+            method=design.report.method,
+            attempts=design.report.attempts,
+            broadcast_period=program.broadcast_period,
+            data_cycle_length=program.data_cycle_length,
+            block_counts={
+                spec.name: program.block_count(spec.name)
+                for spec in self._scenario.files
+            },
+        )
+
+    def simulate(self) -> SimulationResult | None:
+        """Replay the scenario workload, or ``None`` without one."""
+        scenario = self._scenario
+        workload = scenario.workload
+        if workload is None:
+            return None
+        design = self.design()
+        rng = random.Random(workload.seed)
+        if scenario.generalized:
+            # Latencies are already in slots; each deadline is the file's
+            # weakest promise d(r) - the latency the program guarantees
+            # even at the full fault budget.
+            requests = request_stream(
+                rng,
+                scenario.files,
+                count=workload.requests,
+                horizon=workload.horizon,
+                zipf_skew=workload.zipf_skew,
+                deadline=lambda spec: spec.latency_vector[-1],
+            )
+        else:
+            requests = request_stream(
+                rng,
+                scenario.effective_files,
+                count=workload.requests,
+                horizon=workload.horizon,
+                bandwidth=design.bandwidth_plan.bandwidth,
+                zipf_skew=workload.zipf_skew,
+            )
+        return simulate_requests(
+            design.program,
+            requests,
+            file_sizes={spec.name: spec.blocks for spec in scenario.files},
+            faults=scenario.faults.build(),
+            need_distinct=True,
+        )
+
+    def payload_checks(
+        self, simulation: SimulationResult | None
+    ) -> dict[str, bool] | None:
+        """Per-file end-to-end AIDA byte integrity over the simulation.
+
+        For each file with at least one completed retrieval: disperse its
+        payload (at the scenario's ``block_size``) with AIDA, take the
+        blocks that retrieval actually received over the fault channel,
+        reconstruct, and compare bit-for-bit.
+        """
+        if simulation is None:
+            return None
+        scenario = self._scenario
+        program = self.design().program
+        checks: dict[str, bool] = {}
+        for spec in scenario.files:
+            retrieval = next(
+                (
+                    r
+                    for r in simulation.retrievals
+                    if r.file == spec.name
+                    and r.completed
+                    and len(r.received) >= spec.blocks
+                ),
+                None,
+            )
+            if retrieval is None:
+                continue
+            payload = spec.payload(scenario.block_size)
+            encoder = AidaEncoder(
+                spec.name,
+                payload,
+                m=spec.blocks,
+                n_max=program.block_count(spec.name),
+            )
+            blocks = [
+                encoder.blocks[index]
+                for index in retrieval.received[: spec.blocks]
+            ]
+            checks[spec.name] = reconstruct(blocks) == payload
+        return checks
+
+    def delay_table(self) -> tuple[DelayEntry, ...]:
+        """Exact worst-case delays up to the scenario's ``delay_errors``."""
+        scenario = self._scenario
+        if scenario.delay_errors is None:
+            return ()
+        program = self.design().program
+        return tuple(
+            DelayEntry(
+                spec.name,
+                errors,
+                worst_case_delay(
+                    program, spec.name, spec.blocks, errors,
+                    need_distinct=True,
+                ),
+            )
+            for spec in scenario.files
+            for errors in range(scenario.delay_errors + 1)
+        )
+
+    def run(self) -> ScenarioResult:
+        """Run the full pipeline and return a structured result."""
+        design = self.design()
+        simulation = self.simulate()
+        return ScenarioResult(
+            scenario=self._scenario,
+            design=design,
+            stats=self._stats(design),
+            simulation=simulation,
+            delay_table=self.delay_table(),
+            payload_checks=self.payload_checks(simulation),
+        )
+
+
+def run_scenario(scenario: Scenario | Mapping[str, Any]) -> ScenarioResult:
+    """Run one scenario (a :class:`Scenario` or its dict form)."""
+    if isinstance(scenario, Mapping):
+        scenario = Scenario.from_dict(scenario)
+    return BroadcastEngine(scenario).run()
+
+
+def run_scenarios(
+    scenarios: Iterable[Scenario | Mapping[str, Any]],
+) -> tuple[ScenarioResult, ...]:
+    """Run a batch of scenarios in order (for parameter sweeps)."""
+    return tuple(run_scenario(scenario) for scenario in scenarios)

@@ -1,0 +1,576 @@
+"""Declarative scenario specifications for end-to-end experiments.
+
+A :class:`Scenario` captures *everything* one broadcast-disk experiment
+needs - the file catalogue (regular or generalized), bandwidth and block
+size options, an optional per-mode AIDA redundancy policy, the channel
+fault model, a client workload, the scheduler policy, and an optional
+worst-case delay sweep - as one immutable, JSON-round-trippable object.
+:class:`repro.api.engine.BroadcastEngine` turns a scenario into results.
+
+Scenarios validate eagerly: any inconsistent combination raises
+:class:`repro.errors.SpecificationError` at construction time, so a bad
+JSON file fails at ``Scenario.from_file`` rather than mid-pipeline.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import SpecificationError
+from repro.core.registry import POLICIES, get_scheduler
+from repro.ida.aida import RedundancyPolicy
+from repro.bdisk.file import FileSpec, GeneralizedFileSpec
+from repro.sim.faults import (
+    AdversarialFaults,
+    BernoulliFaults,
+    BurstFaults,
+    FaultModel,
+    NoFaults,
+)
+
+#: Fault-model kinds a :class:`FaultSpec` understands.
+FAULT_KINDS = ("none", "bernoulli", "burst", "adversarial")
+
+
+def _check_int(value: Any, what: str, *, minimum: int | None = None) -> None:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise SpecificationError(
+            f"{what} must be an integer, got {type(value).__name__}: "
+            f"{value!r}"
+        )
+    if minimum is not None and value < minimum:
+        raise SpecificationError(f"{what} must be >= {minimum}: {value}")
+
+
+def _check_number(value: Any, what: str) -> None:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise SpecificationError(
+            f"{what} must be a number, got {type(value).__name__}: "
+            f"{value!r}"
+        )
+
+
+def _require_keys(
+    payload: Mapping[str, Any], allowed: set[str], what: str
+) -> None:
+    if not isinstance(payload, Mapping):
+        raise SpecificationError(
+            f"{what} must be an object, got {type(payload).__name__}: "
+            f"{payload!r}"
+        )
+    unknown = set(payload) - allowed
+    if unknown:
+        raise SpecificationError(
+            f"{what}: unknown keys {sorted(unknown)} "
+            f"(allowed: {sorted(allowed)})"
+        )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A declarative channel fault model.
+
+    ``kind`` selects the model; only that model's parameters are
+    meaningful (and serialized):
+
+    * ``"none"`` - the failure-free channel;
+    * ``"bernoulli"`` - i.i.d. per-slot losses with ``probability``;
+    * ``"burst"`` - Gilbert-style bursts with ``p_enter``/``p_exit``;
+    * ``"adversarial"`` - an explicit ``lost_slots`` set.
+    """
+
+    kind: str = "none"
+    probability: float = 0.0
+    p_enter: float = 0.0
+    p_exit: float = 1.0
+    lost_slots: tuple[int, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise SpecificationError(
+                f"unknown fault kind {self.kind!r} "
+                f"(expected one of {FAULT_KINDS})"
+            )
+        _check_number(self.probability, "fault probability")
+        _check_number(self.p_enter, "fault p_enter")
+        _check_number(self.p_exit, "fault p_exit")
+        _check_int(self.seed, "fault seed")
+        try:
+            object.__setattr__(self, "lost_slots", tuple(self.lost_slots))
+        except TypeError as error:
+            raise SpecificationError(
+                f"fault lost_slots must be a list of slots: {error}"
+            ) from error
+        # Parameter validation is the models' own; building one surfaces
+        # range errors (probabilities, negative slots) eagerly.
+        self.build()
+
+    def build(self) -> FaultModel:
+        """A fresh fault-model instance (burst models carry state)."""
+        if self.kind == "none":
+            return NoFaults()
+        if self.kind == "bernoulli":
+            return BernoulliFaults(self.probability, seed=self.seed)
+        if self.kind == "burst":
+            return BurstFaults(self.p_enter, self.p_exit, seed=self.seed)
+        return AdversarialFaults(self.lost_slots)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-able dict with only the active model's parameters."""
+        if self.kind == "bernoulli":
+            return {
+                "kind": self.kind,
+                "probability": self.probability,
+                "seed": self.seed,
+            }
+        if self.kind == "burst":
+            return {
+                "kind": self.kind,
+                "p_enter": self.p_enter,
+                "p_exit": self.p_exit,
+                "seed": self.seed,
+            }
+        if self.kind == "adversarial":
+            return {"kind": self.kind, "lost_slots": list(self.lost_slots)}
+        return {"kind": self.kind}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultSpec":
+        """Inverse of :meth:`to_dict` (unknown keys rejected)."""
+        _require_keys(
+            payload,
+            {"kind", "probability", "p_enter", "p_exit", "lost_slots",
+             "seed"},
+            "fault spec",
+        )
+        # __post_init__ tuple-ifies lost_slots itself, with a guard that
+        # turns non-iterables into SpecificationError.
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A seeded client request stream.
+
+    ``requests`` arrivals, uniform over ``horizon`` slots, file choice
+    Zipf-weighted by catalogue position when ``zipf_skew > 0`` (hot files
+    first).  Deadlines come from each file's latency budget.
+    """
+
+    requests: int = 100
+    horizon: int = 500
+    zipf_skew: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _check_int(self.requests, "workload requests", minimum=1)
+        _check_int(self.horizon, "workload horizon", minimum=1)
+        _check_number(self.zipf_skew, "workload zipf_skew")
+        _check_int(self.seed, "workload seed")
+        if self.zipf_skew < 0:
+            raise SpecificationError(
+                f"workload zipf_skew must be >= 0: {self.zipf_skew}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-able dict of all four parameters."""
+        return {
+            "requests": self.requests,
+            "horizon": self.horizon,
+            "zipf_skew": self.zipf_skew,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "WorkloadSpec":
+        """Inverse of :meth:`to_dict` (unknown keys rejected)."""
+        _require_keys(
+            payload,
+            {"requests", "horizon", "zipf_skew", "seed"},
+            "workload spec",
+        )
+        return cls(**payload)
+
+
+def _file_to_dict(spec: FileSpec | GeneralizedFileSpec) -> dict[str, Any]:
+    if isinstance(spec, GeneralizedFileSpec):
+        payload: dict[str, Any] = {
+            "name": spec.name,
+            "blocks": spec.blocks,
+            "latency_vector": list(spec.latency_vector),
+        }
+    else:
+        payload = {
+            "name": spec.name,
+            "blocks": spec.blocks,
+            "latency": spec.latency,
+            "fault_budget": spec.fault_budget,
+        }
+    # Explicit payload bytes round-trip as base64 (omitted when absent,
+    # since simulators synthesize deterministic payloads from the name).
+    if spec.data is not None:
+        payload["data"] = base64.b64encode(spec.data).decode("ascii")
+    return payload
+
+
+def _decode_payload_data(encoded: str | None) -> bytes | None:
+    if encoded is None:
+        return None
+    try:
+        return base64.b64decode(encoded, validate=True)
+    except (ValueError, TypeError) as error:
+        raise SpecificationError(
+            f"file data must be base64-encoded: {error}"
+        ) from error
+
+
+def _file_from_dict(
+    payload: Mapping[str, Any]
+) -> FileSpec | GeneralizedFileSpec:
+    if not isinstance(payload, Mapping):
+        raise SpecificationError(
+            f"each file entry must be an object, got "
+            f"{type(payload).__name__}: {payload!r}"
+        )
+    if "latency_vector" in payload:
+        allowed, required = {"name", "blocks", "latency_vector", "data"}, {
+            "name", "blocks", "latency_vector",
+        }
+    else:
+        allowed, required = {
+            "name", "blocks", "latency", "fault_budget", "data",
+        }, {"name", "blocks", "latency"}
+    what = "generalized file" if "latency_vector" in payload else "file"
+    _require_keys(payload, allowed, what)
+    missing = required - set(payload)
+    if missing:
+        raise SpecificationError(
+            f"{what} entry is missing required keys {sorted(missing)}: "
+            f"{dict(payload)!r}"
+        )
+    data = _decode_payload_data(payload.get("data"))
+    if "latency_vector" in payload:
+        try:
+            vector = tuple(payload["latency_vector"])
+        except TypeError as error:
+            raise SpecificationError(
+                f"generalized file latency_vector must be a list of "
+                f"slots: {error}"
+            ) from error
+        return GeneralizedFileSpec(
+            payload["name"],
+            payload["blocks"],
+            vector,
+            data=data,
+        )
+    return FileSpec(
+        payload["name"],
+        payload["blocks"],
+        payload["latency"],
+        fault_budget=payload.get("fault_budget", 0),
+        data=data,
+    )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative end-to-end broadcast-disk experiment.
+
+    Attributes
+    ----------
+    name:
+        Scenario identity (used in summaries and batch sweeps).
+    files:
+        The catalogue - all :class:`FileSpec` (regular model, Section
+        3.2) or all :class:`GeneralizedFileSpec` (latency vectors,
+        Section 4); mixing the two models is rejected.
+    bandwidth:
+        Optional forced channel bandwidth in blocks/second (regular model
+        only; default: the Equation 1/2 bound).
+    block_size:
+        Payload block size in bytes for simulation payloads.
+    mode:
+        Operation mode selecting budgets from ``redundancy``.
+    redundancy:
+        Optional per-mode AIDA :class:`RedundancyPolicy`; when present
+        (with ``mode``), it *overrides* each regular file's
+        ``fault_budget``.
+    faults:
+        Channel fault model for the simulation phase.
+    workload:
+        Optional client workload; ``None`` skips the simulation phase.
+    scheduler_policy:
+        ``"auto"``, ``"exact-first"``, or an explicit tuple of registered
+        scheduler names (see :mod:`repro.core.registry`).
+    delay_errors:
+        When set, compute the exact worst-case delay table (Figure 7
+        style) for fault counts ``0..delay_errors``.  Exhaustive - keep
+        small.
+    """
+
+    name: str
+    files: tuple[FileSpec | GeneralizedFileSpec, ...]
+    bandwidth: int | None = None
+    block_size: int = 64
+    mode: str | None = None
+    redundancy: RedundancyPolicy | None = None
+    faults: FaultSpec = field(default_factory=FaultSpec)
+    workload: WorkloadSpec | None = None
+    scheduler_policy: str | tuple[str, ...] = "auto"
+    delay_errors: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SpecificationError(
+                f"scenario name must be a non-empty string: {self.name!r}"
+            )
+        object.__setattr__(self, "files", tuple(self.files))
+        if not self.files:
+            raise SpecificationError(
+                f"scenario {self.name!r}: at least one file is required"
+            )
+        kinds = {type(spec) for spec in self.files}
+        if not kinds <= {FileSpec, GeneralizedFileSpec}:
+            raise SpecificationError(
+                f"scenario {self.name!r}: files must be FileSpec or "
+                f"GeneralizedFileSpec instances"
+            )
+        if len(kinds) > 1:
+            raise SpecificationError(
+                f"scenario {self.name!r}: cannot mix regular and "
+                f"generalized files in one scenario"
+            )
+        names = [spec.name for spec in self.files]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SpecificationError(
+                f"scenario {self.name!r}: duplicate file names {dupes}"
+            )
+        _check_int(
+            self.block_size,
+            f"scenario {self.name!r}: block_size",
+            minimum=1,
+        )
+        if self.bandwidth is not None:
+            if self.generalized:
+                raise SpecificationError(
+                    f"scenario {self.name!r}: bandwidth cannot be forced "
+                    f"for generalized files (latencies are already slots)"
+                )
+            _check_int(
+                self.bandwidth,
+                f"scenario {self.name!r}: bandwidth",
+                minimum=1,
+            )
+        if (self.redundancy is None) != (self.mode is None):
+            raise SpecificationError(
+                f"scenario {self.name!r}: mode and redundancy must be "
+                f"given together"
+            )
+        if self.redundancy is not None and self.generalized:
+            raise SpecificationError(
+                f"scenario {self.name!r}: a redundancy policy applies to "
+                f"regular files only (generalized files encode fault "
+                f"tolerance in their latency vectors)"
+            )
+        if self.delay_errors is not None:
+            _check_int(
+                self.delay_errors,
+                f"scenario {self.name!r}: delay_errors",
+                minimum=0,
+            )
+        self._validate_policy()
+
+    def _validate_policy(self) -> None:
+        policy = self.scheduler_policy
+        if isinstance(policy, str):
+            if policy not in POLICIES:
+                raise SpecificationError(
+                    f"scenario {self.name!r}: unknown scheduler policy "
+                    f"{policy!r} (expected one of {POLICIES} or a list "
+                    f"of scheduler names)"
+                )
+            return
+        try:
+            object.__setattr__(self, "scheduler_policy", tuple(policy))
+        except TypeError as error:
+            raise SpecificationError(
+                f"scenario {self.name!r}: scheduler policy must be "
+                f"'auto', 'exact-first', or a list of scheduler names "
+                f"(got {type(policy).__name__}: {policy!r})"
+            ) from error
+        if not self.scheduler_policy:
+            raise SpecificationError(
+                f"scenario {self.name!r}: scheduler policy list must "
+                f"not be empty"
+            )
+        for name in self.scheduler_policy:
+            get_scheduler(name)  # raises SpecificationError when unknown
+
+    @property
+    def generalized(self) -> bool:
+        """Whether the catalogue uses the generalized (Section 4) model."""
+        return isinstance(self.files[0], GeneralizedFileSpec)
+
+    @property
+    def effective_files(self) -> tuple[FileSpec | GeneralizedFileSpec, ...]:
+        """The catalogue with the redundancy policy's budgets applied."""
+        if self.redundancy is None or self.mode is None:
+            return self.files
+        return tuple(
+            FileSpec(
+                spec.name,
+                spec.blocks,
+                spec.latency,
+                fault_budget=self.redundancy.fault_budget(
+                    self.mode, spec.name
+                ),
+                data=spec.data,
+            )
+            for spec in self.files
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-able dict; :meth:`from_dict` round-trips it."""
+        policy = self.scheduler_policy
+        return {
+            "name": self.name,
+            "files": [_file_to_dict(spec) for spec in self.files],
+            "bandwidth": self.bandwidth,
+            "block_size": self.block_size,
+            "mode": self.mode,
+            "redundancy": (
+                None
+                if self.redundancy is None
+                else {
+                    "default": self.redundancy.default,
+                    "budgets": {
+                        mode: dict(files)
+                        for mode, files in self.redundancy.budgets.items()
+                    },
+                }
+            ),
+            "faults": self.faults.to_dict(),
+            "workload": (
+                None if self.workload is None else self.workload.to_dict()
+            ),
+            "scheduler_policy": (
+                policy if isinstance(policy, str) else list(policy)
+            ),
+            "delay_errors": self.delay_errors,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Scenario":
+        """Build a scenario from :meth:`to_dict` output / parsed JSON.
+
+        Unknown keys raise :class:`SpecificationError` (catching typos in
+        hand-written scenario files); every omitted optional key takes
+        its dataclass default.
+        """
+        if not isinstance(payload, Mapping):
+            raise SpecificationError(
+                f"scenario payload must be a mapping, got "
+                f"{type(payload).__name__}"
+            )
+        _require_keys(
+            payload,
+            {"name", "files", "bandwidth", "block_size", "mode",
+             "redundancy", "faults", "workload", "scheduler_policy",
+             "delay_errors"},
+            "scenario",
+        )
+        files_payload = payload.get("files", ())
+        if isinstance(files_payload, (str, bytes, Mapping)) or not hasattr(
+            files_payload, "__iter__"
+        ):
+            raise SpecificationError(
+                f"scenario files must be a list of file objects, got "
+                f"{type(files_payload).__name__}"
+            )
+        files = tuple(_file_from_dict(entry) for entry in files_payload)
+        redundancy_payload = payload.get("redundancy")
+        redundancy = None
+        if redundancy_payload is not None:
+            _require_keys(
+                redundancy_payload, {"default", "budgets"}, "redundancy"
+            )
+            budgets = redundancy_payload.get("budgets", {})
+            if not isinstance(budgets, Mapping) or not all(
+                isinstance(files_by_mode, Mapping)
+                and all(
+                    isinstance(budget, int)
+                    for budget in files_by_mode.values()
+                )
+                for files_by_mode in budgets.values()
+            ):
+                raise SpecificationError(
+                    "redundancy budgets must be an object of objects "
+                    "(mode -> file -> integer fault budget)"
+                )
+            redundancy = RedundancyPolicy(
+                budgets=budgets,
+                default=redundancy_payload.get("default", 0),
+            )
+        faults_payload = payload.get("faults")
+        workload_payload = payload.get("workload")
+        # null means "not specified", by analogy with bandwidth/mode;
+        # anything else is validated (and tuple-ified) by Scenario itself.
+        policy = payload.get("scheduler_policy")
+        if policy is None:
+            policy = "auto"
+        return cls(
+            name=payload.get("name", ""),
+            files=files,
+            bandwidth=payload.get("bandwidth"),
+            block_size=payload.get("block_size", 64),
+            mode=payload.get("mode"),
+            redundancy=redundancy,
+            faults=(
+                FaultSpec()
+                if faults_payload is None
+                else FaultSpec.from_dict(faults_payload)
+            ),
+            workload=(
+                None
+                if workload_payload is None
+                else WorkloadSpec.from_dict(workload_payload)
+            ),
+            scheduler_policy=policy,
+            delay_errors=payload.get("delay_errors"),
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        """Parse a scenario from a JSON string."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SpecificationError(
+                f"invalid scenario JSON: {error}"
+            ) from error
+        return cls.from_dict(payload)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "Scenario":
+        """Load a scenario from a JSON file."""
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as error:
+            raise SpecificationError(
+                f"cannot read scenario file {path}: {error}"
+            ) from error
+        return cls.from_json(text)
+
+    def save(self, path: str | Path) -> None:
+        """Write the scenario to a JSON file."""
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")

@@ -105,13 +105,15 @@ def plan_bandwidth(
     files: Sequence[FileSpec],
     *,
     bandwidth: int | None = None,
+    policy: str | Sequence[str] = "auto",
 ) -> BandwidthPlan:
     """Plan bandwidth and build the broadcast program for a file set.
 
     With ``bandwidth=None`` the Equation 1/2 bound is used, which the
     paper guarantees schedulable (density <= 7/10).  A caller-chosen
     bandwidth is honoured if the portfolio can schedule at it, otherwise
-    :class:`BandwidthError` is raised.
+    :class:`BandwidthError` is raised.  ``policy`` selects the scheduler
+    policy (see :mod:`repro.core.registry`).
 
     Block rotation is ``n_i = m_i + r_i`` per file, which (together with
     the verified ``pc(m_i + r_i, B T_i)`` condition) guarantees that any
@@ -133,7 +135,7 @@ def plan_bandwidth(
             f"bandwidth {chosen} blocks/s is insufficient: {error}"
         ) from error
     try:
-        report = solve(system)
+        report = solve(system, policy=policy)
     except (SchedulingError, InfeasibleError) as error:
         raise BandwidthError(
             f"no schedule at bandwidth {chosen} blocks/s "

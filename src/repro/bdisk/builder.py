@@ -76,14 +76,18 @@ class ProgramDesign:
 
 
 def design_program(
-    files: Sequence[FileSpec], *, bandwidth: int | None = None
+    files: Sequence[FileSpec],
+    *,
+    bandwidth: int | None = None,
+    policy: str | Sequence[str] = "auto",
 ) -> ProgramDesign:
     """Design a regular fault-tolerant real-time broadcast disk.
 
     See :func:`repro.bdisk.bandwidth.plan_bandwidth` for the pipeline and
-    guarantees.
+    guarantees; ``policy`` selects the scheduler policy (see
+    :mod:`repro.core.registry`).
     """
-    plan = plan_bandwidth(files, bandwidth=bandwidth)
+    plan = plan_bandwidth(files, bandwidth=bandwidth, policy=policy)
     return ProgramDesign(
         program=plan.program,
         report=plan.report,
@@ -94,6 +98,8 @@ def design_program(
 
 def design_generalized_program(
     files: Sequence[GeneralizedFileSpec],
+    *,
+    policy: str | Sequence[str] = "auto",
 ) -> ProgramDesign:
     """Design a generalized fault-tolerant real-time broadcast disk.
 
@@ -111,7 +117,7 @@ def design_generalized_program(
     conditions = [spec.as_condition() for spec in specs]
     conjunct, candidates = design_nice_system(conditions)
 
-    report = solve_nice_conjunct(conjunct)
+    report = solve_nice_conjunct(conjunct, policy=policy)
 
     # Block rotation must cover the *largest* per-window requirement of
     # each file across its fault levels: n_i = m_i + r_i.

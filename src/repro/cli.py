@@ -1,28 +1,41 @@
-"""Command-line interface: design broadcast disks from a shell.
+"""Command-line interface: design and run broadcast disks from a shell.
 
-Three subcommands mirror the library's main entry points::
+Five subcommands mirror the library's main entry points::
 
+    python -m repro run scenario.json
+    python -m repro schedulers
     python -m repro design --file pos:4:2:2 --file map:6:5:1
     python -m repro generalized --file F:2:5,6,6 --file H:1:9,12
     python -m repro delay-table --file A:5:10 --file B:3:6 --errors 5
 
-File syntax:
+``run`` executes a declarative :class:`repro.api.Scenario` (a JSON file,
+see ``examples/scenario_awacs.json``) end to end - design, broadcast
+program, fault-channel simulation, delay analysis - and prints a summary
+(or a machine-readable record with ``--json``).  ``schedulers`` lists the
+live scheduler registry.
+
+File syntax for the piecewise subcommands:
 
 * ``design``      - ``name:blocks:latency[:fault_budget]``
 * ``generalized`` - ``name:blocks:d0,d1,...`` (latency vector in slots)
 * ``delay-table`` - ``name:m:n_total`` (AIDA dispersal parameters)
 
 All output is plain text on stdout; exit status 0 on success, 2 on
-argument errors, 1 when the design is infeasible.
+argument errors, 1 when the design is infeasible or the scenario file is
+invalid.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
 from repro.errors import ReproError
+from repro.api.engine import BroadcastEngine
+from repro.api.scenario import Scenario
+from repro.core.registry import registered_schedulers
 from repro.bdisk.builder import design_generalized_program, design_program
 from repro.bdisk.file import FileSpec, GeneralizedFileSpec
 from repro.bdisk.flat import build_aida_flat_program, build_flat_program
@@ -71,6 +84,8 @@ def _parse_dispersal_file(raw: str) -> tuple[str, int, int]:
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -78,7 +93,25 @@ def _build_parser() -> argparse.ArgumentParser:
             "(Baruah & Bestavros, ICDE 1997)"
         ),
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="run a declarative scenario JSON file end to end"
+    )
+    run.add_argument("scenario", help="path to a Scenario JSON file")
+    run.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit a machine-readable JSON result record",
+    )
+
+    sub.add_parser(
+        "schedulers", help="list the registered pinwheel schedulers"
+    )
 
     design = sub.add_parser(
         "design", help="design a regular fault-tolerant broadcast disk"
@@ -129,6 +162,26 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_scenario(args: argparse.Namespace) -> int:
+    scenario = Scenario.from_file(args.scenario)
+    result = BroadcastEngine(scenario).run()
+    if args.as_json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.summary())
+    return 0
+
+
+def _run_schedulers(args: argparse.Namespace) -> int:
+    print("name | cost | kind | description")
+    for entry in registered_schedulers():
+        kind = "complete" if entry.complete else "heuristic"
+        print(
+            f"{entry.name} | {entry.cost} | {kind} | {entry.description}"
+        )
+    return 0
+
+
 def _run_design(args: argparse.Namespace) -> int:
     design = design_program(args.files, bandwidth=args.bandwidth)
     plan = design.bandwidth_plan
@@ -170,6 +223,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     handlers = {
+        "run": _run_scenario,
+        "schedulers": _run_schedulers,
         "design": _run_design,
         "generalized": _run_generalized,
         "delay-table": _run_delay_table,

@@ -75,6 +75,15 @@ from repro.core.two_task import schedule_two_tasks
 from repro.core.three_task import schedule_three_tasks
 from repro.core.exact import schedule_exact, is_feasible_exact
 from repro.core.greedy import schedule_greedy
+from repro.core.registry import (
+    SchedulerEntry,
+    get_scheduler,
+    plan_for,
+    register_scheduler,
+    registered_schedulers,
+    scheduler_names,
+    unregister_scheduler,
+)
 from repro.core.solver import solve, solve_nice_conjunct, SolveReport
 
 __all__ = [
@@ -126,6 +135,13 @@ __all__ = [
     "schedule_exact",
     "is_feasible_exact",
     "schedule_greedy",
+    "SchedulerEntry",
+    "register_scheduler",
+    "unregister_scheduler",
+    "get_scheduler",
+    "registered_schedulers",
+    "scheduler_names",
+    "plan_for",
     "solve",
     "solve_nice_conjunct",
     "SolveReport",

@@ -256,3 +256,16 @@ def schedule_double_reduction(
     raise last_error or SchedulingError(
         "double reduction: all candidate bases failed"
     )
+
+
+from repro.core.registry import register_scheduler
+
+register_scheduler(
+    "double-reduction",
+    applicable=lambda system: len(system) >= 1,
+    cost=10,
+    description=(
+        "double-integer reduction (Chan & Chin; guaranteed below "
+        "density 7/10)"
+    ),
+)(schedule_double_reduction)

@@ -235,3 +235,36 @@ def schedule_exact(
             [PinwheelCondition(t.ident, t.a, t.b) for t in system.tasks],
         )
     return schedule
+
+
+from repro.core.registry import register_scheduler
+
+#: Unit-demand instances whose window product (the state-space bound) is
+#: at or below this are small enough for the portfolio to try ``exact``.
+EXACT_PRODUCT_LIMIT = 2_000_000
+
+
+def _portfolio_applicable(system: PinwheelSystem) -> bool:
+    if len(system) == 0 or any(t.a != 1 for t in system.tasks):
+        return False
+    product = 1
+    for task in system.tasks:
+        product *= task.normalized().b
+        if product > EXACT_PRODUCT_LIMIT:
+            return False
+    return True
+
+
+# Not registered complete: the applicability bound admits state spaces
+# (up to EXACT_PRODUCT_LIMIT) larger than DEFAULT_STATE_BUDGET, so the
+# search can end inconclusively - a later entry (harmonic on chains)
+# must still get its turn.
+register_scheduler(
+    "exact",
+    applicable=_portfolio_applicable,
+    cost=40,
+    description=(
+        "exhaustive lasso search over the unit-demand state space "
+        f"(window product <= {EXACT_PRODUCT_LIMIT:_})"
+    ),
+)(schedule_exact)

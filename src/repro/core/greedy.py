@@ -138,3 +138,13 @@ def _walk(
         f"greedy EDF exhausted its step budget ({step_budget}) without "
         f"a recurring state"
     )
+
+
+from repro.core.registry import register_scheduler
+
+register_scheduler(
+    "greedy",
+    applicable=lambda system: len(system) >= 1,
+    cost=30,
+    description="deterministic EDF walk with state-recurrence cycle cut",
+)(schedule_greedy)

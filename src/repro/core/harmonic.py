@@ -150,3 +150,17 @@ def specialize_to_chain(
         PinwheelTask(t.ident, t.a, w)
         for t, w in zip(system.tasks, new_windows)
     )
+
+
+from repro.core.registry import register_scheduler
+
+register_scheduler(
+    "harmonic",
+    applicable=lambda system: len(system) >= 1
+    and is_divisibility_chain(t.b for t in system.tasks),
+    cost=50,
+    complete=True,
+    description=(
+        "exact residue-class allocation for divisibility-chain windows"
+    ),
+)(schedule_harmonic)

@@ -1,0 +1,218 @@
+"""A pluggable registry of pinwheel schedulers.
+
+Every scheduler in the library self-registers here (at the bottom of its
+defining module) with a *name*, an *applicability predicate*, a *cost
+hint*, and a *completeness flag*.  The portfolio front-end
+(:func:`repro.core.solver.solve`) is a thin policy over this registry:
+
+* ``policy="auto"`` - the registry's applicable entries in cost order,
+  truncated after the first *complete* scheduler (a complete scheduler
+  decides feasibility outright on its domain, so trying anything after it
+  is pointless).  This reproduces the classic routing exactly: two/three
+  task systems go to their complete special-case solvers, everything else
+  walks double-reduction -> single-reduction -> greedy (-> exact when the
+  state space is small enough).
+* ``policy="exact-first"`` - the exhaustive search first (when the
+  instance is small enough for it), then the auto chain.
+* ``policy=("greedy", "exact")`` - an explicit sequence of registered
+  names, tried in the given order; inapplicable entries are skipped and
+  recorded in the report.
+
+Third-party schedulers plug in with :func:`register_scheduler`; the CLI's
+``repro schedulers`` subcommand prints the live registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TYPE_CHECKING
+
+from repro.errors import SpecificationError
+from repro.core.task import PinwheelSystem
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.schedule import Schedule
+
+#: A scheduler callable: ``scheduler(system, *, verify=True) -> Schedule``.
+SchedulerFn = Callable[..., "Schedule"]
+
+#: Built-in policy names accepted by :func:`plan_for` and ``solve``.
+POLICIES = ("auto", "exact-first")
+
+
+@dataclass(frozen=True)
+class SchedulerEntry:
+    """One registered scheduler.
+
+    Attributes
+    ----------
+    name:
+        Registry key; also the ``method`` string in
+        :class:`repro.core.solver.SolveReport`.
+    scheduler:
+        The callable, with signature ``scheduler(system, *, verify=True)``.
+    applicable:
+        Capability predicate: can this scheduler be *attempted* on the
+        system at all (it may still fail on feasible-but-hard instances
+        unless ``complete``).
+    cost:
+        Ordering hint for the auto policy - cheaper entries are tried
+        first.
+    complete:
+        True when the scheduler *decides* feasibility on every system it
+        is applicable to: failure proves infeasibility, so the auto plan
+        stops after it.
+    description:
+        One line for ``repro schedulers``.
+    """
+
+    name: str
+    scheduler: SchedulerFn
+    applicable: Callable[[PinwheelSystem], bool]
+    cost: int
+    complete: bool
+    description: str
+
+    def __str__(self) -> str:
+        kind = "complete" if self.complete else "heuristic"
+        return f"{self.name} (cost {self.cost}, {kind}): {self.description}"
+
+
+_REGISTRY: dict[str, SchedulerEntry] = {}
+
+#: Modules whose import registers the built-in schedulers.
+_BUILTIN_MODULES = (
+    "repro.core.two_task",
+    "repro.core.three_task",
+    "repro.core.double_reduction",
+    "repro.core.single_reduction",
+    "repro.core.greedy",
+    "repro.core.exact",
+    "repro.core.harmonic",
+)
+
+
+_populated = False
+
+
+def _ensure_populated() -> None:
+    """Import the built-in scheduler modules (registration side effect)."""
+    global _populated
+    if _populated:
+        return
+    import importlib
+
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)
+    _populated = True
+
+
+def register_scheduler(
+    name: str,
+    *,
+    applicable: Callable[[PinwheelSystem], bool],
+    cost: int,
+    complete: bool = False,
+    description: str = "",
+) -> Callable[[SchedulerFn], SchedulerFn]:
+    """Register a scheduler under ``name``; returns a pass-through decorator.
+
+    Raises :class:`SpecificationError` on duplicate names - use
+    :func:`unregister_scheduler` first to replace an entry deliberately.
+    """
+    if not name or not isinstance(name, str):
+        raise SpecificationError(f"scheduler name must be a non-empty str: {name!r}")
+
+    def decorate(func: SchedulerFn) -> SchedulerFn:
+        if name in _REGISTRY:
+            raise SpecificationError(
+                f"scheduler {name!r} is already registered"
+            )
+        _REGISTRY[name] = SchedulerEntry(
+            name=name,
+            scheduler=func,
+            applicable=applicable,
+            cost=cost,
+            complete=complete,
+            description=description,
+        )
+        return func
+
+    return decorate
+
+
+def unregister_scheduler(name: str) -> None:
+    """Remove ``name`` from the registry (for tests and replacements)."""
+    if name not in _REGISTRY:
+        raise SpecificationError(f"scheduler {name!r} is not registered")
+    del _REGISTRY[name]
+
+
+def get_scheduler(name: str) -> SchedulerEntry:
+    """Look a registered scheduler up by name.
+
+    Raises :class:`SpecificationError` for unknown names, listing the
+    registered ones.
+    """
+    _ensure_populated()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise SpecificationError(
+            f"unknown scheduler {name!r} (registered: {known})"
+        ) from None
+
+
+def scheduler_names() -> tuple[str, ...]:
+    """All registered names, in auto-policy (cost) order."""
+    return tuple(entry.name for entry in registered_schedulers())
+
+
+def registered_schedulers() -> tuple[SchedulerEntry, ...]:
+    """All registered entries, sorted by ``(cost, name)``."""
+    _ensure_populated()
+    return tuple(
+        sorted(_REGISTRY.values(), key=lambda e: (e.cost, e.name))
+    )
+
+
+def _auto_plan(system: PinwheelSystem) -> tuple[SchedulerEntry, ...]:
+    plan: list[SchedulerEntry] = []
+    for entry in registered_schedulers():
+        if not entry.applicable(system):
+            continue
+        plan.append(entry)
+        if entry.complete:
+            break
+    return tuple(plan)
+
+
+def plan_for(
+    system: PinwheelSystem,
+    policy: str | Sequence[str] = "auto",
+) -> tuple[SchedulerEntry, ...]:
+    """The ordered scheduler entries a policy would try on ``system``.
+
+    ``policy`` is ``"auto"``, ``"exact-first"``, or a sequence of
+    registered scheduler names.  Explicit sequences are returned verbatim
+    (the caller decides how to treat inapplicable entries); the built-in
+    policies pre-filter by applicability.
+    """
+    if isinstance(policy, str):
+        if policy == "auto":
+            return _auto_plan(system)
+        if policy == "exact-first":
+            exact = get_scheduler("exact")
+            plan = [e for e in _auto_plan(system) if e.name != "exact"]
+            if exact.applicable(system):
+                plan.insert(0, exact)
+            return tuple(plan)
+        raise SpecificationError(
+            f"unknown scheduler policy {policy!r} "
+            f"(expected one of {POLICIES} or a sequence of names)"
+        )
+    names: Iterable[str] = tuple(policy)
+    if not names:
+        raise SpecificationError("scheduler policy list must not be empty")
+    return tuple(get_scheduler(name) for name in names)

@@ -130,3 +130,16 @@ def schedule_single_reduction(
             [PinwheelCondition(t.ident, t.a, t.b) for t in system.tasks],
         )
     return schedule
+
+
+from repro.core.registry import register_scheduler
+
+register_scheduler(
+    "single-reduction",
+    applicable=lambda system: len(system) >= 1,
+    cost=20,
+    description=(
+        "single-number reduction with base search (guaranteed below "
+        "density 1/2)"
+    ),
+)(schedule_single_reduction)

@@ -1,19 +1,28 @@
 """Portfolio front-end for pinwheel scheduling.
 
 ``solve`` is the one function most callers need: it routes a pinwheel
-system through the library's schedulers in a sensible order, verifies the
-winning schedule against the *original* conditions, and reports which
-method succeeded (benches use the report to compare methods).
+system through the library's schedulers, verifies the winning schedule
+against the *original* conditions, and reports which method succeeded
+(benches use the report to compare methods).
 
-Routing:
+Since the scheduler-registry redesign, the routing is a thin *policy*
+over :mod:`repro.core.registry`:
 
-1. density > 1 - provably infeasible, rejected immediately;
-2. one task - trivial (serve every slot);
-3. two tasks - the complete balanced-word scheduler;
-4. three tasks - the Lin & Lin portfolio (exact-first);
-5. otherwise - double-integer reduction (Chan & Chin operating point,
-   density <= 7/10), then single-number reduction, then greedy EDF, then -
-   for small instances - the exact search as a last resort.
+* ``policy="auto"`` (the default) reproduces the classic portfolio:
+
+  1. density > 1 - provably infeasible, rejected immediately;
+  2. one task - trivial (serve every slot);
+  3. two tasks - the complete balanced-word scheduler;
+  4. three tasks - the Lin & Lin portfolio (exact-first);
+  5. otherwise - double-integer reduction (Chan & Chin operating point,
+     density <= 7/10), then single-number reduction, then greedy EDF,
+     then - for small unit-demand instances - the exact search as a last
+     resort (harmonic residue allocation closes the chain-shaped tail).
+
+* ``policy="exact-first"`` front-loads the exhaustive search on instances
+  small enough for it;
+* an explicit sequence of registered names (``policy=("greedy",)``) is
+  tried in the given order, skipping inapplicable entries.
 
 Every returned schedule has been verified; a
 :class:`repro.errors.SchedulingError` from ``solve`` means "this portfolio
@@ -23,21 +32,14 @@ gave up", never "unverified result".
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.errors import InfeasibleError, SchedulingError
 from repro.core.conditions import NiceConjunct, PinwheelCondition
-from repro.core.double_reduction import schedule_double_reduction
-from repro.core.exact import schedule_exact
-from repro.core.greedy import schedule_greedy
+from repro.core.registry import plan_for
 from repro.core.schedule import Schedule
-from repro.core.single_reduction import schedule_single_reduction
 from repro.core.task import PinwheelSystem
-from repro.core.three_task import schedule_three_tasks
-from repro.core.two_task import schedule_two_tasks
 from repro.core.verify import verify_schedule
-
-#: Instances whose unit-demand state space is below this may try exact.
-_EXACT_PRODUCT_LIMIT = 2_000_000
 
 
 @dataclass(frozen=True)
@@ -67,26 +69,26 @@ class SolveReport:
         )
 
 
-def _methods_for(system: PinwheelSystem) -> list[tuple[str, object]]:
-    if len(system) == 2:
-        return [("two-task", schedule_two_tasks)]
-    if len(system) == 3:
-        return [("three-task", schedule_three_tasks)]
-    methods: list[tuple[str, object]] = [
-        ("double-reduction", schedule_double_reduction),
-        ("single-reduction", schedule_single_reduction),
-        ("greedy", schedule_greedy),
-    ]
-    product = 1
-    for task in system.tasks:
-        product *= task.normalized().b
-    if all(t.a == 1 for t in system.tasks) and product <= _EXACT_PRODUCT_LIMIT:
-        methods.append(("exact", schedule_exact))
-    return methods
-
-
-def solve(system: PinwheelSystem, *, verify: bool = True) -> SolveReport:
+def solve(
+    system: PinwheelSystem,
+    *,
+    verify: bool = True,
+    policy: str | Sequence[str] = "auto",
+) -> SolveReport:
     """Schedule ``system`` with the portfolio, returning a report.
+
+    Parameters
+    ----------
+    system:
+        The pinwheel system to schedule.
+    verify:
+        Verify the winning schedule against the original conditions
+        (default; disable only in tight inner loops).
+    policy:
+        ``"auto"``, ``"exact-first"``, or an explicit sequence of
+        registered scheduler names (see :mod:`repro.core.registry`).
+        Empty and single-task systems are handled before the policy is
+        consulted.
 
     Raises
     ------
@@ -114,17 +116,30 @@ def solve(system: PinwheelSystem, *, verify: bool = True) -> SolveReport:
             )
         return SolveReport(schedule, "trivial", (("trivial", "ok"),))
 
+    # Built-in policies pre-filter by applicability; explicit name lists
+    # are returned verbatim, so inapplicable entries are skipped here
+    # (and recorded) rather than crashing inside a scheduler.
+    prefiltered = isinstance(policy, str)
+    conditions = [PinwheelCondition(t.ident, t.a, t.b) for t in system.tasks]
     attempts: list[tuple[str, str]] = []
-    for name, scheduler in _methods_for(system):
+    for entry in plan_for(system, policy):
+        if not prefiltered and not entry.applicable(system):
+            attempts.append((entry.name, "skipped: not applicable"))
+            continue
         try:
-            schedule = scheduler(system, verify=verify)
+            # Schedulers skip their own (redundant) final verification;
+            # the winner is verified once below, so the guarantee holds
+            # uniformly for built-ins and third-party registrations.
+            schedule = entry.scheduler(system, verify=False)
         except InfeasibleError:
             raise
         except SchedulingError as error:
-            attempts.append((name, f"failed: {error}"))
+            attempts.append((entry.name, f"failed: {error}"))
             continue
-        attempts.append((name, "ok"))
-        return SolveReport(schedule, name, tuple(attempts))
+        if verify:
+            verify_schedule(schedule, conditions)
+        attempts.append((entry.name, "ok"))
+        return SolveReport(schedule, entry.name, tuple(attempts))
     raise SchedulingError(
         "portfolio exhausted: "
         + "; ".join(f"{name} -> {outcome}" for name, outcome in attempts)
@@ -132,7 +147,10 @@ def solve(system: PinwheelSystem, *, verify: bool = True) -> SolveReport:
 
 
 def solve_nice_conjunct(
-    conjunct: NiceConjunct, *, verify: bool = True
+    conjunct: NiceConjunct,
+    *,
+    verify: bool = True,
+    policy: str | Sequence[str] = "auto",
 ) -> SolveReport:
     """Schedule the task system of a nice conjunct.
 
@@ -140,4 +158,4 @@ def solve_nice_conjunct(
     use :func:`repro.core.verify.project_to_files` to fold helpers back
     onto files.
     """
-    return solve(conjunct.as_system(), verify=verify)
+    return solve(conjunct.as_system(), verify=verify, policy=policy)

@@ -102,3 +102,14 @@ def schedule_three_tasks(
     raise SchedulingError(
         f"three-task portfolio failed{hint}: " + "; ".join(failures)
     )
+
+
+from repro.core.registry import register_scheduler
+
+register_scheduler(
+    "three-task",
+    applicable=lambda system: len(system) == 3,
+    cost=0,
+    complete=True,
+    description="Lin & Lin exact-first portfolio for three-task systems",
+)(schedule_three_tasks)

@@ -93,3 +93,14 @@ def schedule_two_tasks(
             ],
         )
     return schedule
+
+
+from repro.core.registry import register_scheduler
+
+register_scheduler(
+    "two-task",
+    applicable=lambda system: len(system) == 2,
+    cost=0,
+    complete=True,
+    description="complete balanced-word scheduler for two-task systems",
+)(schedule_two_tasks)

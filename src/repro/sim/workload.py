@@ -9,7 +9,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.errors import SpecificationError
 from repro.core.task import PinwheelSystem, PinwheelTask
@@ -139,24 +139,30 @@ class Request:
 
 def request_stream(
     rng: random.Random,
-    files: Sequence[FileSpec],
+    files: Sequence,
     *,
     count: int,
     horizon: int,
     bandwidth: int = 1,
     zipf_skew: float = 0.0,
+    deadline: Callable[[object], int] | None = None,
 ) -> list[Request]:
     """A stream of deadline-tagged requests over a horizon of slots.
 
     Arrival times are uniform; file choice is Zipf-weighted by position
     when ``zipf_skew > 0`` (hot-first, matching the multidisk baseline's
     assumptions) and uniform otherwise.  Each request's deadline is the
-    file's latency budget in slots at the given bandwidth.
+    file's latency budget in slots at the given bandwidth, or - for
+    catalogues that are not :class:`FileSpec` sequences, e.g. generalized
+    files - whatever the ``deadline`` callable returns for the chosen
+    spec.
     """
     if count < 1 or horizon < 1:
         raise SpecificationError("count and horizon must be >= 1")
     if not files:
         raise SpecificationError("at least one file is required")
+    if deadline is None:
+        deadline = lambda spec: spec.latency * bandwidth  # noqa: E731
     weights = [
         1.0 / ((rank + 1) ** zipf_skew) for rank in range(len(files))
     ]
@@ -164,7 +170,7 @@ def request_stream(
         Request(
             time=rng.randrange(horizon),
             file=(choice := rng.choices(files, weights=weights, k=1)[0]).name,
-            deadline=choice.latency * bandwidth,
+            deadline=deadline(choice),
         )
         for _ in range(count)
     ]

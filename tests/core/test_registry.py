@@ -1,0 +1,231 @@
+"""Tests for the scheduler registry and the policies over it."""
+
+import pytest
+
+from repro.core.registry import (
+    SchedulerEntry,
+    get_scheduler,
+    plan_for,
+    register_scheduler,
+    registered_schedulers,
+    scheduler_names,
+    unregister_scheduler,
+)
+from repro.core.solver import solve
+from repro.core.task import PinwheelSystem
+from repro.errors import SpecificationError
+
+BUILTINS = {
+    "harmonic",
+    "two-task",
+    "three-task",
+    "single-reduction",
+    "double-reduction",
+    "greedy",
+    "exact",
+}
+
+
+def system_of(*windows):
+    return PinwheelSystem.from_pairs([(1, w) for w in windows])
+
+
+class TestRegistration:
+    def test_all_builtins_registered(self):
+        assert BUILTINS <= set(scheduler_names())
+
+    def test_entries_sorted_by_cost(self):
+        costs = [entry.cost for entry in registered_schedulers()]
+        assert costs == sorted(costs)
+
+    def test_lookup_by_name(self):
+        entry = get_scheduler("greedy")
+        assert isinstance(entry, SchedulerEntry)
+        assert entry.name == "greedy"
+        assert entry.description
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(SpecificationError, match="greedy"):
+            get_scheduler("simulated-annealing")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(SpecificationError, match="already registered"):
+            register_scheduler(
+                "greedy", applicable=lambda s: True, cost=1
+            )(lambda system, *, verify=True: None)
+
+    def test_register_and_unregister_plugin(self):
+        marker = object()
+
+        def scheduler(system, *, verify=True):  # pragma: no cover
+            return marker
+
+        register_scheduler(
+            "plugin-test",
+            applicable=lambda s: False,
+            cost=999,
+            description="test-only",
+        )(scheduler)
+        try:
+            assert get_scheduler("plugin-test").scheduler is scheduler
+        finally:
+            unregister_scheduler("plugin-test")
+        with pytest.raises(SpecificationError):
+            unregister_scheduler("plugin-test")
+
+    def test_str_mentions_kind(self):
+        assert "complete" in str(get_scheduler("two-task"))
+        assert "heuristic" in str(get_scheduler("greedy"))
+
+
+class TestAutoPlan:
+    """The auto policy reproduces the classic portfolio routing."""
+
+    def test_two_tasks_exclusive(self):
+        assert [e.name for e in plan_for(system_of(2, 4))] == ["two-task"]
+
+    def test_three_tasks_exclusive(self):
+        assert [e.name for e in plan_for(system_of(3, 4, 5))] == [
+            "three-task"
+        ]
+
+    def test_big_system_with_exact(self):
+        # 41 breaks the divisibility chain, so harmonic stays out.
+        names = [e.name for e in plan_for(system_of(5, 10, 20, 41))]
+        assert names == [
+            "double-reduction", "single-reduction", "greedy", "exact",
+        ]
+
+    def test_unit_chain_keeps_harmonic_after_exact(self):
+        # exact is not complete (its budget can run out below its
+        # applicability bound), so the chain-complete harmonic stays.
+        names = [e.name for e in plan_for(system_of(5, 10, 20, 40))]
+        assert names == [
+            "double-reduction", "single-reduction", "greedy", "exact",
+            "harmonic",
+        ]
+
+    def test_huge_windows_drop_exact(self):
+        system = system_of(1000, 2000, 3000, 4000)
+        names = [e.name for e in plan_for(system)]
+        assert "exact" not in names
+        assert names[:3] == [
+            "double-reduction", "single-reduction", "greedy",
+        ]
+
+    def test_non_unit_demand_drops_exact(self):
+        system = PinwheelSystem.from_pairs([(2, 8), (1, 9), (1, 11), (1, 13)])
+        assert "exact" not in {e.name for e in plan_for(system)}
+
+    def test_non_unit_chain_ends_with_harmonic(self):
+        system = PinwheelSystem.from_pairs([(2, 8), (1, 16), (1, 32), (1, 64)])
+        names = [e.name for e in plan_for(system)]
+        assert names[-1] == "harmonic"
+
+
+class TestPolicies:
+    def test_exact_first_front_loads_exact(self):
+        names = [
+            e.name for e in plan_for(system_of(5, 10, 20, 40), "exact-first")
+        ]
+        assert names[0] == "exact"
+        assert names.count("exact") == 1
+
+    def test_exact_first_without_exact_capability(self):
+        system = system_of(1000, 2000, 3000, 4000)
+        names = [e.name for e in plan_for(system, "exact-first")]
+        assert "exact" not in names
+
+    def test_explicit_list_kept_verbatim(self):
+        names = [
+            e.name
+            for e in plan_for(system_of(5, 10, 20, 40), ("greedy", "exact"))
+        ]
+        assert names == ["greedy", "exact"]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SpecificationError, match="policy"):
+            plan_for(system_of(5, 10, 20, 40), "fastest")
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(SpecificationError, match="empty"):
+            plan_for(system_of(5, 10, 20, 40), ())
+
+
+class TestSolveWithPolicies:
+    def test_default_policy_matches_seed_routing(self):
+        report = solve(system_of(5, 10, 20, 40))
+        assert report.method == "double-reduction"
+        assert report.attempts == (("double-reduction", "ok"),)
+
+    def test_explicit_policy_drives_method(self):
+        report = solve(system_of(5, 10, 20, 40), policy=("greedy",))
+        assert report.method == "greedy"
+        assert report.attempts == (("greedy", "ok"),)
+
+    def test_exact_first_uses_exact(self):
+        report = solve(system_of(4, 8, 8, 8), policy="exact-first")
+        assert report.method == "exact"
+
+    def test_inapplicable_entries_skipped_and_recorded(self):
+        report = solve(
+            system_of(5, 10, 20, 40), policy=("two-task", "greedy")
+        )
+        assert report.method == "greedy"
+        assert report.attempts[0] == ("two-task", "skipped: not applicable")
+
+    def test_harmonic_via_explicit_policy(self):
+        report = solve(system_of(2, 4, 8, 8), policy=("harmonic",))
+        assert report.method == "harmonic"
+
+    def test_policy_flows_through_nice_conjunct(self):
+        from repro.core.conditions import NiceConjunct, pc
+
+        conjunct = NiceConjunct([pc("a", 1, 4), pc("b", 1, 4)])
+        from repro.core.solver import solve_nice_conjunct
+
+        report = solve_nice_conjunct(conjunct, policy=("greedy",))
+        assert report.method == "greedy"
+
+    def test_registered_plugin_participates(self):
+        from repro.core.schedule import Schedule
+
+        def round_robin(system, *, verify=True):
+            schedule = Schedule([t.ident for t in system.tasks])
+            return schedule
+
+        register_scheduler(
+            "round-robin",
+            applicable=lambda s: len(s) >= 1,
+            cost=5,
+            description="test-only round robin",
+        )(round_robin)
+        try:
+            report = solve(
+                system_of(4, 4, 4, 4), policy=("round-robin",)
+            )
+            assert report.method == "round-robin"
+        finally:
+            unregister_scheduler("round-robin")
+
+    def test_lying_plugin_caught_by_solve_verification(self):
+        """solve(verify=True) re-verifies the winner, so a third-party
+        scheduler returning an invalid schedule cannot slip through."""
+        from repro.core.schedule import Schedule
+        from repro.errors import VerificationError
+
+        def starver(system, *, verify=True):
+            # Serves only the first task - invalid for everyone else.
+            return Schedule([system.tasks[0].ident])
+
+        register_scheduler(
+            "starver",
+            applicable=lambda s: len(s) >= 1,
+            cost=5,
+            description="test-only invalid scheduler",
+        )(starver)
+        try:
+            with pytest.raises(VerificationError):
+                solve(system_of(4, 4, 4, 4), policy=("starver",))
+        finally:
+            unregister_scheduler("starver")

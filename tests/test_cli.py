@@ -1,8 +1,85 @@
 """Tests for the command-line interface."""
 
+import json
+from pathlib import Path
+
 import pytest
 
+import repro
 from repro.cli import main
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestRun:
+    def scenario_path(self, tmp_path, **overrides) -> str:
+        payload = {
+            "name": "cli-test",
+            "files": [
+                {"name": "pos", "blocks": 2, "latency": 2,
+                 "fault_budget": 1},
+                {"name": "map", "blocks": 3, "latency": 6},
+            ],
+            "workload": {"requests": 10, "horizon": 60, "seed": 4},
+        }
+        payload.update(overrides)
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return str(path)
+
+    def test_run_summary(self, tmp_path, capsys):
+        status = main(["run", self.scenario_path(tmp_path)])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "scenario  : cli-test" in out
+        assert "deadline miss rate" in out
+
+    def test_run_json(self, tmp_path, capsys):
+        status = main(["run", self.scenario_path(tmp_path), "--json"])
+        assert status == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["scenario"]["name"] == "cli-test"
+        assert record["simulation"]["requests"] == 10
+        assert record["simulation"]["deadline_miss_rate"] == 0.0
+
+    def test_checked_in_example_scenario(self, capsys):
+        status = main(
+            ["run", str(EXAMPLES_DIR / "scenario_awacs.json")]
+        )
+        assert status == 0
+        assert "scenario  : awacs" in capsys.readouterr().out
+
+    def test_missing_file_is_clean_error(self, tmp_path, capsys):
+        status = main(["run", str(tmp_path / "absent.json")])
+        captured = capsys.readouterr()
+        assert status == 1
+        assert "error:" in captured.err
+
+    def test_invalid_scenario_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x", "files": []}', encoding="utf-8")
+        status = main(["run", str(path)])
+        captured = capsys.readouterr()
+        assert status == 1
+        assert "error:" in captured.err
+
+
+class TestSchedulers:
+    def test_lists_registry(self, capsys):
+        status = main(["schedulers"])
+        out = capsys.readouterr().out
+        assert status == 0
+        for name in ("two-task", "three-task", "double-reduction",
+                     "single-reduction", "greedy", "exact", "harmonic"):
+            assert name in out
 
 
 class TestDesign:

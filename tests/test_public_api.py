@@ -17,7 +17,28 @@ SUBPACKAGES = [
     "repro.bdisk",
     "repro.sim",
     "repro.rtdb",
+    "repro.api",
 ]
+
+#: The unified Scenario/BroadcastEngine surface and the scheduler
+#: registry, pinned so refactors cannot silently drop them.
+SCENARIO_API_EXPORTS = {
+    "Scenario",
+    "FaultSpec",
+    "WorkloadSpec",
+    "BroadcastEngine",
+    "ScenarioResult",
+    "run_scenario",
+    "run_scenarios",
+}
+REGISTRY_EXPORTS = {
+    "SolveReport",
+    "SchedulerEntry",
+    "register_scheduler",
+    "registered_schedulers",
+    "get_scheduler",
+    "scheduler_names",
+}
 
 
 class TestTopLevel:
@@ -39,6 +60,23 @@ class TestTopLevel:
 
     def test_no_private_leaks(self):
         assert not any(name.startswith("_") for name in repro.__all__)
+
+    def test_scenario_api_exports_pinned(self):
+        assert SCENARIO_API_EXPORTS <= set(repro.__all__)
+
+    def test_registry_exports_pinned(self):
+        assert REGISTRY_EXPORTS <= set(repro.__all__)
+
+    def test_builtin_schedulers_registered_on_import(self):
+        assert {
+            "harmonic",
+            "two-task",
+            "three-task",
+            "single-reduction",
+            "double-reduction",
+            "greedy",
+            "exact",
+        } <= set(repro.scheduler_names())
 
 
 @pytest.mark.parametrize("module_name", SUBPACKAGES)
