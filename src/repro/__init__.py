@@ -95,6 +95,7 @@ from repro.bdisk import (
     BroadcastProgram,
     FileSpec,
     GeneralizedFileSpec,
+    ProgramIndex,
     build_aida_flat_program,
     build_flat_program,
     build_multidisk_program,
@@ -183,6 +184,7 @@ __all__ = [
     "FileSpec",
     "GeneralizedFileSpec",
     "BroadcastProgram",
+    "ProgramIndex",
     "build_flat_program",
     "build_aida_flat_program",
     "build_pinwheel_program",

@@ -356,7 +356,12 @@ class BroadcastEngine:
 
 
 def run_scenario(scenario: Scenario | Mapping[str, Any]) -> ScenarioResult:
-    """Run one scenario (a :class:`Scenario` or its dict form)."""
+    """Run one scenario (a :class:`Scenario` or its dict form).
+
+    Every phase of the pipeline - simulation replay, delay analysis,
+    payload checks - shares the one designed program and therefore the
+    one occurrence index built for it (:attr:`BroadcastProgram.index`).
+    """
     if isinstance(scenario, Mapping):
         scenario = Scenario.from_dict(scenario)
     return BroadcastEngine(scenario).run()
@@ -364,6 +369,47 @@ def run_scenario(scenario: Scenario | Mapping[str, Any]) -> ScenarioResult:
 
 def run_scenarios(
     scenarios: Iterable[Scenario | Mapping[str, Any]],
+    *,
+    max_workers: int | None = None,
 ) -> tuple[ScenarioResult, ...]:
-    """Run a batch of scenarios in order (for parameter sweeps)."""
-    return tuple(run_scenario(scenario) for scenario in scenarios)
+    """Run a batch of scenarios (for parameter sweeps).
+
+    Parameters
+    ----------
+    scenarios:
+        :class:`Scenario` objects or their dict forms; dicts are
+        validated up front, so a malformed entry fails before any work
+        is dispatched.
+    max_workers:
+        ``None`` or ``1`` runs the batch serially in-process (the
+        default, and bit-identical to the parallel path).  Any larger
+        value fans the batch out over a process pool of that many
+        workers - scenarios are independent (each designs its own
+        program and occurrence index), so sweeps scale with cores.
+
+    Results are returned in input order regardless of worker scheduling.
+    """
+    normalized = [
+        scenario
+        if isinstance(scenario, Scenario)
+        else Scenario.from_dict(scenario)
+        for scenario in scenarios
+    ]
+    if max_workers is not None:
+        if not isinstance(max_workers, int) or isinstance(max_workers, bool):
+            raise SpecificationError(
+                f"max_workers must be a positive integer, got "
+                f"{type(max_workers).__name__}: {max_workers!r}"
+            )
+        if max_workers < 1:
+            raise SpecificationError(
+                f"max_workers must be >= 1: {max_workers}"
+            )
+    if max_workers is None or max_workers == 1 or len(normalized) <= 1:
+        return tuple(run_scenario(scenario) for scenario in normalized)
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    workers = min(max_workers, len(normalized))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return tuple(pool.map(run_scenario, normalized))

@@ -9,6 +9,9 @@ study - *broadcast programs*:
 * :mod:`repro.bdisk.program` - the broadcast program abstraction: a cyclic
   slot-to-(file, block) mapping with broadcast period, program data cycle,
   inter-block gaps (Lemma 2's Delta), and distinct-block window checks;
+* :mod:`repro.bdisk.program_index` - the precomputed occurrence index
+  every program builds lazily: O(1) slot content, per-file occurrence
+  tables, prefix counts, and occurrence-jumping walks for the simulators;
 * :mod:`repro.bdisk.flat` - flat programs (Figure 5) and AIDA flat
   programs with uniform spreading and block rotation (Figure 6);
 * :mod:`repro.bdisk.pinwheel_program` - programs derived from verified
@@ -23,6 +26,7 @@ study - *broadcast programs*:
 
 from repro.bdisk.file import FileSpec, GeneralizedFileSpec
 from repro.bdisk.program import BroadcastProgram, SlotContent
+from repro.bdisk.program_index import ProgramIndex
 from repro.bdisk.flat import build_flat_program, build_aida_flat_program
 from repro.bdisk.pinwheel_program import build_pinwheel_program
 from repro.bdisk.bandwidth import (
@@ -55,6 +59,7 @@ __all__ = [
     "GeneralizedFileSpec",
     "BroadcastProgram",
     "SlotContent",
+    "ProgramIndex",
     "build_flat_program",
     "build_aida_flat_program",
     "build_pinwheel_program",

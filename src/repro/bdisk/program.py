@@ -27,7 +27,7 @@ import math
 from dataclasses import dataclass
 from typing import Iterator, Mapping
 
-from repro.errors import ProgramError
+from repro.errors import ProgramError, SpecificationError
 from repro.core.schedule import IDLE, Schedule
 
 
@@ -56,7 +56,7 @@ class BroadcastProgram:
         period transmits the same blocks - the plain Figure 5 regime).
     """
 
-    __slots__ = ("_schedule", "_block_counts", "_data_cycle")
+    __slots__ = ("_schedule", "_block_counts", "_data_cycle", "_index")
 
     def __init__(
         self,
@@ -94,6 +94,7 @@ class BroadcastProgram:
             repeat = n_blocks // math.gcd(n_blocks, per_cycle)
             multiplier = math.lcm(multiplier, repeat)
         self._data_cycle = schedule.cycle_length * multiplier
+        self._index = None
 
     # ------------------------------------------------------------------
     # Structure
@@ -123,6 +124,19 @@ class BroadcastProgram:
         """``n_i``: distinct blocks file ``i`` rotates through."""
         return self._block_counts[file]
 
+    @property
+    def index(self) -> "ProgramIndex":
+        """The program's occurrence index (built lazily, exactly once).
+
+        One O(data-cycle) pass precomputes per-file occurrence tables;
+        every simulator sharing this program shares the same index.
+        """
+        if self._index is None:
+            from repro.bdisk.program_index import ProgramIndex
+
+            self._index = ProgramIndex(self)
+        return self._index
+
     # ------------------------------------------------------------------
     # Content
     # ------------------------------------------------------------------
@@ -131,22 +145,16 @@ class BroadcastProgram:
         """The ``(file, block)`` transmitted in slot ``t`` (None = idle).
 
         Block rotation: the ``c``-th service of file ``i`` (counting from
-        the start of the data cycle) carries block ``c mod n_i``.
+        the start of the data cycle) carries block ``c mod n_i``.  An O(1)
+        lookup into the precomputed occurrence index.
         """
-        file = self._schedule.owner_at(t)
-        if file is IDLE:
-            return None
-        within = t % self._data_cycle
-        cycles, offset = divmod(within, self._schedule.cycle_length)
-        occurrences_before = cycles * self._schedule.total(file)
-        occurrences_before += self._schedule.count_in_window(file, 0, offset)
-        return SlotContent(
-            file, occurrences_before % self._block_counts[file]
-        )
+        if t < 0:
+            raise SpecificationError(f"slot index must be >= 0, got {t}")
+        return self.index.contents[t % self._data_cycle]
 
     def content_cycle(self) -> list[SlotContent | None]:
         """One full data cycle of slot contents."""
-        return [self.slot_content(t) for t in range(self._data_cycle)]
+        return list(self.index.contents)
 
     def slots(self, horizon: int) -> Iterator[tuple[int, SlotContent | None]]:
         """Yield ``(t, content)`` for ``t = 0 .. horizon - 1``."""
@@ -174,36 +182,11 @@ class BroadcastProgram:
 
         This is the fault-tolerance quantity: with AIDA, ``j`` losses in a
         window still permit reconstruction iff the window held at least
-        ``m + j`` distinct blocks.  Computed by sliding a window across
-        one data cycle (the content is periodic beyond it).
+        ``m + j`` distinct blocks.  Computed by sliding over the file's
+        precomputed occurrences (the content is periodic beyond one data
+        cycle); see :meth:`ProgramIndex.min_distinct_in_window`.
         """
-        length = self._data_cycle
-        contents = self.content_cycle()
-        in_window: dict[int, int] = {}
-
-        def slot_block(t: int) -> int | None:
-            content = contents[t % length]
-            if content is None or content.file != file:
-                return None
-            return content.block_index
-
-        # Prime the window [0, window).
-        for t in range(window):
-            block = slot_block(t)
-            if block is not None:
-                in_window[block] = in_window.get(block, 0) + 1
-        best = len(in_window)
-        for start in range(1, length):
-            removed = slot_block(start - 1)
-            if removed is not None:
-                in_window[removed] -= 1
-                if in_window[removed] == 0:
-                    del in_window[removed]
-            added = slot_block(start + window - 1)
-            if added is not None:
-                in_window[added] = in_window.get(added, 0) + 1
-            best = min(best, len(in_window))
-        return best
+        return self.index.min_distinct_in_window(file, window)
 
     def verify_fault_tolerance(
         self, file: str, m: int, faults: int, window: int

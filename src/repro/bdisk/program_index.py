@@ -1,0 +1,307 @@
+"""Precomputed occurrence tables for a broadcast program.
+
+Every simulation question about a :class:`~repro.bdisk.program.BroadcastProgram`
+reduces to questions about *occurrences* - the slots at which a file is
+served and the block index each service carries.  The seed implementations
+answered them by walking the program slot by slot, paying the per-slot
+``slot_content`` arithmetic even for idle slots and slots of other files.
+
+:class:`ProgramIndex` computes, in one O(data-cycle) pass, everything the
+simulators need:
+
+* the full content table of one data cycle (making ``slot_content`` an
+  O(1) list lookup);
+* per-file occurrence arrays (slot positions and block indices), so a
+  client can jump occurrence-to-occurrence instead of scanning idle air;
+* per-file prefix counts (O(1) window counting on the infinite program);
+* per-file gap structure (Lemma 2's ``Delta`` without rescanning).
+
+The index is immutable once built and is shared by every consumer of the
+same program; :attr:`BroadcastProgram.index` builds it lazily exactly
+once.  All quantities are defined over the *data cycle* (the period of
+the ``(file, block)`` content), so block indices repeat exactly beyond
+it and the occurrence generator can extend the tables cyclically
+forever.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import ProgramError, SpecificationError
+from repro.core.schedule import IDLE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.bdisk.program import BroadcastProgram, SlotContent
+
+
+class ProgramIndex:
+    """Occurrence tables over one data cycle of a broadcast program.
+
+    Construction is a single pass over the data cycle; every query
+    afterwards is O(1) or O(log occurrences).  Obtain the shared instance
+    via :attr:`BroadcastProgram.index` rather than constructing directly.
+    """
+
+    __slots__ = (
+        "_program",
+        "_cycle",
+        "_contents",
+        "_slots",
+        "_blocks",
+        "_prefix",
+    )
+
+    def __init__(self, program: "BroadcastProgram") -> None:
+        from repro.bdisk.program import SlotContent
+
+        self._program = program
+        schedule = program.schedule
+        cycle = program.data_cycle_length
+        self._cycle = cycle
+
+        counters = {file: 0 for file in program.files}
+        block_counts = {
+            file: program.block_count(file) for file in program.files
+        }
+        contents: list["SlotContent" | None] = []
+        slots: dict[str, list[int]] = {file: [] for file in program.files}
+        blocks: dict[str, list[int]] = {file: [] for file in program.files}
+        period = schedule.cycle_length
+        cycle_owners = schedule.cycle
+        for t in range(cycle):
+            file = cycle_owners[t % period]
+            if file is IDLE:
+                contents.append(None)
+                continue
+            count = counters[file]
+            counters[file] = count + 1
+            index = count % block_counts[file]
+            contents.append(SlotContent(file, index))
+            slots[file].append(t)
+            blocks[file].append(index)
+        self._contents: tuple["SlotContent" | None, ...] = tuple(contents)
+        self._slots = {f: tuple(s) for f, s in slots.items()}
+        self._blocks = {f: tuple(b) for f, b in blocks.items()}
+        # prefix[file][t] = occurrences of `file` in slots [0, t) of the
+        # data cycle; length cycle + 1 so windows are pure subtractions.
+        prefix: dict[str, tuple[int, ...]] = {}
+        for file, positions in self._slots.items():
+            row = [0] * (cycle + 1)
+            for slot in positions:
+                row[slot + 1] = 1
+            for t in range(cycle):
+                row[t + 1] += row[t]
+            prefix[file] = tuple(row)
+        self._prefix = prefix
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def program(self) -> "BroadcastProgram":
+        """The program this index describes."""
+        return self._program
+
+    @property
+    def data_cycle_length(self) -> int:
+        """The period of the content table."""
+        return self._cycle
+
+    @property
+    def contents(self) -> tuple["SlotContent" | None, ...]:
+        """One full data cycle of slot contents (shared, immutable)."""
+        return self._contents
+
+    @property
+    def files(self) -> tuple[str, ...]:
+        """Files with occurrence tables (= the program's files)."""
+        return self._program.files
+
+    def _occurrence_arrays(
+        self, file: str
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        try:
+            return self._slots[file], self._blocks[file]
+        except KeyError:
+            raise ProgramError(
+                f"file {file!r} never appears in the program"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Occurrence queries
+    # ------------------------------------------------------------------
+
+    def occurrence_slots(self, file: str) -> tuple[int, ...]:
+        """Slots of one data cycle at which ``file`` is served (sorted)."""
+        return self._occurrence_arrays(file)[0]
+
+    def occurrence_blocks(self, file: str) -> tuple[int, ...]:
+        """Block indices aligned with :meth:`occurrence_slots`."""
+        return self._occurrence_arrays(file)[1]
+
+    def occurrences(self, file: str) -> tuple[tuple[int, int], ...]:
+        """``(slot, block_index)`` pairs of one data cycle, in slot order."""
+        slots, blocks = self._occurrence_arrays(file)
+        return tuple(zip(slots, blocks))
+
+    def occurrences_per_cycle(self, file: str) -> int:
+        """Services of ``file`` per data cycle."""
+        return len(self._occurrence_arrays(file)[0])
+
+    def next_occurrence(self, file: str, t: int) -> tuple[int, int]:
+        """First ``(slot, block_index)`` of ``file`` at a slot >= ``t``.
+
+        Works on the infinite periodic extension; O(log occurrences).
+        """
+        if t < 0:
+            raise SpecificationError(f"slot index must be >= 0, got {t}")
+        slots, blocks = self._occurrence_arrays(file)
+        if not slots:
+            raise ProgramError(f"file {file!r} never appears in the program")
+        base, within = divmod(t, self._cycle)
+        k = bisect_left(slots, within)
+        if k == len(slots):
+            base += 1
+            k = 0
+        return base * self._cycle + slots[k], blocks[k]
+
+    def occurrences_from(
+        self, file: str, start: int
+    ) -> Iterator[tuple[int, int]]:
+        """Yield ``(slot, block_index)`` for every service of ``file`` at
+        slots >= ``start``, in slot order, forever.
+
+        This is the occurrence-walker primitive: consumers jump from
+        service to service without ever touching idle slots or slots of
+        other files.
+        """
+        if start < 0:
+            raise SpecificationError(f"slot index must be >= 0, got {start}")
+        slots, blocks = self._occurrence_arrays(file)
+        if not slots:
+            return
+        cycle = self._cycle
+        quotient, within = divmod(start, cycle)
+        base = quotient * cycle
+        k = bisect_left(slots, within)
+        count = len(slots)
+        while True:
+            while k < count:
+                yield base + slots[k], blocks[k]
+                k += 1
+            base += cycle
+            k = 0
+
+    # ------------------------------------------------------------------
+    # Window arithmetic
+    # ------------------------------------------------------------------
+
+    def content(self, t: int) -> "SlotContent" | None:
+        """The ``(file, block)`` of slot ``t`` - an O(1) table lookup."""
+        if t < 0:
+            raise SpecificationError(f"slot index must be >= 0, got {t}")
+        return self._contents[t % self._cycle]
+
+    def count_in_window(self, file: str, start: int, length: int) -> int:
+        """Services of ``file`` in slots ``[start, start + length)``.
+
+        O(1) via the per-file prefix table, valid for any window of the
+        infinite program.
+        """
+        if start < 0 or length < 0:
+            raise ProgramError(
+                f"window must satisfy start >= 0 and length >= 0: "
+                f"({start}, {length})"
+            )
+        prefix = self._prefix.get(file)
+        if prefix is None:
+            raise ProgramError(
+                f"file {file!r} never appears in the program"
+            )
+        cycle = self._cycle
+        total = prefix[cycle]
+
+        def cumulative(upto: int) -> int:
+            full, rem = divmod(upto, cycle)
+            return full * total + prefix[rem]
+
+        return cumulative(start + length) - cumulative(start)
+
+    def max_gap(self, file: str) -> int:
+        """Largest cyclic spacing between consecutive services of
+        ``file`` (Lemma 2's ``Delta``)."""
+        slots, _ = self._occurrence_arrays(file)
+        if not slots:
+            raise ProgramError(f"file {file!r} never appears in the program")
+        if len(slots) == 1:
+            return self._cycle
+        best = self._cycle - slots[-1] + slots[0]
+        for i in range(len(slots) - 1):
+            best = max(best, slots[i + 1] - slots[i])
+        return best
+
+    def min_distinct_in_window(self, file: str, window: int) -> int:
+        """Minimum distinct block indices of ``file`` in any window.
+
+        Exactly the fault-tolerance quantity of
+        :meth:`BroadcastProgram.min_distinct_in_window`, but computed by
+        sliding over *occurrences* rather than slots: the distinct count
+        is piecewise constant in the window start and only changes when
+        an occurrence enters or leaves, so only those event starts are
+        evaluated.  O(occurrences) instead of O(data cycle x window).
+        """
+        if window < 0:
+            raise ProgramError(f"window must be >= 0: {window}")
+        # A file the program never serves has zero blocks in every window
+        # (matching the seed slot-walking behaviour, which returned 0).
+        slots = self._slots.get(file, ())
+        blocks = self._blocks.get(file, ())
+        if window == 0 or not slots:
+            return 0
+        cycle = self._cycle
+        count = len(slots)
+
+        def occurrence(i: int) -> tuple[int, int]:
+            """(absolute slot, block) of the i-th occurrence from t=0."""
+            quotient, remainder = divmod(i, count)
+            return slots[remainder] + quotient * cycle, blocks[remainder]
+
+        # Window [0, window): low points at the first occurrence inside,
+        # high at the first occurrence beyond.
+        full, remainder = divmod(window, cycle)
+        high = full * count + bisect_left(slots, remainder)
+        low = 0
+        in_window: dict[int, int] = {}
+        for i in range(low, high):
+            block = occurrence(i)[1]
+            in_window[block] = in_window.get(block, 0) + 1
+        best = len(in_window)
+        while True:
+            # Next start at which the window content changes: the low
+            # occurrence leaves at slot_low + 1, the high one enters at
+            # slot_high - window + 1.
+            start = min(
+                occurrence(low)[0] + 1, occurrence(high)[0] - window + 1
+            )
+            if start >= cycle:
+                return best
+            while occurrence(low)[0] < start:
+                block = occurrence(low)[1]
+                in_window[block] -= 1
+                if in_window[block] == 0:
+                    del in_window[block]
+                low += 1
+            while occurrence(high)[0] < start + window:
+                block = occurrence(high)[1]
+                in_window[block] = in_window.get(block, 0) + 1
+                high += 1
+            best = min(best, len(in_window))
+
+    def __repr__(self) -> str:
+        return (
+            f"ProgramIndex(data_cycle={self._cycle}, "
+            f"files={list(self.files)})"
+        )

@@ -8,11 +8,13 @@ Five subcommands mirror the library's main entry points::
     python -m repro generalized --file F:2:5,6,6 --file H:1:9,12
     python -m repro delay-table --file A:5:10 --file B:3:6 --errors 5
 
-``run`` executes a declarative :class:`repro.api.Scenario` (a JSON file,
+``run`` executes declarative :class:`repro.api.Scenario` files (JSON,
 see ``examples/scenario_awacs.json``) end to end - design, broadcast
 program, fault-channel simulation, delay analysis - and prints a summary
-(or a machine-readable record with ``--json``).  ``schedulers`` lists the
-live scheduler registry.
+(or a machine-readable record with ``--json``).  Several scenario files
+may be given at once; ``--workers N`` fans the batch out over a process
+pool (results are identical to the serial run).  ``schedulers`` lists
+the live scheduler registry.
 
 File syntax for the piecewise subcommands:
 
@@ -33,7 +35,7 @@ import sys
 from typing import Sequence
 
 from repro.errors import ReproError
-from repro.api.engine import BroadcastEngine
+from repro.api.engine import run_scenarios
 from repro.api.scenario import Scenario
 from repro.core.registry import registered_schedulers
 from repro.bdisk.builder import design_generalized_program, design_program
@@ -99,14 +101,29 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser(
-        "run", help="run a declarative scenario JSON file end to end"
+        "run", help="run declarative scenario JSON files end to end"
     )
-    run.add_argument("scenario", help="path to a Scenario JSON file")
+    run.add_argument(
+        "scenarios",
+        nargs="+",
+        metavar="scenario",
+        help="path(s) to Scenario JSON files",
+    )
     run.add_argument(
         "--json",
         action="store_true",
         dest="as_json",
         help="emit a machine-readable JSON result record",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run scenarios over a process pool of N workers "
+            "(default: serial; results are identical either way)"
+        ),
     )
 
     sub.add_parser(
@@ -163,12 +180,19 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _run_scenario(args: argparse.Namespace) -> int:
-    scenario = Scenario.from_file(args.scenario)
-    result = BroadcastEngine(scenario).run()
+    scenarios = [Scenario.from_file(path) for path in args.scenarios]
+    results = run_scenarios(scenarios, max_workers=args.workers)
     if args.as_json:
-        print(json.dumps(result.to_dict(), indent=2))
+        # One file keeps the historical single-object record; a batch
+        # emits a JSON array in input order.
+        payload: object = (
+            results[0].to_dict()
+            if len(results) == 1
+            else [result.to_dict() for result in results]
+        )
+        print(json.dumps(payload, indent=2))
     else:
-        print(result.summary())
+        print("\n\n".join(result.summary() for result in results))
     return 0
 
 

@@ -14,7 +14,10 @@ unreliable broadcast medium.  This subpackage provides both sides:
 * :mod:`repro.sim.workload` - seeded random file sets, pinwheel
   instances with target density, and request streams;
 * :mod:`repro.sim.metrics` - latency summaries and deadline-miss rates;
-* :mod:`repro.sim.runner` - end-to-end simulation loops.
+* :mod:`repro.sim.runner` - end-to-end simulation loops;
+* :mod:`repro.sim.reference` - the seed slot-walking implementations,
+  kept as the executable spec the occurrence-indexed fast paths are
+  property-tested against.
 """
 
 from repro.sim.faults import (
@@ -23,6 +26,7 @@ from repro.sim.faults import (
     BurstFaults,
     FaultModel,
     NoFaults,
+    lost_in,
 )
 from repro.sim.client import RetrievalResult, retrieve
 from repro.sim.delay import (
@@ -49,6 +53,7 @@ __all__ = [
     "BurstFaults",
     "FaultModel",
     "NoFaults",
+    "lost_in",
     "RetrievalResult",
     "retrieve",
     "DelayTableRow",

@@ -102,11 +102,15 @@ def broadcast_retrieve(
 ) -> tuple[bytes | None, list[FrameResult]]:
     """End-to-end retrieval over the byte channel.
 
-    Walks the program from ``start``; every slot carrying ``file`` is
+    Jumps occurrence-to-occurrence along the program's index from
+    ``start`` (slots carrying other files never reach the channel);
+    every service of ``file`` within ``[start, start + horizon)`` is
     transmitted as a real frame through ``channel``; decoded blocks
     accumulate until ``m_needed`` distinct indices are held, at which
     point IDA reconstruction runs.  Returns ``(payload, frame_log)``;
-    payload is ``None`` when the horizon expires first.
+    payload is ``None`` when the horizon expires first.  Corruption is
+    deterministic per ``(seed, slot)``, so the walk is bit-identical to
+    the seed slot-scanning loop.
 
     ``blocks_on_air`` maps each file to its full dispersal (index order),
     i.e. what the server would actually rotate through.
@@ -115,24 +119,26 @@ def broadcast_retrieve(
 
     if file not in blocks_on_air:
         raise SimulationError(f"no dispersal supplied for {file!r}")
+    if file not in program.files:
+        raise SimulationError(f"file {file!r} is not broadcast")
     supply = blocks_on_air[file]
     horizon = (
         max_slots
         if max_slots is not None
         else (m_needed + 2) * program.data_cycle_length
     )
+    end = start + horizon
     held: dict[int, Block] = {}
     log: list[FrameResult] = []
-    for t in range(start, start + horizon):
-        content = program.slot_content(t)
-        if content is None or content.file != file:
-            continue
-        if content.block_index >= len(supply):
+    for t, block_index in program.index.occurrences_from(file, start):
+        if t >= end:
+            break
+        if block_index >= len(supply):
             raise SimulationError(
-                f"program rotates through block {content.block_index} of "
+                f"program rotates through block {block_index} of "
                 f"{file!r} but only {len(supply)} were dispersed"
             )
-        result = channel.transmit(supply[content.block_index], t)
+        result = channel.transmit(supply[block_index], t)
         log.append(result)
         if result.delivered is not None:
             held.setdefault(result.delivered.index, result.delivered)

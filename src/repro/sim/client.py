@@ -13,15 +13,29 @@ by, and collects blocks of its target file until it can reconstruct:
 
 ``retrieve`` is the single engine for both, parameterized by the
 requirement; the fault model decides which slots are lost.
+
+The client is an *occurrence walker*: instead of scanning the program
+slot by slot, it jumps service-to-service along the program's
+precomputed occurrence index (:attr:`BroadcastProgram.index`), asking
+the fault model about whole batches of candidate slots at once.  The
+retrieval outcome is bit-identical to the seed slot-walking loop (kept
+in :mod:`repro.sim.reference` as the executable spec) because fault
+decisions are deterministic per ``(seed, slot)`` and slots carrying
+other files never affected the outcome.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 
 from repro.errors import SimulationError
 from repro.bdisk.program import BroadcastProgram
-from repro.sim.faults import FaultModel, NoFaults
+from repro.sim.faults import FaultModel, NoFaults, lost_in
+
+#: Occurrences per batched fault query; large enough to amortize the
+#: batch call, small enough that an early finish wastes little work.
+_FAULT_BATCH = 128
 
 
 @dataclass(frozen=True)
@@ -89,8 +103,10 @@ def retrieve(
     need_distinct:
         IDA mode (True) vs specific-blocks mode (False).
     max_slots:
-        Listening horizon; defaults to a generous multiple of the data
-        cycle, after which the retrieval reports failure.
+        Listening horizon: the client hears slots ``[start, start +
+        horizon)``.  Defaults to ``(m_needed + 2)`` data cycles, after
+        which the retrieval reports failure.  (The same convention as
+        :func:`repro.sim.channel.broadcast_retrieve`.)
 
     Raises
     ------
@@ -104,25 +120,41 @@ def retrieve(
     horizon = (
         max_slots
         if max_slots is not None
-        else (m_needed + 2) * program.data_cycle_length + start
+        else (m_needed + 2) * program.data_cycle_length
     )
+    end = start + horizon
 
     seen: set[int] = set()
     arrival_order: list[int] = []
     lost: list[int] = []
     wanted = set(range(m_needed)) if not need_distinct else None
 
-    t = start
-    while t < start + horizon:
-        content = program.slot_content(t)
-        if content is not None and content.file == file:
-            if fault_model.is_lost(t):
-                lost.append(t)
-            else:
-                index = content.block_index
-                if index not in seen:
-                    seen.add(index)
-                    arrival_order.append(index)
+    index = program.index
+    occ_slots = index.occurrence_slots(file)
+    occ_blocks = index.occurrence_blocks(file)
+    count = len(occ_slots)
+    cycle = index.data_cycle_length
+    # Pointer (base, i): the next candidate occurrence is occurrence i of
+    # the cycle copy starting at absolute slot `base`.
+    quotient, within = divmod(start, cycle)
+    base = quotient * cycle
+    i = bisect_left(occ_slots, within)
+
+    if isinstance(fault_model, NoFaults):
+        # Fault-free fast path: no decisions to make, walk the arrays.
+        seen_add = seen.add
+        append = arrival_order.append
+        while base < end:
+            while i < count:
+                slot = base + occ_slots[i]
+                if slot >= end:
+                    base = end  # horizon exhausted
+                    break
+                block = occ_blocks[i]
+                i += 1
+                if block not in seen:
+                    seen_add(block)
+                    append(block)
                 done = (
                     len(seen) >= m_needed
                     if need_distinct
@@ -133,12 +165,61 @@ def retrieve(
                         file=file,
                         start=start,
                         completed=True,
-                        finish_slot=t,
-                        latency=t - start + 1,
+                        finish_slot=slot,
+                        latency=slot - start + 1,
+                        received=tuple(arrival_order),
+                        lost_slots=(),
+                    )
+            else:
+                base += cycle
+                i = 0
+    else:
+        while base < end:
+            # Gather the next batch of service slots inside the horizon
+            # and decide their fates in one fault-model call.
+            batch_slots: list[int] = []
+            batch_blocks: list[int] = []
+            while len(batch_slots) < _FAULT_BATCH:
+                if i >= count:
+                    base += cycle
+                    i = 0
+                    if base >= end:
+                        break
+                    continue
+                slot = base + occ_slots[i]
+                if slot >= end:
+                    base = end
+                    break
+                batch_slots.append(slot)
+                batch_blocks.append(occ_blocks[i])
+                i += 1
+            if not batch_slots:
+                break
+            decisions = lost_in(fault_model, batch_slots)
+            for slot, block, is_lost in zip(
+                batch_slots, batch_blocks, decisions
+            ):
+                if is_lost:
+                    lost.append(slot)
+                    continue
+                if block not in seen:
+                    seen.add(block)
+                    arrival_order.append(block)
+                done = (
+                    len(seen) >= m_needed
+                    if need_distinct
+                    else wanted is not None and wanted <= seen
+                )
+                if done:
+                    return RetrievalResult(
+                        file=file,
+                        start=start,
+                        completed=True,
+                        finish_slot=slot,
+                        latency=slot - start + 1,
                         received=tuple(arrival_order),
                         lost_slots=tuple(lost),
                     )
-        t += 1
     return RetrievalResult(
         file=file,
         start=start,

@@ -46,15 +46,24 @@ def _file_slots(
     program: BroadcastProgram, file: str
 ) -> list[tuple[int, int]]:
     """``(slot, block_index)`` for every service of ``file`` in one data
-    cycle."""
-    pairs = [
-        (t, content.block_index)
-        for t, content in enumerate(program.content_cycle())
-        if content is not None and content.file == file
-    ]
-    if not pairs:
+    cycle, straight from the program's occurrence index."""
+    if file not in program.files:
         raise SimulationError(f"file {file!r} is not broadcast")
-    return pairs
+    index = program.index
+    return list(
+        zip(index.occurrence_slots(file), index.occurrence_blocks(file))
+    )
+
+
+def _content_by_slot(
+    program: BroadcastProgram, file: str
+) -> list[int | None]:
+    """Per-slot block index of ``file`` over one data cycle (None when
+    the slot is idle or carries another file)."""
+    content_by_slot: list[int | None] = [None] * program.data_cycle_length
+    for t, index in _file_slots(program, file):
+        content_by_slot[t] = index
+    return content_by_slot
 
 
 def _completion_game(
@@ -73,9 +82,7 @@ def _completion_game(
     branches between letting it through and killing it.
     """
     cycle = program.data_cycle_length
-    content_by_slot: list[int | None] = [None] * cycle
-    for t, index in _file_slots(program, file):
-        content_by_slot[t] = index
+    content_by_slot = _content_by_slot(program, file)
 
     @lru_cache(maxsize=None)
     def worst(pos: int, collected: frozenset, kills: int) -> int:
@@ -185,9 +192,7 @@ def greedy_adversary_delay(
     its budget lasts.  Linear in the horizon; used by the large Lemma
     sweeps where the exact game is too wide."""
     cycle = program.data_cycle_length
-    content_by_slot: list[int | None] = [None] * cycle
-    for t, index in _file_slots(program, file):
-        content_by_slot[t] = index
+    content_by_slot = _content_by_slot(program, file)
 
     def run(kills: int) -> int:
         collected: set[int] = set()

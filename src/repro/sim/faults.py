@@ -7,14 +7,27 @@ model decides, per slot, whether the client fails to receive that slot's
 block.  All stochastic models are seeded and deterministic per
 ``(seed, slot)``, so simulations are reproducible and two clients with
 the same seed observe the same channel.
+
+Occurrence-walking clients query faults only at their file's service
+slots and do so in batches: every model implements ``lost_in(slots)``
+(and :func:`lost_in` adapts third-party models that only provide
+``is_lost``).  Batch answers are defined to agree exactly, slot by slot,
+with ``is_lost`` - batching amortizes the per-decision overhead without
+changing a single decision.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterable, Protocol
+from typing import Iterable, Protocol, Sequence
 
-from repro.errors import SpecificationError
+from repro.errors import SimulationError, SpecificationError
+
+#: Per-model memo bound: decisions are cached per slot up to this many
+#: entries, after which further queries are computed without caching (the
+#: cache covers every realistic simulation; the bound keeps adversarially
+#: long runs from exhausting memory).
+DECISION_MEMO_LIMIT = 1 << 20
 
 
 class FaultModel(Protocol):
@@ -25,11 +38,27 @@ class FaultModel(Protocol):
         ...
 
 
+def lost_in(model: FaultModel, slots: Sequence[int]) -> list[bool]:
+    """Batch fault decisions for ``slots``, one bool per slot.
+
+    Uses the model's own ``lost_in`` when it has one (all built-in models
+    do) and falls back to per-slot ``is_lost`` calls otherwise, so any
+    :class:`FaultModel` works with the batched simulators.
+    """
+    batch = getattr(model, "lost_in", None)
+    if batch is not None:
+        return batch(slots)
+    return [model.is_lost(t) for t in slots]
+
+
 class NoFaults:
     """The failure-free channel."""
 
     def is_lost(self, t: int) -> bool:
         return False
+
+    def lost_in(self, slots: Sequence[int]) -> list[bool]:
+        return [False] * len(slots)
 
     def __repr__(self) -> str:
         return "NoFaults()"
@@ -40,7 +69,11 @@ class BernoulliFaults:
 
     Deterministic per slot: the decision for slot ``t`` hashes ``(seed,
     t)``, so queries need not arrive in slot order and repeated queries
-    agree.
+    agree.  Decisions are memoized per slot, so the common simulation
+    pattern - many clients querying overlapping slot sets - pays the
+    SHA-seeded RNG construction at most once per distinct slot instead
+    of once per query; a memoized answer is by construction bit-identical
+    to seeding a fresh ``random.Random(f"{seed}:{t}")``.
     """
 
     def __init__(self, probability: float, *, seed: int = 0) -> None:
@@ -50,17 +83,38 @@ class BernoulliFaults:
             )
         self.probability = probability
         self.seed = seed
+        self._decisions: dict[int, bool] = {}
+
+    def _decide(self, t: int) -> bool:
+        decisions = self._decisions
+        cached = decisions.get(t)
+        if cached is None:
+            # String seeds hash through SHA-512 in CPython, so the
+            # decision is stable across processes and interpreter runs.
+            # A fresh instance per memo miss keeps the model safe to
+            # share (no RNG state to tear); the dict makes misses rare.
+            cached = (
+                random.Random(f"{self.seed}:{t}").random()
+                < self.probability
+            )
+            if len(decisions) < DECISION_MEMO_LIMIT:
+                decisions[t] = cached
+        return cached
 
     def is_lost(self, t: int) -> bool:
         if self.probability == 0.0:
             return False
         if self.probability == 1.0:
             return True
-        # String seeds hash through SHA-512 in CPython, so the decision is
-        # stable across processes and interpreter runs.
-        return (
-            random.Random(f"{self.seed}:{t}").random() < self.probability
-        )
+        return self._decide(t)
+
+    def lost_in(self, slots: Sequence[int]) -> list[bool]:
+        if self.probability == 0.0:
+            return [False] * len(slots)
+        if self.probability == 1.0:
+            return [True] * len(slots)
+        decide = self._decide
+        return [decide(t) for t in slots]
 
     def __repr__(self) -> str:
         return f"BernoulliFaults(p={self.probability}, seed={self.seed})"
@@ -72,39 +126,86 @@ class BurstFaults:
     The channel alternates between a GOOD state (loss-free) and a BAD
     state (every slot lost).  Transitions happen per slot: GOOD -> BAD
     with probability ``p_enter``, BAD -> GOOD with probability
-    ``p_exit``; expected burst length is ``1 / p_exit``.  The state
-    sequence is precomputed lazily and cached so queries are O(1) and
-    order-independent.
+    ``p_exit``; expected burst length is ``1 / p_exit``.
+
+    The state sequence is inherently sequential (a Markov chain driven by
+    one RNG draw per slot), so it is materialized on demand in fixed-size
+    chunks of a compact byte table: queries are O(1), order-independent,
+    and bit-identical regardless of query pattern.  Growth is bounded by
+    ``max_horizon``; a query beyond it raises :class:`SimulationError`
+    instead of silently consuming unbounded memory.
     """
 
+    #: Slots materialized per extension step.
+    CHUNK = 4096
+    #: Default query bound (slots); ~4M slots is one byte each.
+    DEFAULT_MAX_HORIZON = 1 << 22
+
     def __init__(
-        self, p_enter: float, p_exit: float, *, seed: int = 0
+        self,
+        p_enter: float,
+        p_exit: float,
+        *,
+        seed: int = 0,
+        max_horizon: int = DEFAULT_MAX_HORIZON,
     ) -> None:
         for name, value in (("p_enter", p_enter), ("p_exit", p_exit)):
             if not 0.0 <= value <= 1.0:
                 raise SpecificationError(
                     f"{name} must be in [0, 1]: {value}"
                 )
+        if max_horizon < 1:
+            raise SpecificationError(
+                f"max_horizon must be >= 1: {max_horizon}"
+            )
         self.p_enter = p_enter
         self.p_exit = p_exit
         self.seed = seed
-        self._states: list[bool] = []  # True = BAD
+        self.max_horizon = max_horizon
+        self._states = bytearray()  # 1 = BAD, one byte per slot
         self._rng = random.Random(seed)
         self._current_bad = False
 
     def _extend_to(self, t: int) -> None:
-        while len(self._states) <= t:
-            if self._current_bad:
-                if self._rng.random() < self.p_exit:
-                    self._current_bad = False
+        if t >= self.max_horizon:
+            raise SimulationError(
+                f"BurstFaults query at slot {t} exceeds max_horizon="
+                f"{self.max_horizon}; construct the model with a larger "
+                f"max_horizon for longer simulations"
+            )
+        states = self._states
+        if t < len(states):
+            return
+        # Materialize whole chunks so repeated nearby queries extend the
+        # table once; the RNG is consumed exactly one draw per slot, in
+        # slot order, matching the seed implementation bit for bit.
+        target = min(
+            self.max_horizon, (t // self.CHUNK + 1) * self.CHUNK
+        )
+        bad = self._current_bad
+        rng_random = self._rng.random
+        p_enter, p_exit = self.p_enter, self.p_exit
+        chunk = bytearray()
+        for _ in range(target - len(states)):
+            if bad:
+                if rng_random() < p_exit:
+                    bad = False
             else:
-                if self._rng.random() < self.p_enter:
-                    self._current_bad = True
-            self._states.append(self._current_bad)
+                if rng_random() < p_enter:
+                    bad = True
+            chunk.append(bad)
+        self._current_bad = bad
+        states.extend(chunk)
 
     def is_lost(self, t: int) -> bool:
         self._extend_to(t)
-        return self._states[t]
+        return bool(self._states[t])
+
+    def lost_in(self, slots: Sequence[int]) -> list[bool]:
+        if slots:
+            self._extend_to(max(slots))
+        states = self._states
+        return [bool(states[t]) for t in slots]
 
     def __repr__(self) -> str:
         return (
@@ -127,6 +228,10 @@ class AdversarialFaults:
 
     def is_lost(self, t: int) -> bool:
         return t in self.lost_slots
+
+    def lost_in(self, slots: Sequence[int]) -> list[bool]:
+        lost = self.lost_slots
+        return [t in lost for t in slots]
 
     @property
     def budget(self) -> int:

@@ -153,6 +153,40 @@ class TestBatch:
         )
         assert [r.scenario.name for r in results] == ["small", "second"]
 
+    def test_parallel_matches_serial(self):
+        scenarios = [
+            small_scenario(delay_errors=None),
+            small_scenario(name="second", delay_errors=None),
+            small_scenario(name="third", delay_errors=None),
+        ]
+        serial = run_scenarios(scenarios)
+        parallel = run_scenarios(scenarios, max_workers=2)
+        assert [r.scenario.name for r in parallel] == [
+            "small", "second", "third",
+        ]
+        assert [r.to_dict() for r in parallel] == [
+            r.to_dict() for r in serial
+        ]
+
+    def test_single_worker_stays_in_process(self):
+        results = run_scenarios(
+            [small_scenario(delay_errors=None)], max_workers=1
+        )
+        assert results[0].scenario.name == "small"
+
+    def test_bad_max_workers_rejected(self):
+        for bad in (0, -1, 1.5, True):
+            with pytest.raises(SpecificationError):
+                run_scenarios(
+                    [small_scenario(delay_errors=None)], max_workers=bad
+                )
+
+    def test_invalid_dict_fails_before_dispatch(self):
+        with pytest.raises(SpecificationError):
+            run_scenarios(
+                [{"name": "broken", "files": []}], max_workers=4
+            )
+
     def test_seeded_runs_reproduce(self):
         first = run_scenario(small_scenario(delay_errors=None))
         second = run_scenario(small_scenario(delay_errors=None))

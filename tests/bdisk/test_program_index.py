@@ -1,0 +1,121 @@
+"""Tests for the precomputed occurrence index (ProgramIndex)."""
+
+import pytest
+
+from repro.errors import ProgramError, SpecificationError
+from repro.bdisk.flat import build_aida_flat_program, build_flat_program
+from repro.bdisk.program_index import ProgramIndex
+
+
+@pytest.fixture
+def program():
+    """Figure 6: A 5-of-10, B 3-of-6 - data cycle of two periods."""
+    return build_aida_flat_program([("A", 5, 10), ("B", 3, 6)])
+
+
+class TestConstruction:
+    def test_shared_lazy_instance(self, program):
+        assert program.index is program.index
+        assert isinstance(program.index, ProgramIndex)
+        assert program.index.program is program
+
+    def test_contents_match_slot_content(self, program):
+        contents = program.index.contents
+        assert len(contents) == program.data_cycle_length
+        for t, content in enumerate(contents):
+            assert content == program.slot_content(t)
+
+    def test_occurrence_arrays_align(self, program):
+        index = program.index
+        for file in program.files:
+            slots = index.occurrence_slots(file)
+            blocks = index.occurrence_blocks(file)
+            assert len(slots) == len(blocks)
+            assert list(slots) == sorted(slots)
+            for slot, block in zip(slots, blocks):
+                content = program.slot_content(slot)
+                assert content.file == file
+                assert content.block_index == block
+            assert index.occurrences(file) == tuple(zip(slots, blocks))
+            assert index.occurrences_per_cycle(file) == len(slots)
+
+    def test_unknown_file_rejected(self, program):
+        index = program.index
+        with pytest.raises(ProgramError):
+            index.occurrence_slots("Z")
+        with pytest.raises(ProgramError):
+            index.next_occurrence("Z", 0)
+        with pytest.raises(ProgramError):
+            index.count_in_window("Z", 0, 4)
+
+
+class TestOccurrenceWalk:
+    def test_next_occurrence_is_first_at_or_after(self, program):
+        index = program.index
+        cycle = program.data_cycle_length
+        for file in program.files:
+            for t in range(2 * cycle + 1):
+                slot, block = index.next_occurrence(file, t)
+                assert slot >= t
+                content = program.slot_content(slot)
+                assert (content.file, content.block_index) == (file, block)
+                # No earlier service of the file in [t, slot).
+                assert all(
+                    (c := program.slot_content(u)) is None
+                    or c.file != file
+                    for u in range(t, slot)
+                )
+
+    def test_occurrences_from_walks_every_service(self, program):
+        index = program.index
+        cycle = program.data_cycle_length
+        start = 7
+        walked = []
+        for slot, block in index.occurrences_from("A", start):
+            if slot >= start + 2 * cycle:
+                break
+            walked.append((slot, block))
+        expected = [
+            (t, program.slot_content(t).block_index)
+            for t in range(start, start + 2 * cycle)
+            if (c := program.slot_content(t)) is not None and c.file == "A"
+        ]
+        assert walked == expected
+
+    def test_negative_slots_rejected(self, program):
+        # Same error type as Schedule.owner_at / slot_content.
+        index = program.index
+        with pytest.raises(SpecificationError):
+            index.next_occurrence("A", -1)
+        with pytest.raises(SpecificationError):
+            next(index.occurrences_from("A", -1))
+        with pytest.raises(SpecificationError):
+            index.content(-1)
+
+
+class TestWindows:
+    def test_max_gap_matches_program(self, program):
+        for file in program.files:
+            assert program.index.max_gap(file) == program.max_gap(file)
+
+    def test_single_service_gap_is_cycle(self):
+        flat = build_flat_program([("A", 1)])
+        assert flat.index.max_gap("A") == flat.data_cycle_length
+
+    def test_count_in_window_wraps_cycles(self, program):
+        index = program.index
+        cycle = program.data_cycle_length
+        per_cycle = index.occurrences_per_cycle("B")
+        assert index.count_in_window("B", 0, 3 * cycle) == 3 * per_cycle
+        assert index.count_in_window("B", 5, 0) == 0
+
+    def test_min_distinct_consistent_with_verify(self, program):
+        # Figure 6's headline property: every window of one period holds
+        # enough distinct blocks for IDA plus slack for faults.
+        window = program.broadcast_period
+        assert program.index.min_distinct_in_window(
+            "A", window
+        ) == program.min_distinct_in_window("A", window)
+
+    def test_min_distinct_absent_file_is_zero(self, program):
+        assert program.index.min_distinct_in_window("Z", 4) == 0

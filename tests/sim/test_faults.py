@@ -2,12 +2,13 @@
 
 import pytest
 
-from repro.errors import SpecificationError
+from repro.errors import SimulationError, SpecificationError
 from repro.sim.faults import (
     AdversarialFaults,
     BernoulliFaults,
     BurstFaults,
     NoFaults,
+    lost_in,
 )
 
 
@@ -109,3 +110,92 @@ class TestAdversarial:
 
     def test_empty_adversary(self):
         assert AdversarialFaults([]).budget == 0
+
+
+class TestBatchedDecisions:
+    """lost_in(slots) must agree, slot by slot, with is_lost."""
+
+    MODELS = [
+        lambda: NoFaults(),
+        lambda: BernoulliFaults(0.3, seed=11),
+        lambda: BurstFaults(0.05, 0.4, seed=11),
+        lambda: AdversarialFaults([2, 3, 50, 51]),
+    ]
+
+    def test_batch_matches_pointwise(self):
+        slots = [40, 3, 3, 17, 0, 99, 63]
+        for factory in self.MODELS:
+            batch = factory().lost_in(slots)
+            pointwise = [factory().is_lost(t) for t in slots]
+            assert batch == pointwise
+
+    def test_helper_uses_model_batch(self):
+        model = AdversarialFaults([1])
+        assert lost_in(model, [0, 1, 2]) == [False, True, False]
+
+    def test_helper_falls_back_to_pointwise(self):
+        class OddLoses:
+            def is_lost(self, t: int) -> bool:
+                return t % 2 == 1
+
+        assert lost_in(OddLoses(), [1, 2, 3]) == [True, False, True]
+
+    def test_empty_batch(self):
+        for factory in self.MODELS:
+            assert factory().lost_in([]) == []
+
+
+class TestBernoulliCache:
+    def test_decisions_bit_identical_to_fresh_seeding(self):
+        """The reused-RNG fast path must reproduce the documented
+        contract: hash random.Random(f"{seed}:{t}") per slot."""
+        import random as _random
+
+        model = BernoulliFaults(0.4, seed=9)
+        for t in [5, 0, 5, 123, 7, 123]:
+            expected = _random.Random(f"9:{t}").random() < 0.4
+            assert model.is_lost(t) == expected
+
+    def test_batch_then_pointwise_consistent(self):
+        model = BernoulliFaults(0.5, seed=21)
+        slots = list(range(64))
+        batch = model.lost_in(slots)
+        assert [model.is_lost(t) for t in slots] == batch
+
+
+class TestBurstBounds:
+    def test_chunked_states_match_seed_markov_chain(self):
+        """The chunked byte table replays the seed Markov chain: one RNG
+        draw per slot, transition before recording."""
+        import random as _random
+
+        model = BurstFaults(0.1, 0.3, seed=13)
+        rng = _random.Random(13)
+        bad = False
+        expected = []
+        for _ in range(500):
+            if bad:
+                if rng.random() < 0.3:
+                    bad = False
+            else:
+                if rng.random() < 0.1:
+                    bad = True
+            expected.append(bad)
+        assert model.lost_in(list(range(500))) == expected
+
+    def test_query_beyond_max_horizon_rejected(self):
+        model = BurstFaults(0.1, 0.5, seed=1, max_horizon=100)
+        assert model.is_lost(99) in (True, False)
+        with pytest.raises(SimulationError):
+            model.is_lost(100)
+        with pytest.raises(SimulationError):
+            model.lost_in([5, 100])
+
+    def test_growth_capped_at_max_horizon(self):
+        model = BurstFaults(0.1, 0.5, seed=1, max_horizon=10)
+        model.is_lost(9)
+        assert len(model._states) == 10
+
+    def test_bad_max_horizon_rejected(self):
+        with pytest.raises(SpecificationError):
+            BurstFaults(0.1, 0.5, max_horizon=0)

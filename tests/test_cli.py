@@ -57,6 +57,48 @@ class TestRun:
         assert status == 0
         assert "scenario  : awacs" in capsys.readouterr().out
 
+    def test_run_multiple_scenarios(self, tmp_path, capsys):
+        first = self.scenario_path(tmp_path)
+        second = tmp_path / "second.json"
+        second.write_text(
+            Path(first).read_text(encoding="utf-8").replace(
+                "cli-test", "cli-second"
+            ),
+            encoding="utf-8",
+        )
+        status = main(["run", first, str(second)])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "scenario  : cli-test" in out
+        assert "scenario  : cli-second" in out
+
+    def test_run_workers_matches_serial_json(self, tmp_path, capsys):
+        first = self.scenario_path(tmp_path)
+        second = tmp_path / "second.json"
+        second.write_text(
+            Path(first).read_text(encoding="utf-8").replace(
+                "cli-test", "cli-second"
+            ),
+            encoding="utf-8",
+        )
+        paths = [first, str(second)]
+        status = main(["run", *paths, "--json"])
+        serial = json.loads(capsys.readouterr().out)
+        assert status == 0
+        status = main(["run", *paths, "--json", "--workers", "2"])
+        parallel = json.loads(capsys.readouterr().out)
+        assert status == 0
+        assert isinstance(serial, list) and len(serial) == 2
+        assert parallel == serial
+
+    def test_bad_workers_is_clean_error(self, tmp_path, capsys):
+        status = main(
+            ["run", self.scenario_path(tmp_path), "--workers", "0"]
+        )
+        captured = capsys.readouterr()
+        assert status == 1
+        assert "error:" in captured.err
+
     def test_missing_file_is_clean_error(self, tmp_path, capsys):
         status = main(["run", str(tmp_path / "absent.json")])
         captured = capsys.readouterr()
