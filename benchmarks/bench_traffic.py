@@ -1,0 +1,213 @@
+"""Experiment TRAFFIC: sustained open-loop load on the multidisk baseline.
+
+The traffic subsystem (:mod:`repro.traffic`) simulates populations of
+client sessions - arrival processes, think times, streaming metrics -
+advancing service-to-service over the occurrence index.  This bench
+measures the *sustained simulated request rate* and tail latency on the
+multidisk baseline catalogue (the same hierarchy as
+``bench_multidisk_baseline.py``) under three channels:
+
+* the failure-free channel (amortized: one real retrieval per
+  ``(file, phase)`` of the periodic program),
+* Bernoulli losses (every retrieval computed for real, batched fault
+  queries),
+* Gilbert burst losses (fault storms stretching the tail).
+
+The acceptance floor is >= 10k sustained simulated requests/sec on the
+failure-free baseline (full configuration only; the smoke configuration
+asserts correctness, not speed).  Results - throughput, streaming
+p50/p99, deadline-miss and abort rates, per-disk hit counts - are
+recorded in ``BENCH_traffic.json`` at the repo root.  A load sweep over
+population sizes shows the throughput holding as the population scales
+(the point of open-loop evaluation: the server's program does not
+degrade, only client latency tails do).  Set ``REPRO_BENCH_SMOKE=1``
+for a tiny CI-friendly configuration (no JSON record, no floor).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+
+from benchmarks.conftest import print_table
+from repro.bdisk.multidisk import build_multidisk_program, config_from_demand
+from repro.sim.metrics import LatencySummary
+from repro.traffic import TrafficSpec, simulate_traffic
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+CLIENTS = 200 if SMOKE else 10_000
+REQUESTS_PER_CLIENT = 2 if SMOKE else 10
+DURATION = 5_000 if SMOKE else 200_000
+SEED = 1997
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_traffic.json"
+
+FILES = [
+    ("hot", 2), ("warm-1", 3), ("warm-2", 3), ("cold-1", 5), ("cold-2", 6),
+]
+DEMAND = {"hot": 20.0, "warm-1": 5.0, "warm-2": 4.0,
+          "cold-1": 1.0, "cold-2": 0.5}
+SIZES = dict(FILES)
+#: Latency budgets in slots: generous enough that the failure-free
+#: channel always meets them, tight enough that fault storms miss.
+DEADLINES = {"hot": 30, "warm-1": 45, "warm-2": 45,
+             "cold-1": 75, "cold-2": 90}
+LEVELS = (4, 2, 1)
+
+CHANNELS = [
+    ("none", {"kind": "none"}),
+    ("bernoulli p=0.05", {"kind": "bernoulli", "probability": 0.05,
+                          "seed": 3}),
+    ("burst 0.02/0.25", {"kind": "burst", "p_enter": 0.02,
+                         "p_exit": 0.25, "seed": 3}),
+]
+
+
+def _world():
+    config = config_from_demand(FILES, DEMAND, levels=LEVELS)
+    program = build_multidisk_program(config)
+    disk_of = {
+        name: f"disk-{level}"
+        for level, (_, disk_files) in enumerate(config.disks)
+        for name, _ in disk_files
+    }
+    return program, disk_of
+
+
+def _spec(clients=CLIENTS, requests=REQUESTS_PER_CLIENT):
+    return TrafficSpec(
+        clients=clients,
+        duration=DURATION,
+        arrival="poisson",
+        popularity="zipf",
+        zipf_skew=1.2,
+        requests_per_client=requests,
+        think_time=10,
+        seed=SEED,
+    )
+
+
+def _faults(payload):
+    from repro.api.scenario import FaultSpec
+
+    return FaultSpec.from_dict(payload)
+
+
+def _row(label, result):
+    summary = result.summary
+    return [
+        label,
+        f"{result.requests:,}",
+        f"{result.requests_per_sec:,.0f}",
+        f"{summary.p50:.0f}", f"{summary.p99:.0f}",
+        f"{result.miss_rate:.4f}", f"{result.abort_rate:.4f}",
+    ]
+
+
+def test_sustained_traffic_and_record():
+    """The acceptance measurement: >= 10k sustained simulated req/s on
+    the failure-free multidisk baseline, with streaming p50/p99 and
+    miss rates recorded per channel."""
+    program, disk_of = _world()
+    program.index  # shared occurrence tables, built outside the timing
+    rows = []
+    records = {}
+    throughput = {}
+    for label, payload in CHANNELS:
+        result = simulate_traffic(
+            program,
+            [name for name, _ in FILES],
+            _spec(),
+            file_sizes=SIZES,
+            deadlines=DEADLINES,
+            faults=_faults(payload),
+        )
+        assert result.requests == CLIENTS * REQUESTS_PER_CLIENT
+        summary = result.summary
+        # The streaming P2 estimates must track the exact histogram
+        # quantiles the summary reports.
+        shards = [result.metrics.summary()]
+        assert LatencySummary.merge(shards) == summary
+        rows.append(_row(label, result))
+        throughput[label] = result.requests_per_sec
+        records[label] = {
+            "requests": result.requests,
+            "requests_per_sec": round(result.requests_per_sec),
+            "p50": summary.p50,
+            "p99": summary.p99,
+            "mean": round(summary.mean, 2),
+            "worst": summary.worst,
+            "deadline_miss_rate": round(result.miss_rate, 4),
+            "abort_rate": round(result.abort_rate, 4),
+            "hits_by_disk": result.metrics.hits_by(disk_of),
+        }
+    print_table(
+        f"TRAFFIC: {CLIENTS:,} clients x {REQUESTS_PER_CLIENT} requests "
+        f"(multidisk baseline, poisson arrivals, zipf 1.2)",
+        ["channel", "requests", "req/s", "p50", "p99",
+         "miss rate", "abort rate"],
+        rows,
+    )
+    if SMOKE:  # smoke asserts correctness only, never timing
+        return
+    floor = throughput["none"]
+    assert floor >= 10_000, (
+        f"expected >= 10k sustained req/s on the failure-free baseline, "
+        f"measured {floor:,.0f}"
+    )
+
+    sweep = []
+    for clients in (1_000, 10_000, 50_000):
+        result = simulate_traffic(
+            program,
+            [name for name, _ in FILES],
+            _spec(clients=clients, requests=4),
+            file_sizes=SIZES,
+            deadlines=DEADLINES,
+            faults=_faults({"kind": "bernoulli", "probability": 0.05,
+                            "seed": 3}),
+        )
+        sweep.append(
+            {
+                "clients": clients,
+                "requests": result.requests,
+                "requests_per_sec": round(result.requests_per_sec),
+                "p99": result.summary.p99,
+                "deadline_miss_rate": round(result.miss_rate, 4),
+            }
+        )
+    print_table(
+        "TRAFFIC: load sweep (bernoulli p=0.05, 4 requests/client)",
+        ["clients", "requests", "req/s", "p99", "miss rate"],
+        [
+            [f"{entry['clients']:,}", f"{entry['requests']:,}",
+             f"{entry['requests_per_sec']:,}", f"{entry['p99']:.0f}",
+             f"{entry['deadline_miss_rate']:.4f}"]
+            for entry in sweep
+        ],
+    )
+
+    RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "bench": "traffic",
+                "workload": {
+                    "program": "multidisk baseline (levels 4/2/1)",
+                    "clients": CLIENTS,
+                    "requests_per_client": REQUESTS_PER_CLIENT,
+                    "duration": DURATION,
+                    "arrival": "poisson",
+                    "popularity": "zipf(1.2)",
+                    "think_time": 10,
+                    "seed": SEED,
+                },
+                "python": platform.python_version(),
+                "channels": records,
+                "load_sweep": sweep,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )

@@ -18,6 +18,9 @@ Database Systems" (BU-CS TR-1996-023 / ICDE 1997), organized as:
   delay analysis (Lemmas 1-2, Figure 7), workloads, and metrics;
 * :mod:`repro.rtdb` - temporal consistency, data items, operation modes,
   and read transactions;
+* :mod:`repro.traffic` - discrete-event traffic simulation: open-loop
+  client populations (arrival processes, session state machines,
+  streaming metrics) sharded across cores;
 * :mod:`repro.api` - the declarative front door: :class:`Scenario`
   specifications (JSON-round-trippable), the :class:`BroadcastEngine`
   facade, and batch sweeps over scenarios.
@@ -124,6 +127,12 @@ from repro.rtdb import (
     constraint_from_kinematics,
     execute_transaction,
 )
+from repro.traffic import (
+    TrafficMetrics,
+    TrafficResult,
+    TrafficSpec,
+    simulate_traffic,
+)
 from repro.api import (
     BroadcastEngine,
     FaultSpec,
@@ -210,6 +219,11 @@ __all__ = [
     "ModeManager",
     "ReadTransaction",
     "execute_transaction",
+    # traffic
+    "TrafficMetrics",
+    "TrafficResult",
+    "TrafficSpec",
+    "simulate_traffic",
     # api
     "Scenario",
     "FaultSpec",

@@ -27,6 +27,8 @@ The same scenario serializes to JSON (``scenario.save(path)``) and runs
 from a shell with ``repro run path``.
 """
 
+from repro.traffic.simulate import TrafficResult
+from repro.traffic.spec import TrafficSpec
 from repro.api.scenario import (
     FAULT_KINDS,
     FaultSpec,
@@ -46,6 +48,8 @@ __all__ = [
     "FAULT_KINDS",
     "FaultSpec",
     "Scenario",
+    "TrafficResult",
+    "TrafficSpec",
     "WorkloadSpec",
     "BroadcastEngine",
     "DelayEntry",

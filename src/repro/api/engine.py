@@ -9,7 +9,10 @@
 2. **program**: summarize the verified broadcast program;
 3. **simulation**: when a workload is specified, replay a seeded request
    stream against the program through the scenario's fault model;
-4. **delay analysis**: when requested, regenerate the exact worst-case
+4. **traffic**: when an open-loop population is specified, run the
+   discrete-event traffic simulation (:mod:`repro.traffic`) against the
+   program through the same fault model;
+5. **delay analysis**: when requested, regenerate the exact worst-case
    delay table (Figure 7 style) by exhaustive adversary.
 
 The outcome is a structured :class:`ScenarioResult`; :func:`run_scenarios`
@@ -36,6 +39,7 @@ from repro.bdisk.program import BroadcastProgram
 from repro.sim.delay import worst_case_delay
 from repro.sim.runner import SimulationResult, simulate_requests
 from repro.sim.workload import request_stream
+from repro.traffic.simulate import TrafficResult, simulate_traffic
 from repro.api.scenario import Scenario
 
 
@@ -86,6 +90,10 @@ class ScenarioResult:
         Headline program numbers for quick inspection.
     simulation:
         The workload replay, or ``None`` when no workload was specified.
+    traffic:
+        The open-loop population run
+        (:class:`repro.traffic.TrafficResult`), or ``None`` when the
+        scenario specifies no traffic.
     delay_table:
         Worst-case delay entries, empty unless ``delay_errors`` was set.
     payload_checks:
@@ -101,6 +109,7 @@ class ScenarioResult:
     simulation: SimulationResult | None
     delay_table: tuple[DelayEntry, ...]
     payload_checks: Mapping[str, bool] | None = None
+    traffic: TrafficResult | None = None
 
     @property
     def program(self) -> BroadcastProgram:
@@ -126,6 +135,9 @@ class ScenarioResult:
                 f"latency {sim.summary}, "
                 f"deadline miss rate {sim.deadline_miss_rate:.3f}"
             )
+        if self.traffic is not None:
+            for line in self.traffic.report().splitlines():
+                lines.append(line)
         if self.payload_checks:
             verdicts = ", ".join(
                 f"{name}={'intact' if ok else 'CORRUPT'}"
@@ -182,6 +194,9 @@ class ScenarioResult:
                 "block_counts": dict(self.stats.block_counts),
             },
             "simulation": simulation,
+            "traffic": (
+                None if self.traffic is None else self.traffic.to_dict()
+            ),
             "delay_table": [
                 {"file": e.file, "errors": e.errors, "delay": e.delay}
                 for e in self.delay_table
@@ -280,6 +295,55 @@ class BroadcastEngine:
             need_distinct=True,
         )
 
+    def _deadlines(self, design: ProgramDesign) -> dict[str, int]:
+        """Per-file deadlines in slots, matching the workload replay.
+
+        Generalized files promise their weakest latency (the vector's
+        last entry, already in slots); regular files promise their
+        latency budget at the planned bandwidth.
+        """
+        scenario = self._scenario
+        if scenario.generalized:
+            return {
+                spec.name: spec.latency_vector[-1]
+                for spec in scenario.files
+            }
+        bandwidth = design.bandwidth_plan.bandwidth
+        return {
+            spec.name: spec.latency * bandwidth
+            for spec in scenario.effective_files
+        }
+
+    def run_traffic(
+        self,
+        *,
+        max_workers: int | None = None,
+        trace: bool = False,
+    ) -> TrafficResult | None:
+        """Run the scenario's open-loop population, or ``None`` without one.
+
+        ``max_workers`` shards the population across a process pool
+        (results are bit-identical to the serial run); ``trace`` retains
+        one record per request for debugging and equivalence tests.
+        """
+        scenario = self._scenario
+        spec = scenario.traffic
+        if spec is None:
+            return None
+        design = self.design()
+        return simulate_traffic(
+            design.program,
+            [file.name for file in scenario.files],
+            spec,
+            file_sizes={
+                file.name: file.blocks for file in scenario.files
+            },
+            deadlines=self._deadlines(design),
+            faults=scenario.faults,
+            max_workers=max_workers,
+            trace=trace,
+        )
+
     def payload_checks(
         self, simulation: SimulationResult | None
     ) -> dict[str, bool] | None:
@@ -352,6 +416,7 @@ class BroadcastEngine:
             simulation=simulation,
             delay_table=self.delay_table(),
             payload_checks=self.payload_checks(simulation),
+            traffic=self.run_traffic(),
         )
 
 
@@ -412,4 +477,9 @@ def run_scenarios(
 
     workers = min(max_workers, len(normalized))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return tuple(pool.map(run_scenario, normalized))
+        # One future per scenario, collected in submission order.
+        # Executor.map preserves input order too; the explicit futures
+        # make the guarantee structural (position bound at submit time)
+        # rather than a property of map's iterator.
+        futures = [pool.submit(run_scenario, s) for s in normalized]
+        return tuple(future.result() for future in futures)

@@ -24,6 +24,7 @@ from repro.errors import SpecificationError
 from repro.core.registry import POLICIES, get_scheduler
 from repro.ida.aida import RedundancyPolicy
 from repro.bdisk.file import FileSpec, GeneralizedFileSpec
+from repro.traffic.spec import TrafficSpec
 from repro.sim.faults import (
     AdversarialFaults,
     BernoulliFaults,
@@ -304,6 +305,12 @@ class Scenario:
         Channel fault model for the simulation phase.
     workload:
         Optional client workload; ``None`` skips the simulation phase.
+    traffic:
+        Optional open-loop client population
+        (:class:`repro.traffic.TrafficSpec`); ``None`` skips the
+        traffic phase.  Where ``workload`` replays a fixed request
+        list, ``traffic`` simulates sustained load: arrival processes,
+        session think times, client caches, and streaming metrics.
     scheduler_policy:
         ``"auto"``, ``"exact-first"``, or an explicit tuple of registered
         scheduler names (see :mod:`repro.core.registry`).
@@ -321,6 +328,7 @@ class Scenario:
     redundancy: RedundancyPolicy | None = None
     faults: FaultSpec = field(default_factory=FaultSpec)
     workload: WorkloadSpec | None = None
+    traffic: TrafficSpec | None = None
     scheduler_policy: str | tuple[str, ...] = "auto"
     delay_errors: int | None = None
 
@@ -459,6 +467,9 @@ class Scenario:
             "workload": (
                 None if self.workload is None else self.workload.to_dict()
             ),
+            "traffic": (
+                None if self.traffic is None else self.traffic.to_dict()
+            ),
             "scheduler_policy": (
                 policy if isinstance(policy, str) else list(policy)
             ),
@@ -481,8 +492,8 @@ class Scenario:
         _require_keys(
             payload,
             {"name", "files", "bandwidth", "block_size", "mode",
-             "redundancy", "faults", "workload", "scheduler_policy",
-             "delay_errors"},
+             "redundancy", "faults", "workload", "traffic",
+             "scheduler_policy", "delay_errors"},
             "scenario",
         )
         files_payload = payload.get("files", ())
@@ -519,6 +530,7 @@ class Scenario:
             )
         faults_payload = payload.get("faults")
         workload_payload = payload.get("workload")
+        traffic_payload = payload.get("traffic")
         # null means "not specified", by analogy with bandwidth/mode;
         # anything else is validated (and tuple-ified) by Scenario itself.
         policy = payload.get("scheduler_policy")
@@ -540,6 +552,11 @@ class Scenario:
                 None
                 if workload_payload is None
                 else WorkloadSpec.from_dict(workload_payload)
+            ),
+            traffic=(
+                None
+                if traffic_payload is None
+                else TrafficSpec.from_dict(traffic_payload)
             ),
             scheduler_policy=policy,
             delay_errors=payload.get("delay_errors"),

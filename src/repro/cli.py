@@ -1,8 +1,9 @@
 """Command-line interface: design and run broadcast disks from a shell.
 
-Five subcommands mirror the library's main entry points::
+Six subcommands mirror the library's main entry points::
 
     python -m repro run scenario.json
+    python -m repro traffic scenario.json --clients 1000 --duration 50000
     python -m repro schedulers
     python -m repro design --file pos:4:2:2 --file map:6:5:1
     python -m repro generalized --file F:2:5,6,6 --file H:1:9,12
@@ -13,8 +14,14 @@ see ``examples/scenario_awacs.json``) end to end - design, broadcast
 program, fault-channel simulation, delay analysis - and prints a summary
 (or a machine-readable record with ``--json``).  Several scenario files
 may be given at once; ``--workers N`` fans the batch out over a process
-pool (results are identical to the serial run).  ``schedulers`` lists
-the live scheduler registry.
+pool (results are identical to the serial run).  ``traffic`` runs the
+open-loop population simulator (:mod:`repro.traffic`) against one
+scenario's designed program: the scenario's ``"traffic"`` block (or the
+defaults, when absent) with any of ``--clients``, ``--duration``,
+``--requests-per-client``, ``--think``, ``--arrival``, ``--popularity``,
+and ``--seed`` overridden from the flags; ``--workers N`` shards the
+population across processes.  ``schedulers`` lists the live scheduler
+registry.
 
 File syntax for the piecewise subcommands:
 
@@ -35,9 +42,11 @@ import sys
 from typing import Sequence
 
 from repro.errors import ReproError
-from repro.api.engine import run_scenarios
+from repro.api.engine import BroadcastEngine, run_scenarios
 from repro.api.scenario import Scenario
 from repro.core.registry import registered_schedulers
+from repro.traffic.arrivals import ARRIVAL_KINDS, POPULARITY_KINDS
+from repro.traffic.spec import TrafficSpec
 from repro.bdisk.builder import design_generalized_program, design_program
 from repro.bdisk.file import FileSpec, GeneralizedFileSpec
 from repro.bdisk.flat import build_aida_flat_program, build_flat_program
@@ -126,6 +135,55 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    traffic = sub.add_parser(
+        "traffic",
+        help="run an open-loop client population against a scenario",
+    )
+    traffic.add_argument(
+        "scenario", help="path to a Scenario JSON file"
+    )
+    traffic.add_argument(
+        "--clients", type=int, default=None, metavar="N",
+        help="population size (overrides the scenario's traffic block)",
+    )
+    traffic.add_argument(
+        "--duration", type=int, default=None, metavar="SLOTS",
+        help="arrival horizon in slots",
+    )
+    traffic.add_argument(
+        "--requests-per-client", type=int, default=None, metavar="R",
+        help="requests each session issues before leaving",
+    )
+    traffic.add_argument(
+        "--think", type=int, default=None, metavar="SLOTS",
+        help="mean think time between a session's requests",
+    )
+    traffic.add_argument(
+        "--arrival", choices=ARRIVAL_KINDS, default=None,
+        help="arrival process",
+    )
+    traffic.add_argument(
+        "--popularity", choices=POPULARITY_KINDS, default=None,
+        help="file popularity law",
+    )
+    traffic.add_argument(
+        "--seed", type=int, default=None,
+        help="master traffic seed",
+    )
+    traffic.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help=(
+            "shard the population over a process pool of N workers "
+            "(default: in-process; results are identical either way)"
+        ),
+    )
+    traffic.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit a machine-readable JSON result record",
+    )
+
     sub.add_parser(
         "schedulers", help="list the registered pinwheel schedulers"
     )
@@ -196,6 +254,38 @@ def _run_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_traffic(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    scenario = Scenario.from_file(args.scenario)
+    spec = scenario.traffic if scenario.traffic is not None else TrafficSpec()
+    overrides = {
+        key: value
+        for key, value in (
+            ("clients", args.clients),
+            ("duration", args.duration),
+            ("requests_per_client", args.requests_per_client),
+            ("think_time", args.think),
+            ("arrival", args.arrival),
+            ("popularity", args.popularity),
+            ("seed", args.seed),
+        )
+        if value is not None
+    }
+    if overrides:
+        spec = replace(spec, **overrides)
+    engine = BroadcastEngine(replace(scenario, traffic=spec))
+    result = engine.run_traffic(max_workers=args.workers)
+    assert result is not None  # the spec was just attached
+    if args.as_json:
+        payload = {"scenario": scenario.name, **result.to_dict()}
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"scenario  : {scenario.name}")
+        print(result.report())
+    return 0
+
+
 def _run_schedulers(args: argparse.Namespace) -> int:
     print("name | cost | kind | description")
     for entry in registered_schedulers():
@@ -248,6 +338,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "run": _run_scenario,
+        "traffic": _run_traffic,
         "schedulers": _run_schedulers,
         "design": _run_design,
         "generalized": _run_generalized,

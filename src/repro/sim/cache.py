@@ -26,7 +26,7 @@ from typing import Mapping, Protocol
 
 from repro.errors import SimulationError, SpecificationError
 from repro.bdisk.program import BroadcastProgram
-from repro.sim.client import RetrievalResult, retrieve
+from repro.sim.client import RetrievalResult, default_horizon, retrieve
 from repro.sim.faults import FaultModel, NoFaults
 
 
@@ -52,7 +52,12 @@ class LruCache:
         self._last_use[name] = now
 
     def victim(self, resident: set[str]) -> str:
-        return min(resident, key=lambda name: self._last_use.get(name, -1))
+        # Ties (equal last use, or several never-seen residents) break on
+        # the name: set iteration order follows randomized string hashes,
+        # so keying on it would make eviction vary run to run.
+        return min(
+            resident, key=lambda name: (self._last_use.get(name, -1), name)
+        )
 
     def __repr__(self) -> str:
         return "LruCache()"
@@ -123,7 +128,8 @@ class PixCache:
         return self._p.get(name, 0.0) / frequency
 
     def victim(self, resident: set[str]) -> str:
-        return min(resident, key=self.pix)
+        # Equal PIX scores break on the name (see LruCache.victim).
+        return min(resident, key=lambda name: (self.pix(name), name))
 
     def __repr__(self) -> str:
         return f"PixCache(files={sorted(self._x)})"
@@ -171,6 +177,10 @@ class CachingClient:
         Replacement policy (:class:`LruCache` or :class:`PixCache`).
     faults:
         Channel fault model applied to cache misses.
+    max_slots:
+        Per-miss listening horizon override (default: the shared
+        ``(m + 2)``-data-cycle convention, see
+        :func:`repro.sim.client.default_horizon`).
     """
 
     program: BroadcastProgram
@@ -178,14 +188,25 @@ class CachingClient:
     capacity: int
     policy: CachePolicy
     faults: FaultModel = field(default_factory=NoFaults)
+    max_slots: int | None = None
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
             raise SpecificationError(
                 f"cache capacity must be >= 1 file: {self.capacity}"
             )
+        if self.max_slots is not None and self.max_slots < 1:
+            raise SpecificationError(
+                f"max_slots must be >= 1: {self.max_slots}"
+            )
         self._resident: set[str] = set()
         self.stats = CacheStats()
+
+    def horizon(self, name: str) -> int:
+        """Slots a miss on ``name`` listens before giving up."""
+        if self.max_slots is not None:
+            return self.max_slots
+        return default_horizon(self.program, self.file_sizes[name])
 
     @property
     def resident(self) -> frozenset[str]:
@@ -213,6 +234,7 @@ class CachingClient:
             self.file_sizes[name],
             start=now,
             faults=self.faults,
+            max_slots=self.max_slots,
         )
         if result.completed and result.latency is not None:
             self.stats.miss_latency += result.latency

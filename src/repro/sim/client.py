@@ -38,6 +38,17 @@ from repro.sim.faults import FaultModel, NoFaults, lost_in
 _FAULT_BATCH = 128
 
 
+def default_horizon(program: BroadcastProgram, m_needed: int) -> int:
+    """The default listening horizon: ``(m_needed + 2)`` data cycles.
+
+    The single source of the convention shared by :func:`retrieve`,
+    :func:`repro.sim.channel.broadcast_retrieve`, the caching client,
+    and the traffic retriever - a client that has heard that many cycles
+    without reconstructing gives up (the channel is effectively dark).
+    """
+    return (m_needed + 2) * program.data_cycle_length
+
+
 @dataclass(frozen=True)
 class RetrievalResult:
     """Outcome of one retrieval attempt.
@@ -120,7 +131,7 @@ def retrieve(
     horizon = (
         max_slots
         if max_slots is not None
-        else (m_needed + 2) * program.data_cycle_length
+        else default_horizon(program, m_needed)
     )
     end = start + horizon
 

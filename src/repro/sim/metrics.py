@@ -10,18 +10,23 @@ philosophies' preferred numbers side by side.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.errors import SimulationError
 
 
-def _percentile(ordered: Sequence[float], fraction: float) -> float:
-    """Nearest-rank percentile on a pre-sorted sample."""
-    if not ordered:
-        raise SimulationError("cannot take percentile of empty sample")
-    rank = max(1, math.ceil(fraction * len(ordered)))
-    return ordered[rank - 1]
+def _percentile_from_counts(
+    counts: Sequence[tuple[float, int]], total: int, fraction: float
+) -> float:
+    """Nearest-rank percentile from sorted ``(value, count)`` pairs."""
+    rank = max(1, math.ceil(fraction * total))
+    seen = 0
+    for value, count in counts:
+        seen += count
+        if seen >= rank:
+            return value
+    return counts[-1][0]
 
 
 @dataclass(frozen=True)
@@ -30,6 +35,12 @@ class LatencySummary:
 
     ``misses`` counts retrievals that failed outright (never completed)
     plus - when a deadline was supplied - completions past the deadline.
+
+    ``counts`` is the exact latency histogram as sorted ``(value, count)``
+    pairs (latencies are slot counts, so the histogram is small even for
+    huge samples).  It is what makes :meth:`merge` exact: percentiles of
+    a merged batch are recomputed from the merged counts, not
+    approximated from per-part percentiles.
     """
 
     count: int
@@ -40,11 +51,47 @@ class LatencySummary:
     worst: float
     misses: int
     deadline: int | None = None
+    counts: tuple[tuple[float, int], ...] = field(default=())
 
     @property
     def miss_rate(self) -> float:
         """Fraction of retrievals that missed (failed or late)."""
         return self.misses / self.count if self.count else 0.0
+
+    @classmethod
+    def merge(cls, summaries: Sequence["LatencySummary"]) -> "LatencySummary":
+        """Aggregate per-shard summaries exactly.
+
+        Every part must carry its latency histogram (``counts``) - the
+        merged percentiles are recomputed from the merged histogram, so
+        a sharded run summarizes bit-identically to the single-shard run
+        over the same latencies.  Parts must agree on ``deadline``.
+        """
+        if not summaries:
+            raise SimulationError("cannot merge zero summaries")
+        deadlines = {s.deadline for s in summaries}
+        if len(deadlines) > 1:
+            raise SimulationError(
+                f"cannot merge summaries with different deadlines: "
+                f"{sorted(deadlines, key=str)}"
+            )
+        merged: dict[float, int] = {}
+        total = 0
+        misses = 0
+        for summary in summaries:
+            total += summary.count
+            misses += summary.misses
+            completed = sum(count for _, count in summary.counts)
+            if completed == 0 and summary.count > summary.misses:
+                raise SimulationError(
+                    "cannot merge a summary without its latency counts "
+                    "(summarize_latencies populates them)"
+                )
+            for value, count in summary.counts:
+                merged[value] = merged.get(value, 0) + count
+        return _summary_from_counts(
+            sorted(merged.items()), total, misses, deadlines.pop()
+        )
 
     def __str__(self) -> str:
         deadline = (
@@ -59,6 +106,40 @@ class LatencySummary:
         )
 
 
+def _summary_from_counts(
+    counts: Sequence[tuple[float, int]],
+    total: int,
+    misses: int,
+    deadline: int | None,
+) -> LatencySummary:
+    """Build a summary from a sorted latency histogram."""
+    if total == 0:
+        raise SimulationError("no latencies supplied")
+    completed = sum(count for _, count in counts)
+    if completed == 0:
+        return LatencySummary(
+            count=total,
+            mean=float("inf"),
+            p50=float("inf"),
+            p95=float("inf"),
+            p99=float("inf"),
+            worst=float("inf"),
+            misses=misses,
+            deadline=deadline,
+        )
+    return LatencySummary(
+        count=total,
+        mean=sum(value * count for value, count in counts) / completed,
+        p50=_percentile_from_counts(counts, completed, 0.50),
+        p95=_percentile_from_counts(counts, completed, 0.95),
+        p99=_percentile_from_counts(counts, completed, 0.99),
+        worst=counts[-1][0],
+        misses=misses,
+        deadline=deadline,
+        counts=tuple(counts),
+    )
+
+
 def summarize_latencies(
     latencies: Iterable[int | None],
     *,
@@ -70,7 +151,7 @@ def summarize_latencies(
     excluded from the distribution statistics (there is no finite latency
     to average).
     """
-    completed: list[float] = []
+    counts: dict[float, int] = {}
     misses = 0
     total = 0
     for latency in latencies:
@@ -80,28 +161,6 @@ def summarize_latencies(
             continue
         if deadline is not None and latency > deadline:
             misses += 1
-        completed.append(float(latency))
-    if total == 0:
-        raise SimulationError("no latencies supplied")
-    if not completed:
-        return LatencySummary(
-            count=total,
-            mean=float("inf"),
-            p50=float("inf"),
-            p95=float("inf"),
-            p99=float("inf"),
-            worst=float("inf"),
-            misses=misses,
-            deadline=deadline,
-        )
-    completed.sort()
-    return LatencySummary(
-        count=total,
-        mean=sum(completed) / len(completed),
-        p50=_percentile(completed, 0.50),
-        p95=_percentile(completed, 0.95),
-        p99=_percentile(completed, 0.99),
-        worst=completed[-1],
-        misses=misses,
-        deadline=deadline,
-    )
+        value = float(latency)
+        counts[value] = counts.get(value, 0) + 1
+    return _summary_from_counts(sorted(counts.items()), total, misses, deadline)

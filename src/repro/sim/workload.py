@@ -127,6 +127,83 @@ def random_pinwheel_system(
     )
 
 
+def zipf_weights(count: int, skew: float) -> list[float]:
+    """Zipf popularity weights over ``count`` files, hottest first.
+
+    Position ``r`` (0-based) gets weight ``1 / (r + 1) ** skew``; a skew
+    of 0 is the uniform distribution.  Weights are unnormalized (every
+    consumer - ``random.Random.choices``, PIX probabilities - accepts
+    relative weights).
+    """
+    if count < 1:
+        raise SpecificationError(f"count must be >= 1: {count}")
+    if skew < 0:
+        raise SpecificationError(f"zipf skew must be >= 0: {skew}")
+    return [1.0 / ((rank + 1) ** skew) for rank in range(count)]
+
+
+def hot_cold_weights(
+    count: int, *, hot_fraction: float = 0.1, hot_weight: float = 0.9
+) -> list[float]:
+    """Hot/cold popularity weights over ``count`` files, hottest first.
+
+    The first ``max(1, round(hot_fraction * count))`` files (the *hot
+    set*) share ``hot_weight`` of the total probability mass equally; the
+    remaining cold files share the rest equally.  The classic skewed
+    broadcast-disk workload: e.g. 10% of the files drawing 90% of the
+    accesses.  When every file is hot the distribution is uniform.
+    """
+    if count < 1:
+        raise SpecificationError(f"count must be >= 1: {count}")
+    if not 0.0 < hot_fraction <= 1.0:
+        raise SpecificationError(
+            f"hot_fraction must be in (0, 1]: {hot_fraction}"
+        )
+    if not 0.0 <= hot_weight <= 1.0:
+        raise SpecificationError(
+            f"hot_weight must be in [0, 1]: {hot_weight}"
+        )
+    hot_count = min(count, max(1, round(hot_fraction * count)))
+    if hot_count == count:
+        return [1.0 / count] * count
+    cold_count = count - hot_count
+    hot_share = hot_weight / hot_count
+    cold_share = (1.0 - hot_weight) / cold_count
+    return [hot_share] * hot_count + [cold_share] * cold_count
+
+
+def sample_accesses(
+    rng: random.Random,
+    weights: Sequence[float] | None,
+    count: int,
+    *,
+    cum_weights: Sequence[float] | None = None,
+) -> list[int]:
+    """``count`` seeded draws of file positions under a popularity law.
+
+    The generator behind access-pattern sweeps and the traffic layer's
+    per-request file choice: pair it with :func:`zipf_weights` or
+    :func:`hot_cold_weights` and a catalogue ordered hottest-first.
+    Hot loops drawing one position at a time should precompute the
+    running totals once (``itertools.accumulate``) and pass
+    ``cum_weights`` - the draws are bit-identical, without re-summing
+    the whole catalogue per call.
+    """
+    if count < 1:
+        raise SpecificationError(f"count must be >= 1: {count}")
+    if (weights is None) == (cum_weights is None):
+        raise SpecificationError(
+            "exactly one of weights and cum_weights is required"
+        )
+    table = weights if weights is not None else cum_weights
+    if not table:
+        raise SpecificationError("at least one weight is required")
+    return rng.choices(
+        range(len(table)), weights=weights, cum_weights=cum_weights,
+        k=count,
+    )
+
+
 @dataclass(frozen=True, slots=True)
 class Request:
     """One client request: arrive at ``time``, want ``file`` by
@@ -163,9 +240,7 @@ def request_stream(
         raise SpecificationError("at least one file is required")
     if deadline is None:
         deadline = lambda spec: spec.latency * bandwidth  # noqa: E731
-    weights = [
-        1.0 / ((rank + 1) ** zipf_skew) for rank in range(len(files))
-    ]
+    weights = zipf_weights(len(files), zipf_skew)
     requests = [
         Request(
             time=rng.randrange(horizon),

@@ -1,0 +1,139 @@
+"""Arrival processes and popularity laws for open-loop populations.
+
+An open-loop traffic run is parameterized by *when* sessions arrive and
+*what* they ask for.  Both are derived per client index from an
+independent seeded RNG stream (``client_rng``), which is what makes
+population sharding exact: a client behaves identically whichever shard
+simulates it, so splitting the index range across processes cannot
+change a single outcome.
+
+Arrival kinds (``clients`` sessions over ``duration`` slots):
+
+* ``"poisson"`` - arrival slots i.i.d. uniform over the duration, which
+  is exactly a Poisson process conditioned on its arrival count;
+* ``"deterministic"`` - evenly spaced arrivals (a paced load generator);
+* ``"bursty"`` - each client joins one of ``bursts`` evenly spaced
+  flash crowds and arrives within ``burst_width`` slots of its centre
+  (mode changes, breaking news, fault storms).
+
+Popularity kinds (catalogue ordered hottest-first):
+
+* ``"uniform"`` - every file equally likely;
+* ``"zipf"`` - :func:`repro.sim.workload.zipf_weights` with a skew;
+* ``"hotcold"`` - :func:`repro.sim.workload.hot_cold_weights`: a hot
+  fraction of the catalogue draws a fixed share of the accesses.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import SpecificationError
+from repro.sim.workload import hot_cold_weights, zipf_weights
+
+#: Arrival-process kinds a :class:`repro.api.TrafficSpec` understands.
+ARRIVAL_KINDS = ("poisson", "deterministic", "bursty")
+
+#: Popularity-law kinds a :class:`repro.api.TrafficSpec` understands.
+POPULARITY_KINDS = ("uniform", "zipf", "hotcold")
+
+
+def client_rng(seed: int, index: int) -> random.Random:
+    """The behaviour RNG stream of client ``index`` (files, think times).
+
+    String seeds hash through SHA-512 in CPython, so the stream is
+    stable across processes and interpreter runs - the property that
+    makes sharded populations bit-identical to serial ones.
+    """
+    return random.Random(f"{seed}:client:{index}")
+
+
+def arrival_rng(seed: int, index: int) -> random.Random:
+    """The arrival RNG stream of client ``index``.
+
+    Arrivals draw from their own substream because arrival kinds consume
+    different draw counts (deterministic none, Poisson one, bursty two):
+    feeding them from the behaviour stream would make swapping the
+    arrival process silently reshuffle every client's file choices and
+    think times, confounding arrival-kind comparisons at a fixed seed.
+    """
+    return random.Random(f"{seed}:arrival:{index}")
+
+
+def arrival_slot(
+    kind: str,
+    rng: random.Random,
+    index: int,
+    clients: int,
+    duration: int,
+    *,
+    bursts: int = 8,
+    burst_width: int = 64,
+) -> int:
+    """The arrival slot of client ``index`` in ``[0, duration)``.
+
+    ``rng`` should be the client's dedicated arrival substream
+    (:func:`arrival_rng`), never its behaviour stream - kinds consume
+    different draw counts, and isolating them is what lets arrival
+    processes swap without perturbing anything else about a client.
+    """
+    if kind not in ARRIVAL_KINDS:
+        raise SpecificationError(
+            f"unknown arrival kind {kind!r} (expected one of "
+            f"{ARRIVAL_KINDS})"
+        )
+    if clients < 1 or duration < 1:
+        raise SpecificationError("clients and duration must be >= 1")
+    if not 0 <= index < clients:
+        raise SpecificationError(
+            f"client index must be in [0, {clients}): {index}"
+        )
+    if kind == "deterministic":
+        return index * duration // clients
+    if kind == "poisson":
+        return int(rng.random() * duration)
+    if bursts < 1 or burst_width < 1:
+        raise SpecificationError("bursts and burst_width must be >= 1")
+    burst = rng.randrange(bursts)
+    centre = (burst + 0.5) * duration / bursts
+    offset = (rng.random() - 0.5) * burst_width
+    return min(duration - 1, max(0, int(centre + offset)))
+
+
+def popularity_weights(
+    kind: str,
+    count: int,
+    *,
+    zipf_skew: float = 1.0,
+    hot_fraction: float = 0.1,
+    hot_weight: float = 0.9,
+) -> list[float]:
+    """Relative access weights over a hottest-first catalogue."""
+    if kind not in POPULARITY_KINDS:
+        raise SpecificationError(
+            f"unknown popularity kind {kind!r} (expected one of "
+            f"{POPULARITY_KINDS})"
+        )
+    if count < 1:
+        raise SpecificationError(f"count must be >= 1: {count}")
+    if kind == "uniform":
+        return [1.0] * count
+    if kind == "zipf":
+        return zipf_weights(count, zipf_skew)
+    return hot_cold_weights(
+        count, hot_fraction=hot_fraction, hot_weight=hot_weight
+    )
+
+
+def think_slots(rng: random.Random, mean: int) -> int:
+    """One seeded think-time draw (slots).
+
+    Exponentially distributed with the given mean, rounded to whole
+    slots; a mean of 0 is the non-thinking client (back-to-back
+    requests).
+    """
+    if mean < 0:
+        raise SpecificationError(f"mean think time must be >= 0: {mean}")
+    if mean == 0:
+        return 0
+    return int(rng.expovariate(1.0 / mean))

@@ -1,0 +1,184 @@
+"""Client-session state machines for the traffic simulator.
+
+A session models one mobile client's visit to the broadcast channel: it
+arrives (open-loop, per the arrival process), issues a bounded number of
+requests - file drawn from the popularity law, deadline taken from the
+catalogue - and leaves.  Between requests the client *thinks* for an
+exponentially distributed number of slots.
+
+Two invariants match the paper's receiver model:
+
+* **single receiver** - a client tunes to one retrieval at a time; the
+  next request is issued strictly after the previous retrieval finished
+  (or its horizon expired) plus the think time.  The session enforces
+  this structurally (requests chain through the event kernel) and
+  defends it with a busy-until check.
+* **service-to-service progress** - a session never inspects individual
+  slots; the retrieval outcome (finish slot, latency) is computed by the
+  occurrence-walking retriever the simulator passes in, so a request
+  costs O(occurrences touched), not O(slots waited).
+
+Sessions optionally front their retrievals with a
+:class:`repro.sim.cache.CachingClient` (LRU or PIX replacement): a hit
+answers in zero slots, a miss pays the broadcast latency and inserts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import accumulate
+from typing import Callable, Sequence
+
+from repro.errors import SimulationError
+from repro.sim.cache import CachingClient
+from repro.sim.workload import sample_accesses
+from repro.traffic.arrivals import think_slots
+from repro.traffic.kernel import EventKernel
+from repro.traffic.metrics import TrafficMetrics
+
+#: A retrieval oracle: ``(file, start) -> (latency, finish_slot)``.
+#: ``latency`` is ``None`` when the retrieval aborted (horizon
+#: exhausted); ``finish_slot`` is the last slot the client listened to
+#: either way, so the session knows when its receiver frees up.
+Retriever = Callable[[str, int], tuple[int | None, int]]
+
+
+@dataclass(frozen=True, slots=True)
+class RequestRecord:
+    """One request's trace entry (collected only when tracing)."""
+
+    client: int
+    file: str
+    issued: int
+    latency: int | None
+    deadline: int
+    cache_hit: bool
+
+    @property
+    def completed(self) -> bool:
+        return self.latency is not None
+
+    @property
+    def met_deadline(self) -> bool:
+        return self.latency is not None and self.latency <= self.deadline
+
+
+class ClientSession:
+    """One open-loop client session driven by the event kernel."""
+
+    __slots__ = (
+        "index",
+        "_rng",
+        "_catalogue",
+        "_cum_weights",
+        "_deadlines",
+        "_remaining",
+        "_think_mean",
+        "_retriever",
+        "_cache",
+        "_metrics",
+        "_trace",
+        "_busy_until",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        rng: random.Random,
+        catalogue: Sequence[str],
+        weights: Sequence[float],
+        deadlines: dict[str, int],
+        *,
+        requests: int,
+        think_mean: int,
+        retriever: Retriever,
+        metrics: TrafficMetrics,
+        cache: CachingClient | None = None,
+        trace: list[RequestRecord] | None = None,
+    ) -> None:
+        self.index = index
+        self._rng = rng
+        self._catalogue = catalogue
+        # Running totals once per session, not once per request: draws
+        # via cum_weights are bit-identical to raw-weight draws.
+        self._cum_weights = list(accumulate(weights))
+        self._deadlines = deadlines
+        self._remaining = requests
+        self._think_mean = think_mean
+        self._retriever = retriever
+        self._cache = cache
+        self._metrics = metrics
+        self._trace = trace
+        self._busy_until = -1
+
+    @property
+    def cache(self) -> CachingClient | None:
+        """The session's cache, when caching is enabled."""
+        return self._cache
+
+    def begin(self, kernel: EventKernel, arrival: int) -> None:
+        """Schedule the session's first request at its arrival slot."""
+        kernel.schedule(arrival, self.issue)
+
+    def issue(self, kernel: EventKernel) -> None:
+        """Issue one request at ``kernel.now`` and chain the next one."""
+        now = kernel.now
+        if now <= self._busy_until:
+            raise SimulationError(
+                f"client {self.index}: request at slot {now} while the "
+                f"receiver is busy until slot {self._busy_until} "
+                f"(single-receiver constraint violated)"
+            )
+        file = self._catalogue[
+            sample_accesses(
+                self._rng, None, 1, cum_weights=self._cum_weights
+            )[0]
+        ]
+        cache_hit = False
+        if self._cache is not None:
+            result = self._cache.access(file, now)
+            if result is None:  # cache hit: answered locally, zero slots
+                cache_hit = True
+                latency: int | None = 0
+                finish = now
+            else:
+                latency = result.latency
+                finish = (
+                    result.finish_slot
+                    if result.finish_slot is not None
+                    else now + self._cache.horizon(file) - 1
+                )
+        else:
+            latency, finish = self._retriever(file, now)
+        self._busy_until = finish
+
+        deadline = self._deadlines[file]
+        self._metrics.record(file, latency, deadline)
+        if self._trace is not None:
+            self._trace.append(
+                RequestRecord(
+                    client=self.index,
+                    file=file,
+                    issued=now,
+                    latency=latency,
+                    deadline=deadline,
+                    cache_hit=cache_hit,
+                )
+            )
+
+        self._remaining -= 1
+        if self._remaining > 0:
+            think = think_slots(self._rng, self._think_mean)
+            kernel.schedule(finish + 1 + think, self.issue)
+        elif self._cache is not None:
+            stats = self._cache.stats
+            self._metrics.record_cache(
+                stats.hits, stats.misses, stats.evictions
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"ClientSession(index={self.index}, "
+            f"remaining={self._remaining})"
+        )

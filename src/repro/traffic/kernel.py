@@ -1,0 +1,108 @@
+"""The discrete-event simulation kernel.
+
+A traffic run is a population of independent client sessions sharing one
+broadcast channel.  Nothing forces the simulator to visit every slot:
+all state changes happen at *events* (a session issuing a request, a
+retrieval finishing, a think-time expiring), and retrieval outcomes are
+computed analytically by jumping service-to-service along the program's
+occurrence index.  The kernel therefore reduces to the classic
+event-heap loop: a priority queue of ``(slot, action)`` pairs keyed on
+absolute broadcast slots, popped in slot order.
+
+Determinism: events at the same slot run in scheduling order (a
+monotonic sequence number breaks heap ties), so a run is a pure function
+of its seeds regardless of how sessions interleave.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Callable
+
+from repro.errors import SimulationError
+
+#: An event action; receives the kernel so it can schedule follow-ups.
+Action = Callable[["EventKernel"], None]
+
+
+class EventKernel:
+    """A slot-keyed event heap driving the traffic simulation.
+
+    Usage::
+
+        kernel = EventKernel()
+        kernel.schedule(arrival_slot, session.issue)
+        kernel.run()          # drains the heap in slot order
+
+    Actions are callables taking the kernel; they may schedule further
+    events at any slot >= ``now`` (scheduling into the past is a logic
+    error and raises :class:`SimulationError`).
+    """
+
+    __slots__ = ("_heap", "_sequence", "_now", "_processed", "_running")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Action]] = []
+        self._sequence = 0
+        self._now = 0
+        self._processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> int:
+        """The slot of the event being (or last) processed."""
+        return self._now
+
+    @property
+    def processed(self) -> int:
+        """Events executed so far."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Events scheduled but not yet executed."""
+        return len(self._heap)
+
+    def schedule(self, slot: int, action: Action) -> None:
+        """Enqueue ``action`` to run at ``slot``.
+
+        Same-slot events run in the order they were scheduled.
+        """
+        if slot < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at slot {slot}: the kernel is "
+                f"already at slot {self._now}"
+            )
+        heappush(self._heap, (slot, self._sequence, action))
+        self._sequence += 1
+
+    def run(self, *, until: int | None = None) -> int:
+        """Pop and execute events in slot order; return how many ran.
+
+        ``until`` stops the loop before the first event strictly beyond
+        that slot (the event stays queued); ``None`` drains the heap.
+        """
+        if self._running:
+            raise SimulationError("kernel is already running")
+        self._running = True
+        ran = 0
+        try:
+            heap = self._heap
+            while heap:
+                slot = heap[0][0]
+                if until is not None and slot > until:
+                    break
+                slot, _, action = heappop(heap)
+                self._now = slot
+                action(self)
+                ran += 1
+                self._processed += 1
+        finally:
+            self._running = False
+        return ran
+
+    def __repr__(self) -> str:
+        return (
+            f"EventKernel(now={self._now}, pending={self.pending}, "
+            f"processed={self._processed})"
+        )

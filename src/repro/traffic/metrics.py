@@ -1,0 +1,461 @@
+"""Streaming metrics for traffic runs.
+
+A population run produces millions of latencies; holding them all to
+sort at the end would defeat the point of a streaming simulator.  This
+module keeps everything online:
+
+* :class:`P2Quantile` - the Jain & Chlamtac P-square estimator: one
+  quantile tracked in O(1) memory (five markers), updated per
+  observation;
+* :class:`ReservoirSample` - a seeded fixed-size uniform sample of the
+  stream, for tail inspection and debugging;
+* :class:`TrafficMetrics` - the per-shard accumulator: request /
+  completion / abort / deadline-miss counters, running mean and worst
+  latency, live P2 quantiles, a reservoir, and per-file hit counts
+  (aggregate per disk via :meth:`TrafficMetrics.hits_by`).
+
+By default the accumulator keeps the exact integer-latency histogram -
+latencies are slot counts, so the histogram is bounded by the retrieval
+horizon rather than by the request count - which is what makes shard
+merging *exact*: :meth:`TrafficMetrics.merged` sums histograms and
+recomputes quantiles from the merged counts
+(:meth:`repro.sim.metrics.LatencySummary.merge` works the same way);
+the estimators stay idle.  Pass ``exact_counts=False`` for strictly
+constant memory: the P2 estimators and the reservoir then consume the
+stream and summaries are approximate (and not exactly mergeable).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from bisect import insort
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import SimulationError, SpecificationError
+from repro.sim.metrics import (
+    LatencySummary,
+    _percentile_from_counts,
+    _summary_from_counts,
+)
+
+
+class P2Quantile:
+    """One streaming quantile via the P-square algorithm.
+
+    Five markers track the running quantile without storing the sample;
+    memory is O(1) and each observation costs O(1).  Estimates converge
+    on the exact quantile for stationary streams (tested against the
+    exact histogram in ``tests/traffic/test_metrics.py``).
+    """
+
+    __slots__ = ("q", "_heights", "_positions", "_desired", "_rate", "_count")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise SpecificationError(f"quantile must be in (0, 1): {q}")
+        self.q = q
+        self._heights: list[float] = []
+        self._positions = [0.0, 1.0, 2.0, 3.0, 4.0]
+        self._desired = [0.0, 2 * q, 4 * q, 2 + 2 * q, 4.0]
+        self._rate = [0.0, q / 2, q, (1 + q) / 2, 1.0]
+        self._count = 0
+
+    def add(self, value: float) -> None:
+        """Feed one observation."""
+        self._count += 1
+        heights = self._heights
+        if self._count <= 5:
+            insort(heights, value)
+            return
+        positions = self._positions
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and heights[cell + 1] <= value:
+                cell += 1
+        for i in range(cell + 1, 5):
+            positions[i] += 1
+        desired = self._desired
+        for i in range(5):
+            desired[i] += self._rate[i]
+        for i in (1, 2, 3):
+            gap = desired[i] - positions[i]
+            ahead = positions[i + 1] - positions[i]
+            behind = positions[i - 1] - positions[i]
+            if (gap >= 1 and ahead > 1) or (gap <= -1 and behind < -1):
+                step = 1 if gap > 0 else -1
+                candidate = heights[i] + step / (
+                    positions[i + 1] - positions[i - 1]
+                ) * (
+                    (positions[i] - positions[i - 1] + step)
+                    * (heights[i + 1] - heights[i])
+                    / (positions[i + 1] - positions[i])
+                    + (positions[i + 1] - positions[i] - step)
+                    * (heights[i] - heights[i - 1])
+                    / (positions[i] - positions[i - 1])
+                )
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:  # parabolic prediction left the bracket: go linear
+                    heights[i] = heights[i] + step * (
+                        heights[i + step] - heights[i]
+                    ) / (positions[i + step] - positions[i])
+                positions[i] += step
+
+    @property
+    def count(self) -> int:
+        """Observations fed so far."""
+        return self._count
+
+    def value(self) -> float:
+        """The current estimate (``nan`` before any observation)."""
+        if self._count == 0:
+            return math.nan
+        if self._count <= 5:
+            rank = max(1, math.ceil(self.q * self._count))
+            return self._heights[rank - 1]
+        return self._heights[2]
+
+    def __repr__(self) -> str:
+        return f"P2Quantile(q={self.q}, n={self._count})"
+
+
+class ReservoirSample:
+    """A seeded uniform fixed-size sample of a stream."""
+
+    __slots__ = ("capacity", "_rng", "_sample", "_seen")
+
+    def __init__(self, capacity: int, *, seed: int = 0) -> None:
+        if capacity < 1:
+            raise SpecificationError(f"capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._rng = random.Random(f"{seed}:reservoir")
+        self._sample: list[float] = []
+        self._seen = 0
+
+    @property
+    def seen(self) -> int:
+        """Stream length so far."""
+        return self._seen
+
+    @property
+    def sample(self) -> tuple[float, ...]:
+        """The current sample (unordered)."""
+        return tuple(self._sample)
+
+    def add(self, value: float) -> None:
+        """Feed one observation (algorithm R)."""
+        self._seen += 1
+        if len(self._sample) < self.capacity:
+            self._sample.append(value)
+            return
+        slot = self._rng.randrange(self._seen)
+        if slot < self.capacity:
+            self._sample[slot] = value
+
+    @classmethod
+    def from_counts(
+        cls,
+        counts: Mapping[int, int] | Iterable[tuple[int, int]],
+        capacity: int,
+        *,
+        seed: int = 0,
+    ) -> "ReservoirSample":
+        """An exact uniform sample (without replacement) of a histogram.
+
+        Used when merging shards: per-shard reservoirs cannot be merged
+        into a uniform sample directly, but the merged exact histogram
+        can be resampled - the result is distributed identically to a
+        reservoir fed the whole merged stream, and is deterministic in
+        the seed alone (independent of the shard layout).
+        """
+        pairs = sorted(
+            counts.items() if isinstance(counts, Mapping) else counts
+        )
+        total = sum(count for _, count in pairs)
+        reservoir = cls(capacity, seed=seed)
+        reservoir._seen = total
+        if total <= capacity:
+            reservoir._sample = [
+                float(value) for value, count in pairs for _ in range(count)
+            ]
+            return reservoir
+        ranks = sorted(reservoir._rng.sample(range(total), capacity))
+        sample: list[float] = []
+        cumulative = 0
+        index = 0
+        for value, count in pairs:
+            cumulative += count
+            while index < capacity and ranks[index] < cumulative:
+                sample.append(float(value))
+                index += 1
+        reservoir._sample = sample
+        return reservoir
+
+    def __repr__(self) -> str:
+        return (
+            f"ReservoirSample(capacity={self.capacity}, seen={self._seen})"
+        )
+
+
+#: Quantiles every accumulator tracks live.
+TRACKED_QUANTILES = (0.50, 0.95, 0.99)
+
+
+class TrafficMetrics:
+    """Streaming accumulator for one traffic shard (or a merged run)."""
+
+    def __init__(
+        self,
+        *,
+        exact_counts: bool = True,
+        reservoir_capacity: int = 512,
+        seed: int = 0,
+    ) -> None:
+        self.requests = 0
+        self.completions = 0
+        self.aborts = 0
+        self.deadline_misses = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
+        self.latency_sum = 0
+        self.worst = 0
+        self.requests_by_file: dict[str, int] = {}
+        self.hits_by_file: dict[str, int] = {}
+        self.reservoir = ReservoirSample(reservoir_capacity, seed=seed)
+        self._counts: dict[int, int] | None = {} if exact_counts else None
+        self._estimators = {q: P2Quantile(q) for q in TRACKED_QUANTILES}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record(
+        self, file: str, latency: int | None, deadline: int | None
+    ) -> None:
+        """Record one finished request.
+
+        ``latency is None`` means the retrieval never completed within
+        its horizon (an *abort*); a completion past ``deadline`` is a
+        deadline miss.  Cache hits are completions with latency 0.
+        """
+        self.requests += 1
+        self.requests_by_file[file] = self.requests_by_file.get(file, 0) + 1
+        if latency is None:
+            self.aborts += 1
+            return
+        self.completions += 1
+        self.hits_by_file[file] = self.hits_by_file.get(file, 0) + 1
+        self.latency_sum += latency
+        if latency > self.worst:
+            self.worst = latency
+        if deadline is not None and latency > deadline:
+            self.deadline_misses += 1
+        if self._counts is not None:
+            # Exact mode: the histogram answers every quantile query and
+            # merged() resamples the reservoir from it, so feeding the
+            # P2/reservoir estimators per completion would be pure
+            # overhead on the hot path.
+            self._counts[latency] = self._counts.get(latency, 0) + 1
+        else:
+            for estimator in self._estimators.values():
+                estimator.add(latency)
+            self.reservoir.add(latency)
+
+    def record_cache(self, hits: int, misses: int, evictions: int) -> None:
+        """Fold in one session's cache statistics."""
+        self.cache_hits += hits
+        self.cache_misses += misses
+        self.cache_evictions += evictions
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean completed-retrieval latency in slots."""
+        return (
+            self.latency_sum / self.completions if self.completions else 0.0
+        )
+
+    @property
+    def abort_rate(self) -> float:
+        """Fraction of requests that never completed."""
+        return self.aborts / self.requests if self.requests else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of requests aborted or completed past deadline."""
+        if not self.requests:
+            return 0.0
+        return (self.aborts + self.deadline_misses) / self.requests
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile of completed latencies.
+
+        Exact (nearest rank over the histogram) when exact counts are
+        kept; the live P2 estimate otherwise.
+        """
+        if self._counts is None:
+            return self.estimated_quantile(q)
+        if not self.completions:
+            return math.nan
+        if not 0.0 < q < 1.0:
+            raise SpecificationError(f"quantile must be in (0, 1): {q}")
+        return float(
+            _percentile_from_counts(
+                sorted(self._counts.items()), self.completions, q
+            )
+        )
+
+    def estimated_quantile(self, q: float) -> float:
+        """The streaming P2 estimate for one of the tracked quantiles.
+
+        Estimators are fed only in constant-memory mode
+        (``exact_counts=False``); in exact mode use :meth:`quantile`,
+        which answers from the histogram.
+        """
+        estimator = self._estimators.get(q)
+        if estimator is None:
+            raise SimulationError(
+                f"quantile {q} is not tracked (tracked: "
+                f"{TRACKED_QUANTILES})"
+            )
+        return estimator.value()
+
+    @property
+    def counts(self) -> dict[int, int]:
+        """The exact latency histogram (requires ``exact_counts``)."""
+        if self._counts is None:
+            raise SimulationError(
+                "this accumulator was built with exact_counts=False"
+            )
+        return dict(self._counts)
+
+    @property
+    def exact(self) -> bool:
+        """Whether the exact latency histogram is kept."""
+        return self._counts is not None
+
+    def hits_by(self, groups: Mapping[str, str]) -> dict[str, int]:
+        """Completed retrievals aggregated by group (e.g. per disk).
+
+        ``groups`` maps file names to group labels; files missing from
+        the mapping aggregate under ``"?"``.
+        """
+        out: dict[str, int] = {}
+        for file, hits in self.hits_by_file.items():
+            label = groups.get(file, "?")
+            out[label] = out.get(label, 0) + hits
+        return out
+
+    def summary(self) -> LatencySummary:
+        """A :class:`LatencySummary` of the run so far.
+
+        ``misses`` counts aborts plus deadline misses.  With exact
+        counts the percentiles are exact and the summary carries its
+        histogram (so :meth:`LatencySummary.merge` works on it); without,
+        they are the P2 estimates and the histogram is absent.
+        """
+        if not self.requests:
+            raise SimulationError("no requests recorded")
+        misses = self.aborts + self.deadline_misses
+        if self._counts is not None:
+            return _summary_from_counts(
+                sorted(
+                    (float(value), count)
+                    for value, count in self._counts.items()
+                ),
+                self.requests,
+                misses,
+                None,
+            )
+        if not self.completions:
+            return _summary_from_counts((), self.requests, misses, None)
+        return LatencySummary(
+            count=self.requests,
+            mean=self.mean_latency,
+            p50=self.estimated_quantile(0.50),
+            p95=self.estimated_quantile(0.95),
+            p99=self.estimated_quantile(0.99),
+            worst=float(self.worst),
+            misses=misses,
+        )
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def merged(
+        cls,
+        parts: Sequence["TrafficMetrics"],
+        *,
+        reservoir_capacity: int | None = None,
+        seed: int = 0,
+    ) -> "TrafficMetrics":
+        """Aggregate per-shard accumulators exactly.
+
+        Counters and histograms sum; quantiles of the result come from
+        the merged histogram (exact); the reservoir is resampled from
+        the merged histogram, so the merged accumulator is a pure
+        function of the union of observations - independent of how the
+        population was sharded.  Every part must keep exact counts.
+        """
+        if not parts:
+            raise SimulationError("cannot merge zero accumulators")
+        for part in parts:
+            if part._counts is None:
+                raise SimulationError(
+                    "cannot merge accumulators built with "
+                    "exact_counts=False"
+                )
+        capacity = (
+            reservoir_capacity
+            if reservoir_capacity is not None
+            else max(part.reservoir.capacity for part in parts)
+        )
+        out = cls(exact_counts=True, reservoir_capacity=capacity, seed=seed)
+        counts: dict[int, int] = {}
+        for part in parts:
+            out.requests += part.requests
+            out.completions += part.completions
+            out.aborts += part.aborts
+            out.deadline_misses += part.deadline_misses
+            out.cache_hits += part.cache_hits
+            out.cache_misses += part.cache_misses
+            out.cache_evictions += part.cache_evictions
+            out.latency_sum += part.latency_sum
+            out.worst = max(out.worst, part.worst)
+            for file, n in part.requests_by_file.items():
+                out.requests_by_file[file] = (
+                    out.requests_by_file.get(file, 0) + n
+                )
+            for file, n in part.hits_by_file.items():
+                out.hits_by_file[file] = out.hits_by_file.get(file, 0) + n
+            assert part._counts is not None
+            for value, n in part._counts.items():
+                counts[value] = counts.get(value, 0) + n
+        out._counts = counts
+        # The reservoir is resampled from the merged histogram; the live
+        # P2 estimators stay unfed (the stream was consumed shard-side)
+        # and quantile() answers exactly from the histogram instead.
+        out.reservoir = ReservoirSample.from_counts(
+            counts, capacity, seed=seed
+        )
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"TrafficMetrics(requests={self.requests}, "
+            f"completions={self.completions}, aborts={self.aborts}, "
+            f"deadline_misses={self.deadline_misses})"
+        )

@@ -1,0 +1,466 @@
+"""The top-level traffic simulation: populations at scale.
+
+:func:`simulate_traffic` runs a :class:`repro.traffic.spec.TrafficSpec`
+population against a designed :class:`~repro.bdisk.program.BroadcastProgram`:
+
+1. each client gets an independent seeded RNG substream, an arrival
+   slot, and a session state machine;
+2. sessions advance service-to-service - the retrieval oracle walks the
+   program's occurrence index (:attr:`BroadcastProgram.index`) and, over
+   the failure-free channel, memoizes one real retrieval per
+   ``(file, phase)`` of the periodic program (every other request at the
+   same phase is a shift);
+3. metrics stream (P2 quantiles, reservoir, exact latency histogram) -
+   nothing per-request is retained unless tracing is requested.
+
+Because clients are derived from their index alone and fault decisions
+are deterministic per ``(seed, slot)``, the population shards exactly:
+``max_workers=N`` splits the index range across a process pool and
+merges the per-shard accumulators, producing bit-identical counters,
+histograms, and summaries regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.errors import SimulationError, SpecificationError
+from repro.bdisk.program import BroadcastProgram
+from repro.sim.cache import CachingClient, LruCache, PixCache
+from repro.sim.client import default_horizon, retrieve
+from repro.sim.faults import FaultModel, NoFaults
+from repro.sim.metrics import LatencySummary
+from repro.traffic.arrivals import (
+    arrival_rng,
+    arrival_slot,
+    client_rng,
+    popularity_weights,
+)
+from repro.traffic.clients import ClientSession, RequestRecord
+from repro.traffic.kernel import EventKernel
+from repro.traffic.metrics import TrafficMetrics
+from repro.traffic.spec import TrafficSpec
+
+
+class _Retriever:
+    """The occurrence-walking retrieval oracle sessions call.
+
+    Returns ``(latency, finish_slot)``; ``latency`` is ``None`` on an
+    abort, and ``finish_slot`` is the last slot listened to either way.
+    Over the failure-free channel a retrieval's outcome depends on the
+    start slot only through its phase (start mod data cycle), so heavy
+    traffic costs one real retrieval per ``(file, phase)`` - the same
+    amortization :func:`repro.sim.runner.simulate_requests` uses.
+    Stochastic models key decisions on absolute slots, so every request
+    is retrieved for real there (still occurrence-walking, with batched
+    fault queries).  Cache-enabled sessions route their misses through
+    :class:`~repro.sim.cache.CachingClient` instead - misses must update
+    policy state and statistics, so they skip this memo and pay a real
+    occurrence walk each.
+    """
+
+    __slots__ = ("_program", "_sizes", "_faults", "_max_slots", "_memo",
+                 "_cycle")
+
+    def __init__(
+        self,
+        program: BroadcastProgram,
+        file_sizes: Mapping[str, int],
+        faults: FaultModel,
+        max_slots: int | None,
+    ) -> None:
+        self._program = program
+        self._sizes = file_sizes
+        self._faults = faults
+        self._max_slots = max_slots
+        self._cycle = program.data_cycle_length
+        self._memo: dict[tuple[str, int], int | None] | None = (
+            {} if isinstance(faults, NoFaults) else None
+        )
+
+    def horizon(self, file: str) -> int:
+        """Slots a retrieval of ``file`` listens before giving up."""
+        if self._max_slots is not None:
+            return self._max_slots
+        return default_horizon(self._program, self._sizes[file])
+
+    def __call__(self, file: str, start: int) -> tuple[int | None, int]:
+        memo = self._memo
+        if memo is None:
+            result = retrieve(
+                self._program,
+                file,
+                self._sizes[file],
+                start=start,
+                faults=self._faults,
+                need_distinct=True,
+                max_slots=self._max_slots,
+            )
+            latency = result.latency
+        else:
+            key = (file, start % self._cycle)
+            try:
+                latency = memo[key]
+            except KeyError:
+                latency = memo[key] = retrieve(
+                    self._program,
+                    file,
+                    self._sizes[file],
+                    start=key[1],
+                    need_distinct=True,
+                    max_slots=self._max_slots,
+                ).latency
+        if latency is None:
+            return None, start + self.horizon(file) - 1
+        return latency, start + latency - 1
+
+
+def _build_fault_model(faults: Any) -> FaultModel:
+    """A fresh fault-model instance from a spec, a model, or ``None``."""
+    if faults is None:
+        return NoFaults()
+    build = getattr(faults, "build", None)
+    if callable(build):  # a FaultSpec-like declarative object
+        return build()
+    if not callable(getattr(faults, "is_lost", None)):
+        raise SpecificationError(
+            f"faults must be a FaultModel, a FaultSpec, or None, got "
+            f"{type(faults).__name__}: {faults!r}"
+        )
+    return faults
+
+
+def _simulate_shard(
+    program: BroadcastProgram,
+    catalogue: tuple[str, ...],
+    spec: TrafficSpec,
+    file_sizes: dict[str, int],
+    deadlines: dict[str, int],
+    faults: Any,
+    lo: int,
+    hi: int,
+    trace: bool,
+) -> tuple[TrafficMetrics, list[RequestRecord]]:
+    """Simulate clients ``[lo, hi)`` - one shard of the population.
+
+    Module-level so process pools can pickle it.  Clients derive all
+    behaviour from their index, so the shard layout cannot change any
+    outcome.
+    """
+    fault_model = _build_fault_model(faults)
+    retriever = _Retriever(program, file_sizes, fault_model, spec.max_slots)
+    weights = popularity_weights(
+        spec.popularity,
+        len(catalogue),
+        zipf_skew=spec.zipf_skew,
+        hot_fraction=spec.hot_fraction,
+        hot_weight=spec.hot_weight,
+    )
+    metrics = TrafficMetrics(seed=spec.seed)
+    records: list[RequestRecord] | None = [] if trace else None
+
+    pix: PixCache | None = None
+    if spec.cache == "pix":
+        # PIX is stateless (probability over frequency), so one instance
+        # serves every session in the shard.
+        pix = PixCache.for_program(
+            program,
+            dict(zip(catalogue, weights)),
+            file_sizes,
+        )
+
+    kernel = EventKernel()
+    for index in range(lo, hi):
+        rng = client_rng(spec.seed, index)
+        arrival = arrival_slot(
+            spec.arrival,
+            arrival_rng(spec.seed, index),
+            index,
+            spec.clients,
+            spec.duration,
+            bursts=spec.bursts,
+            burst_width=spec.burst_width,
+        )
+        cache: CachingClient | None = None
+        if spec.cache is not None:
+            cache = CachingClient(
+                program,
+                file_sizes,
+                spec.cache_capacity,
+                pix if pix is not None else LruCache(),
+                faults=fault_model,
+                max_slots=spec.max_slots,
+            )
+        ClientSession(
+            index,
+            rng,
+            catalogue,
+            weights,
+            deadlines,
+            requests=spec.requests_per_client,
+            think_mean=spec.think_time,
+            retriever=retriever,
+            metrics=metrics,
+            cache=cache,
+            trace=records,
+        ).begin(kernel, arrival)
+    kernel.run()
+    return metrics, records if records is not None else []
+
+
+@dataclass(frozen=True)
+class TrafficResult:
+    """Everything one traffic run produced.
+
+    ``metrics`` is the merged (exact) accumulator; ``trace`` is empty
+    unless the run was traced.  ``elapsed`` is wall-clock seconds for
+    the whole run including any process-pool overhead, which makes
+    :attr:`requests_per_sec` the *sustained* simulated request rate.
+    """
+
+    spec: TrafficSpec
+    metrics: TrafficMetrics
+    elapsed: float
+    workers: int
+    trace: tuple[RequestRecord, ...] = field(default=())
+
+    @property
+    def requests(self) -> int:
+        return self.metrics.requests
+
+    @property
+    def completions(self) -> int:
+        return self.metrics.completions
+
+    @property
+    def aborts(self) -> int:
+        return self.metrics.aborts
+
+    @property
+    def deadline_misses(self) -> int:
+        return self.metrics.deadline_misses
+
+    @property
+    def abort_rate(self) -> float:
+        return self.metrics.abort_rate
+
+    @property
+    def miss_rate(self) -> float:
+        return self.metrics.miss_rate
+
+    @property
+    def requests_per_sec(self) -> float:
+        """Sustained simulated requests per wall-clock second."""
+        return self.requests / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def summary(self) -> LatencySummary:
+        """The exact latency summary (mergeable across runs)."""
+        return self.metrics.summary()
+
+    def report(self) -> str:
+        """A human-readable multi-line report (the CLI's output)."""
+        m = self.metrics
+        lines = [
+            f"traffic   : {self.spec.describe()}",
+            (
+                f"served    : {self.requests} requests in "
+                f"{self.elapsed:.2f}s wall "
+                f"({self.requests_per_sec:,.0f} req/s sustained, "
+                f"{self.workers} worker"
+                f"{'s' if self.workers != 1 else ''})"
+            ),
+        ]
+        if self.completions:
+            lines.append(
+                f"latency   : mean {m.mean_latency:.2f}, "
+                f"p50 {m.quantile(0.50):.0f}, "
+                f"p95 {m.quantile(0.95):.0f}, "
+                f"p99 {m.quantile(0.99):.0f}, "
+                f"worst {m.worst} slots"
+            )
+        lines.append(
+            f"misses    : miss rate {self.miss_rate:.3f} "
+            f"(deadline {self.deadline_misses}, aborts {self.aborts})"
+        )
+        if self.spec.cache is not None:
+            accesses = m.cache_hits + m.cache_misses
+            ratio = m.cache_hits / accesses if accesses else 0.0
+            lines.append(
+                f"cache     : hits {m.cache_hits}, misses "
+                f"{m.cache_misses}, evictions {m.cache_evictions}, "
+                f"hit ratio {ratio:.3f}"
+            )
+        hot = sorted(
+            m.requests_by_file.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:5]
+        lines.append(
+            "top files : "
+            + ", ".join(f"{name}={count}" for name, count in hot)
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-able record (latency stats null when nothing completed)."""
+
+        def finite(value: float) -> float | None:
+            return value if math.isfinite(value) else None
+
+        m = self.metrics
+        latency = None
+        if self.completions:
+            latency = {
+                "mean": finite(m.mean_latency),
+                "p50": finite(m.quantile(0.50)),
+                "p95": finite(m.quantile(0.95)),
+                "p99": finite(m.quantile(0.99)),
+                "worst": m.worst,
+            }
+        cache = None
+        if self.spec.cache is not None:
+            cache = {
+                "hits": m.cache_hits,
+                "misses": m.cache_misses,
+                "evictions": m.cache_evictions,
+            }
+        return {
+            "spec": self.spec.to_dict(),
+            "requests": self.requests,
+            "completions": self.completions,
+            "aborts": self.aborts,
+            "deadline_misses": self.deadline_misses,
+            "abort_rate": self.abort_rate,
+            "miss_rate": self.miss_rate,
+            "requests_per_sec": round(self.requests_per_sec, 1),
+            "workers": self.workers,
+            "latency": latency,
+            "cache": cache,
+            "requests_by_file": dict(
+                sorted(m.requests_by_file.items())
+            ),
+        }
+
+
+def simulate_traffic(
+    program: BroadcastProgram,
+    catalogue: Sequence[str],
+    spec: TrafficSpec,
+    *,
+    file_sizes: Mapping[str, int],
+    deadlines: Mapping[str, int],
+    faults: Any = None,
+    max_workers: int | None = None,
+    trace: bool = False,
+) -> TrafficResult:
+    """Run an open-loop client population against a broadcast program.
+
+    Parameters
+    ----------
+    program:
+        The server's broadcast program.
+    catalogue:
+        File names ordered hottest-first (popularity laws weight by
+        position).
+    spec:
+        The population specification.
+    file_sizes:
+        Blocks needed per file (``m_i``).
+    deadlines:
+        Per-file deadline in slots (a completion later than this counts
+        as a deadline miss).
+    faults:
+        Channel fault model: a :class:`~repro.sim.faults.FaultModel`
+        instance, a declarative spec with a ``build()`` method (e.g.
+        :class:`repro.api.FaultSpec`), or ``None`` for the failure-free
+        channel.  Parallel shards each build their own instance -
+        decisions are deterministic per ``(seed, slot)``, so all shards
+        observe the same channel.
+    max_workers:
+        ``None`` or ``1`` simulates in-process; a larger value shards
+        the population across a process pool.  Results are bit-identical
+        either way.
+    trace:
+        Retain one :class:`RequestRecord` per request (sorted by issue
+        slot, then client).  Off by default - tracing defeats the
+        constant-memory metrics path.
+    """
+    if not catalogue:
+        raise SpecificationError("traffic catalogue must not be empty")
+    catalogue = tuple(catalogue)
+    if len(set(catalogue)) != len(catalogue):
+        raise SpecificationError("traffic catalogue has duplicate files")
+    for file in catalogue:
+        if file not in program.files:
+            raise SimulationError(f"file {file!r} is not broadcast")
+        if file not in file_sizes:
+            raise SimulationError(f"no size known for file {file!r}")
+        if file not in deadlines:
+            raise SimulationError(f"no deadline known for file {file!r}")
+    if max_workers is not None:
+        if not isinstance(max_workers, int) or isinstance(max_workers, bool):
+            raise SpecificationError(
+                f"max_workers must be a positive integer, got "
+                f"{type(max_workers).__name__}: {max_workers!r}"
+            )
+        if max_workers < 1:
+            raise SpecificationError(
+                f"max_workers must be >= 1: {max_workers}"
+            )
+    sizes = {file: file_sizes[file] for file in catalogue}
+    limits = {file: deadlines[file] for file in catalogue}
+    program.index  # build the shared occurrence tables once, up front
+
+    workers = 1
+    if max_workers is not None:
+        workers = min(max_workers, spec.clients)
+    begin = time.perf_counter()
+    if workers == 1:
+        parts = [
+            _simulate_shard(
+                program, catalogue, spec, sizes, limits, faults,
+                0, spec.clients, trace,
+            )
+        ]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        bounds = [
+            (spec.clients * shard // workers,
+             spec.clients * (shard + 1) // workers)
+            for shard in range(workers)
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _simulate_shard,
+                    program, catalogue, spec, sizes, limits, faults,
+                    lo, hi, trace,
+                )
+                for lo, hi in bounds
+            ]
+            # Collected in submission order: shard position is bound at
+            # submit time, so merge order is deterministic.
+            parts = [future.result() for future in futures]
+    metrics = TrafficMetrics.merged(
+        [part_metrics for part_metrics, _ in parts], seed=spec.seed
+    )
+    elapsed = time.perf_counter() - begin
+    records: tuple[RequestRecord, ...] = ()
+    if trace:
+        records = tuple(
+            sorted(
+                (record for _, shard_records in parts
+                 for record in shard_records),
+                key=lambda r: (r.issued, r.client),
+            )
+        )
+    return TrafficResult(
+        spec=spec,
+        metrics=metrics,
+        elapsed=elapsed,
+        workers=workers,
+        trace=records,
+    )

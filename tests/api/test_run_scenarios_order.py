@@ -1,0 +1,54 @@
+"""Regression test: run_scenarios returns results in input order.
+
+The parallel path binds each result's position at submit time, so a
+cheap scenario finishing long before an expensive one cannot surface
+out of place.
+"""
+
+from repro.bdisk.file import FileSpec
+from repro.api import Scenario, WorkloadSpec, run_scenarios
+
+
+def cheap(name):
+    return Scenario(
+        name=name,
+        files=[FileSpec("pos", 2, 4)],
+    )
+
+
+def expensive(name):
+    # A heavy workload makes this scenario finish well after the cheap
+    # ones on any worker layout.
+    return Scenario(
+        name=name,
+        files=[
+            FileSpec("pos", 4, 2, fault_budget=2),
+            FileSpec("map", 6, 5, fault_budget=1),
+            FileSpec("terrain", 8, 16),
+        ],
+        workload=WorkloadSpec(requests=4000, horizon=4000, seed=1),
+        delay_errors=1,
+    )
+
+
+class TestInputOrder:
+    def test_slow_first_scenario_does_not_reorder_results(self):
+        scenarios = [
+            expensive("slow-0"),
+            cheap("fast-1"),
+            cheap("fast-2"),
+            expensive("slow-3"),
+            cheap("fast-4"),
+        ]
+        results = run_scenarios(scenarios, max_workers=3)
+        assert [r.scenario.name for r in results] == [
+            "slow-0", "fast-1", "fast-2", "slow-3", "fast-4",
+        ]
+
+    def test_parallel_order_matches_serial_order(self):
+        scenarios = [expensive("a"), cheap("b"), expensive("c"), cheap("d")]
+        serial = run_scenarios(scenarios)
+        parallel = run_scenarios(scenarios, max_workers=4)
+        assert [r.scenario.name for r in serial] \
+            == [r.scenario.name for r in parallel] \
+            == ["a", "b", "c", "d"]

@@ -1,0 +1,157 @@
+"""Traffic through the declarative API: TrafficSpec on Scenario,
+BroadcastEngine.run_traffic, and batch sweeps."""
+
+import json
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.bdisk.file import FileSpec, GeneralizedFileSpec
+from repro.api import (
+    BroadcastEngine,
+    FaultSpec,
+    Scenario,
+    TrafficSpec,
+    run_scenario,
+    run_scenarios,
+)
+
+
+def make_scenario(**kwargs):
+    defaults = dict(
+        name="traffic-test",
+        files=[
+            FileSpec("pos", 4, 2, fault_budget=2),
+            FileSpec("map", 6, 5, fault_budget=1),
+        ],
+        traffic=TrafficSpec(clients=50, duration=500, seed=3),
+    )
+    defaults.update(kwargs)
+    return Scenario(**defaults)
+
+
+class TestSpecRoundTrip:
+    def test_scenario_json_round_trip(self):
+        scenario = make_scenario(
+            traffic=TrafficSpec(
+                clients=200, duration=4000, arrival="bursty",
+                popularity="hotcold", hot_fraction=0.25, hot_weight=0.75,
+                bursts=4, burst_width=100, requests_per_client=3,
+                think_time=12, cache="pix", cache_capacity=2, seed=9,
+            )
+        )
+        again = Scenario.from_json(scenario.to_json())
+        assert again == scenario
+        assert again.traffic == scenario.traffic
+
+    def test_inactive_parameters_are_not_serialized(self):
+        payload = TrafficSpec().to_dict()  # poisson + zipf defaults
+        assert "bursts" not in payload
+        assert "hot_fraction" not in payload
+        assert "cache" not in payload
+        assert payload["zipf_skew"] == 1.0
+
+    def test_scenario_without_traffic_round_trips_as_null(self):
+        scenario = make_scenario(traffic=None)
+        payload = scenario.to_dict()
+        assert payload["traffic"] is None
+        assert Scenario.from_dict(payload).traffic is None
+
+    def test_unknown_traffic_key_rejected(self):
+        payload = make_scenario().to_dict()
+        payload["traffic"]["surprise"] = 1
+        with pytest.raises(SpecificationError):
+            Scenario.from_dict(payload)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"clients": 0},
+            {"duration": 0},
+            {"arrival": "tidal"},
+            {"popularity": "lava"},
+            {"zipf_skew": -1.0},
+            {"hot_fraction": 0.0},
+            {"hot_weight": 2.0},
+            {"requests_per_client": 0},
+            {"think_time": -1},
+            {"cache": "fifo"},
+            {"cache_capacity": 0},
+            {"max_slots": 0},
+            {"clients": True},
+        ],
+    )
+    def test_invalid_values_rejected_eagerly(self, bad):
+        with pytest.raises(SpecificationError):
+            TrafficSpec(**bad)
+
+
+class TestEngine:
+    def test_run_traffic_produces_a_result(self):
+        engine = BroadcastEngine(make_scenario())
+        result = engine.run_traffic()
+        assert result is not None
+        assert result.requests == 50
+        assert result.aborts == 0
+
+    def test_run_includes_traffic(self):
+        outcome = run_scenario(make_scenario())
+        assert outcome.traffic is not None
+        assert outcome.traffic.requests == 50
+        assert "traffic" in outcome.summary()
+        payload = outcome.to_dict()
+        assert payload["traffic"]["requests"] == 50
+        json.dumps(payload)
+
+    def test_no_traffic_block_skips_the_phase(self):
+        outcome = run_scenario(make_scenario(traffic=None))
+        assert outcome.traffic is None
+        assert outcome.to_dict()["traffic"] is None
+
+    def test_traffic_respects_the_fault_channel(self):
+        clean = BroadcastEngine(make_scenario()).run_traffic()
+        noisy = BroadcastEngine(
+            make_scenario(
+                faults=FaultSpec(
+                    kind="bernoulli", probability=0.3, seed=2
+                )
+            )
+        ).run_traffic()
+        assert noisy.summary.mean > clean.summary.mean
+
+    def test_generalized_files_use_vector_deadlines(self):
+        scenario = Scenario(
+            name="generalized-traffic",
+            files=[
+                GeneralizedFileSpec("F", 2, (5, 6, 6)),
+                GeneralizedFileSpec("H", 1, (9, 12)),
+            ],
+            traffic=TrafficSpec(clients=20, duration=200, seed=1),
+        )
+        result = BroadcastEngine(scenario).run_traffic(trace=True)
+        assert result.requests == 20
+        deadlines = {"F": 6, "H": 12}
+        for record in result.trace:
+            assert record.deadline == deadlines[record.file]
+
+    def test_engine_parallel_traffic_matches_serial(self):
+        scenario = make_scenario(
+            traffic=TrafficSpec(
+                clients=60, duration=600, requests_per_client=2, seed=4
+            )
+        )
+        serial = BroadcastEngine(scenario).run_traffic(trace=True)
+        parallel = BroadcastEngine(scenario).run_traffic(
+            max_workers=2, trace=True
+        )
+        assert serial.trace == parallel.trace
+        assert serial.summary == parallel.summary
+
+    def test_batch_sweep_carries_traffic_results(self):
+        results = run_scenarios(
+            [make_scenario(), make_scenario(name="second")],
+            max_workers=2,
+        )
+        assert [r.scenario.name for r in results] \
+            == ["traffic-test", "second"]
+        assert all(r.traffic is not None for r in results)

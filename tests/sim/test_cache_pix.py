@@ -1,0 +1,140 @@
+"""PIX eviction edge cases: tie-breaking, zero-frequency / zero-interest
+files, and behaviour under the traffic subsystem's session clients."""
+
+import pytest
+
+from repro.bdisk.flat import build_aida_flat_program
+from repro.errors import SimulationError, SpecificationError
+from repro.sim.cache import LruCache, PixCache
+from repro.traffic import TrafficSpec, simulate_traffic
+
+
+class TestPixTieBreaking:
+    def test_equal_scores_evict_lexicographically_smallest(self):
+        policy = PixCache(
+            {"aa": 0.4, "zz": 0.4}, {"aa": 0.2, "zz": 0.2}
+        )
+        # Identical PIX: the victim must not depend on set iteration
+        # order (string hashing is randomized per process).
+        assert policy.victim({"zz", "aa"}) == "aa"
+        assert policy.victim({"aa", "zz"}) == "aa"
+
+    def test_tie_break_is_stable_across_many_orderings(self):
+        names = [f"file-{i}" for i in range(8)]
+        policy = PixCache(
+            {name: 0.5 for name in names},
+            {name: 0.25 for name in names},
+        )
+        for rotation in range(8):
+            resident = set(names[rotation:] + names[:rotation])
+            assert policy.victim(resident) == "file-0"
+
+    def test_score_still_dominates_the_name(self):
+        policy = PixCache({"aa": 0.9, "zz": 0.1}, {"aa": 0.1, "zz": 0.1})
+        assert policy.victim({"aa", "zz"}) == "zz"
+
+
+class TestLruTieBreaking:
+    def test_never_seen_residents_tie_break_on_name(self):
+        policy = LruCache()
+        assert policy.victim({"zeta", "beta", "alpha"}) == "alpha"
+
+    def test_equal_timestamps_tie_break_on_name(self):
+        policy = LruCache()
+        policy.on_access("b", 5)
+        policy.on_access("a", 5)
+        assert policy.victim({"a", "b"}) == "a"
+
+
+class TestZeroFrequency:
+    def test_zero_frequency_rejected_at_construction(self):
+        with pytest.raises(SpecificationError):
+            PixCache({"a": 0.5}, {"a": 0.0})
+        with pytest.raises(SpecificationError):
+            PixCache({"a": 0.5}, {"a": -1.0})
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(SpecificationError):
+            PixCache({"a": -0.1}, {"a": 1.0})
+
+    def test_unknown_file_raises_at_eviction_time(self):
+        policy = PixCache({"a": 0.5}, {"a": 0.2})
+        with pytest.raises(SimulationError):
+            policy.victim({"a", "phantom"})
+
+    def test_zero_interest_files_go_first(self):
+        """Probability 0 is legal: PIX 0 makes the file the first victim
+        even against high-frequency hot items."""
+        policy = PixCache(
+            {"hot": 0.9, "stale": 0.0}, {"hot": 5.0, "stale": 0.001}
+        )
+        assert policy.pix("stale") == 0.0
+        assert policy.victim({"hot", "stale"}) == "stale"
+
+    def test_for_program_never_produces_zero_frequency(self):
+        program = build_aida_flat_program([("A", 5, 10), ("B", 3, 6)])
+        cache = PixCache.for_program(
+            program, {"A": 0.7, "B": 0.3}, {"A": 5, "B": 3}
+        )
+        assert cache.pix("A") > 0 and cache.pix("B") > 0
+
+
+class TestUnderSessionClients:
+    """The traffic layer drives PIX through whole session populations."""
+
+    def make_world(self):
+        program = build_aida_flat_program([("A", 5, 10), ("B", 3, 6)])
+        return program, ["A", "B"], {"A": 5, "B": 3}, {"A": 200, "B": 200}
+
+    def test_pix_population_runs_and_hits(self):
+        program, catalogue, sizes, deadlines = self.make_world()
+        result = simulate_traffic(
+            program,
+            catalogue,
+            TrafficSpec(
+                clients=30, duration=300, requests_per_client=6,
+                cache="pix", cache_capacity=1, popularity="zipf",
+                zipf_skew=1.5, seed=41,
+            ),
+            file_sizes=sizes,
+            deadlines=deadlines,
+        )
+        metrics = result.metrics
+        assert metrics.cache_hits > 0
+        assert metrics.cache_evictions > 0
+        assert metrics.cache_hits + metrics.cache_misses == result.requests
+
+    def test_zero_weight_file_never_cached_never_requested(self):
+        """hotcold with hot_weight=1.0 gives the cold file probability 0:
+        sessions never draw it, and PIX would evict it instantly anyway."""
+        program, catalogue, sizes, deadlines = self.make_world()
+        result = simulate_traffic(
+            program,
+            catalogue,
+            TrafficSpec(
+                clients=25, duration=250, requests_per_client=4,
+                cache="pix", cache_capacity=1, popularity="hotcold",
+                hot_fraction=0.5, hot_weight=1.0, seed=13,
+            ),
+            file_sizes=sizes,
+            deadlines=deadlines,
+        )
+        assert result.metrics.requests_by_file.get("B", 0) == 0
+        assert result.metrics.requests_by_file["A"] == result.requests
+
+    def test_session_pix_eviction_is_reproducible(self):
+        program, catalogue, sizes, deadlines = self.make_world()
+        spec = TrafficSpec(
+            clients=20, duration=200, requests_per_client=5,
+            cache="pix", cache_capacity=1, seed=7,
+        )
+        runs = [
+            simulate_traffic(
+                program, catalogue, spec,
+                file_sizes=sizes, deadlines=deadlines, trace=True,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].trace == runs[1].trace
+        assert runs[0].metrics.cache_evictions \
+            == runs[1].metrics.cache_evictions

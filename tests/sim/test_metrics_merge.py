@@ -1,0 +1,87 @@
+"""Tests for exact latency-summary merging across shards."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.metrics import LatencySummary, summarize_latencies
+
+
+class TestCounts:
+    def test_summaries_carry_their_histogram(self):
+        summary = summarize_latencies([3, 1, 3, None])
+        assert summary.counts == ((1.0, 1), (3.0, 2))
+
+    def test_all_failed_summary_has_no_histogram(self):
+        summary = summarize_latencies([None, None])
+        assert summary.counts == ()
+        assert summary.mean == float("inf")
+
+
+class TestMerge:
+    def test_merged_shards_equal_single_run(self):
+        rng = random.Random(99)
+        latencies = [
+            rng.randrange(1, 200) if rng.random() > 0.03 else None
+            for _ in range(5000)
+        ]
+        whole = summarize_latencies(latencies, deadline=150)
+        shards = [
+            summarize_latencies(latencies[lo:lo + 1250], deadline=150)
+            for lo in range(0, 5000, 1250)
+        ]
+        merged = LatencySummary.merge(shards)
+        assert merged == whole
+
+    def test_percentiles_recomputed_not_averaged(self):
+        # One shard all-small, one all-large: naive percentile averaging
+        # would land mid-way; the exact merge ranks over the union.
+        small = summarize_latencies([1] * 99)
+        large = summarize_latencies([100])
+        merged = LatencySummary.merge([small, large])
+        assert merged.p50 == 1
+        assert merged.p99 == 1
+        assert merged.worst == 100
+
+    def test_misses_and_deadline_carry_over(self):
+        parts = [
+            summarize_latencies([5, None, 30], deadline=10),
+            summarize_latencies([7, 40], deadline=10),
+        ]
+        merged = LatencySummary.merge(parts)
+        assert merged.count == 5
+        assert merged.misses == 3  # one failure, two late completions
+        assert merged.deadline == 10
+
+    def test_single_summary_is_identity(self):
+        summary = summarize_latencies(range(1, 50))
+        assert LatencySummary.merge([summary]) == summary
+
+    def test_all_failed_parts_merge(self):
+        merged = LatencySummary.merge(
+            [summarize_latencies([None]), summarize_latencies([None, None])]
+        )
+        assert merged.count == 3
+        assert merged.misses == 3
+        assert merged.mean == float("inf")
+
+    def test_mixed_deadlines_rejected(self):
+        with pytest.raises(SimulationError):
+            LatencySummary.merge(
+                [
+                    summarize_latencies([1], deadline=5),
+                    summarize_latencies([1], deadline=6),
+                ]
+            )
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(SimulationError):
+            LatencySummary.merge([])
+
+    def test_summary_without_counts_rejected(self):
+        legacy = LatencySummary(
+            count=3, mean=2.0, p50=2, p95=3, p99=3, worst=3, misses=0
+        )
+        with pytest.raises(SimulationError):
+            LatencySummary.merge([legacy, summarize_latencies([1])])

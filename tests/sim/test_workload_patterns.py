@@ -1,0 +1,106 @@
+"""Distribution-shape tests for the seeded access-pattern generators."""
+
+import random
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.sim.workload import (
+    hot_cold_weights,
+    sample_accesses,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(20, 1.2)
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_skew_sets_the_ratio(self):
+        weights = zipf_weights(4, 2.0)
+        assert weights[0] / weights[1] == pytest.approx(4.0)
+        assert weights[0] / weights[3] == pytest.approx(16.0)
+
+    def test_zero_skew_is_uniform(self):
+        assert zipf_weights(5, 0.0) == [1.0] * 5
+
+    def test_validation(self):
+        with pytest.raises(SpecificationError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(SpecificationError):
+            zipf_weights(3, -0.1)
+
+
+class TestHotColdWeights:
+    def test_hot_set_draws_its_share(self):
+        weights = hot_cold_weights(100, hot_fraction=0.1, hot_weight=0.9)
+        assert sum(weights[:10]) == pytest.approx(0.9)
+        assert sum(weights[10:]) == pytest.approx(0.1)
+        assert len(set(weights[:10])) == 1  # uniform within the hot set
+        assert len(set(weights[10:])) == 1  # uniform within the cold set
+
+    def test_at_least_one_file_is_hot(self):
+        weights = hot_cold_weights(5, hot_fraction=0.01, hot_weight=0.8)
+        assert weights[0] == pytest.approx(0.8)
+
+    def test_everything_hot_collapses_to_uniform(self):
+        assert hot_cold_weights(4, hot_fraction=1.0) == [0.25] * 4
+
+    def test_extreme_hot_weight_starves_cold_files(self):
+        weights = hot_cold_weights(10, hot_fraction=0.2, hot_weight=1.0)
+        assert sum(weights[2:]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(SpecificationError):
+            hot_cold_weights(0)
+        with pytest.raises(SpecificationError):
+            hot_cold_weights(5, hot_fraction=0.0)
+        with pytest.raises(SpecificationError):
+            hot_cold_weights(5, hot_fraction=1.5)
+        with pytest.raises(SpecificationError):
+            hot_cold_weights(5, hot_weight=-0.1)
+
+
+class TestSampling:
+    def test_seeded_and_reproducible(self):
+        weights = zipf_weights(10, 1.0)
+        first = sample_accesses(random.Random(7), weights, 100)
+        second = sample_accesses(random.Random(7), weights, 100)
+        assert first == second
+
+    def test_frequencies_track_weights(self):
+        """The generator's empirical law matches the requested shape."""
+        weights = hot_cold_weights(10, hot_fraction=0.2, hot_weight=0.8)
+        draws = sample_accesses(random.Random(3), weights, 50_000)
+        hot_share = sum(1 for d in draws if d < 2) / len(draws)
+        assert hot_share == pytest.approx(0.8, abs=0.02)
+
+    def test_zipf_rank_frequencies_decrease(self):
+        weights = zipf_weights(6, 1.3)
+        draws = sample_accesses(random.Random(11), weights, 30_000)
+        counts = [draws.count(rank) for rank in range(6)]
+        assert all(a > b for a, b in zip(counts, counts[1:]))
+
+    def test_cum_weights_draws_are_bit_identical(self):
+        from itertools import accumulate
+
+        weights = zipf_weights(8, 1.1)
+        direct = sample_accesses(random.Random(4), weights, 200)
+        cumulative = sample_accesses(
+            random.Random(4), None, 200,
+            cum_weights=list(accumulate(weights)),
+        )
+        assert direct == cumulative
+
+    def test_validation(self):
+        with pytest.raises(SpecificationError):
+            sample_accesses(random.Random(0), [], 5)
+        with pytest.raises(SpecificationError):
+            sample_accesses(random.Random(0), [1.0], 0)
+        with pytest.raises(SpecificationError):
+            sample_accesses(random.Random(0), None, 5)
+        with pytest.raises(SpecificationError):
+            sample_accesses(
+                random.Random(0), [1.0], 5, cum_weights=[1.0]
+            )

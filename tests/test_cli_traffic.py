@@ -1,0 +1,106 @@
+"""Tests for the ``repro traffic`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.api import Scenario, TrafficSpec
+
+EXAMPLE = "examples/scenario_awacs.json"
+
+
+def write_scenario(tmp_path, scenario, name="scenario.json"):
+    path = tmp_path / name
+    scenario.save(path)
+    return str(path)
+
+
+class TestTrafficCommand:
+    def test_example_scenario_with_flag_overrides(self, capsys):
+        code = main(
+            [
+                "traffic", EXAMPLE,
+                "--clients", "40", "--duration", "400", "--seed", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scenario  : awacs" in out
+        assert "40 clients over 400 slots" in out
+        assert "req/s sustained" in out
+
+    def test_json_record(self, capsys):
+        code = main(
+            [
+                "traffic", EXAMPLE,
+                "--clients", "25", "--duration", "250", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "awacs"
+        assert payload["requests"] == 25
+        assert payload["spec"]["clients"] == 25
+        assert payload["latency"]["p99"] >= payload["latency"]["p50"]
+
+    def test_scenario_traffic_block_is_the_baseline(self, tmp_path, capsys):
+        scenario = Scenario.from_file(EXAMPLE)
+        from dataclasses import replace
+
+        scenario = replace(
+            scenario,
+            traffic=TrafficSpec(
+                clients=15, duration=150, arrival="deterministic", seed=5
+            ),
+        )
+        path = write_scenario(tmp_path, scenario)
+        code = main(["traffic", path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "15 clients over 150 slots" in out
+        assert "deterministic arrivals" in out
+
+    def test_flags_override_the_block(self, tmp_path, capsys):
+        scenario = Scenario.from_file(EXAMPLE)
+        from dataclasses import replace
+
+        scenario = replace(
+            scenario, traffic=TrafficSpec(clients=15, duration=150)
+        )
+        path = write_scenario(tmp_path, scenario)
+        code = main(["traffic", path, "--clients", "33"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "33 clients over 150 slots" in out
+
+    def test_workers_match_serial_json(self, capsys):
+        args = [
+            "traffic", EXAMPLE,
+            "--clients", "30", "--duration", "300", "--json",
+        ]
+        assert main(args) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(args + ["--workers", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert parallel["workers"] == 2
+        for key in ("requests", "completions", "aborts",
+                    "deadline_misses", "latency", "requests_by_file"):
+            assert serial[key] == parallel[key]
+
+    def test_missing_file_is_clean_error(self, capsys):
+        code = main(["traffic", "no-such-scenario.json"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_flag_value_is_clean_error(self, capsys):
+        code = main(
+            ["traffic", EXAMPLE, "--clients", "0"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_arrival_choice_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["traffic", EXAMPLE, "--arrival", "tidal"])
+        assert excinfo.value.code == 2

@@ -1,0 +1,107 @@
+"""Tests for arrival processes and popularity laws."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.traffic.arrivals import (
+    ARRIVAL_KINDS,
+    arrival_slot,
+    client_rng,
+    popularity_weights,
+    think_slots,
+)
+
+
+class TestClientRng:
+    def test_deterministic_per_index(self):
+        a = client_rng(7, 3).random()
+        b = client_rng(7, 3).random()
+        assert a == b
+
+    def test_independent_across_indices(self):
+        draws = {client_rng(7, i).random() for i in range(50)}
+        assert len(draws) == 50
+
+    def test_seed_changes_stream(self):
+        assert client_rng(1, 0).random() != client_rng(2, 0).random()
+
+
+class TestArrivals:
+    def test_all_kinds_land_inside_duration(self):
+        for kind in ARRIVAL_KINDS:
+            for index in range(200):
+                slot = arrival_slot(
+                    kind, client_rng(5, index), index, 200, 1000
+                )
+                assert 0 <= slot < 1000, (kind, index, slot)
+
+    def test_deterministic_is_evenly_spaced(self):
+        slots = [
+            arrival_slot("deterministic", client_rng(0, i), i, 10, 1000)
+            for i in range(10)
+        ]
+        assert slots == [i * 100 for i in range(10)]
+
+    def test_poisson_spreads_over_duration(self):
+        slots = [
+            arrival_slot("poisson", client_rng(11, i), i, 400, 1000)
+            for i in range(400)
+        ]
+        # Uniform i.i.d. arrivals: both halves of the horizon see load.
+        early = sum(1 for s in slots if s < 500)
+        assert 100 < early < 300
+
+    def test_bursty_clusters_around_burst_centres(self):
+        duration, bursts, width = 10_000, 4, 50
+        centres = [(b + 0.5) * duration / bursts for b in range(bursts)]
+        for index in range(300):
+            slot = arrival_slot(
+                "bursty", client_rng(3, index), index, 300, duration,
+                bursts=bursts, burst_width=width,
+            )
+            assert any(abs(slot - c) <= width for c in centres), slot
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecificationError):
+            arrival_slot("tidal", client_rng(0, 0), 0, 1, 10)
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(SpecificationError):
+            arrival_slot("poisson", client_rng(0, 9), 9, 5, 10)
+
+
+class TestPopularity:
+    def test_uniform_is_flat(self):
+        assert popularity_weights("uniform", 4) == [1.0] * 4
+
+    def test_zipf_delegates_to_workload(self):
+        weights = popularity_weights("zipf", 3, zipf_skew=1.0)
+        assert weights == [1.0, 0.5, pytest.approx(1 / 3)]
+
+    def test_hotcold_mass_split(self):
+        weights = popularity_weights(
+            "hotcold", 10, hot_fraction=0.2, hot_weight=0.8
+        )
+        assert sum(weights[:2]) == pytest.approx(0.8)
+        assert sum(weights[2:]) == pytest.approx(0.2)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecificationError):
+            popularity_weights("lava", 3)
+
+
+class TestThink:
+    def test_zero_mean_is_nonthinking(self):
+        rng = client_rng(0, 0)
+        assert all(think_slots(rng, 0) == 0 for _ in range(10))
+
+    def test_mean_approximates_parameter(self):
+        rng = client_rng(9, 0)
+        draws = [think_slots(rng, 20) for _ in range(5000)]
+        assert all(d >= 0 for d in draws)
+        mean = sum(draws) / len(draws)
+        assert 17 < mean < 23  # int() truncation pulls ~0.5 below 20
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(SpecificationError):
+            think_slots(client_rng(0, 0), -1)

@@ -1,0 +1,131 @@
+"""Tests for client-session state machines."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.cache import CachingClient, LruCache
+from repro.sim.faults import NoFaults
+from repro.traffic.clients import ClientSession, RequestRecord
+from repro.traffic.kernel import EventKernel
+from repro.traffic.metrics import TrafficMetrics
+from repro.traffic.simulate import _Retriever
+
+SIZES = {"A": 5, "B": 3}
+DEADLINES = {"A": 100, "B": 100}
+
+
+def make_session(program, *, requests=3, think=0, cache=None, trace=None,
+                 metrics=None, weights=(1.0, 1.0)):
+    retriever = _Retriever(program, SIZES, NoFaults(), None)
+    return ClientSession(
+        0,
+        random.Random("session-test"),
+        ("A", "B"),
+        weights,
+        DEADLINES,
+        requests=requests,
+        think_mean=think,
+        retriever=retriever,
+        metrics=metrics if metrics is not None else TrafficMetrics(),
+        cache=cache,
+        trace=trace,
+    )
+
+
+class TestSessionFlow:
+    def test_issues_exactly_its_request_budget(self, figure6_program):
+        metrics = TrafficMetrics()
+        session = make_session(figure6_program, requests=4, metrics=metrics)
+        kernel = EventKernel()
+        session.begin(kernel, 0)
+        kernel.run()
+        assert metrics.requests == 4
+        assert metrics.completions == 4
+
+    def test_requests_never_overlap(self, figure6_program):
+        """Single-receiver: each request starts after the previous finish."""
+        trace: list[RequestRecord] = []
+        session = make_session(
+            figure6_program, requests=5, think=0, trace=trace
+        )
+        kernel = EventKernel()
+        session.begin(kernel, 0)
+        kernel.run()
+        assert len(trace) == 5
+        for earlier, later in zip(trace, trace[1:]):
+            finish = earlier.issued + earlier.latency - 1
+            assert later.issued == finish + 1  # think 0: next slot
+
+    def test_think_time_spaces_requests(self, figure6_program):
+        trace: list[RequestRecord] = []
+        session = make_session(
+            figure6_program, requests=5, think=50, trace=trace
+        )
+        kernel = EventKernel()
+        session.begin(kernel, 0)
+        kernel.run()
+        gaps = [
+            later.issued - (earlier.issued + earlier.latency - 1)
+            for earlier, later in zip(trace, trace[1:])
+        ]
+        assert all(gap >= 1 for gap in gaps)
+        assert any(gap > 1 for gap in gaps)  # some think draws are > 0
+
+    def test_busy_receiver_is_defended(self, figure6_program):
+        session = make_session(figure6_program, requests=2)
+        kernel = EventKernel()
+        session.begin(kernel, 0)
+        kernel.schedule(0, session.issue)  # an illegal concurrent issue
+        with pytest.raises(SimulationError, match="single-receiver"):
+            kernel.run()
+
+    def test_deadline_misses_recorded(self, figure6_program):
+        metrics = TrafficMetrics()
+        retriever = _Retriever(figure6_program, SIZES, NoFaults(), None)
+        session = ClientSession(
+            1,
+            random.Random("deadline-test"),
+            ("A",),
+            (1.0,),
+            {"A": 1},  # impossible deadline: 5 blocks cannot land in 1 slot
+            requests=2,
+            think_mean=0,
+            retriever=retriever,
+            metrics=metrics,
+        )
+        kernel = EventKernel()
+        session.begin(kernel, 0)
+        kernel.run()
+        assert metrics.deadline_misses == 2
+        assert metrics.aborts == 0
+
+
+class TestSessionCache:
+    def test_cache_hits_answer_in_zero_slots(self, figure6_program):
+        metrics = TrafficMetrics()
+        trace: list[RequestRecord] = []
+        cache = CachingClient(
+            figure6_program, SIZES, 2, LruCache(), faults=NoFaults()
+        )
+        session = ClientSession(
+            2,
+            random.Random("cache-test"),
+            ("A",),
+            (1.0,),
+            DEADLINES,
+            requests=3,
+            think_mean=0,
+            retriever=_Retriever(figure6_program, SIZES, NoFaults(), None),
+            metrics=metrics,
+            cache=cache,
+            trace=trace,
+        )
+        kernel = EventKernel()
+        session.begin(kernel, 0)
+        kernel.run()
+        assert [r.cache_hit for r in trace] == [False, True, True]
+        assert [r.latency for r in trace][1:] == [0, 0]
+        assert metrics.cache_hits == 2
+        assert metrics.cache_misses == 1

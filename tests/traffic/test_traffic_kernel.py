@@ -1,0 +1,84 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.traffic.kernel import EventKernel
+
+
+class TestOrdering:
+    def test_events_run_in_slot_order(self):
+        kernel = EventKernel()
+        seen = []
+        kernel.schedule(30, lambda k: seen.append(30))
+        kernel.schedule(10, lambda k: seen.append(10))
+        kernel.schedule(20, lambda k: seen.append(20))
+        kernel.run()
+        assert seen == [10, 20, 30]
+
+    def test_same_slot_ties_break_on_schedule_order(self):
+        kernel = EventKernel()
+        seen = []
+        for tag in ("first", "second", "third"):
+            kernel.schedule(5, lambda k, t=tag: seen.append(t))
+        kernel.run()
+        assert seen == ["first", "second", "third"]
+
+    def test_actions_can_schedule_followups(self):
+        kernel = EventKernel()
+        seen = []
+
+        def chain(k, depth=0):
+            seen.append(k.now)
+            if depth < 3:
+                k.schedule(k.now + 10, lambda k2: chain(k2, depth + 1))
+
+        kernel.schedule(0, chain)
+        kernel.run()
+        assert seen == [0, 10, 20, 30]
+
+    def test_followup_at_same_slot_runs_after_queued_peers(self):
+        kernel = EventKernel()
+        seen = []
+        kernel.schedule(
+            5, lambda k: (seen.append("a"), k.schedule(5, lambda k2: seen.append("c")))[0]
+        )
+        kernel.schedule(5, lambda k: seen.append("b"))
+        kernel.run()
+        assert seen == ["a", "b", "c"]
+
+
+class TestGuards:
+    def test_scheduling_into_the_past_raises(self):
+        kernel = EventKernel()
+        kernel.schedule(10, lambda k: None)
+        kernel.run()
+        with pytest.raises(SimulationError):
+            kernel.schedule(5, lambda k: None)
+
+    def test_now_tracks_current_event(self):
+        kernel = EventKernel()
+        slots = []
+        kernel.schedule(7, lambda k: slots.append(k.now))
+        kernel.schedule(42, lambda k: slots.append(k.now))
+        kernel.run()
+        assert slots == [7, 42]
+        assert kernel.now == 42
+
+    def test_run_until_leaves_later_events_queued(self):
+        kernel = EventKernel()
+        seen = []
+        kernel.schedule(10, lambda k: seen.append(10))
+        kernel.schedule(20, lambda k: seen.append(20))
+        ran = kernel.run(until=15)
+        assert ran == 1 and seen == [10] and kernel.pending == 1
+        kernel.run()
+        assert seen == [10, 20]
+
+    def test_processed_counts_events(self):
+        kernel = EventKernel()
+        for slot in range(5):
+            kernel.schedule(slot, lambda k: None)
+        kernel.run()
+        assert kernel.processed == 5
+        assert kernel.pending == 0

@@ -1,0 +1,226 @@
+"""Tests for streaming traffic metrics: P2, reservoir, accumulator."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import SimulationError, SpecificationError
+from repro.sim.metrics import LatencySummary
+from repro.traffic.metrics import (
+    P2Quantile,
+    ReservoirSample,
+    TrafficMetrics,
+)
+
+
+def exact_quantile(values, q):
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+class TestP2Quantile:
+    def test_small_samples_are_exact(self):
+        estimator = P2Quantile(0.5)
+        for value in (5, 1, 3):
+            estimator.add(value)
+        assert estimator.value() == 3
+
+    def test_empty_is_nan(self):
+        assert math.isnan(P2Quantile(0.5).value())
+
+    @pytest.mark.parametrize("q", [0.5, 0.95, 0.99])
+    def test_converges_on_uniform_stream(self, q):
+        rng = random.Random(42)
+        estimator = P2Quantile(q)
+        values = [rng.random() * 1000 for _ in range(20_000)]
+        for value in values:
+            estimator.add(value)
+        # P2 is approximate; on a uniform stream it lands within a few
+        # percent of the exact empirical quantile.
+        assert estimator.value() == pytest.approx(
+            exact_quantile(values, q), rel=0.05
+        )
+
+    def test_converges_on_skewed_stream(self):
+        rng = random.Random(7)
+        estimator = P2Quantile(0.99)
+        values = [rng.expovariate(0.1) for _ in range(20_000)]
+        for value in values:
+            estimator.add(value)
+        assert estimator.value() == pytest.approx(
+            exact_quantile(values, 0.99), rel=0.15
+        )
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(SpecificationError):
+            P2Quantile(0.0)
+        with pytest.raises(SpecificationError):
+            P2Quantile(1.0)
+
+
+class TestReservoir:
+    def test_holds_everything_under_capacity(self):
+        reservoir = ReservoirSample(10)
+        for value in range(5):
+            reservoir.add(value)
+        assert sorted(reservoir.sample) == [0, 1, 2, 3, 4]
+
+    def test_capacity_is_bounded(self):
+        reservoir = ReservoirSample(16, seed=3)
+        for value in range(10_000):
+            reservoir.add(value)
+        assert len(reservoir.sample) == 16
+        assert reservoir.seen == 10_000
+
+    def test_seeded_and_reproducible(self):
+        def build():
+            r = ReservoirSample(8, seed=5)
+            for value in range(1000):
+                r.add(value)
+            return r.sample
+
+        assert build() == build()
+
+    def test_roughly_uniform_over_stream(self):
+        reservoir = ReservoirSample(500, seed=1)
+        for value in range(10_000):
+            reservoir.add(value)
+        mean = sum(reservoir.sample) / 500
+        assert 4000 < mean < 6000
+
+    def test_from_counts_small_expands_exactly(self):
+        reservoir = ReservoirSample.from_counts({3: 2, 7: 1}, 10, seed=0)
+        assert sorted(reservoir.sample) == [3.0, 3.0, 7.0]
+        assert reservoir.seen == 3
+
+    def test_from_counts_sample_without_replacement(self):
+        counts = {value: 5 for value in range(100)}
+        reservoir = ReservoirSample.from_counts(counts, 50, seed=2)
+        assert len(reservoir.sample) == 50
+        assert reservoir.seen == 500
+        # No value can appear more often than its multiplicity.
+        for value in set(reservoir.sample):
+            assert reservoir.sample.count(value) <= 5
+
+
+class TestTrafficMetrics:
+    def fill(self, metrics, latencies, deadline=100, file="f"):
+        for latency in latencies:
+            metrics.record(file, latency, deadline)
+
+    def test_counters(self):
+        metrics = TrafficMetrics()
+        self.fill(metrics, [5, 10, None, 200])
+        assert metrics.requests == 4
+        assert metrics.completions == 3
+        assert metrics.aborts == 1
+        assert metrics.deadline_misses == 1  # the 200 vs deadline 100
+        assert metrics.miss_rate == pytest.approx(0.5)
+        assert metrics.abort_rate == pytest.approx(0.25)
+        assert metrics.mean_latency == pytest.approx((5 + 10 + 200) / 3)
+        assert metrics.worst == 200
+
+    def test_exact_quantiles_match_reference(self):
+        rng = random.Random(17)
+        values = [rng.randrange(1, 500) for _ in range(5000)]
+        metrics = TrafficMetrics()
+        self.fill(metrics, values, deadline=10**9)
+        for q in (0.5, 0.95, 0.99):
+            assert metrics.quantile(q) == exact_quantile(values, q)
+
+    def test_p2_estimates_track_exact(self):
+        rng = random.Random(23)
+        values = [rng.randrange(1, 1000) for _ in range(20_000)]
+        exact = TrafficMetrics()
+        streaming = TrafficMetrics(exact_counts=False)
+        self.fill(exact, values, deadline=10**9)
+        self.fill(streaming, values, deadline=10**9)
+        for q in (0.5, 0.95, 0.99):
+            assert streaming.estimated_quantile(q) == pytest.approx(
+                exact.quantile(q), rel=0.05
+            )
+
+    def test_exact_mode_leaves_estimators_idle(self):
+        # Exact mode answers from the histogram; the per-completion
+        # estimator/reservoir feeds are skipped on the hot path.
+        metrics = TrafficMetrics()
+        self.fill(metrics, [1, 2, 3], deadline=10)
+        assert metrics.reservoir.seen == 0
+        assert math.isnan(metrics.estimated_quantile(0.5))
+        assert metrics.quantile(0.5) == 2
+
+    def test_constant_memory_mode_estimates(self):
+        metrics = TrafficMetrics(exact_counts=False)
+        self.fill(metrics, list(range(1, 1001)), deadline=10**9)
+        assert not metrics.exact
+        with pytest.raises(SimulationError):
+            metrics.counts
+        assert metrics.quantile(0.5) == pytest.approx(500, rel=0.05)
+        summary = metrics.summary()
+        assert summary.count == 1000
+        assert summary.counts == ()
+
+    def test_summary_is_mergeable(self):
+        metrics = TrafficMetrics()
+        self.fill(metrics, [1, 2, 3, None], deadline=100)
+        summary = metrics.summary()
+        assert summary.misses == 1
+        assert summary.counts
+        again = LatencySummary.merge([summary])
+        assert again == summary
+
+    def test_per_file_counts_and_grouping(self):
+        metrics = TrafficMetrics()
+        metrics.record("a", 5, 100)
+        metrics.record("a", None, 100)
+        metrics.record("b", 7, 100)
+        assert metrics.requests_by_file == {"a": 2, "b": 1}
+        assert metrics.hits_by_file == {"a": 1, "b": 1}
+        assert metrics.hits_by({"a": "disk0", "b": "disk1"}) == {
+            "disk0": 1,
+            "disk1": 1,
+        }
+        assert metrics.hits_by({}) == {"?": 2}
+
+    def test_merged_equals_single_stream(self):
+        rng = random.Random(5)
+        values = [
+            rng.randrange(1, 50) if rng.random() > 0.05 else None
+            for _ in range(2000)
+        ]
+        whole = TrafficMetrics(seed=9)
+        self.fill(whole, values, deadline=30)
+        parts = []
+        for chunk_start in range(0, 2000, 500):
+            part = TrafficMetrics(seed=9)
+            self.fill(
+                part, values[chunk_start:chunk_start + 500], deadline=30
+            )
+            parts.append(part)
+        merged = TrafficMetrics.merged(parts, seed=9)
+        finalized = TrafficMetrics.merged([whole], seed=9)
+        assert merged.requests == finalized.requests
+        assert merged.aborts == finalized.aborts
+        assert merged.deadline_misses == finalized.deadline_misses
+        assert merged.counts == finalized.counts
+        assert merged.summary() == finalized.summary()
+        assert merged.reservoir.sample == finalized.reservoir.sample
+
+    def test_merge_requires_exact_counts(self):
+        approx = TrafficMetrics(exact_counts=False)
+        approx.record("f", 1, 10)
+        with pytest.raises(SimulationError):
+            TrafficMetrics.merged([approx])
+
+    def test_merge_of_nothing_rejected(self):
+        with pytest.raises(SimulationError):
+            TrafficMetrics.merged([])
+
+    def test_cache_stats_fold_in(self):
+        metrics = TrafficMetrics()
+        metrics.record_cache(3, 2, 1)
+        metrics.record_cache(1, 1, 0)
+        assert (metrics.cache_hits, metrics.cache_misses,
+                metrics.cache_evictions) == (4, 3, 1)
