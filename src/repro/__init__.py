@@ -23,7 +23,11 @@ Database Systems" (BU-CS TR-1996-023 / ICDE 1997), organized as:
   streaming metrics) sharded across cores;
 * :mod:`repro.api` - the declarative front door: :class:`Scenario`
   specifications (JSON-round-trippable), the :class:`BroadcastEngine`
-  facade, and batch sweeps over scenarios.
+  facade, and batch sweeps over scenarios;
+* :mod:`repro.sweep` - experiment orchestration: :class:`SweepSpec`
+  grids over any scenario field, a content-addressed schedule
+  solve-cache, a resumable JSONL run store, and one shared pool over
+  cells and traffic shards.
 
 Quickstart::
 
@@ -142,6 +146,14 @@ from repro.api import (
     run_scenario,
     run_scenarios,
 )
+from repro.sweep import (
+    RunStore,
+    SolveCache,
+    SweepAxis,
+    SweepResult,
+    SweepSpec,
+    run_sweep,
+)
 
 __version__ = "1.0.0"
 
@@ -232,4 +244,11 @@ __all__ = [
     "ScenarioResult",
     "run_scenario",
     "run_scenarios",
+    # sweep
+    "RunStore",
+    "SolveCache",
+    "SweepAxis",
+    "SweepResult",
+    "SweepSpec",
+    "run_sweep",
 ]

@@ -39,7 +39,11 @@ from repro.bdisk.program import BroadcastProgram
 from repro.sim.delay import worst_case_delay
 from repro.sim.runner import SimulationResult, simulate_requests
 from repro.sim.workload import request_stream
-from repro.traffic.simulate import TrafficResult, simulate_traffic
+from repro.traffic.simulate import (
+    TrafficResult,
+    simulate_traffic,
+    simulate_traffic_shard,
+)
 from repro.api.scenario import Scenario
 
 
@@ -155,8 +159,13 @@ class ScenarioResult:
     def to_dict(self) -> dict[str, Any]:
         """A JSON-able result record (for ``repro run --json`` and CI).
 
-        Latency statistics are ``null`` when no retrieval completed
-        (the all-miss summary is ``inf``, which strict JSON rejects).
+        Strict JSON rejects ``inf``/``nan``, but an all-miss run's
+        summary is exactly that (unbounded delay), and dropping it
+        silently would make the row indistinguishable from "not
+        measured".  Non-finite latency statistics therefore serialize as
+        ``null`` with the latency block's ``"bounded"`` flag set to
+        ``false``, so sweeps keep their unbounded-delay rows through a
+        JSON round trip.
         """
 
         def finite(value: float) -> float | None:
@@ -165,16 +174,22 @@ class ScenarioResult:
         simulation = None
         if self.simulation is not None:
             sim = self.simulation
+            stats = {
+                "mean": sim.summary.mean,
+                "p50": sim.summary.p50,
+                "p95": sim.summary.p95,
+                "p99": sim.summary.p99,
+                "worst": sim.summary.worst,
+            }
             simulation = {
                 "requests": len(sim.requests),
                 "deadline_misses": sim.deadline_misses,
                 "deadline_miss_rate": sim.deadline_miss_rate,
                 "latency": {
-                    "mean": finite(sim.summary.mean),
-                    "p50": finite(sim.summary.p50),
-                    "p95": finite(sim.summary.p95),
-                    "p99": finite(sim.summary.p99),
-                    "worst": finite(sim.summary.worst),
+                    **{key: finite(value) for key, value in stats.items()},
+                    "bounded": all(
+                        math.isfinite(value) for value in stats.values()
+                    ),
                 },
                 "payload_checks": (
                     None
@@ -209,16 +224,30 @@ class BroadcastEngine:
 
     The engine is cheap to construct and caches its design, so
     ``engine.design()`` followed by ``engine.run()`` designs once.
+
+    ``design`` injects a precomputed :class:`ProgramDesign` instead of
+    solving - the sweep orchestrator's solve-cache hands the same design
+    to every scenario sharing a
+    :meth:`~repro.api.Scenario.design_fingerprint`.  The caller owns the
+    equivalence guarantee: inject only designs produced for a scenario
+    with an equal fingerprint.
     """
 
-    def __init__(self, scenario: Scenario) -> None:
+    def __init__(
+        self, scenario: Scenario, *, design: ProgramDesign | None = None
+    ) -> None:
         if not isinstance(scenario, Scenario):
             raise SpecificationError(
                 f"BroadcastEngine expects a Scenario, got "
                 f"{type(scenario).__name__}"
             )
+        if design is not None and not isinstance(design, ProgramDesign):
+            raise SpecificationError(
+                f"BroadcastEngine expects a ProgramDesign to inject, got "
+                f"{type(design).__name__}"
+            )
         self._scenario = scenario
-        self._design: ProgramDesign | None = None
+        self._design: ProgramDesign | None = design
 
     @property
     def scenario(self) -> Scenario:
@@ -344,6 +373,38 @@ class BroadcastEngine:
             trace=trace,
         )
 
+    def run_traffic_shard(self, lo: int, hi: int):
+        """Run clients ``[lo, hi)`` of the scenario's traffic population.
+
+        The shard-level entry point external pools submit (see
+        :func:`repro.traffic.simulate.simulate_traffic_shard`); the
+        sweep orchestrator interleaves these with other scenarios' cells
+        on one shared pool.  Returns the shard's
+        :class:`~repro.traffic.metrics.TrafficMetrics`; raises
+        :class:`~repro.errors.SpecificationError` when the scenario has
+        no traffic population.
+        """
+        scenario = self._scenario
+        spec = scenario.traffic
+        if spec is None:
+            raise SpecificationError(
+                f"scenario {scenario.name!r} has no traffic population "
+                f"to shard"
+            )
+        design = self.design()
+        return simulate_traffic_shard(
+            design.program,
+            [file.name for file in scenario.files],
+            spec,
+            file_sizes={
+                file.name: file.blocks for file in scenario.files
+            },
+            deadlines=self._deadlines(design),
+            faults=scenario.faults,
+            lo=lo,
+            hi=hi,
+        )
+
     def payload_checks(
         self, simulation: SimulationResult | None
     ) -> dict[str, bool] | None:
@@ -405,8 +466,14 @@ class BroadcastEngine:
             for errors in range(scenario.delay_errors + 1)
         )
 
-    def run(self) -> ScenarioResult:
-        """Run the full pipeline and return a structured result."""
+    def run(self, *, include_traffic: bool = True) -> ScenarioResult:
+        """Run the full pipeline and return a structured result.
+
+        ``include_traffic=False`` skips the traffic phase (its
+        ``traffic`` field comes back ``None`` even when the scenario has
+        a population) - the sweep orchestrator runs traffic as separate
+        shard tasks on its shared pool and merges them in afterwards.
+        """
         design = self.design()
         simulation = self.simulate()
         return ScenarioResult(
@@ -416,7 +483,7 @@ class BroadcastEngine:
             simulation=simulation,
             delay_table=self.delay_table(),
             payload_checks=self.payload_checks(simulation),
-            traffic=self.run_traffic(),
+            traffic=self.run_traffic() if include_traffic else None,
         )
 
 

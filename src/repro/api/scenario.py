@@ -443,6 +443,50 @@ class Scenario:
             for spec in self.files
         )
 
+    def design_payload(self) -> dict[str, Any]:
+        """The design-relevant subset of the scenario, canonically.
+
+        Exactly the inputs :meth:`repro.api.BroadcastEngine.design`
+        consumes: the effective catalogue (redundancy budgets applied),
+        the forced bandwidth, and the scheduler policy.  Fault models,
+        workloads, traffic populations, block sizes, payload bytes, and
+        delay sweeps all act *downstream* of the designed program, so
+        scenarios differing only in those share a payload - which is
+        what lets a sweep's solve-cache reuse one schedule across a
+        whole fault/traffic grid.
+        """
+        if self.generalized:
+            files = [
+                [spec.name, spec.blocks, list(spec.latency_vector)]
+                for spec in self.files
+            ]
+            model = "generalized"
+        else:
+            files = [
+                [spec.name, spec.blocks, spec.latency, spec.fault_budget]
+                for spec in self.effective_files
+            ]
+            model = "regular"
+        policy = self.scheduler_policy
+        return {
+            "model": model,
+            "files": files,
+            "bandwidth": self.bandwidth,
+            "policy": policy if isinstance(policy, str) else list(policy),
+        }
+
+    def design_fingerprint(self) -> str:
+        """Content fingerprint of :meth:`design_payload`.
+
+        Two scenarios with equal fingerprints design the identical
+        broadcast program (same pinwheel instance, same scheduler
+        routing), so a cached :class:`~repro.bdisk.builder.ProgramDesign`
+        solved for one is valid for the other.
+        """
+        from repro.core.fingerprint import fingerprint
+
+        return fingerprint(["scenario-design", self.design_payload()])
+
     def to_dict(self) -> dict[str, Any]:
         """A JSON-able dict; :meth:`from_dict` round-trips it."""
         policy = self.scheduler_policy

@@ -1,9 +1,10 @@
 """Command-line interface: design and run broadcast disks from a shell.
 
-Six subcommands mirror the library's main entry points::
+Seven subcommands mirror the library's main entry points::
 
     python -m repro run scenario.json
     python -m repro traffic scenario.json --clients 1000 --duration 50000
+    python -m repro sweep sweep.json --workers 8 --resume
     python -m repro schedulers
     python -m repro design --file pos:4:2:2 --file map:6:5:1
     python -m repro generalized --file F:2:5,6,6 --file H:1:9,12
@@ -20,8 +21,15 @@ scenario's designed program: the scenario's ``"traffic"`` block (or the
 defaults, when absent) with any of ``--clients``, ``--duration``,
 ``--requests-per-client``, ``--think``, ``--arrival``, ``--popularity``,
 and ``--seed`` overridden from the flags; ``--workers N`` shards the
-population across processes.  ``schedulers`` lists the live scheduler
-registry.
+population across processes.  ``sweep`` expands a
+:class:`repro.sweep.SweepSpec` file (a base scenario crossed with axes
+over any dotted scenario field) and runs the whole grid on one shared
+pool, memoizing solved schedules in a content-addressed solve-cache and
+streaming rows to a resumable JSONL run store (``--resume`` skips
+completed cells).  ``schedulers`` lists the live scheduler registry.
+``--workers`` everywhere must be a positive integer; 0 or negative is
+rejected with an argument error (exit status 2) rather than a pool
+traceback.
 
 File syntax for the piecewise subcommands:
 
@@ -51,6 +59,26 @@ from repro.bdisk.builder import design_generalized_program, design_program
 from repro.bdisk.file import FileSpec, GeneralizedFileSpec
 from repro.bdisk.flat import build_aida_flat_program, build_flat_program
 from repro.sim.delay import worst_case_delay_table
+
+
+def _workers_flag(raw: str) -> int:
+    """``--workers`` argument type: a positive integer.
+
+    Rejecting 0/negative here turns a process-pool traceback into a
+    one-line argparse error (exit status 2) uniformly across ``run``,
+    ``traffic``, and ``sweep``.
+    """
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer worker count, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"worker count must be >= 1, got {value}"
+        )
+    return value
 
 
 def _parse_design_file(raw: str) -> FileSpec:
@@ -126,7 +154,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--workers",
-        type=int,
+        type=_workers_flag,
         default=None,
         metavar="N",
         help=(
@@ -171,7 +199,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="master traffic seed",
     )
     traffic.add_argument(
-        "--workers", type=int, default=None, metavar="N",
+        "--workers", type=_workers_flag, default=None, metavar="N",
         help=(
             "shard the population over a process pool of N workers "
             "(default: in-process; results are identical either way)"
@@ -182,6 +210,47 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="as_json",
         help="emit a machine-readable JSON result record",
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help=(
+            "expand a sweep spec (base scenario x axes) and run every "
+            "cell, with a schedule solve-cache and a resumable run store"
+        ),
+    )
+    sweep.add_argument("spec", help="path to a SweepSpec JSON file")
+    sweep.add_argument(
+        "--workers", type=_workers_flag, default=None, metavar="N",
+        help=(
+            "run cells and traffic shards on one shared process pool "
+            "of N workers (default: serial; results are identical "
+            "either way)"
+        ),
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already completed in the run store",
+    )
+    sweep.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="JSONL run store (default: <spec>.runs.jsonl)",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="solve-cache directory (default: <spec>.solve-cache)",
+    )
+    sweep.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the schedule solve-cache (every cell re-solves)",
+    )
+    sweep.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit a machine-readable JSON summary + tidy records",
     )
 
     sub.add_parser(
@@ -286,6 +355,56 @@ def _run_traffic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_sweep(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.sweep import SweepSpec, run_sweep
+
+    spec_path = Path(args.spec)
+    spec = SweepSpec.from_file(spec_path)
+    store = (
+        args.store
+        if args.store is not None
+        else str(spec_path.with_suffix(".runs.jsonl"))
+    )
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = (
+            args.cache_dir
+            if args.cache_dir is not None
+            else str(spec_path.with_suffix(".solve-cache"))
+        )
+    result = run_sweep(
+        spec,
+        max_workers=args.workers,
+        store_path=store,
+        cache_dir=cache_dir,
+        use_cache=not args.no_cache,
+        resume=args.resume,
+    )
+    if args.as_json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    axes = ", ".join(axis.field for axis in spec.axes) or "(no axes)"
+    print(f"sweep     : {spec.name} ({result.cells} cells over {axes})")
+    print(f"store     : {result.store_path}")
+    print(
+        f"cells     : {result.executed} executed, "
+        f"{result.resumed} resumed"
+    )
+    print(
+        f"designs   : {result.distinct_designs} distinct, "
+        f"{result.solves} solved, {result.cache_hits} cell cache hits"
+    )
+    print(
+        f"elapsed   : {result.elapsed:.2f}s "
+        f"({result.workers} worker{'s' if result.workers != 1 else ''})"
+    )
+    print()
+    print(result.table())
+    return 0
+
+
 def _run_schedulers(args: argparse.Namespace) -> int:
     print("name | cost | kind | description")
     for entry in registered_schedulers():
@@ -339,6 +458,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "run": _run_scenario,
         "traffic": _run_traffic,
+        "sweep": _run_sweep,
         "schedulers": _run_schedulers,
         "design": _run_design,
         "generalized": _run_generalized,

@@ -85,8 +85,16 @@ from repro.core.registry import (
     unregister_scheduler,
 )
 from repro.core.solver import solve, solve_nice_conjunct, SolveReport
+from repro.core.fingerprint import (
+    canonical_json,
+    fingerprint,
+    system_fingerprint,
+)
 
 __all__ = [
+    "canonical_json",
+    "fingerprint",
+    "system_fingerprint",
     "PinwheelTask",
     "PinwheelSystem",
     "IDLE",

@@ -1,0 +1,82 @@
+"""Canonical content hashing for pinwheel instances.
+
+Parameter sweeps routinely vary fault and traffic knobs while leaving
+the scheduled pinwheel instance untouched; a *fingerprint* is what lets
+a solve-cache notice that.  Two requirements shape the encoding:
+
+* **stable across processes** - the hash must not depend on interpreter
+  state (``PYTHONHASHSEED``, dict insertion order, object identity), so
+  the canonical form is JSON with sorted keys and compact separators,
+  digested with SHA-256;
+* **order-preserving over tasks** - schedulers break ties by declaration
+  order, so two systems with the same tasks in different orders may
+  legitimately solve to different schedules.  ``system_fingerprint``
+  therefore hashes the task *sequence*, not the task *set*.
+
+:func:`fingerprint` is the generic entry point (any JSON-able payload,
+plus tuples, :class:`~fractions.Fraction`, and arbitrary hashables via
+tagged encodings); :func:`system_fingerprint` applies it to a
+:class:`~repro.core.task.PinwheelSystem`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from fractions import Fraction
+from typing import Any
+
+from repro.core.task import PinwheelSystem
+
+
+def _canonical(payload: Any) -> Any:
+    """Reduce ``payload`` to plain JSON types, deterministically.
+
+    Dicts keep their keys (stringified) and rely on ``sort_keys`` for
+    order independence; sequences stay ordered; non-JSON scalars get a
+    tagged list encoding so e.g. the string ``"1/2"`` and the fraction
+    ``1/2`` cannot collide.
+    """
+    if payload is None or isinstance(payload, (str, int, float, bool)):
+        return payload
+    if isinstance(payload, Fraction):
+        return ["fraction", payload.numerator, payload.denominator]
+    if isinstance(payload, dict):
+        return {str(key): _canonical(value) for key, value in payload.items()}
+    if isinstance(payload, (list, tuple)):
+        return [_canonical(item) for item in payload]
+    if isinstance(payload, (set, frozenset)):
+        return ["set", sorted(repr(item) for item in payload)]
+    if isinstance(payload, bytes):
+        return ["bytes", payload.hex()]
+    # Task identities may be arbitrary hashables (virtual-task tuples are
+    # handled above); repr is deterministic for the remaining stdlib
+    # scalars worth supporting.
+    return ["repr", repr(payload)]
+
+
+def canonical_json(payload: Any) -> str:
+    """The canonical JSON text :func:`fingerprint` digests."""
+    return json.dumps(
+        _canonical(payload),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+
+
+def fingerprint(payload: Any) -> str:
+    """SHA-256 hex digest of the canonical form of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def system_fingerprint(system: PinwheelSystem) -> str:
+    """Content fingerprint of a pinwheel system.
+
+    Hashes the ordered ``(ident, a, b)`` sequence: task order is part of
+    the instance identity because scheduler tie-breaking is
+    order-sensitive (see the module docstring).
+    """
+    return fingerprint(
+        ["pinwheel-system", [[t.ident, t.a, t.b] for t in system.tasks]]
+    )

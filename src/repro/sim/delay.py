@@ -13,9 +13,13 @@ make it?
 adversary: a memoized game search over (position in data cycle, blocks
 collected, kills remaining), maximized over every client phase.  The
 search is exponential in the file's dispersal width, which is fine for
-the paper's toy programs (Figure 7) and the property tests; for large
-sweeps, :func:`greedy_adversary_delay` gives a fast lower bound on the
-worst case (kill the next useful block while budget lasts).
+the paper's toy programs (Figure 7) and the property tests; searches
+whose partial-retrieval state count exceeds the :data:`MAX_EXACT_WIDTH`
+budget are rejected eagerly with a clear
+:class:`~repro.errors.SimulationError` rather than letting the memo blow
+up the machine.  For large sweeps, :func:`greedy_adversary_delay` gives
+a fast lower bound on the worst case (kill the next useful block while
+budget lasts) at any width.
 
 Delay is defined per phase as ``completion(phase, adversary) -
 completion(phase, no faults)`` and then maximized over phases; the
@@ -30,6 +34,19 @@ from functools import lru_cache
 
 from repro.errors import SimulationError
 from repro.bdisk.program import BroadcastProgram
+
+#: Width budget for the exact adversary game when it has kills to
+#: spend.  The memo is keyed on frozensets of collected block indices,
+#: so its state count grows with the number of sub-``m`` subsets of the
+#: file's dispersal width.  Files up to this wide are always accepted;
+#: wider files are accepted only while their collected-subset count
+#: (``sum of C(width, k) for k < m_needed``) stays below
+#: ``2**MAX_EXACT_WIDTH`` - a wide file needing few blocks is cheap,
+#: a wide file needing most of them is not.  Beyond that the search is
+#: rejected eagerly with a :class:`SimulationError` instead of
+#: consuming the machine; use :func:`greedy_adversary_delay` (linear)
+#: there.
+MAX_EXACT_WIDTH = 20
 
 
 def lemma1_bound(period: int, errors: int) -> int:
@@ -64,6 +81,43 @@ def _content_by_slot(
     for t, index in _file_slots(program, file):
         content_by_slot[t] = index
     return content_by_slot
+
+
+def _check_exact_width(
+    program: BroadcastProgram,
+    file: str,
+    m_needed: int,
+    *,
+    need_distinct: bool,
+) -> None:
+    """Reject adversary searches too wide for the exact game.
+
+    The bound tracks the actual state count, not the width alone: a
+    file dispersed over 40 blocks of which any 2 reconstruct it is
+    trivial to search, while 22 blocks needing 21 distinct is not.
+    Without-IDA clients (``need_distinct=False``) only ever collect
+    block indices below ``m_needed``, so their collectible width is
+    capped there regardless of how many blocks rotate.
+    """
+    if file not in program.files:
+        raise SimulationError(f"file {file!r} is not broadcast")
+    width = program.block_count(file)
+    if not need_distinct:
+        width = min(width, m_needed)
+    if width <= MAX_EXACT_WIDTH:
+        return
+    from math import comb
+
+    subsets = sum(comb(width, k) for k in range(min(m_needed, width)))
+    if subsets > 1 << MAX_EXACT_WIDTH:
+        raise SimulationError(
+            f"exact adversary search for {file!r} is exponential in "
+            f"dispersal width: collecting {m_needed} of {width} "
+            f"rotated blocks spans {subsets} partial-retrieval states "
+            f"(cap: width {MAX_EXACT_WIDTH}, or 2^{MAX_EXACT_WIDTH} "
+            f"states beyond it); use greedy_adversary_delay for a "
+            f"fast lower bound on wide files"
+        )
 
 
 def _completion_game(
@@ -149,9 +203,18 @@ def worst_case_delay(
     ``max over phases of (completion with optimal adversary -
     fault-free completion)``.  Phases range over one data cycle, which
     covers all distinct client experiences of the periodic program.
+
+    With ``errors > 0`` the game branches at every useful block, so
+    searches past the :data:`MAX_EXACT_WIDTH` state budget are rejected
+    with a :class:`SimulationError` up front (the ``errors == 0`` case
+    stays linear and uncapped).
     """
     if errors < 0:
         raise SimulationError(f"errors must be >= 0: {errors}")
+    if errors > 0:
+        _check_exact_width(
+            program, file, m_needed, need_distinct=need_distinct
+        )
     game = _completion_game(
         program, file, m_needed, need_distinct=need_distinct
     )
@@ -170,7 +233,17 @@ def worst_case_latency(
     *,
     need_distinct: bool = True,
 ) -> int:
-    """Exact worst-case *total* latency (slots) under ``errors`` losses."""
+    """Exact worst-case *total* latency (slots) under ``errors`` losses.
+
+    Subject to the same :data:`MAX_EXACT_WIDTH` state budget as
+    :func:`worst_case_delay` when ``errors > 0``.
+    """
+    if errors < 0:
+        raise SimulationError(f"errors must be >= 0: {errors}")
+    if errors > 0:
+        _check_exact_width(
+            program, file, m_needed, need_distinct=need_distinct
+        )
     game = _completion_game(
         program, file, m_needed, need_distinct=need_distinct
     )

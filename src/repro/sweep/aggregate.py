@@ -1,0 +1,221 @@
+"""Tidy aggregation of sweep rows.
+
+A run store holds one deep JSON row per cell (the full
+:meth:`~repro.api.engine.ScenarioResult.to_dict` record).  Analysis
+wants the opposite shape: flat, *tidy* records - one dict per cell, one
+column per axis value or headline metric - ready for a table in
+EXPERIMENTS.md or a dataframe.  This module produces them:
+
+* :func:`tidy_rows` - flatten rows into tidy records (axis columns plus
+  design / simulation / traffic / delay metrics);
+* :func:`marginals` - collapse a tidy table along one axis (mean over
+  the other axes), the "delay vs. error count" view of Figure 7;
+* :func:`render_table` - an aligned plain-text table of any record
+  list.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import SpecificationError
+
+#: Metric columns in display order (tables show the ones present).
+METRIC_COLUMNS = (
+    "bandwidth",
+    "density",
+    "method",
+    "bandwidth_overhead",
+    "sim_miss_rate",
+    "sim_p50",
+    "sim_p95",
+    "sim_p99",
+    "sim_bounded",
+    "traffic_miss_rate",
+    "traffic_abort_rate",
+    "traffic_p50",
+    "traffic_p95",
+    "traffic_p99",
+    "worst_delay",
+    "cache_hit",
+    "elapsed",
+)
+
+
+def _necessary_bandwidth(scenario: Mapping[str, Any]) -> float | None:
+    """The trivial lower bound ``sum (m_i + r_i) / T_i``, from a payload.
+
+    ``None`` for generalized catalogues (latencies are already slots -
+    there is no bandwidth to compare against).
+    """
+    files = scenario.get("files") or []
+    if any("latency_vector" in entry for entry in files):
+        return None
+    redundancy = scenario.get("redundancy")
+    mode = scenario.get("mode")
+
+    def budget(entry: Mapping[str, Any]) -> int:
+        if redundancy is not None and mode is not None:
+            budgets = redundancy.get("budgets", {}).get(mode, {})
+            return budgets.get(entry["name"], redundancy.get("default", 0))
+        return entry.get("fault_budget", 0)
+
+    try:
+        return sum(
+            (entry["blocks"] + budget(entry)) / entry["latency"]
+            for entry in files
+        )
+    except (KeyError, TypeError, ZeroDivisionError):
+        return None
+
+
+def tidy_row(row: Mapping[str, Any]) -> dict[str, Any]:
+    """Flatten one run-store row into a tidy record."""
+    record: dict[str, Any] = {"cell": row.get("index")}
+    for field, value in row.get("overrides") or ():
+        record[field] = value
+    result = row.get("result") or {}
+    stats = result.get("stats") or {}
+    record["bandwidth"] = stats.get("bandwidth")
+    record["density"] = stats.get("density")
+    record["method"] = stats.get("method")
+    necessary = _necessary_bandwidth(result.get("scenario") or {})
+    bandwidth = stats.get("bandwidth")
+    record["bandwidth_overhead"] = (
+        (bandwidth - necessary) / necessary
+        if bandwidth is not None and necessary
+        else None
+    )
+    simulation = result.get("simulation")
+    if simulation is not None:
+        latency = simulation.get("latency") or {}
+        record["sim_miss_rate"] = simulation.get("deadline_miss_rate")
+        record["sim_p50"] = latency.get("p50")
+        record["sim_p95"] = latency.get("p95")
+        record["sim_p99"] = latency.get("p99")
+        record["sim_bounded"] = latency.get("bounded")
+    traffic = result.get("traffic")
+    if traffic is not None:
+        latency = traffic.get("latency") or {}
+        record["traffic_miss_rate"] = traffic.get("miss_rate")
+        record["traffic_abort_rate"] = traffic.get("abort_rate")
+        record["traffic_p50"] = latency.get("p50")
+        record["traffic_p95"] = latency.get("p95")
+        record["traffic_p99"] = latency.get("p99")
+    delay_table = result.get("delay_table") or []
+    if delay_table:
+        record["worst_delay"] = max(
+            entry.get("delay", 0) for entry in delay_table
+        )
+    record["cache_hit"] = row.get("cache_hit")
+    record["elapsed"] = row.get("elapsed")
+    return record
+
+
+def tidy_rows(rows: Iterable[Mapping[str, Any]]) -> list[dict[str, Any]]:
+    """Flatten run-store rows into tidy records, preserving order."""
+    return [tidy_row(row) for row in rows]
+
+
+def marginals(
+    records: Sequence[Mapping[str, Any]],
+    field: str,
+    metrics: Sequence[str],
+) -> list[dict[str, Any]]:
+    """Collapse a tidy table along one axis.
+
+    Groups ``records`` by their ``field`` value and reports the group
+    size plus the mean of each requested metric (ignoring cells where
+    the metric is absent, ``None``, or non-numeric - e.g. unbounded
+    rows).  Output is sorted by the axis value; this is the per-axis
+    view figures plot (delay vs. error count, miss rate vs. load).
+    """
+    if not metrics:
+        raise SpecificationError("at least one metric is required")
+    def sort_key(value: Any) -> tuple:
+        # Numbers sort numerically, everything else lexically, None last.
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return (0, value, "")
+        if value is None:
+            return (2, 0, "")
+        return (1, 0, str(value))
+
+    # Group under a canonical token so unhashable axis values (e.g. a
+    # scheduler-policy list) group correctly too.
+    groups: dict[str, tuple[Any, list[Mapping[str, Any]]]] = {}
+    for record in records:
+        value = record.get(field)
+        token = json.dumps(value, sort_keys=True, default=str)
+        groups.setdefault(token, (value, []))[1].append(record)
+    out = []
+    for value, members in sorted(
+        groups.values(), key=lambda pair: sort_key(pair[0])
+    ):
+        summary: dict[str, Any] = {field: value, "cells": len(members)}
+        for metric in metrics:
+            numbers = [
+                member[metric]
+                for member in members
+                if isinstance(member.get(metric), (int, float))
+                and not isinstance(member.get(metric), bool)
+            ]
+            summary[f"mean_{metric}"] = (
+                sum(numbers) / len(numbers) if numbers else None
+            )
+        out.append(summary)
+    return out
+
+
+def _format(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    records: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+) -> str:
+    """An aligned plain-text table of tidy records.
+
+    ``columns=None`` uses the union of keys over *all* records in
+    first-seen order (a metric only later cells populate - e.g.
+    ``worst_delay`` when ``delay_errors`` is itself an axis starting at
+    ``null`` - still gets its column), dropping columns no record
+    populates.
+    """
+    if not records:
+        return "(no rows)"
+    if columns is None:
+        seen: dict[str, None] = {}
+        for record in records:
+            for column in record:
+                seen.setdefault(column)
+        columns = [
+            column
+            for column in seen
+            if any(record.get(column) is not None for record in records)
+        ]
+    header = list(columns)
+    body = [
+        [_format(record.get(column)) for column in columns]
+        for record in records
+    ]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body))
+        for i in range(len(header))
+    ]
+    lines = [
+        " | ".join(title.rjust(w) for title, w in zip(header, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    lines.extend(
+        " | ".join(cell.rjust(w) for cell, w in zip(line, widths))
+        for line in body
+    )
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""The content-addressed schedule solve-cache.
+
+Designing a broadcast program - bandwidth planning plus pinwheel
+scheduling plus verification - is the expensive head of every scenario
+run, yet a sweep over fault or traffic knobs re-solves the *identical*
+pinwheel instance for every cell.  :class:`SolveCache` memoizes solved
+:class:`~repro.bdisk.builder.ProgramDesign` records under the scenario's
+:meth:`~repro.api.Scenario.design_fingerprint` (a canonical SHA-256 of
+the design-relevant inputs - see :mod:`repro.core.fingerprint`), so only
+the first scenario per distinct instance pays the solver.
+
+Two tiers:
+
+* an in-process dict, always on - the serial orchestrator path needs
+  nothing more;
+* an optional *directory* tier with one pickle per fingerprint, written
+  atomically (temp file + ``os.replace``) - this is what crosses
+  process-pool boundaries and sweep invocations.  Entries are
+  content-addressed, so concurrent writers racing on a cold cache are
+  harmless: they write identical bytes and the last rename wins.
+
+Unreadable or torn entries are treated as misses and rewritten.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+
+from repro.errors import SpecificationError
+from repro.api.engine import BroadcastEngine
+from repro.api.scenario import Scenario
+from repro.bdisk.builder import ProgramDesign
+
+
+class SolveCache:
+    """Memoized broadcast-program designs, keyed by content fingerprint.
+
+    ``directory=None`` keeps the cache purely in-memory (one process);
+    a directory adds the persistent, process-shared tier.  ``hits`` /
+    ``misses`` / ``solves`` count this instance's traffic only.
+    """
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self._directory = None if directory is None else Path(directory)
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+        self._memory: dict[str, ProgramDesign] = {}
+        self.hits = 0
+        self.misses = 0
+        self.solves = 0
+
+    @property
+    def directory(self) -> Path | None:
+        """The persistent tier's directory (``None`` when memory-only)."""
+        return self._directory
+
+    def _path(self, fingerprint: str) -> Path:
+        assert self._directory is not None
+        return self._directory / f"{fingerprint}.pkl"
+
+    def get(self, fingerprint: str) -> ProgramDesign | None:
+        """The cached design for ``fingerprint``, or ``None``."""
+        design = self._memory.get(fingerprint)
+        if design is None and self._directory is not None:
+            try:
+                with open(self._path(fingerprint), "rb") as handle:
+                    design = pickle.load(handle)
+            except (OSError, pickle.PickleError, EOFError, ValueError,
+                    AttributeError):
+                # Absent, torn, or stale-format entry: a miss either way.
+                design = None
+            else:
+                self._memory[fingerprint] = design
+        if design is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return design
+
+    def put(self, fingerprint: str, design: ProgramDesign) -> None:
+        """Store ``design`` under ``fingerprint`` (atomic on disk)."""
+        if not isinstance(design, ProgramDesign):
+            raise SpecificationError(
+                f"SolveCache stores ProgramDesign records, got "
+                f"{type(design).__name__}"
+            )
+        self._memory[fingerprint] = design
+        if self._directory is None:
+            return
+        target = self._path(fingerprint)
+        scratch = target.with_suffix(f".tmp-{os.getpid()}")
+        with open(scratch, "wb") as handle:
+            pickle.dump(design, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(scratch, target)
+
+    def design_for(self, scenario: Scenario) -> tuple[ProgramDesign, bool]:
+        """The scenario's design, solving (and caching) on a miss.
+
+        Returns ``(design, cache_hit)``.  The fingerprint covers exactly
+        the inputs the designer consumes, so a hit is always safe to
+        inject into :class:`~repro.api.engine.BroadcastEngine`.
+        """
+        fingerprint = scenario.design_fingerprint()
+        design = self.get(fingerprint)
+        if design is not None:
+            return design, True
+        design = BroadcastEngine(scenario).design()
+        self.solves += 1
+        self.put(fingerprint, design)
+        return design, False
+
+    def __len__(self) -> int:
+        """Entries visible to this instance (memory tier plus disk)."""
+        known = set(self._memory)
+        if self._directory is not None:
+            known.update(
+                path.stem for path in self._directory.glob("*.pkl")
+            )
+        return len(known)
+
+    def __repr__(self) -> str:
+        where = (
+            "memory" if self._directory is None else str(self._directory)
+        )
+        return (
+            f"SolveCache({where}, entries={len(self)}, hits={self.hits}, "
+            f"misses={self.misses}, solves={self.solves})"
+        )

@@ -1,0 +1,104 @@
+"""Dotted-field overrides over scenario payloads.
+
+A sweep axis names any scenario field by its dotted JSON path -
+``"faults.probability"``, ``"traffic.clients"``, ``"files.0.blocks"``,
+``"scheduler_policy"`` - and the expander rewrites the base scenario's
+dict form one override at a time.  Overrides go through
+:meth:`repro.api.Scenario.from_dict` afterwards, so every expanded cell
+is validated eagerly: a typo'd field or an inconsistent value fails at
+expansion, before any work is dispatched.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import SpecificationError
+from repro.api.scenario import Scenario
+
+
+def split_field(field: str) -> list[str]:
+    """Split and validate a dotted field path."""
+    if not isinstance(field, str) or not field:
+        raise SpecificationError(
+            f"sweep axis field must be a non-empty dotted path, got "
+            f"{field!r}"
+        )
+    segments = field.split(".")
+    if any(not segment for segment in segments):
+        raise SpecificationError(
+            f"sweep axis field {field!r} has an empty path segment"
+        )
+    return segments
+
+
+def set_dotted(payload: dict[str, Any], field: str, value: Any) -> None:
+    """Set ``field`` (a dotted path) to ``value`` inside ``payload``.
+
+    Intermediate objects that are absent or ``null`` are created as
+    empty dicts (so ``"traffic.clients"`` works on a base scenario
+    without a traffic block - the remaining keys take their spec
+    defaults).  Numeric segments index into lists (``"files.1.blocks"``)
+    and must be in range; anything else along the path that is not a
+    container is a :class:`SpecificationError`.
+    """
+    segments = split_field(field)
+    container: Any = payload
+    for depth, segment in enumerate(segments[:-1]):
+        path = ".".join(segments[: depth + 1])
+        if isinstance(container, list):
+            container = _list_item(container, segment, path)
+            continue
+        if not isinstance(container, dict):
+            raise SpecificationError(
+                f"sweep field {field!r}: {path!r} is not an object "
+                f"({type(container).__name__})"
+            )
+        nested = container.get(segment)
+        if nested is None:
+            nested = container[segment] = {}
+        container = nested
+    last = segments[-1]
+    if isinstance(container, list):
+        index = _list_index(container, last, field)
+        container[index] = value
+    elif isinstance(container, dict):
+        container[last] = value
+    else:
+        raise SpecificationError(
+            f"sweep field {field!r}: cannot set a key on "
+            f"{type(container).__name__}"
+        )
+
+
+def _list_index(container: list, segment: str, path: str) -> int:
+    if not segment.isdigit():
+        raise SpecificationError(
+            f"sweep field {path!r}: {segment!r} must be a list index"
+        )
+    index = int(segment)
+    if index >= len(container):
+        raise SpecificationError(
+            f"sweep field {path!r}: index {index} out of range "
+            f"(list has {len(container)} items)"
+        )
+    return index
+
+
+def _list_item(container: list, segment: str, path: str) -> Any:
+    return container[_list_index(container, segment, path)]
+
+
+def apply_overrides(
+    scenario: Scenario, overrides: Mapping[str, Any]
+) -> Scenario:
+    """A copy of ``scenario`` with every dotted override applied.
+
+    The scenario round-trips through its dict form, so the result is
+    fully re-validated; malformed cells raise
+    :class:`~repro.errors.SpecificationError` here.
+    """
+    payload = scenario.to_dict()
+    for field, value in overrides.items():
+        set_dotted(payload, field, value)
+    return Scenario.from_dict(payload)

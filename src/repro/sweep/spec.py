@@ -1,0 +1,329 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` is to a parameter study what
+:class:`repro.api.Scenario` is to one experiment: a single immutable,
+JSON-round-trippable object naming the whole grid - a base scenario plus
+*axes*, each a dotted scenario field with the values to try.  Expansion
+takes the cross-product in axis order and yields one validated
+:class:`SweepCell` per combination; orchestration
+(:func:`repro.sweep.orchestrate.run_sweep`) runs them.
+
+A spec file looks like::
+
+    {
+      "name": "fault-grid",
+      "base": { ... any Scenario payload ... },
+      "axes": [
+        {"field": "faults.probability",
+         "values": [0.0, 0.02, 0.05, 0.1]},
+        {"field": "workload.zipf_skew",
+         "range": {"start": 0.0, "stop": 1.5, "step": 0.5}}
+      ]
+    }
+
+``values`` lists arbitrary JSON values (numbers, strings, lists - e.g.
+scheduler policies); ``range`` is sugar for an inclusive numeric
+progression.  Cells carry a stable ``key`` (the canonical
+``field=value`` list), which is what the run store uses to resume.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import SpecificationError
+from repro.api.scenario import Scenario
+from repro.sweep.expand import apply_overrides, split_field
+
+#: Keys a serialized axis may carry.
+_AXIS_KEYS = {"field", "values", "range"}
+_RANGE_KEYS = {"start", "stop", "step"}
+
+
+def _expand_range(payload: Mapping[str, Any], what: str) -> tuple:
+    """Expand an inclusive ``{start, stop, step}`` progression."""
+    if not isinstance(payload, Mapping):
+        raise SpecificationError(
+            f"{what}: range must be an object, got "
+            f"{type(payload).__name__}"
+        )
+    unknown = set(payload) - _RANGE_KEYS
+    if unknown:
+        raise SpecificationError(
+            f"{what}: unknown range keys {sorted(unknown)} "
+            f"(allowed: {sorted(_RANGE_KEYS)})"
+        )
+    missing = {"start", "stop"} - set(payload)
+    if missing:
+        raise SpecificationError(
+            f"{what}: range is missing {sorted(missing)}"
+        )
+    start, stop = payload["start"], payload["stop"]
+    step = payload.get("step", 1)
+    for name, value in (("start", start), ("stop", stop), ("step", step)):
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise SpecificationError(
+                f"{what}: range {name} must be a number, got {value!r}"
+            )
+    if step <= 0:
+        raise SpecificationError(f"{what}: range step must be > 0: {step}")
+    if stop < start:
+        raise SpecificationError(
+            f"{what}: range stop {stop} is below start {start}"
+        )
+    exact = all(isinstance(v, int) for v in (start, stop, step))
+    values: list[int | float] = []
+    index = 0
+    # Generate by multiplication, not accumulation, so float steps do
+    # not drift; the epsilon keeps an intended endpoint inclusive.
+    while True:
+        value = start + index * step
+        if value > stop + (0 if exact else 1e-9 * max(1.0, abs(stop))):
+            break
+        values.append(value if exact else float(min(value, stop)))
+        index += 1
+    return tuple(values)
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One grid dimension: a dotted scenario field and its values."""
+
+    field: str
+    values: tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        split_field(self.field)  # validates the dotted path
+        try:
+            object.__setattr__(self, "values", tuple(self.values))
+        except TypeError as error:
+            raise SpecificationError(
+                f"sweep axis {self.field!r}: values must be a list: "
+                f"{error}"
+            ) from error
+        if not self.values:
+            raise SpecificationError(
+                f"sweep axis {self.field!r}: at least one value is "
+                f"required"
+            )
+        # Duplicate values would expand into cells with identical keys:
+        # redundant work that the run store then collapses to one row.
+        tokens = [_value_key(value) for value in self.values]
+        if len(set(tokens)) != len(tokens):
+            dupes = sorted({t for t in tokens if tokens.count(t) > 1})
+            raise SpecificationError(
+                f"sweep axis {self.field!r}: duplicate values {dupes}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-able dict (ranges serialize as their expanded values)."""
+        return {"field": self.field, "values": list(self.values)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SweepAxis":
+        """Build an axis from ``{"field", "values"|"range"}``."""
+        if not isinstance(payload, Mapping):
+            raise SpecificationError(
+                f"sweep axis must be an object, got "
+                f"{type(payload).__name__}: {payload!r}"
+            )
+        unknown = set(payload) - _AXIS_KEYS
+        if unknown:
+            raise SpecificationError(
+                f"sweep axis: unknown keys {sorted(unknown)} "
+                f"(allowed: {sorted(_AXIS_KEYS)})"
+            )
+        field_name = payload.get("field")
+        has_values = "values" in payload
+        has_range = "range" in payload
+        if has_values == has_range:
+            raise SpecificationError(
+                f"sweep axis {field_name!r}: exactly one of 'values' "
+                f"and 'range' is required"
+            )
+        if has_range:
+            values = _expand_range(
+                payload["range"], f"sweep axis {field_name!r}"
+            )
+        else:
+            values = payload["values"]
+            if isinstance(values, (str, bytes, Mapping)) or not hasattr(
+                values, "__iter__"
+            ):
+                raise SpecificationError(
+                    f"sweep axis {field_name!r}: values must be a list, "
+                    f"got {type(values).__name__}"
+                )
+        return cls(field=field_name, values=tuple(values))
+
+
+def _value_key(value: Any) -> str:
+    """A canonical compact JSON rendering of one axis value."""
+    try:
+        return json.dumps(
+            value, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except (TypeError, ValueError) as error:
+        raise SpecificationError(
+            f"sweep axis value {value!r} is not JSON-serializable: "
+            f"{error}"
+        ) from error
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One expanded grid point.
+
+    ``key`` is the cell's stable identity - the canonical
+    ``field=value`` list in axis order - used by the run store to skip
+    completed cells on resume.  ``scenario`` is the fully validated
+    concrete scenario.
+    """
+
+    index: int
+    key: str
+    overrides: tuple[tuple[str, Any], ...]
+    scenario: Scenario
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A base scenario crossed with axes - the whole parameter study."""
+
+    name: str
+    base: Scenario
+    axes: tuple[SweepAxis, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SpecificationError(
+                f"sweep name must be a non-empty string: {self.name!r}"
+            )
+        if not isinstance(self.base, Scenario):
+            raise SpecificationError(
+                f"sweep base must be a Scenario, got "
+                f"{type(self.base).__name__}"
+            )
+        object.__setattr__(self, "axes", tuple(self.axes))
+        for axis in self.axes:
+            if not isinstance(axis, SweepAxis):
+                raise SpecificationError(
+                    f"sweep axes must be SweepAxis instances, got "
+                    f"{type(axis).__name__}"
+                )
+        fields = [axis.field for axis in self.axes]
+        if len(set(fields)) != len(fields):
+            dupes = sorted({f for f in fields if fields.count(f) > 1})
+            raise SpecificationError(
+                f"sweep {self.name!r}: duplicate axis fields {dupes}"
+            )
+
+    @property
+    def total_cells(self) -> int:
+        """Grid size: the product of axis lengths (1 with no axes)."""
+        total = 1
+        for axis in self.axes:
+            total *= len(axis.values)
+        return total
+
+    def cells(self) -> tuple[SweepCell, ...]:
+        """Expand the cross-product into validated cells, in axis order.
+
+        The first axis varies slowest (row-major, like nested loops in
+        declaration order).  Every cell's scenario is constructed - and
+        therefore validated - here, so a malformed grid point fails
+        before any work is dispatched.
+        """
+        fields = [axis.field for axis in self.axes]
+        grids = [axis.values for axis in self.axes]
+        cells = []
+        for index, combo in enumerate(itertools.product(*grids)):
+            overrides = tuple(zip(fields, combo))
+            key = ";".join(
+                f"{field_name}={_value_key(value)}"
+                for field_name, value in overrides
+            )
+            scenario = apply_overrides(self.base, dict(overrides))
+            cells.append(
+                SweepCell(
+                    index=index,
+                    key=key,
+                    overrides=overrides,
+                    scenario=scenario,
+                )
+            )
+        return tuple(cells)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-able dict; :meth:`from_dict` round-trips it."""
+        return {
+            "name": self.name,
+            "base": self.base.to_dict(),
+            "axes": [axis.to_dict() for axis in self.axes],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SweepSpec":
+        """Inverse of :meth:`to_dict` (unknown keys rejected)."""
+        if not isinstance(payload, Mapping):
+            raise SpecificationError(
+                f"sweep payload must be a mapping, got "
+                f"{type(payload).__name__}"
+            )
+        unknown = set(payload) - {"name", "base", "axes"}
+        if unknown:
+            raise SpecificationError(
+                f"sweep spec: unknown keys {sorted(unknown)} "
+                f"(allowed: ['axes', 'base', 'name'])"
+            )
+        if "base" not in payload:
+            raise SpecificationError("sweep spec: 'base' is required")
+        axes_payload = payload.get("axes", ())
+        if isinstance(axes_payload, (str, bytes, Mapping)) or not hasattr(
+            axes_payload, "__iter__"
+        ):
+            raise SpecificationError(
+                f"sweep axes must be a list of axis objects, got "
+                f"{type(axes_payload).__name__}"
+            )
+        return cls(
+            name=payload.get("name", ""),
+            base=Scenario.from_dict(payload["base"]),
+            axes=tuple(
+                SweepAxis.from_dict(axis) for axis in axes_payload
+            ),
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        """Parse a sweep spec from a JSON string."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SpecificationError(
+                f"invalid sweep JSON: {error}"
+            ) from error
+        return cls.from_dict(payload)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "SweepSpec":
+        """Load a sweep spec from a JSON file."""
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as error:
+            raise SpecificationError(
+                f"cannot read sweep file {path}: {error}"
+            ) from error
+        return cls.from_json(text)
+
+    def save(self, path: str | Path) -> None:
+        """Write the sweep spec to a JSON file."""
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")

@@ -1,0 +1,158 @@
+"""The resumable JSONL run store.
+
+Every completed sweep cell is appended to the store as one JSON line and
+flushed to disk immediately, so a killed sweep keeps everything it
+finished.  Re-invoking with ``resume=True`` reads the store back, skips
+every cell whose ``key`` is already present, and appends only the rest -
+the store converges to one row per cell no matter how many times the
+sweep is interrupted.
+
+Robustness over a kill mid-append: a torn *final* line (the only kind a
+crash can produce, since rows are appended serially) is ignored on read;
+a malformed line anywhere else means the file is not a run store and
+raises :class:`~repro.errors.SimulationError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.errors import SimulationError
+
+
+class RunStore:
+    """Append-only JSONL storage for sweep rows."""
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+
+    @property
+    def path(self) -> Path:
+        """Where the rows live."""
+        return self._path
+
+    def exists(self) -> bool:
+        """Whether the store file is present."""
+        return self._path.exists()
+
+    def clear(self) -> None:
+        """Delete the store file (a fresh, non-resumed run starts here)."""
+        try:
+            self._path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def backup_and_clear(self) -> Path | None:
+        """Move a populated store aside before a fresh run overwrites it.
+
+        Forgetting ``--resume`` after a killed 10-hour sweep must not
+        silently destroy 90 finished rows, so a non-empty store is
+        renamed to ``<name>.bak`` (one generation kept) rather than
+        unlinked; an empty or absent store is simply cleared.  Returns
+        the backup path when one was made.
+        """
+        try:
+            if self._path.stat().st_size > 0:
+                backup = self._path.with_name(self._path.name + ".bak")
+                os.replace(self._path, backup)
+                return backup
+        except FileNotFoundError:
+            return None
+        self.clear()
+        return None
+
+    def _heal_torn_tail(self) -> None:
+        """Truncate a torn final line before appending after it.
+
+        Rows contain no embedded newlines, so a file whose last byte is
+        not ``\\n`` ends in a killed append; leaving it would strand
+        malformed JSON *mid*-file once a new row lands after it.  The
+        check is one seek per append; the rewrite happens only in the
+        recovery case.
+        """
+        try:
+            with open(self._path, "rb+") as handle:
+                handle.seek(0, os.SEEK_END)
+                size = handle.tell()
+                if size == 0:
+                    return
+                handle.seek(size - 1)
+                if handle.read(1) == b"\n":
+                    return
+                handle.seek(0)
+                keep = handle.read().rfind(b"\n") + 1
+                handle.truncate(keep)
+        except FileNotFoundError:
+            pass
+
+    def append(self, row: dict[str, Any]) -> None:
+        """Append one row and force it to disk.
+
+        The flush + fsync per row is deliberate: rows are coarse (one
+        per completed cell), and durability is the point of the store.
+        A torn final line left by a killed append is truncated first.
+        """
+        line = json.dumps(row, separators=(",", ":"), allow_nan=False)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._heal_torn_tail()
+        with open(self._path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def rows(self) -> list[dict[str, Any]]:
+        """All stored rows, in append order (empty if no file yet).
+
+        A final line without its terminating newline is treated as torn
+        even when it happens to parse - the append-side healer will
+        truncate it, and counting a row the next write deletes would
+        let a resumed sweep skip a cell whose record is about to
+        vanish.  Reader and healer agree: unterminated means torn.
+        Rows are written as single ``line + newline`` writes, so a kill
+        can never leave a *terminated* malformed line - that means
+        external corruption, and it raises rather than being silently
+        skipped (and then stranded mid-file by the next append).
+        """
+        try:
+            text = self._path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return []
+        rows: list[dict[str, Any]] = []
+        lines = text.splitlines()
+        if lines and not text.endswith("\n"):
+            lines = lines[:-1]
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise SimulationError(
+                    f"{self._path}:{number}: malformed run-store line: "
+                    f"{error}"
+                ) from error
+            if not isinstance(row, dict):
+                raise SimulationError(
+                    f"{self._path}:{number}: run-store rows must be "
+                    f"objects, got {type(row).__name__}"
+                )
+            rows.append(row)
+        return rows
+
+    def completed_keys(self) -> set[str]:
+        """The cell keys already present in the store (inspection aid).
+
+        Note that :func:`repro.sweep.orchestrate.run_sweep` resumes on
+        a *stronger* condition than key presence - it also compares the
+        stored scenario payload, so rows left by an older base scenario
+        are re-run rather than resurrected.
+        """
+        return {
+            row["key"] for row in self.rows() if isinstance(row.get("key"), str)
+        }
+
+    def __repr__(self) -> str:
+        return f"RunStore({str(self._path)!r})"

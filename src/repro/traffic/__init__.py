@@ -54,7 +54,12 @@ from repro.traffic.metrics import (
     TrafficMetrics,
 )
 from repro.traffic.spec import CACHE_KINDS, TrafficSpec
-from repro.traffic.simulate import TrafficResult, simulate_traffic
+from repro.traffic.simulate import (
+    TrafficResult,
+    shard_bounds,
+    simulate_traffic,
+    simulate_traffic_shard,
+)
 
 __all__ = [
     "ARRIVAL_KINDS",
@@ -72,6 +77,8 @@ __all__ = [
     "arrival_slot",
     "client_rng",
     "popularity_weights",
+    "shard_bounds",
     "simulate_traffic",
+    "simulate_traffic_shard",
     "think_slots",
 ]

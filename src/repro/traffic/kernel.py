@@ -50,7 +50,8 @@ class EventKernel:
 
     @property
     def now(self) -> int:
-        """The slot of the event being (or last) processed."""
+        """The current slot: the event being (or last) processed, or the
+        ``until`` bound of the latest :meth:`run` when that is later."""
         return self._now
 
     @property
@@ -81,6 +82,11 @@ class EventKernel:
 
         ``until`` stops the loop before the first event strictly beyond
         that slot (the event stays queued); ``None`` drains the heap.
+
+        A bounded run always returns with ``now == max(now, until)``,
+        even when the heap drains early: the kernel has observed every
+        slot up to ``until``, so a later :meth:`schedule` into that range
+        would be an event in the past and is rejected.
         """
         if self._running:
             raise SimulationError("kernel is already running")
@@ -99,6 +105,8 @@ class EventKernel:
                 self._processed += 1
         finally:
             self._running = False
+        if until is not None and until > self._now:
+            self._now = until
         return ran
 
     def __repr__(self) -> str:

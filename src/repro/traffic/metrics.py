@@ -114,7 +114,13 @@ class P2Quantile:
         return self._count
 
     def value(self) -> float:
-        """The current estimate (``nan`` before any observation)."""
+        """The current estimate (``nan`` before any observation).
+
+        Until the five markers initialize (``count <= 5``) the sorted
+        sample is still complete, so the returned value is the *exact*
+        nearest-rank quantile, not an estimate - the guard that keeps
+        short streams from reading marker garbage.
+        """
         if self._count == 0:
             return math.nan
         if self._count <= 5:
@@ -322,6 +328,13 @@ class TrafficMetrics:
         Estimators are fed only in constant-memory mode
         (``exact_counts=False``); in exact mode use :meth:`quantile`,
         which answers from the histogram.
+
+        The P-square markers need five observations to initialize;
+        below that :meth:`P2Quantile.value` answers with the exact
+        nearest-rank quantile of its (complete) sorted sample - never
+        estimator garbage - and ``nan`` with no completions at all.
+        Short sweep cells therefore read exact sample statistics
+        (pinned by ``tests/traffic/test_traffic_metrics.py``).
         """
         estimator = self._estimators.get(q)
         if estimator is None:

@@ -118,6 +118,90 @@ class _Retriever:
         return latency, start + latency - 1
 
 
+def shard_bounds(clients: int, shards: int) -> list[tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` client ranges splitting a population.
+
+    The canonical shard layout: ``shards`` is clamped to ``clients``
+    (never an empty shard), ranges cover ``[0, clients)`` exactly, and
+    the same layout drives both :func:`simulate_traffic`'s internal pool
+    and external orchestrators that submit
+    :func:`simulate_traffic_shard` calls to a shared pool.  Clients
+    derive all behaviour from their index, so any layout merges to
+    bit-identical results - this one is just the balanced default.
+    """
+    if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+        raise SpecificationError(f"shard count must be >= 1: {shards!r}")
+    if (
+        not isinstance(clients, int)
+        or isinstance(clients, bool)
+        or clients < 1
+    ):
+        raise SpecificationError(
+            f"client count must be a positive integer: {clients!r}"
+        )
+    shards = min(shards, clients)
+    return [
+        (clients * shard // shards, clients * (shard + 1) // shards)
+        for shard in range(shards)
+    ]
+
+
+def _validate_population(
+    program: BroadcastProgram,
+    catalogue: tuple[str, ...],
+    file_sizes: Mapping[str, int],
+    deadlines: Mapping[str, int],
+) -> None:
+    if not catalogue:
+        raise SpecificationError("traffic catalogue must not be empty")
+    if len(set(catalogue)) != len(catalogue):
+        raise SpecificationError("traffic catalogue has duplicate files")
+    for file in catalogue:
+        if file not in program.files:
+            raise SimulationError(f"file {file!r} is not broadcast")
+        if file not in file_sizes:
+            raise SimulationError(f"no size known for file {file!r}")
+        if file not in deadlines:
+            raise SimulationError(f"no deadline known for file {file!r}")
+
+
+def simulate_traffic_shard(
+    program: BroadcastProgram,
+    catalogue: Sequence[str],
+    spec: TrafficSpec,
+    *,
+    file_sizes: Mapping[str, int],
+    deadlines: Mapping[str, int],
+    faults: Any = None,
+    lo: int,
+    hi: int,
+) -> TrafficMetrics:
+    """Simulate clients ``[lo, hi)`` of a population - one pool task.
+
+    The public face of the shard runner for *external* process pools: a
+    sweep orchestrator interleaves these with other scenarios' work on
+    one shared pool instead of letting every :func:`simulate_traffic`
+    call spin up its own.  Merge the per-shard accumulators with
+    :meth:`TrafficMetrics.merged` (seeded with ``spec.seed``) to get the
+    exact whole-population metrics; the merge is independent of the
+    shard layout.  Per-request tracing is a whole-run concern - use
+    :func:`simulate_traffic` for it.
+    """
+    catalogue = tuple(catalogue)
+    _validate_population(program, catalogue, file_sizes, deadlines)
+    if not 0 <= lo < hi <= spec.clients:
+        raise SpecificationError(
+            f"shard [{lo}, {hi}) is not a sub-range of "
+            f"[0, {spec.clients})"
+        )
+    sizes = {file: file_sizes[file] for file in catalogue}
+    limits = {file: deadlines[file] for file in catalogue}
+    metrics, _ = _simulate_shard(
+        program, catalogue, spec, sizes, limits, faults, lo, hi, False,
+    )
+    return metrics
+
+
 def _build_fault_model(faults: Any) -> FaultModel:
     """A fresh fault-model instance from a spec, a model, or ``None``."""
     if faults is None:
@@ -387,18 +471,8 @@ def simulate_traffic(
         slot, then client).  Off by default - tracing defeats the
         constant-memory metrics path.
     """
-    if not catalogue:
-        raise SpecificationError("traffic catalogue must not be empty")
     catalogue = tuple(catalogue)
-    if len(set(catalogue)) != len(catalogue):
-        raise SpecificationError("traffic catalogue has duplicate files")
-    for file in catalogue:
-        if file not in program.files:
-            raise SimulationError(f"file {file!r} is not broadcast")
-        if file not in file_sizes:
-            raise SimulationError(f"no size known for file {file!r}")
-        if file not in deadlines:
-            raise SimulationError(f"no deadline known for file {file!r}")
+    _validate_population(program, catalogue, file_sizes, deadlines)
     if max_workers is not None:
         if not isinstance(max_workers, int) or isinstance(max_workers, bool):
             raise SpecificationError(
@@ -427,11 +501,7 @@ def simulate_traffic(
     else:
         from concurrent.futures import ProcessPoolExecutor
 
-        bounds = [
-            (spec.clients * shard // workers,
-             spec.clients * (shard + 1) // workers)
-            for shard in range(workers)
-        ]
+        bounds = shard_bounds(spec.clients, workers)
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
                 pool.submit(

@@ -121,6 +121,83 @@ class TestEngineRegular:
         assert "Infinity" not in json.dumps(record)
         assert result.simulation.deadline_miss_rate == 1.0
 
+    def test_unbounded_delay_rows_survive_json_round_trip(self):
+        import json
+
+        # Regression: null-ing non-finite stats used to make an
+        # unbounded-delay row indistinguishable from "not measured".
+        # The bounded flag now carries that bit explicitly.
+        unbounded = run_scenario(
+            small_scenario(
+                faults=FaultSpec(kind="bernoulli", probability=1.0),
+                delay_errors=None,
+            )
+        ).to_dict()
+        bounded = run_scenario(
+            small_scenario(delay_errors=None)
+        ).to_dict()
+        after = json.loads(json.dumps(unbounded))
+        assert after["simulation"]["latency"]["bounded"] is False
+        assert after["simulation"]["latency"]["p99"] is None
+        after = json.loads(json.dumps(bounded))
+        assert after["simulation"]["latency"]["bounded"] is True
+        assert after["simulation"]["latency"]["p99"] is not None
+
+
+class TestDesignFingerprintAndInjection:
+    def test_fingerprint_ignores_downstream_knobs(self):
+        base = small_scenario()
+        varied = [
+            small_scenario(
+                faults=FaultSpec(kind="bernoulli", probability=0.2)
+            ),
+            small_scenario(workload=WorkloadSpec(requests=9, horizon=50)),
+            small_scenario(workload=None),
+            small_scenario(block_size=512),
+            small_scenario(delay_errors=None),
+            small_scenario(name="renamed"),
+        ]
+        for scenario in varied:
+            assert (
+                scenario.design_fingerprint() == base.design_fingerprint()
+            )
+
+    def test_fingerprint_tracks_design_inputs(self):
+        base = small_scenario()
+        assert (
+            small_scenario(bandwidth=4).design_fingerprint()
+            != base.design_fingerprint()
+        )
+        assert (
+            small_scenario(
+                scheduler_policy=("greedy",)
+            ).design_fingerprint()
+            != base.design_fingerprint()
+        )
+        assert (
+            small_scenario(
+                files=(
+                    FileSpec("pos", 2, 2, fault_budget=1),
+                    FileSpec("map", 3, 7),
+                )
+            ).design_fingerprint()
+            != base.design_fingerprint()
+        )
+
+    def test_injected_design_is_reused_and_equivalent(self):
+        fresh = BroadcastEngine(small_scenario())
+        design = fresh.design()
+        injected = BroadcastEngine(small_scenario(), design=design)
+        assert injected.design() is design
+        assert (
+            injected.run().to_dict()
+            == BroadcastEngine(small_scenario()).run().to_dict()
+        )
+
+    def test_injected_design_must_be_a_program_design(self):
+        with pytest.raises(SpecificationError, match="ProgramDesign"):
+            BroadcastEngine(small_scenario(), design="nope")
+
 
 class TestEngineGeneralized:
     def test_full_pipeline(self):

@@ -1,0 +1,52 @@
+"""Tests for canonical content hashing of pinwheel instances."""
+
+from fractions import Fraction
+
+from repro.core import PinwheelSystem, fingerprint, system_fingerprint
+from repro.core.fingerprint import canonical_json
+
+
+class TestCanonicalForm:
+    def test_dict_order_does_not_matter(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint(
+            {"b": 2, "a": 1}
+        )
+
+    def test_sequence_order_matters(self):
+        assert fingerprint([1, 2]) != fingerprint([2, 1])
+
+    def test_tuples_and_lists_coincide(self):
+        assert fingerprint((1, 2)) == fingerprint([1, 2])
+
+    def test_fractions_are_tagged(self):
+        assert fingerprint(Fraction(1, 2)) != fingerprint(0.5)
+        assert fingerprint(Fraction(1, 2)) != fingerprint("1/2")
+        assert fingerprint(Fraction(2, 4)) == fingerprint(Fraction(1, 2))
+
+    def test_scalar_types_do_not_collide(self):
+        assert fingerprint("1") != fingerprint(1)
+        assert fingerprint(None) != fingerprint("null")
+
+    def test_canonical_json_is_compact_and_sorted(self):
+        assert canonical_json({"b": [1, 2], "a": None}) == (
+            '{"a":null,"b":[1,2]}'
+        )
+
+
+class TestSystemFingerprint:
+    def test_equal_systems_agree(self):
+        one = PinwheelSystem.from_pairs([(1, 2), (1, 3)])
+        two = PinwheelSystem.from_pairs([(1, 2), (1, 3)])
+        assert system_fingerprint(one) == system_fingerprint(two)
+
+    def test_task_order_is_part_of_identity(self):
+        # Scheduler tie-breaking is declaration-order sensitive, so the
+        # fingerprint deliberately preserves sequence order.
+        forward = PinwheelSystem.from_pairs([(1, 2), (1, 3)])
+        backward = PinwheelSystem.from_pairs([(1, 3), (1, 2)])
+        assert system_fingerprint(forward) != system_fingerprint(backward)
+
+    def test_parameters_matter(self):
+        base = PinwheelSystem.from_pairs([(1, 2), (1, 3)])
+        wider = PinwheelSystem.from_pairs([(1, 2), (1, 4)])
+        assert system_fingerprint(base) != system_fingerprint(wider)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.bdisk.flat import build_aida_flat_program, build_flat_program
 from repro.sim.delay import (
+    MAX_EXACT_WIDTH,
     fault_free_latency,
     greedy_adversary_delay,
     lemma1_bound,
@@ -88,6 +89,85 @@ class TestWorstCaseDelay:
     def test_impossible_requirement_detected(self, figure6_program):
         with pytest.raises(SimulationError, match="useful"):
             worst_case_delay(figure6_program, "B", 7, 1)
+
+
+class TestExactWidthCap:
+    """The exact adversary game refuses blow-up searches eagerly."""
+
+    def wide_program(self, m, width):
+        # One file rotating through `width` dispersed blocks, any `m`
+        # of which reconstruct it.
+        return build_aida_flat_program([("W", m, width)])
+
+    def test_over_budget_raises_clear_simulation_error(self):
+        # 22-of-24: ~2^24 partial-retrieval states, far past the
+        # 2^MAX_EXACT_WIDTH budget.
+        width = MAX_EXACT_WIDTH + 4
+        program = self.wide_program(width - 2, width)
+        with pytest.raises(SimulationError) as excinfo:
+            worst_case_delay(program, "W", width - 2, 1)
+        message = str(excinfo.value)
+        assert "dispersal width" in message
+        assert str(MAX_EXACT_WIDTH) in message
+        assert "greedy_adversary_delay" in message
+
+    def test_worst_case_latency_is_capped_too(self):
+        width = MAX_EXACT_WIDTH + 4
+        program = self.wide_program(width - 2, width)
+        with pytest.raises(SimulationError):
+            worst_case_latency(program, "W", width - 2, 1)
+
+    def test_at_width_cap_always_runs(self):
+        program = self.wide_program(2, MAX_EXACT_WIDTH)
+        delta = program.max_gap("W")
+        delay = worst_case_delay(program, "W", 2, 1)
+        assert 0 <= delay <= lemma2_bound(delta, 1)
+
+    def test_wide_but_cheap_search_is_permitted(self):
+        # The budget tracks state count, not width alone: any-2-of-40
+        # spans just 41 partial-retrieval states.
+        program = self.wide_program(2, MAX_EXACT_WIDTH * 2)
+        delta = program.max_gap("W")
+        delay = worst_case_delay(program, "W", 2, 1)
+        assert 0 <= delay <= lemma2_bound(delta, 1)
+
+    def test_without_ida_mode_caps_on_collectible_width(self):
+        # need_distinct=False clients only collect indices < m_needed,
+        # so a wide rotation with a small m stays a tiny search.
+        program = self.wide_program(10, MAX_EXACT_WIDTH * 2)
+        delay = worst_case_delay(
+            program, "W", 10, 1, need_distinct=False
+        )
+        assert delay >= 0
+
+    def test_zero_errors_stay_uncapped(self):
+        # The errors == 0 game never branches, so any width is fine -
+        # and the delay is zero by definition.
+        width = MAX_EXACT_WIDTH + 4
+        program = self.wide_program(width - 2, width)
+        assert worst_case_delay(program, "W", width - 2, 0) == 0
+        assert fault_free_latency(program, "W", width - 2) > 0
+
+    def test_unknown_file_stays_a_simulation_error(self):
+        # The width guard must not leak a KeyError ahead of the
+        # file-is-broadcast check.
+        program = self.wide_program(2, 4)
+        with pytest.raises(SimulationError, match="not broadcast"):
+            worst_case_delay(program, "ghost", 2, 1)
+        with pytest.raises(SimulationError, match="not broadcast"):
+            worst_case_latency(program, "ghost", 2, 1)
+
+    def test_negative_errors_rejected_by_latency_too(self):
+        program = self.wide_program(2, 4)
+        with pytest.raises(SimulationError, match=">= 0"):
+            worst_case_latency(program, "W", 2, -1)
+
+    def test_greedy_adversary_handles_wide_files(self):
+        width = MAX_EXACT_WIDTH + 4
+        program = self.wide_program(width - 2, width)
+        delta = program.max_gap("W")
+        delay = greedy_adversary_delay(program, "W", width - 2, 2)
+        assert 0 <= delay <= lemma2_bound(delta, 2)
 
 
 class TestWorstCaseLatency:

@@ -1,0 +1,91 @@
+"""Tests for the content-addressed solve-cache."""
+
+import pytest
+
+from repro.api import BroadcastEngine, Scenario
+from repro.bdisk.file import FileSpec
+from repro.errors import SpecificationError
+from repro.sweep import SolveCache
+
+
+def scenario(**overrides) -> Scenario:
+    params = dict(
+        name="cached",
+        files=(
+            FileSpec("pos", 2, 2, fault_budget=1),
+            FileSpec("map", 3, 6),
+        ),
+    )
+    params.update(overrides)
+    return Scenario(**params)
+
+
+class TestMemoryTier:
+    def test_miss_solve_hit(self):
+        cache = SolveCache()
+        design, hit = cache.design_for(scenario())
+        assert not hit and cache.solves == 1
+        again, hit = cache.design_for(scenario())
+        assert hit and again is design
+        assert cache.hits == 1 and cache.misses == 1 and cache.solves == 1
+
+    def test_downstream_knobs_share_an_entry(self):
+        cache = SolveCache()
+        cache.design_for(scenario())
+        _, hit = cache.design_for(scenario(block_size=512, name="other"))
+        assert hit and cache.solves == 1
+
+    def test_design_inputs_get_their_own_entries(self):
+        cache = SolveCache()
+        cache.design_for(scenario())
+        _, hit = cache.design_for(scenario(bandwidth=4))
+        assert not hit and cache.solves == 2
+
+    def test_put_rejects_non_designs(self):
+        with pytest.raises(SpecificationError, match="ProgramDesign"):
+            SolveCache().put("abc", "nope")
+
+
+class TestDirectoryTier:
+    def test_entries_survive_instances(self, tmp_path):
+        first = SolveCache(tmp_path / "cache")
+        design, hit = first.design_for(scenario())
+        assert not hit
+        second = SolveCache(tmp_path / "cache")
+        cached, hit = second.design_for(scenario())
+        assert hit and second.solves == 0
+        # The cached design round-trips to an equivalent program.
+        assert cached.program.render() == design.program.render()
+        assert cached.report.method == design.report.method
+
+    def test_cached_design_drives_an_identical_run(self, tmp_path):
+        cache = SolveCache(tmp_path / "cache")
+        cache.design_for(scenario())
+        fresh = SolveCache(tmp_path / "cache")
+        design, hit = fresh.design_for(scenario())
+        assert hit
+        injected = BroadcastEngine(scenario(), design=design).run()
+        direct = BroadcastEngine(scenario()).run()
+        assert injected.to_dict() == direct.to_dict()
+
+    def test_corrupt_entry_is_a_miss_and_rewritten(self, tmp_path):
+        cache = SolveCache(tmp_path / "cache")
+        fingerprint = scenario().design_fingerprint()
+        cache.design_for(scenario())
+        path = tmp_path / "cache" / f"{fingerprint}.pkl"
+        path.write_bytes(b"torn write")
+        recovered = SolveCache(tmp_path / "cache")
+        design, hit = recovered.design_for(scenario())
+        assert not hit and recovered.solves == 1
+        # The rewrite healed the entry for the next reader.
+        healed = SolveCache(tmp_path / "cache")
+        _, hit = healed.design_for(scenario())
+        assert hit
+
+    def test_len_counts_disk_entries(self, tmp_path):
+        cache = SolveCache(tmp_path / "cache")
+        assert len(cache) == 0
+        cache.design_for(scenario())
+        cache.design_for(scenario(bandwidth=4))
+        assert len(cache) == 2
+        assert len(SolveCache(tmp_path / "cache")) == 2

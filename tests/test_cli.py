@@ -92,12 +92,12 @@ class TestRun:
         assert parallel == serial
 
     def test_bad_workers_is_clean_error(self, tmp_path, capsys):
-        status = main(
-            ["run", self.scenario_path(tmp_path), "--workers", "0"]
-        )
-        captured = capsys.readouterr()
-        assert status == 1
-        assert "error:" in captured.err
+        # Rejected at argument parsing (usage error, exit status 2)
+        # with a message naming the constraint - not a pool traceback.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", self.scenario_path(tmp_path), "--workers", "0"])
+        assert excinfo.value.code == 2
+        assert "worker count must be >= 1" in capsys.readouterr().err
 
     def test_missing_file_is_clean_error(self, tmp_path, capsys):
         status = main(["run", str(tmp_path / "absent.json")])

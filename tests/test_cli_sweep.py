@@ -1,0 +1,142 @@
+"""Tests for the ``repro sweep`` subcommand."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+
+def sweep_path(tmp_path, **spec_overrides) -> str:
+    payload = {
+        "name": "cli-grid",
+        "base": {
+            "name": "cli-base",
+            "files": [
+                {"name": "pos", "blocks": 2, "latency": 2,
+                 "fault_budget": 1},
+                {"name": "map", "blocks": 3, "latency": 6},
+            ],
+            "workload": {"requests": 8, "horizon": 50, "seed": 3},
+        },
+        "axes": [
+            {"field": "faults.kind", "values": ["bernoulli"]},
+            {"field": "faults.probability",
+             "values": [0.0, 0.05, 0.1]},
+        ],
+    }
+    payload.update(spec_overrides)
+    path = tmp_path / "sweep.json"
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return str(path)
+
+
+class TestSweep:
+    def test_summary_and_table(self, tmp_path, capsys):
+        status = main(["sweep", sweep_path(tmp_path)])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "sweep     : cli-grid (3 cells" in out
+        assert "designs   : 1 distinct, 1 solved, 2 cell cache hits" in out
+        assert "faults.probability" in out  # the tidy table
+
+    def test_default_store_and_cache_paths(self, tmp_path, capsys):
+        status = main(["sweep", sweep_path(tmp_path)])
+        assert status == 0
+        assert (tmp_path / "sweep.runs.jsonl").exists()
+        assert list((tmp_path / "sweep.solve-cache").glob("*.pkl"))
+
+    def test_json_record(self, tmp_path, capsys):
+        status = main(["sweep", sweep_path(tmp_path), "--json"])
+        assert status == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["summary"]["cells"] == 3
+        assert record["summary"]["solves"] == 1
+        assert len(record["records"]) == 3
+        assert record["records"][2]["faults.probability"] == 0.1
+
+    def test_second_run_is_all_cache_hits(self, tmp_path, capsys):
+        main(["sweep", sweep_path(tmp_path), "--json"])
+        capsys.readouterr()
+        # Fresh store, same cache: every design comes from the cache.
+        status = main(
+            ["sweep", sweep_path(tmp_path), "--json",
+             "--store", str(tmp_path / "second.runs.jsonl")]
+        )
+        assert status == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["summary"]["solves"] == 0
+        assert record["summary"]["cache_hits"] == 3
+
+    def test_resume_skips_completed_cells(self, tmp_path, capsys):
+        path = sweep_path(tmp_path)
+        main(["sweep", path, "--json"])
+        capsys.readouterr()
+        status = main(["sweep", path, "--resume", "--json"])
+        assert status == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["summary"]["executed"] == 0
+        assert record["summary"]["resumed"] == 3
+
+    def test_workers_flag_runs_pool(self, tmp_path, capsys):
+        status = main(["sweep", sweep_path(tmp_path), "--workers", "2",
+                       "--json"])
+        assert status == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["summary"]["workers"] == 2
+
+    def test_no_cache_flag(self, tmp_path, capsys):
+        status = main(
+            ["sweep", sweep_path(tmp_path), "--no-cache", "--json"]
+        )
+        assert status == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["summary"]["solves"] == 3
+        assert not (tmp_path / "sweep.solve-cache").exists()
+
+    def test_bad_workers_is_a_usage_error(self, tmp_path, capsys):
+        for raw in ("0", "-3", "two"):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["sweep", sweep_path(tmp_path), "--workers", raw])
+            assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "worker count must be >= 1" in err or "positive" in err
+
+    def test_traffic_workers_rejected_too(self, tmp_path, capsys):
+        # The same guard covers repro traffic.
+        scenario = tmp_path / "scenario.json"
+        scenario.write_text(
+            json.dumps(
+                {
+                    "name": "t",
+                    "files": [{"name": "pos", "blocks": 2, "latency": 2}],
+                }
+            ),
+            encoding="utf-8",
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            main(["traffic", str(scenario), "--workers", "-1"])
+        assert excinfo.value.code == 2
+        assert "worker count must be >= 1" in capsys.readouterr().err
+
+    def test_invalid_spec_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x"}', encoding="utf-8")
+        status = main(["sweep", str(path)])
+        captured = capsys.readouterr()
+        assert status == 1
+        assert "error:" in captured.err
+
+    def test_checked_in_example_sweep(self, tmp_path, capsys):
+        spec = EXAMPLES_DIR / "sweep_fault_grid.json"
+        status = main(
+            ["sweep", str(spec),
+             "--store", str(tmp_path / "runs.jsonl"),
+             "--cache-dir", str(tmp_path / "cache")]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "sweep     : fault-grid" in out

@@ -75,6 +75,42 @@ class TestGuards:
         kernel.run()
         assert seen == [10, 20]
 
+    def test_bounded_run_advances_clock_to_until_on_drain(self):
+        # Regression: run(until=N) used to leave `now` at the last
+        # executed event when the heap drained early, so a later
+        # schedule() could enqueue events in the past relative to the
+        # stop time.
+        kernel = EventKernel()
+        kernel.schedule(3, lambda k: None)
+        kernel.run(until=10)
+        assert kernel.now == 10
+        with pytest.raises(SimulationError):
+            kernel.schedule(5, lambda k: None)  # before the stop time
+
+    def test_bounded_run_advances_clock_past_queued_event(self):
+        kernel = EventKernel()
+        seen = []
+        kernel.schedule(4, lambda k: seen.append(4))
+        kernel.schedule(25, lambda k: seen.append(25))
+        kernel.run(until=10)
+        assert kernel.now == 10 and seen == [4] and kernel.pending == 1
+        # The queued event beyond the bound still runs on the next call.
+        kernel.run()
+        assert seen == [4, 25] and kernel.now == 25
+
+    def test_bounded_run_never_moves_the_clock_backwards(self):
+        kernel = EventKernel()
+        kernel.schedule(10, lambda k: None)
+        kernel.run()
+        assert kernel.now == 10
+        kernel.run(until=5)  # nothing to do; clock must not regress
+        assert kernel.now == 10
+
+    def test_empty_bounded_run_still_advances(self):
+        kernel = EventKernel()
+        kernel.run(until=7)
+        assert kernel.now == 7
+
     def test_processed_counts_events(self):
         kernel = EventKernel()
         for slot in range(5):

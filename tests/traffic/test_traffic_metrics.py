@@ -142,6 +142,35 @@ class TestTrafficMetrics:
                 exact.quantile(q), rel=0.05
             )
 
+    def test_short_stream_quantiles_fall_back_to_exact_sample(self):
+        # Regression: before the P2 markers have their five
+        # initialization observations, tracked-quantile reads must
+        # answer from the exact sample (short sweep cells used to get
+        # estimator garbage).
+        for size in range(1, 5):
+            values = [7 * (i + 1) for i in range(size)]
+            streaming = TrafficMetrics(exact_counts=False)
+            exact = TrafficMetrics()
+            self.fill(streaming, values, deadline=10**9)
+            self.fill(exact, values, deadline=10**9)
+            for q in (0.5, 0.95, 0.99):
+                assert streaming.quantile(q) == exact.quantile(q), (
+                    size, q,
+                )
+
+    def test_short_stream_summary_is_finite(self):
+        metrics = TrafficMetrics(exact_counts=False)
+        self.fill(metrics, [3, 9], deadline=10**9)
+        summary = metrics.summary()
+        assert summary.p50 == 3 and summary.p99 == 9
+        assert summary.worst == 9
+
+    def test_empty_stream_quantile_is_nan(self):
+        metrics = TrafficMetrics(exact_counts=False)
+        assert math.isnan(metrics.estimated_quantile(0.5))
+        metrics.record("f", None, None)  # an abort is not a completion
+        assert math.isnan(metrics.estimated_quantile(0.99))
+
     def test_exact_mode_leaves_estimators_idle(self):
         # Exact mode answers from the histogram; the per-completion
         # estimator/reservoir feeds are skipped on the hot path.

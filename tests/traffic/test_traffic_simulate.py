@@ -153,6 +153,18 @@ class TestSharding:
         with pytest.raises(SpecificationError):
             run(max_workers=True)
 
+    def test_shard_bounds_layout_and_validation(self):
+        from repro.traffic import shard_bounds
+
+        assert shard_bounds(10, 4) == [(0, 2), (2, 5), (5, 7), (7, 10)]
+        assert shard_bounds(3, 8) == [(0, 1), (1, 2), (2, 3)]  # clamped
+        for clients, shards in (
+            (10.0, 4), (True, 1), (0, 2), ("10", 2),
+            (10, 0), (10, True),
+        ):
+            with pytest.raises(SpecificationError):
+                shard_bounds(clients, shards)
+
 
 class TestValidation:
     def test_unknown_file_rejected(self):
