@@ -128,8 +128,13 @@ from repro.rtdb import (
     OperationMode,
     ReadTransaction,
     TemporalConstraint,
+    TemporalItemSpec,
+    TemporalSpec,
+    TransactionSpec,
+    UpdatingServer,
     constraint_from_kinematics,
     execute_transaction,
+    retrieve_versioned,
 )
 from repro.traffic import (
     TrafficMetrics,
@@ -225,7 +230,12 @@ __all__ = [
     "worst_case_delay_table",
     # rtdb
     "TemporalConstraint",
+    "TemporalItemSpec",
+    "TemporalSpec",
+    "TransactionSpec",
+    "UpdatingServer",
     "constraint_from_kinematics",
+    "retrieve_versioned",
     "DataItem",
     "OperationMode",
     "ModeManager",

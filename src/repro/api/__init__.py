@@ -27,6 +27,7 @@ The same scenario serializes to JSON (``scenario.save(path)``) and runs
 from a shell with ``repro run path``.
 """
 
+from repro.rtdb.spec import TemporalItemSpec, TemporalSpec, TransactionSpec
 from repro.traffic.simulate import TrafficResult
 from repro.traffic.spec import TrafficSpec
 from repro.api.scenario import (
@@ -48,8 +49,11 @@ __all__ = [
     "FAULT_KINDS",
     "FaultSpec",
     "Scenario",
+    "TemporalItemSpec",
+    "TemporalSpec",
     "TrafficResult",
     "TrafficSpec",
+    "TransactionSpec",
     "WorkloadSpec",
     "BroadcastEngine",
     "DelayEntry",

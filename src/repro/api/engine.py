@@ -132,6 +132,10 @@ class ScenarioResult:
             "attempts  : "
             + "; ".join(f"{n} -> {o}" for n, o in self.stats.attempts)
         )
+        if self.scenario.temporal is not None:
+            lines.append(
+                f"temporal  : {self.scenario.temporal.describe()}"
+            )
         if self.simulation is not None:
             sim = self.simulation
             lines.append(
@@ -264,9 +268,12 @@ class BroadcastEngine:
                     scenario.files, policy=policy
                 )
             else:
+                # design_bandwidth is the same value design_payload
+                # fingerprints, so cached designs always describe the
+                # program built here (temporal scenarios pin it to 1).
                 self._design = design_program(
                     scenario.effective_files,
-                    bandwidth=scenario.bandwidth,
+                    bandwidth=scenario.design_bandwidth,
                     policy=policy,
                 )
         return self._design
@@ -369,6 +376,7 @@ class BroadcastEngine:
             },
             deadlines=self._deadlines(design),
             faults=scenario.faults,
+            temporal=scenario.temporal,
             max_workers=max_workers,
             trace=trace,
         )
@@ -401,6 +409,7 @@ class BroadcastEngine:
             },
             deadlines=self._deadlines(design),
             faults=scenario.faults,
+            temporal=scenario.temporal,
             lo=lo,
             hi=hi,
         )

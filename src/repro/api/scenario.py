@@ -24,6 +24,7 @@ from repro.errors import SpecificationError
 from repro.core.registry import POLICIES, get_scheduler
 from repro.ida.aida import RedundancyPolicy
 from repro.bdisk.file import FileSpec, GeneralizedFileSpec
+from repro.rtdb.spec import TemporalSpec
 from repro.traffic.spec import TrafficSpec
 from repro.sim.faults import (
     AdversarialFaults,
@@ -311,6 +312,16 @@ class Scenario:
         traffic phase.  Where ``workload`` replays a fixed request
         list, ``traffic`` simulates sustained load: arrival processes,
         session think times, client caches, and streaming metrics.
+    temporal:
+        Optional real-time database layer
+        (:class:`repro.rtdb.TemporalSpec`).  When present the scenario
+        *derives its catalogue from the items*: ``files`` must be
+        empty, each item's temporal constraint becomes the file's
+        latency budget in slots, the active mode selects fault budgets,
+        and the channel designs at bandwidth 1 (one block per slot of
+        ``slot_ms`` milliseconds).  Traffic populations then run the
+        version-consistent transaction clients and report staleness /
+        consistency metrics.
     scheduler_policy:
         ``"auto"``, ``"exact-first"``, or an explicit tuple of registered
         scheduler names (see :mod:`repro.core.registry`).
@@ -321,7 +332,7 @@ class Scenario:
     """
 
     name: str
-    files: tuple[FileSpec | GeneralizedFileSpec, ...]
+    files: tuple[FileSpec | GeneralizedFileSpec, ...] = ()
     bandwidth: int | None = None
     block_size: int = 64
     mode: str | None = None
@@ -329,6 +340,7 @@ class Scenario:
     faults: FaultSpec = field(default_factory=FaultSpec)
     workload: WorkloadSpec | None = None
     traffic: TrafficSpec | None = None
+    temporal: TemporalSpec | None = None
     scheduler_policy: str | tuple[str, ...] = "auto"
     delay_errors: int | None = None
 
@@ -338,6 +350,38 @@ class Scenario:
                 f"scenario name must be a non-empty string: {self.name!r}"
             )
         object.__setattr__(self, "files", tuple(self.files))
+        if self.temporal is not None:
+            if not isinstance(self.temporal, TemporalSpec):
+                raise SpecificationError(
+                    f"scenario {self.name!r}: temporal must be a "
+                    f"TemporalSpec, got {type(self.temporal).__name__}"
+                )
+            # The catalogue is derived, not specified.  Files equal to
+            # the derivation are tolerated so dataclasses.replace() -
+            # which re-passes every field - keeps working on temporal
+            # scenarios.
+            derived = self.temporal.file_specs()
+            if self.files and self.files != derived:
+                raise SpecificationError(
+                    f"scenario {self.name!r}: a temporal scenario "
+                    f"derives its catalogue from the items - leave "
+                    f"files empty"
+                )
+            if self.bandwidth is not None:
+                raise SpecificationError(
+                    f"scenario {self.name!r}: temporal scenarios design "
+                    f"at bandwidth 1 (one block per slot_ms); bandwidth "
+                    f"cannot be forced"
+                )
+            if self.mode is not None or self.redundancy is not None:
+                raise SpecificationError(
+                    f"scenario {self.name!r}: temporal items carry "
+                    f"their own per-mode criticality; mode/redundancy "
+                    f"do not apply"
+                )
+            # The derived catalogue: item constraints as slot budgets,
+            # the active mode's fault budgets applied.
+            object.__setattr__(self, "files", derived)
         if not self.files:
             raise SpecificationError(
                 f"scenario {self.name!r}: at least one file is required"
@@ -426,6 +470,20 @@ class Scenario:
         return isinstance(self.files[0], GeneralizedFileSpec)
 
     @property
+    def design_bandwidth(self) -> int | None:
+        """The bandwidth the designer receives (regular model).
+
+        Temporal scenarios are pinned to 1 - their derived budgets are
+        already slot counts, one block per ``slot_ms`` on the air.  The
+        single source of truth shared by :meth:`design_payload` (the
+        solve-cache fingerprint) and
+        :meth:`repro.api.BroadcastEngine.design` (the program actually
+        built): the two must never disagree, or cached designs would
+        stop describing the programs they stand in for.
+        """
+        return 1 if self.temporal is not None else self.bandwidth
+
+    @property
     def effective_files(self) -> tuple[FileSpec | GeneralizedFileSpec, ...]:
         """The catalogue with the redundancy policy's budgets applied."""
         if self.redundancy is None or self.mode is None:
@@ -447,13 +505,16 @@ class Scenario:
         """The design-relevant subset of the scenario, canonically.
 
         Exactly the inputs :meth:`repro.api.BroadcastEngine.design`
-        consumes: the effective catalogue (redundancy budgets applied),
-        the forced bandwidth, and the scheduler policy.  Fault models,
-        workloads, traffic populations, block sizes, payload bytes, and
-        delay sweeps all act *downstream* of the designed program, so
-        scenarios differing only in those share a payload - which is
-        what lets a sweep's solve-cache reuse one schedule across a
-        whole fault/traffic grid.
+        consumes: the effective catalogue (redundancy budgets applied;
+        for temporal scenarios, the item-derived specs under the active
+        mode), the forced bandwidth (1 for temporal scenarios), and the
+        scheduler policy.  Fault models, workloads, traffic populations,
+        block sizes, payload bytes, and delay sweeps all act
+        *downstream* of the designed program - and so do a temporal
+        spec's update periods and transaction mix, which are runtime
+        knobs - so scenarios differing only in those share a payload,
+        which is what lets a sweep's solve-cache reuse one schedule
+        across a whole fault/traffic/update-rate grid.
         """
         if self.generalized:
             files = [
@@ -471,7 +532,7 @@ class Scenario:
         return {
             "model": model,
             "files": files,
-            "bandwidth": self.bandwidth,
+            "bandwidth": self.design_bandwidth,
             "policy": policy if isinstance(policy, str) else list(policy),
         }
 
@@ -492,7 +553,14 @@ class Scenario:
         policy = self.scheduler_policy
         return {
             "name": self.name,
-            "files": [_file_to_dict(spec) for spec in self.files],
+            # A temporal scenario's files are derived, not specified:
+            # serializing them would make the payload fail round-trip
+            # validation (files and temporal are mutually exclusive).
+            "files": (
+                []
+                if self.temporal is not None
+                else [_file_to_dict(spec) for spec in self.files]
+            ),
             "bandwidth": self.bandwidth,
             "block_size": self.block_size,
             "mode": self.mode,
@@ -513,6 +581,9 @@ class Scenario:
             ),
             "traffic": (
                 None if self.traffic is None else self.traffic.to_dict()
+            ),
+            "temporal": (
+                None if self.temporal is None else self.temporal.to_dict()
             ),
             "scheduler_policy": (
                 policy if isinstance(policy, str) else list(policy)
@@ -536,7 +607,7 @@ class Scenario:
         _require_keys(
             payload,
             {"name", "files", "bandwidth", "block_size", "mode",
-             "redundancy", "faults", "workload", "traffic",
+             "redundancy", "faults", "workload", "traffic", "temporal",
              "scheduler_policy", "delay_errors"},
             "scenario",
         )
@@ -575,6 +646,7 @@ class Scenario:
         faults_payload = payload.get("faults")
         workload_payload = payload.get("workload")
         traffic_payload = payload.get("traffic")
+        temporal_payload = payload.get("temporal")
         # null means "not specified", by analogy with bandwidth/mode;
         # anything else is validated (and tuple-ified) by Scenario itself.
         policy = payload.get("scheduler_policy")
@@ -601,6 +673,11 @@ class Scenario:
                 None
                 if traffic_payload is None
                 else TrafficSpec.from_dict(traffic_payload)
+            ),
+            temporal=(
+                None
+                if temporal_payload is None
+                else TemporalSpec.from_dict(temporal_payload)
             ),
             scheduler_policy=policy,
             delay_errors=payload.get("delay_errors"),

@@ -13,7 +13,12 @@ Seven subcommands mirror the library's main entry points::
 ``run`` executes declarative :class:`repro.api.Scenario` files (JSON,
 see ``examples/scenario_awacs.json``) end to end - design, broadcast
 program, fault-channel simulation, delay analysis - and prints a summary
-(or a machine-readable record with ``--json``).  Several scenario files
+(or a machine-readable record with ``--json``).  Scenarios with a
+``"temporal"`` block (see ``examples/scenario_awacs_temporal.json``)
+derive their catalogue from real-time database items - temporal
+constraints become slot budgets, the active mode selects fault budgets -
+and their traffic runs report the freshness dimension: consistency
+rate, read-age quantiles, torn-read discards, and deadline-miss rate.  Several scenario files
 may be given at once; ``--workers N`` fans the batch out over a process
 pool (results are identical to the serial run).  ``traffic`` runs the
 open-loop population simulator (:mod:`repro.traffic`) against one

@@ -12,9 +12,17 @@ vocabulary on top of the broadcast/scheduling machinery:
 * :mod:`repro.rtdb.modes` - operation modes ("combat", "landing") that
   re-weight per-item fault budgets, driving AIDA's bandwidth-allocation
   step;
+* :mod:`repro.rtdb.updates` - versioned update dissemination and
+  occurrence-walking version-consistent retrieval;
 * :mod:`repro.rtdb.transactions` - deadline-tagged read transactions
   executed against a broadcast program, with temporal-consistency
-  checking.
+  checking (latency- or version-age-based);
+* :mod:`repro.rtdb.spec` - the declarative :class:`TemporalSpec` that
+  ``repro.api.Scenario`` embeds, deriving the broadcast catalogue from
+  the item population and active mode;
+* :mod:`repro.rtdb.reference` - the seed slot-walking implementations,
+  kept as the executable spec for equivalence property tests and the
+  ``bench_rtdb`` before/after measurement.
 """
 
 from repro.rtdb.temporal import (
@@ -30,10 +38,17 @@ from repro.rtdb.transactions import (
     execute_transaction,
 )
 from repro.rtdb.updates import (
+    MAX_DEFAULT_HORIZON,
     UpdatingServer,
     VersionedRetrieval,
     consistency_rate,
     retrieve_versioned,
+    versioned_horizon,
+)
+from repro.rtdb.spec import (
+    TemporalItemSpec,
+    TemporalSpec,
+    TransactionSpec,
 )
 
 __all__ = [
@@ -46,8 +61,13 @@ __all__ = [
     "ReadTransaction",
     "TransactionResult",
     "execute_transaction",
+    "MAX_DEFAULT_HORIZON",
     "UpdatingServer",
     "VersionedRetrieval",
     "consistency_rate",
     "retrieve_versioned",
+    "versioned_horizon",
+    "TemporalItemSpec",
+    "TemporalSpec",
+    "TransactionSpec",
 ]

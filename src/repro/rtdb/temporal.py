@@ -82,6 +82,25 @@ def constraint_from_kinematics(
     return TemporalConstraint(max_age_ms)
 
 
+def _exact_ms(value: float | int, what: str) -> Fraction:
+    """A millisecond quantity as the exact decimal it was written as.
+
+    Durations arrive as decimal literals (``slot_ms=0.6``); converting
+    the *binary* float to a fraction would carry the representation
+    error into the budget division and misround at exact multiples
+    (``6000 // 0.6`` is 9999 in floats).  Routing through ``str`` keeps
+    the decimal the caller wrote.
+    """
+    if isinstance(value, int):
+        return Fraction(value)
+    try:
+        return Fraction(str(value))
+    except ValueError as error:
+        raise SpecificationError(
+            f"{what} must be a finite number, got {value!r}"
+        ) from error
+
+
 def latency_budget_slots(
     constraint: TemporalConstraint,
     *,
@@ -95,6 +114,12 @@ def latency_budget_slots(
     the value hits the air, which eats into the budget.  The result is the
     ``d``/``T``-style window the broadcast designer receives.
 
+    The division is exact: both durations are interpreted as the decimal
+    literals they were written as (via :class:`~fractions.Fraction`), so
+    a budget that is an exact multiple of the slot duration - e.g.
+    6000 ms at ``slot_ms=0.6`` - yields exactly ``10000`` slots instead
+    of misrounding one short through binary-float truncation.
+
     Raises
     ------
     SpecificationError
@@ -106,8 +131,10 @@ def latency_budget_slots(
         raise SpecificationError(
             f"update_overhead_ms must be >= 0, got {update_overhead_ms}"
         )
-    usable_ms = constraint.max_age_ms - update_overhead_ms
-    budget = int(usable_ms // slot_ms)
+    usable_ms = Fraction(constraint.max_age_ms) - _exact_ms(
+        update_overhead_ms, "update_overhead_ms"
+    )
+    budget = int(usable_ms / _exact_ms(slot_ms, "slot_ms"))
     if budget < 1:
         raise SpecificationError(
             f"temporal constraint {constraint} leaves no slots at "

@@ -17,19 +17,41 @@ line of work it cites).  This module models that loop:
 * the value's **age at completion** is ``finish - version_write_slot``;
   temporal consistency holds when that age fits the item's constraint.
 
-:func:`retrieve_versioned` implements the client; benches sweep update
-periods to show the feasibility frontier between update rate and the
-retrieval window.
+:func:`retrieve_versioned` implements the client as an *occurrence
+walker*: it jumps service-to-service along the program's precomputed
+occurrence index (:attr:`BroadcastProgram.index`), asking the fault
+model about whole batches of candidate slots at once - the same
+treatment :func:`repro.sim.client.retrieve` received.  Slots carrying
+other files never affected the outcome and fault decisions are
+deterministic per ``(seed, slot)``, so the result is bit-identical to
+the seed slot-walking loop (kept in :mod:`repro.rtdb.reference` as the
+executable spec); benches sweep update periods to show the feasibility
+frontier between update rate and the retrieval window.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Mapping
 
 from repro.errors import SimulationError, SpecificationError
 from repro.bdisk.program import BroadcastProgram
-from repro.sim.faults import FaultModel, NoFaults
+from repro.sim.client import default_horizon
+from repro.sim.faults import FaultModel, NoFaults, lost_in
+
+#: Occurrences per batched fault query (the :mod:`repro.sim.client`
+#: convention): large enough to amortize the batch call, small enough
+#: that an early finish wastes little work.
+_FAULT_BATCH = 128
+
+#: Ceiling on the *derived* default horizon, in slots.  A default past
+#: this is almost certainly a configuration accident (an enormous data
+#: cycle); rather than silently walking millions of slots the retrieval
+#: raises and asks the caller to choose ``max_slots`` explicitly.
+#: Caller-chosen horizons are honoured whatever their size - the budget
+#: bounds the *implicit* walk only.
+MAX_DEFAULT_HORIZON = 1 << 22
 
 
 class UpdatingServer:
@@ -42,6 +64,11 @@ class UpdatingServer:
 
     def __init__(self, update_periods: Mapping[str, int]) -> None:
         for item, period in update_periods.items():
+            if not isinstance(period, int) or isinstance(period, bool):
+                raise SpecificationError(
+                    f"update period for {item!r} must be an integer "
+                    f"slot count, got {period!r}"
+                )
             if period < 1:
                 raise SpecificationError(
                     f"update period for {item!r} must be >= 1 slot"
@@ -63,6 +90,35 @@ class UpdatingServer:
     def write_slot(self, item: str, version: int) -> int:
         """The slot at which ``version`` was written."""
         return version * self.period(item)
+
+
+def versioned_horizon(
+    program: BroadcastProgram, m_needed: int, update_period: int
+) -> int:
+    """The default listening horizon for a versioned retrieval.
+
+    The guarantee the default must cover: *when the update period is at
+    least one data cycle, a fault-free retrieval always completes within
+    two data cycles.*  One data cycle of any file carries every one of
+    its block indices (the occurrence tables' block column is a whole
+    number of rotations per cycle), so a version epoch with at least a
+    cycle remaining completes the read, and an epoch boundary - when one
+    is needed at all - arrives within a cycle.  Faster updates than that
+    sit in the torn-read regime, where completion depends on how epoch
+    boundaries align with the rotation; a few extra epochs of listening
+    is all that is worth spending there.
+
+    The default is therefore the plain-retrieval convention
+    (:func:`repro.sim.client.default_horizon`, ``(m + 2)`` data cycles -
+    the fault-free guarantee plus fault margin) stretched by at most one
+    update period, clamped to one extra cycle's worth per epoch regime:
+    ``(m + 2) * cycle + min(period, (m + 2) * cycle)``.  Unlike the old
+    ``(m + 2) * (cycle + period)`` it grows *at most twofold* however
+    long the item's period is, instead of exploding linearly in the
+    period.
+    """
+    base = default_horizon(program, m_needed)
+    return base + min(update_period, base)
 
 
 @dataclass(frozen=True)
@@ -102,45 +158,131 @@ def retrieve_versioned(
     seen (IDA cannot reconstruct across versions).  The result reports
     the version obtained, its age when retrieval completed, and how many
     blocks were thrown away to torn reads.
+
+    The client walks the occurrence index service-to-service with
+    batched fault queries; outcomes are bit-identical to the slot
+    walker preserved in :func:`repro.rtdb.reference.retrieve_versioned`.
+
+    Raises
+    ------
+    SimulationError
+        If ``file`` is not broadcast, or no ``max_slots`` was given and
+        the derived default horizon exceeds :data:`MAX_DEFAULT_HORIZON`
+        (pass an explicit ``max_slots`` to listen longer deliberately).
     """
     if file not in program.files:
         raise SimulationError(f"file {file!r} is not broadcast")
     fault_model = faults if faults is not None else NoFaults()
     update_period = server.period(file)
-    horizon = (
-        max_slots
-        if max_slots is not None
-        else (m_needed + 2) * (program.data_cycle_length + update_period)
-    )
+    if max_slots is not None:
+        horizon = max_slots
+    else:
+        horizon = versioned_horizon(program, m_needed, update_period)
+        if horizon > MAX_DEFAULT_HORIZON:
+            raise SimulationError(
+                f"default horizon for a versioned retrieval of {file!r} "
+                f"is {horizon} slots (m={m_needed}, data cycle "
+                f"{program.data_cycle_length}, period {update_period}), "
+                f"past the {MAX_DEFAULT_HORIZON}-slot budget; pass "
+                f"max_slots to listen that long deliberately"
+            )
+    end = start + horizon
 
     held: set[int] = set()
     held_version: int | None = None
     discards = 0
-    for t in range(start, start + horizon):
-        content = program.slot_content(t)
-        if content is None or content.file != file:
-            continue
-        if fault_model.is_lost(t):
-            continue
-        version = server.version_at(file, t)
-        if held_version is None or version > held_version:
-            discards += len(held)
-            held = set()
-            held_version = version
-        elif version < held_version:  # pragma: no cover - monotone clock
-            continue
-        held.add(content.block_index)
-        if len(held) >= m_needed:
-            write = server.write_slot(file, held_version)
-            return VersionedRetrieval(
-                file=file,
-                completed=True,
-                finish_slot=t,
-                latency=t - start + 1,
-                version=held_version,
-                age_at_completion=t - write,
-                torn_discards=discards,
-            )
+
+    index = program.index
+    occ_slots = index.occurrence_slots(file)
+    occ_blocks = index.occurrence_blocks(file)
+    count = len(occ_slots)
+    cycle = index.data_cycle_length
+    quotient, within = divmod(start, cycle)
+    base = quotient * cycle
+    i = bisect_left(occ_slots, within)
+
+    # The version-absorb step is inlined in both walks below (a per-
+    # occurrence function call would dominate the fault-free path):
+    # a newer version discards everything held; an older one (never
+    # produced by the monotone clock) would be skipped; completion
+    # reports the held version's write-slot age.
+    if isinstance(fault_model, NoFaults):
+        # Fault-free fast path: no decisions to make, walk the arrays.
+        held_add = held.add
+        while base < end:
+            while i < count:
+                slot = base + occ_slots[i]
+                if slot >= end:
+                    base = end  # horizon exhausted
+                    break
+                block = occ_blocks[i]
+                i += 1
+                version = slot // update_period
+                if version != held_version:
+                    if held:
+                        discards += len(held)
+                        held = set()
+                        held_add = held.add
+                    held_version = version
+                held_add(block)
+                if len(held) >= m_needed:
+                    return VersionedRetrieval(
+                        file=file,
+                        completed=True,
+                        finish_slot=slot,
+                        latency=slot - start + 1,
+                        version=version,
+                        age_at_completion=slot - version * update_period,
+                        torn_discards=discards,
+                    )
+            else:
+                base += cycle
+                i = 0
+    else:
+        while base < end:
+            # Gather the next batch of service slots inside the horizon
+            # and decide their fates in one fault-model call.
+            batch_slots: list[int] = []
+            batch_blocks: list[int] = []
+            while len(batch_slots) < _FAULT_BATCH:
+                if i >= count:
+                    base += cycle
+                    i = 0
+                    if base >= end:
+                        break
+                    continue
+                slot = base + occ_slots[i]
+                if slot >= end:
+                    base = end
+                    break
+                batch_slots.append(slot)
+                batch_blocks.append(occ_blocks[i])
+                i += 1
+            if not batch_slots:
+                break
+            decisions = lost_in(fault_model, batch_slots)
+            for slot, block, is_lost in zip(
+                batch_slots, batch_blocks, decisions
+            ):
+                if is_lost:
+                    continue
+                version = slot // update_period
+                if version != held_version:
+                    if held:
+                        discards += len(held)
+                        held = set()
+                    held_version = version
+                held.add(block)
+                if len(held) >= m_needed:
+                    return VersionedRetrieval(
+                        file=file,
+                        completed=True,
+                        finish_slot=slot,
+                        latency=slot - start + 1,
+                        version=version,
+                        age_at_completion=slot - version * update_period,
+                        torn_discards=discards,
+                    )
     return VersionedRetrieval(
         file=file,
         completed=False,

@@ -34,6 +34,9 @@ METRIC_COLUMNS = (
     "sim_bounded",
     "traffic_miss_rate",
     "traffic_abort_rate",
+    "traffic_deadline_miss",
+    "traffic_consistency",
+    "traffic_mean_age",
     "traffic_p50",
     "traffic_p95",
     "traffic_p99",
@@ -100,9 +103,18 @@ def tidy_row(row: Mapping[str, Any]) -> dict[str, Any]:
         latency = traffic.get("latency") or {}
         record["traffic_miss_rate"] = traffic.get("miss_rate")
         record["traffic_abort_rate"] = traffic.get("abort_rate")
+        record["traffic_deadline_miss"] = traffic.get("deadline_miss_rate")
         record["traffic_p50"] = latency.get("p50")
         record["traffic_p95"] = latency.get("p95")
         record["traffic_p99"] = latency.get("p99")
+        temporal = traffic.get("temporal")
+        if temporal is not None:
+            record["traffic_consistency"] = temporal.get(
+                "consistency_rate"
+            )
+            record["traffic_mean_age"] = (temporal.get("age") or {}).get(
+                "mean"
+            )
     delay_table = result.get("delay_table") or []
     if delay_table:
         record["worst_delay"] = max(

@@ -431,6 +431,7 @@ def run_sweep(
                             metrics=merged,
                             elapsed=traffic_elapsed,
                             workers=len(shard_futures),
+                            temporal=cell.scenario.temporal is not None,
                         ).to_dict()
                         cell_elapsed = traffic_elapsed
                     row = _row(

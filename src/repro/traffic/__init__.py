@@ -46,7 +46,11 @@ from repro.traffic.arrivals import (
     popularity_weights,
     think_slots,
 )
-from repro.traffic.clients import ClientSession, RequestRecord
+from repro.traffic.clients import (
+    ClientSession,
+    RequestRecord,
+    TransactionSession,
+)
 from repro.traffic.kernel import EventKernel
 from repro.traffic.metrics import (
     P2Quantile,
@@ -73,6 +77,7 @@ __all__ = [
     "TrafficMetrics",
     "TrafficResult",
     "TrafficSpec",
+    "TransactionSession",
     "arrival_rng",
     "arrival_slot",
     "client_rng",

@@ -21,6 +21,13 @@ Two invariants match the paper's receiver model:
 Sessions optionally front their retrievals with a
 :class:`repro.sim.cache.CachingClient` (LRU or PIX replacement): a hit
 answers in zero slots, a miss pays the broadcast latency and inserts.
+
+Temporal (rtdb) workloads run :class:`TransactionSession` instead: each
+request draws a *read transaction* from a weighted mix, fetches its
+items sequentially with version-consistent retrievals, and feeds the
+per-item staleness dimension (age, freshness, torn discards) into the
+metrics alongside the usual transaction-level latency and deadline
+accounting.
 """
 
 from __future__ import annotations
@@ -28,9 +35,10 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from itertools import accumulate
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.errors import SimulationError
+from repro.rtdb.transactions import ReadTransaction
 from repro.sim.cache import CachingClient
 from repro.sim.workload import sample_accesses
 from repro.traffic.arrivals import think_slots
@@ -42,6 +50,15 @@ from repro.traffic.metrics import TrafficMetrics
 #: exhausted); ``finish_slot`` is the last slot the client listened to
 #: either way, so the session knows when its receiver frees up.
 Retriever = Callable[[str, int], tuple[int | None, int]]
+
+#: A version-consistent retrieval oracle:
+#: ``(file, start) -> (latency, finish_slot, age, torn_discards)``.
+#: ``latency``/``finish_slot`` follow the :data:`Retriever` convention;
+#: ``age`` is the completed value's age in slots (``None`` on abort);
+#: ``torn_discards`` counts blocks discarded to mid-retrieval updates.
+VersionedRetriever = Callable[
+    [str, int], tuple[int | None, int, int | None, int]
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -180,5 +197,131 @@ class ClientSession:
     def __repr__(self) -> str:
         return (
             f"ClientSession(index={self.index}, "
+            f"remaining={self._remaining})"
+        )
+
+
+class TransactionSession:
+    """One open-loop client issuing read transactions over versioned items.
+
+    The temporal counterpart of :class:`ClientSession`: each request
+    draws one :class:`~repro.rtdb.transactions.ReadTransaction` from the
+    weighted mix and fetches its items *sequentially* (single receiver)
+    with the version-consistent retriever.  Per item the session records
+    the completed value's age against the item's freshness bound
+    (``max_age_slots``); per transaction it records the end-to-end
+    response time against the transaction's deadline.  An item retrieval
+    that exhausts its horizon aborts the whole transaction (the
+    remaining items are not attempted - their deadline is already
+    unmeetable and the receiver has burnt the horizon listening).
+
+    Behaviour is derived from the client index alone (RNG substream,
+    one mix draw + one think draw per request), so populations shard
+    exactly like plain sessions.
+    """
+
+    __slots__ = (
+        "index",
+        "_rng",
+        "_mix",
+        "_cum_weights",
+        "_max_age",
+        "_remaining",
+        "_think_mean",
+        "_retriever",
+        "_metrics",
+        "_trace",
+        "_busy_until",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        rng: random.Random,
+        mix: Sequence[ReadTransaction],
+        weights: Sequence[float],
+        max_age_slots: Mapping[str, int],
+        *,
+        requests: int,
+        think_mean: int,
+        retriever: VersionedRetriever,
+        metrics: TrafficMetrics,
+        trace: list[RequestRecord] | None = None,
+    ) -> None:
+        if len(mix) != len(weights):
+            raise SimulationError(
+                f"transaction mix has {len(mix)} entries but "
+                f"{len(weights)} weights"
+            )
+        if not mix:
+            raise SimulationError("transaction mix must not be empty")
+        self.index = index
+        self._rng = rng
+        self._mix = list(mix)
+        self._cum_weights = list(accumulate(weights))
+        self._max_age = max_age_slots
+        self._remaining = requests
+        self._think_mean = think_mean
+        self._retriever = retriever
+        self._metrics = metrics
+        self._trace = trace
+        self._busy_until = -1
+
+    def begin(self, kernel: EventKernel, arrival: int) -> None:
+        """Schedule the session's first transaction at its arrival slot."""
+        kernel.schedule(arrival, self.issue)
+
+    def issue(self, kernel: EventKernel) -> None:
+        """Issue one transaction at ``kernel.now`` and chain the next."""
+        now = kernel.now
+        if now <= self._busy_until:
+            raise SimulationError(
+                f"client {self.index}: transaction at slot {now} while "
+                f"the receiver is busy until slot {self._busy_until} "
+                f"(single-receiver constraint violated)"
+            )
+        txn = self._mix[
+            sample_accesses(
+                self._rng, None, 1, cum_weights=self._cum_weights
+            )[0]
+        ]
+        clock = now
+        finish = now
+        aborted = False
+        for item in txn.items:
+            latency, finish, age, torn = self._retriever(item, clock)
+            self._metrics.record_versioned_read(
+                age,
+                age is not None and age <= self._max_age[item],
+                torn,
+            )
+            if latency is None:
+                aborted = True
+                break
+            clock = finish + 1
+        self._busy_until = finish
+
+        response = None if aborted else finish - now + 1
+        self._metrics.record(txn.name, response, txn.deadline_slots)
+        if self._trace is not None:
+            self._trace.append(
+                RequestRecord(
+                    client=self.index,
+                    file=txn.name,
+                    issued=now,
+                    latency=response,
+                    deadline=txn.deadline_slots,
+                    cache_hit=False,
+                )
+            )
+
+        self._remaining -= 1
+        if self._remaining > 0:
+            think = think_slots(self._rng, self._think_mean)
+            kernel.schedule(finish + 1 + think, self.issue)
+
+    def __repr__(self) -> str:
+        return (
+            f"TransactionSession(index={self.index}, "
             f"remaining={self._remaining})"
         )

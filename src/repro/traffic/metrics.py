@@ -11,8 +11,11 @@ module keeps everything online:
   stream, for tail inspection and debugging;
 * :class:`TrafficMetrics` - the per-shard accumulator: request /
   completion / abort / deadline-miss counters, running mean and worst
-  latency, live P2 quantiles, a reservoir, and per-file hit counts
-  (aggregate per disk via :meth:`TrafficMetrics.hits_by`).
+  latency, live P2 quantiles, a reservoir, per-file hit counts
+  (aggregate per disk via :meth:`TrafficMetrics.hits_by`), and - for
+  version-consistent (temporal) workloads - staleness tracking: per-item
+  read ages, consistency rate, and torn-read discards, kept as an exact
+  age histogram so shard merging stays exact.
 
 By default the accumulator keeps the exact integer-latency histogram -
 latencies are slot counts, so the histogram is bounded by the retrieval
@@ -235,8 +238,14 @@ class TrafficMetrics:
         self.worst = 0
         self.requests_by_file: dict[str, int] = {}
         self.hits_by_file: dict[str, int] = {}
+        self.item_reads = 0
+        self.stale_reads = 0
+        self.torn_discards = 0
+        self.age_sum = 0
+        self.worst_age = 0
         self.reservoir = ReservoirSample(reservoir_capacity, seed=seed)
         self._counts: dict[int, int] | None = {} if exact_counts else None
+        self._ages: dict[int, int] | None = {} if exact_counts else None
         self._estimators = {q: P2Quantile(q) for q in TRACKED_QUANTILES}
 
     # ------------------------------------------------------------------
@@ -281,6 +290,31 @@ class TrafficMetrics:
         self.cache_misses += misses
         self.cache_evictions += evictions
 
+    def record_versioned_read(
+        self, age: int | None, fresh: bool, torn: int
+    ) -> None:
+        """Record one version-consistent item read.
+
+        ``age`` is the value's age at completion in slots (``None`` for
+        a read that never completed - only its torn discards count);
+        ``fresh`` is whether that age satisfied the item's temporal
+        constraint; ``torn`` is how many blocks the read threw away to
+        mid-retrieval version updates.  Transaction-level latency /
+        deadline accounting goes through :meth:`record` as usual - this
+        method carries the per-item freshness dimension.
+        """
+        self.torn_discards += torn
+        if age is None:
+            return
+        self.item_reads += 1
+        if not fresh:
+            self.stale_reads += 1
+        self.age_sum += age
+        if age > self.worst_age:
+            self.worst_age = age
+        if self._ages is not None:
+            self._ages[age] = self._ages.get(age, 0) + 1
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
@@ -303,6 +337,53 @@ class TrafficMetrics:
         if not self.requests:
             return 0.0
         return (self.aborts + self.deadline_misses) / self.requests
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Fraction of requests that completed past their deadline."""
+        return self.deadline_misses / self.requests if self.requests else 0.0
+
+    @property
+    def consistency_rate(self) -> float:
+        """Fraction of completed item reads that were temporally fresh.
+
+        1.0 with no versioned reads recorded (nothing violated a
+        constraint); the denominator is *completed* reads - aborted
+        retrievals count against :attr:`abort_rate`, not staleness.
+        """
+        if not self.item_reads:
+            return 1.0
+        return (self.item_reads - self.stale_reads) / self.item_reads
+
+    @property
+    def mean_age(self) -> float:
+        """Mean age at completion of versioned item reads, in slots."""
+        return self.age_sum / self.item_reads if self.item_reads else 0.0
+
+    @property
+    def ages(self) -> dict[int, int]:
+        """The exact age histogram (requires ``exact_counts``)."""
+        if self._ages is None:
+            raise SimulationError(
+                "this accumulator was built with exact_counts=False"
+            )
+        return dict(self._ages)
+
+    def age_quantile(self, q: float) -> float:
+        """The ``q``-quantile of completed read ages (exact mode only)."""
+        if self._ages is None:
+            raise SimulationError(
+                "this accumulator was built with exact_counts=False"
+            )
+        if not self.item_reads:
+            return math.nan
+        if not 0.0 < q < 1.0:
+            raise SpecificationError(f"quantile must be in (0, 1): {q}")
+        return float(
+            _percentile_from_counts(
+                sorted(self._ages.items()), self.item_reads, q
+            )
+        )
 
     def quantile(self, q: float) -> float:
         """The ``q``-quantile of completed latencies.
@@ -438,6 +519,7 @@ class TrafficMetrics:
         )
         out = cls(exact_counts=True, reservoir_capacity=capacity, seed=seed)
         counts: dict[int, int] = {}
+        ages: dict[int, int] = {}
         for part in parts:
             out.requests += part.requests
             out.completions += part.completions
@@ -448,6 +530,11 @@ class TrafficMetrics:
             out.cache_evictions += part.cache_evictions
             out.latency_sum += part.latency_sum
             out.worst = max(out.worst, part.worst)
+            out.item_reads += part.item_reads
+            out.stale_reads += part.stale_reads
+            out.torn_discards += part.torn_discards
+            out.age_sum += part.age_sum
+            out.worst_age = max(out.worst_age, part.worst_age)
             for file, n in part.requests_by_file.items():
                 out.requests_by_file[file] = (
                     out.requests_by_file.get(file, 0) + n
@@ -457,7 +544,11 @@ class TrafficMetrics:
             assert part._counts is not None
             for value, n in part._counts.items():
                 counts[value] = counts.get(value, 0) + n
+            if part._ages is not None:
+                for value, n in part._ages.items():
+                    ages[value] = ages.get(value, 0) + n
         out._counts = counts
+        out._ages = ages
         # The reservoir is resampled from the merged histogram; the live
         # P2 estimators stay unfed (the stream was consumed shard-side)
         # and quantile() answers exactly from the histogram instead.

@@ -27,8 +27,17 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
+from math import lcm
+
 from repro.errors import SimulationError, SpecificationError
 from repro.bdisk.program import BroadcastProgram
+from repro.rtdb.spec import TemporalSpec
+from repro.rtdb.transactions import ReadTransaction
+from repro.rtdb.updates import (
+    UpdatingServer,
+    retrieve_versioned,
+    versioned_horizon,
+)
 from repro.sim.cache import CachingClient, LruCache, PixCache
 from repro.sim.client import default_horizon, retrieve
 from repro.sim.faults import FaultModel, NoFaults
@@ -39,7 +48,11 @@ from repro.traffic.arrivals import (
     client_rng,
     popularity_weights,
 )
-from repro.traffic.clients import ClientSession, RequestRecord
+from repro.traffic.clients import (
+    ClientSession,
+    RequestRecord,
+    TransactionSession,
+)
 from repro.traffic.kernel import EventKernel
 from repro.traffic.metrics import TrafficMetrics
 from repro.traffic.spec import TrafficSpec
@@ -118,6 +131,157 @@ class _Retriever:
         return latency, start + latency - 1
 
 
+#: Ceiling on the joint (data cycle x update period) phase space a
+#: fault-free versioned retrieval memo may key on.  The memo is lazy -
+#: it grows one entry per distinct phase actually requested - so the cap
+#: only guards the degenerate regime where the joint period is so large
+#: that hits are hopeless and the dict would just mirror the request
+#: stream.
+_VERSION_MEMO_CAP = 1 << 20
+
+
+class _VersionedRetriever:
+    """The version-consistent retrieval oracle transaction sessions call.
+
+    Returns ``(latency, finish_slot, age, torn_discards)`` per the
+    :data:`repro.traffic.clients.VersionedRetriever` convention.  Over
+    the failure-free channel an outcome depends on the start slot only
+    through its phase modulo ``lcm(data cycle, update period)`` - the
+    content table repeats with the cycle and the version clock with the
+    period - so heavy traffic pays one real retrieval per ``(file,
+    joint phase)`` when that joint period is modest
+    (:data:`_VERSION_MEMO_CAP`).  Stochastic fault models key decisions
+    on absolute slots, so every request there retrieves for real (still
+    occurrence-walking, with batched fault queries).
+    """
+
+    __slots__ = (
+        "_program", "_sizes", "_server", "_faults", "_max_slots",
+        "_memo", "_joint",
+    )
+
+    def __init__(
+        self,
+        program: BroadcastProgram,
+        file_sizes: Mapping[str, int],
+        server: UpdatingServer,
+        faults: FaultModel,
+        max_slots: int | None,
+    ) -> None:
+        self._program = program
+        self._sizes = file_sizes
+        self._server = server
+        self._faults = faults
+        self._max_slots = max_slots
+        cycle = program.data_cycle_length
+        self._joint = {
+            file: lcm(cycle, server.period(file)) for file in file_sizes
+        }
+        self._memo: dict[tuple[str, int], tuple] | None = (
+            {} if isinstance(faults, NoFaults) else None
+        )
+
+    def horizon(self, file: str) -> int:
+        """Slots a retrieval of ``file`` listens before giving up."""
+        if self._max_slots is not None:
+            return self._max_slots
+        return versioned_horizon(
+            self._program, self._sizes[file], self._server.period(file)
+        )
+
+    def _real(
+        self, file: str, start: int
+    ) -> tuple[int | None, int | None, int]:
+        # The user's max_slots override passes through verbatim; None
+        # lets retrieve_versioned derive its own default so the
+        # MAX_DEFAULT_HORIZON budget guard stays in force (handing the
+        # derived value over as an explicit horizon would launder it
+        # into a "caller-chosen" one and silently walk a huge cycle).
+        result = retrieve_versioned(
+            self._program,
+            self._server,
+            file,
+            self._sizes[file],
+            start=start,
+            faults=self._faults,
+            max_slots=self._max_slots,
+        )
+        return result.latency, result.age_at_completion, result.torn_discards
+
+    def __call__(
+        self, file: str, start: int
+    ) -> tuple[int | None, int, int | None, int]:
+        memo = self._memo
+        joint = self._joint[file]
+        if memo is None or joint > _VERSION_MEMO_CAP:
+            latency, age, torn = self._real(file, start)
+        else:
+            # Fault-free: latency, age, and torn discards are invariant
+            # under shifting the start by the joint period (a multiple
+            # of both the content cycle and the version period).
+            key = (file, start % joint)
+            try:
+                latency, age, torn = memo[key]
+            except KeyError:
+                latency, age, torn = memo[key] = self._real(file, key[1])
+        if latency is None:
+            return None, start + self.horizon(file) - 1, age, torn
+        return latency, start + latency - 1, age, torn
+
+
+def _temporal_mix(
+    temporal: TemporalSpec,
+    catalogue: tuple[str, ...],
+    deadlines: Mapping[str, int],
+    weights: Sequence[float],
+) -> tuple[list[ReadTransaction], list[float]]:
+    """The weighted transaction mix a temporal population draws from.
+
+    An explicit mix is used verbatim with its declared weights; without
+    one, every catalogue file becomes a single-item transaction whose
+    deadline is the file's design deadline, weighted by the traffic
+    spec's popularity law - the versioned analogue of plain sessions.
+    """
+    if temporal.transactions:
+        return (
+            [txn.as_transaction() for txn in temporal.transactions],
+            [txn.weight for txn in temporal.transactions],
+        )
+    return (
+        [
+            ReadTransaction(file, (file,), deadlines[file])
+            for file in catalogue
+        ],
+        list(weights),
+    )
+
+
+def _validate_temporal(
+    temporal: TemporalSpec,
+    spec: TrafficSpec,
+    catalogue: tuple[str, ...],
+) -> None:
+    items = {item.name for item in temporal.items}
+    missing = set(catalogue) - items
+    if missing:
+        raise SimulationError(
+            f"catalogue files {sorted(missing)} are not temporal items"
+        )
+    for txn in temporal.transactions:
+        ghost = set(txn.items) - set(catalogue)
+        if ghost:
+            raise SimulationError(
+                f"transaction {txn.name!r} reads items {sorted(ghost)} "
+                f"outside the broadcast catalogue"
+            )
+    if spec.cache is not None:
+        raise SpecificationError(
+            "client caches do not apply to version-consistent reads "
+            "(a cached copy would go stale); remove the traffic cache "
+            "from temporal scenarios"
+        )
+
+
 def shard_bounds(clients: int, shards: int) -> list[tuple[int, int]]:
     """Contiguous ``[lo, hi)`` client ranges splitting a population.
 
@@ -173,6 +337,7 @@ def simulate_traffic_shard(
     file_sizes: Mapping[str, int],
     deadlines: Mapping[str, int],
     faults: Any = None,
+    temporal: TemporalSpec | None = None,
     lo: int,
     hi: int,
 ) -> TrafficMetrics:
@@ -189,6 +354,8 @@ def simulate_traffic_shard(
     """
     catalogue = tuple(catalogue)
     _validate_population(program, catalogue, file_sizes, deadlines)
+    if temporal is not None:
+        _validate_temporal(temporal, spec, catalogue)
     if not 0 <= lo < hi <= spec.clients:
         raise SpecificationError(
             f"shard [{lo}, {hi}) is not a sub-range of "
@@ -197,7 +364,8 @@ def simulate_traffic_shard(
     sizes = {file: file_sizes[file] for file in catalogue}
     limits = {file: deadlines[file] for file in catalogue}
     metrics, _ = _simulate_shard(
-        program, catalogue, spec, sizes, limits, faults, lo, hi, False,
+        program, catalogue, spec, sizes, limits, faults, temporal,
+        lo, hi, False,
     )
     return metrics
 
@@ -224,6 +392,7 @@ def _simulate_shard(
     file_sizes: dict[str, int],
     deadlines: dict[str, int],
     faults: Any,
+    temporal: TemporalSpec | None,
     lo: int,
     hi: int,
     trace: bool,
@@ -235,7 +404,6 @@ def _simulate_shard(
     outcome.
     """
     fault_model = _build_fault_model(faults)
-    retriever = _Retriever(program, file_sizes, fault_model, spec.max_slots)
     weights = popularity_weights(
         spec.popularity,
         len(catalogue),
@@ -245,6 +413,48 @@ def _simulate_shard(
     )
     metrics = TrafficMetrics(seed=spec.seed)
     records: list[RequestRecord] | None = [] if trace else None
+
+    if temporal is not None:
+        versioned = _VersionedRetriever(
+            program,
+            file_sizes,
+            temporal.server(),
+            fault_model,
+            spec.max_slots,
+        )
+        mix, mix_weights = _temporal_mix(
+            temporal, catalogue, deadlines, weights
+        )
+        max_age = temporal.max_age_slots()
+        kernel = EventKernel()
+        for index in range(lo, hi):
+            TransactionSession(
+                index,
+                client_rng(spec.seed, index),
+                mix,
+                mix_weights,
+                max_age,
+                requests=spec.requests_per_client,
+                think_mean=spec.think_time,
+                retriever=versioned,
+                metrics=metrics,
+                trace=records,
+            ).begin(
+                kernel,
+                arrival_slot(
+                    spec.arrival,
+                    arrival_rng(spec.seed, index),
+                    index,
+                    spec.clients,
+                    spec.duration,
+                    bursts=spec.bursts,
+                    burst_width=spec.burst_width,
+                ),
+            )
+        kernel.run()
+        return metrics, records if records is not None else []
+
+    retriever = _Retriever(program, file_sizes, fault_model, spec.max_slots)
 
     pix: PixCache | None = None
     if spec.cache == "pix":
@@ -303,12 +513,17 @@ class TrafficResult:
     unless the run was traced.  ``elapsed`` is wall-clock seconds for
     the whole run including any process-pool overhead, which makes
     :attr:`requests_per_sec` the *sustained* simulated request rate.
+    ``temporal`` records whether the population ran version-consistent
+    transaction sessions - it keeps the freshness block in reports and
+    records even when every read aborted (item_reads of zero must read
+    as "nothing ever completed", not "not a temporal run").
     """
 
     spec: TrafficSpec
     metrics: TrafficMetrics
     elapsed: float
     workers: int
+    temporal: bool = False
     trace: tuple[RequestRecord, ...] = field(default=())
 
     @property
@@ -370,6 +585,20 @@ class TrafficResult:
             f"misses    : miss rate {self.miss_rate:.3f} "
             f"(deadline {self.deadline_misses}, aborts {self.aborts})"
         )
+        if m.item_reads:
+            lines.append(
+                f"freshness : consistency {m.consistency_rate:.3f} "
+                f"({m.stale_reads} stale of {m.item_reads} reads), "
+                f"age mean {m.mean_age:.1f} "
+                f"p95 {m.age_quantile(0.95):.0f} "
+                f"worst {m.worst_age} slots, "
+                f"torn {m.torn_discards}"
+            )
+        elif self.temporal:
+            lines.append(
+                f"freshness : no read ever completed "
+                f"(torn {m.torn_discards})"
+            )
         if self.spec.cache is not None:
             accesses = m.cache_hits + m.cache_misses
             ratio = m.cache_hits / accesses if accesses else 0.0
@@ -410,6 +639,30 @@ class TrafficResult:
                 "misses": m.cache_misses,
                 "evictions": m.cache_evictions,
             }
+        temporal = None
+        if self.temporal or m.item_reads:
+            # An all-abort temporal run still reports its block: torn
+            # discards are the diagnostic there, and consistency is
+            # null ("undefined"), not 1.0, when nothing ever completed.
+            temporal = {
+                "item_reads": m.item_reads,
+                "stale_reads": m.stale_reads,
+                "consistency_rate": (
+                    m.consistency_rate if m.item_reads else None
+                ),
+                "torn_discards": m.torn_discards,
+                "age": (
+                    {
+                        "mean": finite(m.mean_age),
+                        "p50": finite(m.age_quantile(0.50)),
+                        "p95": finite(m.age_quantile(0.95)),
+                        "p99": finite(m.age_quantile(0.99)),
+                        "worst": m.worst_age,
+                    }
+                    if m.item_reads
+                    else None
+                ),
+            }
         return {
             "spec": self.spec.to_dict(),
             "requests": self.requests,
@@ -418,10 +671,12 @@ class TrafficResult:
             "deadline_misses": self.deadline_misses,
             "abort_rate": self.abort_rate,
             "miss_rate": self.miss_rate,
+            "deadline_miss_rate": m.deadline_miss_rate,
             "requests_per_sec": round(self.requests_per_sec, 1),
             "workers": self.workers,
             "latency": latency,
             "cache": cache,
+            "temporal": temporal,
             "requests_by_file": dict(
                 sorted(m.requests_by_file.items())
             ),
@@ -436,6 +691,7 @@ def simulate_traffic(
     file_sizes: Mapping[str, int],
     deadlines: Mapping[str, int],
     faults: Any = None,
+    temporal: TemporalSpec | None = None,
     max_workers: int | None = None,
     trace: bool = False,
 ) -> TrafficResult:
@@ -462,6 +718,15 @@ def simulate_traffic(
         channel.  Parallel shards each build their own instance -
         decisions are deterministic per ``(seed, slot)``, so all shards
         observe the same channel.
+    temporal:
+        Optional :class:`~repro.rtdb.TemporalSpec`.  When given, the
+        population runs :class:`~repro.traffic.clients.TransactionSession`
+        clients: requests draw read transactions from the spec's mix
+        (or single-item reads without one), items are retrieved
+        version-consistently against the spec's update clocks, and the
+        metrics gain the staleness dimension (ages, consistency rate,
+        torn discards).  Client caches are rejected here - a cached
+        copy would go stale.
     max_workers:
         ``None`` or ``1`` simulates in-process; a larger value shards
         the population across a process pool.  Results are bit-identical
@@ -473,6 +738,8 @@ def simulate_traffic(
     """
     catalogue = tuple(catalogue)
     _validate_population(program, catalogue, file_sizes, deadlines)
+    if temporal is not None:
+        _validate_temporal(temporal, spec, catalogue)
     if max_workers is not None:
         if not isinstance(max_workers, int) or isinstance(max_workers, bool):
             raise SpecificationError(
@@ -495,7 +762,7 @@ def simulate_traffic(
         parts = [
             _simulate_shard(
                 program, catalogue, spec, sizes, limits, faults,
-                0, spec.clients, trace,
+                temporal, 0, spec.clients, trace,
             )
         ]
     else:
@@ -507,7 +774,7 @@ def simulate_traffic(
                 pool.submit(
                     _simulate_shard,
                     program, catalogue, spec, sizes, limits, faults,
-                    lo, hi, trace,
+                    temporal, lo, hi, trace,
                 )
                 for lo, hi in bounds
             ]
@@ -532,5 +799,6 @@ def simulate_traffic(
         metrics=metrics,
         elapsed=elapsed,
         workers=workers,
+        temporal=temporal is not None,
         trace=records,
     )

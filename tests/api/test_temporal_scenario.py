@@ -1,0 +1,215 @@
+"""Tests for temporal (rtdb) scenarios through the Scenario/engine API."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.api import (
+    BroadcastEngine,
+    FaultSpec,
+    Scenario,
+    TemporalItemSpec,
+    TemporalSpec,
+    TrafficSpec,
+    TransactionSpec,
+    run_scenario,
+)
+
+
+def make_temporal(**overrides):
+    payload = dict(
+        slot_ms=10,
+        items=(
+            TemporalItemSpec(
+                "air", blocks=2, velocity_kmh=900, accuracy_m=100,
+                criticality={"combat": 4, "patrol": 2},
+            ),
+            TemporalItemSpec(
+                "map", blocks=3, max_age_ms=6000,
+                criticality={"combat": 3},
+            ),
+        ),
+        update_periods={"air": 24, "map": 300},
+        mode="combat",
+        modes=("combat", "patrol"),
+    )
+    payload.update(overrides)
+    return TemporalSpec(**payload)
+
+
+def make_scenario(temporal=None, **overrides):
+    return Scenario(
+        name="temporal-test",
+        temporal=temporal if temporal is not None else make_temporal(),
+        **overrides,
+    )
+
+
+class TestTemporalScenario:
+    def test_catalogue_is_derived(self):
+        scenario = make_scenario()
+        assert [f.name for f in scenario.files] == ["air", "map"]
+        air = scenario.files[0]
+        assert (air.blocks, air.latency, air.fault_budget) == (2, 40, 4)
+
+    def test_files_and_temporal_are_mutually_exclusive(self):
+        from repro.bdisk.file import FileSpec
+
+        with pytest.raises(SpecificationError):
+            Scenario(
+                name="bad",
+                files=(FileSpec("x", 1, 5),),
+                temporal=make_temporal(),
+            )
+
+    def test_dataclasses_replace_keeps_working(self):
+        scenario = make_scenario()
+        bumped = dataclasses.replace(
+            scenario, traffic=TrafficSpec(clients=5, duration=50)
+        )
+        assert bumped.files == scenario.files
+
+    def test_bandwidth_mode_redundancy_rejected(self):
+        with pytest.raises(SpecificationError):
+            make_scenario(bandwidth=2)
+        with pytest.raises(SpecificationError):
+            from repro.ida.aida import RedundancyPolicy
+
+            make_scenario(
+                mode="combat",
+                redundancy=RedundancyPolicy({"combat": {"air": 1}}),
+            )
+
+    def test_json_round_trip(self):
+        scenario = make_scenario(
+            temporal=make_temporal(
+                transactions=(
+                    TransactionSpec("engage", ["air", "map"], 700),
+                ),
+            ),
+            traffic=TrafficSpec(clients=10, duration=100, seed=3),
+            faults=FaultSpec(kind="bernoulli", probability=0.02, seed=9),
+        )
+        restored = Scenario.from_json(scenario.to_json())
+        assert restored == scenario
+        # The serialized payload carries the temporal block, not the
+        # derived files (they are re-derived on load).
+        payload = json.loads(scenario.to_json())
+        assert payload["files"] == []
+        assert payload["temporal"]["mode"] == "combat"
+
+    def test_design_fingerprint_ignores_runtime_knobs(self):
+        """Update periods and transaction mixes are runtime knobs: a
+        sweep over them must stay one solve-cache entry."""
+        base = make_scenario()
+        slow = make_scenario(
+            temporal=make_temporal(
+                update_periods={"air": 1000, "map": 2000}
+            )
+        )
+        mixed = make_scenario(
+            temporal=make_temporal(
+                transactions=(
+                    TransactionSpec("engage", ["air", "map"], 700),
+                ),
+            )
+        )
+        assert slow.design_fingerprint() == base.design_fingerprint()
+        assert mixed.design_fingerprint() == base.design_fingerprint()
+
+    def test_design_fingerprint_tracks_the_mode(self):
+        base = make_scenario()
+        patrol = make_scenario(temporal=make_temporal(mode="patrol"))
+        assert patrol.design_fingerprint() != base.design_fingerprint()
+
+    def test_design_fingerprint_tracks_slot_duration(self):
+        base = make_scenario()
+        finer = make_scenario(temporal=make_temporal(slot_ms=5))
+        assert finer.design_fingerprint() != base.design_fingerprint()
+
+    def test_designs_at_bandwidth_one(self):
+        result = run_scenario(make_scenario())
+        assert result.stats.bandwidth == 1
+        # Budgets are slots: deadlines equal the file latencies.
+        engine = BroadcastEngine(make_scenario())
+        deadlines = engine._deadlines(engine.design())
+        assert deadlines == {"air": 40, "map": 600}
+
+    def test_summary_reports_the_temporal_layer(self):
+        result = run_scenario(make_scenario())
+        assert "temporal  :" in result.summary()
+        assert "mode combat" in result.summary()
+
+
+class TestTemporalTrafficThroughEngine:
+    def _scenario(self, **traffic_overrides):
+        traffic = dict(
+            clients=40, duration=600, requests_per_client=2, seed=11
+        )
+        traffic.update(traffic_overrides)
+        return make_scenario(
+            temporal=make_temporal(
+                transactions=(
+                    TransactionSpec(
+                        "engage", ["air", "map"], 700, weight=3.0
+                    ),
+                    TransactionSpec("peek", ["air"], 60),
+                ),
+            ),
+            traffic=TrafficSpec(**traffic),
+        )
+
+    def test_traffic_reports_consistency_metrics(self):
+        result = BroadcastEngine(self._scenario()).run()
+        traffic = result.traffic
+        assert traffic is not None
+        assert traffic.metrics.item_reads > 0
+        payload = traffic.to_dict()
+        assert payload["temporal"] is not None
+        assert 0.0 <= payload["temporal"]["consistency_rate"] <= 1.0
+        assert payload["deadline_miss_rate"] == pytest.approx(
+            traffic.metrics.deadline_misses / traffic.metrics.requests
+        )
+        assert "freshness" in traffic.report()
+        # Requests are drawn from the named transaction mix.
+        assert set(traffic.metrics.requests_by_file) <= {"engage", "peek"}
+
+    def test_serial_and_sharded_runs_are_bit_identical(self):
+        scenario = self._scenario(clients=60)
+        serial = BroadcastEngine(scenario).run_traffic(max_workers=1)
+        sharded = BroadcastEngine(scenario).run_traffic(max_workers=3)
+        a, b = serial.metrics, sharded.metrics
+        assert a.counts == b.counts
+        assert a.ages == b.ages
+        assert (
+            a.requests, a.completions, a.aborts, a.deadline_misses,
+            a.item_reads, a.stale_reads, a.torn_discards, a.age_sum,
+            a.worst_age,
+        ) == (
+            b.requests, b.completions, b.aborts, b.deadline_misses,
+            b.item_reads, b.stale_reads, b.torn_discards, b.age_sum,
+            b.worst_age,
+        )
+        assert a.requests_by_file == b.requests_by_file
+        assert serial.to_dict()["temporal"] == sharded.to_dict()["temporal"]
+
+    def test_client_cache_rejected_for_temporal_runs(self):
+        scenario = self._scenario(cache="lru")
+        with pytest.raises(SpecificationError):
+            BroadcastEngine(scenario).run_traffic()
+
+    def test_faulty_channel_still_merges_exactly(self):
+        scenario = dataclasses.replace(
+            self._scenario(clients=30),
+            files=(),
+            faults=FaultSpec(kind="bernoulli", probability=0.1, seed=5),
+        )
+        serial = BroadcastEngine(scenario).run_traffic(max_workers=1)
+        sharded = BroadcastEngine(scenario).run_traffic(max_workers=4)
+        assert serial.metrics.counts == sharded.metrics.counts
+        assert serial.metrics.ages == sharded.metrics.ages
+        assert (
+            serial.metrics.torn_discards == sharded.metrics.torn_discards
+        )

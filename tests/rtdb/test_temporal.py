@@ -79,3 +79,57 @@ class TestLatencyBudget:
             latency_budget_slots(
                 constraint, slot_ms=10, update_overhead_ms=-1
             )
+
+    def test_exact_multiple_of_fractional_slot(self):
+        """Exact multiples of a decimal slot duration must not misround.
+
+        Binary floats make ``usable_ms // slot_ms`` fall one slot short
+        at some exact multiples (``1000 // 0.1`` is 9999, ``400 // 0.4``
+        is 999); the budget must treat both durations as the decimal
+        literals they were written as.
+        """
+        assert 1000 // 0.1 == 9999  # the float trap being guarded
+        assert 400 // 0.4 == 999
+        assert latency_budget_slots(
+            TemporalConstraint(1000), slot_ms=0.1
+        ) == 10_000
+        assert latency_budget_slots(
+            TemporalConstraint(400), slot_ms=0.4
+        ) == 1_000
+        # The tank of the paper's Section 1 example (6000 ms) at a
+        # 0.6 ms slot: exactly 10000 slots.
+        assert latency_budget_slots(
+            TemporalConstraint(6000), slot_ms=0.6
+        ) == 10_000
+
+    def test_exact_boundaries_across_decimal_slots(self):
+        cases = [
+            (400, 0.4, 0.0, 1_000),
+            (400, 0.1, 0.0, 4_000),
+            (6000, 0.6, 600.0, 9_000),
+            (1, 0.1, 0.0, 10),
+            (3, 0.3, 0.0, 10),
+        ]
+        for max_age, slot_ms, overhead, expected in cases:
+            budget = latency_budget_slots(
+                TemporalConstraint(max_age),
+                slot_ms=slot_ms,
+                update_overhead_ms=overhead,
+            )
+            assert budget == expected, (max_age, slot_ms, overhead)
+
+    def test_just_below_boundary_rounds_down(self):
+        # One microsecond short of the exact multiple drops a full slot.
+        constraint = TemporalConstraint(5999)
+        assert latency_budget_slots(constraint, slot_ms=0.6) == 9_998
+
+    def test_fractional_overhead_is_decimal_exact(self):
+        constraint = TemporalConstraint(10)
+        assert latency_budget_slots(
+            constraint, slot_ms=0.1, update_overhead_ms=0.3
+        ) == 97
+
+    def test_nonfinite_slot_rejected(self):
+        constraint = TemporalConstraint(400)
+        with pytest.raises(SpecificationError):
+            latency_budget_slots(constraint, slot_ms=float("inf"))

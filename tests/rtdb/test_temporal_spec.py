@@ -1,0 +1,210 @@
+"""Tests for the declarative TemporalSpec layer."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.rtdb import (
+    TemporalItemSpec,
+    TemporalSpec,
+    TransactionSpec,
+    UpdatingServer,
+)
+
+
+def make_spec(**overrides):
+    payload = dict(
+        slot_ms=10,
+        items=(
+            TemporalItemSpec(
+                "air", blocks=2, velocity_kmh=900, accuracy_m=100,
+                criticality={"combat": 2},
+            ),
+            TemporalItemSpec("map", blocks=3, max_age_ms=6000),
+        ),
+        update_periods={"air": 20, "map": 300},
+        mode="combat",
+        modes=("combat", "patrol"),
+    )
+    payload.update(overrides)
+    return TemporalSpec(**payload)
+
+
+class TestTemporalItemSpec:
+    def test_kinematics_derivation(self):
+        item = TemporalItemSpec(
+            "air", velocity_kmh=900, accuracy_m=100
+        )
+        assert item.constraint().max_age_ms == 400
+
+    def test_direct_constraint(self):
+        item = TemporalItemSpec("map", max_age_ms=6000)
+        assert item.constraint().max_age_ms == 6000
+
+    def test_exactly_one_constraint_form(self):
+        with pytest.raises(SpecificationError):
+            TemporalItemSpec("x")
+        with pytest.raises(SpecificationError):
+            TemporalItemSpec(
+                "x", max_age_ms=100, velocity_kmh=900, accuracy_m=100
+            )
+        with pytest.raises(SpecificationError):
+            TemporalItemSpec("x", velocity_kmh=900)  # missing accuracy
+
+    def test_round_trip(self):
+        for item in (
+            TemporalItemSpec(
+                "air", blocks=2, velocity_kmh=900, accuracy_m=100,
+                criticality={"combat": 2}, default_faults=1,
+            ),
+            TemporalItemSpec("map", max_age_ms=6000),
+        ):
+            assert TemporalItemSpec.from_dict(item.to_dict()) == item
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(SpecificationError):
+            TemporalItemSpec.from_dict(
+                {"name": "x", "max_age_ms": 100, "size": 3}
+            )
+
+    def test_data_item_payload_is_deterministic(self):
+        a = TemporalItemSpec("air", blocks=2, max_age_ms=400)
+        assert a.data_item().payload == a.data_item().payload
+        assert len(a.data_item().payload) == 128  # 64 bytes per block
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(SpecificationError):
+            TemporalItemSpec(
+                "x", max_age_ms=100, criticality={"combat": -1}
+            )
+
+
+class TestTransactionSpec:
+    def test_round_trip(self):
+        txn = TransactionSpec("engage", ["air", "map"], 80, weight=3.0)
+        assert TransactionSpec.from_dict(txn.to_dict()) == txn
+        # Default weight is omitted from the payload.
+        assert "weight" not in TransactionSpec(
+            "t", ["air"], 10
+        ).to_dict()
+
+    def test_validation_via_read_transaction(self):
+        with pytest.raises(SpecificationError):
+            TransactionSpec("t", [], 10)
+        with pytest.raises(SpecificationError):
+            TransactionSpec("t", ["a", "a"], 10)
+        with pytest.raises(SpecificationError):
+            TransactionSpec("t", ["a"], 0)
+        with pytest.raises(SpecificationError):
+            TransactionSpec("t", ["a"], 10, weight=0)
+
+
+class TestTemporalSpec:
+    def test_file_specs_apply_mode_budgets(self):
+        spec = make_spec()
+        files = spec.file_specs()
+        assert [f.name for f in files] == ["air", "map"]
+        air, map_ = files
+        assert air.latency == 40  # 400 ms at 10 ms/slot
+        assert air.fault_budget == 2  # combat criticality
+        assert map_.latency == 600
+        assert map_.fault_budget == 0
+        patrol_air = spec.file_specs("patrol")[0]
+        assert patrol_air.fault_budget == 0  # default_faults
+
+    def test_max_age_slots_match_budgets(self):
+        spec = make_spec()
+        assert spec.max_age_slots() == {"air": 40, "map": 600}
+
+    def test_server_owns_the_update_clocks(self):
+        server = make_spec().server()
+        assert isinstance(server, UpdatingServer)
+        assert server.period("air") == 20
+
+    def test_round_trip(self):
+        spec = make_spec(
+            transactions=(
+                TransactionSpec("engage", ["air", "map"], 700, weight=3),
+            ),
+            update_overhead_ms=5.0,
+        )
+        assert TemporalSpec.from_dict(spec.to_dict()) == spec
+
+    def test_modes_default_to_active_mode(self):
+        spec = TemporalSpec(
+            slot_ms=10,
+            items=(TemporalItemSpec("a", max_age_ms=400),),
+            update_periods={"a": 10},
+        )
+        assert spec.modes == ("default",)
+        assert spec.mode == "default"
+
+    def test_active_mode_must_be_declared(self):
+        with pytest.raises(SpecificationError):
+            make_spec(mode="landing")
+
+    def test_criticality_modes_must_be_declared(self):
+        with pytest.raises(SpecificationError):
+            make_spec(
+                items=(
+                    TemporalItemSpec(
+                        "air", max_age_ms=400,
+                        criticality={"landing": 1},
+                    ),
+                ),
+                update_periods={"air": 20},
+            )
+
+    def test_update_periods_must_cover_every_item(self):
+        with pytest.raises(SpecificationError) as excinfo:
+            make_spec(update_periods={"air": 20})
+        assert "map" in str(excinfo.value)
+        with pytest.raises(SpecificationError) as excinfo:
+            make_spec(
+                update_periods={"air": 20, "map": 300, "ghost": 5}
+            )
+        assert "ghost" in str(excinfo.value)
+
+    def test_transactions_must_read_known_items(self):
+        with pytest.raises(SpecificationError):
+            make_spec(
+                transactions=(TransactionSpec("t", ["ghost"], 10),)
+            )
+
+    def test_duplicate_items_rejected(self):
+        with pytest.raises(SpecificationError):
+            make_spec(
+                items=(
+                    TemporalItemSpec("air", max_age_ms=400),
+                    TemporalItemSpec("air", max_age_ms=500),
+                ),
+                update_periods={"air": 20},
+            )
+
+    def test_infeasible_mode_rejected_eagerly(self):
+        """An item whose budget cannot carry its blocks in *some*
+        declared mode fails at spec construction, not mid-sweep."""
+        with pytest.raises(SpecificationError):
+            make_spec(
+                items=(
+                    # 40-slot budget, 30 blocks + 15 combat faults.
+                    TemporalItemSpec(
+                        "air", blocks=30, velocity_kmh=900,
+                        accuracy_m=100, criticality={"combat": 15},
+                    ),
+                    TemporalItemSpec("map", blocks=3, max_age_ms=6000),
+                ),
+            )
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(SpecificationError):
+            TemporalSpec.from_dict(
+                {"slot_ms": 10, "items": [], "update_periods": {},
+                 "colour": "red"}
+            )
+
+    def test_describe_mentions_the_mix(self):
+        spec = make_spec(
+            transactions=(TransactionSpec("t", ["air"], 700),)
+        )
+        assert "transaction mix" in spec.describe()
+        assert "mode combat" in spec.describe()

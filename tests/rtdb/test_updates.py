@@ -4,11 +4,14 @@ import pytest
 
 from repro.bdisk.flat import build_aida_flat_program
 from repro.errors import SimulationError, SpecificationError
+from repro.rtdb import updates
 from repro.rtdb.updates import (
     UpdatingServer,
     consistency_rate,
     retrieve_versioned,
+    versioned_horizon,
 )
+from repro.sim.client import default_horizon
 from repro.sim.faults import BernoulliFaults
 
 
@@ -89,6 +92,55 @@ class TestRetrieveVersioned:
         result = retrieve_versioned(
             program, server, "B", 3,
             faults=BernoulliFaults(0.2, seed=4),
+        )
+        assert result.completed
+
+
+class TestDefaultHorizon:
+    def test_bounded_for_long_periods(self):
+        """The default horizon grows at most twofold in the period.
+
+        The old convention ``(m + 2) * (cycle + period)`` walked
+        billions of slots for a slow item; the derived bound caps the
+        period's contribution at one plain-retrieval horizon.
+        """
+        program = make_program()
+        base = default_horizon(program, 3)
+        assert versioned_horizon(program, 3, 10**9) == 2 * base
+        assert versioned_horizon(program, 3, 1) == base + 1
+
+    def test_long_period_retrieval_is_cheap_and_complete(self):
+        """A year-long update period must not cost a year-long walk."""
+        program = make_program()
+        server = UpdatingServer({"A": 10**9, "B": 10**9})
+        result = retrieve_versioned(program, server, "B", 3)
+        assert result.completed
+        assert result.version == 0
+
+    def test_fault_free_guarantee_within_two_cycles(self):
+        """period >= cycle: fault-free retrievals finish in <= 2 cycles
+        (the guarantee the default horizon is documented to cover)."""
+        program = make_program()
+        cycle = program.data_cycle_length
+        server = UpdatingServer({"A": cycle, "B": cycle})
+        for phase in range(cycle):
+            result = retrieve_versioned(
+                program, server, "B", 3, start=phase
+            )
+            assert result.completed
+            assert result.latency <= 2 * cycle
+
+    def test_budget_guard_raises_instead_of_walking(self, monkeypatch):
+        program = make_program()
+        server = UpdatingServer({"A": 10, "B": 10})
+        monkeypatch.setattr(updates, "MAX_DEFAULT_HORIZON", 10)
+        with pytest.raises(SimulationError) as excinfo:
+            retrieve_versioned(program, server, "B", 3)
+        assert "max_slots" in str(excinfo.value)
+        # An explicit horizon is the caller's deliberate choice and is
+        # honoured whatever the budget says.
+        result = retrieve_versioned(
+            program, server, "B", 3, max_slots=500
         )
         assert result.completed
 

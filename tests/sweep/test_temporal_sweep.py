@@ -1,0 +1,99 @@
+"""Sweeps over the temporal (rtdb) layer: axes, columns, solve-cache."""
+
+from repro.api import (
+    Scenario,
+    TemporalItemSpec,
+    TemporalSpec,
+    TrafficSpec,
+)
+from repro.sweep import SweepAxis, SweepSpec, run_sweep
+from repro.sweep.aggregate import marginals
+
+
+def make_base():
+    return Scenario(
+        name="temporal-sweep",
+        temporal=TemporalSpec(
+            slot_ms=10,
+            items=(
+                TemporalItemSpec(
+                    "air", blocks=2, velocity_kmh=900, accuracy_m=100,
+                    criticality={"combat": 4, "patrol": 2},
+                ),
+                TemporalItemSpec("map", blocks=3, max_age_ms=6000),
+            ),
+            update_periods={"air": 24, "map": 300},
+            mode="combat",
+            modes=("combat", "patrol"),
+        ),
+        traffic=TrafficSpec(
+            clients=12, duration=200, requests_per_client=1, seed=3
+        ),
+    )
+
+
+class TestTemporalAxes:
+    def test_update_period_axis_is_one_solve(self, tmp_path):
+        """A sweep varying only update periods is a pure runtime sweep:
+        every cell shares the one designed program (solves == 1)."""
+        spec = SweepSpec(
+            name="periods",
+            base=make_base(),
+            axes=(
+                SweepAxis("temporal.update_periods.air", (24, 48, 96)),
+                SweepAxis("temporal.update_periods.map", (300, 600)),
+            ),
+        )
+        result = run_sweep(
+            spec,
+            store_path=tmp_path / "runs.jsonl",
+            cache_dir=tmp_path / "cache",
+        )
+        assert result.cells == 6
+        assert result.distinct_designs == 1
+        assert result.solves == 1
+        assert result.cache_hits == 5
+
+    def test_mode_axis_solves_per_mode(self, tmp_path):
+        spec = SweepSpec(
+            name="modes",
+            base=make_base(),
+            axes=(SweepAxis("temporal.mode", ("combat", "patrol")),),
+        )
+        result = run_sweep(
+            spec,
+            store_path=tmp_path / "runs.jsonl",
+            cache_dir=tmp_path / "cache",
+        )
+        assert result.distinct_designs == 2
+        assert result.solves == 2
+
+    def test_consistency_columns_in_tidy_records(self, tmp_path):
+        spec = SweepSpec(
+            name="periods",
+            base=make_base(),
+            axes=(
+                SweepAxis("temporal.update_periods.air", (24, 96)),
+            ),
+        )
+        result = run_sweep(
+            spec,
+            store_path=tmp_path / "runs.jsonl",
+            cache_dir=tmp_path / "cache",
+        )
+        records = result.records()
+        assert len(records) == 2
+        for record in records:
+            assert 0.0 <= record["traffic_consistency"] <= 1.0
+            assert 0.0 <= record["traffic_deadline_miss"] <= 1.0
+            assert record["traffic_mean_age"] >= 0.0
+        assert "traffic_consistency" in result.table()
+        by_period = marginals(
+            records,
+            "temporal.update_periods.air",
+            ["traffic_consistency", "traffic_deadline_miss"],
+        )
+        assert [row["temporal.update_periods.air"] for row in by_period] \
+            == [24, 96]
+        for row in by_period:
+            assert row["mean_traffic_consistency"] is not None

@@ -57,6 +57,20 @@ class TestRun:
         assert status == 0
         assert "scenario  : awacs" in capsys.readouterr().out
 
+    def test_checked_in_temporal_example(self, capsys):
+        status = main(
+            ["run", str(EXAMPLES_DIR / "scenario_awacs_temporal.json"),
+             "--json"]
+        )
+        assert status == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["scenario"]["name"] == "awacs-temporal"
+        assert record["scenario"]["temporal"]["mode"] == "combat"
+        assert record["stats"]["bandwidth"] == 1
+        temporal = record["traffic"]["temporal"]
+        assert temporal["item_reads"] > 0
+        assert 0.0 <= temporal["consistency_rate"] <= 1.0
+
     def test_run_multiple_scenarios(self, tmp_path, capsys):
         first = self.scenario_path(tmp_path)
         second = tmp_path / "second.json"

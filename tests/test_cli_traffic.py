@@ -104,3 +104,49 @@ class TestTrafficCommand:
         with pytest.raises(SystemExit) as excinfo:
             main(["traffic", EXAMPLE, "--arrival", "tidal"])
         assert excinfo.value.code == 2
+
+
+class TestTemporalTrafficCommand:
+    EXAMPLE = "examples/scenario_awacs_temporal.json"
+
+    def test_report_includes_freshness(self, capsys):
+        code = main(
+            [
+                "traffic", self.EXAMPLE,
+                "--clients", "30", "--duration", "2000",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "freshness : consistency" in out
+        assert "torn" in out
+
+    def test_json_includes_consistency_metrics(self, capsys):
+        code = main(
+            [
+                "traffic", self.EXAMPLE,
+                "--clients", "25", "--duration", "2000", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        temporal = payload["temporal"]
+        assert temporal is not None
+        assert 0.0 <= temporal["consistency_rate"] <= 1.0
+        assert temporal["item_reads"] > 0
+        assert temporal["age"]["worst"] >= temporal["age"]["p50"]
+        assert 0.0 <= payload["deadline_miss_rate"] <= 1.0
+
+    def test_workers_match_serial_json(self, capsys):
+        args = [
+            "traffic", self.EXAMPLE,
+            "--clients", "30", "--duration", "2000", "--json",
+        ]
+        assert main(args) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(args + ["--workers", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        for key in ("requests", "completions", "aborts",
+                    "deadline_misses", "deadline_miss_rate", "latency",
+                    "temporal", "requests_by_file"):
+            assert serial[key] == parallel[key]
