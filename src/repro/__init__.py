@@ -159,6 +159,22 @@ from repro.sweep import (
     SweepSpec,
     run_sweep,
 )
+from repro.server import (
+    AirSchedule,
+    AsRunLog,
+    BroadcastServer,
+    FaultBudgetBump,
+    ModeChange,
+    MutationScript,
+    ServerResult,
+    SpliceRequirement,
+    check_splice,
+    find_splice_slot,
+    mutation_from_dict,
+    read_asrun,
+    run_script,
+    splice_is_safe,
+)
 
 __version__ = "1.0.0"
 
@@ -261,4 +277,19 @@ __all__ = [
     "SweepResult",
     "SweepSpec",
     "run_sweep",
+    # server
+    "AirSchedule",
+    "AsRunLog",
+    "BroadcastServer",
+    "FaultBudgetBump",
+    "ModeChange",
+    "MutationScript",
+    "ServerResult",
+    "SpliceRequirement",
+    "check_splice",
+    "find_splice_slot",
+    "mutation_from_dict",
+    "read_asrun",
+    "run_script",
+    "splice_is_safe",
 ]

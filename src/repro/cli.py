@@ -1,9 +1,10 @@
 """Command-line interface: design and run broadcast disks from a shell.
 
-Seven subcommands mirror the library's main entry points::
+Eight subcommands mirror the library's main entry points::
 
     python -m repro run scenario.json
     python -m repro traffic scenario.json --clients 1000 --duration 50000
+    python -m repro server scenario.json --script mutations.json
     python -m repro sweep sweep.json --workers 8 --resume
     python -m repro schedulers
     python -m repro design --file pos:4:2:2 --file map:6:5:1
@@ -26,7 +27,14 @@ scenario's designed program: the scenario's ``"traffic"`` block (or the
 defaults, when absent) with any of ``--clients``, ``--duration``,
 ``--requests-per-client``, ``--think``, ``--arrival``, ``--popularity``,
 and ``--seed`` overridden from the flags; ``--workers N`` shards the
-population across processes.  ``sweep`` expands a
+population across processes.  ``server`` runs the *online* broadcast
+server (:mod:`repro.server`): the scenario goes on the air, a JSON
+mutation timeline (``--script``) applies runtime mode changes / file
+edits / budget bumps, each re-solve is warm-started from the solve
+cache (``--cache-dir`` persists it), the new program is spliced in at a
+safe data-cycle boundary, and a JSONL as-run log (``--log``) records
+planned-vs-aired divergence, mutations, and re-solve provenance.
+``sweep`` expands a
 :class:`repro.sweep.SweepSpec` file (a base scenario crossed with axes
 over any dotted scenario field) and runs the whole grid on one shared
 pool, memoizing solved schedules in a content-addressed solve-cache and
@@ -258,6 +266,49 @@ def _build_parser() -> argparse.ArgumentParser:
         help="emit a machine-readable JSON summary + tidy records",
     )
 
+    server = sub.add_parser(
+        "server",
+        help=(
+            "run the online broadcast server: live re-solves, splices "
+            "at data-cycle boundaries, and a JSONL as-run log"
+        ),
+    )
+    server.add_argument(
+        "scenario", help="path to a Scenario JSON file"
+    )
+    server.add_argument(
+        "--script", default=None, metavar="PATH",
+        help=(
+            "JSON mutation timeline: a list of "
+            '{"at_slot": N, "mutation": {...}} entries'
+        ),
+    )
+    server.add_argument(
+        "--until", type=int, default=None, metavar="SLOT",
+        help="stop the kernel at SLOT (default: drain every event)",
+    )
+    server.add_argument(
+        "--log", default=None, metavar="PATH",
+        help="stream the JSONL as-run log to PATH",
+    )
+    server.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help=(
+            "persistent solve-cache directory (default: in-memory; "
+            "a warm directory makes mutation re-solves warm starts)"
+        ),
+    )
+    server.add_argument(
+        "--window", type=int, default=None, metavar="SLOTS",
+        help="planned-vs-aired slots logged around each splice",
+    )
+    server.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit a machine-readable JSON result record",
+    )
+
     sub.add_parser(
         "schedulers", help="list the registered pinwheel schedulers"
     )
@@ -356,6 +407,33 @@ def _run_traffic(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2))
     else:
         print(f"scenario  : {scenario.name}")
+        print(result.report())
+    return 0
+
+
+def _run_server(args: argparse.Namespace) -> int:
+    from repro.server import MutationScript, run_script
+    from repro.server.asrun import ASRUN_WINDOW
+    from repro.sweep.cache import SolveCache
+
+    scenario = Scenario.from_file(args.scenario)
+    script = (
+        MutationScript.from_file(args.script)
+        if args.script is not None
+        else MutationScript(())
+    )
+    cache = SolveCache(args.cache_dir)
+    result = run_script(
+        scenario,
+        script,
+        cache=cache,
+        log_path=args.log,
+        until=args.until,
+        window=args.window if args.window is not None else ASRUN_WINDOW,
+    )
+    if args.as_json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
         print(result.report())
     return 0
 
@@ -463,6 +541,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "run": _run_scenario,
         "traffic": _run_traffic,
+        "server": _run_server,
         "sweep": _run_sweep,
         "schedulers": _run_schedulers,
         "design": _run_design,

@@ -72,5 +72,11 @@ class BandwidthError(ReproError):
     """No feasible bandwidth exists within the searched range."""
 
 
-class SimulationError(ReproError):
-    """A simulation was configured inconsistently or failed to converge."""
+class SimulationError(ReproError, ValueError):
+    """A simulation was configured inconsistently or failed to converge.
+
+    Also a ``ValueError``: simulation misuses (scheduling an event into
+    the past, requesting a file that is never aired) are value errors in
+    the plain-Python sense, and callers outside the library commonly
+    guard with ``except ValueError``.
+    """

@@ -1,0 +1,421 @@
+"""The airing timeline: broadcast programs spliced end to end.
+
+An online broadcast server never airs just one program - every accepted
+mutation re-solves and splices a successor program in at a data-cycle
+boundary.  :class:`AirSchedule` is the resulting timeline: an immutable
+sequence of :class:`Segment` records (program + absolute start slot),
+where slot ``t`` airs the content at ``segment.phase(t)`` of the
+segment covering ``t``.  Splicing at an outgoing *data-cycle* boundary
+means the outgoing program has just completed a whole number of content
+cycles, so no client mid-retrieval loses blocks it was promised by
+rotation.  The incoming program may come on air *phase-rotated*
+(``Segment.phase_offset``): a cyclic program has no distinguished
+origin - every design guarantee holds from every start phase - so the
+splice search is free to rotate the incoming cycle until its early
+occurrences dovetail with the outgoing tail.
+
+The schedule is also the retrieval oracle for clients that live through
+splices: :meth:`retrieve` (distinct-block IDA reads) and
+:meth:`retrieve_versioned` (version-consistent temporal reads) walk the
+per-segment occurrence indexes service-to-service, crossing segment
+boundaries transparently.  Cross-segment rules:
+
+* **fault decisions are keyed on absolute slots** - the channel is one
+  physical medium; a splice does not reshuffle its loss process;
+* **dispersal continuity**: held blocks survive a boundary whenever the
+  file's IDA level ``m`` is unchanged - a fault-budget bump only grows
+  the transmission set ``n_i = m + r``, and any ``m`` distinct blocks
+  of the same dispersal still reconstruct; only a genuine re-dispersal
+  (different ``m``) restarts collection, counted in ``torn_discards``;
+* **version clocks are wall clocks**: a version boundary falls at every
+  absolute multiple of the segment's update period, so staleness ages
+  carry across the switch un-reset (temporal continuity);
+* a file absent from some segment simply contributes no occurrences
+  there - the walker waits through to a segment that airs it (or the
+  horizon expires).
+
+Everything is deterministic, so the server can *re-walk* an in-flight
+retrieval after a splice lands and obtain its revised outcome - the
+mechanism behind live completion-event rescheduling.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from repro.errors import SimulationError
+from repro.bdisk.program import BroadcastProgram, SlotContent
+from repro.sim.client import default_horizon
+from repro.sim.faults import FaultModel, NoFaults
+from repro.rtdb.updates import MAX_DEFAULT_HORIZON, versioned_horizon
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One program's tenure on the air, from ``start`` (absolute slots).
+
+    ``update_periods`` carries the segment's per-item version clocks
+    (temporal scenarios only); ``dispersal`` the per-file IDA level
+    ``m`` (NOT the rotation count ``n_i = m + r`` the program airs -
+    blocks collected under different fault budgets of the *same*
+    dispersal still reconstruct together); ``fingerprint`` and
+    ``label`` are provenance for the as-run log - the design
+    fingerprint ties an aired segment back to the solve-cache entry
+    that produced it.
+    """
+
+    start: int
+    program: BroadcastProgram
+    fingerprint: str = ""
+    update_periods: Mapping[str, int] | None = None
+    dispersal: Mapping[str, int] | None = None
+    phase_offset: int = 0
+    label: str = ""
+
+    def dispersal_of(self, file: str) -> int | None:
+        """The file's IDA level ``m`` here, or ``None`` when unknown."""
+        if self.dispersal is None:
+            return None
+        return self.dispersal.get(file)
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise SimulationError(
+                f"segment start must be >= 0: {self.start}"
+            )
+        if not 0 <= self.phase_offset < self.program.data_cycle_length:
+            raise SimulationError(
+                f"phase offset must lie within the program's data "
+                f"cycle [0, {self.program.data_cycle_length}): "
+                f"{self.phase_offset}"
+            )
+
+    def phase(self, t: int) -> int:
+        """The program phase airing at absolute slot ``t``."""
+        return t - self.start + self.phase_offset
+
+    def absolute(self, phase: int) -> int:
+        """The absolute slot at which program ``phase`` airs."""
+        return self.start - self.phase_offset + phase
+
+    def period(self, file: str) -> int:
+        """The file's update period in this segment (temporal only)."""
+        if self.update_periods is None or file not in self.update_periods:
+            raise SimulationError(
+                f"segment at slot {self.start} has no update period "
+                f"for {file!r}"
+            )
+        return self.update_periods[file]
+
+
+@dataclass(frozen=True)
+class SplicedRetrieval:
+    """Outcome of a retrieval walked across an airing timeline.
+
+    The :class:`~repro.sim.client.RetrievalResult` /
+    :class:`~repro.rtdb.updates.VersionedRetrieval` essentials, plus
+    ``segments_crossed`` - how many splice boundaries the walk spanned
+    (0 = entirely within one program's tenure).
+    """
+
+    file: str
+    completed: bool
+    finish_slot: int
+    latency: int | None
+    segments_crossed: int
+    age_at_completion: int | None = None
+    torn_discards: int = 0
+
+
+class AirSchedule:
+    """An immutable timeline of broadcast programs spliced end to end."""
+
+    __slots__ = ("_segments", "_starts")
+
+    def __init__(self, segments: Sequence[Segment]) -> None:
+        if not segments:
+            raise SimulationError(
+                "an air schedule needs at least one segment"
+            )
+        for earlier, later in zip(segments, segments[1:]):
+            if later.start <= earlier.start:
+                raise SimulationError(
+                    f"segment starts must be strictly increasing: "
+                    f"{earlier.start} then {later.start}"
+                )
+            cycle = earlier.program.data_cycle_length
+            if (later.start - earlier.start) % cycle != 0:
+                raise SimulationError(
+                    f"splice at slot {later.start} is not on a "
+                    f"data-cycle boundary of the outgoing program "
+                    f"(starts {earlier.start}, cycle {cycle} slots)"
+                )
+        self._segments = tuple(segments)
+        self._starts = tuple(segment.start for segment in segments)
+
+    @property
+    def segments(self) -> tuple[Segment, ...]:
+        """The timeline's segments, in airing order."""
+        return self._segments
+
+    @property
+    def on_air(self) -> Segment:
+        """The newest segment (the program currently committed last)."""
+        return self._segments[-1]
+
+    @property
+    def splice_slots(self) -> tuple[int, ...]:
+        """Absolute slots at which a successor program took over."""
+        return self._starts[1:]
+
+    def epoch_of(self, t: int) -> int:
+        """The index of the segment covering absolute slot ``t``."""
+        if t < self._starts[0]:
+            raise SimulationError(
+                f"slot {t} precedes the airing timeline (first segment "
+                f"starts at slot {self._starts[0]})"
+            )
+        return bisect_right(self._starts, t) - 1
+
+    def segment_at(self, t: int) -> Segment:
+        """The segment covering absolute slot ``t``."""
+        return self._segments[self.epoch_of(t)]
+
+    def content(self, t: int) -> SlotContent | None:
+        """What actually airs at absolute slot ``t`` (None = idle)."""
+        segment = self.segment_at(t)
+        return segment.program.index.content(segment.phase(t))
+
+    def spliced(self, segment: Segment) -> "AirSchedule":
+        """A new timeline with ``segment`` appended at its start slot.
+
+        Validates the splice invariant (strictly later, on an outgoing
+        data-cycle boundary); the receiver is unchanged, so a rejected
+        candidate costs nothing.
+        """
+        return AirSchedule(self._segments + (segment,))
+
+    # ------------------------------------------------------------------
+    # Retrieval across segments
+    # ------------------------------------------------------------------
+
+    def _occurrences(
+        self, file: str, start: int, end: int
+    ) -> Iterator[tuple[int, int, int]]:
+        """Yield ``(abs_slot, block, epoch)`` services of ``file``.
+
+        Walks ``[start, end)`` in absolute-slot order, jumping
+        service-to-service along each segment's occurrence index and
+        skipping segments that do not air the file.
+        """
+        first = self.epoch_of(start)
+        for epoch in range(first, len(self._segments)):
+            segment = self._segments[epoch]
+            seg_end = (
+                self._starts[epoch + 1]
+                if epoch + 1 < len(self._segments)
+                else end
+            )
+            hi = min(end, seg_end)
+            if hi <= segment.start and epoch > first:
+                break
+            if file not in segment.program.files:
+                continue
+            lo = max(start, segment.start)
+            for slot, block in segment.program.index.occurrences_from(
+                file, segment.phase(lo)
+            ):
+                abs_slot = segment.absolute(slot)
+                if abs_slot >= hi:
+                    break
+                yield abs_slot, block, epoch
+
+    def _first_segment_with(self, file: str, start: int) -> Segment | None:
+        for epoch in range(self.epoch_of(start), len(self._segments)):
+            if file in self._segments[epoch].program.files:
+                return self._segments[epoch]
+        return None
+
+    def _dispersal_basis(self, epoch: int, file: str) -> int:
+        """The reconstruction-compatibility key for ``file`` in ``epoch``.
+
+        The IDA level ``m`` when the segment declares it; the aired
+        block count otherwise (a conservative stand-in - it also moves
+        when only the fault budget ``r`` changed).
+        """
+        segment = self._segments[epoch]
+        m = segment.dispersal_of(file)
+        if m is not None:
+            return m
+        return segment.program.block_count(file)
+
+    def retrieve(
+        self,
+        file: str,
+        m_needed: int,
+        *,
+        start: int,
+        faults: FaultModel | None = None,
+        max_slots: int | None = None,
+    ) -> SplicedRetrieval:
+        """Collect ``m_needed`` distinct blocks of ``file`` from ``start``.
+
+        The cross-segment analogue of :func:`repro.sim.client.retrieve`
+        (IDA reads: any ``m`` distinct blocks suffice).  Held blocks
+        survive a splice unless the file was re-dispersed at a
+        different IDA level ``m``, in which case collection restarts
+        and the discarded blocks are counted.  Raises
+        :class:`~repro.errors.SimulationError` when no segment from
+        ``start`` onward ever airs the file.
+        """
+        home = self._first_segment_with(file, start)
+        if home is None:
+            raise SimulationError(
+                f"file {file!r} is not broadcast anywhere on the "
+                f"timeline from slot {start}"
+            )
+        if max_slots is not None:
+            horizon = max_slots
+        else:
+            horizon = default_horizon(home.program, m_needed)
+        if horizon < 1:
+            raise SimulationError(f"horizon must be >= 1: {horizon}")
+        end = start + horizon
+        fault_model = faults if faults is not None else NoFaults()
+
+        held: set[int] = set()
+        discards = 0
+        prev_epoch: int | None = None
+        prev_m: int | None = None
+        first_epoch = self.epoch_of(start)
+        for slot, block, epoch in self._occurrences(file, start, end):
+            if fault_model.is_lost(slot):
+                continue
+            m_here = self._dispersal_basis(epoch, file)
+            if prev_epoch is not None and epoch != prev_epoch:
+                if m_here != prev_m and held:
+                    discards += len(held)
+                    held.clear()
+            prev_epoch, prev_m = epoch, m_here
+            held.add(block)
+            if len(held) >= m_needed:
+                return SplicedRetrieval(
+                    file=file,
+                    completed=True,
+                    finish_slot=slot,
+                    latency=slot - start + 1,
+                    segments_crossed=self.epoch_of(slot) - first_epoch,
+                    torn_discards=discards,
+                )
+        return SplicedRetrieval(
+            file=file,
+            completed=False,
+            finish_slot=start + horizon - 1,
+            latency=None,
+            segments_crossed=(
+                self.epoch_of(start + horizon - 1) - first_epoch
+            ),
+            torn_discards=discards,
+        )
+
+    def retrieve_versioned(
+        self,
+        file: str,
+        m_needed: int,
+        *,
+        start: int,
+        faults: FaultModel | None = None,
+        max_slots: int | None = None,
+    ) -> SplicedRetrieval:
+        """Collect ``m_needed`` distinct blocks *of one version*.
+
+        The cross-segment analogue of
+        :func:`repro.rtdb.updates.retrieve_versioned`.  Version clocks
+        are wall clocks: version boundaries fall at absolute multiples
+        of the segment's update period, so a splice neither resets an
+        item's age nor tears a read by itself - only a genuine version
+        boundary (or a re-dispersal) discards held blocks.
+        """
+        home = self._first_segment_with(file, start)
+        if home is None:
+            raise SimulationError(
+                f"file {file!r} is not broadcast anywhere on the "
+                f"timeline from slot {start}"
+            )
+        if max_slots is not None:
+            horizon = max_slots
+        else:
+            horizon = versioned_horizon(
+                home.program, m_needed, home.period(file)
+            )
+            if horizon > MAX_DEFAULT_HORIZON:
+                raise SimulationError(
+                    f"default horizon for a versioned retrieval of "
+                    f"{file!r} is {horizon} slots, past the "
+                    f"{MAX_DEFAULT_HORIZON}-slot budget; pass "
+                    f"max_slots to listen that long deliberately"
+                )
+        if horizon < 1:
+            raise SimulationError(f"horizon must be >= 1: {horizon}")
+        end = start + horizon
+        fault_model = faults if faults is not None else NoFaults()
+
+        held: set[int] = set()
+        held_write: int | None = None
+        discards = 0
+        prev_epoch: int | None = None
+        prev_m: int | None = None
+        first_epoch = self.epoch_of(start)
+        for slot, block, epoch in self._occurrences(file, start, end):
+            if fault_model.is_lost(slot):
+                continue
+            segment = self._segments[epoch]
+            m_here = self._dispersal_basis(epoch, file)
+            if prev_epoch is not None and epoch != prev_epoch:
+                if m_here != prev_m and held:
+                    discards += len(held)
+                    held.clear()
+                    held_write = None
+            prev_epoch, prev_m = epoch, m_here
+            period = segment.period(file)
+            write_slot = slot - slot % period
+            if write_slot != held_write:
+                if held:
+                    discards += len(held)
+                    held.clear()
+                held_write = write_slot
+            held.add(block)
+            if len(held) >= m_needed:
+                return SplicedRetrieval(
+                    file=file,
+                    completed=True,
+                    finish_slot=slot,
+                    latency=slot - start + 1,
+                    segments_crossed=self.epoch_of(slot) - first_epoch,
+                    age_at_completion=slot - write_slot,
+                    torn_discards=discards,
+                )
+        return SplicedRetrieval(
+            file=file,
+            completed=False,
+            finish_slot=start + horizon - 1,
+            latency=None,
+            segments_crossed=(
+                self.epoch_of(start + horizon - 1) - first_epoch
+            ),
+            age_at_completion=None,
+            torn_discards=discards,
+        )
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __repr__(self) -> str:
+        splices = ", ".join(str(slot) for slot in self.splice_slots)
+        return (
+            f"AirSchedule({len(self._segments)} segments"
+            + (f", splices at [{splices}]" if splices else "")
+            + ")"
+        )

@@ -1,0 +1,170 @@
+"""The as-run log: what the server planned, aired, and changed.
+
+Broadcast operations keep two artefacts: the *plan* (what the schedule
+said would air) and the *as-run log* (what actually went out, with
+every deviation accounted for).  :class:`AsRunLog` is the server's
+merged record, one JSON object per line (JSONL) so a live tail is
+always parseable:
+
+* ``on-air`` - a program taking the air (initial sign-on and every
+  splice commit), with its design fingerprint and re-solve provenance
+  (cache hit or fresh solve, scheduler method);
+* ``mutation`` - an accepted runtime mutation, its payload, and the
+  scenario fingerprint it produced;
+* ``splice`` - a committed splice point: the boundary slot, outgoing
+  and incoming fingerprints, rejected earlier boundaries, and a short
+  *planned vs aired* window around the boundary proving the divergence
+  starts exactly at the declared slot;
+* ``violation`` - an in-flight retrieval pushed past its budget by a
+  splice (none, under the predicate, for fault-free channels);
+* ``sign-off`` - the run summary.
+
+Records carry the absolute slot they describe; :func:`read_asrun`
+parses a file back into dicts, which is all the round-trip the
+acceptance checks (and any downstream tooling) need.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, IO
+
+from repro.errors import SpecificationError
+from repro.server.airing import AirSchedule
+
+#: Slots shown on each side of a splice in the planned-vs-aired window.
+ASRUN_WINDOW = 8
+
+
+def _content_str(content: Any) -> str:
+    """One slot's airing as a compact string (``-`` = idle slot)."""
+    if content is None:
+        return "-"
+    return f"{content.file}[{content.block_index}]"
+
+
+def planned_vs_aired(
+    schedule: AirSchedule, splice_slot: int, window: int = ASRUN_WINDOW
+) -> dict[str, Any]:
+    """The divergence witness around a splice.
+
+    ``planned`` is what the outgoing program would have aired had the
+    splice not happened; ``aired`` is what the committed timeline airs.
+    Both cover ``[splice_slot - window, splice_slot + window)``, so the
+    log itself proves planned and aired agree strictly before the
+    boundary and diverge only from it.
+    """
+    if window < 1:
+        raise SpecificationError(f"window must be >= 1: {window}")
+    epoch = schedule.epoch_of(splice_slot)
+    if epoch == 0:
+        raise SpecificationError(
+            f"slot {splice_slot} is not a splice point"
+        )
+    outgoing = schedule.segments[epoch - 1]
+    lo = max(splice_slot - window, outgoing.start)
+    slots = range(lo, splice_slot + window)
+    planned = [
+        _content_str(
+            outgoing.program.index.content(outgoing.phase(slot))
+        )
+        for slot in slots
+    ]
+    aired = [_content_str(schedule.content(slot)) for slot in slots]
+    return {
+        "from_slot": lo,
+        "splice_slot": splice_slot,
+        "planned": planned,
+        "aired": aired,
+    }
+
+
+class AsRunLog:
+    """An append-only JSONL record of a server run.
+
+    Records accumulate in memory always; when ``path`` is given each
+    record is also written (and flushed) to disk as one JSON line, so
+    the log survives however the run ends.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self._records: list[dict[str, Any]] = []
+        self._path = None if path is None else Path(path)
+        self._handle: IO[str] | None = None
+        if self._path is not None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self._path, "w", encoding="utf-8")
+
+    @property
+    def path(self) -> Path | None:
+        """Where the JSONL lines go (``None`` = memory only)."""
+        return self._path
+
+    @property
+    def records(self) -> tuple[dict[str, Any], ...]:
+        """Every record logged so far, in order."""
+        return tuple(self._records)
+
+    def record(self, type_: str, slot: int, **fields: Any) -> None:
+        """Append one record (``type`` + ``slot`` + free-form fields)."""
+        entry: dict[str, Any] = {"type": type_, "slot": slot}
+        entry.update(fields)
+        # Fail fast on non-JSON payloads: a log that cannot round-trip
+        # is worse than a crash at the point the bad record was made.
+        line = json.dumps(entry, sort_keys=True)
+        self._records.append(entry)
+        if self._handle is not None:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and close the disk file (memory records remain)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "AsRunLog":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        where = "memory" if self._path is None else str(self._path)
+        return f"AsRunLog({where}, records={len(self._records)})"
+
+
+def read_asrun(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a JSONL as-run file back into its records.
+
+    Raises :class:`~repro.errors.SpecificationError` on a line that is
+    not a JSON object or lacks the ``type``/``slot`` envelope - the
+    round-trip contract the acceptance checks rely on.
+    """
+    records: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise SpecificationError(
+                    f"{path}:{number}: not valid JSON: {error}"
+                ) from error
+            if (
+                not isinstance(entry, dict)
+                or "type" not in entry
+                or "slot" not in entry
+            ):
+                raise SpecificationError(
+                    f"{path}:{number}: as-run records are objects with "
+                    f"'type' and 'slot' fields, got: {line[:80]}"
+                )
+            records.append(entry)
+    return records

@@ -1,0 +1,534 @@
+"""Runtime mutations an online broadcast server accepts.
+
+Each mutation is a small frozen value describing one *delta* against
+the currently-airing :class:`~repro.api.Scenario` - a mode change, a
+file added to or removed from the catalogue, a fault-budget bump, or a
+temporal-spec edit.  ``apply(scenario)`` produces the successor
+scenario through :func:`dataclasses.replace`, so every invariant the
+``Scenario`` constructor enforces (catalogue shape, mode validity,
+per-mode feasibility of temporal items) re-runs eagerly at mutation
+time rather than surfacing mid-splice.
+
+Two properties matter to the server:
+
+* mutations that only touch *runtime* knobs (an update period, the
+  transaction mix) leave :meth:`~repro.api.Scenario.design_fingerprint`
+  unchanged, so the re-solve through the shared
+  :class:`~repro.sweep.cache.SolveCache` is a guaranteed warm-start
+  hit;
+* mutations are JSON values (``to_dict`` / :func:`mutation_from_dict`),
+  which is what makes scripted timelines - ``repro server scenario.json
+  --script mutations.json`` - and as-run provenance records possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Mapping
+
+from repro.errors import SpecificationError
+from repro.ida.aida import RedundancyPolicy
+from repro.bdisk.file import FileSpec, GeneralizedFileSpec
+from repro.rtdb.spec import TemporalItemSpec, TemporalSpec
+from repro.api.scenario import Scenario
+
+
+def _require_keys(
+    payload: Mapping[str, Any], allowed: set[str], what: str
+) -> None:
+    unknown = set(payload) - allowed
+    if unknown:
+        raise SpecificationError(
+            f"{what}: unknown keys {sorted(unknown)} "
+            f"(allowed: {sorted(allowed)})"
+        )
+
+
+def _replace_temporal(scenario: Scenario, temporal: TemporalSpec) -> Scenario:
+    # A temporal scenario's files are derived; replace() re-passes the
+    # old derivation, which the constructor would reject against the
+    # new spec - clear them so they re-derive.
+    return replace(scenario, temporal=temporal, files=())
+
+
+@dataclass(frozen=True)
+class ModeChange:
+    """Switch the active operation mode (e.g. surveillance -> combat).
+
+    Temporal scenarios switch the :class:`~repro.rtdb.spec.TemporalSpec`
+    mode (selecting per-item fault budgets); regular scenarios with a
+    :class:`~repro.ida.aida.RedundancyPolicy` switch the scenario mode.
+    The mode must be declared up front - an online server never invents
+    operating regimes.
+    """
+
+    mode: str
+    kind = "mode_change"
+
+    def apply(self, scenario: Scenario) -> Scenario:
+        """The successor scenario operating in :attr:`mode`."""
+        if scenario.temporal is not None:
+            if self.mode not in scenario.temporal.modes:
+                raise SpecificationError(
+                    f"mode change to {self.mode!r}: scenario "
+                    f"{scenario.name!r} declares modes "
+                    f"{list(scenario.temporal.modes)}"
+                )
+            return _replace_temporal(
+                scenario, replace(scenario.temporal, mode=self.mode)
+            )
+        if scenario.redundancy is None:
+            raise SpecificationError(
+                f"mode change to {self.mode!r}: scenario "
+                f"{scenario.name!r} has neither a temporal spec nor a "
+                f"redundancy policy, so modes do not apply"
+            )
+        if self.mode not in scenario.redundancy.modes():
+            raise SpecificationError(
+                f"mode change to {self.mode!r}: redundancy policy "
+                f"declares modes {list(scenario.redundancy.modes())}"
+            )
+        return replace(scenario, mode=self.mode)
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        return f"mode -> {self.mode}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-able dict; :func:`mutation_from_dict` round-trips it."""
+        return {"kind": self.kind, "mode": self.mode}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ModeChange":
+        """Build from :meth:`to_dict` output / parsed JSON."""
+        _require_keys(payload, {"kind", "mode"}, "mode_change mutation")
+        mode = payload.get("mode")
+        if not isinstance(mode, str) or not mode:
+            raise SpecificationError(
+                f"mode_change mutation needs a non-empty string "
+                f"'mode', got {mode!r}"
+            )
+        return cls(mode)
+
+
+@dataclass(frozen=True)
+class AddFile:
+    """Add a file (or temporal item) to the airing catalogue.
+
+    ``file`` is the spec payload: for regular scenarios the
+    ``{name, blocks, latency[, fault_budget]}`` (or ``latency_vector``
+    for generalized catalogues) shape scenario JSON uses; for temporal
+    scenarios a :class:`~repro.rtdb.spec.TemporalItemSpec` payload,
+    plus the mandatory ``update_period`` runtime knob.
+    """
+
+    file: Mapping[str, Any]
+    update_period: int | None = None
+    kind = "add_file"
+
+    def _name(self) -> str:
+        name = self.file.get("name")
+        if not isinstance(name, str) or not name:
+            raise SpecificationError(
+                f"add_file mutation: file payload needs a non-empty "
+                f"'name', got {name!r}"
+            )
+        return name
+
+    def apply(self, scenario: Scenario) -> Scenario:
+        """The successor scenario with the file on the air."""
+        name = self._name()
+        if scenario.temporal is not None:
+            if self.update_period is None:
+                raise SpecificationError(
+                    f"add_file {name!r}: temporal items need an "
+                    f"'update_period' (slots)"
+                )
+            temporal = scenario.temporal
+            item = TemporalItemSpec.from_dict(self.file)
+            periods = dict(temporal.update_periods)
+            periods[item.name] = self.update_period
+            return _replace_temporal(
+                scenario,
+                replace(
+                    temporal,
+                    items=temporal.items + (item,),
+                    update_periods=periods,
+                ),
+            )
+        if self.update_period is not None:
+            raise SpecificationError(
+                f"add_file {name!r}: 'update_period' applies to "
+                f"temporal scenarios only"
+            )
+        payload = dict(self.file)
+        if "latency_vector" in payload:
+            _require_keys(
+                payload,
+                {"name", "blocks", "latency_vector"},
+                f"add_file {name!r} (generalized)",
+            )
+            spec: FileSpec | GeneralizedFileSpec = GeneralizedFileSpec(
+                payload["name"],
+                payload["blocks"],
+                tuple(payload["latency_vector"]),
+            )
+        else:
+            _require_keys(
+                payload,
+                {"name", "blocks", "latency", "fault_budget"},
+                f"add_file {name!r}",
+            )
+            spec = FileSpec(
+                payload["name"],
+                payload["blocks"],
+                payload["latency"],
+                fault_budget=payload.get("fault_budget", 0),
+            )
+        return replace(scenario, files=scenario.files + (spec,))
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        return f"add file {self._name()}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-able dict; :func:`mutation_from_dict` round-trips it."""
+        payload: dict[str, Any] = {"kind": self.kind, "file": dict(self.file)}
+        if self.update_period is not None:
+            payload["update_period"] = self.update_period
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "AddFile":
+        """Build from :meth:`to_dict` output / parsed JSON."""
+        _require_keys(
+            payload, {"kind", "file", "update_period"}, "add_file mutation"
+        )
+        file = payload.get("file")
+        if not isinstance(file, Mapping):
+            raise SpecificationError(
+                f"add_file mutation needs a 'file' object, got "
+                f"{type(file).__name__}"
+            )
+        return cls(dict(file), payload.get("update_period"))
+
+
+@dataclass(frozen=True)
+class RemoveFile:
+    """Retire a file (or temporal item) from the airing catalogue."""
+
+    name: str
+    kind = "remove_file"
+
+    def apply(self, scenario: Scenario) -> Scenario:
+        """The successor scenario without the file."""
+        if scenario.temporal is not None:
+            temporal = scenario.temporal
+            kept = tuple(
+                item for item in temporal.items if item.name != self.name
+            )
+            if len(kept) == len(temporal.items):
+                raise SpecificationError(
+                    f"remove_file {self.name!r}: not a temporal item of "
+                    f"scenario {scenario.name!r}"
+                )
+            readers = sorted(
+                txn.name
+                for txn in temporal.transactions
+                if self.name in txn.items
+            )
+            if readers:
+                raise SpecificationError(
+                    f"remove_file {self.name!r}: still read by "
+                    f"transactions {readers}"
+                )
+            periods = {
+                item: period
+                for item, period in temporal.update_periods.items()
+                if item != self.name
+            }
+            return _replace_temporal(
+                scenario,
+                replace(temporal, items=kept, update_periods=periods),
+            )
+        kept_files = tuple(
+            spec for spec in scenario.files if spec.name != self.name
+        )
+        if len(kept_files) == len(scenario.files):
+            raise SpecificationError(
+                f"remove_file {self.name!r}: not in scenario "
+                f"{scenario.name!r}'s catalogue"
+            )
+        return replace(scenario, files=kept_files)
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        return f"remove file {self.name}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-able dict; :func:`mutation_from_dict` round-trips it."""
+        return {"kind": self.kind, "name": self.name}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RemoveFile":
+        """Build from :meth:`to_dict` output / parsed JSON."""
+        _require_keys(payload, {"kind", "name"}, "remove_file mutation")
+        name = payload.get("name")
+        if not isinstance(name, str) or not name:
+            raise SpecificationError(
+                f"remove_file mutation needs a non-empty string "
+                f"'name', got {name!r}"
+            )
+        return cls(name)
+
+
+@dataclass(frozen=True)
+class FaultBudgetBump:
+    """Change one file's fault-tolerance budget by ``delta`` losses.
+
+    Regular catalogues edit the :class:`~repro.bdisk.builder.FileSpec`
+    budget (or, under a redundancy policy, the active mode's entry);
+    temporal catalogues edit the item's criticality in the active mode.
+    ``delta`` may be negative; the resulting budget must stay >= 0.
+    """
+
+    name: str
+    delta: int
+    kind = "fault_budget"
+
+    def apply(self, scenario: Scenario) -> Scenario:
+        """The successor scenario with the bumped budget."""
+        if not isinstance(self.delta, int) or isinstance(self.delta, bool):
+            raise SpecificationError(
+                f"fault_budget {self.name!r}: delta must be an integer, "
+                f"got {self.delta!r}"
+            )
+        if scenario.temporal is not None:
+            temporal = scenario.temporal
+            mode = temporal.mode
+            items = []
+            found = False
+            for item in temporal.items:
+                if item.name != self.name:
+                    items.append(item)
+                    continue
+                found = True
+                current = item.criticality.get(mode, item.default_faults)
+                budget = current + self.delta
+                if budget < 0:
+                    raise SpecificationError(
+                        f"fault_budget {self.name!r}: {current} + "
+                        f"{self.delta} is negative"
+                    )
+                items.append(
+                    replace(
+                        item,
+                        criticality={**item.criticality, mode: budget},
+                    )
+                )
+            if not found:
+                raise SpecificationError(
+                    f"fault_budget {self.name!r}: not a temporal item "
+                    f"of scenario {scenario.name!r}"
+                )
+            return _replace_temporal(
+                scenario, replace(temporal, items=tuple(items))
+            )
+        if scenario.redundancy is not None:
+            assert scenario.mode is not None
+            if self.name not in {spec.name for spec in scenario.files}:
+                raise SpecificationError(
+                    f"fault_budget {self.name!r}: not in scenario "
+                    f"{scenario.name!r}'s catalogue"
+                )
+            mode = scenario.mode
+            current = scenario.redundancy.fault_budget(mode, self.name)
+            budget = current + self.delta
+            if budget < 0:
+                raise SpecificationError(
+                    f"fault_budget {self.name!r}: {current} + "
+                    f"{self.delta} is negative"
+                )
+            budgets = {
+                m: dict(files)
+                for m, files in scenario.redundancy.budgets.items()
+            }
+            budgets.setdefault(mode, {})[self.name] = budget
+            return replace(
+                scenario,
+                redundancy=RedundancyPolicy(
+                    budgets, scenario.redundancy.default
+                ),
+            )
+        if scenario.generalized:
+            raise SpecificationError(
+                f"fault_budget {self.name!r}: generalized files encode "
+                f"fault tolerance in their latency vectors"
+            )
+        files = []
+        found = False
+        for spec in scenario.files:
+            if spec.name != self.name:
+                files.append(spec)
+                continue
+            found = True
+            budget = spec.fault_budget + self.delta
+            if budget < 0:
+                raise SpecificationError(
+                    f"fault_budget {self.name!r}: {spec.fault_budget} + "
+                    f"{self.delta} is negative"
+                )
+            files.append(replace(spec, fault_budget=budget))
+        if not found:
+            raise SpecificationError(
+                f"fault_budget {self.name!r}: not in scenario "
+                f"{scenario.name!r}'s catalogue"
+            )
+        return replace(scenario, files=tuple(files))
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        return f"fault budget {self.name} {self.delta:+d}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-able dict; :func:`mutation_from_dict` round-trips it."""
+        return {"kind": self.kind, "name": self.name, "delta": self.delta}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultBudgetBump":
+        """Build from :meth:`to_dict` output / parsed JSON."""
+        _require_keys(
+            payload, {"kind", "name", "delta"}, "fault_budget mutation"
+        )
+        name = payload.get("name")
+        if not isinstance(name, str) or not name:
+            raise SpecificationError(
+                f"fault_budget mutation needs a non-empty string "
+                f"'name', got {name!r}"
+            )
+        delta = payload.get("delta")
+        if not isinstance(delta, int) or isinstance(delta, bool):
+            raise SpecificationError(
+                f"fault_budget mutation needs an integer 'delta', got "
+                f"{delta!r}"
+            )
+        return cls(name, delta)
+
+
+@dataclass(frozen=True)
+class TemporalEdit:
+    """Edit one temporal item's update period and/or freshness bound.
+
+    ``update_period`` is a *runtime* knob - the design fingerprint is
+    unchanged, so the re-solve is a guaranteed solve-cache hit.
+    ``max_age_ms`` tightens or relaxes the item's temporal constraint -
+    design-relevant, so it re-solves (warm-started when the induced
+    instance was seen before).
+    """
+
+    name: str
+    update_period: int | None = None
+    max_age_ms: int | None = None
+    kind = "temporal_edit"
+
+    def apply(self, scenario: Scenario) -> Scenario:
+        """The successor scenario with the edited item."""
+        if scenario.temporal is None:
+            raise SpecificationError(
+                f"temporal_edit {self.name!r}: scenario "
+                f"{scenario.name!r} has no temporal spec"
+            )
+        if self.update_period is None and self.max_age_ms is None:
+            raise SpecificationError(
+                f"temporal_edit {self.name!r}: give 'update_period', "
+                f"'max_age_ms', or both"
+            )
+        temporal = scenario.temporal
+        if self.name not in {item.name for item in temporal.items}:
+            raise SpecificationError(
+                f"temporal_edit {self.name!r}: not a temporal item of "
+                f"scenario {scenario.name!r}"
+            )
+        if self.update_period is not None:
+            periods = dict(temporal.update_periods)
+            periods[self.name] = self.update_period
+            temporal = replace(temporal, update_periods=periods)
+        if self.max_age_ms is not None:
+            items = []
+            for item in temporal.items:
+                if item.name != self.name:
+                    items.append(item)
+                    continue
+                if item.max_age_ms is None:
+                    raise SpecificationError(
+                        f"temporal_edit {self.name!r}: item derives its "
+                        f"bound from velocity/accuracy; edit those "
+                        f"fields via remove + add instead"
+                    )
+                items.append(replace(item, max_age_ms=self.max_age_ms))
+            temporal = replace(temporal, items=tuple(items))
+        return _replace_temporal(scenario, temporal)
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        parts = []
+        if self.update_period is not None:
+            parts.append(f"period={self.update_period}")
+        if self.max_age_ms is not None:
+            parts.append(f"max_age={self.max_age_ms}ms")
+        return f"temporal edit {self.name} ({', '.join(parts)})"
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-able dict; :func:`mutation_from_dict` round-trips it."""
+        payload: dict[str, Any] = {"kind": self.kind, "name": self.name}
+        if self.update_period is not None:
+            payload["update_period"] = self.update_period
+        if self.max_age_ms is not None:
+            payload["max_age_ms"] = self.max_age_ms
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TemporalEdit":
+        """Build from :meth:`to_dict` output / parsed JSON."""
+        _require_keys(
+            payload,
+            {"kind", "name", "update_period", "max_age_ms"},
+            "temporal_edit mutation",
+        )
+        name = payload.get("name")
+        if not isinstance(name, str) or not name:
+            raise SpecificationError(
+                f"temporal_edit mutation needs a non-empty string "
+                f"'name', got {name!r}"
+            )
+        return cls(
+            name, payload.get("update_period"), payload.get("max_age_ms")
+        )
+
+
+#: Union of every mutation kind the server accepts.
+Mutation = ModeChange | AddFile | RemoveFile | FaultBudgetBump | TemporalEdit
+
+#: JSON ``kind`` tag -> mutation class, the scripted-timeline dispatch.
+MUTATION_KINDS: dict[str, type] = {
+    cls.kind: cls
+    for cls in (ModeChange, AddFile, RemoveFile, FaultBudgetBump,
+                TemporalEdit)
+}
+
+
+def mutation_from_dict(payload: Mapping[str, Any]) -> Mutation:
+    """Build a mutation from its JSON payload (dispatch on ``kind``)."""
+    if not isinstance(payload, Mapping):
+        raise SpecificationError(
+            f"mutation payload must be a mapping, got "
+            f"{type(payload).__name__}"
+        )
+    kind = payload.get("kind")
+    cls = MUTATION_KINDS.get(kind)
+    if cls is None:
+        raise SpecificationError(
+            f"unknown mutation kind {kind!r} "
+            f"(known: {sorted(MUTATION_KINDS)})"
+        )
+    return cls.from_dict(payload)

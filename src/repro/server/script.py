@@ -1,0 +1,170 @@
+"""Scripted mutation timelines: JSON in, a full server run out.
+
+A timeline is a JSON list of ``{"at_slot": N, "mutation": {...}}``
+entries - the ``repro server scenario.json --script mutations.json``
+format.  :class:`MutationScript` parses and validates it eagerly
+(unknown mutation kinds, malformed payloads, and negative slots fail
+before anything airs); :func:`run_script` stands a
+:class:`~repro.server.server.BroadcastServer` up, schedules every entry
+as a kernel event, drains the run, and returns the
+:class:`~repro.server.server.ServerResult`.
+
+Determinism note: entries are scheduled *before* the kernel runs, so a
+mutation at slot ``t`` carries an earlier sequence number than any
+session event at ``t`` and is applied first - the splice decision for
+slot ``t`` never depends on which same-slot client event the heap
+happened to pop first.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.errors import SpecificationError
+from repro.api.scenario import Scenario
+from repro.sweep.cache import SolveCache
+from repro.server.asrun import ASRUN_WINDOW
+from repro.server.mutations import Mutation, mutation_from_dict
+from repro.server.server import BroadcastServer, ServerResult
+
+
+@dataclass(frozen=True)
+class ScriptEntry:
+    """One timeline entry: apply ``mutation`` at slot ``at_slot``."""
+
+    at_slot: int
+    mutation: Mutation
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-able dict; the script file's entry shape."""
+        return {"at_slot": self.at_slot, "mutation": self.mutation.to_dict()}
+
+
+@dataclass(frozen=True)
+class MutationScript:
+    """A validated, slot-ordered mutation timeline."""
+
+    entries: tuple[ScriptEntry, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "entries", tuple(self.entries))
+        for entry in self.entries:
+            if not isinstance(entry, ScriptEntry):
+                raise SpecificationError(
+                    f"script entries must be ScriptEntry values, got "
+                    f"{type(entry).__name__}"
+                )
+        slots = [entry.at_slot for entry in self.entries]
+        if slots != sorted(slots):
+            raise SpecificationError(
+                f"script entries must be in slot order, got {slots}"
+            )
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "MutationScript":
+        """Build from a parsed JSON timeline (a list of entries)."""
+        if isinstance(payload, Mapping):
+            # Tolerate a {"mutations": [...]} envelope.
+            extra = set(payload) - {"mutations"}
+            if extra:
+                raise SpecificationError(
+                    f"mutation script: unknown keys {sorted(extra)} "
+                    f"(expected a list or a 'mutations' envelope)"
+                )
+            payload = payload.get("mutations", [])
+        if isinstance(payload, (str, bytes)) or not isinstance(
+            payload, Iterable
+        ):
+            raise SpecificationError(
+                f"mutation script must be a list of entries, got "
+                f"{type(payload).__name__}"
+            )
+        entries = []
+        for position, raw in enumerate(payload):
+            if not isinstance(raw, Mapping):
+                raise SpecificationError(
+                    f"script entry {position}: must be an object, got "
+                    f"{type(raw).__name__}"
+                )
+            unknown = set(raw) - {"at_slot", "mutation"}
+            if unknown:
+                raise SpecificationError(
+                    f"script entry {position}: unknown keys "
+                    f"{sorted(unknown)}"
+                )
+            at_slot = raw.get("at_slot")
+            if (
+                not isinstance(at_slot, int)
+                or isinstance(at_slot, bool)
+                or at_slot < 0
+            ):
+                raise SpecificationError(
+                    f"script entry {position}: at_slot must be a "
+                    f"slot >= 0, got {at_slot!r}"
+                )
+            mutation_payload = raw.get("mutation")
+            if mutation_payload is None:
+                raise SpecificationError(
+                    f"script entry {position}: missing 'mutation'"
+                )
+            entries.append(
+                ScriptEntry(at_slot, mutation_from_dict(mutation_payload))
+            )
+        return cls(tuple(entries))
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "MutationScript":
+        """Parse a timeline JSON file."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError as error:
+            raise SpecificationError(
+                f"cannot read mutation script {path}: {error}"
+            ) from error
+        except json.JSONDecodeError as error:
+            raise SpecificationError(
+                f"mutation script {path} is not valid JSON: {error}"
+            ) from error
+        return cls.from_payload(payload)
+
+    def to_payload(self) -> list[dict[str, Any]]:
+        """The JSON timeline this script round-trips to."""
+        return [entry.to_dict() for entry in self.entries]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def run_script(
+    scenario: Scenario,
+    script: MutationScript,
+    *,
+    cache: SolveCache | None = None,
+    log_path: str | Path | None = None,
+    until: int | None = None,
+    window: int = ASRUN_WINDOW,
+    max_boundaries: int = 64,
+) -> ServerResult:
+    """Run ``scenario`` through the online server under ``script``.
+
+    Every timeline entry is scheduled as a kernel event, the kernel is
+    drained (bounded by ``until`` when given), and the server signs
+    off.  The returned :class:`~repro.server.server.ServerResult`
+    carries per-epoch metrics, mutation provenance, splice slots, and
+    the solve-cache counters.
+    """
+    server = BroadcastServer(
+        scenario,
+        cache=cache,
+        log_path=log_path,
+        window=window,
+        max_boundaries=max_boundaries,
+    )
+    for entry in script.entries:
+        server.schedule_mutation(entry.at_slot, entry.mutation)
+    server.advance(until=until)
+    return server.close()

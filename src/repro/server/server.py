@@ -1,0 +1,699 @@
+"""The online broadcast server: live re-scheduling over one channel.
+
+:class:`BroadcastServer` owns the airing program for a
+:class:`~repro.api.Scenario` and keeps it mutable *while on air* - the
+paper's AWACS station switching from surveillance to combat mode
+without going dark.  The lifecycle of one accepted mutation:
+
+1. the mutation's delta produces the successor scenario (every
+   constructor invariant re-validates eagerly);
+2. the successor re-solves through the shared
+   :class:`~repro.sweep.cache.SolveCache` - an unchanged design
+   fingerprint is a warm-start cache hit, and the hit/miss provenance
+   goes into the as-run log;
+3. :func:`~repro.server.splice.find_splice_slot` scans outgoing
+   data-cycle boundaries for the earliest one the splice-safety
+   predicate blesses, and the new program is committed there (never
+   before the next slot - the past is immutable);
+4. every in-flight client retrieval whose provisional completion lies
+   at or beyond the boundary is re-walked over the spliced timeline and
+   its completion event rescheduled; a retrieval that met its contract
+   and no longer does is a *splice violation* (zero, by the predicate,
+   on fault-free channels);
+5. the as-run log records the mutation, the splice point with a
+   planned-vs-aired divergence witness, and any violations.
+
+Traffic populations run *through* the server - the same arrival
+processes, RNG substreams, and single-receiver discipline as the
+offline simulator, driven by one :class:`~repro.traffic.kernel.
+EventKernel` - so client sessions experience splices live, and metrics
+accumulate into per-epoch accumulators (split exactly at splice slots).
+
+Drive it programmatically (``apply()`` / ``advance()`` / ``close()``)
+or from a scripted mutation timeline (:mod:`repro.server.script`, the
+``repro server`` CLI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import accumulate
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.errors import SpecificationError
+from repro.rtdb.transactions import ReadTransaction
+from repro.bdisk.builder import ProgramDesign
+from repro.api.engine import BroadcastEngine
+from repro.api.scenario import Scenario
+from repro.sweep.cache import SolveCache
+from repro.traffic.arrivals import (
+    arrival_rng,
+    arrival_slot,
+    client_rng,
+    popularity_weights,
+)
+from repro.traffic.kernel import EventKernel
+from repro.traffic.metrics import TrafficMetrics
+from repro.traffic.simulate import _temporal_mix, _validate_temporal
+from repro.sim.faults import FaultModel
+from repro.sim.workload import sample_accesses
+from repro.server.airing import AirSchedule, Segment, SplicedRetrieval
+from repro.server.asrun import ASRUN_WINDOW, AsRunLog, planned_vs_aired
+from repro.server.mutations import Mutation
+from repro.server.sessions import LiveSession, LiveTransactionSession
+from repro.server.splice import SpliceRequirement, find_splice_slot
+
+
+def _mode_of(scenario: Scenario) -> str | None:
+    """The scenario's active operation mode, however it is expressed."""
+    if scenario.temporal is not None:
+        return scenario.temporal.mode
+    return scenario.mode
+
+
+def _metrics_dict(metrics: TrafficMetrics) -> dict[str, Any]:
+    """The headline counters of one epoch's accumulator, JSON-ably."""
+    payload: dict[str, Any] = {
+        "requests": metrics.requests,
+        "completions": metrics.completions,
+        "aborts": metrics.aborts,
+        "deadline_misses": metrics.deadline_misses,
+        "mean_latency": metrics.mean_latency,
+        "worst_latency": metrics.worst,
+    }
+    if metrics.item_reads or metrics.torn_discards:
+        payload.update(
+            item_reads=metrics.item_reads,
+            stale_reads=metrics.stale_reads,
+            torn_discards=metrics.torn_discards,
+            mean_age=metrics.mean_age,
+        )
+    return payload
+
+
+class _Epoch:
+    """One scenario's tenure: its design, derived tables, and metrics."""
+
+    __slots__ = (
+        "index",
+        "scenario",
+        "design",
+        "segment",
+        "cache_hit",
+        "catalogue",
+        "file_sizes",
+        "deadlines",
+        "cum_weights",
+        "mix",
+        "mix_cum_weights",
+        "max_age",
+        "metrics",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        scenario: Scenario,
+        design: ProgramDesign,
+        segment: Segment,
+        cache_hit: bool,
+    ) -> None:
+        self.index = index
+        self.scenario = scenario
+        self.design = design
+        self.segment = segment
+        self.cache_hit = cache_hit
+        self.catalogue = tuple(spec.name for spec in scenario.files)
+        self.file_sizes = {
+            spec.name: spec.blocks for spec in scenario.files
+        }
+        engine = BroadcastEngine(scenario, design=design)
+        self.deadlines = engine._deadlines(design)
+        self.cum_weights: list[float] | None = None
+        self.mix: list[ReadTransaction] | None = None
+        self.mix_cum_weights: list[float] | None = None
+        self.max_age: dict[str, int] | None = None
+        spec = scenario.traffic
+        seed = 0 if spec is None else spec.seed
+        self.metrics = TrafficMetrics(seed=seed)
+        if scenario.temporal is not None:
+            self.max_age = scenario.temporal.max_age_slots()
+        if spec is None:
+            return
+        weights = popularity_weights(
+            spec.popularity,
+            len(self.catalogue),
+            zipf_skew=spec.zipf_skew,
+            hot_fraction=spec.hot_fraction,
+            hot_weight=spec.hot_weight,
+        )
+        if scenario.temporal is not None:
+            _validate_temporal(scenario.temporal, spec, self.catalogue)
+            mix, mix_weights = _temporal_mix(
+                scenario.temporal, self.catalogue, self.deadlines, weights
+            )
+            self.mix = mix
+            self.mix_cum_weights = list(accumulate(mix_weights))
+        else:
+            self.cum_weights = list(accumulate(weights))
+
+    def summary(self) -> dict[str, Any]:
+        """The epoch's as-run/result record."""
+        return {
+            "epoch": self.index,
+            "start_slot": self.segment.start,
+            "scenario": self.scenario.name,
+            "mode": _mode_of(self.scenario),
+            "fingerprint": self.segment.fingerprint,
+            "label": self.segment.label,
+            "cache_hit": self.cache_hit,
+            "method": self.design.report.method,
+            "data_cycle": self.design.program.data_cycle_length,
+            "metrics": _metrics_dict(self.metrics),
+        }
+
+
+@dataclass(frozen=True)
+class ServerResult:
+    """The structured outcome of one online server run."""
+
+    scenario: str
+    final_slot: int
+    events_processed: int
+    epochs: tuple[dict[str, Any], ...]
+    mutations: tuple[dict[str, Any], ...]
+    splice_slots: tuple[int, ...]
+    violations: tuple[dict[str, Any], ...]
+    resplices: int
+    cache_stats: dict[str, int]
+    asrun_path: str | None
+    metrics: TrafficMetrics | None = field(compare=False, default=None)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-able summary (the CLI's ``--json`` payload)."""
+        payload: dict[str, Any] = {
+            "scenario": self.scenario,
+            "final_slot": self.final_slot,
+            "events_processed": self.events_processed,
+            "epochs": list(self.epochs),
+            "mutations": list(self.mutations),
+            "splice_slots": list(self.splice_slots),
+            "violations": list(self.violations),
+            "resplices": self.resplices,
+            "cache": dict(self.cache_stats),
+            "asrun": self.asrun_path,
+        }
+        if self.metrics is not None:
+            payload["traffic"] = _metrics_dict(self.metrics)
+        return payload
+
+    def report(self) -> str:
+        """A human-readable multi-line summary."""
+        lines = [
+            f"online server run: scenario {self.scenario}",
+            f"  slots aired: {self.final_slot + 1}, events "
+            f"{self.events_processed}",
+            f"  mutations applied: {len(self.mutations)}, splices at "
+            f"{list(self.splice_slots)}",
+            f"  in-flight retrievals re-walked: {self.resplices}, "
+            f"splice violations: {len(self.violations)}",
+            f"  solve cache: {self.cache_stats['hits']} hits / "
+            f"{self.cache_stats['misses']} misses / "
+            f"{self.cache_stats['solves']} solves",
+        ]
+        for epoch in self.epochs:
+            metrics = epoch["metrics"]
+            hit = "cache hit" if epoch["cache_hit"] else "solved"
+            lines.append(
+                f"  epoch {epoch['epoch']} from slot "
+                f"{epoch['start_slot']} ({epoch['label'] or 'sign-on'}, "
+                f"{hit}): {metrics['requests']} requests, "
+                f"{metrics['aborts']} aborts, "
+                f"{metrics['deadline_misses']} deadline misses"
+            )
+        if self.asrun_path:
+            lines.append(f"  as-run log: {self.asrun_path}")
+        return "\n".join(lines)
+
+
+class BroadcastServer:
+    """A long-running broadcast station accepting runtime mutations.
+
+    Parameters
+    ----------
+    scenario:
+        The initial airing scenario.  A traffic population, when
+        present, runs live through the server (no client caches - a
+        cache would answer across a splice from a retired program).
+    cache:
+        The shared :class:`~repro.sweep.cache.SolveCache`; defaults to
+        a fresh in-memory cache.  Passing a warm one makes mutation
+        re-solves warm starts across server runs.
+    log_path:
+        Where to stream the JSONL as-run log (``None`` = in memory
+        only; the records are always kept on the instance).
+    window:
+        Slots of planned-vs-aired context logged around each splice.
+    max_boundaries:
+        Data-cycle boundaries scanned for a safe splice before the
+        mutation is refused.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        *,
+        cache: SolveCache | None = None,
+        log_path: str | Path | None = None,
+        window: int = ASRUN_WINDOW,
+        max_boundaries: int = 64,
+    ) -> None:
+        if scenario.traffic is not None and scenario.traffic.cache:
+            raise SpecificationError(
+                f"scenario {scenario.name!r}: client caches are not "
+                f"supported by the online server (a cached copy would "
+                f"answer from a retired program across a splice)"
+            )
+        self._cache = cache if cache is not None else SolveCache()
+        self._kernel = EventKernel()
+        self._log = AsRunLog(log_path)
+        self._window = window
+        self._max_boundaries = max_boundaries
+        self._fault_model: FaultModel = scenario.faults.build()
+        self._inflight: dict[Any, None] = {}
+        self._mutations: list[dict[str, Any]] = []
+        self._violations: list[dict[str, Any]] = []
+        self._resplices = 0
+        self._closed = False
+
+        design, cache_hit = self._cache.design_for(scenario)
+        fingerprint = scenario.design_fingerprint()
+        segment = Segment(
+            start=0,
+            program=design.program,
+            fingerprint=fingerprint,
+            update_periods=(
+                dict(scenario.temporal.update_periods)
+                if scenario.temporal is not None
+                else None
+            ),
+            dispersal={
+                spec.name: spec.blocks for spec in scenario.files
+            },
+            label="sign-on",
+        )
+        self._epochs: list[_Epoch] = [
+            _Epoch(0, scenario, design, segment, cache_hit)
+        ]
+        self._schedule = AirSchedule([segment])
+        self._log.record(
+            "on-air",
+            0,
+            scenario=scenario.name,
+            mode=_mode_of(scenario),
+            fingerprint=fingerprint,
+            cache_hit=cache_hit,
+            method=design.report.method,
+            data_cycle=design.program.data_cycle_length,
+        )
+        self._spawn_traffic(scenario)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def kernel(self) -> EventKernel:
+        """The event kernel driving sessions and scripted mutations."""
+        return self._kernel
+
+    @property
+    def schedule(self) -> AirSchedule:
+        """The committed airing timeline (grows at each splice)."""
+        return self._schedule
+
+    @property
+    def cache(self) -> SolveCache:
+        """The solve cache mutations re-solve through."""
+        return self._cache
+
+    @property
+    def log(self) -> AsRunLog:
+        """The as-run log."""
+        return self._log
+
+    @property
+    def now(self) -> int:
+        """The kernel's current slot."""
+        return self._kernel.now
+
+    @property
+    def scenario(self) -> Scenario:
+        """The scenario whose program is committed last."""
+        return self._epochs[-1].scenario
+
+    @property
+    def violations(self) -> tuple[dict[str, Any], ...]:
+        """Splice violations observed so far."""
+        return tuple(self._violations)
+
+    def _epoch_at(self, slot: int) -> _Epoch:
+        return self._epochs[self._schedule.epoch_of(slot)]
+
+    # ------------------------------------------------------------------
+    # Session services (the live retrieval/recording surface)
+    # ------------------------------------------------------------------
+
+    def draw_file(self, rng: Any, slot: int) -> str:
+        """Draw a request's file from the epoch-at-``slot`` catalogue."""
+        epoch = self._epoch_at(slot)
+        assert epoch.cum_weights is not None
+        return epoch.catalogue[
+            sample_accesses(rng, None, 1, cum_weights=epoch.cum_weights)[0]
+        ]
+
+    def draw_transaction(self, rng: Any, slot: int) -> ReadTransaction:
+        """Draw a transaction from the epoch-at-``slot`` weighted mix."""
+        epoch = self._epoch_at(slot)
+        assert epoch.mix is not None and epoch.mix_cum_weights is not None
+        return epoch.mix[
+            sample_accesses(
+                rng, None, 1, cum_weights=epoch.mix_cum_weights
+            )[0]
+        ]
+
+    def live_retrieve(self, file: str, start: int) -> SplicedRetrieval:
+        """Walk one distinct-block retrieval over the live timeline."""
+        epoch = self._epoch_at(start)
+        spec = epoch.scenario.traffic
+        return self._schedule.retrieve(
+            file,
+            epoch.file_sizes[file],
+            start=start,
+            faults=self._fault_model,
+            max_slots=None if spec is None else spec.max_slots,
+        )
+
+    def live_retrieve_versioned(
+        self, file: str, start: int
+    ) -> SplicedRetrieval:
+        """Walk one version-consistent retrieval over the live timeline."""
+        epoch = self._epoch_at(start)
+        spec = epoch.scenario.traffic
+        return self._schedule.retrieve_versioned(
+            file,
+            epoch.file_sizes[file],
+            start=start,
+            faults=self._fault_model,
+            max_slots=None if spec is None else spec.max_slots,
+        )
+
+    def deadline_at(self, slot: int, file: str) -> int:
+        """The file's latency budget under the epoch active at ``slot``."""
+        return self._epoch_at(slot).deadlines[file]
+
+    def max_age_at(self, slot: int, item: str) -> int:
+        """The item's staleness budget under the epoch at ``slot``."""
+        epoch = self._epoch_at(slot)
+        assert epoch.max_age is not None
+        return epoch.max_age[item]
+
+    def register_inflight(self, session: Any) -> None:
+        """Track a session whose completion event is provisional."""
+        self._inflight[session] = None
+
+    def unregister_inflight(self, session: Any) -> None:
+        """Drop a session whose retrieval completed."""
+        self._inflight.pop(session, None)
+
+    def record_read(
+        self, file: str, issued: int, outcome: SplicedRetrieval
+    ) -> None:
+        """Record a completed plain read into its completion epoch."""
+        deadline = self.deadline_at(issued, file)
+        epoch = self._epoch_at(outcome.finish_slot)
+        epoch.metrics.record(file, outcome.latency, deadline)
+
+    def record_versioned_read(
+        self, item: str, issued: int, outcome: SplicedRetrieval
+    ) -> None:
+        """Record a versioned item read into its completion epoch."""
+        budget = self.max_age_at(issued, item)
+        age = outcome.age_at_completion
+        epoch = self._epoch_at(outcome.finish_slot)
+        epoch.metrics.record_versioned_read(
+            age, age is not None and age <= budget, outcome.torn_discards
+        )
+
+    def record_transaction(
+        self,
+        txn: ReadTransaction,
+        issued: int,
+        response: int | None,
+        finish: int,
+    ) -> None:
+        """Record a finished transaction into its completion epoch."""
+        epoch = self._epoch_at(finish)
+        epoch.metrics.record(txn.name, response, txn.deadline_slots)
+
+    # ------------------------------------------------------------------
+    # The mutation path
+    # ------------------------------------------------------------------
+
+    def _spawn_traffic(self, scenario: Scenario) -> None:
+        spec = scenario.traffic
+        if spec is None:
+            return
+        temporal = scenario.temporal is not None
+        for index in range(spec.clients):
+            rng = client_rng(spec.seed, index)
+            arrival = arrival_slot(
+                spec.arrival,
+                arrival_rng(spec.seed, index),
+                index,
+                spec.clients,
+                spec.duration,
+                bursts=spec.bursts,
+                burst_width=spec.burst_width,
+            )
+            session: LiveSession | LiveTransactionSession
+            if temporal:
+                session = LiveTransactionSession(
+                    index,
+                    rng,
+                    self,
+                    requests=spec.requests_per_client,
+                    think_mean=spec.think_time,
+                )
+            else:
+                session = LiveSession(
+                    index,
+                    rng,
+                    self,
+                    requests=spec.requests_per_client,
+                    think_mean=spec.think_time,
+                )
+            session.begin(self._kernel, arrival)
+
+    def _requirements(
+        self, outgoing: _Epoch, incoming: ProgramDesign
+    ) -> list[SpliceRequirement]:
+        versioned = outgoing.scenario.temporal is not None
+        return [
+            SpliceRequirement(
+                file=file,
+                m_needed=outgoing.file_sizes[file],
+                budget_slots=outgoing.deadlines[file],
+                versioned=versioned,
+            )
+            for file in outgoing.catalogue
+            if file in incoming.program.files
+        ]
+
+    def apply(self, mutation: Mutation) -> dict[str, Any]:
+        """Accept one runtime mutation; return its provenance record.
+
+        Re-solves, finds the earliest safe data-cycle boundary strictly
+        after ``now``, commits the splice, re-walks affected in-flight
+        retrievals, and logs everything.  Raises
+        :class:`~repro.errors.SpecificationError` for a malformed delta
+        and :class:`~repro.errors.SimulationError` when no safe
+        boundary exists - in either case nothing was committed.
+        """
+        if self._closed:
+            raise SpecificationError(
+                "server is closed; no further mutations"
+            )
+        now = self._kernel.now
+        outgoing = self._epochs[-1]
+        scenario = mutation.apply(outgoing.scenario)
+        design, cache_hit = self._cache.design_for(scenario)
+        fingerprint = scenario.design_fingerprint()
+        candidate, splice_slot, attempts = find_splice_slot(
+            self._schedule,
+            design.program,
+            not_before=now + 1,
+            requirements=self._requirements(outgoing, design),
+            fingerprint=fingerprint,
+            update_periods=(
+                dict(scenario.temporal.update_periods)
+                if scenario.temporal is not None
+                else None
+            ),
+            dispersal={
+                spec.name: spec.blocks for spec in scenario.files
+            },
+            label=mutation.describe(),
+            max_boundaries=self._max_boundaries,
+        )
+
+        # Commit: timeline first, then the epoch tables sessions read.
+        self._schedule = candidate
+        epoch = _Epoch(
+            len(self._epochs), scenario, design, candidate.on_air,
+            cache_hit,
+        )
+        self._epochs.append(epoch)
+
+        self._log.record(
+            "mutation",
+            now,
+            mutation=mutation.to_dict(),
+            scenario=scenario.name,
+            mode=_mode_of(scenario),
+            fingerprint=fingerprint,
+            cache_hit=cache_hit,
+            method=design.report.method,
+        )
+        self._log.record(
+            "splice",
+            splice_slot,
+            outgoing_fingerprint=outgoing.segment.fingerprint,
+            incoming_fingerprint=fingerprint,
+            phase_offset=candidate.on_air.phase_offset,
+            rejected_boundaries=[
+                {
+                    "slot": slot,
+                    "violations": [v.to_dict() for v in violations],
+                }
+                for slot, violations in attempts
+            ],
+            checked_files=sorted(
+                file
+                for file in outgoing.catalogue
+                if file in design.program.files
+            ),
+            window=planned_vs_aired(
+                candidate, splice_slot, self._window
+            ),
+        )
+        self._log.record(
+            "on-air",
+            splice_slot,
+            scenario=scenario.name,
+            mode=_mode_of(scenario),
+            fingerprint=fingerprint,
+            cache_hit=cache_hit,
+            method=design.report.method,
+            data_cycle=design.program.data_cycle_length,
+        )
+
+        respliced = 0
+        violations: list[dict[str, Any]] = []
+        for session in list(self._inflight):
+            if session.pending_finish < splice_slot:
+                continue  # completes strictly before the boundary
+            moved = session.resplice(self._kernel)
+            respliced += 1
+            if moved.violated:
+                entry = {
+                    "splice_slot": splice_slot,
+                    "file": moved.file,
+                    "start": moved.start,
+                    "budget_slots": moved.budget_slots,
+                    "old_latency": moved.old_latency,
+                    "new_latency": moved.new_latency,
+                }
+                violations.append(entry)
+                self._violations.append(entry)
+                self._log.record("violation", splice_slot, **entry)
+        self._resplices += respliced
+
+        record = {
+            "at_slot": now,
+            "mutation": mutation.to_dict(),
+            "splice_slot": splice_slot,
+            "phase_offset": candidate.on_air.phase_offset,
+            "fingerprint": fingerprint,
+            "cache_hit": cache_hit,
+            "method": design.report.method,
+            "rejected_boundaries": [slot for slot, _ in attempts],
+            "respliced": respliced,
+            "violations": violations,
+        }
+        self._mutations.append(record)
+        return record
+
+    def schedule_mutation(self, at_slot: int, mutation: Mutation) -> int:
+        """Apply ``mutation`` when the kernel reaches ``at_slot``.
+
+        Returns the kernel event id (cancellable until it fires).
+        """
+        return self._kernel.schedule(
+            at_slot, lambda _kernel: self.apply(mutation)
+        )
+
+    def advance(self, *, until: int | None = None) -> int:
+        """Drive the kernel (sessions and scheduled mutations).
+
+        ``until`` bounds the run as in
+        :meth:`~repro.traffic.kernel.EventKernel.run`; ``None`` drains
+        every pending event.  Returns how many events ran.
+        """
+        return self._kernel.run(until=until)
+
+    def close(self) -> ServerResult:
+        """Sign off: final log record, close the log, summarize."""
+        if self._closed:
+            raise SpecificationError("server is already closed")
+        self._closed = True
+        metrics: TrafficMetrics | None = None
+        if self._epochs[0].scenario.traffic is not None:
+            metrics = TrafficMetrics.merged(
+                [epoch.metrics for epoch in self._epochs],
+                seed=self._epochs[0].scenario.traffic.seed,
+            )
+        self._log.record(
+            "sign-off",
+            self._kernel.now,
+            epochs=len(self._epochs),
+            mutations=len(self._mutations),
+            splices=list(self._schedule.splice_slots),
+            violations=len(self._violations),
+            resplices=self._resplices,
+            cache=self._cache.stats(),
+        )
+        self._log.close()
+        return ServerResult(
+            scenario=self._epochs[0].scenario.name,
+            final_slot=self._kernel.now,
+            events_processed=self._kernel.processed,
+            epochs=tuple(epoch.summary() for epoch in self._epochs),
+            mutations=tuple(self._mutations),
+            splice_slots=tuple(self._schedule.splice_slots),
+            violations=tuple(self._violations),
+            resplices=self._resplices,
+            cache_stats=self._cache.stats(),
+            asrun_path=(
+                None if self._log.path is None else str(self._log.path)
+            ),
+            metrics=metrics,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BroadcastServer(scenario={self._epochs[-1].scenario.name!r}, "
+            f"now={self._kernel.now}, epochs={len(self._epochs)}, "
+            f"inflight={len(self._inflight)})"
+        )

@@ -111,6 +111,22 @@ class SolveCache:
         self.put(fingerprint, design)
         return design, False
 
+    def stats(self) -> dict[str, int]:
+        """This instance's traffic counters as a plain dict.
+
+        Keys: ``hits``, ``misses``, ``solves``, ``entries``.  The online
+        broadcast server embeds this in its re-solve provenance (so an
+        as-run log can prove a warm start), and CI smoke steps assert on
+        it (``solves == 0`` on a warm cache) instead of parsing bench
+        output.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "solves": self.solves,
+            "entries": len(self),
+        }
+
     def __len__(self) -> int:
         """Entries visible to this instance (memory tier plus disk)."""
         known = set(self._memory)

@@ -36,10 +36,25 @@ class EventKernel:
 
     Actions are callables taking the kernel; they may schedule further
     events at any slot >= ``now`` (scheduling into the past is a logic
-    error and raises :class:`SimulationError`).
+    error and raises :class:`SimulationError`, which is also a
+    ``ValueError``).
+
+    :meth:`schedule` returns an event id that :meth:`cancel` accepts, so
+    a long-running driver (the online broadcast server) can retract a
+    provisional completion event when a splice changes its outcome.
+    Cancellation is lazy - the heap entry is skipped when it surfaces -
+    so cancelling is O(1) and the heap never needs re-ordering.
     """
 
-    __slots__ = ("_heap", "_sequence", "_now", "_processed", "_running")
+    __slots__ = (
+        "_heap",
+        "_sequence",
+        "_now",
+        "_processed",
+        "_running",
+        "_live",
+        "_cancelled",
+    )
 
     def __init__(self) -> None:
         self._heap: list[tuple[int, int, Action]] = []
@@ -47,6 +62,8 @@ class EventKernel:
         self._now = 0
         self._processed = 0
         self._running = False
+        self._live: set[int] = set()
+        self._cancelled: set[int] = set()
 
     @property
     def now(self) -> int:
@@ -61,21 +78,51 @@ class EventKernel:
 
     @property
     def pending(self) -> int:
-        """Events scheduled but not yet executed."""
-        return len(self._heap)
+        """Events scheduled but not yet executed or cancelled."""
+        return len(self._live)
 
-    def schedule(self, slot: int, action: Action) -> None:
-        """Enqueue ``action`` to run at ``slot``.
+    def schedule(self, slot: int, action: Action) -> int:
+        """Enqueue ``action`` to run at ``slot``; return its event id.
 
-        Same-slot events run in the order they were scheduled.
+        Same-slot events run in the order they were scheduled.  The
+        returned id can be passed to :meth:`cancel` while the event is
+        still pending.
         """
         if slot < self._now:
             raise SimulationError(
                 f"cannot schedule an event at slot {slot}: the kernel is "
                 f"already at slot {self._now}"
             )
-        heappush(self._heap, (slot, self._sequence, action))
+        event_id = self._sequence
+        heappush(self._heap, (slot, event_id, action))
         self._sequence += 1
+        self._live.add(event_id)
+        return event_id
+
+    def cancel(self, event_id: int) -> bool:
+        """Retract a pending event; return whether anything was cancelled.
+
+        ``True`` means the event existed and had not yet run; it will be
+        silently skipped when its heap entry surfaces.  ``False`` means
+        the id was unknown, already executed, or already cancelled -
+        cancellation is idempotent, never an error.
+        """
+        if event_id not in self._live:
+            return False
+        self._live.discard(event_id)
+        self._cancelled.add(event_id)
+        return True
+
+    def peek(self) -> int | None:
+        """The slot of the next live event, or ``None`` when drained.
+
+        Discards cancelled entries that have bubbled to the top, so the
+        answer always refers to an event that will actually run.
+        """
+        heap = self._heap
+        while heap and heap[0][1] in self._cancelled:
+            self._cancelled.discard(heappop(heap)[1])
+        return heap[0][0] if heap else None
 
     def run(self, *, until: int | None = None) -> int:
         """Pop and execute events in slot order; return how many ran.
@@ -95,10 +142,15 @@ class EventKernel:
         try:
             heap = self._heap
             while heap:
-                slot = heap[0][0]
+                slot, seq, _ = heap[0]
+                if seq in self._cancelled:
+                    heappop(heap)
+                    self._cancelled.discard(seq)
+                    continue
                 if until is not None and slot > until:
                     break
-                slot, _, action = heappop(heap)
+                slot, seq, action = heappop(heap)
+                self._live.discard(seq)
                 self._now = slot
                 action(self)
                 ran += 1

@@ -1,0 +1,208 @@
+"""Tests for the spliced airing timeline and its retrieval walkers."""
+
+import pytest
+
+from repro.bdisk.flat import build_aida_flat_program, build_flat_program
+from repro.errors import SimulationError
+from repro.rtdb.updates import UpdatingServer, retrieve_versioned
+from repro.server.airing import AirSchedule, Segment
+from repro.sim.client import retrieve
+from repro.sim.faults import BernoulliFaults
+
+
+def single(program, **kwargs):
+    return AirSchedule([Segment(start=0, program=program, **kwargs)])
+
+
+class TestTimelineShape:
+    def test_needs_a_segment(self):
+        with pytest.raises(SimulationError, match="at least one"):
+            AirSchedule([])
+
+    def test_starts_strictly_increase(self, figure5_program):
+        with pytest.raises(SimulationError, match="strictly increasing"):
+            AirSchedule([
+                Segment(0, figure5_program),
+                Segment(0, figure5_program),
+            ])
+
+    def test_splice_off_cycle_boundary_rejected(self, figure5_program):
+        cycle = figure5_program.data_cycle_length
+        with pytest.raises(SimulationError, match="data-cycle boundary"):
+            AirSchedule([
+                Segment(0, figure5_program),
+                Segment(cycle + 1, figure5_program),
+            ])
+
+    def test_spliced_returns_a_new_timeline(self, figure5_program):
+        base = single(figure5_program)
+        cycle = figure5_program.data_cycle_length
+        grown = base.spliced(Segment(cycle, figure5_program))
+        assert len(base) == 1 and len(grown) == 2
+        assert grown.splice_slots == (cycle,)
+
+    def test_epoch_of_before_timeline_rejected(self, figure5_program):
+        with pytest.raises(SimulationError, match="precedes"):
+            single(figure5_program).epoch_of(-1)
+
+    def test_content_matches_program_in_one_segment(self, figure5_program):
+        schedule = single(figure5_program)
+        for t in range(2 * figure5_program.data_cycle_length):
+            assert schedule.content(t) == figure5_program.index.content(t)
+
+    def test_phase_offset_rotates_content(self, figure5_program):
+        cycle = figure5_program.data_cycle_length
+        schedule = AirSchedule([
+            Segment(0, figure5_program),
+            Segment(cycle, figure5_program, phase_offset=3),
+        ])
+        for t in range(cycle, 2 * cycle):
+            assert schedule.content(t) == figure5_program.index.content(
+                t - cycle + 3
+            )
+
+    def test_phase_offset_outside_cycle_rejected(self, figure5_program):
+        cycle = figure5_program.data_cycle_length
+        with pytest.raises(SimulationError, match="phase offset"):
+            Segment(0, figure5_program, phase_offset=cycle)
+
+
+class TestSingleSegmentEquivalence:
+    def test_plain_retrieve_matches_offline(self, figure6_program):
+        schedule = single(figure6_program)
+        for file, m in (("A", 5), ("B", 3)):
+            for start in range(figure6_program.data_cycle_length):
+                offline = retrieve(
+                    figure6_program, file, m, start=start
+                )
+                live = schedule.retrieve(file, m, start=start)
+                assert live.completed == offline.completed
+                assert live.finish_slot == offline.finish_slot
+                assert live.latency == offline.latency
+                assert live.segments_crossed == 0
+
+    def test_plain_retrieve_matches_offline_under_faults(
+        self, figure6_program
+    ):
+        faults = BernoulliFaults(0.2, seed=42)
+        schedule = single(figure6_program)
+        for start in range(0, 60, 7):
+            offline = retrieve(
+                figure6_program, "A", 5, start=start,
+                faults=BernoulliFaults(0.2, seed=42),
+            )
+            live = schedule.retrieve("A", 5, start=start, faults=faults)
+            assert (live.completed, live.finish_slot, live.latency) == (
+                offline.completed, offline.finish_slot, offline.latency
+            )
+
+    def test_versioned_matches_offline(self, figure6_program):
+        periods = {"A": 12, "B": 30}
+        server = UpdatingServer(periods)
+        schedule = single(figure6_program, update_periods=periods)
+        for start in range(0, 48, 5):
+            offline = retrieve_versioned(
+                figure6_program, server, "A", 5, start=start
+            )
+            live = schedule.retrieve_versioned("A", 5, start=start)
+            assert live.completed == offline.completed
+            assert live.latency == offline.latency
+            assert live.age_at_completion == offline.age_at_completion
+            assert live.torn_discards == offline.torn_discards
+
+    def test_unknown_file_rejected(self, figure5_program):
+        with pytest.raises(SimulationError, match="not broadcast"):
+            single(figure5_program).retrieve("Z", 1, start=0)
+
+
+class TestCrossSegmentRules:
+    def test_walk_crosses_a_splice(self):
+        # Outgoing airs A and B; incoming drops B, so a B retrieval
+        # started late in the outgoing tenure waits forever.
+        out = build_flat_program([("A", 2), ("B", 2)])
+        inc = build_flat_program([("A", 2)])
+        cycle = out.data_cycle_length
+        schedule = AirSchedule([Segment(0, out), Segment(cycle, inc)])
+        spanning = schedule.retrieve("A", 2, start=cycle - 1)
+        assert spanning.completed and spanning.segments_crossed == 1
+
+    def test_file_absent_from_incoming_never_completes(self):
+        out = build_flat_program([("A", 2), ("B", 2)])
+        inc = build_flat_program([("A", 2)])
+        cycle = out.data_cycle_length
+        schedule = AirSchedule([Segment(0, out), Segment(cycle, inc)])
+        result = schedule.retrieve("B", 2, start=cycle - 1, max_slots=40)
+        assert not result.completed
+
+    def test_file_waits_through_to_a_later_segment(self):
+        out = build_flat_program([("A", 2)])
+        inc = build_flat_program([("A", 2), ("B", 2)])
+        cycle = out.data_cycle_length
+        schedule = AirSchedule([Segment(0, out), Segment(cycle, inc)])
+        result = schedule.retrieve("B", 2, start=0, max_slots=4 * cycle)
+        assert result.completed and result.segments_crossed == 1
+
+    def test_same_dispersal_survives_fault_budget_change(self):
+        # n grows 2 -> 3 but m stays 2: held blocks remain usable.
+        out = build_aida_flat_program([("A", 2, 2)])
+        inc = build_aida_flat_program([("A", 2, 3)])
+        cycle = out.data_cycle_length
+        schedule = AirSchedule([
+            Segment(0, out, dispersal={"A": 2}),
+            Segment(cycle, inc, dispersal={"A": 2}),
+        ])
+        spanning = schedule.retrieve("A", 2, start=cycle - 1)
+        assert spanning.completed
+        assert spanning.torn_discards == 0
+        assert spanning.segments_crossed == 1
+
+    def test_redispersal_discards_held_blocks(self):
+        out = build_aida_flat_program([("A", 2, 2)])
+        inc = build_aida_flat_program([("A", 3, 3)])
+        cycle = out.data_cycle_length
+        schedule = AirSchedule([
+            Segment(0, out, dispersal={"A": 2}),
+            Segment(cycle, inc, dispersal={"A": 3}),
+        ])
+        spanning = schedule.retrieve("A", 3, start=cycle - 1)
+        assert spanning.torn_discards >= 1
+
+    def test_block_count_fallback_without_dispersal(self):
+        # Without declared dispersal the walker falls back to the aired
+        # block count, conservatively discarding on any change.
+        out = build_aida_flat_program([("A", 2, 2)])
+        inc = build_aida_flat_program([("A", 2, 3)])
+        cycle = out.data_cycle_length
+        schedule = AirSchedule([Segment(0, out), Segment(cycle, inc)])
+        spanning = schedule.retrieve("A", 2, start=cycle - 1)
+        assert spanning.torn_discards >= 1
+
+    def test_version_clock_is_wall_clock_across_splice(self):
+        out = build_flat_program([("A", 2)])
+        inc = build_flat_program([("A", 2)])
+        cycle = out.data_cycle_length
+        periods = {"A": 1000}  # no version boundary inside the walk
+        schedule = AirSchedule([
+            Segment(0, out, update_periods=periods),
+            Segment(cycle, inc, update_periods=periods),
+        ])
+        spanning = schedule.retrieve_versioned("A", 2, start=cycle - 1)
+        assert spanning.completed
+        assert spanning.torn_discards == 0
+        # Age is measured from the absolute version write slot (0).
+        assert spanning.age_at_completion == spanning.finish_slot
+
+    def test_faults_key_on_absolute_slots(self):
+        out = build_flat_program([("A", 2)])
+        cycle = out.data_cycle_length
+        spliced = AirSchedule([Segment(0, out), Segment(cycle, out)])
+        plain = AirSchedule([Segment(0, out)])
+        faults = BernoulliFaults(0.3, seed=9)
+        for start in range(0, 2 * cycle, 3):
+            a = spliced.retrieve(
+                "A", 2, start=start, faults=BernoulliFaults(0.3, seed=9)
+            )
+            b = plain.retrieve("A", 2, start=start, faults=faults)
+            assert (a.completed, a.finish_slot) == (
+                b.completed, b.finish_slot
+            )

@@ -1,0 +1,78 @@
+"""Tests for the JSONL as-run log and the planned-vs-aired witness."""
+
+import json
+
+import pytest
+
+from repro.bdisk.flat import build_flat_program
+from repro.errors import SpecificationError
+from repro.server.airing import AirSchedule, Segment
+from repro.server.asrun import AsRunLog, planned_vs_aired, read_asrun
+
+
+class TestPlannedVsAired:
+    def test_agreement_before_divergence_from_boundary(self):
+        out = build_flat_program([("A", 2), ("B", 2)])
+        inc = build_flat_program([("A", 2), ("B", 2), ("C", 2)])
+        cycle = out.data_cycle_length
+        boundary = 2 * cycle
+        schedule = AirSchedule([Segment(0, out), Segment(boundary, inc)])
+        witness = planned_vs_aired(schedule, boundary, window=4)
+        assert witness["splice_slot"] == boundary
+        split = boundary - witness["from_slot"]
+        assert witness["planned"][:split] == witness["aired"][:split]
+        assert witness["planned"][split:] != witness["aired"][split:]
+
+    def test_rejects_non_splice_slots(self):
+        out = build_flat_program([("A", 2)])
+        schedule = AirSchedule([Segment(0, out)])
+        with pytest.raises(SpecificationError, match="not a splice"):
+            planned_vs_aired(schedule, 0)
+
+    def test_rejects_bad_window(self):
+        out = build_flat_program([("A", 2)])
+        cycle = out.data_cycle_length
+        schedule = AirSchedule([Segment(0, out), Segment(cycle, out)])
+        with pytest.raises(SpecificationError, match="window"):
+            planned_vs_aired(schedule, cycle, window=0)
+
+
+class TestAsRunLog:
+    def test_in_memory_records(self):
+        log = AsRunLog()
+        log.record("on-air", 0, scenario="x")
+        log.record("sign-off", 9)
+        assert [r["type"] for r in log.records] == ["on-air", "sign-off"]
+        assert log.path is None
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "run" / "asrun.jsonl"
+        with AsRunLog(path) as log:
+            log.record("on-air", 0, fingerprint="abc")
+            log.record("splice", 16, phase_offset=2)
+        records = read_asrun(path)
+        assert records == list(log.records)
+        assert records[1]["phase_offset"] == 2
+
+    def test_non_json_payload_fails_fast(self):
+        log = AsRunLog()
+        with pytest.raises(TypeError):
+            log.record("on-air", 0, payload=object())
+        assert len(log) == 0
+
+    def test_read_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "on-air", "slot": 0}\nnot json\n')
+        with pytest.raises(SpecificationError, match="not valid JSON"):
+            read_asrun(path)
+
+    def test_read_rejects_missing_envelope(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"type": "on-air"}) + "\n")
+        with pytest.raises(SpecificationError, match="'type' and 'slot'"):
+            read_asrun(path)
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "sparse.jsonl"
+        path.write_text('\n{"type": "sign-off", "slot": 3}\n\n')
+        assert read_asrun(path) == [{"type": "sign-off", "slot": 3}]

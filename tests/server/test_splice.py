@@ -1,0 +1,157 @@
+"""Tests for the splice-safety predicate and the boundary search."""
+
+import pytest
+
+from repro.bdisk.flat import build_flat_program
+from repro.bdisk.program import BroadcastProgram
+from repro.core.schedule import Schedule
+from repro.errors import SimulationError
+from repro.server.airing import AirSchedule, Segment
+from repro.server.splice import (
+    SpliceRequirement,
+    SpliceViolation,
+    check_splice,
+    critical_starts,
+    find_splice_slot,
+    splice_is_safe,
+)
+
+
+def spliced_pair(out, inc, *, offset=0):
+    cycle = out.data_cycle_length
+    return AirSchedule([
+        Segment(0, out),
+        Segment(cycle, inc, phase_offset=offset),
+    ]), cycle
+
+
+class TestRequirement:
+    def test_validates_shape(self):
+        with pytest.raises(SimulationError, match="m_needed"):
+            SpliceRequirement("A", 0, 5)
+        with pytest.raises(SimulationError, match="budget"):
+            SpliceRequirement("A", 2, 0)
+
+
+class TestCriticalStarts:
+    def test_window_first_slot_and_post_service_starts(self):
+        out = BroadcastProgram(Schedule(["A", "A", "B", "B"]))
+        schedule, boundary = spliced_pair(out, out)
+        budget = 6
+        starts = critical_starts(schedule, "A", budget, boundary)
+        lo = max(boundary - budget + 1, 0)
+        assert starts[0] == lo
+        assert all(lo <= s <= boundary - 1 for s in starts)
+        # One extra candidate per outgoing service of A in the window.
+        services = [
+            t for t in range(lo, boundary - 1)
+            if (c := schedule.content(t)) is not None and c.file == "A"
+        ]
+        assert len(starts) == 1 + len(services)
+
+    def test_clamped_to_segment_start(self):
+        out = build_flat_program([("A", 2)])
+        schedule, boundary = spliced_pair(out, out)
+        starts = critical_starts(schedule, "A", 10 * boundary, boundary)
+        assert starts[0] == 0
+
+
+class TestCheckSplice:
+    def test_safe_self_splice(self):
+        # Splicing a program into itself at a cycle boundary changes
+        # nothing, so every contract the design meets stays met.
+        out = build_flat_program([("A", 2), ("B", 2)])
+        schedule, boundary = spliced_pair(out, out)
+        requirements = [
+            SpliceRequirement("A", 2, 5),
+            SpliceRequirement("B", 2, 5),
+        ]
+        assert splice_is_safe(schedule, boundary, requirements)
+
+    def test_crafted_violation_detected(self):
+        # Outgoing airs A first; incoming pushes A to the cycle's tail,
+        # so a spanning retrieval that held one A block overshoots its
+        # budget at rotation 0.
+        out = BroadcastProgram(Schedule(["A", "A", "B", "B"]))
+        inc = BroadcastProgram(Schedule(["B", "B", "A", "A"]))
+        schedule, boundary = spliced_pair(out, inc)
+        violations = check_splice(
+            schedule, boundary, [SpliceRequirement("A", 2, 4)]
+        )
+        assert violations
+        assert all(isinstance(v, SpliceViolation) for v in violations)
+        # The violation is real: replay the reported start directly.
+        worst = violations[0]
+        replay = schedule.retrieve(
+            "A", 2, start=worst.start, max_slots=worst.budget_slots
+        )
+        assert not replay.completed
+
+    def test_violation_describe_and_to_dict(self):
+        violation = SpliceViolation("A", 10, 4, None)
+        assert "aborts" in violation.describe()
+        assert violation.to_dict()["file"] == "A"
+        timed = SpliceViolation("A", 10, 4, 7)
+        assert "7 slots" in timed.describe()
+
+    def test_non_splice_slot_rejected(self):
+        out = build_flat_program([("A", 2)])
+        schedule, boundary = spliced_pair(out, out)
+        with pytest.raises(SimulationError, match="not a splice point"):
+            check_splice(schedule, boundary + 1, [])
+
+
+class TestFindSpliceSlot:
+    def test_self_splice_lands_on_next_boundary(self):
+        out = build_flat_program([("A", 2), ("B", 2)])
+        schedule = AirSchedule([Segment(0, out)])
+        candidate, boundary, attempts = find_splice_slot(
+            schedule, out, not_before=5,
+            requirements=[SpliceRequirement("A", 2, 5)],
+        )
+        cycle = out.data_cycle_length
+        assert boundary == -(-5 // cycle) * cycle
+        assert attempts == []
+        assert candidate.splice_slots == (boundary,)
+
+    def test_phase_rotation_rescues_a_tail_heavy_incoming(self):
+        # At offset 0 the incoming's A blocks air too late for spanning
+        # starts; some rotation brings them forward.  The search must
+        # find it rather than refuse.
+        out = BroadcastProgram(Schedule(["A", "A", "B", "B"]))
+        inc = BroadcastProgram(Schedule(["B", "B", "A", "A"]))
+        schedule = AirSchedule([Segment(0, out)])
+        candidate, boundary, _ = find_splice_slot(
+            schedule, inc, not_before=1,
+            requirements=[SpliceRequirement("A", 2, 4)],
+        )
+        assert candidate.on_air.phase_offset > 0
+        assert splice_is_safe(
+            candidate, boundary, [SpliceRequirement("A", 2, 4)]
+        )
+
+    def test_refusal_when_nothing_is_safe(self):
+        # The incoming program drops B entirely; no boundary or
+        # rotation can serve a spanning B retrieval.
+        out = build_flat_program([("A", 2), ("B", 2)])
+        inc = build_flat_program([("A", 2)])
+        schedule = AirSchedule([Segment(0, out)])
+        with pytest.raises(SimulationError, match="no safe splice"):
+            find_splice_slot(
+                schedule, inc, not_before=1,
+                requirements=[SpliceRequirement("B", 2, 4)],
+                max_boundaries=3,
+            )
+
+    def test_provenance_carried_onto_segment(self):
+        out = build_flat_program([("A", 2)])
+        schedule = AirSchedule([Segment(0, out)])
+        candidate, _, _ = find_splice_slot(
+            schedule, out, not_before=1,
+            requirements=[], fingerprint="f123", label="test splice",
+            dispersal={"A": 2},
+        )
+        segment = candidate.on_air
+        assert segment.fingerprint == "f123"
+        assert segment.label == "test splice"
+        assert segment.dispersal_of("A") == 2

@@ -1,0 +1,133 @@
+"""Property tests for the splice-safety invariant.
+
+Random program pairs, splice boundaries, and phase rotations, checked
+two ways:
+
+* the predicate is *exact*: ``splice_is_safe`` agrees with exhaustively
+  walking every possible spanning start against its budget;
+* the aired timeline is bit-exact: planned prefix before the boundary,
+  the (rotated) incoming program from it - divergence only at the
+  declared splice slot.
+"""
+
+import random
+
+import pytest
+
+from repro.bdisk.program import BroadcastProgram
+from repro.core.schedule import Schedule
+from repro.server.airing import AirSchedule, Segment
+from repro.server.splice import SpliceRequirement, check_splice
+
+
+FILES = ("A", "B", "C")
+
+
+def random_program(rng: random.Random, counts: dict[str, int]):
+    """A random cyclic layout airing each file ``counts[f]`` times."""
+    slots = [f for f, k in counts.items() for _ in range(k)]
+    rng.shuffle(slots)
+    return BroadcastProgram(Schedule(slots))
+
+
+def random_pair(rng: random.Random):
+    """Two programs over one catalogue with identical block counts."""
+    counts = {
+        file: rng.randint(1, 3)
+        for file in rng.sample(FILES, rng.randint(2, 3))
+    }
+    return random_program(rng, counts), random_program(rng, counts), counts
+
+
+class TestPredicateExactness:
+    def test_safe_iff_every_spanning_start_meets_budget(self, rng):
+        for _ in range(80):
+            out, inc, counts = random_pair(rng)
+            cycle = out.data_cycle_length
+            boundary = cycle * rng.randint(1, 3)
+            offset = rng.randrange(inc.data_cycle_length)
+            candidate = AirSchedule([
+                Segment(0, out),
+                Segment(boundary, inc, phase_offset=offset),
+            ])
+            file = rng.choice(list(counts))
+            m = out.block_count(file)
+            budget = rng.randint(m, 3 * cycle)
+            requirement = SpliceRequirement(file, m, budget)
+
+            predicate_safe = not check_splice(
+                candidate, boundary, [requirement]
+            )
+            exhaustive_safe = all(
+                candidate.retrieve(
+                    file, m, start=start, max_slots=budget
+                ).completed
+                for start in range(
+                    max(boundary - budget + 1, 0), boundary
+                )
+            )
+            assert predicate_safe == exhaustive_safe, (
+                f"predicate and exhaustive check disagree: file={file} "
+                f"m={m} budget={budget} boundary={boundary} "
+                f"offset={offset} out={out.render()} inc={inc.render()}"
+            )
+
+    def test_self_splice_at_zero_offset_is_always_safe(self, rng):
+        # Splicing a program into itself unrotated changes nothing, so
+        # any budget the program alone meets everywhere stays met.
+        for _ in range(20):
+            counts = {
+                file: rng.randint(1, 3)
+                for file in rng.sample(FILES, 2)
+            }
+            program = random_program(rng, counts)
+            cycle = program.data_cycle_length
+            plain = AirSchedule([Segment(0, program)])
+            candidate = plain.spliced(Segment(cycle, program))
+            for file in counts:
+                m = program.block_count(file)
+                worst = max(
+                    plain.retrieve(file, m, start=s).latency
+                    for s in range(cycle)
+                )
+                assert not check_splice(
+                    candidate, cycle,
+                    [SpliceRequirement(file, m, worst)],
+                )
+
+
+class TestAsRunBitExactness:
+    def test_aired_is_planned_prefix_plus_rotated_suffix(self, rng):
+        for _ in range(40):
+            out, inc, _ = random_pair(rng)
+            cycle = out.data_cycle_length
+            boundary = cycle * rng.randint(1, 3)
+            offset = rng.randrange(inc.data_cycle_length)
+            candidate = AirSchedule([
+                Segment(0, out),
+                Segment(boundary, inc, phase_offset=offset),
+            ])
+            for t in range(boundary):
+                assert candidate.content(t) == out.index.content(t)
+            horizon = boundary + 2 * inc.data_cycle_length
+            for t in range(boundary, horizon):
+                assert candidate.content(t) == inc.index.content(
+                    t - boundary + offset
+                )
+
+    def test_divergence_starts_exactly_at_the_boundary(self, rng):
+        # When outgoing and incoming differ at the boundary phase, the
+        # first divergent slot is the splice slot itself, never earlier.
+        for _ in range(40):
+            out, inc, _ = random_pair(rng)
+            cycle = out.data_cycle_length
+            boundary = cycle * rng.randint(1, 3)
+            candidate = AirSchedule([
+                Segment(0, out), Segment(boundary, inc),
+            ])
+            plain = AirSchedule([Segment(0, out)])
+            divergent = [
+                t for t in range(boundary + 2 * cycle)
+                if candidate.content(t) != plain.content(t)
+            ]
+            assert all(t >= boundary for t in divergent)

@@ -89,3 +89,29 @@ class TestDirectoryTier:
         cache.design_for(scenario(bandwidth=4))
         assert len(cache) == 2
         assert len(SolveCache(tmp_path / "cache")) == 2
+
+
+class TestStats:
+    def test_stats_tracks_hits_misses_solves_entries(self):
+        cache = SolveCache()
+        assert cache.stats() == {
+            "hits": 0, "misses": 0, "solves": 0, "entries": 0,
+        }
+        cache.design_for(scenario())
+        cache.design_for(scenario())
+        cache.design_for(scenario(bandwidth=4))
+        assert cache.stats() == {
+            "hits": 1, "misses": 2, "solves": 2, "entries": 2,
+        }
+
+    def test_stats_are_per_instance_on_a_shared_directory(self, tmp_path):
+        # Disk hits count as hits, not solves: a warm cache proves the
+        # second process never re-ran the designer.
+        warm = SolveCache(tmp_path / "cache")
+        warm.design_for(scenario())
+        reader = SolveCache(tmp_path / "cache")
+        _, hit = reader.design_for(scenario())
+        assert hit
+        assert reader.stats()["solves"] == 0
+        assert reader.stats()["hits"] == 1
+        assert warm.stats()["entries"] == reader.stats()["entries"] == 1

@@ -118,3 +118,66 @@ class TestGuards:
         kernel.run()
         assert kernel.processed == 5
         assert kernel.pending == 0
+
+
+class TestCancellation:
+    def test_cancelled_event_is_skipped(self):
+        kernel = EventKernel()
+        seen = []
+        keep = kernel.schedule(5, lambda k: seen.append("keep"))
+        drop = kernel.schedule(5, lambda k: seen.append("drop"))
+        assert keep != drop
+        assert kernel.cancel(drop)
+        assert kernel.pending == 1
+        kernel.run()
+        assert seen == ["keep"]
+        assert kernel.processed == 1
+
+    def test_cancel_is_idempotent_and_safe_on_unknown_ids(self):
+        kernel = EventKernel()
+        event = kernel.schedule(3, lambda k: None)
+        assert kernel.cancel(event)
+        assert not kernel.cancel(event)
+        assert not kernel.cancel(999)
+        kernel.run()
+        assert not kernel.cancel(event)  # already skipped, still False
+
+    def test_cancel_and_reschedule_moves_a_completion(self):
+        # The online server's resplice pattern: retract a provisional
+        # completion and book the revised one at a later slot.
+        kernel = EventKernel()
+        seen = []
+        event = kernel.schedule(10, lambda k: seen.append("stale"))
+        kernel.cancel(event)
+        kernel.schedule(14, lambda k: seen.append("revised"))
+        kernel.run()
+        assert seen == ["revised"]
+        assert kernel.now == 14
+
+
+class TestPeek:
+    def test_peek_reports_next_live_slot(self):
+        kernel = EventKernel()
+        assert kernel.peek() is None
+        kernel.schedule(8, lambda k: None)
+        kernel.schedule(3, lambda k: None)
+        assert kernel.peek() == 3
+
+    def test_peek_skips_cancelled_tops(self):
+        kernel = EventKernel()
+        first = kernel.schedule(3, lambda k: None)
+        kernel.schedule(8, lambda k: None)
+        kernel.cancel(first)
+        assert kernel.peek() == 8
+        kernel.run()
+        assert kernel.peek() is None
+
+    def test_past_slot_schedule_rejected(self):
+        kernel = EventKernel()
+        kernel.schedule(10, lambda k: None)
+        kernel.run()
+        with pytest.raises(SimulationError, match="already at slot 10"):
+            kernel.schedule(9, lambda k: None)
+        # SimulationError doubles as ValueError for generic callers.
+        with pytest.raises(ValueError):
+            kernel.schedule(2, lambda k: None)
