@@ -13,15 +13,24 @@ multidisk baseline catalogue (the same hierarchy as
   queries),
 * Gilbert burst losses (fault storms stretching the tail).
 
-The acceptance floor is >= 10k sustained simulated requests/sec on the
-failure-free baseline (full configuration only; the smoke configuration
-asserts correctness, not speed).  Results - throughput, streaming
-p50/p99, deadline-miss and abort rates, per-disk hit counts - are
-recorded in ``BENCH_traffic.json`` at the repo root.  A load sweep over
-population sizes shows the throughput holding as the population scales
-(the point of open-loop evaluation: the server's program does not
-degrade, only client latency tails do).  Set ``REPRO_BENCH_SMOKE=1``
-for a tiny CI-friendly configuration (no JSON record, no floor).
+Both engines run every channel: the per-client object engine
+(``engine="object"``) and the vectorized structure-of-arrays engine
+(``engine="soa"``, :mod:`repro.traffic.engine_soa`).  Their metrics
+must agree exactly - the engines differ only in speed.  Acceptance
+floors (full configuration only; smoke asserts correctness, not speed):
+
+* object engine, failure-free: >= 10k sustained simulated requests/sec
+  (the historical floor);
+* SoA engine, failure-free: >= 1,475,950 req/s - ten times the 147,595
+  req/s the object engine recorded on this workload.
+
+Results land in ``BENCH_traffic.json`` at the repo root: per-channel
+throughput for both engines, and a load sweep over population sizes up
+to one million clients with a peak-RSS column (the SoA engine's
+block-bounded memory is the point of the million-client row).  Set
+``REPRO_BENCH_SMOKE=1`` for a CI-friendly configuration: tiny
+populations for the channel grid, plus a 100k-client SoA run under a
+wall-clock budget (no JSON record, no throughput floors).
 """
 
 from __future__ import annotations
@@ -29,7 +38,12 @@ from __future__ import annotations
 import json
 import os
 import platform
+import resource
+import sys
+import time
 from pathlib import Path
+
+import pytest
 
 from benchmarks.conftest import print_table
 from repro.bdisk.multidisk import build_multidisk_program, config_from_demand
@@ -42,6 +56,15 @@ REQUESTS_PER_CLIENT = 2 if SMOKE else 10
 DURATION = 5_000 if SMOKE else 200_000
 SEED = 1997
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_traffic.json"
+
+#: The object engine's recorded failure-free rate on this workload; the
+#: SoA floor is ten times it.
+OBJECT_BASELINE_RPS = 147_595
+SOA_FLOOR_RPS = 10 * OBJECT_BASELINE_RPS
+
+#: Wall-clock budget for the smoke-mode 100k-client SoA run (seconds) -
+#: generous for CI machines; the engine finishes it in low single digits.
+SMOKE_BUDGET_SECONDS = 60.0
 
 FILES = [
     ("hot", 2), ("warm-1", 3), ("warm-2", 3), ("cold-1", 5), ("cold-2", 6),
@@ -62,6 +85,8 @@ CHANNELS = [
     ("burst 0.02/0.25", {"kind": "burst", "p_enter": 0.02,
                          "p_exit": 0.25, "seed": 3}),
 ]
+
+ENGINES = ("object", "soa")
 
 
 def _world():
@@ -94,10 +119,19 @@ def _faults(payload):
     return FaultSpec.from_dict(payload)
 
 
-def _row(label, result):
+def _peak_rss_mb() -> float:
+    """The process's high-water RSS in MiB (ru_maxrss is KiB on Linux,
+    bytes on macOS)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        peak //= 1024
+    return round(peak / 1024, 1)
+
+
+def _row(label, engine, result):
     summary = result.summary
     return [
-        label,
+        label, engine,
         f"{result.requests:,}",
         f"{result.requests_per_sec:,.0f}",
         f"{summary.p50:.0f}", f"{summary.p99:.0f}",
@@ -106,84 +140,120 @@ def _row(label, result):
 
 
 def test_sustained_traffic_and_record():
-    """The acceptance measurement: >= 10k sustained simulated req/s on
-    the failure-free multidisk baseline, with streaming p50/p99 and
-    miss rates recorded per channel."""
+    """The acceptance measurement: both engines agree exactly on every
+    channel, the object engine sustains >= 10k req/s failure-free, and
+    the vectorized engine sustains >= 10x the recorded object rate."""
     program, disk_of = _world()
     program.index  # shared occurrence tables, built outside the timing
     rows = []
     records = {}
     throughput = {}
     for label, payload in CHANNELS:
-        result = simulate_traffic(
-            program,
-            [name for name, _ in FILES],
-            _spec(),
-            file_sizes=SIZES,
-            deadlines=DEADLINES,
-            faults=_faults(payload),
+        fingerprints = {}
+        for engine in ENGINES:
+            result = simulate_traffic(
+                program,
+                [name for name, _ in FILES],
+                _spec(),
+                file_sizes=SIZES,
+                deadlines=DEADLINES,
+                faults=_faults(payload),
+                engine=engine,
+            )
+            assert result.requests == CLIENTS * REQUESTS_PER_CLIENT
+            summary = result.summary
+            # The streaming P2 estimates must track the exact histogram
+            # quantiles the summary reports.
+            shards = [result.metrics.summary()]
+            assert LatencySummary.merge(shards) == summary
+            fingerprints[engine] = (
+                summary,
+                result.metrics.counts,
+                dict(result.metrics.requests_by_file),
+            )
+            rows.append(_row(label, engine, result))
+            throughput[label, engine] = result.requests_per_sec
+            records.setdefault(label, {
+                "requests": result.requests,
+                "p50": summary.p50,
+                "p99": summary.p99,
+                "mean": round(summary.mean, 2),
+                "worst": summary.worst,
+                "deadline_miss_rate": round(result.miss_rate, 4),
+                "abort_rate": round(result.abort_rate, 4),
+                "hits_by_disk": result.metrics.hits_by(disk_of),
+            })
+            records[label][f"requests_per_sec_{engine}"] = round(
+                result.requests_per_sec
+            )
+        # The engines are interchangeable: same histogram, same tallies.
+        assert fingerprints["soa"] == fingerprints["object"]
+        records[label]["speedup"] = round(
+            throughput[label, "soa"] / throughput[label, "object"], 1
         )
-        assert result.requests == CLIENTS * REQUESTS_PER_CLIENT
-        summary = result.summary
-        # The streaming P2 estimates must track the exact histogram
-        # quantiles the summary reports.
-        shards = [result.metrics.summary()]
-        assert LatencySummary.merge(shards) == summary
-        rows.append(_row(label, result))
-        throughput[label] = result.requests_per_sec
-        records[label] = {
-            "requests": result.requests,
-            "requests_per_sec": round(result.requests_per_sec),
-            "p50": summary.p50,
-            "p99": summary.p99,
-            "mean": round(summary.mean, 2),
-            "worst": summary.worst,
-            "deadline_miss_rate": round(result.miss_rate, 4),
-            "abort_rate": round(result.abort_rate, 4),
-            "hits_by_disk": result.metrics.hits_by(disk_of),
-        }
     print_table(
         f"TRAFFIC: {CLIENTS:,} clients x {REQUESTS_PER_CLIENT} requests "
         f"(multidisk baseline, poisson arrivals, zipf 1.2)",
-        ["channel", "requests", "req/s", "p50", "p99",
+        ["channel", "engine", "requests", "req/s", "p50", "p99",
          "miss rate", "abort rate"],
         rows,
     )
     if SMOKE:  # smoke asserts correctness only, never timing
         return
-    floor = throughput["none"]
+    floor = throughput["none", "object"]
     assert floor >= 10_000, (
         f"expected >= 10k sustained req/s on the failure-free baseline, "
         f"measured {floor:,.0f}"
     )
+    soa_rate = throughput["none", "soa"]
+    assert soa_rate >= SOA_FLOOR_RPS, (
+        f"expected the SoA engine to sustain >= {SOA_FLOOR_RPS:,} req/s "
+        f"failure-free (10x the recorded object-engine rate), measured "
+        f"{soa_rate:,.0f}"
+    )
 
     sweep = []
-    for clients in (1_000, 10_000, 50_000):
+    sweep_channel = {"kind": "bernoulli", "probability": 0.05, "seed": 3}
+    for clients, requests, engine, payload in [
+        (1_000, 4, "object", sweep_channel),
+        (1_000, 4, "soa", sweep_channel),
+        (10_000, 4, "object", sweep_channel),
+        (10_000, 4, "soa", sweep_channel),
+        (50_000, 4, "soa", sweep_channel),
+        (1_000_000, 1, "soa", {"kind": "none"}),
+    ]:
         result = simulate_traffic(
             program,
             [name for name, _ in FILES],
-            _spec(clients=clients, requests=4),
+            _spec(clients=clients, requests=requests),
             file_sizes=SIZES,
             deadlines=DEADLINES,
-            faults=_faults({"kind": "bernoulli", "probability": 0.05,
-                            "seed": 3}),
+            faults=_faults(payload),
+            engine=engine,
         )
         sweep.append(
             {
                 "clients": clients,
+                "engine": engine,
+                "channel": payload["kind"],
                 "requests": result.requests,
                 "requests_per_sec": round(result.requests_per_sec),
                 "p99": result.summary.p99,
                 "deadline_miss_rate": round(result.miss_rate, 4),
+                "peak_rss_mb": _peak_rss_mb(),
             }
         )
     print_table(
-        "TRAFFIC: load sweep (bernoulli p=0.05, 4 requests/client)",
-        ["clients", "requests", "req/s", "p99", "miss rate"],
+        "TRAFFIC: load sweep (bernoulli p=0.05 except the "
+        "million-client failure-free row)",
+        ["clients", "engine", "channel", "requests", "req/s", "p99",
+         "miss rate", "peak RSS MiB"],
         [
-            [f"{entry['clients']:,}", f"{entry['requests']:,}",
+            [f"{entry['clients']:,}", entry["engine"], entry["channel"],
+             f"{entry['requests']:,}",
              f"{entry['requests_per_sec']:,}", f"{entry['p99']:.0f}",
-             f"{entry['deadline_miss_rate']:.4f}"]
+             f"{entry['deadline_miss_rate']:.4f}",
+             f"{entry['peak_rss_mb']:,.1f}"]
             for entry in sweep
         ],
     )
@@ -203,6 +273,7 @@ def test_sustained_traffic_and_record():
                     "seed": SEED,
                 },
                 "python": platform.python_version(),
+                "soa_floor_requests_per_sec": SOA_FLOOR_RPS,
                 "channels": records,
                 "load_sweep": sweep,
             },
@@ -210,4 +281,57 @@ def test_sustained_traffic_and_record():
         )
         + "\n",
         encoding="utf-8",
+    )
+
+
+def test_popularity_cdf_setup_is_catalogue_sized():
+    """Micro-assert for the memoized popularity CDFs: population setup
+    computes each distinct (kind, catalogue-size, shape) CDF exactly
+    once, however many clients draw from it - setup is O(catalogue),
+    not O(clients)."""
+    from repro.traffic.arrivals import _popularity_cdf
+
+    program, _ = _world()
+    catalogue = [name for name, _ in FILES]
+    _popularity_cdf.cache_clear()
+    for clients in (50, 500):
+        simulate_traffic(
+            program,
+            catalogue,
+            _spec(clients=clients, requests=1),
+            file_sizes=SIZES,
+            deadlines=DEADLINES,
+            engine="soa",
+        )
+    info = _popularity_cdf.cache_info()
+    assert info.misses == 1, (
+        f"expected one CDF construction for one (kind, size, shape), "
+        f"saw {info.misses}"
+    )
+    assert info.hits >= 1  # the second population reused the first's CDF
+
+
+@pytest.mark.skipif(
+    not SMOKE, reason="the full bench's load sweep covers this scale"
+)
+def test_soa_smoke_100k_clients_under_budget():
+    """CI smoke: 100k clients through the SoA engine inside a hard
+    wall-clock budget, with the metrics invariants intact."""
+    program, _ = _world()
+    spec = _spec(clients=100_000, requests=1)
+    begin = time.perf_counter()
+    result = simulate_traffic(
+        program,
+        [name for name, _ in FILES],
+        spec,
+        file_sizes=SIZES,
+        deadlines=DEADLINES,
+        engine="soa",
+    )
+    elapsed = time.perf_counter() - begin
+    assert result.requests == 100_000
+    assert result.completions + result.aborts == result.requests
+    assert elapsed < SMOKE_BUDGET_SECONDS, (
+        f"100k-client SoA smoke took {elapsed:.1f}s "
+        f"(budget {SMOKE_BUDGET_SECONDS:.0f}s)"
     )

@@ -355,12 +355,16 @@ class BroadcastEngine:
         *,
         max_workers: int | None = None,
         trace: bool = False,
+        engine: str = "object",
     ) -> TrafficResult | None:
         """Run the scenario's open-loop population, or ``None`` without one.
 
         ``max_workers`` shards the population across a process pool
         (results are bit-identical to the serial run); ``trace`` retains
-        one record per request for debugging and equivalence tests.
+        one record per request for debugging and equivalence tests;
+        ``engine`` selects the shard implementation (``"object"`` or
+        the vectorized ``"soa"`` - bit-identical metrics, see
+        :data:`repro.traffic.ENGINES`).
         """
         scenario = self._scenario
         spec = scenario.traffic
@@ -379,9 +383,10 @@ class BroadcastEngine:
             temporal=scenario.temporal,
             max_workers=max_workers,
             trace=trace,
+            engine=engine,
         )
 
-    def run_traffic_shard(self, lo: int, hi: int):
+    def run_traffic_shard(self, lo: int, hi: int, *, engine: str = "object"):
         """Run clients ``[lo, hi)`` of the scenario's traffic population.
 
         The shard-level entry point external pools submit (see
@@ -412,6 +417,7 @@ class BroadcastEngine:
             temporal=scenario.temporal,
             lo=lo,
             hi=hi,
+            engine=engine,
         )
 
     def payload_checks(

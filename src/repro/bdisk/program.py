@@ -138,6 +138,23 @@ class BroadcastProgram:
         return self._index
 
     # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> tuple[Schedule, dict[str, int], int]:
+        # The occurrence index never crosses a pickle: pool tasks that
+        # need it rebuild lazily (or, in the vectorized engine, attach
+        # the parent's shared-memory tables instead), so shipping a
+        # program costs the schedule alone.
+        return self._schedule, self._block_counts, self._data_cycle
+
+    def __setstate__(
+        self, state: tuple[Schedule, dict[str, int], int]
+    ) -> None:
+        self._schedule, self._block_counts, self._data_cycle = state
+        self._index = None
+
+    # ------------------------------------------------------------------
     # Content
     # ------------------------------------------------------------------
 

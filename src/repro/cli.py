@@ -67,6 +67,7 @@ from repro.api.engine import BroadcastEngine, run_scenarios
 from repro.api.scenario import Scenario
 from repro.core.registry import registered_schedulers
 from repro.traffic.arrivals import ARRIVAL_KINDS, POPULARITY_KINDS
+from repro.traffic.simulate import ENGINES as TRAFFIC_ENGINES
 from repro.traffic.spec import TrafficSpec
 from repro.bdisk.builder import design_generalized_program, design_program
 from repro.bdisk.file import FileSpec, GeneralizedFileSpec
@@ -216,6 +217,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "shard the population over a process pool of N workers "
             "(default: in-process; results are identical either way)"
+        ),
+    )
+    traffic.add_argument(
+        "--engine", choices=TRAFFIC_ENGINES, default="object",
+        help=(
+            "shard engine: per-client session objects ('object') or "
+            "the vectorized structure-of-arrays engine ('soa', needs "
+            "numpy); results are bit-identical"
         ),
     )
     traffic.add_argument(
@@ -400,7 +409,7 @@ def _run_traffic(args: argparse.Namespace) -> int:
     if overrides:
         spec = replace(spec, **overrides)
     engine = BroadcastEngine(replace(scenario, traffic=spec))
-    result = engine.run_traffic(max_workers=args.workers)
+    result = engine.run_traffic(max_workers=args.workers, engine=args.engine)
     assert result is not None  # the spec was just attached
     if args.as_json:
         payload = {"scenario": scenario.name, **result.to_dict()}

@@ -59,6 +59,7 @@ from repro.traffic.metrics import (
 )
 from repro.traffic.spec import CACHE_KINDS, TrafficSpec
 from repro.traffic.simulate import (
+    ENGINES,
     TrafficResult,
     shard_bounds,
     simulate_traffic,
@@ -68,6 +69,7 @@ from repro.traffic.simulate import (
 __all__ = [
     "ARRIVAL_KINDS",
     "CACHE_KINDS",
+    "ENGINES",
     "POPULARITY_KINDS",
     "ClientSession",
     "EventKernel",

@@ -7,6 +7,11 @@ population sharding exact: a client behaves identically whichever shard
 simulates it, so splitting the index range across processes cannot
 change a single outcome.
 
+The streams are counter-based (:mod:`repro.traffic.substreams`): every
+draw is a pure function of ``(seed, purpose, client index, position)``,
+so stream creation is O(1) and the vectorized engine can materialize
+whole draw matrices that agree bit-for-bit with the scalar sessions.
+
 Arrival kinds (``clients`` sessions over ``duration`` slots):
 
 * ``"poisson"`` - arrival slots i.i.d. uniform over the duration, which
@@ -22,14 +27,27 @@ Popularity kinds (catalogue ordered hottest-first):
 * ``"zipf"`` - :func:`repro.sim.workload.zipf_weights` with a skew;
 * ``"hotcold"`` - :func:`repro.sim.workload.hot_cold_weights`: a hot
   fraction of the catalogue draws a fixed share of the accesses.
+
+Popularity CDFs are memoized per parameter tuple
+(:func:`popularity_cdf`), so population setup costs O(catalogue) once
+per spec rather than O(clients x catalogue) - the bench asserts this.
 """
 
 from __future__ import annotations
 
-import random
+import math
+from bisect import bisect_right
+from functools import lru_cache
+from itertools import accumulate
 
 from repro.errors import SpecificationError
 from repro.sim.workload import hot_cold_weights, zipf_weights
+from repro.traffic.substreams import (
+    TAG_ARRIVAL,
+    TAG_CLIENT,
+    Substream,
+    stream_base,
+)
 
 #: Arrival-process kinds a :class:`repro.api.TrafficSpec` understands.
 ARRIVAL_KINDS = ("poisson", "deterministic", "bursty")
@@ -38,17 +56,19 @@ ARRIVAL_KINDS = ("poisson", "deterministic", "bursty")
 POPULARITY_KINDS = ("uniform", "zipf", "hotcold")
 
 
-def client_rng(seed: int, index: int) -> random.Random:
+def client_rng(seed: int, index: int) -> Substream:
     """The behaviour RNG stream of client ``index`` (files, think times).
 
-    String seeds hash through SHA-512 in CPython, so the stream is
-    stable across processes and interpreter runs - the property that
-    makes sharded populations bit-identical to serial ones.
+    Counter-based, so the stream is stable across processes and
+    interpreter runs - the property that makes sharded populations
+    bit-identical to serial ones - and creation is O(1), which is what
+    lets a million-client population spin up its streams in
+    milliseconds.
     """
-    return random.Random(f"{seed}:client:{index}")
+    return Substream(stream_base(seed, TAG_CLIENT, index))
 
 
-def arrival_rng(seed: int, index: int) -> random.Random:
+def arrival_rng(seed: int, index: int) -> Substream:
     """The arrival RNG stream of client ``index``.
 
     Arrivals draw from their own substream because arrival kinds consume
@@ -57,12 +77,12 @@ def arrival_rng(seed: int, index: int) -> random.Random:
     arrival process silently reshuffle every client's file choices and
     think times, confounding arrival-kind comparisons at a fixed seed.
     """
-    return random.Random(f"{seed}:arrival:{index}")
+    return Substream(stream_base(seed, TAG_ARRIVAL, index))
 
 
 def arrival_slot(
     kind: str,
-    rng: random.Random,
+    rng: Substream,
     index: int,
     clients: int,
     duration: int,
@@ -94,7 +114,9 @@ def arrival_slot(
         return int(rng.random() * duration)
     if bursts < 1 or burst_width < 1:
         raise SpecificationError("bursts and burst_width must be >= 1")
-    burst = rng.randrange(bursts)
+    # Exactly two plain uniforms (burst pick, offset): a fixed draw
+    # layout is what lets the vectorized engine mirror this bit-for-bit.
+    burst = min(bursts - 1, int(rng.random() * bursts))
     centre = (burst + 0.5) * duration / bursts
     offset = (rng.random() - 0.5) * burst_width
     return min(duration - 1, max(0, int(centre + offset)))
@@ -125,15 +147,90 @@ def popularity_weights(
     )
 
 
-def think_slots(rng: random.Random, mean: int) -> int:
+@lru_cache(maxsize=256)
+def _popularity_cdf(
+    kind: str,
+    count: int,
+    zipf_skew: float,
+    hot_fraction: float,
+    hot_weight: float,
+) -> tuple[float, ...]:
+    return tuple(
+        accumulate(
+            popularity_weights(
+                kind,
+                count,
+                zipf_skew=zipf_skew,
+                hot_fraction=hot_fraction,
+                hot_weight=hot_weight,
+            )
+        )
+    )
+
+
+def popularity_cdf(
+    kind: str,
+    count: int,
+    *,
+    zipf_skew: float = 1.0,
+    hot_fraction: float = 0.1,
+    hot_weight: float = 0.9,
+) -> tuple[float, ...]:
+    """The running-total form of :func:`popularity_weights`, memoized.
+
+    Keyed on the full parameter tuple and computed once per distinct
+    spec - population setup is O(catalogue), not O(clients x catalogue).
+    Sessions pass the shared tuple straight to ``choices(cum_weights=)``;
+    draws are bit-identical to accumulating raw weights per session.
+    The returned tuple is shared and must not be mutated.
+    """
+    return _popularity_cdf(kind, count, zipf_skew, hot_fraction, hot_weight)
+
+
+#: Longest quantile table a think-time mean may expand to (entries).
+#: ``1 - exp(-k/mean)`` reaches float 1.0 near ``k ~ 37 * mean``, so the
+#: cap covers means up to roughly 1700 slots; beyond it the closed-form
+#: fallback applies (identically in both engines).
+_THINK_TABLE_CAP = 1 << 16
+
+
+@lru_cache(maxsize=64)
+def think_quantiles(mean: int) -> tuple[float, ...] | None:
+    """Quantile boundaries of the truncated-exponential think time.
+
+    Entry ``k`` (0-based) is ``P[think <= k] = 1 - exp(-(k+1)/mean)``;
+    a uniform draw ``u`` maps to the think time ``bisect_right(table,
+    u)`` - the same computation whether done with :mod:`bisect` or
+    ``numpy.searchsorted``, which is what keeps the scalar and
+    vectorized engines bit-identical.  Returns ``None`` when the table
+    would exceed :data:`_THINK_TABLE_CAP` entries (huge means); callers
+    then use the closed form ``int(-mean * log(1 - u))``.
+    """
+    if mean < 1:
+        raise SpecificationError(f"mean think time must be >= 1: {mean}")
+    boundaries: list[float] = []
+    for k in range(1, _THINK_TABLE_CAP + 1):
+        boundary = 1.0 - math.exp(-k / mean)
+        if boundary >= 1.0:
+            return tuple(boundaries)
+        boundaries.append(boundary)
+    return None
+
+
+def think_slots(rng: Substream, mean: int) -> int:
     """One seeded think-time draw (slots).
 
-    Exponentially distributed with the given mean, rounded to whole
+    Exponentially distributed with the given mean, truncated to whole
     slots; a mean of 0 is the non-thinking client (back-to-back
-    requests).
+    requests, no draw consumed).  Every positive mean consumes exactly
+    one uniform.
     """
     if mean < 0:
         raise SpecificationError(f"mean think time must be >= 0: {mean}")
     if mean == 0:
         return 0
-    return int(rng.expovariate(1.0 / mean))
+    u = rng.random()
+    table = think_quantiles(mean)
+    if table is None:
+        return int(-mean * math.log(1.0 - u))
+    return bisect_right(table, u)

@@ -104,7 +104,7 @@ class ClientSession:
         index: int,
         rng: random.Random,
         catalogue: Sequence[str],
-        weights: Sequence[float],
+        weights: Sequence[float] | None,
         deadlines: dict[str, int],
         *,
         requests: int,
@@ -113,13 +113,22 @@ class ClientSession:
         metrics: TrafficMetrics,
         cache: CachingClient | None = None,
         trace: list[RequestRecord] | None = None,
+        cum_weights: Sequence[float] | None = None,
     ) -> None:
+        if (weights is None) == (cum_weights is None):
+            raise SimulationError(
+                "exactly one of weights and cum_weights is required"
+            )
         self.index = index
         self._rng = rng
         self._catalogue = catalogue
-        # Running totals once per session, not once per request: draws
-        # via cum_weights are bit-identical to raw-weight draws.
-        self._cum_weights = list(accumulate(weights))
+        # Running totals once per population (the memoized CDF the
+        # simulator passes via ``cum_weights``), or once per session from
+        # raw weights: draws via cum_weights are bit-identical to
+        # raw-weight draws either way.
+        self._cum_weights = (
+            cum_weights if cum_weights is not None else list(accumulate(weights))
+        )
         self._deadlines = deadlines
         self._remaining = requests
         self._think_mean = think_mean

@@ -1,0 +1,400 @@
+"""Cohort batching and retrieval tables for the vectorized engine.
+
+The structure-of-arrays engine (:mod:`repro.traffic.engine_soa`) never
+visits one client at a time: it advances whole *cohorts* - every client
+whose next event lands inside the current slot window - per numpy batch.
+This module provides the batching primitives and the precomputed
+retrieval tables the engine resolves requests against:
+
+* :func:`cohort_waves` - the wave iterator over the population's
+  next-event array;
+* :class:`RetrievalTables` - the per-``(file, phase)`` fault-free
+  retrieval lookup derived from :class:`~repro.bdisk.program_index.ProgramIndex`:
+  flat occurrence arrays plus, per occurrence, the slot at which a
+  retrieval starting there collects its ``m``-th distinct block.  The
+  flat layout is what the shared-memory export
+  (:mod:`repro.traffic.shm_index`) maps into pool workers;
+* vectorized mirrors of the scalar arrival / popularity / think-time
+  draws, bit-identical to :mod:`repro.traffic.arrivals` by construction
+  (same uniforms, same float expressions).
+
+Everything here requires numpy; the scalar engine never imports this
+module.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import SpecificationError
+from repro.bdisk.program import BroadcastProgram
+from repro.sim.client import default_horizon
+from repro.traffic.arrivals import think_quantiles
+from repro.traffic.spec import TrafficSpec
+from repro.traffic.substreams import TAG_ARRIVAL, uniform_matrix
+
+#: Ceiling (in entries) on the dense ``(file, phase) -> latency`` table;
+#: programs with a bigger ``files x data-cycle`` product fall back to
+#: per-file searchsorted lookups, which are O(log occurrences) instead
+#: of O(1) but never materialize the product.
+DENSE_LUT_CAP = 1 << 22
+
+
+class RetrievalTables:
+    """Fault-free retrieval outcomes for every ``(file, phase)``.
+
+    Flat numpy arrays over a catalogue of ``n`` files (ids are catalogue
+    positions):
+
+    ``occ_offsets``
+        ``(n + 1,)`` - slices of the concatenated occurrence arrays.
+    ``occ_slots`` / ``occ_blocks``
+        concatenated per-file occurrence slot / block-index arrays (one
+        data cycle, slot-sorted - exactly ``ProgramIndex``'s tables).
+    ``finish_rel``
+        aligned with ``occ_slots``: for occurrence ``j`` of a file, the
+        slot (relative to that occurrence's cycle base) at which a
+        retrieval beginning at occurrence ``j`` collects its ``m``-th
+        distinct block; ``-1`` when the file's occurrence set never
+        yields ``m`` distinct blocks.
+    ``horizons`` / ``m_needed`` / ``counts``
+        per-file listening horizon, blocks required, occurrences per
+        data cycle.
+    ``sched_total`` + ``period``
+        the schedule-level quantities PIX frequencies derive from.
+
+    The tables are a pure function of ``(program, catalogue, sizes,
+    max_slots)`` and are position-addressed, so they can be exported as
+    one flat shared-memory block and attached zero-copy by pool workers
+    (:mod:`repro.traffic.shm_index`).
+    """
+
+    __slots__ = (
+        "cycle", "period", "occ_offsets", "occ_slots", "occ_blocks",
+        "finish_rel", "horizons", "m_needed", "counts", "sched_total",
+        "dense",
+    )
+
+    def __init__(
+        self,
+        *,
+        cycle: int,
+        period: int,
+        occ_offsets: np.ndarray,
+        occ_slots: np.ndarray,
+        occ_blocks: np.ndarray,
+        finish_rel: np.ndarray,
+        horizons: np.ndarray,
+        m_needed: np.ndarray,
+        counts: np.ndarray,
+        sched_total: np.ndarray,
+        dense: np.ndarray | None = None,
+    ) -> None:
+        self.cycle = int(cycle)
+        self.period = int(period)
+        self.occ_offsets = occ_offsets
+        self.occ_slots = occ_slots
+        self.occ_blocks = occ_blocks
+        self.finish_rel = finish_rel
+        self.horizons = horizons
+        self.m_needed = m_needed
+        self.counts = counts
+        self.sched_total = sched_total
+        self.dense = dense
+        if dense is None and self.n_files * self.cycle <= DENSE_LUT_CAP:
+            self.dense = self._build_dense()
+
+    @property
+    def n_files(self) -> int:
+        return len(self.horizons)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        program: BroadcastProgram,
+        catalogue: Sequence[str],
+        file_sizes: Mapping[str, int],
+        max_slots: int | None,
+    ) -> "RetrievalTables":
+        """Derive the tables from a program's occurrence index."""
+        index = program.index
+        cycle = index.data_cycle_length
+        offsets = [0]
+        all_slots: list[int] = []
+        all_blocks: list[int] = []
+        finish: list[int] = []
+        horizons: list[int] = []
+        m_needed: list[int] = []
+        counts: list[int] = []
+        sched_total: list[int] = []
+        for file in catalogue:
+            slots = index.occurrence_slots(file)
+            blocks = index.occurrence_blocks(file)
+            size = file_sizes[file]
+            all_slots.extend(slots)
+            all_blocks.extend(blocks)
+            offsets.append(len(all_slots))
+            finish.extend(_finish_per_occurrence(slots, blocks, size, cycle))
+            horizons.append(
+                max_slots
+                if max_slots is not None
+                else default_horizon(program, size)
+            )
+            m_needed.append(size)
+            counts.append(len(slots))
+            sched_total.append(program.schedule.total(file))
+        return cls(
+            cycle=cycle,
+            period=program.broadcast_period,
+            occ_offsets=np.asarray(offsets, dtype=np.int64),
+            occ_slots=np.asarray(all_slots, dtype=np.int64),
+            occ_blocks=np.asarray(all_blocks, dtype=np.int64),
+            finish_rel=np.asarray(finish, dtype=np.int64),
+            horizons=np.asarray(horizons, dtype=np.int64),
+            m_needed=np.asarray(m_needed, dtype=np.int64),
+            counts=np.asarray(counts, dtype=np.int64),
+            sched_total=np.asarray(sched_total, dtype=np.int64),
+        )
+
+    def _build_dense(self) -> np.ndarray:
+        """The O(1) gather form: ``dense[file, phase] -> latency``
+        (``-1`` for an abort), horizon already applied."""
+        phases = np.arange(self.cycle, dtype=np.int64)
+        dense = np.empty((self.n_files, self.cycle), dtype=np.int64)
+        for fid in range(self.n_files):
+            dense[fid] = self._latency_for_file(fid, phases)
+        return dense
+
+    def _latency_for_file(
+        self, fid: int, phases: np.ndarray
+    ) -> np.ndarray:
+        """Fault-free latency per phase for one file (``-1`` = abort)."""
+        lo, hi = self.occ_offsets[fid], self.occ_offsets[fid + 1]
+        slots = self.occ_slots[lo:hi]
+        finish = self.finish_rel[lo:hi]
+        j = np.searchsorted(slots, phases, side="left")
+        wrapped = j == len(slots)
+        j = np.where(wrapped, 0, j)
+        extra = np.where(wrapped, self.cycle, 0)
+        fin = finish[j]
+        latency = extra + fin - phases + 1
+        abort = (fin < 0) | (latency > self.horizons[fid])
+        return np.where(abort, -1, latency)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def lookup(
+        self, file_ids: np.ndarray, starts: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fault-free outcomes for a batch of ``(file, start)`` requests.
+
+        Returns ``(latency, finish)``: ``latency`` is ``-1`` on an abort
+        (horizon exhausted); ``finish`` is the last slot listened to
+        either way - ``start + latency - 1`` on completion, ``start +
+        horizon - 1`` on an abort.  Bit-identical to
+        :func:`repro.sim.client.retrieve` over the fault-free channel
+        (pinned by ``tests/traffic/test_engine_soa.py``).
+        """
+        phases = starts % self.cycle
+        if self.dense is not None:
+            latency = self.dense[file_ids, phases]
+        else:
+            latency = np.empty(len(file_ids), dtype=np.int64)
+            for fid in np.unique(file_ids):
+                member = file_ids == fid
+                latency[member] = self._latency_for_file(
+                    int(fid), phases[member]
+                )
+        aborted = latency < 0
+        finish = np.where(
+            aborted,
+            starts + self.horizons[file_ids] - 1,
+            starts + latency - 1,
+        )
+        return latency, finish
+
+    def array_fields(self) -> dict[str, np.ndarray]:
+        """The flat arrays, by name (the shared-memory export set)."""
+        fields = {
+            "occ_offsets": self.occ_offsets,
+            "occ_slots": self.occ_slots,
+            "occ_blocks": self.occ_blocks,
+            "finish_rel": self.finish_rel,
+            "horizons": self.horizons,
+            "m_needed": self.m_needed,
+            "counts": self.counts,
+            "sched_total": self.sched_total,
+        }
+        if self.dense is not None:
+            fields["dense"] = self.dense
+        return fields
+
+    @classmethod
+    def from_arrays(
+        cls, cycle: int, period: int, arrays: Mapping[str, np.ndarray]
+    ) -> "RetrievalTables":
+        """Rehydrate from :meth:`array_fields` output (shm attach side)."""
+        return cls(
+            cycle=cycle,
+            period=period,
+            dense=arrays.get("dense"),
+            **{
+                name: arrays[name]
+                for name in (
+                    "occ_offsets", "occ_slots", "occ_blocks", "finish_rel",
+                    "horizons", "m_needed", "counts", "sched_total",
+                )
+            },
+        )
+
+
+def _finish_per_occurrence(
+    slots: Sequence[int],
+    blocks: Sequence[int],
+    m_needed: int,
+    cycle: int,
+) -> list[int]:
+    """Per occurrence ``j``: the slot (relative to occurrence ``j``'s
+    cycle base) of the occurrence that completes a retrieval starting at
+    ``j`` - the m-th distinct block - or ``-1`` when unreachable.
+
+    Two-pointer sweep over the cyclically doubled occurrence list: the
+    minimal completing occurrence is monotone in the start, so the whole
+    table costs O(occurrences).
+    """
+    count = len(slots)
+    need = max(1, m_needed)  # a 0-block file completes at the 1st block
+    if count == 0 or len(set(blocks)) < need:
+        return [-1] * count
+
+    def occurrence(e: int) -> tuple[int, int]:
+        quotient, remainder = divmod(e, count)
+        return slots[remainder] + quotient * cycle, blocks[remainder]
+
+    finish: list[int] = []
+    in_window: dict[int, int] = {}
+    e = 0
+    for j in range(count):
+        while len(in_window) < need:
+            block = occurrence(e)[1]
+            in_window[block] = in_window.get(block, 0) + 1
+            e += 1
+        finish.append(occurrence(e - 1)[0])
+        block = occurrence(j)[1]
+        in_window[block] -= 1
+        if not in_window[block]:
+            del in_window[block]
+    return finish
+
+
+def cohort_waves(
+    next_slot: np.ndarray,
+    remaining: np.ndarray,
+    window: int,
+) -> Iterator[np.ndarray]:
+    """Yield cohorts: index arrays of clients whose next event lies in
+    the current slot window.
+
+    The caller owns ``next_slot`` and ``remaining`` and mutates them
+    between waves (advancing served clients, decrementing their request
+    budgets); the iterator re-reads them each round.  A window is
+    drained before moving on: clients whose follow-up events land inside
+    the same window are served again before the window advances to the
+    earliest pending event.  Event *order inside a wave is irrelevant*
+    because clients are independent and the metrics accumulators are
+    order-independent - that is the whole trick.
+    """
+    if window < 1:
+        raise SpecificationError(f"cohort window must be >= 1: {window}")
+    while True:
+        alive = remaining > 0
+        if not alive.any():
+            return
+        window_end = next_slot[alive].min() + window
+        while True:
+            members = np.nonzero(alive & (next_slot < window_end))[0]
+            if members.size == 0:
+                break  # window drained: jump to the next pending event
+            yield members
+            alive = remaining > 0
+            if not alive.any():
+                return
+
+
+# ----------------------------------------------------------------------
+# Vectorized mirrors of the scalar per-client draws
+# ----------------------------------------------------------------------
+
+
+def arrival_vector(spec: TrafficSpec, lo: int, hi: int) -> np.ndarray:
+    """Arrival slots of clients ``[lo, hi)`` - the vectorized
+    :func:`repro.traffic.arrivals.arrival_slot`, bit-identical by
+    construction (same uniforms, same float expressions)."""
+    indices = np.arange(lo, hi, dtype=np.int64)
+    if spec.arrival == "deterministic":
+        return indices * spec.duration // spec.clients
+    if spec.arrival == "poisson":
+        u = uniform_matrix(spec.seed, TAG_ARRIVAL, lo, hi, 1)[:, 0]
+        return (u * spec.duration).astype(np.int64)
+    u = uniform_matrix(spec.seed, TAG_ARRIVAL, lo, hi, 2)
+    burst = np.minimum(
+        spec.bursts - 1, (u[:, 0] * spec.bursts).astype(np.int64)
+    )
+    centre = (burst + 0.5) * spec.duration / spec.bursts
+    offset = (u[:, 1] - 0.5) * spec.burst_width
+    raw = (centre + offset).astype(np.int64)  # trunc toward zero = int()
+    return np.minimum(spec.duration - 1, np.maximum(0, raw))
+
+
+def file_draw(
+    cum_weights: np.ndarray, total: float, u: np.ndarray
+) -> np.ndarray:
+    """Popularity picks from uniforms - the vectorized
+    ``choices(cum_weights=...)`` draw (bisect on the running totals)."""
+    picks = np.searchsorted(cum_weights, u * total, side="right")
+    return np.minimum(picks, len(cum_weights) - 1)
+
+
+class ThinkSampler:
+    """Vectorized think-time draws matching
+    :func:`repro.traffic.arrivals.think_slots` bit-for-bit."""
+
+    __slots__ = ("_mean", "_table")
+
+    def __init__(self, mean: int) -> None:
+        if mean < 0:
+            raise SpecificationError(
+                f"mean think time must be >= 0: {mean}"
+            )
+        self._mean = mean
+        self._table = (
+            None if mean == 0 else think_quantiles(mean)
+        )
+        if self._table is not None:
+            self._table = np.asarray(self._table, dtype=np.float64)
+
+    def sample(self, u: np.ndarray) -> np.ndarray:
+        """Think times for a batch of uniforms."""
+        if self._mean == 0:
+            return np.zeros(len(u), dtype=np.int64)
+        if self._table is None:
+            # Huge means fall back to the closed form; evaluated with
+            # math.log exactly like the scalar path (numpy's log can
+            # differ in the last ulp, which would break bit-identity).
+            import math
+
+            return np.asarray(
+                [int(-self._mean * math.log(1.0 - x)) for x in u],
+                dtype=np.int64,
+            )
+        return np.searchsorted(self._table, u, side="right").astype(
+            np.int64
+        )

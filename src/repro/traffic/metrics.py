@@ -485,6 +485,59 @@ class TrafficMetrics:
         )
 
     # ------------------------------------------------------------------
+    # Batch construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_totals(
+        cls,
+        *,
+        seed: int = 0,
+        requests: int = 0,
+        completions: int = 0,
+        aborts: int = 0,
+        deadline_misses: int = 0,
+        latency_sum: int = 0,
+        worst: int = 0,
+        counts: Mapping[int, int] | None = None,
+        requests_by_file: Mapping[str, int] | None = None,
+        hits_by_file: Mapping[str, int] | None = None,
+        cache_hits: int = 0,
+        cache_misses: int = 0,
+        cache_evictions: int = 0,
+        reservoir_capacity: int = 512,
+    ) -> "TrafficMetrics":
+        """An exact accumulator assembled from batch totals.
+
+        The vectorized engine's finalizer: it accumulates counters and
+        histograms in numpy batches and builds the accumulator in one
+        step.  The result is indistinguishable from feeding the same
+        observations through :meth:`record` one at a time in any order -
+        exact mode is order-independent, and the estimators and the
+        reservoir stay unfed exactly as per-request exact recording
+        leaves them (merging resamples the reservoir from the
+        histogram).
+        """
+        out = cls(
+            exact_counts=True,
+            reservoir_capacity=reservoir_capacity,
+            seed=seed,
+        )
+        out.requests = requests
+        out.completions = completions
+        out.aborts = aborts
+        out.deadline_misses = deadline_misses
+        out.latency_sum = latency_sum
+        out.worst = worst
+        out.cache_hits = cache_hits
+        out.cache_misses = cache_misses
+        out.cache_evictions = cache_evictions
+        out.requests_by_file = dict(requests_by_file or {})
+        out.hits_by_file = dict(hits_by_file or {})
+        out._counts = dict(counts or {})
+        return out
+
+    # ------------------------------------------------------------------
     # Merging
     # ------------------------------------------------------------------
 

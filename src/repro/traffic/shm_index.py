@@ -1,0 +1,198 @@
+"""Shared-memory export of the program's retrieval tables.
+
+A pooled traffic run used to pickle the whole
+:class:`~repro.bdisk.program.BroadcastProgram` - occurrence index
+included - into every shard task, paying serialization and a per-worker
+index rebuild.  The vectorized engine's tables
+(:class:`~repro.traffic.cohorts.RetrievalTables`) are flat ``int64``
+arrays, so they can instead live in one
+:mod:`multiprocessing.shared_memory` segment: the parent packs them
+once, workers *attach* and wrap zero-copy numpy views, and nobody ever
+re-pickles or reconstructs the index
+(``tests/traffic/test_shm_index.py`` counts constructions to prove it).
+
+Lifecycle (the create / attach / unlink contract):
+
+1. the parent calls :meth:`SharedTables.create` before submitting shard
+   tasks and passes ``shared.meta`` (a small picklable dict) to each;
+2. each worker calls :func:`attach_tables` on the meta, uses the
+   returned tables, then :meth:`SharedTables.close` - unmapping its
+   view, never destroying the segment;
+3. the parent calls :meth:`SharedTables.unlink` (in a ``finally``) once
+   the pool has drained, destroying the segment exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.traffic.cohorts import RetrievalTables
+
+
+def _create_segment(size: int):
+    """A fresh tracked segment (owner side).
+
+    The owner keeps the default tracker registration: it is leak
+    insurance (the tracker reclaims the segment if the parent dies
+    before its ``finally`` runs), and ``SharedMemory.unlink`` withdraws
+    that one registration on the normal path, so the books balance.
+    """
+    from multiprocessing import shared_memory
+
+    return shared_memory.SharedMemory(create=True, size=size)
+
+
+def _attach_segment(name: str):
+    """Map an existing segment (worker side) - *without* tracking it.
+
+    An attach must never register with the resource tracker: the
+    tracker would unlink the owner's segment on the attacher's behalf,
+    and under the ``fork`` start method every worker shares the
+    parent's tracker process, whose store is a name-keyed *set* -
+    concurrent register/unregister pairs for one name interleave into
+    spurious KeyErrors.  Python 3.13 has ``track=False`` for exactly
+    this; pre-3.13 interpreters register unconditionally inside
+    ``SharedMemory.__init__``, so the registration is suppressed by
+    stubbing ``resource_tracker.register`` for the duration of the
+    (synchronous) constructor call.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pre-3.13 interpreters: no track parameter
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *_args, **_kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class SharedTables:
+    """One shared-memory segment holding a set of named numpy arrays.
+
+    ``meta`` is the picklable handle workers receive: the segment name
+    plus, per array, ``(byte offset, dtype, shape)``.  The instance
+    keeps the segment mapped while any of its views are alive - hold it
+    as long as the arrays are in use.
+    """
+
+    __slots__ = ("meta", "_segment", "_owner")
+
+    def __init__(self, meta: dict[str, Any], segment, owner: bool) -> None:
+        self.meta = meta
+        self._segment = segment
+        self._owner = owner
+
+    @classmethod
+    def create(
+        cls, arrays: Mapping[str, np.ndarray], *, extra: Mapping[str, Any] = ()
+    ) -> "SharedTables":
+        """Pack ``arrays`` into a fresh segment (parent side).
+
+        ``extra`` carries small picklable scalars (cycle lengths and the
+        like) through ``meta`` untouched.
+        """
+        layout: dict[str, tuple[int, str, tuple[int, ...]]] = {}
+        offset = 0
+        for name, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            layout[name] = (offset, array.dtype.str, array.shape)
+            offset += array.nbytes
+        segment = _create_segment(max(1, offset))
+        for name, array in arrays.items():
+            start, _, _ = layout[name]
+            array = np.ascontiguousarray(array)
+            view = np.ndarray(
+                array.shape, dtype=array.dtype,
+                buffer=segment.buf, offset=start,
+            )
+            view[...] = array
+        meta = {
+            "segment": segment.name,
+            "layout": layout,
+            "extra": dict(extra),
+        }
+        return cls(meta, segment, owner=True)
+
+    @classmethod
+    def attach(cls, meta: Mapping[str, Any]) -> "SharedTables":
+        """Map an existing segment (worker side)."""
+        return cls(dict(meta), _attach_segment(meta["segment"]), owner=False)
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """Zero-copy views of every packed array.
+
+        The views alias the mapping; they die with :meth:`close`.
+        """
+        if self._segment is None:
+            raise SimulationError("shared tables are closed")
+        out: dict[str, np.ndarray] = {}
+        for name, (offset, dtype, shape) in self.meta["layout"].items():
+            out[name] = np.ndarray(
+                shape, dtype=np.dtype(dtype),
+                buffer=self._segment.buf, offset=offset,
+            )
+        return out
+
+    @property
+    def extra(self) -> dict[str, Any]:
+        """The scalar side-channel packed at create time."""
+        return dict(self.meta["extra"])
+
+    def close(self) -> None:
+        """Unmap this process's view (idempotent; never destroys)."""
+        if self._segment is not None:
+            self._segment.close()
+            self._segment = None
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner side; closes first, idempotent)."""
+        segment = self._segment
+        self.close()
+        if self._owner and segment is not None:
+            segment.unlink()
+            self._owner = False
+
+    def __enter__(self) -> "SharedTables":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unlink() if self._owner else self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._segment is None else "open"
+        return (
+            f"SharedTables(segment={self.meta['segment']!r}, "
+            f"arrays={len(self.meta['layout'])}, {state})"
+        )
+
+
+def export_tables(tables: RetrievalTables) -> SharedTables:
+    """Pack retrieval tables into shared memory (parent side)."""
+    return SharedTables.create(
+        tables.array_fields(),
+        extra={"cycle": tables.cycle, "period": tables.period},
+    )
+
+
+def attach_tables(
+    meta: Mapping[str, Any],
+) -> tuple[RetrievalTables, SharedTables]:
+    """Map a parent's export (worker side).
+
+    Returns the rehydrated tables plus the handle keeping the mapping
+    alive - ``close()`` it when the shard is done.
+    """
+    shared = SharedTables.attach(meta)
+    extra = shared.extra
+    tables = RetrievalTables.from_arrays(
+        extra["cycle"], extra["period"], shared.arrays()
+    )
+    return tables, shared

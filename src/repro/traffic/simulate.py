@@ -46,6 +46,7 @@ from repro.traffic.arrivals import (
     arrival_rng,
     arrival_slot,
     client_rng,
+    popularity_cdf,
     popularity_weights,
 )
 from repro.traffic.clients import (
@@ -56,6 +57,29 @@ from repro.traffic.clients import (
 from repro.traffic.kernel import EventKernel
 from repro.traffic.metrics import TrafficMetrics
 from repro.traffic.spec import TrafficSpec
+
+#: Shard-engine implementations ``simulate_traffic`` can run:
+#: ``"object"`` is the per-client session/event-kernel engine (the
+#: executable spec, no dependencies); ``"soa"`` is the vectorized
+#: structure-of-arrays engine (:mod:`repro.traffic.engine_soa`, needs
+#: numpy) - bit-identical results, order-of-magnitude faster.
+ENGINES = ("object", "soa")
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in ENGINES:
+        raise SpecificationError(
+            f"unknown traffic engine {engine!r} (choose from "
+            f"{', '.join(ENGINES)})"
+        )
+    if engine == "soa":
+        try:
+            import numpy  # noqa: F401
+        except ImportError as error:  # pragma: no cover - numpy present in CI
+            raise SpecificationError(
+                "the 'soa' traffic engine requires numpy, which is not "
+                "installed; install numpy or use engine='object'"
+            ) from error
 
 
 class _Retriever:
@@ -340,6 +364,7 @@ def simulate_traffic_shard(
     temporal: TemporalSpec | None = None,
     lo: int,
     hi: int,
+    engine: str = "object",
 ) -> TrafficMetrics:
     """Simulate clients ``[lo, hi)`` of a population - one pool task.
 
@@ -349,10 +374,12 @@ def simulate_traffic_shard(
     call spin up its own.  Merge the per-shard accumulators with
     :meth:`TrafficMetrics.merged` (seeded with ``spec.seed``) to get the
     exact whole-population metrics; the merge is independent of the
-    shard layout.  Per-request tracing is a whole-run concern - use
-    :func:`simulate_traffic` for it.
+    shard layout *and* of the engine each shard ran.  Per-request
+    tracing is a whole-run concern - use :func:`simulate_traffic` for
+    it.
     """
     catalogue = tuple(catalogue)
+    _check_engine(engine)
     _validate_population(program, catalogue, file_sizes, deadlines)
     if temporal is not None:
         _validate_temporal(temporal, spec, catalogue)
@@ -363,6 +390,14 @@ def simulate_traffic_shard(
         )
     sizes = {file: file_sizes[file] for file in catalogue}
     limits = {file: deadlines[file] for file in catalogue}
+    if engine == "soa":
+        from repro.traffic.engine_soa import simulate_shard_soa
+
+        metrics, _ = simulate_shard_soa(
+            program, catalogue, spec, sizes, limits, faults, temporal,
+            lo, hi, False,
+        )
+        return metrics
     metrics, _ = _simulate_shard(
         program, catalogue, spec, sizes, limits, faults, temporal,
         lo, hi, False,
@@ -405,6 +440,15 @@ def _simulate_shard(
     """
     fault_model = _build_fault_model(faults)
     weights = popularity_weights(
+        spec.popularity,
+        len(catalogue),
+        zipf_skew=spec.zipf_skew,
+        hot_fraction=spec.hot_fraction,
+        hot_weight=spec.hot_weight,
+    )
+    # The memoized running totals: computed once per distinct popularity
+    # tuple and shared by every session in the shard.
+    cum_weights = popularity_cdf(
         spec.popularity,
         len(catalogue),
         zipf_skew=spec.zipf_skew,
@@ -492,7 +536,7 @@ def _simulate_shard(
             index,
             rng,
             catalogue,
-            weights,
+            None,
             deadlines,
             requests=spec.requests_per_client,
             think_mean=spec.think_time,
@@ -500,6 +544,7 @@ def _simulate_shard(
             metrics=metrics,
             cache=cache,
             trace=records,
+            cum_weights=cum_weights,
         ).begin(kernel, arrival)
     kernel.run()
     return metrics, records if records is not None else []
@@ -694,6 +739,7 @@ def simulate_traffic(
     temporal: TemporalSpec | None = None,
     max_workers: int | None = None,
     trace: bool = False,
+    engine: str = "object",
 ) -> TrafficResult:
     """Run an open-loop client population against a broadcast program.
 
@@ -735,8 +781,17 @@ def simulate_traffic(
         Retain one :class:`RequestRecord` per request (sorted by issue
         slot, then client).  Off by default - tracing defeats the
         constant-memory metrics path.
+    engine:
+        ``"object"`` (default) runs per-client session objects over the
+        event kernel; ``"soa"`` runs the vectorized structure-of-arrays
+        engine (:mod:`repro.traffic.engine_soa`, requires numpy).
+        Metrics and traces are bit-identical between the two - the
+        engine is purely a performance choice.  Pooled ``"soa"`` runs
+        export the retrieval tables once into shared memory and workers
+        attach them zero-copy instead of unpickling per-shard state.
     """
     catalogue = tuple(catalogue)
+    _check_engine(engine)
     _validate_population(program, catalogue, file_sizes, deadlines)
     if temporal is not None:
         _validate_temporal(temporal, spec, catalogue)
@@ -759,28 +814,76 @@ def simulate_traffic(
         workers = min(max_workers, spec.clients)
     begin = time.perf_counter()
     if workers == 1:
-        parts = [
-            _simulate_shard(
-                program, catalogue, spec, sizes, limits, faults,
-                temporal, 0, spec.clients, trace,
-            )
-        ]
+        if engine == "soa":
+            from repro.traffic.engine_soa import simulate_shard_soa
+
+            parts = [
+                simulate_shard_soa(
+                    program, catalogue, spec, sizes, limits, faults,
+                    temporal, 0, spec.clients, trace,
+                )
+            ]
+        else:
+            parts = [
+                _simulate_shard(
+                    program, catalogue, spec, sizes, limits, faults,
+                    temporal, 0, spec.clients, trace,
+                )
+            ]
     else:
         from concurrent.futures import ProcessPoolExecutor
 
         bounds = shard_bounds(spec.clients, workers)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(
-                    _simulate_shard,
-                    program, catalogue, spec, sizes, limits, faults,
-                    temporal, lo, hi, trace,
-                )
-                for lo, hi in bounds
-            ]
-            # Collected in submission order: shard position is bound at
-            # submit time, so merge order is deterministic.
-            parts = [future.result() for future in futures]
+        if engine == "soa" and temporal is None:
+            # Vectorized pool path: build the retrieval tables once,
+            # export them into one shared-memory segment, and hand
+            # workers the tiny attach handle - no program pickle, no
+            # per-worker index reconstruction.  The parent owns the
+            # segment and destroys it once the pool has drained.
+            from repro.traffic.cohorts import RetrievalTables
+            from repro.traffic.engine_soa import _shard_task_shm
+            from repro.traffic.shm_index import export_tables
+
+            tables = RetrievalTables.build(
+                program, catalogue, sizes, spec.max_slots
+            )
+            shared = export_tables(tables)
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        pool.submit(
+                            _shard_task_shm,
+                            shared.meta, catalogue, spec, sizes, limits,
+                            faults, lo, hi, trace,
+                        )
+                        for lo, hi in bounds
+                    ]
+                    parts = [future.result() for future in futures]
+            finally:
+                shared.unlink()
+        else:
+            if engine == "soa":
+                # Temporal populations retrieve through the versioned
+                # scalar oracle, which needs the program itself; the
+                # program pickles without its index (workers rebuild
+                # lazily), so only the schedule crosses the pool.
+                from repro.traffic.engine_soa import simulate_shard_soa
+
+                shard_runner = simulate_shard_soa
+            else:
+                shard_runner = _simulate_shard
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(
+                        shard_runner,
+                        program, catalogue, spec, sizes, limits, faults,
+                        temporal, lo, hi, trace,
+                    )
+                    for lo, hi in bounds
+                ]
+                # Collected in submission order: shard position is
+                # bound at submit time, so merge order is deterministic.
+                parts = [future.result() for future in futures]
     metrics = TrafficMetrics.merged(
         [part_metrics for part_metrics, _ in parts], seed=spec.seed
     )

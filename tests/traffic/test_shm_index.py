@@ -1,0 +1,193 @@
+"""Shared-memory retrieval tables: lifecycle, fidelity, and the
+no-rebuild guarantee.
+
+The pooled SoA path exists to stop every worker from re-deriving the
+occurrence index.  The tests here pin the three layers of that claim:
+:class:`SharedTables` packs and re-maps arrays losslessly; a
+:class:`BroadcastProgram` pickles *without* its index (pool tasks ship
+the schedule alone); and - the headline - a forked pool run over shared
+tables performs **zero** :class:`ProgramIndex` constructions in the
+workers, counted through an inherited shared counter.
+"""
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.bdisk.flat import build_aida_flat_program
+from repro.bdisk.multidisk import build_multidisk_program, config_from_demand
+from repro.errors import SimulationError
+from repro.traffic import TrafficSpec, simulate_traffic
+from repro.traffic.cohorts import RetrievalTables
+
+np = pytest.importorskip("numpy")
+
+from repro.traffic.shm_index import (  # noqa: E402  (needs numpy)
+    SharedTables,
+    attach_tables,
+    export_tables,
+)
+
+
+def multidisk_world():
+    files = [("hot", 2), ("warm", 3), ("cold", 4)]
+    program = build_multidisk_program(
+        config_from_demand(
+            files, {"hot": 6.0, "warm": 2.0, "cold": 1.0}, levels=(4, 2, 1)
+        )
+    )
+    return program, [name for name, _ in files], dict(files)
+
+
+class TestSharedTablesLifecycle:
+    def test_create_attach_roundtrip_and_unlink(self):
+        arrays = {
+            "a": np.arange(10, dtype=np.int64),
+            "b": np.array([[1.5, 2.5], [3.5, 4.5]]),
+            "c": np.empty(0, dtype=np.int64),
+        }
+        shared = SharedTables.create(arrays, extra={"cycle": 12})
+        try:
+            attached = SharedTables.attach(shared.meta)
+            try:
+                got = attached.arrays()
+                for name, array in arrays.items():
+                    assert np.array_equal(got[name], array)
+                    assert got[name].dtype == array.dtype
+                assert attached.extra == {"cycle": 12}
+            finally:
+                attached.close()
+        finally:
+            shared.unlink()
+
+    def test_arrays_after_close_raises(self):
+        shared = SharedTables.create({"x": np.arange(3)})
+        shared.unlink()
+        with pytest.raises(SimulationError):
+            shared.arrays()
+        # close/unlink stay idempotent after the fact.
+        shared.close()
+        shared.unlink()
+
+    def test_context_manager_unlinks_owner(self):
+        with SharedTables.create({"x": np.arange(3)}) as shared:
+            name = shared.meta["segment"]
+            assert shared.arrays()["x"].sum() == 3
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_export_attach_tables_reproduce_lookup(self):
+        program, catalogue, sizes = multidisk_world()
+        tables = RetrievalTables.build(program, catalogue, sizes, None)
+        shared = export_tables(tables)
+        try:
+            remote, handle = attach_tables(shared.meta)
+            try:
+                files = np.arange(len(catalogue), dtype=np.int64)
+                starts = np.arange(len(catalogue), dtype=np.int64) * 3
+                assert all(
+                    np.array_equal(a, b)
+                    for a, b in zip(
+                        tables.lookup(files, starts),
+                        remote.lookup(files, starts),
+                    )
+                )
+            finally:
+                handle.close()
+        finally:
+            shared.unlink()
+
+
+class TestProgramPickling:
+    def test_pickle_excludes_the_occurrence_index(self):
+        program, catalogue, sizes = multidisk_world()
+        program.index  # force the expensive build
+        payload = pickle.dumps(program)
+        clone = pickle.loads(payload)
+        assert clone._index is None
+        # ... and the clone still works: the index rebuilds lazily.
+        assert (
+            clone.index.data_cycle_length
+            == program.index.data_cycle_length
+        )
+        assert clone.schedule.cycle == program.schedule.cycle
+
+    def test_pickle_is_schedule_sized(self):
+        program = build_aida_flat_program([("A", 5, 10), ("B", 3, 6)])
+        program.index
+        assert len(pickle.dumps(program)) < 2_000
+
+
+def _count_index_builds(counter):
+    """Pool initializer: make every ProgramIndex construction count."""
+    from repro.bdisk import program_index
+
+    original = program_index.ProgramIndex.__init__
+
+    def counted(self, *args, **kwargs):
+        with counter.get_lock():
+            counter.value += 1
+        original(self, *args, **kwargs)
+
+    program_index.ProgramIndex.__init__ = counted
+
+
+class TestWorkersNeverRebuildTheIndex:
+    def test_pooled_soa_run_counts_zero_worker_constructions(self):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs the fork start method")
+        program, catalogue, sizes = multidisk_world()
+        program.index  # parent builds once, before any patching
+        spec = TrafficSpec(
+            clients=24, duration=150, requests_per_client=2,
+            think_time=2, seed=51,
+        )
+        counter = multiprocessing.get_context("fork").Value("i", 0)
+
+        from concurrent import futures
+
+        from repro.traffic.cohorts import RetrievalTables as RT
+        from repro.traffic.engine_soa import _shard_task_shm
+        from repro.traffic.simulate import shard_bounds
+
+        deadlines = {name: 10_000 for name in catalogue}
+        tables = RT.build(program, catalogue, sizes, spec.max_slots)
+        shared = export_tables(tables)
+        try:
+            with futures.ProcessPoolExecutor(
+                max_workers=2,
+                mp_context=multiprocessing.get_context("fork"),
+                initializer=_count_index_builds,
+                initargs=(counter,),
+            ) as pool:
+                parts = [
+                    pool.submit(
+                        _shard_task_shm, shared.meta, catalogue, spec,
+                        sizes, deadlines, None, lo, hi, False,
+                    )
+                    for lo, hi in shard_bounds(spec.clients, 2)
+                ]
+                results = [part.result() for part in parts]
+        finally:
+            shared.unlink()
+        assert len(results) == 2
+        assert sum(m.requests for m, _ in results) == spec.total_requests
+        assert counter.value == 0, (
+            f"workers constructed the index {counter.value} times"
+        )
+
+    def test_pooled_soa_run_end_to_end_leaves_no_segments(self):
+        program, catalogue, sizes = multidisk_world()
+        spec = TrafficSpec(
+            clients=20, duration=150, requests_per_client=2, seed=61,
+        )
+        result = simulate_traffic(
+            program, catalogue, spec,
+            file_sizes=sizes,
+            deadlines={name: 10_000 for name in catalogue},
+            engine="soa", max_workers=2,
+        )
+        assert result.requests == spec.total_requests
