@@ -28,6 +28,7 @@ from fractions import Fraction
 from typing import Any, Iterable, Mapping
 
 from repro.errors import SpecificationError
+from repro.obs import telemetry as obs
 from repro.core.solver import SolveReport
 from repro.ida import AidaEncoder, reconstruct
 from repro.bdisk.builder import (
@@ -514,6 +515,19 @@ def run_scenario(scenario: Scenario | Mapping[str, Any]) -> ScenarioResult:
     return BroadcastEngine(scenario).run()
 
 
+def _run_scenario_task(
+    scenario: Scenario | Mapping[str, Any], telemetry: bool
+) -> tuple[ScenarioResult, dict[str, Any] | None]:
+    """Pool task for :func:`run_scenarios`: run one scenario and, when
+    the parent has telemetry active, capture this worker's instruments
+    so the parent can merge them in submission order."""
+    if not telemetry:
+        return run_scenario(scenario), None
+    with obs.capture() as tel:
+        result = run_scenario(scenario)
+    return result, tel.to_dict()
+
+
 def run_scenarios(
     scenarios: Iterable[Scenario | Mapping[str, Any]],
     *,
@@ -557,11 +571,21 @@ def run_scenarios(
 
     from concurrent.futures import ProcessPoolExecutor
 
+    tel = obs.current()
     workers = min(max_workers, len(normalized))
     with ProcessPoolExecutor(max_workers=workers) as pool:
         # One future per scenario, collected in submission order.
         # Executor.map preserves input order too; the explicit futures
         # make the guarantee structural (position bound at submit time)
         # rather than a property of map's iterator.
-        futures = [pool.submit(run_scenario, s) for s in normalized]
-        return tuple(future.result() for future in futures)
+        futures = [
+            pool.submit(_run_scenario_task, s, tel is not None)
+            for s in normalized
+        ]
+        results = []
+        for future in futures:
+            result, payload = future.result()
+            if tel is not None and payload is not None:
+                tel.merge_dict(payload)
+            results.append(result)
+        return tuple(results)

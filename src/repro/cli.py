@@ -1,11 +1,12 @@
 """Command-line interface: design and run broadcast disks from a shell.
 
-Eight subcommands mirror the library's main entry points::
+Nine subcommands mirror the library's main entry points::
 
     python -m repro run scenario.json
     python -m repro traffic scenario.json --clients 1000 --duration 50000
     python -m repro server scenario.json --script mutations.json
     python -m repro sweep sweep.json --workers 8 --resume
+    python -m repro obs summarize out.telemetry
     python -m repro schedulers
     python -m repro design --file pos:4:2:2 --file map:6:5:1
     python -m repro generalized --file F:2:5,6,6 --file H:1:9,12
@@ -40,9 +41,17 @@ over any dotted scenario field) and runs the whole grid on one shared
 pool, memoizing solved schedules in a content-addressed solve-cache and
 streaming rows to a resumable JSONL run store (``--resume`` skips
 completed cells).  ``schedulers`` lists the live scheduler registry.
-``--workers`` everywhere must be a positive integer; 0 or negative is
-rejected with an argument error (exit status 2) rather than a pool
-traceback.
+``run``, ``traffic``, ``sweep``, and ``server`` all accept
+``--telemetry DIR``: the invocation runs with the unified telemetry
+layer (:mod:`repro.obs`) active - counters, histograms, and trace
+spans from the solver, cache, sweep orchestrator, traffic engines, and
+server, merged exactly across worker processes - and exports
+``telemetry.json`` / ``trace.jsonl`` / ``metrics.prom`` into ``DIR``.
+``obs summarize DIR`` renders an export as tables plus the aggregated
+span tree.  Telemetry never perturbs results: outputs are bit-identical
+with and without the flag.  ``--workers`` everywhere must be a positive
+integer; 0 or negative is rejected with an argument error (exit status
+2) rather than a pool traceback.
 
 File syntax for the piecewise subcommands:
 
@@ -60,9 +69,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Sequence
+from contextlib import contextmanager
+from typing import Iterator, Sequence
 
 from repro.errors import ReproError
+from repro.obs import telemetry as obs
+from repro.obs.export import embed, export_directory
 from repro.api.engine import BroadcastEngine, run_scenarios
 from repro.api.scenario import Scenario
 from repro.core.registry import registered_schedulers
@@ -93,6 +105,75 @@ def _workers_flag(raw: str) -> int:
             f"worker count must be >= 1, got {value}"
         )
     return value
+
+
+def _add_shared_flags(
+    parser: argparse.ArgumentParser,
+    *,
+    workers: str | None = None,
+    cache_dir: str | None = None,
+    telemetry: bool = True,
+) -> None:
+    """Attach the flags shared across ``run``/``traffic``/``sweep``/
+    ``server`` in one place.
+
+    ``workers`` and ``cache_dir`` are the per-command help strings
+    (``None`` omits the flag); every ``--workers`` goes through
+    :func:`_workers_flag`, so the "positive integer or exit 2"
+    validation cannot diverge between subcommands.  ``--telemetry`` is
+    attached by default: it names a directory that receives the full
+    telemetry export (``telemetry.json``, ``trace.jsonl``,
+    ``metrics.prom``) for ``repro obs summarize``.
+    """
+    if workers is not None:
+        parser.add_argument(
+            "--workers",
+            type=_workers_flag,
+            default=None,
+            metavar="N",
+            help=workers,
+        )
+    if cache_dir is not None:
+        parser.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help=cache_dir,
+        )
+    if telemetry:
+        parser.add_argument(
+            "--telemetry",
+            default=None,
+            metavar="DIR",
+            help=(
+                "export telemetry to DIR: counters/gauges/histograms "
+                "(telemetry.json), the trace span ring (trace.jsonl), "
+                "and a Prometheus textfile (metrics.prom); inspect "
+                "with 'repro obs summarize DIR'"
+            ),
+        )
+
+
+@contextmanager
+def _telemetry_capture(
+    args: argparse.Namespace,
+) -> Iterator[obs.Telemetry | None]:
+    """Activate telemetry for one CLI invocation when requested.
+
+    Yields the active :class:`~repro.obs.Telemetry` when the command
+    was given ``--telemetry DIR`` (exporting to ``DIR`` on the way
+    out, even when the command fails mid-run) and ``None`` otherwise -
+    the instrumented library paths then stay on their no-op branches.
+    """
+    path = getattr(args, "telemetry", None)
+    if path is None:
+        yield None
+        return
+    with obs.capture() as tel:
+        try:
+            yield tel
+        finally:
+            export_directory(tel, path)
 
 
 def _parse_design_file(raw: str) -> FileSpec:
@@ -166,12 +247,9 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="as_json",
         help="emit a machine-readable JSON result record",
     )
-    run.add_argument(
-        "--workers",
-        type=_workers_flag,
-        default=None,
-        metavar="N",
-        help=(
+    _add_shared_flags(
+        run,
+        workers=(
             "run scenarios over a process pool of N workers "
             "(default: serial; results are identical either way)"
         ),
@@ -212,9 +290,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None,
         help="master traffic seed",
     )
-    traffic.add_argument(
-        "--workers", type=_workers_flag, default=None, metavar="N",
-        help=(
+    _add_shared_flags(
+        traffic,
+        workers=(
             "shard the population over a process pool of N workers "
             "(default: in-process; results are identical either way)"
         ),
@@ -242,13 +320,14 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep.add_argument("spec", help="path to a SweepSpec JSON file")
-    sweep.add_argument(
-        "--workers", type=_workers_flag, default=None, metavar="N",
-        help=(
+    _add_shared_flags(
+        sweep,
+        workers=(
             "run cells and traffic shards on one shared process pool "
             "of N workers (default: serial; results are identical "
             "either way)"
         ),
+        cache_dir="solve-cache directory (default: <spec>.solve-cache)",
     )
     sweep.add_argument(
         "--resume",
@@ -258,10 +337,6 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--store", default=None, metavar="PATH",
         help="JSONL run store (default: <spec>.runs.jsonl)",
-    )
-    sweep.add_argument(
-        "--cache-dir", default=None, metavar="DIR",
-        help="solve-cache directory (default: <spec>.solve-cache)",
     )
     sweep.add_argument(
         "--no-cache",
@@ -300,9 +375,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--log", default=None, metavar="PATH",
         help="stream the JSONL as-run log to PATH",
     )
-    server.add_argument(
-        "--cache-dir", default=None, metavar="DIR",
-        help=(
+    _add_shared_flags(
+        server,
+        cache_dir=(
             "persistent solve-cache directory (default: in-memory; "
             "a warm directory makes mutation re-solves warm starts)"
         ),
@@ -320,6 +395,26 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser(
         "schedulers", help="list the registered pinwheel schedulers"
+    )
+
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="inspect telemetry exported with --telemetry",
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_sub.add_parser(
+        "summarize",
+        help=(
+            "render the counters, histograms, and aggregated span tree "
+            "of a telemetry export"
+        ),
+    )
+    summarize.add_argument(
+        "path",
+        help=(
+            "a --telemetry export directory (or its telemetry.json "
+            "file directly)"
+        ),
     )
 
     design = sub.add_parser(
@@ -373,18 +468,21 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _run_scenario(args: argparse.Namespace) -> int:
     scenarios = [Scenario.from_file(path) for path in args.scenarios]
-    results = run_scenarios(scenarios, max_workers=args.workers)
-    if args.as_json:
-        # One file keeps the historical single-object record; a batch
-        # emits a JSON array in input order.
-        payload: object = (
-            results[0].to_dict()
-            if len(results) == 1
-            else [result.to_dict() for result in results]
-        )
-        print(json.dumps(payload, indent=2))
-    else:
-        print("\n\n".join(result.summary() for result in results))
+    with _telemetry_capture(args) as tel:
+        results = run_scenarios(scenarios, max_workers=args.workers)
+        if args.as_json:
+            # One file keeps the historical single-object record; a
+            # batch emits a JSON array in input order.
+            payload: object = (
+                results[0].to_dict()
+                if len(results) == 1
+                else [result.to_dict() for result in results]
+            )
+            if tel is not None and isinstance(payload, dict):
+                embed(tel, payload)
+            print(json.dumps(payload, indent=2))
+        else:
+            print("\n\n".join(result.summary() for result in results))
     return 0
 
 
@@ -409,14 +507,19 @@ def _run_traffic(args: argparse.Namespace) -> int:
     if overrides:
         spec = replace(spec, **overrides)
     engine = BroadcastEngine(replace(scenario, traffic=spec))
-    result = engine.run_traffic(max_workers=args.workers, engine=args.engine)
-    assert result is not None  # the spec was just attached
-    if args.as_json:
-        payload = {"scenario": scenario.name, **result.to_dict()}
-        print(json.dumps(payload, indent=2))
-    else:
-        print(f"scenario  : {scenario.name}")
-        print(result.report())
+    with _telemetry_capture(args) as tel:
+        result = engine.run_traffic(
+            max_workers=args.workers, engine=args.engine
+        )
+        assert result is not None  # the spec was just attached
+        if args.as_json:
+            payload = {"scenario": scenario.name, **result.to_dict()}
+            if tel is not None:
+                embed(tel, payload)
+            print(json.dumps(payload, indent=2))
+        else:
+            print(f"scenario  : {scenario.name}")
+            print(result.report())
     return 0
 
 
@@ -432,18 +535,24 @@ def _run_server(args: argparse.Namespace) -> int:
         else MutationScript(())
     )
     cache = SolveCache(args.cache_dir)
-    result = run_script(
-        scenario,
-        script,
-        cache=cache,
-        log_path=args.log,
-        until=args.until,
-        window=args.window if args.window is not None else ASRUN_WINDOW,
-    )
-    if args.as_json:
-        print(json.dumps(result.to_dict(), indent=2))
-    else:
-        print(result.report())
+    with _telemetry_capture(args) as tel:
+        result = run_script(
+            scenario,
+            script,
+            cache=cache,
+            log_path=args.log,
+            until=args.until,
+            window=(
+                args.window if args.window is not None else ASRUN_WINDOW
+            ),
+        )
+        if args.as_json:
+            payload = result.to_dict()
+            if tel is not None:
+                embed(tel, payload)
+            print(json.dumps(payload, indent=2))
+        else:
+            print(result.report())
     return 0
 
 
@@ -466,17 +575,21 @@ def _run_sweep(args: argparse.Namespace) -> int:
             if args.cache_dir is not None
             else str(spec_path.with_suffix(".solve-cache"))
         )
-    result = run_sweep(
-        spec,
-        max_workers=args.workers,
-        store_path=store,
-        cache_dir=cache_dir,
-        use_cache=not args.no_cache,
-        resume=args.resume,
-    )
-    if args.as_json:
-        print(json.dumps(result.to_dict(), indent=2))
-        return 0
+    with _telemetry_capture(args) as tel:
+        result = run_sweep(
+            spec,
+            max_workers=args.workers,
+            store_path=store,
+            cache_dir=cache_dir,
+            use_cache=not args.no_cache,
+            resume=args.resume,
+        )
+        if args.as_json:
+            payload = result.to_dict()
+            if tel is not None:
+                embed(tel, payload)
+            print(json.dumps(payload, indent=2))
+            return 0
     axes = ", ".join(axis.field for axis in spec.axes) or "(no axes)"
     print(f"sweep     : {spec.name} ({result.cells} cells over {axes})")
     print(f"store     : {result.store_path}")
@@ -494,6 +607,15 @@ def _run_sweep(args: argparse.Namespace) -> int:
     )
     print()
     print(result.table())
+    return 0
+
+
+def _run_obs(args: argparse.Namespace) -> int:
+    from repro.obs.summarize import render_summary
+
+    # ``required=True`` on the subparser guarantees obs_command is set;
+    # "summarize" is the only verb today.
+    print(render_summary(args.path))
     return 0
 
 
@@ -552,6 +674,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "traffic": _run_traffic,
         "server": _run_server,
         "sweep": _run_sweep,
+        "obs": _run_obs,
         "schedulers": _run_schedulers,
         "design": _run_design,
         "generalized": _run_generalized,

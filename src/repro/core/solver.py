@@ -31,10 +31,12 @@ gave up", never "unverified result".
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.errors import InfeasibleError, SchedulingError
+from repro.obs import telemetry as obs
 from repro.core.conditions import NiceConjunct, PinwheelCondition
 from repro.core.registry import plan_for
 from repro.core.schedule import Schedule
@@ -122,27 +124,57 @@ def solve(
     prefiltered = isinstance(policy, str)
     conditions = [PinwheelCondition(t.ident, t.a, t.b) for t in system.tasks]
     attempts: list[tuple[str, str]] = []
-    for entry in plan_for(system, policy):
-        if not prefiltered and not entry.applicable(system):
-            attempts.append((entry.name, "skipped: not applicable"))
-            continue
-        try:
-            # Schedulers skip their own (redundant) final verification;
-            # the winner is verified once below, so the guarantee holds
-            # uniformly for built-ins and third-party registrations.
-            schedule = entry.scheduler(system, verify=False)
-        except InfeasibleError:
-            raise
-        except SchedulingError as error:
-            attempts.append((entry.name, f"failed: {error}"))
-            continue
-        if verify:
-            verify_schedule(schedule, conditions)
-        attempts.append((entry.name, "ok"))
-        return SolveReport(schedule, entry.name, tuple(attempts))
+    tel = obs.current()
+    with obs.span("solve", tasks=len(system)):
+        for entry in plan_for(system, policy):
+            if not prefiltered and not entry.applicable(system):
+                attempts.append((entry.name, "skipped: not applicable"))
+                continue
+            # Per-scheduler attempt accounting; the perf_counter pair only
+            # runs when a registry is active, so the disabled path is the
+            # plain scheduler call.
+            begin = time.perf_counter() if tel is not None else 0.0
+            try:
+                # Schedulers skip their own (redundant) final verification;
+                # the winner is verified once below, so the guarantee holds
+                # uniformly for built-ins and third-party registrations.
+                schedule = entry.scheduler(system, verify=False)
+            except InfeasibleError:
+                if tel is not None:
+                    _record_attempt(tel, entry.name, "infeasible", begin)
+                raise
+            except SchedulingError as error:
+                if tel is not None:
+                    _record_attempt(tel, entry.name, "failed", begin)
+                attempts.append((entry.name, f"failed: {error}"))
+                continue
+            if tel is not None:
+                _record_attempt(tel, entry.name, "ok", begin)
+            if verify:
+                verify_schedule(schedule, conditions)
+            attempts.append((entry.name, "ok"))
+            return SolveReport(schedule, entry.name, tuple(attempts))
     raise SchedulingError(
         "portfolio exhausted: "
         + "; ".join(f"{name} -> {outcome}" for name, outcome in attempts)
+    )
+
+
+def _record_attempt(
+    tel: "obs.Telemetry", scheduler: str, outcome: str, begin: float
+) -> None:
+    tel.inc("solve.attempts", scheduler=scheduler)
+    if outcome == "ok":
+        tel.inc("solve.successes", scheduler=scheduler)
+    else:
+        tel.inc("solve.failures", scheduler=scheduler, outcome=outcome)
+    tel.observe(
+        "solve.seconds",
+        time.perf_counter() - begin,
+        bounds=obs.TIME_BOUNDS,
+        unit="s",
+        stability="volatile",
+        scheduler=scheduler,
     )
 
 

@@ -1,0 +1,184 @@
+"""Exporters: JSON blob, JSONL trace, and Prometheus textfile format.
+
+One captured :class:`Telemetry` registry fans out to three shapes:
+
+* :func:`write_json` / :func:`embed` - the full payload as one JSON
+  document, either on disk or embedded under a ``"telemetry"`` key of a
+  result record (the ``--json`` CLI path).
+* :func:`write_trace_jsonl` - one completed span per line, loadable by
+  any trace tooling that speaks JSONL.
+* :func:`write_prometheus` - the textfile-collector format: counters as
+  ``repro_<name>_total``, histograms as cumulative ``_bucket{le=...}``
+  series plus ``_sum``/``_count``.
+
+:func:`export_directory` writes all three (``telemetry.json``,
+``trace.jsonl``, ``metrics.prom``) under one directory - the layout the
+``--telemetry PATH`` CLI flag produces and ``repro obs summarize``
+consumes.  :func:`load_directory` is the inverse.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Any, Mapping, TextIO
+
+from repro.errors import SpecificationError
+from repro.obs.telemetry import Telemetry
+
+__all__ = [
+    "embed",
+    "write_json",
+    "write_trace_jsonl",
+    "write_prometheus",
+    "prometheus_text",
+    "export_directory",
+    "load_directory",
+    "TELEMETRY_JSON",
+    "TRACE_JSONL",
+    "METRICS_PROM",
+]
+
+TELEMETRY_JSON = "telemetry.json"
+TRACE_JSONL = "trace.jsonl"
+METRICS_PROM = "metrics.prom"
+
+
+def embed(tel: Telemetry, record: dict[str, Any]) -> dict[str, Any]:
+    """Attach the metric payload (no spans - those go to the trace file)
+    to a result record, in place."""
+
+    record["telemetry"] = tel.to_dict(spans=False)
+    return record
+
+
+def write_json(tel: Telemetry, stream: TextIO) -> None:
+    json.dump(tel.to_dict(spans=False), stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+def write_trace_jsonl(tel: Telemetry, stream: TextIO) -> None:
+    for span in tel.spans:
+        stream.write(json.dumps(span.to_dict(), sort_keys=True))
+        stream.write("\n")
+
+
+def _sanitize(name: str) -> str:
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    metric = "".join(out)
+    if not metric or metric[0].isdigit():
+        metric = "_" + metric
+    return "repro_" + metric
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: Mapping[str, str] | list[list[str]], extra: str = "") -> str:
+    pairs = list(labels.items()) if isinstance(labels, Mapping) else [tuple(p) for p in labels]
+    rendered = [f'{k}="{_escape_label(str(v))}"' for k, v in pairs]
+    if extra:
+        rendered.append(extra)
+    return "{" + ",".join(rendered) + "}" if rendered else ""
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):  # guard against accidental bools
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(float(value))
+
+
+def prometheus_text(tel: Telemetry) -> str:
+    """Render the registry in Prometheus textfile-collector format."""
+
+    payload = tel.to_dict(spans=False)
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def declare(metric: str, kind: str) -> None:
+        if metric not in typed:
+            lines.append(f"# TYPE {metric} {kind}")
+            typed.add(metric)
+
+    for record in payload["metrics"]:
+        base = _sanitize(record["name"])
+        labels = record["labels"]
+        kind = record["kind"]
+        if kind == "counter":
+            metric = base + "_total"
+            declare(metric, "counter")
+            lines.append(f"{metric}{_format_labels(labels)} {_format_value(record['value'])}")
+        elif kind == "gauge":
+            declare(base, "gauge")
+            lines.append(f"{base}{_format_labels(labels)} {_format_value(record['value'])}")
+        elif kind == "histogram":
+            declare(base, "histogram")
+            cumulative = 0
+            for bound, n in zip(record["bounds"], record["counts"]):
+                cumulative += n
+                le = _format_labels(labels, f'le="{_format_value(bound)}"')
+                lines.append(f"{base}_bucket{le} {cumulative}")
+            cumulative += record["counts"][-1]
+            le = _format_labels(labels, 'le="+Inf"')
+            lines.append(f"{base}_bucket{le} {cumulative}")
+            lines.append(f"{base}_sum{_format_labels(labels)} {_format_value(record['total'])}")
+            lines.append(f"{base}_count{_format_labels(labels)} {record['count']}")
+        else:  # pragma: no cover - to_dict only emits the three kinds
+            raise SpecificationError(f"unknown instrument kind {kind!r}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(tel: Telemetry, stream: TextIO) -> None:
+    stream.write(prometheus_text(tel))
+
+
+def export_directory(tel: Telemetry, path: str | os.PathLike[str]) -> dict[str, str]:
+    """Write ``telemetry.json`` + ``trace.jsonl`` + ``metrics.prom``
+    under ``path`` (created if missing).  Returns the file map."""
+
+    os.makedirs(path, exist_ok=True)
+    out = {
+        "json": os.path.join(path, TELEMETRY_JSON),
+        "trace": os.path.join(path, TRACE_JSONL),
+        "prometheus": os.path.join(path, METRICS_PROM),
+    }
+    with open(out["json"], "w", encoding="utf-8") as stream:
+        write_json(tel, stream)
+    with open(out["trace"], "w", encoding="utf-8") as stream:
+        write_trace_jsonl(tel, stream)
+    with open(out["prometheus"], "w", encoding="utf-8") as stream:
+        write_prometheus(tel, stream)
+    return out
+
+
+def load_directory(path: str | os.PathLike[str]) -> Telemetry:
+    """Rebuild a registry from an exported directory (or a bare
+    ``telemetry.json`` file path)."""
+
+    if os.path.isfile(path):
+        with open(path, encoding="utf-8") as stream:
+            return Telemetry.from_dict(json.load(stream))
+    json_path = os.path.join(path, TELEMETRY_JSON)
+    if not os.path.isfile(json_path):
+        raise SpecificationError(
+            f"no {TELEMETRY_JSON} under {os.fspath(path)!r}; "
+            "expected a directory written by --telemetry"
+        )
+    with open(json_path, encoding="utf-8") as stream:
+        tel = Telemetry.from_dict(json.load(stream))
+    trace_path = os.path.join(path, TRACE_JSONL)
+    if os.path.isfile(trace_path):
+        with open(trace_path, encoding="utf-8") as stream:
+            spans = [json.loads(line) for line in stream if line.strip()]
+        tel.spans.extend(spans)
+    return tel

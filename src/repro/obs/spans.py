@@ -1,0 +1,218 @@
+"""Structured trace spans: nested wall/CPU timings with a bounded ring.
+
+A :class:`Span` is one timed region of work ("solve", "sweep.cell",
+"server.mutation") with free-form attributes.  Spans nest: entering a
+span while another is open records the parent's id, so an exported trace
+reconstructs the call tree without the exporter knowing anything about
+the instrumented code.
+
+Design constraints inherited from the telemetry contract:
+
+* **Monotonic clocks only.**  Durations come from
+  :func:`time.perf_counter` (wall) and :func:`time.process_time` (CPU);
+  ``begin`` offsets are relative to the owning registry's epoch, never
+  to the wall clock, so traces carry no ambient nondeterminism.
+* **Bounded memory.**  Completed spans land in a ring
+  (:class:`SpanRing`) with a fixed capacity; a runaway loop cannot OOM
+  the process through its own instrumentation.  When the ring wraps, the
+  *oldest* spans fall out - summaries treat orphaned children as roots.
+* **Mergeable.**  Span ids are prefixed with a per-process origin token
+  so rings merged across pool workers never collide.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from collections import deque
+from typing import Any, Iterable, Iterator, Mapping
+
+__all__ = ["Span", "SpanRing", "DEFAULT_SPAN_CAPACITY"]
+
+#: Default capacity of the in-memory span ring.  Generous enough for a
+#: full sweep-cell trace, small enough to be irrelevant to RSS.
+DEFAULT_SPAN_CAPACITY = 4096
+
+_ORIGIN_SEQ = itertools.count()
+
+
+def _next_origin() -> str:
+    """A process-unique origin token for span ids.
+
+    ``pid`` disambiguates pool workers; the per-process counter
+    disambiguates multiple registries inside one process.
+    """
+
+    return f"{os.getpid():x}.{next(_ORIGIN_SEQ):x}"
+
+
+class Span:
+    """One timed region.  Created open; :meth:`finish` seals it."""
+
+    __slots__ = (
+        "id",
+        "parent",
+        "name",
+        "attrs",
+        "begin",
+        "wall",
+        "cpu",
+        "_t0",
+        "_c0",
+    )
+
+    def __init__(
+        self,
+        span_id: str,
+        parent: str | None,
+        name: str,
+        attrs: dict[str, Any],
+        epoch: float,
+    ) -> None:
+        self.id = span_id
+        self.parent = parent
+        self.name = name
+        self.attrs = attrs
+        self._t0 = time.perf_counter()
+        self._c0 = time.process_time()
+        self.begin = self._t0 - epoch
+        self.wall = 0.0
+        self.cpu = 0.0
+
+    def finish(self) -> None:
+        self.wall = time.perf_counter() - self._t0
+        self.cpu = time.process_time() - self._c0
+
+    def to_dict(self) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "id": self.id,
+            "name": self.name,
+            "begin": self.begin,
+            "wall": self.wall,
+            "cpu": self.cpu,
+        }
+        if self.parent is not None:
+            record["parent"] = self.parent
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Span":
+        span = cls.__new__(cls)
+        span.id = str(payload["id"])
+        span.parent = payload.get("parent")
+        span.name = str(payload["name"])
+        span.attrs = dict(payload.get("attrs", {}))
+        span.begin = float(payload.get("begin", 0.0))
+        span.wall = float(payload.get("wall", 0.0))
+        span.cpu = float(payload.get("cpu", 0.0))
+        span._t0 = 0.0
+        span._c0 = 0.0
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, id={self.id!r}, wall={self.wall:.6f}, "
+            f"cpu={self.cpu:.6f}, parent={self.parent!r})"
+        )
+
+
+class SpanRing:
+    """Bounded store of completed spans plus the open-span stack.
+
+    The stack lives here (not on the registry) so nested ``span()``
+    context managers resolve their parent in O(1) without the registry
+    knowing about threading of spans at all.
+    """
+
+    __slots__ = ("origin", "capacity", "epoch", "_ring", "_stack", "_seq", "_dropped")
+
+    def __init__(self, capacity: int = DEFAULT_SPAN_CAPACITY) -> None:
+        self.origin = _next_origin()
+        self.capacity = int(capacity)
+        self.epoch = time.perf_counter()
+        self._ring: deque[Span] = deque(maxlen=self.capacity)
+        self._stack: list[Span] = []
+        self._seq = 0
+        self._dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        """Spans evicted by the ring bound (merge-aware)."""
+
+        return self._dropped
+
+    def open(self, name: str, attrs: dict[str, Any]) -> Span:
+        self._seq += 1
+        parent = self._stack[-1].id if self._stack else None
+        span = Span(f"{self.origin}:{self._seq}", parent, name, attrs, self.epoch)
+        self._stack.append(span)
+        return span
+
+    def close(self, span: Span) -> None:
+        span.finish()
+        # Tolerate out-of-order closes (generator-held context managers):
+        # drop everything above the closing span instead of corrupting
+        # the stack.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        self._append(span)
+
+    def record(
+        self,
+        name: str,
+        wall: float,
+        *,
+        cpu: float = 0.0,
+        parent: str | None = None,
+        begin: float | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """Record an already-measured span (e.g. queue wait)."""
+
+        self._seq += 1
+        span = Span.__new__(Span)
+        span.id = f"{self.origin}:{self._seq}"
+        span.parent = parent if parent is not None else (
+            self._stack[-1].id if self._stack else None
+        )
+        span.name = name
+        span.attrs = dict(attrs)
+        span.begin = float(begin) if begin is not None else (
+            time.perf_counter() - self.epoch - wall
+        )
+        span.wall = float(wall)
+        span.cpu = float(cpu)
+        span._t0 = 0.0
+        span._c0 = 0.0
+        self._append(span)
+        return span
+
+    def current_id(self) -> str | None:
+        return self._stack[-1].id if self._stack else None
+
+    def extend(self, spans: Iterable[Span | Mapping[str, Any]], dropped: int = 0) -> None:
+        """Merge spans from another ring (or an exported payload)."""
+
+        for item in spans:
+            span = item if isinstance(item, Span) else Span.from_dict(item)
+            self._append(span)
+        self._dropped += int(dropped)
+
+    def _append(self, span: Span) -> None:
+        if len(self._ring) == self.capacity:
+            self._dropped += 1
+        self._ring.append(span)
+
+    def to_list(self) -> list[dict[str, Any]]:
+        return [span.to_dict() for span in self._ring]

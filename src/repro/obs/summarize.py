@@ -1,0 +1,143 @@
+"""Human-readable report over an exported telemetry directory.
+
+``repro obs summarize PATH`` renders three sections: merged counters,
+gauges, and histograms (with count/mean/max), then the span tree.  The
+tree aggregates spans *by name path* - every ``sweep.cell`` span merges
+into one node with its ``solve``/``simulate``/``store`` children nested
+under it - so a 500-cell sweep reads as a five-line time breakdown, not
+five hundred.  Spans whose parents fell out of the bounded ring (or ran
+in a pool worker whose root was never exported) surface as roots.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from repro.obs.export import load_directory
+from repro.obs.telemetry import Gauge, Histogram, Telemetry
+
+__all__ = ["render_summary", "aggregate_span_tree"]
+
+
+class _Node:
+    __slots__ = ("name", "count", "wall", "cpu", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.wall = 0.0
+        self.cpu = 0.0
+        self.children: dict[str, "_Node"] = {}
+
+
+def aggregate_span_tree(tel: Telemetry) -> _Node:
+    """Fold the span ring into a tree keyed by name path.
+
+    Returns the synthetic root; its children are the top-level span
+    names in first-seen order.
+    """
+
+    spans = list(tel.spans)
+    by_id = {span.id: span for span in spans}
+    root = _Node("")
+
+    def node_for(span: Any) -> _Node:
+        chain = []
+        cursor = span
+        seen = set()
+        while cursor is not None and cursor.id not in seen:
+            seen.add(cursor.id)
+            chain.append(cursor.name)
+            cursor = by_id.get(cursor.parent) if cursor.parent else None
+        node = root
+        for name in reversed(chain):
+            node = node.children.setdefault(name, _Node(name))
+        return node
+
+    for span in spans:
+        node = node_for(span)
+        node.count += 1
+        node.wall += span.wall
+        node.cpu += span.cpu
+    return root
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 0.001:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def _labels_text(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+
+def render_summary(path: str | os.PathLike[str]) -> str:
+    tel = load_directory(path)
+    lines: list[str] = [f"telemetry summary: {os.fspath(path)}"]
+
+    counters = []
+    gauges = []
+    histograms = []
+    for name, labels, instrument in tel.instruments():
+        if isinstance(instrument, Histogram):
+            histograms.append((name, labels, instrument))
+        elif isinstance(instrument, Gauge):
+            gauges.append((name, labels, instrument))
+        else:
+            counters.append((name, labels, instrument))
+
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        width = max(len(n + _labels_text(l)) for n, l, _ in counters)
+        for name, labels, counter in counters:
+            key = name + _labels_text(labels)
+            lines.append(f"  {key:<{width}}  {counter.value:>12}  [{counter.stability}]")
+
+    if gauges:
+        lines.append("")
+        lines.append("gauges:")
+        width = max(len(n + _labels_text(l)) for n, l, _ in gauges)
+        for name, labels, cell in gauges:
+            key = name + _labels_text(labels)
+            lines.append(f"  {key:<{width}}  {cell.value:>12.3f}  [{cell.stability}]")
+
+    if histograms:
+        lines.append("")
+        lines.append("histograms:")
+        for name, labels, hist in histograms:
+            key = name + _labels_text(labels)
+            unit = f" {hist.unit}" if hist.unit else ""
+            lines.append(
+                f"  {key}: count={hist.count} mean={hist.mean:.3f}"
+                f" min={hist.vmin} max={hist.vmax}{unit}  [{hist.stability}]"
+            )
+
+    spans = list(tel.spans)
+    lines.append("")
+    if not spans:
+        lines.append("spans: none recorded")
+    else:
+        dropped = f" ({tel.spans.dropped} dropped by ring bound)" if tel.spans.dropped else ""
+        lines.append(f"spans: {len(spans)} recorded{dropped}")
+        lines.append(f"  {'name':<40} {'count':>7} {'wall':>10} {'cpu':>10}")
+        root = aggregate_span_tree(tel)
+
+        def emit(node: _Node, depth: int) -> None:
+            label = "  " * depth + node.name
+            lines.append(
+                f"  {label:<40} {node.count:>7} "
+                f"{_format_seconds(node.wall):>10} {_format_seconds(node.cpu):>10}"
+            )
+            for child in node.children.values():
+                emit(child, depth + 1)
+
+        for child in root.children.values():
+            emit(child, 1)
+    return "\n".join(lines)

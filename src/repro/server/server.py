@@ -42,6 +42,7 @@ from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from repro.errors import SpecificationError
+from repro.obs import telemetry as obs
 from repro.rtdb.transactions import ReadTransaction
 from repro.bdisk.builder import ProgramDesign
 from repro.api.engine import BroadcastEngine
@@ -528,112 +529,136 @@ class BroadcastServer:
         now = self._kernel.now
         outgoing = self._epochs[-1]
         scenario = mutation.apply(outgoing.scenario)
-        design, cache_hit = self._cache.design_for(scenario)
-        fingerprint = scenario.design_fingerprint()
-        candidate, splice_slot, attempts = find_splice_slot(
-            self._schedule,
-            design.program,
-            not_before=now + 1,
-            requirements=self._requirements(outgoing, design),
-            fingerprint=fingerprint,
-            update_periods=(
-                dict(scenario.temporal.update_periods)
-                if scenario.temporal is not None
-                else None
-            ),
-            dispersal={
-                spec.name: spec.blocks for spec in scenario.files
-            },
-            label=mutation.describe(),
-            max_boundaries=self._max_boundaries,
+        mutation_span = obs.span(
+            "server.mutation", kind=type(mutation).__name__, at_slot=now
         )
+        mutation_span.__enter__()
+        try:
+            # Snapshot/diff brackets make the per-mutation cache
+            # accounting exact even though the SolveCache counters are
+            # lifetime-monotonic across epochs.
+            cache_before = self._cache.snapshot()
+            with obs.span("server.mutation.resolve"):
+                design, cache_hit = self._cache.design_for(scenario)
+            cache_delta = self._cache.diff(cache_before)
+            fingerprint = scenario.design_fingerprint()
+            with obs.span("server.mutation.splice_search"):
+                candidate, splice_slot, attempts = find_splice_slot(
+                    self._schedule,
+                    design.program,
+                    not_before=now + 1,
+                    requirements=self._requirements(outgoing, design),
+                    fingerprint=fingerprint,
+                    update_periods=(
+                        dict(scenario.temporal.update_periods)
+                        if scenario.temporal is not None
+                        else None
+                    ),
+                    dispersal={
+                        spec.name: spec.blocks for spec in scenario.files
+                    },
+                    label=mutation.describe(),
+                    max_boundaries=self._max_boundaries,
+                )
 
-        # Commit: timeline first, then the epoch tables sessions read.
-        self._schedule = candidate
-        epoch = _Epoch(
-            len(self._epochs), scenario, design, candidate.on_air,
-            cache_hit,
-        )
-        self._epochs.append(epoch)
+            commit_span = obs.span("server.mutation.splice_commit")
+            commit_span.__enter__()
+            # Commit: timeline first, then the epoch tables sessions read.
+            self._schedule = candidate
+            epoch = _Epoch(
+                len(self._epochs), scenario, design, candidate.on_air,
+                cache_hit,
+            )
+            self._epochs.append(epoch)
 
-        self._log.record(
-            "mutation",
-            now,
-            mutation=mutation.to_dict(),
-            scenario=scenario.name,
-            mode=_mode_of(scenario),
-            fingerprint=fingerprint,
-            cache_hit=cache_hit,
-            method=design.report.method,
-        )
-        self._log.record(
-            "splice",
-            splice_slot,
-            outgoing_fingerprint=outgoing.segment.fingerprint,
-            incoming_fingerprint=fingerprint,
-            phase_offset=candidate.on_air.phase_offset,
-            rejected_boundaries=[
-                {
-                    "slot": slot,
-                    "violations": [v.to_dict() for v in violations],
-                }
-                for slot, violations in attempts
-            ],
-            checked_files=sorted(
-                file
-                for file in outgoing.catalogue
-                if file in design.program.files
-            ),
-            window=planned_vs_aired(
-                candidate, splice_slot, self._window
-            ),
-        )
-        self._log.record(
-            "on-air",
-            splice_slot,
-            scenario=scenario.name,
-            mode=_mode_of(scenario),
-            fingerprint=fingerprint,
-            cache_hit=cache_hit,
-            method=design.report.method,
-            data_cycle=design.program.data_cycle_length,
-        )
+            self._log.record(
+                "mutation",
+                now,
+                mutation=mutation.to_dict(),
+                scenario=scenario.name,
+                mode=_mode_of(scenario),
+                fingerprint=fingerprint,
+                cache_hit=cache_hit,
+                cache_delta=cache_delta,
+                method=design.report.method,
+            )
+            self._log.record(
+                "splice",
+                splice_slot,
+                outgoing_fingerprint=outgoing.segment.fingerprint,
+                incoming_fingerprint=fingerprint,
+                phase_offset=candidate.on_air.phase_offset,
+                rejected_boundaries=[
+                    {
+                        "slot": slot,
+                        "violations": [v.to_dict() for v in violations],
+                    }
+                    for slot, violations in attempts
+                ],
+                checked_files=sorted(
+                    file
+                    for file in outgoing.catalogue
+                    if file in design.program.files
+                ),
+                window=planned_vs_aired(
+                    candidate, splice_slot, self._window
+                ),
+            )
+            self._log.record(
+                "on-air",
+                splice_slot,
+                scenario=scenario.name,
+                mode=_mode_of(scenario),
+                fingerprint=fingerprint,
+                cache_hit=cache_hit,
+                method=design.report.method,
+                data_cycle=design.program.data_cycle_length,
+            )
 
-        respliced = 0
-        violations: list[dict[str, Any]] = []
-        for session in list(self._inflight):
-            if session.pending_finish < splice_slot:
-                continue  # completes strictly before the boundary
-            moved = session.resplice(self._kernel)
-            respliced += 1
-            if moved.violated:
-                entry = {
-                    "splice_slot": splice_slot,
-                    "file": moved.file,
-                    "start": moved.start,
-                    "budget_slots": moved.budget_slots,
-                    "old_latency": moved.old_latency,
-                    "new_latency": moved.new_latency,
-                }
-                violations.append(entry)
-                self._violations.append(entry)
-                self._log.record("violation", splice_slot, **entry)
-        self._resplices += respliced
+            respliced = 0
+            violations: list[dict[str, Any]] = []
+            for session in list(self._inflight):
+                if session.pending_finish < splice_slot:
+                    continue  # completes strictly before the boundary
+                moved = session.resplice(self._kernel)
+                respliced += 1
+                if moved.violated:
+                    entry = {
+                        "splice_slot": splice_slot,
+                        "file": moved.file,
+                        "start": moved.start,
+                        "budget_slots": moved.budget_slots,
+                        "old_latency": moved.old_latency,
+                        "new_latency": moved.new_latency,
+                    }
+                    violations.append(entry)
+                    self._violations.append(entry)
+                    self._log.record("violation", splice_slot, **entry)
+            self._resplices += respliced
+            commit_span.__exit__(None, None, None)
 
-        record = {
-            "at_slot": now,
-            "mutation": mutation.to_dict(),
-            "splice_slot": splice_slot,
-            "phase_offset": candidate.on_air.phase_offset,
-            "fingerprint": fingerprint,
-            "cache_hit": cache_hit,
-            "method": design.report.method,
-            "rejected_boundaries": [slot for slot, _ in attempts],
-            "respliced": respliced,
-            "violations": violations,
-        }
-        self._mutations.append(record)
-        return record
+            obs.inc("server.mutations")
+            obs.inc("server.resplices", respliced)
+            obs.inc("server.splice_violations", len(violations))
+            obs.inc("server.rejected_boundaries", len(attempts))
+
+            record = {
+                "at_slot": now,
+                "mutation": mutation.to_dict(),
+                "splice_slot": splice_slot,
+                "phase_offset": candidate.on_air.phase_offset,
+                "fingerprint": fingerprint,
+                "cache_hit": cache_hit,
+                "cache_delta": cache_delta,
+                "method": design.report.method,
+                "rejected_boundaries": [slot for slot, _ in attempts],
+                "respliced": respliced,
+                "violations": violations,
+            }
+            self._mutations.append(record)
+            return record
+        finally:
+            mutation_span.__exit__(None, None, None)
 
     def schedule_mutation(self, at_slot: int, mutation: Mutation) -> int:
         """Apply ``mutation`` when the kernel reaches ``at_slot``.

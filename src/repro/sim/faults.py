@@ -22,6 +22,7 @@ import random
 from typing import Iterable, Protocol, Sequence
 
 from repro.errors import SimulationError, SpecificationError
+from repro.obs import telemetry as obs
 
 #: Per-model memo bound: decisions are cached per slot up to this many
 #: entries, after which further queries are computed without caching (the
@@ -45,6 +46,14 @@ def lost_in(model: FaultModel, slots: Sequence[int]) -> list[bool]:
     do) and falls back to per-slot ``is_lost`` calls otherwise, so any
     :class:`FaultModel` works with the batched simulators.
     """
+    tel = obs.current()
+    if tel is not None and not isinstance(model, NoFaults):
+        # Batch sizes depend on how callers group queries (per wave for
+        # the SoA engine, per occurrence walk for the object engine), so
+        # these are "shape" instruments; the *decisions* are per-slot
+        # deterministic regardless.
+        tel.inc("faults.draw_batches", stability="shape")
+        tel.inc("faults.slots_drawn", len(slots), stability="shape")
     batch = getattr(model, "lost_in", None)
     if batch is not None:
         return batch(slots)

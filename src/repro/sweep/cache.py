@@ -32,6 +32,7 @@ from repro.errors import SpecificationError
 from repro.api.engine import BroadcastEngine
 from repro.api.scenario import Scenario
 from repro.bdisk.builder import ProgramDesign
+from repro.obs import telemetry as obs
 
 
 class SolveCache:
@@ -62,8 +63,10 @@ class SolveCache:
 
     def get(self, fingerprint: str) -> ProgramDesign | None:
         """The cached design for ``fingerprint``, or ``None``."""
+        tier = "memory"
         design = self._memory.get(fingerprint)
         if design is None and self._directory is not None:
+            tier = "disk"
             try:
                 with open(self._path(fingerprint), "rb") as handle:
                     design = pickle.load(handle)
@@ -73,10 +76,15 @@ class SolveCache:
                 design = None
             else:
                 self._memory[fingerprint] = design
+        tel = obs.current()
         if design is None:
             self.misses += 1
+            if tel is not None:
+                tel.inc("solve_cache.misses", stability="shape")
         else:
             self.hits += 1
+            if tel is not None:
+                tel.inc("solve_cache.hits", stability="shape", tier=tier)
         return design
 
     def put(self, fingerprint: str, design: ProgramDesign) -> None:
@@ -108,6 +116,7 @@ class SolveCache:
             return design, True
         design = BroadcastEngine(scenario).design()
         self.solves += 1
+        obs.inc("solve_cache.solves")
         self.put(fingerprint, design)
         return design, False
 
@@ -126,6 +135,29 @@ class SolveCache:
             "solves": self.solves,
             "entries": len(self),
         }
+
+    def snapshot(self) -> dict[str, int]:
+        """The traffic counters alone, cheap enough to take per mutation.
+
+        Unlike :meth:`stats` this never touches the disk tier (no
+        ``entries`` glob), so the online server can bracket every
+        re-solve with a snapshot/diff pair.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "solves": self.solves,
+        }
+
+    def diff(self, before: dict[str, int]) -> dict[str, int]:
+        """Counter deltas since ``before`` (a :meth:`snapshot` result).
+
+        The lifetime counters are monotonic, so the delta is exact even
+        across :class:`~repro.server.server.BroadcastServer` epochs -
+        this is what makes per-mutation cache accounting reset-safe.
+        """
+        current = self.snapshot()
+        return {key: current[key] - before.get(key, 0) for key in current}
 
     def __len__(self) -> int:
         """Entries visible to this instance (memory tier plus disk)."""

@@ -38,6 +38,7 @@ from typing import Any, Mapping
 from repro.errors import SpecificationError
 from repro.api.engine import BroadcastEngine
 from repro.api.scenario import Scenario
+from repro.obs import telemetry as obs
 from repro.traffic.metrics import TrafficMetrics
 from repro.traffic.simulate import TrafficResult, shard_bounds
 from repro.sweep.aggregate import render_table, tidy_rows
@@ -68,12 +69,23 @@ def _design_for(
 
 
 def _warm_design(
-    payload: Mapping[str, Any], cache_dir: str | None, use_cache: bool
-) -> bool:
-    """Pool task: ensure one design is cached; True when it already was."""
+    payload: Mapping[str, Any],
+    cache_dir: str | None,
+    use_cache: bool,
+    telemetry: bool = False,
+) -> tuple[bool, dict[str, Any] | None]:
+    """Pool task: ensure one design is cached; hit=True when it already
+    was.  With ``telemetry`` the worker captures its own registry (solver
+    attempts, cache counters) and ships the payload back for the parent
+    to merge - the "existing pool plumbing" route for child telemetry."""
     scenario = Scenario.from_dict(payload)
-    _, hit = _design_for(scenario, cache_dir, use_cache)
-    return hit
+    if not telemetry:
+        _, hit = _design_for(scenario, cache_dir, use_cache)
+        return hit, None
+    with obs.capture() as tel:
+        with tel.span("sweep.warm_design"):
+            _, hit = _design_for(scenario, cache_dir, use_cache)
+    return hit, tel.to_dict()
 
 
 def _run_cell(
@@ -81,14 +93,33 @@ def _run_cell(
     cache_dir: str | None,
     use_cache: bool,
     include_traffic: bool,
-) -> tuple[bool, dict[str, Any], float]:
+    telemetry: bool = False,
+    key: str | None = None,
+    queued_at: float | None = None,
+) -> tuple[bool, dict[str, Any], float, dict[str, Any] | None]:
     """Pool task: run one cell's pipeline (optionally minus traffic)."""
     begin = time.perf_counter()
     scenario = Scenario.from_dict(payload)
-    design, hit = _design_for(scenario, cache_dir, use_cache)
-    engine = BroadcastEngine(scenario, design=design)
-    result = engine.run(include_traffic=include_traffic)
-    return hit, result.to_dict(), time.perf_counter() - begin
+    if not telemetry:
+        design, hit = _design_for(scenario, cache_dir, use_cache)
+        engine = BroadcastEngine(scenario, design=design)
+        result = engine.run(include_traffic=include_traffic)
+        return hit, result.to_dict(), time.perf_counter() - begin, None
+    with obs.capture() as tel:
+        with tel.span("sweep.cell", key=key):
+            if queued_at is not None:
+                # Queue wait is measured on the shared wall clock
+                # (time.time survives the process hop; perf_counter
+                # does not) and recorded as a pre-measured child span.
+                tel.record_span(
+                    "sweep.cell.queue", max(0.0, time.time() - queued_at)
+                )
+            with tel.span("sweep.cell.solve"):
+                design, hit = _design_for(scenario, cache_dir, use_cache)
+            engine = BroadcastEngine(scenario, design=design)
+            with tel.span("sweep.cell.simulate"):
+                result = engine.run(include_traffic=include_traffic)
+    return hit, result.to_dict(), time.perf_counter() - begin, tel.to_dict()
 
 
 def _run_traffic_shard(
@@ -97,11 +128,20 @@ def _run_traffic_shard(
     use_cache: bool,
     lo: int,
     hi: int,
-) -> TrafficMetrics:
+    telemetry: bool = False,
+) -> tuple[TrafficMetrics, dict[str, Any] | None]:
     """Pool task: one traffic shard of one cell."""
     scenario = Scenario.from_dict(payload)
-    design, _ = _design_for(scenario, cache_dir, use_cache)
-    return BroadcastEngine(scenario, design=design).run_traffic_shard(lo, hi)
+    if not telemetry:
+        design, _ = _design_for(scenario, cache_dir, use_cache)
+        shard = BroadcastEngine(scenario, design=design)
+        return shard.run_traffic_shard(lo, hi), None
+    with obs.capture() as tel:
+        with tel.span("sweep.traffic_shard", lo=lo, hi=hi):
+            design, _ = _design_for(scenario, cache_dir, use_cache)
+            shard = BroadcastEngine(scenario, design=design)
+            metrics = shard.run_traffic_shard(lo, hi)
+    return metrics, tel.to_dict()
 
 
 @dataclass(frozen=True)
@@ -309,31 +349,39 @@ def run_sweep(
         cache_dir = temp_cache
     cache_dir_str = None if cache_dir is None else str(cache_dir)
 
+    tel = obs.current()
+    busy_seconds = 0.0
     solves = 0
     try:
         if workers == 1:
             cache = SolveCache(cache_dir_str) if use_cache else None
             for cell in pending:
                 cell_begin = time.perf_counter()
-                if cache is None:
-                    design, hit = (
-                        BroadcastEngine(cell.scenario).design(), False,
+                with obs.span("sweep.cell", key=cell.key):
+                    with obs.span("sweep.cell.solve"):
+                        if cache is None:
+                            design, hit = (
+                                BroadcastEngine(cell.scenario).design(),
+                                False,
+                            )
+                            solves += 1
+                        else:
+                            design, hit = cache.design_for(cell.scenario)
+                    engine = BroadcastEngine(cell.scenario, design=design)
+                    with obs.span("sweep.cell.simulate"):
+                        result = engine.run()
+                    row = _row(
+                        cell,
+                        fingerprints[cell.key],
+                        hit,
+                        time.perf_counter() - cell_begin,
+                        result.to_dict(),
                     )
-                    solves += 1
-                else:
-                    design, hit = cache.design_for(cell.scenario)
-                engine = BroadcastEngine(cell.scenario, design=design)
-                result = engine.run()
-                row = _row(
-                    cell,
-                    fingerprints[cell.key],
-                    hit,
-                    time.perf_counter() - cell_begin,
-                    result.to_dict(),
-                )
-                if store is not None:
-                    store.append(row)
+                    if store is not None:
+                        with obs.span("sweep.cell.store"):
+                            store.append(row)
                 rows_by_key[cell.key] = row
+                busy_seconds += time.perf_counter() - cell_begin
             if cache is not None:
                 solves = cache.solves
         elif pending:
@@ -351,13 +399,17 @@ def run_sweep(
                         )
                     warm = [
                         pool.submit(
-                            _warm_design, payload, cache_dir_str, True
+                            _warm_design, payload, cache_dir_str, True,
+                            tel is not None,
                         )
                         for payload in distinct.values()
                     ]
-                    solves = sum(
-                        1 for future in warm if not future.result()
-                    )
+                    for future in warm:
+                        warm_hit, warm_tel = future.result()
+                        if not warm_hit:
+                            solves += 1
+                        if tel is not None and warm_tel is not None:
+                            tel.merge_dict(warm_tel)
                 # Wave 1: cell pipelines plus traffic shards, all on the
                 # same pool, futures collected in submission order.
                 submitted = []
@@ -372,6 +424,9 @@ def run_sweep(
                         cache_dir_str,
                         use_cache,
                         shards == 1,
+                        tel is not None,
+                        cell.key,
+                        time.time() if tel is not None else None,
                     )
                     shard_futures = []
                     if shards > 1:
@@ -386,6 +441,7 @@ def run_sweep(
                                 use_cache,
                                 lo,
                                 hi,
+                                tel is not None,
                             )
                             for lo, hi in bounds
                         ]
@@ -409,12 +465,18 @@ def run_sweep(
                 for (
                     cell, base, shard_futures, submit_time, finish
                 ) in submitted:
-                    hit, result, cell_elapsed = base.result()
+                    hit, result, cell_elapsed, cell_tel = base.result()
+                    if tel is not None and cell_tel is not None:
+                        tel.merge_dict(cell_tel)
+                    busy_seconds += cell_elapsed
                     if shard_futures:
                         traffic_spec = cell.scenario.traffic
-                        parts = [
-                            future.result() for future in shard_futures
-                        ]
+                        parts = []
+                        for future in shard_futures:
+                            metrics, shard_tel = future.result()
+                            parts.append(metrics)
+                            if tel is not None and shard_tel is not None:
+                                tel.merge_dict(shard_tel)
                         merged = TrafficMetrics.merged(
                             parts, seed=traffic_spec.seed
                         )
@@ -442,11 +504,24 @@ def run_sweep(
                         result,
                     )
                     if store is not None:
-                        store.append(row)
+                        with obs.span("sweep.cell.store", key=cell.key):
+                            store.append(row)
                     rows_by_key[cell.key] = row
     finally:
         if temp_cache is not None:
             shutil.rmtree(temp_cache, ignore_errors=True)
+
+    elapsed = time.perf_counter() - begin
+    if tel is not None:
+        tel.inc("sweep.cells.executed", len(pending))
+        tel.inc("sweep.cells.resumed", resumed)
+        tel.gauge("sweep.workers", workers)
+        if elapsed > 0:
+            tel.gauge("sweep.rows_per_sec", len(pending) / elapsed)
+            tel.gauge(
+                "sweep.worker_utilization",
+                min(1.0, busy_seconds / (workers * elapsed)),
+            )
 
     return SweepResult(
         spec=spec,
@@ -460,7 +535,7 @@ def run_sweep(
         solves=solves,
         cache_hits=max(0, len(pending) - solves),
         workers=workers,
-        elapsed=time.perf_counter() - begin,
+        elapsed=elapsed,
         store_path=None if store is None else str(store.path),
         cache_dir=None if temp_cache is not None else cache_dir_str,
     )

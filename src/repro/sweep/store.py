@@ -17,10 +17,12 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Any
 
 from repro.errors import SimulationError
+from repro.obs import telemetry as obs
 
 
 class RunStore:
@@ -71,7 +73,9 @@ class RunStore:
         not ``\\n`` ends in a killed append; leaving it would strand
         malformed JSON *mid*-file once a new row lands after it.  The
         check is one seek per append; the rewrite happens only in the
-        recovery case.
+        recovery case.  Discarding data - even a torn row the sweep will
+        legitimately redo - is never silent: it warns with the byte
+        offset and counts in telemetry.
         """
         try:
             with open(self._path, "rb+") as handle:
@@ -85,8 +89,23 @@ class RunStore:
                 handle.seek(0)
                 keep = handle.read().rfind(b"\n") + 1
                 handle.truncate(keep)
+                self._report_torn(keep, size, healed=True)
         except FileNotFoundError:
             pass
+
+    def _report_torn(self, offset: int, size: int, *, healed: bool) -> None:
+        action = "truncated" if healed else "ignored"
+        warnings.warn(
+            f"{self._path}: torn final run-store line {action} "
+            f"(bytes {offset}..{size} of {size}); the interrupted cell "
+            f"will be re-run",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        obs.inc(
+            "sweep.store.torn_lines",
+            healed=str(healed).lower(),
+        )
 
     def append(self, row: dict[str, Any]) -> None:
         """Append one row and force it to disk.
@@ -124,6 +143,8 @@ class RunStore:
         lines = text.splitlines()
         if lines and not text.endswith("\n"):
             lines = lines[:-1]
+            data = text.encode("utf-8")
+            self._report_torn(data.rfind(b"\n") + 1, len(data), healed=False)
         for number, line in enumerate(lines, start=1):
             if not line.strip():
                 continue

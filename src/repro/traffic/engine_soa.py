@@ -44,6 +44,7 @@ from typing import Any, Callable, Mapping, Sequence
 import numpy as np
 
 from repro.bdisk.program import BroadcastProgram
+from repro.obs import telemetry as obs
 from repro.rtdb.spec import TemporalSpec
 from repro.sim.faults import FaultModel, NoFaults, lost_in
 from repro.traffic.arrivals import popularity_cdf, popularity_weights
@@ -461,6 +462,23 @@ def simulate_shard_soa(
     resolver = (
         None if fault_free else _FaultResolver(tables, fault_model)
     )
+    # Counter cells resolved once per shard; the per-WAVE (never
+    # per-request) telemetry cost is a None check when disabled, so the
+    # vectorized hot path keeps its bench floor.  Wave composition
+    # depends on the shard layout, hence "shape" stability.
+    tel = obs.current()
+    c_waves = c_lut = c_walker = h_cohort = None
+    if tel is not None:
+        c_waves = tel.counter("soa.waves", stability="shape")
+        h_cohort = tel.histogram("soa.cohort_size", stability="shape")
+        c_lut = tel.counter(
+            "traffic.retrievals", stability="shape",
+            oracle="soa", kind="lut",
+        )
+        c_walker = tel.counter(
+            "traffic.retrievals", stability="shape",
+            oracle="soa", kind="walker",
+        )
     cdf = popularity_cdf(
         spec.popularity,
         len(catalogue),
@@ -495,7 +513,11 @@ def simulate_shard_soa(
         file_ids: np.ndarray, starts: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
         if resolver is None:
+            if c_lut is not None:
+                c_lut.add(len(file_ids))
             return tables.lookup(file_ids, starts)
+        if c_walker is not None:
+            c_walker.add(len(file_ids))
         return resolver.resolve(file_ids, starts)
 
     requests = spec.requests_per_client
@@ -523,6 +545,9 @@ def simulate_shard_soa(
                 n, spec.cache_capacity, lru, victim_rank, len(catalogue)
             )
         for members in cohort_waves(next_slot, left, window):
+            if c_waves is not None:
+                c_waves.add()
+                h_cohort.observe(len(members))
             now = next_slot[members]
             position = (requests - left[members]) * stride
             file_ids = file_draw(
@@ -555,6 +580,10 @@ def simulate_shard_soa(
     metrics = accumulator.finalize(
         spec, catalogue, cache_hits, cache_misses, cache_evictions
     )
+    if tel is not None:
+        from repro.traffic.simulate import _record_shard_metrics
+
+        _record_shard_metrics(metrics, "soa")
     records: list[RequestRecord] = []
     if trace_waves is not None:
         for clients, file_ids, issued, latency, hit in trace_waves:
@@ -678,6 +707,10 @@ def _simulate_temporal_shard(
                     int(thinks[row]) if thinks is not None else 0
                 )
             left[members] -= 1
+    if obs.current() is not None:
+        from repro.traffic.simulate import _record_shard_metrics
+
+        _record_shard_metrics(metrics, "soa")
     return metrics, records if records is not None else []
 
 
@@ -691,20 +724,33 @@ def _shard_task_shm(
     lo: int,
     hi: int,
     trace: bool,
-) -> tuple[TrafficMetrics, list[RequestRecord]]:
+    *,
+    telemetry: bool = False,
+) -> tuple[TrafficMetrics, list[RequestRecord], dict[str, Any] | None]:
     """Pool-worker entry: attach the parent's shared-memory tables.
 
     The worker maps the parent's segment, runs its shard against
     zero-copy views, and unmaps - no program pickle crosses the pool
-    and no worker ever reconstructs a ``ProgramIndex``.
+    and no worker ever reconstructs a ``ProgramIndex``.  With
+    ``telemetry`` the worker captures its own registry and ships the
+    payload back as the third element (``None`` otherwise).
     """
     from repro.traffic.shm_index import attach_tables
 
     tables, shared = attach_tables(meta)
     try:
-        return simulate_shard_soa(
-            None, catalogue, spec, file_sizes, deadlines, faults, None,
-            lo, hi, trace, tables=tables,
-        )
+        if not telemetry:
+            metrics, records = simulate_shard_soa(
+                None, catalogue, spec, file_sizes, deadlines, faults,
+                None, lo, hi, trace, tables=tables,
+            )
+            return metrics, records, None
+        with obs.capture() as tel:
+            with tel.span("traffic.shard", engine="soa", lo=lo, hi=hi):
+                metrics, records = simulate_shard_soa(
+                    None, catalogue, spec, file_sizes, deadlines, faults,
+                    None, lo, hi, trace, tables=tables,
+                )
+        return metrics, records, tel.to_dict()
     finally:
         shared.close()

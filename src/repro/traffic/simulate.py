@@ -31,6 +31,7 @@ from math import lcm
 
 from repro.errors import SimulationError, SpecificationError
 from repro.bdisk.program import BroadcastProgram
+from repro.obs import telemetry as obs
 from repro.rtdb.spec import TemporalSpec
 from repro.rtdb.transactions import ReadTransaction
 from repro.rtdb.updates import (
@@ -82,6 +83,33 @@ def _check_engine(engine: str) -> None:
             ) from error
 
 
+def _record_shard_metrics(metrics: TrafficMetrics, engine: str) -> None:
+    """Feed one finished shard accumulator into the active telemetry.
+
+    Called exactly once per shard, *shard-side* (inside the worker's
+    capture for pooled runs, under the caller's registry serially), so
+    parent-side merges never double count.  Everything here derives from
+    the exact :class:`TrafficMetrics` accumulator, which is invariant
+    under shard layout - these are the ``exact``-stability instruments
+    the serial==sharded property tests compare.
+    """
+    tel = obs.current()
+    if tel is None:
+        return
+    tel.inc("traffic.requests", metrics.requests, engine=engine)
+    tel.inc("traffic.completions", metrics.completions, engine=engine)
+    tel.inc("traffic.aborts", metrics.aborts, engine=engine)
+    tel.inc(
+        "traffic.deadline_misses", metrics.deadline_misses, engine=engine
+    )
+    if metrics.exact:
+        hist = tel.histogram(
+            "traffic.latency_slots", unit="slots", engine=engine
+        )
+        for value, count in sorted(metrics.counts.items()):
+            hist.observe(value, count)
+
+
 class _Retriever:
     """The occurrence-walking retrieval oracle sessions call.
 
@@ -100,7 +128,7 @@ class _Retriever:
     """
 
     __slots__ = ("_program", "_sizes", "_faults", "_max_slots", "_memo",
-                 "_cycle")
+                 "_cycle", "_c_memo", "_c_walk")
 
     def __init__(
         self,
@@ -117,6 +145,21 @@ class _Retriever:
         self._memo: dict[tuple[str, int], int | None] | None = (
             {} if isinstance(faults, NoFaults) else None
         )
+        # Counter cells are resolved once here so the per-request cost
+        # with telemetry on is one integer add - and one attribute check
+        # when it is off.  Memo-vs-walk splits are per-shard state, hence
+        # "shape" stability (deterministic, but layout-dependent).
+        tel = obs.current()
+        self._c_memo = self._c_walk = None
+        if tel is not None:
+            self._c_memo = tel.counter(
+                "traffic.retrievals", stability="shape",
+                oracle="plain", kind="memo",
+            )
+            self._c_walk = tel.counter(
+                "traffic.retrievals", stability="shape",
+                oracle="plain", kind="walk",
+            )
 
     def horizon(self, file: str) -> int:
         """Slots a retrieval of ``file`` listens before giving up."""
@@ -137,6 +180,8 @@ class _Retriever:
                 max_slots=self._max_slots,
             )
             latency = result.latency
+            if self._c_walk is not None:
+                self._c_walk.add()
         else:
             key = (file, start % self._cycle)
             try:
@@ -150,6 +195,11 @@ class _Retriever:
                     need_distinct=True,
                     max_slots=self._max_slots,
                 ).latency
+                if self._c_walk is not None:
+                    self._c_walk.add()
+            else:
+                if self._c_memo is not None:
+                    self._c_memo.add()
         if latency is None:
             return None, start + self.horizon(file) - 1
         return latency, start + latency - 1
@@ -181,7 +231,7 @@ class _VersionedRetriever:
 
     __slots__ = (
         "_program", "_sizes", "_server", "_faults", "_max_slots",
-        "_memo", "_joint",
+        "_memo", "_joint", "_c_memo", "_c_walk",
     )
 
     def __init__(
@@ -204,6 +254,17 @@ class _VersionedRetriever:
         self._memo: dict[tuple[str, int], tuple] | None = (
             {} if isinstance(faults, NoFaults) else None
         )
+        tel = obs.current()
+        self._c_memo = self._c_walk = None
+        if tel is not None:
+            self._c_memo = tel.counter(
+                "traffic.retrievals", stability="shape",
+                oracle="versioned", kind="memo",
+            )
+            self._c_walk = tel.counter(
+                "traffic.retrievals", stability="shape",
+                oracle="versioned", kind="walk",
+            )
 
     def horizon(self, file: str) -> int:
         """Slots a retrieval of ``file`` listens before giving up."""
@@ -239,6 +300,8 @@ class _VersionedRetriever:
         joint = self._joint[file]
         if memo is None or joint > _VERSION_MEMO_CAP:
             latency, age, torn = self._real(file, start)
+            if self._c_walk is not None:
+                self._c_walk.add()
         else:
             # Fault-free: latency, age, and torn discards are invariant
             # under shifting the start by the joint period (a multiple
@@ -248,6 +311,11 @@ class _VersionedRetriever:
                 latency, age, torn = memo[key]
             except KeyError:
                 latency, age, torn = memo[key] = self._real(file, key[1])
+                if self._c_walk is not None:
+                    self._c_walk.add()
+            else:
+                if self._c_memo is not None:
+                    self._c_memo.add()
         if latency is None:
             return None, start + self.horizon(file) - 1, age, torn
         return latency, start + latency - 1, age, torn
@@ -405,6 +473,48 @@ def simulate_traffic_shard(
     return metrics
 
 
+def _pool_shard_task(
+    engine: str,
+    program: BroadcastProgram,
+    catalogue: tuple[str, ...],
+    spec: TrafficSpec,
+    sizes: dict[str, int],
+    limits: dict[str, int],
+    faults: Any,
+    temporal: TemporalSpec | None,
+    lo: int,
+    hi: int,
+    trace: bool,
+    telemetry: bool,
+) -> tuple[TrafficMetrics, list[RequestRecord], dict[str, Any] | None]:
+    """Pool task: one shard, optionally capturing worker telemetry.
+
+    The third element is the worker's telemetry payload for the parent
+    to merge (``None`` when telemetry is off) - the shard itself records
+    into the capture via :func:`_record_shard_metrics` and the engine's
+    own instruments.
+    """
+    if engine == "soa":
+        from repro.traffic.engine_soa import simulate_shard_soa
+
+        runner = simulate_shard_soa
+    else:
+        runner = _simulate_shard
+    if not telemetry:
+        metrics, records = runner(
+            program, catalogue, spec, sizes, limits, faults, temporal,
+            lo, hi, trace,
+        )
+        return metrics, records, None
+    with obs.capture() as tel:
+        with tel.span("traffic.shard", engine=engine, lo=lo, hi=hi):
+            metrics, records = runner(
+                program, catalogue, spec, sizes, limits, faults,
+                temporal, lo, hi, trace,
+            )
+    return metrics, records, tel.to_dict()
+
+
 def _build_fault_model(faults: Any) -> FaultModel:
     """A fresh fault-model instance from a spec, a model, or ``None``."""
     if faults is None:
@@ -496,6 +606,7 @@ def _simulate_shard(
                 ),
             )
         kernel.run()
+        _record_shard_metrics(metrics, "object")
         return metrics, records if records is not None else []
 
     retriever = _Retriever(program, file_sizes, fault_model, spec.max_slots)
@@ -547,6 +658,7 @@ def _simulate_shard(
             cum_weights=cum_weights,
         ).begin(kernel, arrival)
     kernel.run()
+    _record_shard_metrics(metrics, "object")
     return metrics, records if records is not None else []
 
 
@@ -812,6 +924,7 @@ def simulate_traffic(
     workers = 1
     if max_workers is not None:
         workers = min(max_workers, spec.clients)
+    tel = obs.current()
     begin = time.perf_counter()
     if workers == 1:
         if engine == "soa":
@@ -855,39 +968,53 @@ def simulate_traffic(
                             _shard_task_shm,
                             shared.meta, catalogue, spec, sizes, limits,
                             faults, lo, hi, trace,
+                            telemetry=tel is not None,
                         )
                         for lo, hi in bounds
                     ]
-                    parts = [future.result() for future in futures]
+                    pooled = [future.result() for future in futures]
             finally:
                 shared.unlink()
         else:
-            if engine == "soa":
-                # Temporal populations retrieve through the versioned
-                # scalar oracle, which needs the program itself; the
-                # program pickles without its index (workers rebuild
-                # lazily), so only the schedule crosses the pool.
-                from repro.traffic.engine_soa import simulate_shard_soa
-
-                shard_runner = simulate_shard_soa
-            else:
-                shard_runner = _simulate_shard
+            # Temporal SoA populations retrieve through the versioned
+            # scalar oracle, which needs the program itself; the
+            # program pickles without its index (workers rebuild
+            # lazily), so only the schedule crosses the pool.
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [
                     pool.submit(
-                        shard_runner,
-                        program, catalogue, spec, sizes, limits, faults,
-                        temporal, lo, hi, trace,
+                        _pool_shard_task,
+                        engine, program, catalogue, spec, sizes, limits,
+                        faults, temporal, lo, hi, trace,
+                        tel is not None,
                     )
                     for lo, hi in bounds
                 ]
                 # Collected in submission order: shard position is
                 # bound at submit time, so merge order is deterministic.
-                parts = [future.result() for future in futures]
+                pooled = [future.result() for future in futures]
+        # Worker telemetry rides back on the shard results and merges
+        # exactly, in the same deterministic submission order.
+        parts = []
+        for part_metrics, part_records, part_tel in pooled:
+            if tel is not None and part_tel is not None:
+                tel.merge_dict(part_tel)
+            parts.append((part_metrics, part_records))
     metrics = TrafficMetrics.merged(
         [part_metrics for part_metrics, _ in parts], seed=spec.seed
     )
     elapsed = time.perf_counter() - begin
+    if tel is not None:
+        tel.record_span(
+            "traffic.simulate", elapsed,
+            engine=engine, clients=spec.clients, workers=workers,
+        )
+        if elapsed > 0:
+            tel.gauge(
+                "traffic.requests_per_sec",
+                metrics.requests / elapsed,
+                engine=engine,
+            )
     records: tuple[RequestRecord, ...] = ()
     if trace:
         records = tuple(

@@ -1,0 +1,142 @@
+"""Exporters: directory layout, JSON/JSONL round trips, the Prometheus
+textfile dialect, and the summarize renderer."""
+
+import json
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.obs.export import (
+    METRICS_PROM,
+    TELEMETRY_JSON,
+    TRACE_JSONL,
+    embed,
+    export_directory,
+    load_directory,
+    prometheus_text,
+)
+from repro.obs.summarize import aggregate_span_tree, render_summary
+from repro.obs.telemetry import Telemetry
+
+
+def sample_registry() -> Telemetry:
+    tel = Telemetry()
+    tel.inc("solve.attempts", 3, scheduler="simple")
+    tel.gauge("sweep.workers", 2.0)
+    tel.observe("latency", 1.0, bounds=(1.0, 4.0), unit="slots")
+    tel.observe("latency", 3.0, bounds=(1.0, 4.0), unit="slots")
+    tel.observe("latency", 9.0, bounds=(1.0, 4.0), unit="slots")
+    with tel.span("cell", key="k"):
+        with tel.span("solve"):
+            pass
+    return tel
+
+
+class TestDirectoryRoundTrip:
+    def test_export_writes_all_three_files(self, tmp_path):
+        out = export_directory(sample_registry(), tmp_path / "tel")
+        assert (tmp_path / "tel" / TELEMETRY_JSON).is_file()
+        assert (tmp_path / "tel" / TRACE_JSONL).is_file()
+        assert (tmp_path / "tel" / METRICS_PROM).is_file()
+        assert set(out) == {"json", "trace", "prometheus"}
+
+    def test_load_directory_round_trips_metrics_and_spans(self, tmp_path):
+        tel = sample_registry()
+        export_directory(tel, tmp_path / "tel")
+        loaded = load_directory(tmp_path / "tel")
+        assert loaded.value("solve.attempts", scheduler="simple") == 3
+        assert loaded.get_histogram("latency").count == 3
+        assert sorted(s.name for s in loaded.spans) == ["cell", "solve"]
+        # Parent/child linkage survives the JSONL hop.
+        by_name = {s.name: s for s in loaded.spans}
+        assert by_name["solve"].parent == by_name["cell"].id
+
+    def test_load_accepts_bare_json_file(self, tmp_path):
+        tel = sample_registry()
+        export_directory(tel, tmp_path / "tel")
+        loaded = load_directory(tmp_path / "tel" / TELEMETRY_JSON)
+        assert loaded.value("solve.attempts", scheduler="simple") == 3
+
+    def test_load_missing_directory_raises(self, tmp_path):
+        with pytest.raises(SpecificationError):
+            load_directory(tmp_path / "nope")
+
+    def test_trace_jsonl_is_one_span_per_line(self, tmp_path):
+        export_directory(sample_registry(), tmp_path / "tel")
+        lines = (
+            (tmp_path / "tel" / TRACE_JSONL)
+            .read_text(encoding="utf-8")
+            .splitlines()
+        )
+        assert len(lines) == 2
+        assert all(json.loads(line)["name"] for line in lines)
+
+
+class TestEmbed:
+    def test_embed_attaches_metrics_without_spans(self):
+        record = {"scenario": "x"}
+        embed(sample_registry(), record)
+        assert record["telemetry"]["version"] == 1
+        assert "spans" not in record["telemetry"]
+        names = {m["name"] for m in record["telemetry"]["metrics"]}
+        assert "solve.attempts" in names
+
+
+class TestPrometheus:
+    def test_counter_gets_total_suffix_and_type(self):
+        text = prometheus_text(sample_registry())
+        assert "# TYPE repro_solve_attempts_total counter" in text
+        assert (
+            'repro_solve_attempts_total{scheduler="simple"} 3' in text
+        )
+
+    def test_gauge_line(self):
+        text = prometheus_text(sample_registry())
+        assert "# TYPE repro_sweep_workers gauge" in text
+        assert "repro_sweep_workers 2.0" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = prometheus_text(sample_registry())
+        assert 'repro_latency_bucket{le="1.0"} 1' in text
+        assert 'repro_latency_bucket{le="4.0"} 2' in text
+        assert 'repro_latency_bucket{le="+Inf"} 3' in text
+        assert "repro_latency_sum 13.0" in text
+        assert "repro_latency_count 3" in text
+
+    def test_label_values_are_escaped(self):
+        tel = Telemetry()
+        tel.inc("odd", key='a"b\\c')
+        text = prometheus_text(tel)
+        assert 'key="a\\"b\\\\c"' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(Telemetry()) == ""
+
+
+class TestSummarize:
+    def test_render_summary_sections(self, tmp_path):
+        export_directory(sample_registry(), tmp_path / "tel")
+        text = render_summary(tmp_path / "tel")
+        assert "counters:" in text
+        assert "solve.attempts{scheduler=simple}" in text
+        assert "gauges:" in text
+        assert "histograms:" in text
+        assert "spans: 2 recorded" in text
+        # The solve row is indented one level under its cell parent.
+        cell_line = next(l for l in text.splitlines() if "cell" in l)
+        solve_line = next(l for l in text.splitlines() if "solve " in l)
+        cell_indent = len(cell_line) - len(cell_line.lstrip())
+        solve_indent = len(solve_line) - len(solve_line.lstrip())
+        assert solve_indent > cell_indent
+
+    def test_aggregate_span_tree_counts(self):
+        tel = Telemetry()
+        for _ in range(3):
+            with tel.span("cell"):
+                with tel.span("solve"):
+                    pass
+        root = aggregate_span_tree(tel)
+        (cell,) = root.children.values()
+        assert cell.count == 3
+        (solve,) = cell.children.values()
+        assert solve.count == 3

@@ -1,0 +1,206 @@
+"""The two headline telemetry invariants, as property tests.
+
+1. **Telemetry is invisible.**  Running any pipeline with telemetry
+   active produces bit-identical results to running without it - the
+   instruments observe, they never touch an RNG or reorder events.
+2. **Sharding is invisible to exact telemetry.**  The "exact"-stability
+   subset of a serial run's registry equals the merged registries of a
+   sharded (``workers=2``) run, bit for bit - the same merge contract
+   :meth:`TrafficMetrics.merged` pins for the simulation results
+   themselves.
+
+Wall-clock fields (spans, gauges, ``requests_per_sec``, ``elapsed``)
+are excluded by construction: the exact subset contains none of them.
+"""
+
+import json
+
+import pytest
+
+from repro.api import Scenario
+from repro.bdisk.multidisk import build_multidisk_program, config_from_demand
+from repro.obs import telemetry as obs
+from repro.sim.faults import BernoulliFaults
+from repro.sweep import SweepAxis, SweepSpec, run_sweep
+from repro.traffic import TrafficSpec, simulate_traffic
+
+
+def multidisk_world():
+    files = [("hot", 2), ("warm", 3), ("cold", 4)]
+    program = build_multidisk_program(
+        config_from_demand(
+            files, {"hot": 6.0, "warm": 2.0, "cold": 1.0}, levels=(4, 2, 1)
+        )
+    )
+    return program, [name for name, _ in files], dict(files)
+
+
+def traffic_kwargs():
+    program, catalogue, sizes = multidisk_world()
+    spec = TrafficSpec(
+        clients=24, duration=200, requests_per_client=2,
+        think_time=3, seed=29,
+    )
+    return dict(
+        program=program,
+        catalogue=catalogue,
+        spec=spec,
+        file_sizes=sizes,
+        deadlines={name: 10_000 for name in catalogue},
+        faults=BernoulliFaults(0.05, seed=3),
+    )
+
+
+def sweep_spec() -> SweepSpec:
+    base = Scenario.from_dict({
+        "name": "parity-base",
+        "files": [
+            {"name": "pos", "blocks": 2, "latency": 2, "fault_budget": 1},
+            {"name": "map", "blocks": 3, "latency": 6},
+        ],
+        "workload": {"requests": 8, "horizon": 50, "seed": 3},
+        "traffic": {
+            "clients": 10, "duration": 100,
+            "requests_per_client": 2, "seed": 17,
+        },
+    })
+    return SweepSpec(
+        name="parity-grid",
+        base=base,
+        axes=(
+            SweepAxis("faults.kind", ("bernoulli",)),
+            SweepAxis("faults.probability", (0.0, 0.1)),
+        ),
+    )
+
+
+def engines():
+    yield "object"
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return
+    yield "soa"
+
+
+class TestTelemetryIsInvisible:
+    @pytest.mark.parametrize("engine", engines())
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_traffic_results_bit_identical(self, engine, workers):
+        kwargs = traffic_kwargs()
+        plain = simulate_traffic(
+            engine=engine, max_workers=workers, **kwargs
+        )
+        with obs.capture():
+            observed = simulate_traffic(
+                engine=engine, max_workers=workers, **kwargs
+            )
+        assert observed.to_dict().keys() == plain.to_dict().keys()
+        a, b = observed.to_dict(), plain.to_dict()
+        a.pop("requests_per_sec"), b.pop("requests_per_sec")
+        assert a == b
+
+    def test_server_run_bit_identical(self):
+        from repro.bdisk.file import FileSpec
+        from repro.ida.aida import RedundancyPolicy
+        from repro.server.script import MutationScript, run_script
+
+        def run():
+            policy = RedundancyPolicy({
+                "surveillance": {"pos": 0, "map": 0},
+                "combat": {"pos": 1, "map": 0},
+            })
+            scenario = Scenario(
+                name="awacs-live",
+                files=(FileSpec("pos", 2, 5), FileSpec("map", 2, 8)),
+                redundancy=policy,
+                mode="surveillance",
+                traffic=TrafficSpec(
+                    clients=8, requests_per_client=6, duration=400,
+                    think_time=2, seed=7,
+                ),
+            )
+            script = MutationScript.from_payload([
+                {
+                    "at_slot": 50,
+                    "mutation": {"kind": "mode_change", "mode": "combat"},
+                },
+            ])
+            return run_script(scenario, script).to_dict()
+
+        plain = run()
+        with obs.capture():
+            observed = run()
+        # cache_delta is part of the record and deterministic too, so
+        # the comparison needs no field exclusions at all.
+        assert json.loads(json.dumps(observed)) == json.loads(
+            json.dumps(plain)
+        )
+
+    def test_sweep_rows_bit_identical(self, tmp_path):
+        def rows(tag, telemetry):
+            if telemetry:
+                with obs.capture():
+                    result = run_sweep(
+                        sweep_spec(),
+                        store_path=tmp_path / f"{tag}.jsonl",
+                        cache_dir=tmp_path / f"{tag}-cache",
+                    )
+            else:
+                result = run_sweep(
+                    sweep_spec(),
+                    store_path=tmp_path / f"{tag}.jsonl",
+                    cache_dir=tmp_path / f"{tag}-cache",
+                )
+            out = []
+            for row in result.rows:
+                row = json.loads(json.dumps(row))
+                row.pop("elapsed", None)
+                traffic = row.get("result", {}).get("traffic")
+                if traffic:
+                    traffic.pop("requests_per_sec", None)
+                out.append(row)
+            return out
+
+        assert rows("plain", False) == rows("telemetry", True)
+
+
+class TestShardingIsInvisibleToExactTelemetry:
+    @pytest.mark.parametrize("engine", engines())
+    def test_traffic_serial_equals_merged_shards(self, engine):
+        kwargs = traffic_kwargs()
+        with obs.capture() as serial:
+            simulate_traffic(engine=engine, max_workers=1, **kwargs)
+        with obs.capture() as sharded:
+            simulate_traffic(engine=engine, max_workers=2, **kwargs)
+        assert (
+            serial.deterministic_dict() == sharded.deterministic_dict()
+        )
+        # Sanity: the exact subset is non-trivial.
+        names = {
+            m["name"] for m in serial.deterministic_dict()["metrics"]
+        }
+        assert "traffic.requests" in names
+        assert "traffic.latency_slots" in names
+
+    def test_sweep_serial_equals_merged_shards(self, tmp_path):
+        def capture(tag, workers):
+            with obs.capture() as tel:
+                run_sweep(
+                    sweep_spec(),
+                    max_workers=workers,
+                    store_path=tmp_path / f"{tag}.jsonl",
+                    cache_dir=tmp_path / f"{tag}-cache",
+                )
+            return tel
+
+        serial = capture("serial", None)
+        sharded = capture("sharded", 2)
+        assert (
+            serial.deterministic_dict() == sharded.deterministic_dict()
+        )
+        names = {
+            m["name"] for m in serial.deterministic_dict()["metrics"]
+        }
+        assert "sweep.cells.executed" in names
+        assert "solve_cache.solves" in names

@@ -1,0 +1,78 @@
+"""Trace spans: nesting, the bounded ring, and pre-measured records."""
+
+from repro.obs.spans import Span, SpanRing
+from repro.obs.telemetry import Telemetry
+
+
+class TestNesting:
+    def test_child_records_parent_id(self):
+        tel = Telemetry()
+        with tel.span("outer") as outer:
+            with tel.span("inner") as inner:
+                assert inner.parent == outer.id
+        spans = list(tel.spans)
+        # Children close (and land in the ring) before their parents.
+        assert [s.name for s in spans] == ["inner", "outer"]
+        assert spans[1].parent is None
+
+    def test_durations_are_monotonic_nonnegative(self):
+        tel = Telemetry()
+        with tel.span("work"):
+            sum(range(1000))
+        (span,) = tel.spans
+        assert span.wall >= 0.0
+        assert span.cpu >= 0.0
+
+    def test_attrs_survive_round_trip(self):
+        tel = Telemetry()
+        with tel.span("cell", key="a=1", n=3):
+            pass
+        (span,) = tel.spans
+        clone = Span.from_dict(span.to_dict())
+        assert clone.attrs == {"key": "a=1", "n": 3}
+        assert clone.id == span.id
+        assert clone.wall == span.wall
+
+    def test_out_of_order_close_does_not_corrupt_the_stack(self):
+        ring = SpanRing()
+        outer = ring.open("outer", {})
+        ring.open("inner", {})  # never closed explicitly
+        ring.close(outer)  # closes outer, discards the dangling inner
+        assert ring.current_id() is None
+        assert [s.name for s in ring] == ["outer"]
+
+
+class TestRing:
+    def test_capacity_bound_counts_drops(self):
+        ring = SpanRing(capacity=4)
+        for i in range(7):
+            ring.close(ring.open(f"s{i}", {}))
+        assert len(ring) == 4
+        assert ring.dropped == 3
+        assert [s.name for s in ring] == ["s3", "s4", "s5", "s6"]
+
+    def test_record_premeasured_span(self):
+        ring = SpanRing()
+        span = ring.record("queue", 1.25, lo=0, hi=8)
+        assert span.wall == 1.25
+        assert span.attrs == {"lo": 0, "hi": 8}
+        assert len(ring) == 1
+
+    def test_record_inside_open_span_nests(self):
+        ring = SpanRing()
+        parent = ring.open("cell", {})
+        child = ring.record("queue", 0.5)
+        ring.close(parent)
+        assert child.parent == parent.id
+
+    def test_extend_merges_foreign_spans_and_drops(self):
+        a, b = SpanRing(), SpanRing()
+        b.close(b.open("remote", {}))
+        a.extend(b.to_list(), dropped=2)
+        assert [s.name for s in a] == ["remote"]
+        assert a.dropped == 2
+        # Origin tokens differ, so merged ids cannot collide.
+        assert all(s.id.startswith(b.origin) for s in a)
+
+    def test_distinct_rings_have_distinct_origins(self):
+        assert SpanRing().origin != SpanRing().origin

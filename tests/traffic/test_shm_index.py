@@ -174,7 +174,7 @@ class TestWorkersNeverRebuildTheIndex:
         finally:
             shared.unlink()
         assert len(results) == 2
-        assert sum(m.requests for m, _ in results) == spec.total_requests
+        assert sum(m.requests for m, _, _ in results) == spec.total_requests
         assert counter.value == 0, (
             f"workers constructed the index {counter.value} times"
         )
