@@ -1,0 +1,269 @@
+"""Experiment MULTICHANNEL: latency and consistency across k channels.
+
+Two claims from the multi-channel generalization are measured and
+recorded:
+
+* **Latency vs. channel count.**  A hot-set population over a *dense*
+  catalogue (aggregate pinwheel density 0.9 on one channel) is served
+  at k = 1, 2, 4 striped channels.  On one channel the schedule has no
+  slack, so every file is aired exactly at its required rate and
+  retrievals pay near-worst-case gaps; striping the same catalogue
+  over k channels leaves each channel underloaded, files are aired
+  more densely, and mean latency drops - the aggregate-bandwidth win
+  the multi-channel stack exists for.  Acceptance floor (full
+  configuration only): k=2 mean latency <= 0.75x the k=1 mean.
+
+* **Quorum fault tolerance.**  A temporal population reads
+  version-consistently at 1-of-1 (single channel) and 2-of-3
+  (replicated channels, quorum 2).  The quorum pays an assembly
+  latency premium on the clean channel, holds its success rate under
+  5% Bernoulli loss, and - the point - *survives a dead channel*:
+  1-of-1 on a dead carrier is a total outage (quorum success 0.0),
+  2-of-3 with one dead carrier keeps assembling from the survivors.
+  Acceptance floors (full configuration only): 2-of-3 quorum success
+  >= 0.9 under Bernoulli loss and >= 0.5 with one dead channel, while
+  1-of-1 on the dead carrier serves nothing.
+
+Both engines run the latency grid and must agree exactly - as
+everywhere else, the SoA engine is purely a performance choice.
+Results land in ``BENCH_multichannel.json`` at the repo root.  Set
+``REPRO_BENCH_SMOKE=1`` for a CI-friendly configuration (tiny
+populations, correctness asserts only, no JSON record, no floors).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from benchmarks.conftest import print_table
+from repro.api.scenario import ChannelSpec, FaultSpec
+from repro.bdisk.file import FileSpec
+from repro.bdisk.multichannel import design_multichannel_program
+from repro.rtdb import TemporalItemSpec, TemporalSpec
+from repro.sim.faults import AdversarialFaults
+from repro.traffic import TrafficSpec, simulate_traffic
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+CLIENTS = 200 if SMOKE else 2_000
+TEMPORAL_CLIENTS = 60 if SMOKE else 300
+SEED = 1997
+RESULT_PATH = (
+    Path(__file__).resolve().parents[1] / "BENCH_multichannel.json"
+)
+
+#: The dense catalogue: six 3-block files at a 20-slot latency budget -
+#: aggregate density 6 * 3/20 = 0.9 on a single channel.
+DENSE_FILES = [FileSpec(f"f{i}", 3, 20) for i in range(6)]
+DENSE_SIZES = {spec.name: spec.blocks for spec in DENSE_FILES}
+DENSE_DEADLINES = {spec.name: 10_000 for spec in DENSE_FILES}
+
+#: Latency floor: striping the dense catalogue over two channels must
+#: cut mean latency to at most this fraction of the single-channel
+#: mean (measured: ~0.54).
+LATENCY_WIN_FLOOR = 0.75
+
+TEMPORAL_FILES = [
+    FileSpec("tracks", 2, 300, fault_budget=4),
+    FileSpec("map", 3, 600, fault_budget=6),
+    FileSpec("terrain", 4, 3000, fault_budget=8),
+]
+TEMPORAL_SIZES = {spec.name: spec.blocks for spec in TEMPORAL_FILES}
+TEMPORAL_DEADLINES = {spec.name: 10_000 for spec in TEMPORAL_FILES}
+TEMPORAL = TemporalSpec(
+    slot_ms=10,
+    items=(
+        TemporalItemSpec("tracks", blocks=2, max_age_ms=3000,
+                         default_faults=4),
+        TemporalItemSpec("map", blocks=3, max_age_ms=6000,
+                         default_faults=6),
+        TemporalItemSpec("terrain", blocks=4, max_age_ms=30000,
+                         default_faults=8),
+    ),
+    update_periods={"tracks": 240, "map": 480, "terrain": 2400},
+)
+
+
+def _hot_spec():
+    return TrafficSpec(
+        clients=CLIENTS,
+        duration=5_000,
+        arrival="poisson",
+        popularity="hotcold",
+        hot_fraction=0.25,
+        hot_weight=0.9,
+        requests_per_client=2,
+        think_time=10,
+        seed=SEED,
+    )
+
+
+def _temporal_spec():
+    return TrafficSpec(
+        clients=TEMPORAL_CLIENTS,
+        duration=6_000,
+        arrival="poisson",
+        popularity="zipf",
+        requests_per_client=2,
+        think_time=10,
+        seed=SEED,
+    )
+
+
+def _striped(k):
+    return design_multichannel_program(
+        DENSE_FILES, ChannelSpec(count=k, tuning_cost=2)
+    )
+
+
+def _replicated(k, quorum):
+    return design_multichannel_program(
+        TEMPORAL_FILES,
+        ChannelSpec(
+            count=k, assignment="replicated", tuning_cost=2, quorum=quorum
+        ),
+    ).channel_set
+
+
+def _update(section, payload):
+    if SMOKE:
+        return
+    record = (
+        json.loads(RESULT_PATH.read_text()) if RESULT_PATH.exists() else {}
+    )
+    record[section] = payload
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+
+def _metrics_fingerprint(metrics):
+    return (
+        metrics.requests,
+        metrics.completions,
+        metrics.summary(),
+        dict(metrics.requests_by_file),
+        metrics.channel_switches,
+        dict(metrics.quorum_reads),
+    )
+
+
+def test_latency_vs_channel_count_and_record():
+    """Striping a dense hot-set catalogue over k channels cuts latency;
+    object and SoA engines agree exactly at every k."""
+    catalogue = tuple(DENSE_SIZES)
+    rows, record, means = [], {}, {}
+    for k in (1, 2, 4):
+        design = _striped(k)
+        channels = design.channel_set
+        results = {}
+        for engine in ("object", "soa"):
+            results[engine] = simulate_traffic(
+                None,
+                catalogue,
+                _hot_spec(),
+                file_sizes=DENSE_SIZES,
+                deadlines=DENSE_DEADLINES,
+                channels=channels,
+                engine=engine,
+            )
+        assert _metrics_fingerprint(
+            results["soa"].metrics
+        ) == _metrics_fingerprint(results["object"].metrics)
+        result = results["soa"]
+        summary = result.summary
+        means[k] = summary.mean
+        rows.append([
+            k,
+            f"{summary.mean:.1f}", f"{summary.p50:.0f}",
+            f"{summary.p95:.0f}", f"{summary.p99:.0f}",
+            result.metrics.channel_switches,
+            f"{result.requests_per_sec:,.0f}",
+        ])
+        record[f"k={k}"] = {
+            "mean": round(summary.mean, 2),
+            "p50": summary.p50,
+            "p95": summary.p95,
+            "p99": summary.p99,
+            "worst": summary.worst,
+            "channel_switches": result.metrics.channel_switches,
+            "densities": [str(d) for d in design.densities],
+        }
+    print_table(
+        f"MULTICHANNEL latency: {CLIENTS:,} hot-set clients, dense "
+        f"catalogue (density 0.9 at k=1), striped worst-fit",
+        ["k", "mean", "p50", "p95", "p99", "switches", "req/s"],
+        rows,
+    )
+    if not SMOKE:
+        ratio = means[2] / means[1]
+        assert ratio <= LATENCY_WIN_FLOOR, (
+            f"striping over 2 channels only reached {ratio:.2f}x the "
+            f"single-channel mean (floor {LATENCY_WIN_FLOOR})"
+        )
+        record["k2_over_k1_mean_ratio"] = round(ratio, 3)
+    _update("latency_vs_k", record)
+
+
+def test_quorum_consistency_and_record():
+    """1-of-1 vs 2-of-3 across clean, lossy, and dead-channel carriers."""
+    catalogue = tuple(TEMPORAL_SIZES)
+    dead = lambda: AdversarialFaults(range(0, 200_000))  # noqa: E731
+    bern = FaultSpec(kind="bernoulli", probability=0.05, seed=3)
+    cases = [
+        ("1-of-1 clean", 1, 1, None),
+        ("1-of-1 bernoulli", 1, 1, bern),
+        ("1-of-1 dead channel", 1, 1, [dead()]),
+        ("2-of-3 clean", 3, 2, None),
+        ("2-of-3 bernoulli", 3, 2, bern),
+        ("2-of-3 one dead", 3, 2, [None, None, dead()]),
+    ]
+    rows, record = [], {}
+    outcomes = {}
+    for label, k, quorum, faults in cases:
+        result = simulate_traffic(
+            None,
+            catalogue,
+            _temporal_spec(),
+            file_sizes=TEMPORAL_SIZES,
+            deadlines=TEMPORAL_DEADLINES,
+            temporal=TEMPORAL,
+            channels=_replicated(k, quorum),
+            faults=faults,
+            engine="soa",
+        )
+        m = result.metrics
+        outcomes[label] = m
+        rows.append([
+            label,
+            f"{m.quorum_success_rate:.3f}",
+            f"{m.consistency_rate:.3f}" if m.item_reads else "-",
+            f"{result.miss_rate:.3f}",
+            f"{m.mean_quorum_latency:.1f}" if m.quorum_ok else "-",
+            m.channel_switches,
+        ])
+        record[label] = {
+            "quorum_success_rate": round(m.quorum_success_rate, 4),
+            "consistency_rate": (
+                round(m.consistency_rate, 4) if m.item_reads else None
+            ),
+            "miss_rate": round(result.miss_rate, 4),
+            "mean_quorum_latency": (
+                round(m.mean_quorum_latency, 1) if m.quorum_ok else None
+            ),
+            "quorum_reads": dict(sorted(m.quorum_reads.items())),
+        }
+    print_table(
+        f"MULTICHANNEL quorum: {TEMPORAL_CLIENTS} temporal clients, "
+        f"replicated channels, versioned reads",
+        ["case", "quorum ok", "consistency", "miss", "q-latency",
+         "switches"],
+        rows,
+    )
+    # The outage story holds at any scale: a dead single carrier
+    # serves nothing, the 2-of-3 survivors keep assembling.
+    assert outcomes["1-of-1 dead channel"].quorum_success_rate == 0.0
+    assert outcomes["2-of-3 one dead"].quorum_success_rate > 0.0
+    if not SMOKE:
+        assert outcomes["2-of-3 bernoulli"].quorum_success_rate >= 0.9
+        assert outcomes["2-of-3 one dead"].quorum_success_rate >= 0.5
+    _update("quorum", record)

@@ -36,9 +36,17 @@ from repro.bdisk.builder import (
     design_generalized_program,
     design_program,
 )
+from repro.bdisk.multichannel import (
+    MultiChannelDesign,
+    design_multichannel_program,
+)
 from repro.bdisk.program import BroadcastProgram
 from repro.sim.delay import worst_case_delay
-from repro.sim.runner import SimulationResult, simulate_requests
+from repro.sim.runner import (
+    SimulationResult,
+    simulate_requests,
+    simulate_requests_multichannel,
+)
 from repro.sim.workload import request_stream
 from repro.traffic.simulate import (
     TrafficResult,
@@ -50,7 +58,14 @@ from repro.api.scenario import Scenario
 
 @dataclass(frozen=True)
 class ProgramStats:
-    """Headline numbers of a designed broadcast program."""
+    """Headline numbers of a designed broadcast program.
+
+    For a multi-channel design the headline fields describe channel 0
+    (the bandwidths are harmonized, so the slot clock is set-wide) -
+    except ``density``, which is the *worst* channel's, the figure that
+    bounds feasibility - and ``channels`` holds one per-channel record
+    (``None`` for single-channel designs).
+    """
 
     bandwidth: int | None
     density: Fraction
@@ -59,16 +74,20 @@ class ProgramStats:
     broadcast_period: int
     data_cycle_length: int
     block_counts: dict[str, int]
+    channels: tuple[dict[str, Any], ...] | None = None
 
     def __str__(self) -> str:
         bandwidth = (
             f"{self.bandwidth} blocks/s" if self.bandwidth else "per-slot"
         )
-        return (
+        head = (
             f"bandwidth {bandwidth}, density {float(self.density):.4f}, "
             f"method {self.method}, period {self.broadcast_period} slots, "
             f"data cycle {self.data_cycle_length} slots"
         )
+        if self.channels is not None:
+            head += f", channels {len(self.channels)}"
+        return head
 
 
 @dataclass(frozen=True)
@@ -109,7 +128,7 @@ class ScenarioResult:
     """
 
     scenario: Scenario
-    design: ProgramDesign
+    design: ProgramDesign | MultiChannelDesign
     stats: ProgramStats
     simulation: SimulationResult | None
     delay_table: tuple[DelayEntry, ...]
@@ -117,13 +136,32 @@ class ScenarioResult:
     traffic: TrafficResult | None = None
 
     @property
+    def multichannel(self) -> bool:
+        """Whether the scenario designed a multi-channel set."""
+        return isinstance(self.design, MultiChannelDesign)
+
+    @property
+    def channel_set(self):
+        """The aired :class:`~repro.bdisk.multichannel.ChannelSet`, or
+        ``None`` for single-channel designs."""
+        if isinstance(self.design, MultiChannelDesign):
+            return self.design.channel_set
+        return None
+
+    @property
     def program(self) -> BroadcastProgram:
-        """The verified broadcast program."""
+        """The verified broadcast program (channel 0's for a
+        multi-channel design - the harmonized slot clock's reference)."""
+        if isinstance(self.design, MultiChannelDesign):
+            return self.design.channel_set.programs[0]
         return self.design.program
 
     @property
     def report(self) -> SolveReport:
-        """How the pinwheel system was scheduled."""
+        """How the pinwheel system was scheduled (channel 0's report
+        for a multi-channel design)."""
+        if isinstance(self.design, MultiChannelDesign):
+            return self.design.designs[0].report
         return self.design.report
 
     def summary(self) -> str:
@@ -133,6 +171,15 @@ class ScenarioResult:
             "attempts  : "
             + "; ".join(f"{n} -> {o}" for n, o in self.stats.attempts)
         )
+        if self.stats.channels is not None:
+            for entry in self.stats.channels:
+                lines.append(
+                    f"channel {entry['channel']} : "
+                    f"{len(entry['files'])} file(s), "
+                    f"density {entry['density']:.4f}, "
+                    f"method {entry['method']}, "
+                    f"cycle {entry['data_cycle_length']} slots"
+                )
         if self.scenario.temporal is not None:
             lines.append(
                 f"temporal  : {self.scenario.temporal.describe()}"
@@ -212,6 +259,11 @@ class ScenarioResult:
                 "broadcast_period": self.stats.broadcast_period,
                 "data_cycle_length": self.stats.data_cycle_length,
                 "block_counts": dict(self.stats.block_counts),
+                "channels": (
+                    None
+                    if self.stats.channels is None
+                    else [dict(entry) for entry in self.stats.channels]
+                ),
             },
             "simulation": simulation,
             "traffic": (
@@ -239,32 +291,63 @@ class BroadcastEngine:
     """
 
     def __init__(
-        self, scenario: Scenario, *, design: ProgramDesign | None = None
+        self,
+        scenario: Scenario,
+        *,
+        design: ProgramDesign | MultiChannelDesign | None = None,
     ) -> None:
         if not isinstance(scenario, Scenario):
             raise SpecificationError(
                 f"BroadcastEngine expects a Scenario, got "
                 f"{type(scenario).__name__}"
             )
-        if design is not None and not isinstance(design, ProgramDesign):
+        if design is not None and not isinstance(
+            design, (ProgramDesign, MultiChannelDesign)
+        ):
             raise SpecificationError(
-                f"BroadcastEngine expects a ProgramDesign to inject, got "
+                f"BroadcastEngine expects a ProgramDesign or "
+                f"MultiChannelDesign to inject, got "
                 f"{type(design).__name__}"
             )
+        if isinstance(design, MultiChannelDesign) != (
+            design is not None and scenario.channels is not None
+        ):
+            raise SpecificationError(
+                f"scenario {scenario.name!r} and the injected design "
+                f"disagree about multi-channel operation"
+            )
         self._scenario = scenario
-        self._design: ProgramDesign | None = design
+        self._design: ProgramDesign | MultiChannelDesign | None = design
 
     @property
     def scenario(self) -> Scenario:
         """The scenario this engine runs."""
         return self._scenario
 
-    def design(self) -> ProgramDesign:
-        """Design the broadcast program (cached after the first call)."""
+    def design(self) -> ProgramDesign | MultiChannelDesign:
+        """Design the broadcast program (cached after the first call).
+
+        Scenarios with ``channels`` get a
+        :class:`~repro.bdisk.multichannel.MultiChannelDesign`; all
+        others keep the classic single-channel :class:`ProgramDesign`.
+        """
         if self._design is None:
             scenario = self._scenario
             policy = scenario.scheduler_policy
-            if scenario.generalized:
+            if scenario.channels is not None:
+                self._design = design_multichannel_program(
+                    scenario.files
+                    if scenario.generalized
+                    else scenario.effective_files,
+                    scenario.channels,
+                    bandwidth=(
+                        None
+                        if scenario.generalized
+                        else scenario.design_bandwidth
+                    ),
+                    policy=policy,
+                )
+            elif scenario.generalized:
                 self._design = design_generalized_program(
                     scenario.files, policy=policy
                 )
@@ -279,7 +362,34 @@ class BroadcastEngine:
                 )
         return self._design
 
-    def _stats(self, design: ProgramDesign) -> ProgramStats:
+    def _channel_set(self, design: MultiChannelDesign):
+        """The design's channel set under *this* scenario's runtime knobs.
+
+        ``tuning_cost`` and ``quorum`` are runtime knobs excluded from
+        the design fingerprint, so a cached design may carry another
+        scenario's values - rebind them before anything client-facing
+        consumes the set.
+        """
+        from dataclasses import replace as _replace
+
+        spec = self._scenario.channels
+        channel_set = design.channel_set
+        if (
+            channel_set.tuning_cost == spec.tuning_cost
+            and channel_set.quorum == spec.quorum
+        ):
+            return channel_set
+        return _replace(
+            channel_set,
+            tuning_cost=spec.tuning_cost,
+            quorum=spec.quorum,
+        )
+
+    def _stats(
+        self, design: ProgramDesign | MultiChannelDesign
+    ) -> ProgramStats:
+        if isinstance(design, MultiChannelDesign):
+            return self._stats_multichannel(design)
         plan = design.bandwidth_plan
         program = design.program
         return ProgramStats(
@@ -295,6 +405,43 @@ class BroadcastEngine:
             },
         )
 
+    def _stats_multichannel(self, design: MultiChannelDesign) -> ProgramStats:
+        channel_set = design.channel_set
+        head = design.designs[0]
+        plan = head.bandwidth_plan
+        channels = tuple(
+            {
+                "channel": channel,
+                "files": list(design.partition[channel]),
+                "bandwidth": (
+                    None
+                    if d.bandwidth_plan is None
+                    else d.bandwidth_plan.bandwidth
+                ),
+                "density": float(d.density),
+                "utilization": float(d.density),
+                "method": d.report.method,
+                "broadcast_period": d.program.broadcast_period,
+                "data_cycle_length": d.program.data_cycle_length,
+            }
+            for channel, d in enumerate(design.designs)
+        )
+        return ProgramStats(
+            bandwidth=None if plan is None else plan.bandwidth,
+            density=max(design.densities),
+            method=head.report.method,
+            attempts=head.report.attempts,
+            broadcast_period=head.program.broadcast_period,
+            data_cycle_length=head.program.data_cycle_length,
+            block_counts={
+                spec.name: channel_set.programs[
+                    channel_set.channels_for(spec.name)[0]
+                ].block_count(spec.name)
+                for spec in self._scenario.files
+            },
+            channels=channels,
+        )
+
     def simulate(self) -> SimulationResult | None:
         """Replay the scenario workload, or ``None`` without one."""
         scenario = self._scenario
@@ -302,6 +449,8 @@ class BroadcastEngine:
         if workload is None:
             return None
         design = self.design()
+        multi = isinstance(design, MultiChannelDesign)
+        head = design.designs[0] if multi else design
         rng = random.Random(workload.seed)
         if scenario.generalized:
             # Latencies are already in slots; each deadline is the file's
@@ -321,23 +470,38 @@ class BroadcastEngine:
                 scenario.effective_files,
                 count=workload.requests,
                 horizon=workload.horizon,
-                bandwidth=design.bandwidth_plan.bandwidth,
+                bandwidth=head.bandwidth_plan.bandwidth,
                 zipf_skew=workload.zipf_skew,
+            )
+        file_sizes = {spec.name: spec.blocks for spec in scenario.files}
+        if multi:
+            channel_set = self._channel_set(design)
+            return simulate_requests_multichannel(
+                channel_set,
+                requests,
+                file_sizes=file_sizes,
+                faults=[
+                    scenario.faults.for_channel(channel).build()
+                    for channel in range(channel_set.count)
+                ],
             )
         return simulate_requests(
             design.program,
             requests,
-            file_sizes={spec.name: spec.blocks for spec in scenario.files},
+            file_sizes=file_sizes,
             faults=scenario.faults.build(),
             need_distinct=True,
         )
 
-    def _deadlines(self, design: ProgramDesign) -> dict[str, int]:
+    def _deadlines(
+        self, design: ProgramDesign | MultiChannelDesign
+    ) -> dict[str, int]:
         """Per-file deadlines in slots, matching the workload replay.
 
         Generalized files promise their weakest latency (the vector's
         last entry, already in slots); regular files promise their
-        latency budget at the planned bandwidth.
+        latency budget at the planned bandwidth (channel 0's plan for a
+        multi-channel design - the plans are harmonized).
         """
         scenario = self._scenario
         if scenario.generalized:
@@ -345,7 +509,12 @@ class BroadcastEngine:
                 spec.name: spec.latency_vector[-1]
                 for spec in scenario.files
             }
-        bandwidth = design.bandwidth_plan.bandwidth
+        head = (
+            design.designs[0]
+            if isinstance(design, MultiChannelDesign)
+            else design
+        )
+        bandwidth = head.bandwidth_plan.bandwidth
         return {
             spec.name: spec.latency * bandwidth
             for spec in scenario.effective_files
@@ -372,8 +541,9 @@ class BroadcastEngine:
         if spec is None:
             return None
         design = self.design()
+        multi = isinstance(design, MultiChannelDesign)
         return simulate_traffic(
-            design.program,
+            None if multi else design.program,
             [file.name for file in scenario.files],
             spec,
             file_sizes={
@@ -382,6 +552,7 @@ class BroadcastEngine:
             deadlines=self._deadlines(design),
             faults=scenario.faults,
             temporal=scenario.temporal,
+            channels=self._channel_set(design) if multi else None,
             max_workers=max_workers,
             trace=trace,
             engine=engine,
@@ -406,8 +577,9 @@ class BroadcastEngine:
                 f"to shard"
             )
         design = self.design()
+        multi = isinstance(design, MultiChannelDesign)
         return simulate_traffic_shard(
-            design.program,
+            None if multi else design.program,
             [file.name for file in scenario.files],
             spec,
             file_sizes={
@@ -416,6 +588,7 @@ class BroadcastEngine:
             deadlines=self._deadlines(design),
             faults=scenario.faults,
             temporal=scenario.temporal,
+            channels=self._channel_set(design) if multi else None,
             lo=lo,
             hi=hi,
             engine=engine,
@@ -434,7 +607,9 @@ class BroadcastEngine:
         if simulation is None:
             return None
         scenario = self._scenario
-        program = self.design().program
+        design = self.design()
+        multi = isinstance(design, MultiChannelDesign)
+        program = None if multi else design.program
         checks: dict[str, bool] = {}
         for spec in scenario.files:
             retrieval = next(
@@ -454,7 +629,13 @@ class BroadcastEngine:
                 spec.name,
                 payload,
                 m=spec.blocks,
-                n_max=program.block_count(spec.name),
+                # The dispersal width is the airing program's: for a
+                # multi-channel run, the channel this retrieval tuned.
+                n_max=(
+                    design.channel_set.programs[retrieval.channel]
+                    if multi
+                    else program
+                ).block_count(spec.name),
             )
             blocks = [
                 encoder.blocks[index]
@@ -468,7 +649,32 @@ class BroadcastEngine:
         scenario = self._scenario
         if scenario.delay_errors is None:
             return ()
-        program = self.design().program
+        design = self.design()
+        if isinstance(design, MultiChannelDesign):
+            # A client tunes whichever carrying channel answers first,
+            # so the worst case over the set is the *best* per-channel
+            # worst case (tuning cost is a runtime knob, not part of
+            # the exact table).
+            channel_set = design.channel_set
+            return tuple(
+                DelayEntry(
+                    spec.name,
+                    errors,
+                    min(
+                        worst_case_delay(
+                            channel_set.programs[channel],
+                            spec.name,
+                            spec.blocks,
+                            errors,
+                            need_distinct=True,
+                        )
+                        for channel in channel_set.channels_for(spec.name)
+                    ),
+                )
+                for spec in scenario.files
+                for errors in range(scenario.delay_errors + 1)
+            )
+        program = design.program
         return tuple(
             DelayEntry(
                 spec.name,

@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import Any, Mapping
 
 from repro.errors import SpecificationError
+from repro.core.partition import get_partitioner
 from repro.core.registry import POLICIES, get_scheduler
 from repro.ida.aida import RedundancyPolicy
 from repro.bdisk.file import FileSpec, GeneralizedFileSpec
@@ -36,6 +37,9 @@ from repro.sim.faults import (
 
 #: Fault-model kinds a :class:`FaultSpec` understands.
 FAULT_KINDS = ("none", "bernoulli", "burst", "adversarial")
+
+#: File-to-channel assignment policies a :class:`ChannelSpec` understands.
+ASSIGNMENT_POLICIES = ("striped", "replicated", "explicit")
 
 
 def _check_int(value: Any, what: str, *, minimum: int | None = None) -> None:
@@ -141,6 +145,27 @@ class FaultSpec:
             return {"kind": self.kind, "lost_slots": list(self.lost_slots)}
         return {"kind": self.kind}
 
+    def for_channel(self, index: int) -> "FaultSpec":
+        """The fault spec channel ``index`` of a multi-channel set draws.
+
+        Stochastic kinds decorrelate across channels by offsetting the
+        seed with the channel index - channel 0 keeps the scenario's
+        exact spec, so a one-channel set reproduces the single-channel
+        fault stream bit-for-bit.  Deterministic kinds (``none``,
+        ``adversarial``) are shared: an adversary's slot list names air
+        time, which all channels experience simultaneously.
+        """
+        if index == 0 or self.kind in ("none", "adversarial"):
+            return self
+        return FaultSpec(
+            kind=self.kind,
+            probability=self.probability,
+            p_enter=self.p_enter,
+            p_exit=self.p_exit,
+            lost_slots=self.lost_slots,
+            seed=self.seed + index,
+        )
+
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "FaultSpec":
         """Inverse of :meth:`to_dict` (unknown keys rejected)."""
@@ -153,6 +178,204 @@ class FaultSpec:
         # __post_init__ tuple-ifies lost_slots itself, with a guard that
         # turns non-iterables into SpecificationError.
         return cls(**payload)
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """A set of ``count`` parallel broadcast channels.
+
+    Generalizes the paper's single channel: hot data can be striped over
+    several channels (cutting per-channel cycle length, hence latency),
+    or replicated across them so clients assemble ``quorum``-of-``k``
+    version-consistent reads that survive whole-channel faults.
+
+    Attributes
+    ----------
+    count:
+        Number of parallel channels ``k`` (>= 1).
+    assignment:
+        File-to-channel policy: ``"striped"`` partitions the catalogue
+        with ``partitioner``; ``"replicated"`` places every file on
+        every channel; ``"explicit"`` takes the mapping in ``explicit``.
+    explicit:
+        Only for ``assignment="explicit"``: file name -> list of channel
+        indices carrying it (each file on at least one channel).
+    partitioner:
+        Registered partitioner name (see :mod:`repro.core.partition`)
+        used by ``"striped"`` assignment.
+    fault_budgets:
+        Optional per-channel extra fault budget (length ``count``):
+        channel ``c`` adds ``fault_budgets[c]`` redundant blocks to every
+        regular file it carries, following the per-channel
+        fault-withstanding bounds.  ``None`` means no extra budget.
+    tuning_cost:
+        Slots a client pays to re-tune its receiver to a different
+        channel.  A runtime knob: it shapes retrieval latency, not the
+        per-channel programs, so sweeps over it reuse cached designs.
+    quorum:
+        Copies ``r`` a versioned read must assemble with one consistent
+        version (``1 <= r <= count``).  Also a runtime knob.
+    """
+
+    count: int = 1
+    assignment: str = "striped"
+    explicit: Mapping[str, tuple[int, ...]] | None = None
+    partitioner: str = "worst-fit"
+    fault_budgets: tuple[int, ...] | None = None
+    tuning_cost: int = 0
+    quorum: int = 1
+
+    def __post_init__(self) -> None:
+        _check_int(self.count, "channels count", minimum=1)
+        if self.assignment not in ASSIGNMENT_POLICIES:
+            raise SpecificationError(
+                f"unknown channel assignment {self.assignment!r} "
+                f"(expected one of {ASSIGNMENT_POLICIES})"
+            )
+        get_partitioner(self.partitioner)  # raises when unknown
+        _check_int(self.tuning_cost, "channels tuning_cost", minimum=0)
+        _check_int(self.quorum, "channels quorum", minimum=1)
+        if self.quorum > self.count:
+            raise SpecificationError(
+                f"channels quorum must be <= count: "
+                f"{self.quorum}-of-{self.count}"
+            )
+        if self.fault_budgets is not None:
+            try:
+                budgets = tuple(self.fault_budgets)
+            except TypeError as error:
+                raise SpecificationError(
+                    f"channels fault_budgets must be a list of integers: "
+                    f"{error}"
+                ) from error
+            if len(budgets) != self.count:
+                raise SpecificationError(
+                    f"channels fault_budgets must have one entry per "
+                    f"channel: got {len(budgets)} for count {self.count}"
+                )
+            for c, budget in enumerate(budgets):
+                _check_int(
+                    budget, f"channels fault_budgets[{c}]", minimum=0
+                )
+            object.__setattr__(self, "fault_budgets", budgets)
+        if (self.explicit is None) != (self.assignment != "explicit"):
+            raise SpecificationError(
+                "channels explicit mapping must be given exactly when "
+                f"assignment is 'explicit' (assignment={self.assignment!r})"
+            )
+        if self.explicit is not None:
+            if not isinstance(self.explicit, Mapping):
+                raise SpecificationError(
+                    f"channels explicit must be an object mapping file "
+                    f"names to channel lists, got "
+                    f"{type(self.explicit).__name__}"
+                )
+            normalized: dict[str, tuple[int, ...]] = {}
+            for name, ids in self.explicit.items():
+                if isinstance(ids, (str, bytes)) or not hasattr(
+                    ids, "__iter__"
+                ):
+                    raise SpecificationError(
+                        f"channels explicit[{name!r}] must be a list of "
+                        f"channel indices, got {type(ids).__name__}"
+                    )
+                ids = tuple(ids)
+                if not ids:
+                    raise SpecificationError(
+                        f"channels explicit[{name!r}] must name at least "
+                        f"one channel"
+                    )
+                for c in ids:
+                    _check_int(
+                        c, f"channels explicit[{name!r}] entry", minimum=0
+                    )
+                    if c >= self.count:
+                        raise SpecificationError(
+                            f"channels explicit[{name!r}] names channel "
+                            f"{c}, but count is {self.count}"
+                        )
+                if len(set(ids)) != len(ids):
+                    raise SpecificationError(
+                        f"channels explicit[{name!r}] repeats a channel: "
+                        f"{list(ids)}"
+                    )
+                normalized[name] = tuple(sorted(ids))
+            object.__setattr__(self, "explicit", normalized)
+
+    def budget_for(self, channel: int) -> int:
+        """The extra fault budget channel ``channel`` imposes."""
+        if self.fault_budgets is None:
+            return 0
+        return self.fault_budgets[channel]
+
+    def design_payload(self) -> dict[str, Any]:
+        """The design-relevant subset, canonically.
+
+        ``tuning_cost`` and ``quorum`` shape client behaviour *on* the
+        aired programs, not the programs themselves, so they are
+        excluded: sweeps over them hit the solve cache.
+        """
+        payload: dict[str, Any] = {
+            "count": self.count,
+            "assignment": self.assignment,
+            "partitioner": self.partitioner,
+            "fault_budgets": (
+                None
+                if self.fault_budgets is None
+                else list(self.fault_budgets)
+            ),
+        }
+        if self.explicit is not None:
+            payload["explicit"] = {
+                name: list(ids)
+                for name, ids in sorted(self.explicit.items())
+            }
+        return payload
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-able dict; :meth:`from_dict` round-trips it."""
+        payload: dict[str, Any] = {
+            "count": self.count,
+            "assignment": self.assignment,
+            "partitioner": self.partitioner,
+            "fault_budgets": (
+                None
+                if self.fault_budgets is None
+                else list(self.fault_budgets)
+            ),
+            "tuning_cost": self.tuning_cost,
+            "quorum": self.quorum,
+        }
+        if self.explicit is not None:
+            payload["explicit"] = {
+                name: list(ids)
+                for name, ids in sorted(self.explicit.items())
+            }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ChannelSpec":
+        """Inverse of :meth:`to_dict` (unknown keys rejected)."""
+        _require_keys(
+            payload,
+            {"count", "assignment", "explicit", "partitioner",
+             "fault_budgets", "tuning_cost", "quorum"},
+            "channels spec",
+        )
+        explicit = payload.get("explicit")
+        if explicit is not None:
+            if not isinstance(explicit, Mapping):
+                raise SpecificationError(
+                    f"channels explicit must be an object, got "
+                    f"{type(explicit).__name__}"
+                )
+            explicit = {
+                name: tuple(ids) if hasattr(ids, "__iter__")
+                and not isinstance(ids, (str, bytes)) else ids
+                for name, ids in explicit.items()
+            }
+        kwargs = {k: v for k, v in payload.items() if k != "explicit"}
+        return cls(explicit=explicit, **kwargs)
 
 
 @dataclass(frozen=True)
@@ -341,6 +564,7 @@ class Scenario:
     workload: WorkloadSpec | None = None
     traffic: TrafficSpec | None = None
     temporal: TemporalSpec | None = None
+    channels: ChannelSpec | None = None
     scheduler_policy: str | tuple[str, ...] = "auto"
     delay_errors: int | None = None
 
@@ -436,7 +660,79 @@ class Scenario:
                 f"scenario {self.name!r}: delay_errors",
                 minimum=0,
             )
+        self._validate_channels()
         self._validate_policy()
+
+    def _validate_channels(self) -> None:
+        spec = self.channels
+        if spec is None:
+            return
+        if not isinstance(spec, ChannelSpec):
+            raise SpecificationError(
+                f"scenario {self.name!r}: channels must be a "
+                f"ChannelSpec, got {type(spec).__name__}"
+            )
+        names = {file.name for file in self.files}
+        if spec.assignment == "striped" and spec.count > len(self.files):
+            raise SpecificationError(
+                f"scenario {self.name!r}: cannot stripe "
+                f"{len(self.files)} file(s) over {spec.count} channels "
+                f"(use 'replicated' assignment, or fewer channels)"
+            )
+        if spec.explicit is not None:
+            unknown = sorted(set(spec.explicit) - names)
+            if unknown:
+                raise SpecificationError(
+                    f"scenario {self.name!r}: channels explicit names "
+                    f"unknown files {unknown}"
+                )
+            missing = sorted(names - set(spec.explicit))
+            if missing:
+                raise SpecificationError(
+                    f"scenario {self.name!r}: channels explicit must "
+                    f"assign every file (missing {missing})"
+                )
+        if (
+            self.generalized
+            and spec.fault_budgets is not None
+            and any(spec.fault_budgets)
+        ):
+            raise SpecificationError(
+                f"scenario {self.name!r}: per-channel fault_budgets "
+                f"apply to regular files only (generalized files encode "
+                f"fault tolerance in their latency vectors)"
+            )
+        if spec.quorum > 1:
+            replication = {
+                name: len(ids) for name, ids in
+                self.channel_assignment().items()
+            }
+            thin = sorted(
+                name for name, copies in replication.items()
+                if copies < spec.quorum and self.temporal is not None
+            )
+            if thin:
+                raise SpecificationError(
+                    f"scenario {self.name!r}: quorum "
+                    f"{spec.quorum}-of-{spec.count} needs every temporal "
+                    f"item on >= {spec.quorum} channels; too thin: {thin}"
+                )
+
+    def channel_assignment(self) -> dict[str, tuple[int, ...]]:
+        """File name -> sorted channel indices carrying it.
+
+        Resolves the assignment policy against this catalogue (explicit
+        mapping, full replication, or the registered partitioner's
+        stripe).  Empty when the scenario has no ``channels``.
+        """
+        spec = self.channels
+        if spec is None:
+            return {}
+        from repro.bdisk.multichannel import resolve_assignment
+
+        # The effective catalogue: redundancy budgets shift densities,
+        # and the stripe must match what the designer will partition.
+        return resolve_assignment(self.effective_files, spec)
 
     def _validate_policy(self) -> None:
         policy = self.scheduler_policy
@@ -529,12 +825,17 @@ class Scenario:
             ]
             model = "regular"
         policy = self.scheduler_policy
-        return {
+        payload = {
             "model": model,
             "files": files,
             "bandwidth": self.design_bandwidth,
             "policy": policy if isinstance(policy, str) else list(policy),
         }
+        # Channel-less scenarios keep their historical payload (and
+        # fingerprint) byte-for-byte: the key only appears when set.
+        if self.channels is not None:
+            payload["channels"] = self.channels.design_payload()
+        return payload
 
     def design_fingerprint(self) -> str:
         """Content fingerprint of :meth:`design_payload`.
@@ -551,7 +852,7 @@ class Scenario:
     def to_dict(self) -> dict[str, Any]:
         """A JSON-able dict; :meth:`from_dict` round-trips it."""
         policy = self.scheduler_policy
-        return {
+        payload = {
             "name": self.name,
             # A temporal scenario's files are derived, not specified:
             # serializing them would make the payload fail round-trip
@@ -590,6 +891,11 @@ class Scenario:
             ),
             "delay_errors": self.delay_errors,
         }
+        # Like design_payload: channel-less scenarios serialize exactly
+        # as they always did.
+        if self.channels is not None:
+            payload["channels"] = self.channels.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "Scenario":
@@ -608,7 +914,7 @@ class Scenario:
             payload,
             {"name", "files", "bandwidth", "block_size", "mode",
              "redundancy", "faults", "workload", "traffic", "temporal",
-             "scheduler_policy", "delay_errors"},
+             "channels", "scheduler_policy", "delay_errors"},
             "scenario",
         )
         files_payload = payload.get("files", ())
@@ -647,6 +953,7 @@ class Scenario:
         workload_payload = payload.get("workload")
         traffic_payload = payload.get("traffic")
         temporal_payload = payload.get("temporal")
+        channels_payload = payload.get("channels")
         # null means "not specified", by analogy with bandwidth/mode;
         # anything else is validated (and tuple-ified) by Scenario itself.
         policy = payload.get("scheduler_policy")
@@ -678,6 +985,11 @@ class Scenario:
                 None
                 if temporal_payload is None
                 else TemporalSpec.from_dict(temporal_payload)
+            ),
+            channels=(
+                None
+                if channels_payload is None
+                else ChannelSpec.from_dict(channels_payload)
             ),
             scheduler_policy=policy,
             delay_errors=payload.get("delay_errors"),

@@ -1,0 +1,265 @@
+"""Channel partitioners: assigning files to parallel broadcast channels.
+
+Striping a catalogue over ``k`` channels is the multiprocessor-pinwheel
+problem: split the task set so every per-channel pinwheel instance stays
+schedulable.  Exactly like :mod:`repro.core.registry` does for
+schedulers, this module keeps a pluggable registry of *partitioners* -
+deterministic callables that map ``(files, k)`` to a per-channel split -
+so ``partition-then-solve`` designs can route through first-fit,
+worst-fit, or any third-party strategy by name.
+
+A partitioner only *proposes* a split; each channel is then solved by the
+ordinary scheduler portfolio (with the configured policy, including
+``exact-first`` fallbacks), so an unschedulable proposal fails loudly at
+design time rather than silently degrading.
+
+Built-ins:
+
+* ``"worst-fit"`` - longest-processing-time style: files in decreasing
+  density order, each to the currently least-loaded channel.  The
+  default: it balances per-channel density, which keeps every channel
+  inside the Chan & Chin feasibility region the longest.
+* ``"first-fit"`` - decreasing density order, each file to the first
+  channel whose load stays within density 1; falls back to the
+  least-loaded channel when none fits (density 1 is the hard pinwheel
+  feasibility ceiling, so "fits" means "may still be schedulable").
+* ``"round-robin"`` - catalogue order, file ``i`` to channel ``i % k``;
+  the simplest stripe, useful as a baseline and for reproducing
+  hand-laid-out configurations.
+
+All built-ins are deterministic: ties break on catalogue order, never on
+hash order or randomness, so design fingerprints stay stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Sequence, TYPE_CHECKING
+
+from repro.errors import SpecificationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.bdisk.file import FileSpec, GeneralizedFileSpec
+
+    AnyFile = FileSpec | GeneralizedFileSpec
+
+#: A partitioner callable: ``fn(files, k) -> tuple[tuple[int, ...], ...]``
+#: - ``k`` tuples of catalogue indices, every index in exactly one tuple.
+PartitionerFn = Callable[[Sequence["AnyFile"], int], tuple[tuple[int, ...], ...]]
+
+
+def file_density(spec: "AnyFile") -> Fraction:
+    """A file's bandwidth-independent load for partition balancing.
+
+    Regular files contribute their demand ``(m + r) / T``; generalized
+    files the tightest of their induced conditions,
+    ``max_j (m + j) / d(j)``.  Both are exact fractions, so orderings
+    are deterministic.
+    """
+    latency_vector = getattr(spec, "latency_vector", None)
+    if latency_vector is not None:
+        return max(
+            Fraction(spec.blocks + j, d_j)
+            for j, d_j in enumerate(latency_vector)
+        )
+    return Fraction(spec.slots_per_window, spec.latency)
+
+
+@dataclass(frozen=True)
+class PartitionerEntry:
+    """One registered partitioner: name, callable, one-line description."""
+
+    name: str
+    partitioner: PartitionerFn
+    description: str
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.description}"
+
+
+_REGISTRY: dict[str, PartitionerEntry] = {}
+
+
+def register_partitioner(
+    name: str, *, description: str = ""
+) -> Callable[[PartitionerFn], PartitionerFn]:
+    """Register a partitioner under ``name``; returns a pass-through decorator.
+
+    Raises :class:`SpecificationError` on duplicate names - use
+    :func:`unregister_partitioner` first to replace an entry deliberately.
+    """
+    if not name or not isinstance(name, str):
+        raise SpecificationError(
+            f"partitioner name must be a non-empty str: {name!r}"
+        )
+
+    def decorate(func: PartitionerFn) -> PartitionerFn:
+        if name in _REGISTRY:
+            raise SpecificationError(
+                f"partitioner {name!r} is already registered"
+            )
+        _REGISTRY[name] = PartitionerEntry(
+            name=name, partitioner=func, description=description
+        )
+        return func
+
+    return decorate
+
+
+def unregister_partitioner(name: str) -> None:
+    """Remove ``name`` from the registry (for tests and replacements)."""
+    if name not in _REGISTRY:
+        raise SpecificationError(f"partitioner {name!r} is not registered")
+    del _REGISTRY[name]
+
+
+def get_partitioner(name: str) -> PartitionerEntry:
+    """Look a registered partitioner up by name.
+
+    Raises :class:`SpecificationError` for unknown names, listing the
+    registered ones.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise SpecificationError(
+            f"unknown partitioner {name!r} (registered: {known})"
+        ) from None
+
+
+def partitioner_names() -> tuple[str, ...]:
+    """All registered partitioner names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def _check_instance(files: Sequence["AnyFile"], k: int) -> None:
+    if k < 1:
+        raise SpecificationError(f"channel count must be >= 1: {k}")
+    if len(files) < k:
+        raise SpecificationError(
+            f"cannot stripe {len(files)} file(s) over {k} channels: "
+            f"every channel must carry at least one file (use "
+            f"'replicated' assignment, or fewer channels)"
+        )
+
+
+def _fill_empty(
+    bins: list[list[int]], loads: list[Fraction], order: Sequence[int],
+    densities: dict[int, Fraction],
+) -> None:
+    """Steal the lightest tail files so no channel is left empty.
+
+    Density-ordered packing can leave trailing channels empty when one
+    file dominates; a pinwheel channel with no tasks is meaningless, so
+    rebalance deterministically: move the lowest-density file out of the
+    currently fullest multi-file bin into each empty one.
+    """
+    for target, bin_ in enumerate(bins):
+        if bin_:
+            continue
+        donors = [i for i, b in enumerate(bins) if len(b) > 1]
+        donor = max(donors, key=lambda i: (loads[i], -i))
+        victim = min(bins[donor], key=lambda idx: (densities[idx], -order.index(idx)))
+        bins[donor].remove(victim)
+        loads[donor] -= densities[victim]
+        bins[target].append(victim)
+        loads[target] += densities[victim]
+
+
+def _density_order(files: Sequence["AnyFile"]) -> tuple[list[int], dict[int, Fraction]]:
+    densities = {i: file_density(spec) for i, spec in enumerate(files)}
+    order = sorted(range(len(files)), key=lambda i: (-densities[i], i))
+    return order, densities
+
+
+@register_partitioner(
+    "worst-fit",
+    description="decreasing density, each file to the least-loaded channel",
+)
+def worst_fit(
+    files: Sequence["AnyFile"], k: int
+) -> tuple[tuple[int, ...], ...]:
+    """Longest-processing-time balance: minimizes the peak channel density."""
+    _check_instance(files, k)
+    order, densities = _density_order(files)
+    bins: list[list[int]] = [[] for _ in range(k)]
+    loads = [Fraction(0)] * k
+    for idx in order:
+        target = min(range(k), key=lambda c: (loads[c], c))
+        bins[target].append(idx)
+        loads[target] += densities[idx]
+    _fill_empty(bins, loads, order, densities)
+    return tuple(tuple(sorted(bin_)) for bin_ in bins)
+
+
+@register_partitioner(
+    "first-fit",
+    description="decreasing density, first channel that stays within "
+    "density 1 (least-loaded fallback)",
+)
+def first_fit(
+    files: Sequence["AnyFile"], k: int
+) -> tuple[tuple[int, ...], ...]:
+    """First-fit-decreasing against the density-1 feasibility ceiling."""
+    _check_instance(files, k)
+    order, densities = _density_order(files)
+    bins: list[list[int]] = [[] for _ in range(k)]
+    loads = [Fraction(0)] * k
+    for idx in order:
+        target = next(
+            (c for c in range(k) if loads[c] + densities[idx] <= 1),
+            None,
+        )
+        if target is None:
+            target = min(range(k), key=lambda c: (loads[c], c))
+        bins[target].append(idx)
+        loads[target] += densities[idx]
+    _fill_empty(bins, loads, order, densities)
+    return tuple(tuple(sorted(bin_)) for bin_ in bins)
+
+
+@register_partitioner(
+    "round-robin",
+    description="catalogue order, file i to channel i mod k",
+)
+def round_robin(
+    files: Sequence["AnyFile"], k: int
+) -> tuple[tuple[int, ...], ...]:
+    """The plain stripe: deterministic, layout-preserving, unbalanced."""
+    _check_instance(files, k)
+    bins: list[list[int]] = [[] for _ in range(k)]
+    for idx in range(len(files)):
+        bins[idx % k].append(idx)
+    return tuple(tuple(bin_) for bin_ in bins)
+
+
+def partition_files(
+    files: Sequence["AnyFile"], k: int, *, partitioner: str = "worst-fit"
+) -> tuple[tuple[int, ...], ...]:
+    """Split ``files`` over ``k`` channels with the named partitioner.
+
+    Returns ``k`` tuples of catalogue indices.  The result is validated:
+    every index appears exactly once and no channel is empty, whatever
+    the (possibly third-party) partitioner proposed.
+    """
+    entry = get_partitioner(partitioner)
+    bins = entry.partitioner(files, k)
+    if len(bins) != k:
+        raise SpecificationError(
+            f"partitioner {partitioner!r} returned {len(bins)} channel(s) "
+            f"for k={k}"
+        )
+    seen = sorted(idx for bin_ in bins for idx in bin_)
+    if seen != list(range(len(files))):
+        raise SpecificationError(
+            f"partitioner {partitioner!r} must assign every file to "
+            f"exactly one channel (got index multiset {seen})"
+        )
+    if any(not bin_ for bin_ in bins):
+        raise SpecificationError(
+            f"partitioner {partitioner!r} left a channel empty for "
+            f"{len(files)} file(s) over {k} channels"
+        )
+    return tuple(tuple(bin_) for bin_ in bins)

@@ -194,3 +194,145 @@ def execute_transaction(
         stale_items=tuple(stale),
         versioned=tuple(versioned),
     )
+
+
+def retrieve_versioned_quorum(
+    channels,
+    server: UpdatingServer,
+    file: str,
+    m_needed: int,
+    *,
+    start: int = 0,
+    tuned: int = 0,
+    faults=None,
+    quorum: int | None = None,
+    max_slots: int | None = None,
+):
+    """The seed quorum read: slot-walking probes and copies throughout.
+
+    Semantics match :func:`repro.rtdb.updates.retrieve_versioned_quorum`
+    exactly - the sequential best-remaining-channel order, the tuning
+    and horizon conventions, the trailing-run quorum condition - but
+    every channel probe uses :func:`repro.sim.reference.retrieve` and
+    every copy uses the slot-walking :func:`retrieve_versioned` above.
+    """
+    from repro.rtdb.updates import MAX_DEFAULT_HORIZON, QuorumRead
+
+    r = channels.quorum if quorum is None else quorum
+    candidates = channels.channels_for(file)
+    if r > len(candidates):
+        raise SimulationError(
+            f"quorum {r} of {file!r} needs {r} copies, but only "
+            f"{len(candidates)} channel(s) carry it "
+            f"(channels {list(candidates)})"
+        )
+    update_period = server.period(file)
+    remaining = list(candidates)
+    clock, current, switches = start, tuned, 0
+    completed_copies = 0
+    run = 0
+    run_version = None
+    newest = None
+    discards = 0
+    aborted = 0
+    last_busy = start
+
+    while remaining:
+        # The shared choice rule, re-derived with slot-walking probes.
+        best_key = None
+        chosen = None
+        for candidate in remaining:
+            listen = clock
+            if candidate != current:
+                listen += channels.tuning_cost
+            program = channels.programs[candidate]
+            plain_horizon = (m_needed + 2) * program.data_cycle_length
+            probe = sim_reference.retrieve(
+                program,
+                file,
+                m_needed,
+                start=listen,
+                faults=None,
+                need_distinct=True,
+                max_slots=plain_horizon,
+            )
+            busy_until = (
+                probe.finish_slot
+                if probe.completed and probe.finish_slot is not None
+                else listen + plain_horizon - 1
+            )
+            key = (0 if probe.completed else 1, busy_until, candidate)
+            if best_key is None or key < best_key:
+                best_key = key
+                chosen = (candidate, listen)
+        channel, listen = chosen
+        remaining.remove(channel)
+        if channel != current:
+            switches += 1
+            current = channel
+        program = channels.programs[channel]
+        if max_slots is not None:
+            horizon = max_slots
+        else:
+            horizon = versioned_horizon(program, m_needed, update_period)
+            if horizon > MAX_DEFAULT_HORIZON:
+                raise SimulationError(
+                    f"default horizon for a versioned retrieval of "
+                    f"{file!r} is {horizon} slots, past the "
+                    f"{MAX_DEFAULT_HORIZON}-slot budget; pass max_slots"
+                )
+        fault_model = faults[channel] if faults is not None else None
+        copy = retrieve_versioned(
+            program,
+            server,
+            file,
+            m_needed,
+            start=listen,
+            faults=fault_model,
+            max_slots=horizon,
+        )
+        discards += copy.torn_discards
+        if copy.completed and copy.finish_slot is not None:
+            completed_copies += 1
+            if copy.version == run_version:
+                run += 1
+            else:
+                run = 1
+                run_version = copy.version
+            newest = copy.version
+            last_busy = copy.finish_slot
+            clock = copy.finish_slot + 1
+            if run >= r:
+                return QuorumRead(
+                    file=file,
+                    start=start,
+                    outcome="ok",
+                    version=copy.version,
+                    finish_slot=copy.finish_slot,
+                    latency=copy.finish_slot - start + 1,
+                    tuned=current,
+                    switches=switches,
+                    copies=completed_copies,
+                    stale_copies=completed_copies - run,
+                    age_at_completion=copy.age_at_completion,
+                    torn_discards=discards,
+                )
+        else:
+            aborted += 1
+            last_busy = listen + horizon - 1
+            clock = last_busy + 1
+
+    return QuorumRead(
+        file=file,
+        start=start,
+        outcome="incomplete" if aborted else "mismatch",
+        version=newest,
+        finish_slot=last_busy,
+        latency=None,
+        tuned=current,
+        switches=switches,
+        copies=completed_copies,
+        stale_copies=completed_copies - run,
+        age_at_completion=None,
+        torn_discards=discards,
+    )

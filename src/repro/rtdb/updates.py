@@ -33,12 +33,15 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence, TYPE_CHECKING
 
 from repro.errors import SimulationError, SpecificationError
 from repro.bdisk.program import BroadcastProgram
-from repro.sim.client import default_horizon
+from repro.sim.client import choose_channel, default_horizon
 from repro.sim.faults import FaultModel, NoFaults, lost_in
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.bdisk.multichannel import ChannelSet
 
 #: Occurrences per batched fault query (the :mod:`repro.sim.client`
 #: convention): large enough to amortize the batch call, small enough
@@ -289,6 +292,218 @@ def retrieve_versioned(
         finish_slot=None,
         latency=None,
         version=held_version,
+        age_at_completion=None,
+        torn_discards=discards,
+    )
+
+
+#: Outcomes a quorum read can report.
+QUORUM_OUTCOMES = ("ok", "mismatch", "incomplete")
+
+
+@dataclass(frozen=True)
+class QuorumRead:
+    """Outcome of an r-of-k version-consistent read over a channel set.
+
+    Attributes
+    ----------
+    file:
+        The item read.
+    start:
+        The slot the client decided to read at.
+    outcome:
+        ``"ok"`` - ``r`` copies of one version assembled;
+        ``"mismatch"`` - every candidate channel was read cleanly but an
+        update landed mid-assembly, so no ``r`` copies share the newest
+        version; ``"incomplete"`` - at least one copy retrieval
+        exhausted its horizon before the quorum formed.
+    version:
+        The version the quorum agreed on (``"ok"``), or the newest
+        version seen (otherwise; ``None`` when nothing completed).
+    finish_slot:
+        The last slot the client was busy (quorum completion slot on
+        ``"ok"``).
+    latency:
+        ``finish_slot - start + 1`` on ``"ok"``, else ``None``.
+    tuned:
+        The channel the client ends up tuned to.
+    switches:
+        Re-tunes performed (each cost ``tuning_cost`` slots).
+    copies:
+        Copy retrievals that completed.
+    stale_copies:
+        Completed copies whose version lost to a newer one mid-assembly
+        (wasted reads, the quorum protocol's torn-read analogue).
+    age_at_completion:
+        The agreed version's age at the quorum completion slot
+        (``"ok"`` only).
+    torn_discards:
+        Blocks discarded to torn reads, summed over all copies.
+    """
+
+    file: str
+    start: int
+    outcome: str
+    version: int | None
+    finish_slot: int
+    latency: int | None
+    tuned: int
+    switches: int
+    copies: int
+    stale_copies: int
+    age_at_completion: int | None
+    torn_discards: int
+
+    @property
+    def completed(self) -> bool:
+        """Whether the quorum assembled (``outcome == "ok"``)."""
+        return self.outcome == "ok"
+
+    def is_fresh(self, max_age_slots: int) -> bool:
+        """Temporal consistency of the agreed version at completion."""
+        return (
+            self.completed
+            and self.age_at_completion is not None
+            and self.age_at_completion <= max_age_slots
+        )
+
+
+def retrieve_versioned_quorum(
+    channels: "ChannelSet",
+    server: UpdatingServer,
+    file: str,
+    m_needed: int,
+    *,
+    start: int = 0,
+    tuned: int = 0,
+    faults: Sequence[FaultModel | None] | None = None,
+    quorum: int | None = None,
+    max_slots: int | None = None,
+) -> QuorumRead:
+    """Assemble an ``r``-of-``k`` version-consistent read.
+
+    A single-receiver client reads copies *sequentially*: at each step
+    it picks the best remaining candidate channel by the shared
+    fault-free choice rule (:func:`repro.sim.client.choose_channel`),
+    re-tunes if needed (paying ``tuning_cost``), and runs an ordinary
+    :func:`retrieve_versioned` there under that channel's fault model.
+    Because the update clock is monotone, copy versions are
+    non-decreasing, so the quorum condition is simply a trailing run of
+    ``r`` copies with one version; an update landing mid-assembly
+    resets the run (earlier copies become ``stale_copies``) and the
+    client keeps going on fresh channels.
+
+    ``quorum`` overrides the channel set's configured ``r``.  With one
+    channel and ``r=1`` the read degenerates to a single
+    :func:`retrieve_versioned` - bit-identical latency, version, age,
+    and torn discards - so ``k=1`` scenarios reproduce the
+    single-channel stack exactly.
+    """
+    r = channels.quorum if quorum is None else quorum
+    candidates = channels.channels_for(file)
+    if r < 1:
+        raise SpecificationError(f"quorum must be >= 1: {r}")
+    if r > len(candidates):
+        raise SimulationError(
+            f"quorum {r} of {file!r} needs {r} copies, but only "
+            f"{len(candidates)} channel(s) carry it "
+            f"(channels {list(candidates)})"
+        )
+    if faults is not None and len(faults) != channels.count:
+        raise SimulationError(
+            f"faults must have one entry per channel: got {len(faults)} "
+            f"for {channels.count} channel(s)"
+        )
+    update_period = server.period(file)
+    remaining = list(candidates)
+    clock, current, switches = start, tuned, 0
+    completed_copies = 0
+    run = 0
+    run_version: int | None = None
+    newest: int | None = None
+    discards = 0
+    aborted = 0
+    last_busy = start
+
+    while remaining:
+        channel, listen, _plain_horizon, _probe = choose_channel(
+            channels,
+            file,
+            m_needed,
+            start=clock,
+            tuned=current,
+            among=tuple(remaining),
+        )
+        remaining.remove(channel)
+        if channel != current:
+            switches += 1
+            current = channel
+        program = channels.programs[channel]
+        if max_slots is not None:
+            horizon = max_slots
+        else:
+            horizon = versioned_horizon(program, m_needed, update_period)
+            if horizon > MAX_DEFAULT_HORIZON:
+                raise SimulationError(
+                    f"default horizon for a versioned retrieval of "
+                    f"{file!r} is {horizon} slots (m={m_needed}, data "
+                    f"cycle {program.data_cycle_length}, period "
+                    f"{update_period}), past the "
+                    f"{MAX_DEFAULT_HORIZON}-slot budget; pass max_slots "
+                    f"to listen that long deliberately"
+                )
+        fault_model = faults[channel] if faults is not None else None
+        copy = retrieve_versioned(
+            program,
+            server,
+            file,
+            m_needed,
+            start=listen,
+            faults=fault_model,
+            max_slots=horizon,
+        )
+        discards += copy.torn_discards
+        if copy.completed and copy.finish_slot is not None:
+            completed_copies += 1
+            if copy.version == run_version:
+                run += 1
+            else:
+                run = 1
+                run_version = copy.version
+            newest = copy.version
+            last_busy = copy.finish_slot
+            clock = copy.finish_slot + 1
+            if run >= r:
+                return QuorumRead(
+                    file=file,
+                    start=start,
+                    outcome="ok",
+                    version=copy.version,
+                    finish_slot=copy.finish_slot,
+                    latency=copy.finish_slot - start + 1,
+                    tuned=current,
+                    switches=switches,
+                    copies=completed_copies,
+                    stale_copies=completed_copies - run,
+                    age_at_completion=copy.age_at_completion,
+                    torn_discards=discards,
+                )
+        else:
+            aborted += 1
+            last_busy = listen + horizon - 1
+            clock = last_busy + 1
+
+    return QuorumRead(
+        file=file,
+        start=start,
+        outcome="incomplete" if aborted else "mismatch",
+        version=newest,
+        finish_slot=last_busy,
+        latency=None,
+        tuned=current,
+        switches=switches,
+        copies=completed_copies,
+        stale_copies=completed_copies - run,
         age_at_completion=None,
         torn_discards=discards,
     )

@@ -45,6 +45,7 @@ from repro.errors import SpecificationError
 from repro.obs import telemetry as obs
 from repro.rtdb.transactions import ReadTransaction
 from repro.bdisk.builder import ProgramDesign
+from repro.bdisk.multichannel import MultiChannelDesign
 from repro.api.engine import BroadcastEngine
 from repro.api.scenario import Scenario
 from repro.sweep.cache import SolveCache
@@ -94,13 +95,19 @@ def _metrics_dict(metrics: TrafficMetrics) -> dict[str, Any]:
 
 
 class _Epoch:
-    """One scenario's tenure: its design, derived tables, and metrics."""
+    """One scenario's tenure: its design, derived tables, and metrics.
+
+    A multi-channel epoch airs one :class:`Segment` per channel (all
+    committed by the same mutation, each at its own channel's earliest
+    safe boundary); ``segment`` stays the channel-0 view so the
+    single-channel bookkeeping reads unchanged.
+    """
 
     __slots__ = (
         "index",
         "scenario",
         "design",
-        "segment",
+        "segments",
         "cache_hit",
         "catalogue",
         "file_sizes",
@@ -116,14 +123,14 @@ class _Epoch:
         self,
         index: int,
         scenario: Scenario,
-        design: ProgramDesign,
-        segment: Segment,
+        design: ProgramDesign | MultiChannelDesign,
+        segments: Sequence[Segment],
         cache_hit: bool,
     ) -> None:
         self.index = index
         self.scenario = scenario
         self.design = design
-        self.segment = segment
+        self.segments = tuple(segments)
         self.cache_hit = cache_hit
         self.catalogue = tuple(spec.name for spec in scenario.files)
         self.file_sizes = {
@@ -159,9 +166,20 @@ class _Epoch:
         else:
             self.cum_weights = list(accumulate(weights))
 
+    @property
+    def segment(self) -> Segment:
+        """The channel-0 segment (the only one, single-channel)."""
+        return self.segments[0]
+
+    @property
+    def multichannel(self) -> bool:
+        return isinstance(self.design, MultiChannelDesign)
+
     def summary(self) -> dict[str, Any]:
         """The epoch's as-run/result record."""
-        return {
+        multi = self.multichannel
+        head = self.design.designs[0] if multi else self.design
+        payload = {
             "epoch": self.index,
             "start_slot": self.segment.start,
             "scenario": self.scenario.name,
@@ -169,10 +187,18 @@ class _Epoch:
             "fingerprint": self.segment.fingerprint,
             "label": self.segment.label,
             "cache_hit": self.cache_hit,
-            "method": self.design.report.method,
-            "data_cycle": self.design.program.data_cycle_length,
+            "method": head.report.method,
+            "data_cycle": (
+                self.design.channel_set.programs[0].data_cycle_length
+                if multi
+                else self.design.program.data_cycle_length
+            ),
             "metrics": _metrics_dict(self.metrics),
         }
+        if multi:
+            payload["channels"] = self.design.count
+            payload["start_slots"] = [s.start for s in self.segments]
+        return payload
 
 
 @dataclass(frozen=True)
@@ -276,6 +302,14 @@ class BroadcastServer:
                 f"supported by the online server (a cached copy would "
                 f"answer from a retired program across a splice)"
             )
+        if scenario.channels is not None and scenario.traffic is not None:
+            raise SpecificationError(
+                f"scenario {scenario.name!r}: live traffic populations "
+                f"are not supported over a channel set yet - run the "
+                f"population offline (repro.traffic) or drop the "
+                f"channels block; the online server airs and splices "
+                f"every channel but drives sessions on one"
+            )
         self._cache = cache if cache is not None else SolveCache()
         self._kernel = EventKernel()
         self._log = AsRunLog(log_path)
@@ -290,34 +324,47 @@ class BroadcastServer:
 
         design, cache_hit = self._cache.design_for(scenario)
         fingerprint = scenario.design_fingerprint()
-        segment = Segment(
-            start=0,
-            program=design.program,
-            fingerprint=fingerprint,
-            update_periods=(
-                dict(scenario.temporal.update_periods)
-                if scenario.temporal is not None
-                else None
-            ),
-            dispersal={
-                spec.name: spec.blocks for spec in scenario.files
-            },
-            label="sign-on",
+        multi = isinstance(design, MultiChannelDesign)
+        programs = (
+            design.channel_set.programs if multi else (design.program,)
+        )
+        segments = tuple(
+            Segment(
+                start=0,
+                program=program,
+                fingerprint=fingerprint,
+                update_periods=(
+                    dict(scenario.temporal.update_periods)
+                    if scenario.temporal is not None
+                    else None
+                ),
+                dispersal={
+                    spec.name: spec.blocks for spec in scenario.files
+                },
+                label="sign-on",
+            )
+            for program in programs
         )
         self._epochs: list[_Epoch] = [
-            _Epoch(0, scenario, design, segment, cache_hit)
+            _Epoch(0, scenario, design, segments, cache_hit)
         ]
-        self._schedule = AirSchedule([segment])
-        self._log.record(
-            "on-air",
-            0,
+        self._schedules: list[AirSchedule] = [
+            AirSchedule([segment]) for segment in segments
+        ]
+        self._schedule = self._schedules[0]
+        on_air: dict[str, Any] = dict(
             scenario=scenario.name,
             mode=_mode_of(scenario),
             fingerprint=fingerprint,
             cache_hit=cache_hit,
-            method=design.report.method,
-            data_cycle=design.program.data_cycle_length,
+            method=(
+                design.designs[0] if multi else design
+            ).report.method,
+            data_cycle=programs[0].data_cycle_length,
         )
+        if multi:
+            on_air["channels"] = design.count
+        self._log.record("on-air", 0, **on_air)
         self._spawn_traffic(scenario)
 
     # ------------------------------------------------------------------
@@ -331,8 +378,13 @@ class BroadcastServer:
 
     @property
     def schedule(self) -> AirSchedule:
-        """The committed airing timeline (grows at each splice)."""
+        """The committed airing timeline (channel 0's, multi-channel)."""
         return self._schedule
+
+    @property
+    def schedules(self) -> tuple[AirSchedule, ...]:
+        """Every channel's committed airing timeline (length 1 single)."""
+        return tuple(self._schedules)
 
     @property
     def cache(self) -> SolveCache:
@@ -498,9 +550,16 @@ class BroadcastServer:
             session.begin(self._kernel, arrival)
 
     def _requirements(
-        self, outgoing: _Epoch, incoming: ProgramDesign
+        self, outgoing: _Epoch, carried: Sequence[str]
     ) -> list[SpliceRequirement]:
+        """Splice-safety requirements for the files in ``carried``.
+
+        ``carried`` is the incoming program's file set (one channel's,
+        multi-channel); the outgoing catalogue filter keeps only files
+        the outgoing epoch also promised, in catalogue order.
+        """
         versioned = outgoing.scenario.temporal is not None
+        carried_set = set(carried)
         return [
             SpliceRequirement(
                 file=file,
@@ -509,7 +568,7 @@ class BroadcastServer:
                 versioned=versioned,
             )
             for file in outgoing.catalogue
-            if file in incoming.program.files
+            if file in carried_set
         ]
 
     def apply(self, mutation: Mutation) -> dict[str, Any]:
@@ -529,6 +588,20 @@ class BroadcastServer:
         now = self._kernel.now
         outgoing = self._epochs[-1]
         scenario = mutation.apply(outgoing.scenario)
+        before_channels = outgoing.scenario.channels
+        after_channels = scenario.channels
+        if (before_channels is None) != (after_channels is None) or (
+            before_channels is not None
+            and after_channels.count != before_channels.count
+        ):
+            raise SpecificationError(
+                f"mutation {mutation.describe()!r}: the channel count is "
+                f"fixed at sign-on "
+                f"({1 if before_channels is None else before_channels.count}"
+                f" channel(s)); re-plan the channel topology offline and "
+                f"sign on again"
+            )
+        multi = after_channels is not None
         mutation_span = obs.span(
             "server.mutation", kind=type(mutation).__name__, at_slot=now
         )
@@ -542,12 +615,19 @@ class BroadcastServer:
                 design, cache_hit = self._cache.design_for(scenario)
             cache_delta = self._cache.diff(cache_before)
             fingerprint = scenario.design_fingerprint()
+            if multi:
+                return self._commit_multichannel(
+                    mutation, now, outgoing, scenario, design,
+                    cache_hit, cache_delta, fingerprint,
+                )
             with obs.span("server.mutation.splice_search"):
                 candidate, splice_slot, attempts = find_splice_slot(
                     self._schedule,
                     design.program,
                     not_before=now + 1,
-                    requirements=self._requirements(outgoing, design),
+                    requirements=self._requirements(
+                        outgoing, design.program.files
+                    ),
                     fingerprint=fingerprint,
                     update_periods=(
                         dict(scenario.temporal.update_periods)
@@ -565,8 +645,9 @@ class BroadcastServer:
             commit_span.__enter__()
             # Commit: timeline first, then the epoch tables sessions read.
             self._schedule = candidate
+            self._schedules = [candidate]
             epoch = _Epoch(
-                len(self._epochs), scenario, design, candidate.on_air,
+                len(self._epochs), scenario, design, (candidate.on_air,),
                 cache_hit,
             )
             self._epochs.append(epoch)
@@ -660,6 +741,156 @@ class BroadcastServer:
         finally:
             mutation_span.__exit__(None, None, None)
 
+    def _commit_multichannel(
+        self,
+        mutation: Mutation,
+        now: int,
+        outgoing: _Epoch,
+        scenario: Scenario,
+        design: MultiChannelDesign,
+        cache_hit: bool,
+        cache_delta: dict[str, int],
+        fingerprint: str,
+    ) -> dict[str, Any]:
+        """The multi-channel leg of :meth:`apply`.
+
+        Every channel's timeline gets its own splice search (its
+        earliest safe data-cycle boundary - the channels' cycles are
+        not aligned, so the slots differ); nothing commits until every
+        channel has found one, so a single infeasible channel aborts
+        the whole mutation with all timelines untouched.  There are no
+        live sessions on a multi-channel server (populations are
+        rejected at sign-on), so the re-walk leg is empty by
+        construction.
+        """
+        programs = design.channel_set.programs
+        update_periods = (
+            dict(scenario.temporal.update_periods)
+            if scenario.temporal is not None
+            else None
+        )
+        dispersal = {spec.name: spec.blocks for spec in scenario.files}
+        label = mutation.describe()
+        method = design.designs[0].report.method
+        planned = []
+        for channel, program in enumerate(programs):
+            # A requirement is only checkable where both the outgoing
+            # and the incoming channel carry the file; a file moving
+            # between channels is a (clean) drop-and-reappear, not a
+            # splice, exactly like a file leaving the catalogue.
+            carried = [
+                file
+                for file in program.files
+                if file in outgoing.segments[channel].program.files
+            ]
+            requirements = self._requirements(outgoing, carried)
+            with obs.span(
+                "server.mutation.splice_search", channel=channel
+            ):
+                candidate, splice_slot, attempts = find_splice_slot(
+                    self._schedules[channel],
+                    program,
+                    not_before=now + 1,
+                    requirements=requirements,
+                    fingerprint=fingerprint,
+                    update_periods=update_periods,
+                    dispersal=dispersal,
+                    label=label,
+                    max_boundaries=self._max_boundaries,
+                )
+            planned.append(
+                (candidate, splice_slot, attempts, requirements)
+            )
+
+        with obs.span(
+            "server.mutation.splice_commit", channels=design.count
+        ):
+            self._schedules = [plan[0] for plan in planned]
+            self._schedule = self._schedules[0]
+            epoch = _Epoch(
+                len(self._epochs),
+                scenario,
+                design,
+                tuple(plan[0].on_air for plan in planned),
+                cache_hit,
+            )
+            self._epochs.append(epoch)
+
+        self._log.record(
+            "mutation",
+            now,
+            mutation=mutation.to_dict(),
+            scenario=scenario.name,
+            mode=_mode_of(scenario),
+            fingerprint=fingerprint,
+            cache_hit=cache_hit,
+            cache_delta=cache_delta,
+            method=method,
+            channels=design.count,
+        )
+        rejected_total = 0
+        for channel, (candidate, splice_slot, attempts, requirements) in (
+            enumerate(planned)
+        ):
+            rejected_total += len(attempts)
+            self._log.record(
+                "splice",
+                splice_slot,
+                channel=channel,
+                outgoing_fingerprint=(
+                    outgoing.segments[channel].fingerprint
+                ),
+                incoming_fingerprint=fingerprint,
+                phase_offset=candidate.on_air.phase_offset,
+                rejected_boundaries=[
+                    {
+                        "slot": slot,
+                        "violations": [v.to_dict() for v in violations],
+                    }
+                    for slot, violations in attempts
+                ],
+                checked_files=sorted(r.file for r in requirements),
+                window=planned_vs_aired(
+                    candidate, splice_slot, self._window
+                ),
+            )
+            self._log.record(
+                "on-air",
+                splice_slot,
+                channel=channel,
+                scenario=scenario.name,
+                mode=_mode_of(scenario),
+                fingerprint=fingerprint,
+                cache_hit=cache_hit,
+                method=method,
+                data_cycle=programs[channel].data_cycle_length,
+            )
+            obs.inc("server.channel.splices", channel=channel)
+
+        obs.inc("server.mutations")
+        obs.inc("server.resplices", 0)
+        obs.inc("server.splice_violations", 0)
+        obs.inc("server.rejected_boundaries", rejected_total)
+
+        record = {
+            "at_slot": now,
+            "mutation": mutation.to_dict(),
+            "splice_slot": planned[0][1],
+            "channel_splice_slots": [plan[1] for plan in planned],
+            "phase_offset": planned[0][0].on_air.phase_offset,
+            "fingerprint": fingerprint,
+            "cache_hit": cache_hit,
+            "cache_delta": cache_delta,
+            "method": method,
+            "rejected_boundaries": [
+                [slot for slot, _ in plan[2]] for plan in planned
+            ],
+            "respliced": 0,
+            "violations": [],
+        }
+        self._mutations.append(record)
+        return record
+
     def schedule_mutation(self, at_slot: int, mutation: Mutation) -> int:
         """Apply ``mutation`` when the kernel reaches ``at_slot``.
 
@@ -689,12 +920,21 @@ class BroadcastServer:
                 [epoch.metrics for epoch in self._epochs],
                 seed=self._epochs[0].scenario.traffic.seed,
             )
+        splice_slots = tuple(
+            sorted(
+                {
+                    slot
+                    for schedule in self._schedules
+                    for slot in schedule.splice_slots
+                }
+            )
+        )
         self._log.record(
             "sign-off",
             self._kernel.now,
             epochs=len(self._epochs),
             mutations=len(self._mutations),
-            splices=list(self._schedule.splice_slots),
+            splices=list(splice_slots),
             violations=len(self._violations),
             resplices=self._resplices,
             cache=self._cache.stats(),
@@ -706,7 +946,7 @@ class BroadcastServer:
             events_processed=self._kernel.processed,
             epochs=tuple(epoch.summary() for epoch in self._epochs),
             mutations=tuple(self._mutations),
-            splice_slots=tuple(self._schedule.splice_slots),
+            splice_slots=splice_slots,
             violations=tuple(self._violations),
             resplices=self._resplices,
             cache_stats=self._cache.stats(),

@@ -28,10 +28,14 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from dataclasses import dataclass
+from typing import Sequence, TYPE_CHECKING
 
 from repro.errors import SimulationError
 from repro.bdisk.program import BroadcastProgram
 from repro.sim.faults import FaultModel, NoFaults, lost_in
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.bdisk.multichannel import ChannelSet
 
 #: Occurrences per batched fault query; large enough to amortize the
 #: batch call, small enough that an early finish wastes little work.
@@ -239,4 +243,187 @@ def retrieve(
         latency=None,
         received=tuple(arrival_order),
         lost_slots=tuple(lost),
+    )
+
+
+@dataclass(frozen=True)
+class MultiChannelRetrieval:
+    """Outcome of one retrieval over a :class:`ChannelSet`.
+
+    Attributes
+    ----------
+    file:
+        The target file.
+    start:
+        The slot at which the client decided to retrieve (*before* any
+        re-tuning).
+    completed:
+        Whether the requirement was met within the horizon.
+    channel:
+        The channel the client chose to listen on.
+    switched:
+        Whether choosing it required a re-tune (and paid the cost).
+    finish_slot:
+        Slot of the final needed block - or, when incomplete, the last
+        slot of the exhausted listening horizon (the client is busy
+        until then either way, which is what multi-channel callers need
+        to advance their clocks; single-channel
+        :class:`RetrievalResult` reports ``None`` instead).
+    latency:
+        ``finish_slot - start + 1``, tuning cost included (None if
+        incomplete).
+    received / lost_slots:
+        As in :class:`RetrievalResult`, on the chosen channel.
+    """
+
+    file: str
+    start: int
+    completed: bool
+    channel: int
+    switched: bool
+    finish_slot: int
+    latency: int | None
+    received: tuple[int, ...]
+    lost_slots: tuple[int, ...]
+
+    def met_deadline(self, deadline_slots: int) -> bool:
+        """Whether retrieval finished within ``deadline_slots`` slots."""
+        return self.completed and self.latency is not None and (
+            self.latency <= deadline_slots
+        )
+
+
+def choose_channel(
+    channels: "ChannelSet",
+    file: str,
+    m_needed: int,
+    *,
+    start: int,
+    tuned: int,
+    need_distinct: bool = True,
+    max_slots: int | None = None,
+    among: Sequence[int] | None = None,
+) -> tuple[int, int, int, RetrievalResult]:
+    """The channel a rational client listens on, and its probe.
+
+    Deterministic choice rule shared by every walker (fast, reference,
+    object engine, SoA engine) - they must agree bit-for-bit: score each
+    candidate channel by its **fault-free** finish slot from the slot the
+    client could start listening (``start``, plus the tuning cost when
+    the candidate is not the currently tuned channel); completed probes
+    beat exhausted ones, earlier finishes beat later ones, and ties go
+    to the lowest channel index.  Faults are *not* consulted - the
+    client cannot predict them, so it commits to the channel that is
+    best on the advertised program.
+
+    Returns ``(channel, listen_start, horizon, probe)`` where ``probe``
+    is the fault-free retrieval on the chosen channel.  ``among``
+    restricts the candidates to a subset of the file's channels (quorum
+    assembly crosses channels off as it reads them).
+    """
+    candidates = (
+        channels.channels_for(file) if among is None else tuple(among)
+    )
+    if not candidates:
+        raise SimulationError(
+            f"no candidate channels to choose from for {file!r}"
+        )
+    best: tuple[int, int, int] | None = None
+    chosen: tuple[int, int, int, RetrievalResult] | None = None
+    for candidate in candidates:
+        listen = channels.listen_start(start, tuned, candidate)
+        program = channels.programs[candidate]
+        horizon = (
+            max_slots
+            if max_slots is not None
+            else default_horizon(program, m_needed)
+        )
+        probe = retrieve(
+            program,
+            file,
+            m_needed,
+            start=listen,
+            faults=None,
+            need_distinct=need_distinct,
+            max_slots=horizon,
+        )
+        busy_until = (
+            probe.finish_slot
+            if probe.completed and probe.finish_slot is not None
+            else listen + horizon - 1
+        )
+        key = (0 if probe.completed else 1, busy_until, candidate)
+        if best is None or key < best:
+            best = key
+            chosen = (candidate, listen, horizon, probe)
+    assert chosen is not None  # channels_for never returns empty
+    return chosen
+
+
+def retrieve_multichannel(
+    channels: "ChannelSet",
+    file: str,
+    m_needed: int,
+    *,
+    start: int = 0,
+    tuned: int = 0,
+    faults: Sequence[FaultModel | None] | None = None,
+    need_distinct: bool = True,
+    max_slots: int | None = None,
+) -> MultiChannelRetrieval:
+    """Simulate one retrieval over ``k`` parallel channels.
+
+    The client picks the channel with the earliest feasible (fault-free)
+    occurrence run via :func:`choose_channel`, pays ``tuning_cost``
+    slots when that channel differs from ``tuned``, then performs the
+    ordinary single-channel retrieval there under that channel's fault
+    model (``faults[channel]``; ``None`` entries mean a clean channel).
+
+    With one channel and ``tuned=0`` this is exactly
+    :func:`retrieve` - same slots heard, same blocks, same latency -
+    which is what keeps ``k=1`` scenarios bit-identical to the
+    single-channel stack.
+    """
+    if faults is not None and len(faults) != channels.count:
+        raise SimulationError(
+            f"faults must have one entry per channel: got {len(faults)} "
+            f"for {channels.count} channel(s)"
+        )
+    channel, listen, horizon, probe = choose_channel(
+        channels,
+        file,
+        m_needed,
+        start=start,
+        tuned=tuned,
+        need_distinct=need_distinct,
+        max_slots=max_slots,
+    )
+    fault_model = faults[channel] if faults is not None else None
+    if fault_model is None or isinstance(fault_model, NoFaults):
+        result = probe
+    else:
+        result = retrieve(
+            channels.programs[channel],
+            file,
+            m_needed,
+            start=listen,
+            faults=fault_model,
+            need_distinct=need_distinct,
+            max_slots=horizon,
+        )
+    finish = (
+        result.finish_slot
+        if result.completed and result.finish_slot is not None
+        else listen + horizon - 1
+    )
+    return MultiChannelRetrieval(
+        file=file,
+        start=start,
+        completed=result.completed,
+        channel=channel,
+        switched=channel != tuned,
+        finish_slot=finish,
+        latency=finish - start + 1 if result.completed else None,
+        received=result.received,
+        lost_slots=result.lost_slots,
     )

@@ -111,12 +111,15 @@ def _check_exact_width(
     subsets = sum(comb(width, k) for k in range(min(m_needed, width)))
     if subsets > 1 << MAX_EXACT_WIDTH:
         raise SimulationError(
-            f"exact adversary search for {file!r} is exponential in "
-            f"dispersal width: collecting {m_needed} of {width} "
+            f"exact adversary search for file {file!r} is exponential "
+            f"in dispersal width: collecting {m_needed} of {width} "
             f"rotated blocks spans {subsets} partial-retrieval states "
             f"(cap: width {MAX_EXACT_WIDTH}, or 2^{MAX_EXACT_WIDTH} "
-            f"states beyond it); use greedy_adversary_delay for a "
-            f"fast lower bound on wide files"
+            f"states beyond it); either shrink the search - a smaller "
+            f"m (fewer blocks to reconstruct, e.g. a larger block "
+            f"size) or a shorter horizon (fewer rotated blocks per "
+            f"cycle) - or use greedy_adversary_delay for a fast "
+            f"linear lower bound at any width"
         )
 
 

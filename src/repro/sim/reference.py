@@ -201,3 +201,89 @@ def worst_case_delay(
         )
         result = max(result, delay)
     return result
+
+
+def retrieve_multichannel(
+    channels,
+    file: str,
+    m_needed: int,
+    *,
+    start: int = 0,
+    tuned: int = 0,
+    faults=None,
+    need_distinct: bool = True,
+    max_slots: int | None = None,
+):
+    """The seed multi-channel retrieval: slot-walking end to end.
+
+    Semantics match :func:`repro.sim.client.retrieve_multichannel`
+    exactly - the same deterministic channel-choice rule (fault-free
+    finish, completed-beats-exhausted, lowest channel on ties), the same
+    tuning-cost and horizon conventions - but every probe and the final
+    retrieval use the naive slot walker above, one slot and one fault
+    query at a time.
+    """
+    from repro.sim.client import MultiChannelRetrieval
+    from repro.sim.faults import NoFaults as _NoFaults
+
+    best_key = None
+    chosen = None
+    for candidate in channels.channels_for(file):
+        listen = start
+        if candidate != tuned:
+            listen += channels.tuning_cost
+        program = channels.programs[candidate]
+        horizon = (
+            max_slots
+            if max_slots is not None
+            else (m_needed + 2) * program.data_cycle_length
+        )
+        probe = retrieve(
+            program,
+            file,
+            m_needed,
+            start=listen,
+            faults=None,
+            need_distinct=need_distinct,
+            max_slots=horizon,
+        )
+        busy_until = (
+            probe.finish_slot
+            if probe.completed and probe.finish_slot is not None
+            else listen + horizon - 1
+        )
+        key = (0 if probe.completed else 1, busy_until, candidate)
+        if best_key is None or key < best_key:
+            best_key = key
+            chosen = (candidate, listen, horizon, probe)
+
+    channel, listen, horizon, probe = chosen
+    fault_model = faults[channel] if faults is not None else None
+    if fault_model is None or isinstance(fault_model, _NoFaults):
+        result = probe
+    else:
+        result = retrieve(
+            channels.programs[channel],
+            file,
+            m_needed,
+            start=listen,
+            faults=fault_model,
+            need_distinct=need_distinct,
+            max_slots=horizon,
+        )
+    finish = (
+        result.finish_slot
+        if result.completed and result.finish_slot is not None
+        else listen + horizon - 1
+    )
+    return MultiChannelRetrieval(
+        file=file,
+        start=start,
+        completed=result.completed,
+        channel=channel,
+        switched=channel != tuned,
+        finish_slot=finish,
+        latency=finish - start + 1 if result.completed else None,
+        received=result.received,
+        lost_slots=result.lost_slots,
+    )

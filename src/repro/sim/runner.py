@@ -13,8 +13,14 @@ from dataclasses import dataclass, replace
 from typing import Mapping, Sequence
 
 from repro.errors import SimulationError
+from repro.bdisk.multichannel import ChannelSet
 from repro.bdisk.program import BroadcastProgram
-from repro.sim.client import RetrievalResult, retrieve
+from repro.sim.client import (
+    MultiChannelRetrieval,
+    RetrievalResult,
+    retrieve,
+    retrieve_multichannel,
+)
 from repro.sim.faults import FaultModel, NoFaults
 from repro.sim.metrics import LatencySummary, summarize_latencies
 from repro.sim.workload import Request
@@ -158,6 +164,72 @@ def simulate_requests(
                 result.completed and result.latency <= request.deadline
             ):
                 misses += 1
+
+    summary = summarize_latencies(
+        (r.latency for r in retrievals),
+    )
+    return SimulationResult(
+        retrievals=tuple(retrievals),
+        requests=tuple(requests),
+        summary=summary,
+        deadline_misses=misses,
+    )
+
+
+def simulate_requests_multichannel(
+    channels: ChannelSet,
+    requests: Sequence[Request],
+    *,
+    file_sizes: Mapping[str, int],
+    faults: Sequence[FaultModel | None] | None = None,
+    max_slots: int | None = None,
+) -> SimulationResult:
+    """Run a request stream against a multi-channel set.
+
+    The multichannel counterpart of :func:`simulate_requests`: each
+    request models a freshly arriving client signed on tuned to channel
+    0, retrieving via :func:`repro.sim.client.retrieve_multichannel`
+    (earliest-feasible channel, tuning cost on a switch).  The
+    retrievals are :class:`~repro.sim.client.MultiChannelRetrieval`
+    records - a superset of the single-channel result fields, so the
+    :class:`SimulationResult` summaries read the same.  ``faults`` is
+    one model per channel (``None`` entries mean a clean channel);
+    request streams are modest, so there is no phase memo here.
+    """
+    if not requests:
+        raise SimulationError("no requests supplied")
+    if faults is not None and len(faults) != channels.count:
+        raise SimulationError(
+            f"per-channel faults must have one entry per channel: "
+            f"got {len(faults)} for {channels.count} channel(s)"
+        )
+    unknown = [
+        request.file
+        for request in requests
+        if request.file not in file_sizes
+    ]
+    if unknown:
+        raise SimulationError(
+            f"no size known for requested file {unknown[0]!r}"
+        )
+    for program in channels.programs:
+        program.index  # build the shared occurrence tables once
+
+    retrievals: list[MultiChannelRetrieval] = []
+    misses = 0
+    for request in requests:
+        result = retrieve_multichannel(
+            channels,
+            request.file,
+            file_sizes[request.file],
+            start=request.time,
+            tuned=0,
+            faults=faults,
+            max_slots=max_slots,
+        )
+        retrievals.append(result)
+        if not result.met_deadline(request.deadline):
+            misses += 1
 
     summary = summarize_latencies(
         (r.latency for r in retrievals),

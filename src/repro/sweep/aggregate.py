@@ -40,6 +40,11 @@ METRIC_COLUMNS = (
     "traffic_p50",
     "traffic_p95",
     "traffic_p99",
+    "channels_k",
+    "channel_util_max",
+    "channel_switches",
+    "quorum_ok_rate",
+    "quorum_mean_latency",
     "worst_delay",
     "cache_hit",
     "elapsed",
@@ -90,6 +95,16 @@ def tidy_row(row: Mapping[str, Any]) -> dict[str, Any]:
         if bandwidth is not None and necessary
         else None
     )
+    channels = stats.get("channels")
+    if channels:
+        record["channels_k"] = len(channels)
+        utilizations = [
+            entry.get("utilization")
+            for entry in channels
+            if entry.get("utilization") is not None
+        ]
+        if utilizations:
+            record["channel_util_max"] = max(utilizations)
     simulation = result.get("simulation")
     if simulation is not None:
         latency = simulation.get("latency") or {}
@@ -115,6 +130,15 @@ def tidy_row(row: Mapping[str, Any]) -> dict[str, Any]:
             record["traffic_mean_age"] = (temporal.get("age") or {}).get(
                 "mean"
             )
+        channel_block = traffic.get("channels")
+        if channel_block is not None:
+            record["channel_switches"] = channel_block.get("switches")
+            quorum = channel_block.get("quorum")
+            if quorum is not None:
+                record["quorum_ok_rate"] = quorum.get("success_rate")
+                record["quorum_mean_latency"] = (
+                    quorum.get("latency") or {}
+                ).get("mean")
     delay_table = result.get("delay_table") or []
     if delay_table:
         record["worst_delay"] = max(

@@ -32,6 +32,7 @@ from repro.errors import SpecificationError
 from repro.api.engine import BroadcastEngine
 from repro.api.scenario import Scenario
 from repro.bdisk.builder import ProgramDesign
+from repro.bdisk.multichannel import MultiChannelDesign
 from repro.obs import telemetry as obs
 
 
@@ -47,7 +48,7 @@ class SolveCache:
         self._directory = None if directory is None else Path(directory)
         if self._directory is not None:
             self._directory.mkdir(parents=True, exist_ok=True)
-        self._memory: dict[str, ProgramDesign] = {}
+        self._memory: dict[str, ProgramDesign | MultiChannelDesign] = {}
         self.hits = 0
         self.misses = 0
         self.solves = 0
@@ -61,7 +62,9 @@ class SolveCache:
         assert self._directory is not None
         return self._directory / f"{fingerprint}.pkl"
 
-    def get(self, fingerprint: str) -> ProgramDesign | None:
+    def get(
+        self, fingerprint: str
+    ) -> ProgramDesign | MultiChannelDesign | None:
         """The cached design for ``fingerprint``, or ``None``."""
         tier = "memory"
         design = self._memory.get(fingerprint)
@@ -87,12 +90,14 @@ class SolveCache:
                 tel.inc("solve_cache.hits", stability="shape", tier=tier)
         return design
 
-    def put(self, fingerprint: str, design: ProgramDesign) -> None:
+    def put(
+        self, fingerprint: str, design: ProgramDesign | MultiChannelDesign
+    ) -> None:
         """Store ``design`` under ``fingerprint`` (atomic on disk)."""
-        if not isinstance(design, ProgramDesign):
+        if not isinstance(design, (ProgramDesign, MultiChannelDesign)):
             raise SpecificationError(
-                f"SolveCache stores ProgramDesign records, got "
-                f"{type(design).__name__}"
+                f"SolveCache stores ProgramDesign or MultiChannelDesign "
+                f"records, got {type(design).__name__}"
             )
         self._memory[fingerprint] = design
         if self._directory is None:
@@ -103,7 +108,9 @@ class SolveCache:
             pickle.dump(design, handle, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(scratch, target)
 
-    def design_for(self, scenario: Scenario) -> tuple[ProgramDesign, bool]:
+    def design_for(
+        self, scenario: Scenario
+    ) -> tuple[ProgramDesign | MultiChannelDesign, bool]:
         """The scenario's design, solving (and caching) on a miss.
 
         Returns ``(design, cache_hit)``.  The fingerprint covers exactly

@@ -221,6 +221,28 @@ class RetrievalTables:
         )
         return latency, finish
 
+    def lookup_one(self, fid: int, start: int) -> tuple[int, int]:
+        """Scalar :meth:`lookup`: one ``(latency, finish)`` outcome.
+
+        The multichannel walk probes one ``(channel, file, listen)``
+        triple at a time - the channel choice depends on the previous
+        request's finish, so requests cannot batch across the choice.
+        Same contract as :meth:`lookup` (``latency == -1`` on abort,
+        ``finish`` the last slot listened to either way).
+        """
+        phase = int(start) % self.cycle
+        if self.dense is not None:
+            latency = int(self.dense[fid, phase])
+        else:
+            latency = int(
+                self._latency_for_file(
+                    fid, np.asarray([phase], dtype=np.int64)
+                )[0]
+            )
+        if latency < 0:
+            return -1, int(start) + int(self.horizons[fid]) - 1
+        return latency, int(start) + latency - 1
+
     def array_fields(self) -> dict[str, np.ndarray]:
         """The flat arrays, by name (the shared-memory export set)."""
         fields = {
@@ -254,6 +276,116 @@ class RetrievalTables:
                 )
             },
         )
+
+
+class MultiChannelTables:
+    """Per-channel retrieval tables plus the channel-choice machinery.
+
+    One :class:`RetrievalTables` per channel, each built over the
+    *channel-local* catalogue (the files that channel carries, in global
+    catalogue order), with a ``(channels, files)`` local-id map joining
+    global file ids to per-channel table rows (``-1`` where a channel
+    does not carry the file).  :meth:`choose` replicates the
+    deterministic channel-choice rule of
+    :func:`repro.sim.client.choose_channel` from the fault-free tables,
+    so the vectorized engine's multichannel walk is bit-identical to the
+    object engine's memoized oracle.
+
+    Like :class:`RetrievalTables`, the whole structure is a pure
+    function of ``(channel_set, catalogue, sizes, max_slots)`` and
+    flattens to named arrays plus a small metadata dict, so pool workers
+    can attach it from shared memory without the programs themselves
+    (:func:`repro.traffic.shm_index.export_multichannel_tables`).
+    """
+
+    __slots__ = ("tables", "candidates", "tuning_cost", "local_ids")
+
+    def __init__(
+        self,
+        tables: Sequence[RetrievalTables],
+        candidates: Sequence[Sequence[int]],
+        tuning_cost: int,
+    ) -> None:
+        self.tables = tuple(tables)
+        self.candidates = tuple(
+            tuple(int(c) for c in channels) for channels in candidates
+        )
+        self.tuning_cost = int(tuning_cost)
+        # Channel-local catalogues preserve global order, so local ids
+        # are the running rank of each file among a channel's carries.
+        local_ids = np.full(
+            (len(self.tables), len(self.candidates)), -1, dtype=np.int64
+        )
+        next_local = [0] * len(self.tables)
+        for fid, channels in enumerate(self.candidates):
+            for channel in channels:
+                local_ids[channel, fid] = next_local[channel]
+                next_local[channel] += 1
+        self.local_ids = local_ids
+
+    @property
+    def count(self) -> int:
+        return len(self.tables)
+
+    @classmethod
+    def build(
+        cls,
+        channel_set,  # ChannelSet (kept untyped: bdisk must not need numpy)
+        catalogue: Sequence[str],
+        file_sizes: Mapping[str, int],
+        max_slots: int | None,
+    ) -> "MultiChannelTables":
+        """Derive per-channel tables from a channel set's programs."""
+        candidates = [
+            channel_set.channels_for(file) for file in catalogue
+        ]
+        tables = []
+        for channel, program in enumerate(channel_set.programs):
+            local = [
+                file
+                for file, channels in zip(catalogue, candidates)
+                if channel in channels
+            ]
+            tables.append(
+                RetrievalTables.build(program, local, file_sizes, max_slots)
+            )
+        return cls(tables, candidates, channel_set.tuning_cost)
+
+    def horizon(self, channel: int, fid: int) -> int:
+        """Listening horizon of global file ``fid`` on ``channel``."""
+        return int(
+            self.tables[channel].horizons[self.local_ids[channel, fid]]
+        )
+
+    def probe(self, channel: int, fid: int, listen: int) -> tuple[int, int]:
+        """Fault-free ``(latency, finish)`` of one channel-local probe."""
+        return self.tables[channel].lookup_one(
+            int(self.local_ids[channel, fid]), listen
+        )
+
+    def choose(
+        self, fid: int, start: int, tuned: int
+    ) -> tuple[int, int, int, int]:
+        """The channel-choice rule: ``(channel, listen, latency, finish)``.
+
+        Fault-free probes only (faults never steer tuning); ``latency``
+        is ``-1`` when even the best channel aborts.  Ties break on
+        ``(aborted, busy-until, channel index)`` exactly like
+        :func:`repro.sim.client.choose_channel`.
+        """
+        best: tuple[int, int, int] | None = None
+        chosen: tuple[int, int, int, int] | None = None
+        for candidate in self.candidates[fid]:
+            listen = (
+                start + self.tuning_cost if candidate != tuned else start
+            )
+            latency, finish = self.probe(candidate, fid, listen)
+            key = (0 if latency >= 0 else 1, finish, candidate)
+            if best is None or key < best:
+                best = key
+                chosen = (candidate, listen, latency, finish)
+        assert chosen is not None  # every file is carried somewhere
+        return chosen
 
 
 def _finish_per_occurrence(

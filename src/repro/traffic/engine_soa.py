@@ -43,13 +43,16 @@ from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.bdisk.multichannel import ChannelSet
 from repro.bdisk.program import BroadcastProgram
 from repro.obs import telemetry as obs
 from repro.rtdb.spec import TemporalSpec
+from repro.sim.client import retrieve
 from repro.sim.faults import FaultModel, NoFaults, lost_in
 from repro.traffic.arrivals import popularity_cdf, popularity_weights
 from repro.traffic.clients import RequestRecord
 from repro.traffic.cohorts import (
+    MultiChannelTables,
     RetrievalTables,
     ThinkSampler,
     arrival_vector,
@@ -431,6 +434,8 @@ def simulate_shard_soa(
     *,
     tables: RetrievalTables | None = None,
     cohort_window: int | None = None,
+    channels: ChannelSet | None = None,
+    mc_tables: MultiChannelTables | None = None,
 ) -> tuple[TrafficMetrics, list[RequestRecord]]:
     """Simulate clients ``[lo, hi)`` with the vectorized engine.
 
@@ -439,10 +444,37 @@ def simulate_shard_soa(
     may then be ``None`` for non-temporal populations), and
     ``cohort_window`` overrides the batching window (tests narrow it to
     exercise wave boundaries - outcomes never depend on it).
+
+    ``channels`` switches the shard to the multi-channel retrieval
+    protocol (``program`` is then ignored); ``mc_tables`` optionally
+    supplies prebuilt (possibly shared-memory) per-channel tables - a
+    fault-free non-temporal shard can run from the tables alone with
+    ``channels=None``.
     """
-    from repro.traffic.simulate import _build_fault_model
+    from repro.traffic.simulate import (
+        _build_fault_model,
+        _channel_fault_models,
+    )
 
     catalogue = tuple(catalogue)
+    if channels is not None or mc_tables is not None:
+        count = channels.count if channels is not None else mc_tables.count
+        channel_faults = _channel_fault_models(faults, count)
+        if temporal is not None:
+            if channels is None:
+                raise ValueError(
+                    "temporal multichannel shards need the channel set "
+                    "itself, not just tables"
+                )
+            return _simulate_temporal_shard(
+                None, catalogue, spec, file_sizes, deadlines, None,
+                temporal, lo, hi, trace, cohort_window,
+                channels=channels, channel_faults=channel_faults,
+            )
+        return _simulate_multichannel_shard(
+            channels, mc_tables, catalogue, spec, file_sizes, deadlines,
+            channel_faults, lo, hi, trace, cohort_window,
+        )
     fault_model = _build_fault_model(faults)
     if temporal is not None:
         return _simulate_temporal_shard(
@@ -608,17 +640,20 @@ def simulate_shard_soa(
 
 
 def _simulate_temporal_shard(
-    program: BroadcastProgram,
+    program: BroadcastProgram | None,
     catalogue: tuple[str, ...],
     spec: TrafficSpec,
     file_sizes: Mapping[str, int],
     deadlines: Mapping[str, int],
-    fault_model: FaultModel,
+    fault_model: FaultModel | None,
     temporal: TemporalSpec,
     lo: int,
     hi: int,
     trace: bool,
     cohort_window: int | None,
+    *,
+    channels: ChannelSet | None = None,
+    channel_faults: Sequence[FaultModel] | None = None,
 ) -> tuple[TrafficMetrics, list[RequestRecord]]:
     """The temporal population under cohort batching.
 
@@ -628,8 +663,16 @@ def _simulate_temporal_shard(
     previous finish - so there is nothing to batch inside it).  Metrics
     feed a real :class:`TrafficMetrics` in wave order, which is legal
     because exact mode is order-independent.
+
+    With ``channels`` each client gets its own quorum retriever (tuned
+    state persists across that client's transactions), mirroring the
+    object engine's per-session retrievers exactly.
     """
-    from repro.traffic.simulate import _temporal_mix, _VersionedRetriever
+    from repro.traffic.simulate import (
+        _QuorumRetriever,
+        _temporal_mix,
+        _VersionedRetriever,
+    )
 
     weights = popularity_weights(
         spec.popularity,
@@ -642,8 +685,13 @@ def _simulate_temporal_shard(
     cdf = list(accumulate(mix_weights))
     cum_weights = np.asarray(cdf, dtype=np.float64)
     total_weight = cdf[-1] + 0.0
-    versioned = _VersionedRetriever(
-        program, file_sizes, temporal.server(), fault_model, spec.max_slots
+    server = temporal.server()
+    versioned = (
+        None
+        if channels is not None
+        else _VersionedRetriever(
+            program, file_sizes, server, fault_model, spec.max_slots
+        )
     )
     max_age = temporal.max_age_slots()
     metrics = TrafficMetrics(seed=spec.seed)
@@ -662,6 +710,7 @@ def _simulate_temporal_shard(
         )
         next_slot = arrival_vector(spec, block_lo, block_hi)
         left = np.full(n, requests, dtype=np.int64)
+        retrievers: dict[int, Any] = {}
         for members in cohort_waves(next_slot, left, window):
             now = next_slot[members]
             position = (requests - left[members]) * stride
@@ -679,8 +728,17 @@ def _simulate_temporal_shard(
                 clock = start
                 finish = start
                 aborted = False
+                if channels is not None:
+                    reader = retrievers.get(member)
+                    if reader is None:
+                        reader = retrievers[member] = _QuorumRetriever(
+                            channels, file_sizes, server, channel_faults,
+                            spec.max_slots, metrics,
+                        )
+                else:
+                    reader = versioned
                 for item in txn.items:
-                    latency, finish, age, torn = versioned(item, clock)
+                    latency, finish, age, torn = reader(item, clock)
                     metrics.record_versioned_read(
                         age,
                         age is not None and age <= max_age[item],
@@ -712,6 +770,195 @@ def _simulate_temporal_shard(
 
         _record_shard_metrics(metrics, "soa")
     return metrics, records if records is not None else []
+
+
+def _simulate_multichannel_shard(
+    channels: ChannelSet | None,
+    mc_tables: MultiChannelTables | None,
+    catalogue: tuple[str, ...],
+    spec: TrafficSpec,
+    file_sizes: Mapping[str, int],
+    deadlines: Mapping[str, int],
+    channel_faults: Sequence[FaultModel] | None,
+    lo: int,
+    hi: int,
+    trace: bool,
+    cohort_window: int | None,
+) -> tuple[TrafficMetrics, list[RequestRecord]]:
+    """The multi-channel population under cohort batching.
+
+    Draws and cohort bookkeeping are vectorized; the channel choice is
+    a short scalar walk per member against the per-channel tables - a
+    request's candidate set depends on the client's current tuned
+    channel, which the previous request just moved, so the choice
+    cannot batch across members of a wave without changing outcomes.
+    Fault-free outcomes come straight from the chosen channel's table;
+    faulty channels re-walk the chosen channel's real program (faults
+    never steer the choice itself, exactly as in
+    :func:`repro.sim.client.retrieve_multichannel`).  Metrics feed a
+    real :class:`TrafficMetrics` in wave order (exact mode is
+    order-independent), so shards merge bit-identically with the object
+    engine's.
+    """
+    if mc_tables is None:
+        mc_tables = MultiChannelTables.build(
+            channels, catalogue, file_sizes, spec.max_slots
+        )
+    faulty = channel_faults is not None and any(
+        not isinstance(model, NoFaults) for model in channel_faults
+    )
+    if faulty and channels is None:
+        raise ValueError(
+            "faulty multichannel shards need the channel set itself, "
+            "not just tables"
+        )
+
+    tel = obs.current()
+    c_waves = h_cohort = c_mc = None
+    if tel is not None:
+        c_waves = tel.counter("soa.waves", stability="shape")
+        h_cohort = tel.histogram("soa.cohort_size", stability="shape")
+        c_mc = tel.counter(
+            "traffic.retrievals", stability="shape",
+            oracle="soa", kind="multichannel",
+        )
+    cdf = popularity_cdf(
+        spec.popularity,
+        len(catalogue),
+        zipf_skew=spec.zipf_skew,
+        hot_fraction=spec.hot_fraction,
+        hot_weight=spec.hot_weight,
+    )
+    cum_weights = np.asarray(cdf, dtype=np.float64)
+    total_weight = cdf[-1] + 0.0
+    metrics = TrafficMetrics(seed=spec.seed)
+    records: list[RequestRecord] | None = [] if trace else None
+    think = ThinkSampler(spec.think_time) if spec.think_time > 0 else None
+    window = cohort_window if cohort_window is not None else _DEFAULT_WINDOW
+    requests = spec.requests_per_client
+    stride = 2 if spec.think_time > 0 else 1
+    block = _block_size(hi - lo, requests * stride, faulty)
+
+    for block_lo in range(lo, hi, block):
+        block_hi = min(hi, block_lo + block)
+        n = block_hi - block_lo
+        draws = uniform_matrix(
+            spec.seed, TAG_CLIENT, block_lo, block_hi, requests * stride
+        )
+        next_slot = arrival_vector(spec, block_lo, block_hi)
+        left = np.full(n, requests, dtype=np.int64)
+        tuned = np.zeros(n, dtype=np.int64)  # clients sign on tuned to 0
+        for members in cohort_waves(next_slot, left, window):
+            if c_waves is not None:
+                c_waves.add()
+                h_cohort.observe(len(members))
+                c_mc.add(len(members))
+            now = next_slot[members]
+            position = (requests - left[members]) * stride
+            file_ids = file_draw(
+                cum_weights, total_weight, draws[members, position]
+            )
+            thinks = (
+                think.sample(draws[members, position + 1])
+                if think is not None
+                else None
+            )
+            for row, member in enumerate(members.tolist()):
+                start = int(now[row])
+                fid = int(file_ids[row])
+                channel, listen, latency, finish = mc_tables.choose(
+                    fid, start, int(tuned[member])
+                )
+                completed = latency >= 0
+                if channel_faults is not None:
+                    model = channel_faults[channel]
+                    if not isinstance(model, NoFaults):
+                        horizon = mc_tables.horizon(channel, fid)
+                        file = catalogue[fid]
+                        result = retrieve(
+                            channels.programs[channel],
+                            file,
+                            file_sizes[file],
+                            start=listen,
+                            faults=model,
+                            need_distinct=True,
+                            max_slots=horizon,
+                        )
+                        completed = result.completed
+                        finish = (
+                            result.finish_slot
+                            if result.completed
+                            and result.finish_slot is not None
+                            else listen + horizon - 1
+                        )
+                if channel != tuned[member]:
+                    tuned[member] = channel
+                    metrics.record_channel_switches(1)
+                response = finish - start + 1 if completed else None
+                file = catalogue[fid]
+                metrics.record(file, response, deadlines[file])
+                if records is not None:
+                    records.append(
+                        RequestRecord(
+                            client=block_lo + member,
+                            file=file,
+                            issued=start,
+                            latency=response,
+                            deadline=deadlines[file],
+                            cache_hit=False,
+                        )
+                    )
+                next_slot[member] = finish + 1 + (
+                    int(thinks[row]) if thinks is not None else 0
+                )
+            left[members] -= 1
+    if tel is not None:
+        from repro.traffic.simulate import _record_shard_metrics
+
+        _record_shard_metrics(metrics, "soa")
+    return metrics, records if records is not None else []
+
+
+def _shard_task_shm_mc(
+    meta: Mapping[str, Any],
+    catalogue: Sequence[str],
+    spec: TrafficSpec,
+    file_sizes: Mapping[str, int],
+    deadlines: Mapping[str, int],
+    lo: int,
+    hi: int,
+    trace: bool,
+    *,
+    telemetry: bool = False,
+) -> tuple[TrafficMetrics, list[RequestRecord], dict[str, Any] | None]:
+    """Pool-worker entry for fault-free multichannel shards.
+
+    Same contract as :func:`_shard_task_shm`, but the segment holds one
+    set of retrieval tables per channel plus the candidates map - the
+    worker rebuilds the whole channel-choice machinery from the mapping
+    and never sees a program.  Faulty or temporal multichannel shards
+    go through the generic pickling task instead (they need the real
+    programs or the channel set).
+    """
+    from repro.traffic.shm_index import attach_multichannel_tables
+
+    tables, shared = attach_multichannel_tables(meta)
+    try:
+        if not telemetry:
+            metrics, records = simulate_shard_soa(
+                None, catalogue, spec, file_sizes, deadlines, None,
+                None, lo, hi, trace, mc_tables=tables,
+            )
+            return metrics, records, None
+        with obs.capture() as tel:
+            with tel.span("traffic.shard", engine="soa", lo=lo, hi=hi):
+                metrics, records = simulate_shard_soa(
+                    None, catalogue, spec, file_sizes, deadlines, None,
+                    None, lo, hi, trace, mc_tables=tables,
+                )
+        return metrics, records, tel.to_dict()
+    finally:
+        shared.close()
 
 
 def _shard_task_shm(

@@ -243,9 +243,16 @@ class TrafficMetrics:
         self.torn_discards = 0
         self.age_sum = 0
         self.worst_age = 0
+        self.channel_switches = 0
+        self.quorum_reads: dict[str, int] = {}
+        self.quorum_latency_sum = 0
+        self.worst_quorum_latency = 0
         self.reservoir = ReservoirSample(reservoir_capacity, seed=seed)
         self._counts: dict[int, int] | None = {} if exact_counts else None
         self._ages: dict[int, int] | None = {} if exact_counts else None
+        self._quorum_counts: dict[int, int] | None = (
+            {} if exact_counts else None
+        )
         self._estimators = {q: P2Quantile(q) for q in TRACKED_QUANTILES}
 
     # ------------------------------------------------------------------
@@ -315,9 +322,80 @@ class TrafficMetrics:
         if self._ages is not None:
             self._ages[age] = self._ages.get(age, 0) + 1
 
+    def record_channel_switches(self, switches: int) -> None:
+        """Fold in re-tunes performed by one retrieval (0 is free)."""
+        self.channel_switches += switches
+
+    def record_quorum(self, outcome: str, latency: int | None) -> None:
+        """Record one r-of-k quorum read.
+
+        ``outcome`` is ``"ok"`` / ``"mismatch"`` / ``"incomplete"`` (see
+        :class:`repro.rtdb.updates.QuorumRead`); ``latency`` is the
+        assembly latency in slots for ``"ok"`` reads (None otherwise).
+        Exact-mergeable: outcomes are counters, latencies an exact
+        integer histogram.
+        """
+        self.quorum_reads[outcome] = self.quorum_reads.get(outcome, 0) + 1
+        if latency is None:
+            return
+        self.quorum_latency_sum += latency
+        if latency > self.worst_quorum_latency:
+            self.worst_quorum_latency = latency
+        if self._quorum_counts is not None:
+            self._quorum_counts[latency] = (
+                self._quorum_counts.get(latency, 0) + 1
+            )
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
+
+    @property
+    def quorum_total(self) -> int:
+        """Quorum reads recorded, over all outcomes."""
+        return sum(self.quorum_reads.values())
+
+    @property
+    def quorum_ok(self) -> int:
+        """Quorum reads that assembled a consistent version."""
+        return self.quorum_reads.get("ok", 0)
+
+    @property
+    def quorum_success_rate(self) -> float:
+        """Fraction of quorum reads that assembled (1.0 with none)."""
+        total = self.quorum_total
+        return self.quorum_ok / total if total else 1.0
+
+    @property
+    def mean_quorum_latency(self) -> float:
+        """Mean assembly latency of successful quorum reads, in slots."""
+        ok = self.quorum_ok
+        return self.quorum_latency_sum / ok if ok else 0.0
+
+    @property
+    def quorum_counts(self) -> dict[int, int]:
+        """The exact quorum-latency histogram (requires ``exact_counts``)."""
+        if self._quorum_counts is None:
+            raise SimulationError(
+                "this accumulator was built with exact_counts=False"
+            )
+        return dict(self._quorum_counts)
+
+    def quorum_quantile(self, q: float) -> float:
+        """The ``q``-quantile of quorum assembly latencies (exact mode)."""
+        if self._quorum_counts is None:
+            raise SimulationError(
+                "this accumulator was built with exact_counts=False"
+            )
+        if not self.quorum_ok:
+            return math.nan
+        if not 0.0 < q < 1.0:
+            raise SpecificationError(f"quantile must be in (0, 1): {q}")
+        return float(
+            _percentile_from_counts(
+                sorted(self._quorum_counts.items()), self.quorum_ok, q
+            )
+        )
 
     @property
     def mean_latency(self) -> float:
@@ -505,6 +583,11 @@ class TrafficMetrics:
         cache_hits: int = 0,
         cache_misses: int = 0,
         cache_evictions: int = 0,
+        channel_switches: int = 0,
+        quorum_reads: Mapping[str, int] | None = None,
+        quorum_latency_sum: int = 0,
+        worst_quorum_latency: int = 0,
+        quorum_counts: Mapping[int, int] | None = None,
         reservoir_capacity: int = 512,
     ) -> "TrafficMetrics":
         """An exact accumulator assembled from batch totals.
@@ -535,6 +618,11 @@ class TrafficMetrics:
         out.requests_by_file = dict(requests_by_file or {})
         out.hits_by_file = dict(hits_by_file or {})
         out._counts = dict(counts or {})
+        out.channel_switches = channel_switches
+        out.quorum_reads = dict(quorum_reads or {})
+        out.quorum_latency_sum = quorum_latency_sum
+        out.worst_quorum_latency = worst_quorum_latency
+        out._quorum_counts = dict(quorum_counts or {})
         return out
 
     # ------------------------------------------------------------------
@@ -573,6 +661,7 @@ class TrafficMetrics:
         out = cls(exact_counts=True, reservoir_capacity=capacity, seed=seed)
         counts: dict[int, int] = {}
         ages: dict[int, int] = {}
+        quorum_counts: dict[int, int] = {}
         for part in parts:
             out.requests += part.requests
             out.completions += part.completions
@@ -588,6 +677,18 @@ class TrafficMetrics:
             out.torn_discards += part.torn_discards
             out.age_sum += part.age_sum
             out.worst_age = max(out.worst_age, part.worst_age)
+            out.channel_switches += part.channel_switches
+            out.quorum_latency_sum += part.quorum_latency_sum
+            out.worst_quorum_latency = max(
+                out.worst_quorum_latency, part.worst_quorum_latency
+            )
+            for outcome, n in part.quorum_reads.items():
+                out.quorum_reads[outcome] = (
+                    out.quorum_reads.get(outcome, 0) + n
+                )
+            if part._quorum_counts is not None:
+                for value, n in part._quorum_counts.items():
+                    quorum_counts[value] = quorum_counts.get(value, 0) + n
             for file, n in part.requests_by_file.items():
                 out.requests_by_file[file] = (
                     out.requests_by_file.get(file, 0) + n
@@ -602,6 +703,7 @@ class TrafficMetrics:
                     ages[value] = ages.get(value, 0) + n
         out._counts = counts
         out._ages = ages
+        out._quorum_counts = quorum_counts
         # The reservoir is resampled from the merged histogram; the live
         # P2 estimators stay unfed (the stream was consumed shard-side)
         # and quantile() answers exactly from the histogram instead.

@@ -29,7 +29,7 @@ from typing import Any, Mapping
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.traffic.cohorts import RetrievalTables
+from repro.traffic.cohorts import MultiChannelTables, RetrievalTables
 
 
 def _create_segment(size: int):
@@ -194,5 +194,62 @@ def attach_tables(
     extra = shared.extra
     tables = RetrievalTables.from_arrays(
         extra["cycle"], extra["period"], shared.arrays()
+    )
+    return tables, shared
+
+
+def export_multichannel_tables(tables: MultiChannelTables) -> SharedTables:
+    """Pack per-channel retrieval tables into one segment (parent side).
+
+    Each channel's arrays are packed under a ``c<channel>.`` name prefix
+    (channel indexes never prefix each other: ``"c10."`` does not start
+    with ``"c1."``); the candidates map, tuning cost, and per-channel
+    cycles/periods ride in ``extra``, so the worker rebuilds the whole
+    :class:`~repro.traffic.cohorts.MultiChannelTables` from the segment
+    alone - no programs cross the pool.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    for channel, channel_tables in enumerate(tables.tables):
+        for name, array in channel_tables.array_fields().items():
+            arrays[f"c{channel}.{name}"] = array
+    return SharedTables.create(
+        arrays,
+        extra={
+            "channels": tables.count,
+            "tuning_cost": tables.tuning_cost,
+            "candidates": [list(c) for c in tables.candidates],
+            "cycles": [t.cycle for t in tables.tables],
+            "periods": [t.period for t in tables.tables],
+        },
+    )
+
+
+def attach_multichannel_tables(
+    meta: Mapping[str, Any],
+) -> tuple[MultiChannelTables, SharedTables]:
+    """Map a parent's multichannel export (worker side).
+
+    Same contract as :func:`attach_tables`: the returned handle keeps
+    the zero-copy views alive - ``close()`` it when the shard is done.
+    """
+    shared = SharedTables.attach(meta)
+    extra = shared.extra
+    arrays = shared.arrays()
+    per_channel = []
+    for channel in range(extra["channels"]):
+        prefix = f"c{channel}."
+        per_channel.append(
+            RetrievalTables.from_arrays(
+                extra["cycles"][channel],
+                extra["periods"][channel],
+                {
+                    name[len(prefix):]: array
+                    for name, array in arrays.items()
+                    if name.startswith(prefix)
+                },
+            )
+        )
+    tables = MultiChannelTables(
+        per_channel, extra["candidates"], extra["tuning_cost"]
     )
     return tables, shared

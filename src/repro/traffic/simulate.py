@@ -30,6 +30,7 @@ from typing import Any, Mapping, Sequence
 from math import lcm
 
 from repro.errors import SimulationError, SpecificationError
+from repro.bdisk.multichannel import ChannelSet
 from repro.bdisk.program import BroadcastProgram
 from repro.obs import telemetry as obs
 from repro.rtdb.spec import TemporalSpec
@@ -37,6 +38,7 @@ from repro.rtdb.transactions import ReadTransaction
 from repro.rtdb.updates import (
     UpdatingServer,
     retrieve_versioned,
+    retrieve_versioned_quorum,
     versioned_horizon,
 )
 from repro.sim.cache import CachingClient, LruCache, PixCache
@@ -102,6 +104,15 @@ def _record_shard_metrics(metrics: TrafficMetrics, engine: str) -> None:
     tel.inc(
         "traffic.deadline_misses", metrics.deadline_misses, engine=engine
     )
+    if metrics.channel_switches:
+        tel.inc(
+            "traffic.tuning.switches", metrics.channel_switches,
+            engine=engine,
+        )
+    for outcome, count in sorted(metrics.quorum_reads.items()):
+        tel.inc(
+            "traffic.quorum.reads", count, engine=engine, outcome=outcome
+        )
     if metrics.exact:
         hist = tel.histogram(
             "traffic.latency_slots", unit="slots", engine=engine
@@ -321,6 +332,282 @@ class _VersionedRetriever:
         return latency, start + latency - 1, age, torn
 
 
+class _MultiOracle:
+    """Shared multichannel retrieval machinery for one shard.
+
+    Implements the deterministic channel-choice rule of
+    :func:`repro.sim.client.choose_channel` with the fault-free probes
+    memoized per ``(channel, file, listen mod channel cycle)`` - a
+    probe's outcome over the clean channel depends on the listen slot
+    only through its phase, so heavy traffic pays one real probe per
+    phase per channel.  End-to-end outcomes are bit-identical to
+    :func:`repro.sim.client.retrieve_multichannel` (pinned by
+    ``tests/traffic/test_traffic_multichannel.py``).
+    """
+
+    __slots__ = ("channels", "faults", "_sizes", "_max_slots", "_cycles",
+                 "_horizons", "_memo", "_c_memo", "_c_walk")
+
+    def __init__(
+        self,
+        channels: ChannelSet,
+        file_sizes: Mapping[str, int],
+        faults: Sequence[FaultModel] | None,
+        max_slots: int | None,
+    ) -> None:
+        self.channels = channels
+        self.faults = faults
+        self._sizes = file_sizes
+        self._max_slots = max_slots
+        self._cycles = tuple(
+            program.data_cycle_length for program in channels.programs
+        )
+        self._horizons: dict[tuple[int, str], int] = {}
+        # (channel, file, phase) -> (completed, latency-from-listen).
+        self._memo: dict[tuple[int, str, int], tuple[bool, int]] = {}
+        tel = obs.current()
+        self._c_memo = self._c_walk = None
+        if tel is not None:
+            self._c_memo = tel.counter(
+                "traffic.retrievals", stability="shape",
+                oracle="multichannel", kind="memo",
+            )
+            self._c_walk = tel.counter(
+                "traffic.retrievals", stability="shape",
+                oracle="multichannel", kind="walk",
+            )
+
+    def horizon(self, channel: int, file: str) -> int:
+        """Slots a retrieval on ``channel`` listens before giving up."""
+        key = (channel, file)
+        horizon = self._horizons.get(key)
+        if horizon is None:
+            horizon = self._horizons[key] = (
+                self._max_slots
+                if self._max_slots is not None
+                else default_horizon(
+                    self.channels.programs[channel], self._sizes[file]
+                )
+            )
+        return horizon
+
+    def _probe(
+        self, channel: int, file: str, listen: int
+    ) -> tuple[bool, int]:
+        """``(completed, latency from listen)`` of the clean probe."""
+        key = (channel, file, listen % self._cycles[channel])
+        hit = self._memo.get(key)
+        if hit is None:
+            result = retrieve(
+                self.channels.programs[channel],
+                file,
+                self._sizes[file],
+                start=key[2],
+                faults=None,
+                need_distinct=True,
+                max_slots=self.horizon(channel, file),
+            )
+            hit = self._memo[key] = (
+                result.completed,
+                result.latency if result.completed else 0,
+            )
+            if self._c_walk is not None:
+                self._c_walk.add()
+        elif self._c_memo is not None:
+            self._c_memo.add()
+        return hit
+
+    def retrieve(
+        self, file: str, start: int, tuned: int
+    ) -> tuple[int | None, int, int]:
+        """One multichannel retrieval: ``(latency, finish, channel)``.
+
+        ``latency`` is ``None`` on an abort; ``finish`` is the last slot
+        listened to either way (tuning cost included in both).
+        """
+        best: tuple[int, int, int] | None = None
+        chosen: tuple[int, int, bool, int] | None = None
+        for candidate in self.channels.channels_for(file):
+            listen = self.channels.listen_start(start, tuned, candidate)
+            completed, latency = self._probe(candidate, file, listen)
+            busy = (
+                listen + latency - 1
+                if completed
+                else listen + self.horizon(candidate, file) - 1
+            )
+            key = (0 if completed else 1, busy, candidate)
+            if best is None or key < best:
+                best = key
+                chosen = (candidate, listen, completed, latency)
+        assert chosen is not None  # channels_for never returns empty
+        channel, listen, completed, latency = chosen
+        horizon = self.horizon(channel, file)
+        model = self.faults[channel] if self.faults is not None else None
+        if model is None or isinstance(model, NoFaults):
+            finish = (
+                listen + latency - 1 if completed else listen + horizon - 1
+            )
+        else:
+            result = retrieve(
+                self.channels.programs[channel],
+                file,
+                self._sizes[file],
+                start=listen,
+                faults=model,
+                need_distinct=True,
+                max_slots=horizon,
+            )
+            completed = result.completed
+            finish = (
+                result.finish_slot
+                if result.completed and result.finish_slot is not None
+                else listen + horizon - 1
+            )
+        return (
+            finish - start + 1 if completed else None,
+            finish,
+            channel,
+        )
+
+
+class _MultiRetriever:
+    """Per-session adapter: the multichannel oracle as a ``Retriever``.
+
+    Sessions share the oracle (and its probe memo) but each holds its
+    own tuned-channel state - clients sign on tuned to channel 0, and
+    the tuned channel persists across the session's requests.  Re-tunes
+    are charged to the metrics as they happen.
+    """
+
+    __slots__ = ("_oracle", "_metrics", "_tuned")
+
+    def __init__(self, oracle: _MultiOracle, metrics: TrafficMetrics) -> None:
+        self._oracle = oracle
+        self._metrics = metrics
+        self._tuned = 0
+
+    def __call__(self, file: str, start: int) -> tuple[int | None, int]:
+        latency, finish, channel = self._oracle.retrieve(
+            file, start, self._tuned
+        )
+        if channel != self._tuned:
+            self._tuned = channel
+            self._metrics.record_channel_switches(1)
+        return latency, finish
+
+
+class _QuorumRetriever:
+    """Per-session adapter: quorum reads as a ``VersionedRetriever``.
+
+    Each transaction item runs one r-of-k
+    :func:`~repro.rtdb.updates.retrieve_versioned_quorum` assembly; the
+    session's tuned channel carries over between items and requests
+    (clients sign on tuned to channel 0).  Quorum outcomes and re-tunes
+    feed the metrics here, so sessions stay protocol-agnostic.
+    """
+
+    __slots__ = (
+        "_channels", "_sizes", "_server", "_faults", "_max_slots",
+        "_metrics", "_tuned",
+    )
+
+    def __init__(
+        self,
+        channels: ChannelSet,
+        file_sizes: Mapping[str, int],
+        server: UpdatingServer,
+        faults: Sequence[FaultModel] | None,
+        max_slots: int | None,
+        metrics: TrafficMetrics,
+    ) -> None:
+        self._channels = channels
+        self._sizes = file_sizes
+        self._server = server
+        self._faults = faults
+        self._max_slots = max_slots
+        self._metrics = metrics
+        self._tuned = 0
+
+    def __call__(
+        self, file: str, start: int
+    ) -> tuple[int | None, int, int | None, int]:
+        read = retrieve_versioned_quorum(
+            self._channels,
+            self._server,
+            file,
+            self._sizes[file],
+            start=start,
+            tuned=self._tuned,
+            faults=self._faults,
+            max_slots=self._max_slots,
+        )
+        if read.switches:
+            self._metrics.record_channel_switches(read.switches)
+        self._metrics.record_quorum(read.outcome, read.latency)
+        self._tuned = read.tuned
+        return (
+            read.latency if read.completed else None,
+            read.finish_slot,
+            read.age_at_completion,
+            read.torn_discards,
+        )
+
+
+def _channel_fault_models(
+    faults: Any, count: int
+) -> list[FaultModel] | None:
+    """Fresh per-channel fault-model instances for a ``count``-set.
+
+    ``None`` stays ``None`` (every channel clean).  A declarative spec
+    with :meth:`~repro.api.scenario.FaultSpec.for_channel` derives one
+    independent model per channel (stochastic channels get decorrelated
+    seed substreams).  A sequence supplies per-channel entries verbatim
+    (``None`` entries mean a clean channel).  A bare shared
+    :class:`FaultModel` instance is rejected - one RNG stream cannot
+    serve ``k`` channels without correlating their losses.
+    """
+    if faults is None:
+        return None
+    for_channel = getattr(faults, "for_channel", None)
+    if callable(for_channel):
+        return [
+            _build_fault_model(for_channel(channel))
+            for channel in range(count)
+        ]
+    if isinstance(faults, Sequence) and not isinstance(
+        faults, (str, bytes)
+    ):
+        entries = list(faults)
+        if len(entries) != count:
+            raise SpecificationError(
+                f"per-channel faults must have one entry per channel: "
+                f"got {len(entries)} for {count} channel(s)"
+            )
+        return [_build_fault_model(entry) for entry in entries]
+    raise SpecificationError(
+        f"multi-channel traffic needs a FaultSpec (per-channel "
+        f"derivation via for_channel), a per-channel sequence, or None; "
+        f"got {type(faults).__name__}"
+    )
+
+
+def _validate_channels(channels: Any, spec: TrafficSpec) -> None:
+    """Eager checks for a multi-channel traffic run."""
+    if channels is None:
+        return
+    if not isinstance(channels, ChannelSet):
+        raise SpecificationError(
+            f"channels must be a ChannelSet, got "
+            f"{type(channels).__name__}"
+        )
+    if spec.cache is not None:
+        raise SpecificationError(
+            "client caches are not supported over multi-channel sets "
+            "(a cached copy would bypass the tuning model); remove the "
+            "traffic cache from multi-channel scenarios"
+        )
+
+
 def _temporal_mix(
     temporal: TemporalSpec,
     catalogue: tuple[str, ...],
@@ -403,17 +690,23 @@ def shard_bounds(clients: int, shards: int) -> list[tuple[int, int]]:
 
 
 def _validate_population(
-    program: BroadcastProgram,
+    program: BroadcastProgram | None,
     catalogue: tuple[str, ...],
     file_sizes: Mapping[str, int],
     deadlines: Mapping[str, int],
+    channels: ChannelSet | None = None,
 ) -> None:
     if not catalogue:
         raise SpecificationError("traffic catalogue must not be empty")
     if len(set(catalogue)) != len(catalogue):
         raise SpecificationError("traffic catalogue has duplicate files")
     for file in catalogue:
-        if file not in program.files:
+        if channels is not None:
+            if file not in channels.assignment:
+                raise SimulationError(
+                    f"file {file!r} is not broadcast on any channel"
+                )
+        elif file not in program.files:
             raise SimulationError(f"file {file!r} is not broadcast")
         if file not in file_sizes:
             raise SimulationError(f"no size known for file {file!r}")
@@ -422,7 +715,7 @@ def _validate_population(
 
 
 def simulate_traffic_shard(
-    program: BroadcastProgram,
+    program: BroadcastProgram | None,
     catalogue: Sequence[str],
     spec: TrafficSpec,
     *,
@@ -430,6 +723,7 @@ def simulate_traffic_shard(
     deadlines: Mapping[str, int],
     faults: Any = None,
     temporal: TemporalSpec | None = None,
+    channels: ChannelSet | None = None,
     lo: int,
     hi: int,
     engine: str = "object",
@@ -448,7 +742,12 @@ def simulate_traffic_shard(
     """
     catalogue = tuple(catalogue)
     _check_engine(engine)
-    _validate_population(program, catalogue, file_sizes, deadlines)
+    _validate_channels(channels, spec)
+    if channels is None and program is None:
+        raise SpecificationError(
+            "simulate_traffic_shard needs a program or a channel set"
+        )
+    _validate_population(program, catalogue, file_sizes, deadlines, channels)
     if temporal is not None:
         _validate_temporal(temporal, spec, catalogue)
     if not 0 <= lo < hi <= spec.clients:
@@ -463,19 +762,19 @@ def simulate_traffic_shard(
 
         metrics, _ = simulate_shard_soa(
             program, catalogue, spec, sizes, limits, faults, temporal,
-            lo, hi, False,
+            lo, hi, False, channels=channels,
         )
         return metrics
     metrics, _ = _simulate_shard(
         program, catalogue, spec, sizes, limits, faults, temporal,
-        lo, hi, False,
+        lo, hi, False, channels=channels,
     )
     return metrics
 
 
 def _pool_shard_task(
     engine: str,
-    program: BroadcastProgram,
+    program: BroadcastProgram | None,
     catalogue: tuple[str, ...],
     spec: TrafficSpec,
     sizes: dict[str, int],
@@ -486,6 +785,7 @@ def _pool_shard_task(
     hi: int,
     trace: bool,
     telemetry: bool,
+    channels: ChannelSet | None = None,
 ) -> tuple[TrafficMetrics, list[RequestRecord], dict[str, Any] | None]:
     """Pool task: one shard, optionally capturing worker telemetry.
 
@@ -503,14 +803,14 @@ def _pool_shard_task(
     if not telemetry:
         metrics, records = runner(
             program, catalogue, spec, sizes, limits, faults, temporal,
-            lo, hi, trace,
+            lo, hi, trace, channels=channels,
         )
         return metrics, records, None
     with obs.capture() as tel:
         with tel.span("traffic.shard", engine=engine, lo=lo, hi=hi):
             metrics, records = runner(
                 program, catalogue, spec, sizes, limits, faults,
-                temporal, lo, hi, trace,
+                temporal, lo, hi, trace, channels=channels,
             )
     return metrics, records, tel.to_dict()
 
@@ -531,7 +831,7 @@ def _build_fault_model(faults: Any) -> FaultModel:
 
 
 def _simulate_shard(
-    program: BroadcastProgram,
+    program: BroadcastProgram | None,
     catalogue: tuple[str, ...],
     spec: TrafficSpec,
     file_sizes: dict[str, int],
@@ -541,6 +841,8 @@ def _simulate_shard(
     lo: int,
     hi: int,
     trace: bool,
+    *,
+    channels: ChannelSet | None = None,
 ) -> tuple[TrafficMetrics, list[RequestRecord]]:
     """Simulate clients ``[lo, hi)`` - one shard of the population.
 
@@ -548,7 +850,12 @@ def _simulate_shard(
     behaviour from their index, so the shard layout cannot change any
     outcome.
     """
-    fault_model = _build_fault_model(faults)
+    if channels is not None:
+        channel_faults = _channel_fault_models(faults, channels.count)
+        fault_model: FaultModel | None = None
+    else:
+        channel_faults = None
+        fault_model = _build_fault_model(faults)
     weights = popularity_weights(
         spec.popularity,
         len(catalogue),
@@ -569,13 +876,18 @@ def _simulate_shard(
     records: list[RequestRecord] | None = [] if trace else None
 
     if temporal is not None:
-        versioned = _VersionedRetriever(
-            program,
-            file_sizes,
-            temporal.server(),
-            fault_model,
-            spec.max_slots,
-        )
+        versioned: Any
+        server = temporal.server()
+        if channels is not None:
+            versioned = None  # per-session retrievers carry tuned state
+        else:
+            versioned = _VersionedRetriever(
+                program,
+                file_sizes,
+                server,
+                fault_model,
+                spec.max_slots,
+            )
         mix, mix_weights = _temporal_mix(
             temporal, catalogue, deadlines, weights
         )
@@ -590,7 +902,14 @@ def _simulate_shard(
                 max_age,
                 requests=spec.requests_per_client,
                 think_mean=spec.think_time,
-                retriever=versioned,
+                retriever=(
+                    versioned
+                    if channels is None
+                    else _QuorumRetriever(
+                        channels, file_sizes, server, channel_faults,
+                        spec.max_slots, metrics,
+                    )
+                ),
                 metrics=metrics,
                 trace=records,
             ).begin(
@@ -609,7 +928,16 @@ def _simulate_shard(
         _record_shard_metrics(metrics, "object")
         return metrics, records if records is not None else []
 
-    retriever = _Retriever(program, file_sizes, fault_model, spec.max_slots)
+    oracle: _MultiOracle | None = None
+    if channels is not None:
+        oracle = _MultiOracle(
+            channels, file_sizes, channel_faults, spec.max_slots
+        )
+        retriever = None
+    else:
+        retriever = _Retriever(
+            program, file_sizes, fault_model, spec.max_slots
+        )
 
     pix: PixCache | None = None
     if spec.cache == "pix":
@@ -651,7 +979,11 @@ def _simulate_shard(
             deadlines,
             requests=spec.requests_per_client,
             think_mean=spec.think_time,
-            retriever=retriever,
+            retriever=(
+                retriever
+                if oracle is None
+                else _MultiRetriever(oracle, metrics)
+            ),
             metrics=metrics,
             cache=cache,
             trace=records,
@@ -682,6 +1014,10 @@ class TrafficResult:
     workers: int
     temporal: bool = False
     trace: tuple[RequestRecord, ...] = field(default=())
+    #: Whether the population retrieved over a multi-channel set -
+    #: keeps the channel block in reports and records even when no
+    #: client ever re-tuned.
+    channels: bool = False
 
     @property
     def requests(self) -> int:
@@ -756,6 +1092,21 @@ class TrafficResult:
                 f"freshness : no read ever completed "
                 f"(torn {m.torn_discards})"
             )
+        if self.channels:
+            line = f"channels  : switches {m.channel_switches}"
+            if m.quorum_total:
+                line += (
+                    f", quorum ok {m.quorum_ok}/{m.quorum_total} "
+                    f"({m.quorum_success_rate:.3f})"
+                )
+                if m.quorum_ok:
+                    line += (
+                        f", quorum latency mean "
+                        f"{m.mean_quorum_latency:.2f} "
+                        f"p95 {m.quorum_quantile(0.95):.0f} "
+                        f"worst {m.worst_quorum_latency} slots"
+                    )
+            lines.append(line)
         if self.spec.cache is not None:
             accesses = m.cache_hits + m.cache_misses
             ratio = m.cache_hits / accesses if accesses else 0.0
@@ -820,6 +1171,30 @@ class TrafficResult:
                     else None
                 ),
             }
+        channels = None
+        if self.channels:
+            channels = {
+                "switches": m.channel_switches,
+                "quorum": (
+                    {
+                        "reads": dict(sorted(m.quorum_reads.items())),
+                        "success_rate": m.quorum_success_rate,
+                        "latency": (
+                            {
+                                "mean": finite(m.mean_quorum_latency),
+                                "p50": finite(m.quorum_quantile(0.50)),
+                                "p95": finite(m.quorum_quantile(0.95)),
+                                "p99": finite(m.quorum_quantile(0.99)),
+                                "worst": m.worst_quorum_latency,
+                            }
+                            if m.quorum_ok
+                            else None
+                        ),
+                    }
+                    if m.quorum_total
+                    else None
+                ),
+            }
         return {
             "spec": self.spec.to_dict(),
             "requests": self.requests,
@@ -834,6 +1209,7 @@ class TrafficResult:
             "latency": latency,
             "cache": cache,
             "temporal": temporal,
+            "channels": channels,
             "requests_by_file": dict(
                 sorted(m.requests_by_file.items())
             ),
@@ -841,7 +1217,7 @@ class TrafficResult:
 
 
 def simulate_traffic(
-    program: BroadcastProgram,
+    program: BroadcastProgram | None,
     catalogue: Sequence[str],
     spec: TrafficSpec,
     *,
@@ -849,6 +1225,7 @@ def simulate_traffic(
     deadlines: Mapping[str, int],
     faults: Any = None,
     temporal: TemporalSpec | None = None,
+    channels: ChannelSet | None = None,
     max_workers: int | None = None,
     trace: bool = False,
     engine: str = "object",
@@ -885,6 +1262,21 @@ def simulate_traffic(
         metrics gain the staleness dimension (ages, consistency rate,
         torn discards).  Client caches are rejected here - a cached
         copy would go stale.
+    channels:
+        Optional :class:`~repro.bdisk.multichannel.ChannelSet`.  When
+        given, ``program`` is ignored (pass ``None``) and every
+        retrieval runs the multi-channel protocol: clients sign on
+        tuned to channel 0, pick the earliest-finishing assigned
+        channel per request (re-tunes cost
+        :attr:`~repro.bdisk.multichannel.ChannelSet.tuning_cost`
+        slots), and temporal populations assemble
+        :attr:`~repro.bdisk.multichannel.ChannelSet.quorum`
+        version-matching copies per item.  ``faults`` must then be a
+        declarative spec (per-channel models derive via
+        ``for_channel``), a per-channel sequence, or ``None`` - one
+        shared model instance cannot serve ``k`` channels.  Client
+        caches are rejected (a cached copy would bypass the tuning
+        model).
     max_workers:
         ``None`` or ``1`` simulates in-process; a larger value shards
         the population across a process pool.  Results are bit-identical
@@ -904,7 +1296,12 @@ def simulate_traffic(
     """
     catalogue = tuple(catalogue)
     _check_engine(engine)
-    _validate_population(program, catalogue, file_sizes, deadlines)
+    _validate_channels(channels, spec)
+    if channels is None and program is None:
+        raise SpecificationError(
+            "simulate_traffic needs a program or a channel set"
+        )
+    _validate_population(program, catalogue, file_sizes, deadlines, channels)
     if temporal is not None:
         _validate_temporal(temporal, spec, catalogue)
     if max_workers is not None:
@@ -919,7 +1316,12 @@ def simulate_traffic(
             )
     sizes = {file: file_sizes[file] for file in catalogue}
     limits = {file: deadlines[file] for file in catalogue}
-    program.index  # build the shared occurrence tables once, up front
+    # Build the shared occurrence tables once, up front.
+    if channels is not None:
+        for channel_program in channels.programs:
+            channel_program.index
+    else:
+        program.index
 
     workers = 1
     if max_workers is not None:
@@ -933,21 +1335,69 @@ def simulate_traffic(
             parts = [
                 simulate_shard_soa(
                     program, catalogue, spec, sizes, limits, faults,
-                    temporal, 0, spec.clients, trace,
+                    temporal, 0, spec.clients, trace, channels=channels,
                 )
             ]
         else:
             parts = [
                 _simulate_shard(
                     program, catalogue, spec, sizes, limits, faults,
-                    temporal, 0, spec.clients, trace,
+                    temporal, 0, spec.clients, trace, channels=channels,
                 )
             ]
     else:
         from concurrent.futures import ProcessPoolExecutor
 
         bounds = shard_bounds(spec.clients, workers)
-        if engine == "soa" and temporal is None:
+        if (
+            engine == "soa"
+            and temporal is None
+            and channels is not None
+            and faults is None
+        ):
+            # Multichannel vectorized pool path: per-channel retrieval
+            # tables packed into one shared-memory segment; workers
+            # attach and rebuild the channel tables without the
+            # programs themselves.  Faulty channels fall back to the
+            # generic task below - they need the real programs.
+            from repro.traffic.cohorts import MultiChannelTables
+            from repro.traffic.engine_soa import _shard_task_shm_mc
+            from repro.traffic.shm_index import export_multichannel_tables
+
+            mc_tables = MultiChannelTables.build(
+                channels, catalogue, sizes, spec.max_slots
+            )
+            shared = export_multichannel_tables(mc_tables)
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        pool.submit(
+                            _shard_task_shm_mc,
+                            shared.meta, catalogue, spec, sizes, limits,
+                            lo, hi, trace,
+                            telemetry=tel is not None,
+                        )
+                        for lo, hi in bounds
+                    ]
+                    pooled = [future.result() for future in futures]
+            finally:
+                shared.unlink()
+        elif channels is not None:
+            # Multichannel object engine, faulty channels, or temporal
+            # quorum populations: the channel set pickles whole (its
+            # programs drop their indexes; workers rebuild lazily).
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(
+                        _pool_shard_task,
+                        engine, None, catalogue, spec, sizes, limits,
+                        faults, temporal, lo, hi, trace,
+                        tel is not None, channels,
+                    )
+                    for lo, hi in bounds
+                ]
+                pooled = [future.result() for future in futures]
+        elif engine == "soa" and temporal is None:
             # Vectorized pool path: build the retrieval tables once,
             # export them into one shared-memory segment, and hand
             # workers the tiny attach handle - no program pickle, no
@@ -1031,4 +1481,5 @@ def simulate_traffic(
         workers=workers,
         temporal=temporal is not None,
         trace=records,
+        channels=channels is not None,
     )

@@ -1,0 +1,260 @@
+"""ChannelSpec plumbing through Scenario, fingerprints, and the engine."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.bdisk.builder import ProgramDesign
+from repro.bdisk.multichannel import MultiChannelDesign
+from repro.api.engine import BroadcastEngine, run_scenario
+from repro.api.scenario import ChannelSpec, Scenario
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+#: Pinned pre-multichannel fingerprint: adding the channels feature must
+#: not move the fingerprint of any scenario that does not use it.
+AWACS_FINGERPRINT = (
+    "1f72cdc5b3d66310e94042cebcb9459edb1658507784488b901d1c549f43b7fc"
+)
+
+
+def base_payload(**extra):
+    payload = {
+        "name": "chan-test",
+        "block_size": 64,
+        "files": [
+            {"name": f"f{i}", "blocks": 2 + (i % 2), "latency": 12 + 4 * i}
+            for i in range(6)
+        ],
+    }
+    payload.update(extra)
+    return payload
+
+
+class TestChannelSpecRoundTrip:
+    def test_json_round_trip_all_fields(self):
+        spec = ChannelSpec(
+            count=3,
+            assignment="explicit",
+            explicit={"a": (0,), "b": (1, 2)},
+            partitioner="first-fit",
+            fault_budgets=(0, 1, 2),
+            tuning_cost=2,
+            quorum=2,
+        )
+        clone = ChannelSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        )
+        assert clone == spec
+
+    def test_partial_dict_fills_defaults(self):
+        spec = ChannelSpec.from_dict({"count": 2})
+        assert spec == ChannelSpec(count=2)
+
+    def test_runtime_knobs_are_not_design_payload(self):
+        cheap = ChannelSpec(count=2, tuning_cost=0, quorum=1)
+        dear = ChannelSpec(count=2, tuning_cost=9, quorum=2)
+        assert cheap.design_payload() == dear.design_payload()
+
+    def test_design_payload_tracks_topology(self):
+        assert (
+            ChannelSpec(count=2).design_payload()
+            != ChannelSpec(count=3).design_payload()
+        )
+        assert (
+            ChannelSpec(count=2).design_payload()
+            != ChannelSpec(count=2, assignment="replicated").design_payload()
+        )
+
+
+class TestScenarioValidation:
+    def test_striped_thinner_than_catalogue_rejected(self):
+        with pytest.raises(SpecificationError, match="replicated"):
+            Scenario.from_dict(base_payload(channels={"count": 7}))
+
+    def test_explicit_unknown_file_rejected(self):
+        with pytest.raises(SpecificationError, match="explicit"):
+            Scenario.from_dict(
+                base_payload(
+                    channels={
+                        "count": 2,
+                        "assignment": "explicit",
+                        "explicit": {"ghost": [0]},
+                    }
+                )
+            )
+
+    def test_quorum_must_fit_count(self):
+        with pytest.raises(SpecificationError, match="quorum"):
+            ChannelSpec(count=2, quorum=3)
+
+    def test_channel_assignment_matches_design(self):
+        scenario = Scenario.from_dict(
+            base_payload(channels={"count": 2})
+        )
+        design = BroadcastEngine(scenario).design()
+        assert scenario.channel_assignment() == dict(
+            design.channel_set.assignment
+        )
+
+    def test_no_channels_means_empty_assignment(self):
+        scenario = Scenario.from_dict(base_payload())
+        assert scenario.channel_assignment() == {}
+
+
+class TestFingerprint:
+    def test_runtime_knob_sweeps_share_a_fingerprint(self):
+        reference = Scenario.from_dict(
+            base_payload(channels={"count": 2})
+        ).design_fingerprint()
+        for knobs in (
+            {"tuning_cost": 5},
+            {"quorum": 2, "assignment": "replicated"},
+            {"tuning_cost": 3},
+        ):
+            if "assignment" in knobs:
+                continue  # changes topology, not a runtime knob
+            payload = base_payload(channels={"count": 2, **knobs})
+            assert (
+                Scenario.from_dict(payload).design_fingerprint()
+                == reference
+            ), knobs
+
+    def test_topology_moves_the_fingerprint(self):
+        base = Scenario.from_dict(
+            base_payload(channels={"count": 2})
+        ).design_fingerprint()
+        for channels in (
+            {"count": 3},
+            {"count": 2, "assignment": "replicated"},
+            {"count": 2, "partitioner": "round-robin"},
+            {"count": 2, "fault_budgets": [0, 1]},
+        ):
+            other = Scenario.from_dict(
+                base_payload(channels=channels)
+            ).design_fingerprint()
+            assert other != base, channels
+
+
+class TestBackwardCompatibility:
+    """Scenarios without a channels block behave exactly as before."""
+
+    def example_payloads(self):
+        for path in sorted(EXAMPLES.glob("scenario_*.json")):
+            if path.name == "scenario_multichannel.json":
+                continue  # the new multichannel worked example
+            yield path.name, json.loads(path.read_text())
+
+    def test_examples_load_without_channels(self):
+        for name, payload in self.example_payloads():
+            scenario = Scenario.from_dict(payload)
+            assert scenario.channels is None, name
+            assert "channels" not in scenario.to_dict(), name
+
+    def test_examples_round_trip_identically(self):
+        for name, payload in self.example_payloads():
+            scenario = Scenario.from_dict(payload)
+            again = Scenario.from_dict(scenario.to_dict())
+            assert again.to_dict() == scenario.to_dict(), name
+            assert (
+                again.design_fingerprint()
+                == scenario.design_fingerprint()
+            ), name
+
+    def test_awacs_fingerprint_is_pinned(self):
+        payload = json.loads(
+            (EXAMPLES / "scenario_awacs.json").read_text()
+        )
+        scenario = Scenario.from_dict(payload)
+        assert scenario.design_fingerprint() == AWACS_FINGERPRINT
+
+    def test_examples_design_single_channel(self):
+        for name, payload in self.example_payloads():
+            design = BroadcastEngine(Scenario.from_dict(payload)).design()
+            assert isinstance(design, ProgramDesign), name
+            assert not isinstance(design, MultiChannelDesign), name
+
+
+class TestEngineMultichannel:
+    def test_design_type_follows_channels(self):
+        multi = BroadcastEngine(
+            Scenario.from_dict(base_payload(channels={"count": 2}))
+        ).design()
+        assert isinstance(multi, MultiChannelDesign)
+        single = BroadcastEngine(
+            Scenario.from_dict(base_payload())
+        ).design()
+        assert isinstance(single, ProgramDesign)
+
+    def test_injected_design_type_is_checked(self):
+        plain = Scenario.from_dict(base_payload())
+        multi = Scenario.from_dict(base_payload(channels={"count": 2}))
+        plain_design = BroadcastEngine(plain).design()
+        multi_design = BroadcastEngine(multi).design()
+        with pytest.raises(SpecificationError):
+            BroadcastEngine(plain, design=multi_design)
+        with pytest.raises(SpecificationError):
+            BroadcastEngine(multi, design=plain_design)
+
+    def test_run_scenario_end_to_end(self):
+        result = run_scenario(
+            base_payload(
+                channels={"count": 2, "tuning_cost": 1},
+                delay_errors=1,
+                workload={"requests": 30, "horizon": 150, "seed": 3},
+            )
+        )
+        assert result.multichannel
+        assert result.stats.channels is not None
+        assert len(result.stats.channels) == 2
+        assert result.simulation is not None
+        assert result.payload_checks
+        assert all(result.payload_checks.values())
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert len(payload["stats"]["channels"]) == 2
+        assert "channel 0" in result.summary()
+
+    def test_delay_table_is_best_carrying_channel(self):
+        from repro.sim.delay import worst_case_delay
+
+        scenario = Scenario.from_dict(
+            base_payload(channels={"count": 2}, delay_errors=1)
+        )
+        engine = BroadcastEngine(scenario)
+        design = engine.design()
+        channel_set = design.channel_set
+        sizes = {spec.name: spec.blocks for spec in scenario.files}
+        for entry in engine.delay_table():
+            expected = min(
+                worst_case_delay(
+                    channel_set.programs[channel],
+                    entry.file,
+                    sizes[entry.file],
+                    entry.errors,
+                    need_distinct=True,
+                )
+                for channel in channel_set.channels_for(entry.file)
+            )
+            assert entry.delay == expected
+
+    def test_k1_simulation_is_bit_identical(self):
+        workload = {"requests": 50, "horizon": 200, "seed": 9}
+        faults = {"kind": "bernoulli", "probability": 0.1, "seed": 4}
+        plain = run_scenario(
+            base_payload(workload=workload, faults=faults)
+        ).simulation
+        multi = run_scenario(
+            base_payload(
+                workload=workload, faults=faults, channels={"count": 1}
+            )
+        ).simulation
+        assert multi.summary == plain.summary
+        assert multi.deadline_misses == plain.deadline_misses
+        for mine, theirs in zip(multi.retrievals, plain.retrievals):
+            assert mine.completed == theirs.completed
+            assert mine.latency == theirs.latency
+            assert mine.finish_slot == theirs.finish_slot or (
+                not theirs.completed and theirs.finish_slot is None
+            )

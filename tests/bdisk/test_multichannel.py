@@ -1,0 +1,197 @@
+"""Tests for ChannelSet and partition-then-solve multi-channel designs."""
+
+import pickle
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.bdisk.builder import design_program
+from repro.bdisk.file import FileSpec, GeneralizedFileSpec
+from repro.bdisk.multichannel import (
+    ChannelSet,
+    design_multichannel_program,
+    resolve_assignment,
+)
+from repro.api.scenario import ChannelSpec
+
+
+def catalogue():
+    return [
+        FileSpec("a", 2, 10),
+        FileSpec("b", 3, 15),
+        FileSpec("c", 2, 20),
+        FileSpec("d", 4, 30),
+    ]
+
+
+def same_program(left, right):
+    """Structural program equality (BroadcastProgram has no __eq__)."""
+    return (
+        left.schedule == right.schedule
+        and left.files == right.files
+        and left.data_cycle_length == right.data_cycle_length
+        and all(
+            left.block_count(f) == right.block_count(f) for f in left.files
+        )
+    )
+
+
+class TestChannelSet:
+    def build(self, **kwargs):
+        design = design_multichannel_program(
+            catalogue(), ChannelSpec(count=2, **kwargs)
+        )
+        return design.channel_set
+
+    def test_count_and_channels_for(self):
+        channels = self.build()
+        assert channels.count == 2
+        for name in ("a", "b", "c", "d"):
+            ids = channels.channels_for(name)
+            assert len(ids) == 1
+            assert name in channels.programs[ids[0]].files
+
+    def test_unknown_file_raises(self):
+        with pytest.raises(SpecificationError, match="not in the channel"):
+            self.build().channels_for("ghost")
+
+    def test_listen_start_charges_tuning_only_on_switch(self):
+        channels = self.build(tuning_cost=3)
+        assert channels.listen_start(10, tuned=0, channel=0) == 10
+        assert channels.listen_start(10, tuned=0, channel=1) == 13
+        assert channels.listen_start(10, tuned=1, channel=1) == 10
+
+    def test_pickle_round_trip(self):
+        channels = self.build(tuning_cost=2)
+        clone = pickle.loads(pickle.dumps(channels))
+        assert clone.count == channels.count
+        assert clone.tuning_cost == channels.tuning_cost
+        assert clone.quorum == channels.quorum
+        assert dict(clone.assignment) == dict(channels.assignment)
+        for mine, theirs in zip(channels.programs, clone.programs):
+            assert same_program(mine, theirs)
+
+    def test_assignment_must_match_programs(self):
+        good = self.build()
+        with pytest.raises(SpecificationError, match="does not carry"):
+            ChannelSet(
+                programs=good.programs,
+                assignment={name: (0, 1) for name in good.assignment},
+            )
+
+    def test_quorum_bounds_validated(self):
+        good = self.build()
+        with pytest.raises(SpecificationError, match="quorum"):
+            ChannelSet(
+                programs=good.programs,
+                assignment=dict(good.assignment),
+                quorum=3,
+            )
+
+
+class TestResolveAssignment:
+    def test_striped_partitions_exactly_once(self):
+        assignment = resolve_assignment(catalogue(), ChannelSpec(count=2))
+        assert set(assignment) == {"a", "b", "c", "d"}
+        assert all(len(ids) == 1 for ids in assignment.values())
+
+    def test_replicated_places_everything_everywhere(self):
+        assignment = resolve_assignment(
+            catalogue(), ChannelSpec(count=3, assignment="replicated")
+        )
+        assert all(ids == (0, 1, 2) for ids in assignment.values())
+
+    def test_explicit_is_taken_verbatim(self):
+        mapping = {"a": (0,), "b": (1,), "c": (0, 1), "d": (1,)}
+        assignment = resolve_assignment(
+            catalogue(),
+            ChannelSpec(count=2, assignment="explicit", explicit=mapping),
+        )
+        assert assignment == mapping
+
+
+class TestDesignMultichannel:
+    def test_k1_is_exactly_the_single_channel_design(self):
+        files = catalogue()
+        multi = design_multichannel_program(files, ChannelSpec(count=1))
+        single = design_program(files)
+        assert multi.count == 1
+        assert same_program(multi.channel_set.programs[0], single.program)
+        assert multi.designs[0].density == single.density
+        assert (
+            multi.designs[0].bandwidth_plan.bandwidth
+            == single.bandwidth_plan.bandwidth
+        )
+        assert multi.designs[0].report.method == single.report.method
+
+    def test_striped_channels_partition_the_catalogue(self):
+        multi = design_multichannel_program(catalogue(), ChannelSpec(count=2))
+        names = sorted(n for channel in multi.partition for n in channel)
+        assert names == ["a", "b", "c", "d"]
+        for channel, channel_names in enumerate(multi.partition):
+            program = multi.channel_set.programs[channel]
+            assert set(channel_names) == set(program.files)
+
+    def test_replicated_channels_each_carry_everything(self):
+        multi = design_multichannel_program(
+            catalogue(), ChannelSpec(count=2, assignment="replicated")
+        )
+        for program in multi.channel_set.programs:
+            assert set(program.files) == {"a", "b", "c", "d"}
+
+    def test_bandwidth_is_harmonized_across_channels(self):
+        multi = design_multichannel_program(catalogue(), ChannelSpec(count=3))
+        bandwidths = {
+            design.bandwidth_plan.bandwidth for design in multi.designs
+        }
+        assert len(bandwidths) == 1
+
+    def test_runtime_knobs_reach_the_channel_set(self):
+        multi = design_multichannel_program(
+            catalogue(),
+            ChannelSpec(
+                count=2, assignment="replicated", tuning_cost=4, quorum=2
+            ),
+        )
+        assert multi.channel_set.tuning_cost == 4
+        assert multi.channel_set.quorum == 2
+
+    def test_per_channel_fault_budgets_add_redundancy(self):
+        plain = design_multichannel_program(
+            catalogue(), ChannelSpec(count=2, assignment="replicated")
+        )
+        budgeted = design_multichannel_program(
+            catalogue(),
+            ChannelSpec(
+                count=2, assignment="replicated", fault_budgets=(0, 1)
+            ),
+        )
+        # Channel 0 keeps the plain block counts; channel 1 airs extra.
+        for name in ("a", "b", "c", "d"):
+            assert budgeted.channel_set.programs[0].block_count(
+                name
+            ) == plain.channel_set.programs[0].block_count(name)
+            assert budgeted.channel_set.programs[1].block_count(
+                name
+            ) > plain.channel_set.programs[1].block_count(name)
+
+    def test_generalized_files_design_per_channel(self):
+        files = [
+            GeneralizedFileSpec("g0", 2, (8, 24)),
+            GeneralizedFileSpec("g1", 3, (12, 30)),
+        ]
+        multi = design_multichannel_program(files, ChannelSpec(count=2))
+        assert multi.count == 2
+        assert sorted(
+            name for channel in multi.partition for name in channel
+        ) == ["g0", "g1"]
+
+    def test_densities_profile_matches_designs(self):
+        multi = design_multichannel_program(catalogue(), ChannelSpec(count=2))
+        assert multi.densities == tuple(
+            design.density for design in multi.designs
+        )
+
+    def test_empty_catalogue_rejected(self):
+        with pytest.raises(SpecificationError, match="at least one"):
+            design_multichannel_program([], ChannelSpec(count=1))

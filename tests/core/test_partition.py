@@ -1,0 +1,137 @@
+"""Tests for the channel partitioner registry (multiprocessor pinwheel)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.bdisk.file import FileSpec, GeneralizedFileSpec
+from repro.core.partition import (
+    file_density,
+    get_partitioner,
+    partition_files,
+    partitioner_names,
+    register_partitioner,
+    unregister_partitioner,
+)
+
+
+def specs(*latencies):
+    return [
+        FileSpec(f"f{i}", 2, latency) for i, latency in enumerate(latencies)
+    ]
+
+
+class TestFileDensity:
+    def test_regular_density_is_demand_over_period(self):
+        spec = FileSpec("a", 3, 12, fault_budget=1)
+        assert file_density(spec) == Fraction(4, 12)
+
+    def test_generalized_density_is_tightest_condition(self):
+        spec = GeneralizedFileSpec("g", 2, (8, 20))
+        # max((2+0)/8, (2+1)/20) = 1/4
+        assert file_density(spec) == Fraction(1, 4)
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        names = partitioner_names()
+        for name in ("worst-fit", "first-fit", "round-robin"):
+            assert name in names
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(SpecificationError, match="worst-fit"):
+            get_partitioner("no-such-partitioner")
+
+    def test_register_and_unregister_round_trip(self):
+        @register_partitioner("test-trivial", description="everything on 0")
+        def trivial(files, k):
+            bins = [[] for _ in range(k)]
+            for i in range(len(files)):
+                bins[0].append(i)
+            return tuple(tuple(b) for b in bins)
+
+        try:
+            assert "test-trivial" in partitioner_names()
+            with pytest.raises(SpecificationError, match="already"):
+                register_partitioner("test-trivial")(trivial)
+        finally:
+            unregister_partitioner("test-trivial")
+        assert "test-trivial" not in partitioner_names()
+
+
+class TestBuiltins:
+    def test_round_robin_stripes_catalogue_order(self):
+        bins = partition_files(
+            specs(10, 10, 10, 10, 10), 2, partitioner="round-robin"
+        )
+        assert bins == ((0, 2, 4), (1, 3))
+
+    def test_worst_fit_balances_peak_density(self):
+        # One heavy file plus light ones: the heavy file must sit alone
+        # on its channel, every light file on the other.
+        files = specs(4, 40, 40, 40, 40)
+        bins = partition_files(files, 2, partitioner="worst-fit")
+        assert (0,) in bins
+        other = bins[0] if bins[0] != (0,) else bins[1]
+        assert other == (1, 2, 3, 4)
+
+    def test_every_index_exactly_once_no_channel_empty(self):
+        files = specs(8, 12, 16, 20, 24, 28, 32)
+        for name in partitioner_names():
+            bins = partition_files(files, 3, partitioner=name)
+            flat = sorted(i for b in bins for i in b)
+            assert flat == list(range(len(files))), name
+            assert all(b for b in bins), name
+
+    def test_deterministic_across_calls(self):
+        files = specs(8, 12, 16, 20, 24)
+        for name in partitioner_names():
+            first = partition_files(files, 2, partitioner=name)
+            assert first == partition_files(files, 2, partitioner=name)
+
+    def test_more_channels_than_files_rejected(self):
+        with pytest.raises(SpecificationError, match="replicated"):
+            partition_files(specs(10, 10), 3)
+
+    def test_invalid_channel_count_rejected(self):
+        with pytest.raises(SpecificationError, match=">= 1"):
+            partition_files(specs(10, 10), 0)
+
+
+class TestProposalValidation:
+    """partition_files re-validates whatever the partitioner proposed."""
+
+    def _register(self, name, fn):
+        register_partitioner(name)(fn)
+        return name
+
+    def test_wrong_bin_count_rejected(self):
+        name = self._register(
+            "test-wrong-k", lambda files, k: ((0,),) * (k + 1)
+        )
+        try:
+            with pytest.raises(SpecificationError, match="channel"):
+                partition_files(specs(10, 10), 2, partitioner=name)
+        finally:
+            unregister_partitioner(name)
+
+    def test_duplicated_index_rejected(self):
+        name = self._register(
+            "test-dup", lambda files, k: ((0, 1), (0,))
+        )
+        try:
+            with pytest.raises(SpecificationError, match="exactly one"):
+                partition_files(specs(10, 10), 2, partitioner=name)
+        finally:
+            unregister_partitioner(name)
+
+    def test_empty_channel_rejected(self):
+        name = self._register(
+            "test-empty", lambda files, k: ((0, 1), ())
+        )
+        try:
+            with pytest.raises(SpecificationError, match="empty"):
+                partition_files(specs(10, 10), 2, partitioner=name)
+        finally:
+            unregister_partitioner(name)

@@ -188,3 +188,111 @@ class TestTrafficCounters:
             deadlines={name: 10_000 for name in catalogue},
         )
         assert obs.current() is before is None
+
+
+class TestMultichannelInstrumentation:
+    def channel_set(self, *, tuning_cost=2, quorum=1, assignment="striped"):
+        from repro.api.scenario import ChannelSpec
+        from repro.bdisk.multichannel import design_multichannel_program
+
+        files = [
+            FileSpec("a", 2, 10),
+            FileSpec("b", 3, 15),
+            FileSpec("c", 2, 20),
+            FileSpec("d", 4, 30),
+        ]
+        return design_multichannel_program(
+            files,
+            ChannelSpec(
+                count=2,
+                assignment=assignment,
+                tuning_cost=tuning_cost,
+                quorum=quorum,
+            ),
+        ).channel_set
+
+    def test_tuning_switch_counter_matches_metrics(self):
+        channels = self.channel_set()
+        with obs.capture() as tel:
+            result = simulate_traffic(
+                None,
+                ("a", "b", "c", "d"),
+                TrafficSpec(clients=30, duration=200, seed=17),
+                file_sizes={"a": 2, "b": 3, "c": 2, "d": 4},
+                deadlines={n: 10_000 for n in ("a", "b", "c", "d")},
+                channels=channels,
+            )
+        switches = sum(
+            inst.value
+            for name, _, inst in tel.instruments()
+            if name == "traffic.tuning.switches"
+        )
+        assert switches == result.metrics.channel_switches
+        assert switches > 0
+
+    def test_quorum_read_counter_labels_outcomes(self):
+        from repro.rtdb import TemporalItemSpec, TemporalSpec
+
+        channels = self.channel_set(
+            assignment="replicated", quorum=2, tuning_cost=1
+        )
+        temporal = TemporalSpec(
+            slot_ms=10,
+            items=tuple(
+                TemporalItemSpec(n, blocks=b, max_age_ms=4000)
+                for n, b in (("a", 2), ("b", 3), ("c", 2), ("d", 4))
+            ),
+            update_periods={n: 400 for n in ("a", "b", "c", "d")},
+        )
+        with obs.capture() as tel:
+            result = simulate_traffic(
+                None,
+                ("a", "b", "c", "d"),
+                TrafficSpec(clients=20, duration=200, seed=17),
+                file_sizes={"a": 2, "b": 3, "c": 2, "d": 4},
+                deadlines={n: 10_000 for n in ("a", "b", "c", "d")},
+                channels=channels,
+                temporal=temporal,
+            )
+        by_outcome = {}
+        for name, labels, inst in tel.instruments():
+            if name == "traffic.quorum.reads":
+                outcome = dict(labels)["outcome"]
+                by_outcome[outcome] = (
+                    by_outcome.get(outcome, 0) + inst.value
+                )
+        assert by_outcome == dict(result.metrics.quorum_reads)
+
+    def test_mutation_spans_carry_the_channel_label(self):
+        from repro.api.scenario import ChannelSpec
+        from repro.server.mutations import AddFile
+        from repro.server.server import BroadcastServer
+
+        scenario = Scenario(
+            name="mc-tel",
+            files=(
+                FileSpec("a", 2, 10),
+                FileSpec("b", 3, 15),
+                FileSpec("c", 2, 20),
+                FileSpec("d", 4, 30),
+            ),
+            channels=ChannelSpec(count=2),
+        )
+        with obs.capture() as tel:
+            server = BroadcastServer(scenario)
+            server.apply(
+                AddFile(file={"name": "e", "blocks": 2, "latency": 25})
+            )
+            server.close()
+        searches = [
+            span
+            for span in tel.spans
+            if span.name == "server.mutation.splice_search"
+        ]
+        assert sorted(s.attrs["channel"] for s in searches) == [0, 1]
+        splices = {
+            int(dict(labels)["channel"]): inst.value
+            for name, labels, inst in tel.instruments()
+            if name == "server.channel.splices"
+        }
+        assert splices == {0: 1, 1: 1}

@@ -1,0 +1,141 @@
+"""Online server over a channel set: per-channel schedules and splices."""
+
+import pytest
+
+from repro.api.scenario import ChannelSpec, Scenario
+from repro.bdisk.file import FileSpec
+from repro.errors import SpecificationError
+from repro.server.mutations import AddFile, RemoveFile
+from repro.server.server import BroadcastServer
+from repro.traffic.spec import TrafficSpec
+
+
+def multichannel_scenario(**overrides) -> Scenario:
+    params = dict(
+        name="mc-server",
+        files=(
+            FileSpec("a", 2, 10),
+            FileSpec("b", 3, 15),
+            FileSpec("c", 2, 20),
+            FileSpec("d", 4, 30),
+        ),
+        channels=ChannelSpec(count=2),
+    )
+    params.update(overrides)
+    return Scenario(**params)
+
+
+class TestSignOn:
+    def test_one_schedule_per_channel(self):
+        server = BroadcastServer(multichannel_scenario())
+        assert len(server.schedules) == 2
+        assert server.schedule is server.schedules[0]
+        carried = set()
+        for schedule in server.schedules:
+            carried |= set(schedule.on_air.program.files)
+        assert carried == {"a", "b", "c", "d"}
+        server.close()
+
+    def test_live_traffic_rejected(self):
+        scenario = multichannel_scenario(
+            traffic=TrafficSpec(clients=2)
+        )
+        with pytest.raises(SpecificationError, match="channel set"):
+            BroadcastServer(scenario)
+
+    def test_epoch_summary_carries_channel_shape(self):
+        server = BroadcastServer(multichannel_scenario())
+        result = server.close()
+        epoch = result.epochs[0]
+        assert epoch["channels"] == 2
+        assert len(epoch["start_slots"]) == 2
+
+
+class TestMutations:
+    def test_add_then_remove_splices_every_channel(self):
+        server = BroadcastServer(multichannel_scenario())
+        server.advance(until=10)
+        added = server.apply(
+            AddFile(file={"name": "e", "blocks": 2, "latency": 25})
+        )
+        assert len(added["channel_splice_slots"]) == 2
+        assert added["splice_slot"] == added["channel_splice_slots"][0]
+        removed = server.apply(RemoveFile(name="e"))
+        assert len(removed["channel_splice_slots"]) == 2
+        result = server.close()
+        assert len(result.mutations) == 2
+        # The union of per-channel splice slots lands in the result.
+        committed = {
+            slot
+            for record in (added, removed)
+            for slot in record["channel_splice_slots"]
+        }
+        assert committed <= set(result.splice_slots)
+        assert result.resplices == 0
+        assert result.violations == ()
+
+    def test_epochs_stack_per_mutation(self):
+        server = BroadcastServer(multichannel_scenario())
+        server.apply(
+            AddFile(file={"name": "e", "blocks": 2, "latency": 25})
+        )
+        result = server.close()
+        assert len(result.epochs) == 2
+        assert all(epoch["channels"] == 2 for epoch in result.epochs)
+
+    def test_splices_respect_cycle_boundaries_per_channel(self):
+        server = BroadcastServer(multichannel_scenario())
+        outgoing = server.schedules
+        cycles = [
+            schedule.on_air.program.data_cycle_length
+            for schedule in outgoing
+        ]
+        record = server.apply(
+            AddFile(file={"name": "e", "blocks": 2, "latency": 25})
+        )
+        for channel, slot in enumerate(record["channel_splice_slots"]):
+            start = outgoing[channel].on_air.start
+            assert (slot - start) % cycles[channel] == 0
+        server.close()
+
+    def test_channel_count_is_fixed_at_sign_on(self):
+        import dataclasses
+
+        class DropChannels:
+            """A hostile delta that tries to re-plan the topology."""
+
+            def apply(self, scenario):
+                return dataclasses.replace(scenario, channels=None)
+
+            def describe(self):
+                return "drop-channels"
+
+        server = BroadcastServer(multichannel_scenario())
+        with pytest.raises(SpecificationError, match="sign-on"):
+            server.apply(DropChannels())
+        server.close()
+
+
+class TestAsRun:
+    def test_log_has_per_channel_splice_records(self, tmp_path):
+        from repro.server.asrun import read_asrun
+
+        log_path = tmp_path / "asrun.jsonl"
+        server = BroadcastServer(
+            multichannel_scenario(), log_path=log_path
+        )
+        server.advance(until=5)
+        server.apply(
+            AddFile(file={"name": "e", "blocks": 2, "latency": 25})
+        )
+        result = server.close()
+        records = read_asrun(log_path)
+        kinds = [r["type"] for r in records]
+        assert kinds[0] == "on-air"
+        assert kinds[-1] == "sign-off"
+        splices = [r for r in records if r["type"] == "splice"]
+        assert sorted(r["channel"] for r in splices) == [0, 1]
+        mutation = next(r for r in records if r["type"] == "mutation")
+        assert mutation["channels"] == 2
+        signoff = records[-1]
+        assert signoff["splices"] == list(result.splice_slots)

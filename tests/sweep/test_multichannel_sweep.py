@@ -1,0 +1,104 @@
+"""Sweeps over channel axes: dotted paths, solve-cache reuse, columns."""
+
+import pytest
+
+from repro.api import Scenario
+from repro.bdisk.multichannel import design_multichannel_program
+from repro.api.scenario import ChannelSpec
+from repro.bdisk.file import FileSpec
+from repro.errors import SpecificationError
+from repro.sweep import SweepAxis, SweepSpec, run_sweep, tidy_rows
+from repro.sweep.cache import SolveCache
+
+
+def base_scenario(**overrides) -> Scenario:
+    payload = {
+        "name": "mc-sweep",
+        "files": [
+            {"name": f"f{i}", "blocks": 2 + (i % 2), "latency": 12 + 4 * i}
+            for i in range(6)
+        ],
+        "channels": {"count": 2},
+        "workload": {"requests": 10, "horizon": 100, "seed": 4},
+        "traffic": {
+            "clients": 8, "duration": 120, "requests_per_client": 1,
+            "seed": 5,
+        },
+    }
+    payload.update(overrides)
+    return Scenario.from_dict(payload)
+
+
+class TestChannelAxes:
+    def test_runtime_knob_axis_reuses_the_solved_design(self, tmp_path):
+        spec = SweepSpec(
+            name="knob-grid",
+            base=base_scenario(),
+            axes=(
+                SweepAxis("channels.tuning_cost", (0, 3)),
+                SweepAxis("channels.count", (1, 2)),
+            ),
+        )
+        result = run_sweep(
+            spec,
+            store_path=tmp_path / "runs.jsonl",
+            cache_dir=tmp_path / "cache",
+        )
+        # tuning_cost is a runtime knob: both values of it share one
+        # design per channel count, so 4 cells need only 2 solves.
+        assert result.cells == 4 and result.executed == 4
+        assert result.distinct_designs == 2
+        assert result.solves == 2
+        assert result.cache_hits == 2
+        assert len({row["fingerprint"] for row in result.rows}) == 2
+
+    def test_topology_axis_changes_the_fingerprint(self, tmp_path):
+        spec = SweepSpec(
+            name="topo-grid",
+            base=base_scenario(),
+            axes=(SweepAxis("channels.assignment",
+                            ("striped", "replicated")),),
+        )
+        result = run_sweep(
+            spec,
+            store_path=tmp_path / "runs.jsonl",
+            cache_dir=tmp_path / "cache",
+        )
+        assert result.distinct_designs == 2
+        assert result.solves == 2
+
+    def test_tidy_rows_carry_channel_columns(self, tmp_path):
+        spec = SweepSpec(
+            name="tidy-grid",
+            base=base_scenario(),
+            axes=(SweepAxis("channels.count", (1, 2)),),
+        )
+        result = run_sweep(
+            spec,
+            store_path=tmp_path / "runs.jsonl",
+            cache_dir=tmp_path / "cache",
+        )
+        records = tidy_rows(result.rows)
+        by_k = {record["channels.count"]: record for record in records}
+        assert by_k[1]["channels_k"] == 1
+        assert by_k[2]["channels_k"] == 2
+        for record in records:
+            assert record["channel_util_max"] is not None
+            assert record["channel_util_max"] > 0
+            assert record["channel_switches"] is not None
+
+
+class TestSolveCacheStorage:
+    def test_put_accepts_multichannel_designs(self, tmp_path):
+        files = [FileSpec("a", 2, 10), FileSpec("b", 3, 15)]
+        design = design_multichannel_program(files, ChannelSpec(count=2))
+        cache = SolveCache(tmp_path / "cache")
+        cache.put("some-fingerprint", design)
+        hit = cache.get("some-fingerprint")
+        assert hit is not None
+        assert hit.count == 2
+
+    def test_put_still_rejects_foreign_types(self, tmp_path):
+        cache = SolveCache(tmp_path / "cache")
+        with pytest.raises(SpecificationError, match="MultiChannelDesign"):
+            cache.put("junk", object())

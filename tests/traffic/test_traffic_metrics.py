@@ -253,3 +253,79 @@ class TestTrafficMetrics:
         metrics.record_cache(1, 1, 0)
         assert (metrics.cache_hits, metrics.cache_misses,
                 metrics.cache_evictions) == (4, 3, 1)
+
+
+class TestChannelDimension:
+    """The multi-channel dimension obeys the exact-merge contract."""
+
+    def fill(self, metrics, reads):
+        for outcome, latency, switches in reads:
+            metrics.record_quorum(outcome, latency)
+            metrics.record_channel_switches(switches)
+
+    def reads(self):
+        rng = random.Random(31)
+        out = []
+        for _ in range(300):
+            outcome = rng.choice(["ok", "ok", "mismatch", "incomplete"])
+            latency = rng.randrange(1, 80) if outcome == "ok" else None
+            out.append((outcome, latency, rng.randrange(0, 3)))
+        return out
+
+    def test_recording(self):
+        metrics = TrafficMetrics()
+        metrics.record_quorum("ok", 12)
+        metrics.record_quorum("ok", 30)
+        metrics.record_quorum("mismatch", None)
+        metrics.record_channel_switches(2)
+        metrics.record_channel_switches(0)
+        assert metrics.channel_switches == 2
+        assert metrics.quorum_reads == {"ok": 2, "mismatch": 1}
+        assert metrics.quorum_total == 3
+        assert metrics.quorum_ok == 2
+        assert metrics.quorum_success_rate == pytest.approx(2 / 3)
+        assert metrics.mean_quorum_latency == 21.0
+        assert metrics.worst_quorum_latency == 30
+        assert metrics.quorum_quantile(0.5) == 12
+
+    def test_merged_equals_single_stream(self):
+        reads = self.reads()
+        whole = TrafficMetrics(seed=9)
+        self.fill(whole, reads)
+        parts = []
+        for start in range(0, len(reads), 75):
+            part = TrafficMetrics(seed=9)
+            self.fill(part, reads[start:start + 75])
+            parts.append(part)
+        merged = TrafficMetrics.merged(parts, seed=9)
+        finalized = TrafficMetrics.merged([whole], seed=9)
+        assert merged.channel_switches == finalized.channel_switches
+        assert merged.quorum_reads == finalized.quorum_reads
+        assert merged.quorum_latency_sum == finalized.quorum_latency_sum
+        assert (
+            merged.worst_quorum_latency == finalized.worst_quorum_latency
+        )
+        for q in (0.5, 0.9, 0.99):
+            assert merged.quorum_quantile(q) == finalized.quorum_quantile(q)
+
+    def test_from_totals_matches_recording(self):
+        reads = self.reads()
+        recorded = TrafficMetrics(seed=9)
+        self.fill(recorded, reads)
+        counts = {}
+        for outcome, latency, _ in reads:
+            if latency is not None:
+                counts[latency] = counts.get(latency, 0) + 1
+        totals = TrafficMetrics.from_totals(
+            seed=9,
+            channel_switches=recorded.channel_switches,
+            quorum_reads=recorded.quorum_reads,
+            quorum_latency_sum=recorded.quorum_latency_sum,
+            worst_quorum_latency=recorded.worst_quorum_latency,
+            quorum_counts=counts,
+        )
+        assert totals.channel_switches == recorded.channel_switches
+        assert totals.quorum_reads == recorded.quorum_reads
+        assert totals.quorum_success_rate == recorded.quorum_success_rate
+        for q in (0.5, 0.95):
+            assert totals.quorum_quantile(q) == recorded.quorum_quantile(q)
