@@ -849,6 +849,20 @@ class Scenario:
 
         return fingerprint(["scenario-design", self.design_payload()])
 
+    def scenario_fingerprint(self) -> str:
+        """Content fingerprint of the *whole* scenario (:meth:`to_dict`).
+
+        Unlike :meth:`design_fingerprint`, this covers runtime knobs
+        too - faults, traffic, simulation seeds - so two scenarios with
+        equal fingerprints produce identical results end to end, not
+        just the same broadcast program.  The distributed sweep keys
+        its work units with it (plus the cell key), which is how a
+        worker can verify it received the exact cell it was addressed.
+        """
+        from repro.core.fingerprint import fingerprint
+
+        return fingerprint(["scenario", self.to_dict()])
+
     def to_dict(self) -> dict[str, Any]:
         """A JSON-able dict; :meth:`from_dict` round-trips it."""
         policy = self.scheduler_policy

@@ -20,7 +20,13 @@ one-command cheap:
   process pool over cells and traffic shards, submit-order-stable,
   streaming to the store;
 * :mod:`repro.sweep.aggregate` - tidy per-cell records, per-axis
-  marginals, and plain-text tables for EXPERIMENTS.md.
+  marginals (batch and streaming), and plain-text tables for
+  EXPERIMENTS.md;
+* :mod:`repro.sweep.distributed` - the coordinator/worker fan-out
+  service: content-addressed work units over a socket protocol,
+  crash-safe leases, and a shared solve-cache namespace, scaling one
+  sweep across processes or hosts (``repro sweep serve`` /
+  ``repro sweep work``).
 
 Quickstart::
 
@@ -51,24 +57,36 @@ from repro.sweep.expand import apply_overrides, set_dotted
 from repro.sweep.cache import SolveCache
 from repro.sweep.store import RunStore
 from repro.sweep.aggregate import (
+    MarginalAccumulator,
     marginals,
     render_table,
     tidy_row,
     tidy_rows,
 )
 from repro.sweep.orchestrate import SweepResult, run_sweep
+from repro.sweep.distributed import (
+    DistributedSweepResult,
+    SweepCoordinator,
+    run_distributed_sweep,
+    run_worker,
+)
 
 __all__ = [
+    "DistributedSweepResult",
+    "MarginalAccumulator",
     "RunStore",
     "SolveCache",
     "SweepAxis",
     "SweepCell",
+    "SweepCoordinator",
     "SweepResult",
     "SweepSpec",
     "apply_overrides",
     "marginals",
     "render_table",
+    "run_distributed_sweep",
     "run_sweep",
+    "run_worker",
     "set_dotted",
     "tidy_row",
     "tidy_rows",

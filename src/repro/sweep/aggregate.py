@@ -203,6 +203,85 @@ def marginals(
     return out
 
 
+class MarginalAccumulator:
+    """Streaming per-axis marginals: :func:`marginals` one row at a time.
+
+    The distributed coordinator folds every completed row in as it
+    lands, so live progress can show "mean miss rate by fault
+    probability so far" without re-reading the store - at 10^5 cells,
+    re-running :func:`tidy_rows` + :func:`marginals` per update would
+    be quadratic.  :meth:`summary` produces, per axis field, exactly
+    the record list :func:`marginals` would (same grouping, same sort,
+    same ``mean_*`` semantics - pinned by tests), because both reduce
+    to the same (sum, count) pairs.
+    """
+
+    def __init__(
+        self, fields: Sequence[str], metrics: Sequence[str]
+    ) -> None:
+        if not metrics:
+            raise SpecificationError("at least one metric is required")
+        self._fields = tuple(fields)
+        self._metrics = tuple(metrics)
+        self.rows = 0
+        # field -> token -> (value, cells, {metric: (sum, count)})
+        self._groups: dict[
+            str, dict[str, tuple[Any, int, dict[str, tuple[float, int]]]]
+        ] = {field: {} for field in fields}
+
+    def add_row(self, row: Mapping[str, Any]) -> None:
+        """Fold one raw run-store row in (tidied internally)."""
+        self.add_record(tidy_row(row))
+
+    def add_record(self, record: Mapping[str, Any]) -> None:
+        """Fold one already-tidy record in."""
+        self.rows += 1
+        for field in self._fields:
+            value = record.get(field)
+            token = json.dumps(value, sort_keys=True, default=str)
+            groups = self._groups[field]
+            stored = groups.get(token)
+            if stored is None:
+                stored = (value, 0, {})
+            value, cells, sums = stored
+            for metric in self._metrics:
+                number = record.get(metric)
+                if isinstance(number, (int, float)) and not isinstance(
+                    number, bool
+                ):
+                    total, count = sums.get(metric, (0.0, 0))
+                    sums[metric] = (total + number, count + 1)
+            groups[token] = (value, cells + 1, sums)
+
+    def summary(self) -> dict[str, list[dict[str, Any]]]:
+        """Per-field marginal tables over everything folded in so far."""
+
+        def sort_key(value: Any) -> tuple:
+            if isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            ):
+                return (0, value, "")
+            if value is None:
+                return (2, 0, "")
+            return (1, 0, str(value))
+
+        out: dict[str, list[dict[str, Any]]] = {}
+        for field, groups in self._groups.items():
+            table = []
+            for value, cells, sums in sorted(
+                groups.values(), key=lambda item: sort_key(item[0])
+            ):
+                entry: dict[str, Any] = {field: value, "cells": cells}
+                for metric in self._metrics:
+                    total, count = sums.get(metric, (0.0, 0))
+                    entry[f"mean_{metric}"] = (
+                        total / count if count else None
+                    )
+                table.append(entry)
+            out[field] = table
+        return out
+
+
 def _format(value: Any) -> str:
     if value is None:
         return "-"

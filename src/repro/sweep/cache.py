@@ -20,12 +20,23 @@ Two tiers:
   harmless: they write identical bytes and the last rename wins.
 
 Unreadable or torn entries are treated as misses and rewritten.
+
+The disk tier is also a **cross-process single-flight**: a miss takes an
+``O_CREAT | O_EXCL`` lockfile (``<fingerprint>.lock``, holding the
+owner's pid) around the solve-and-put, and every other process that
+misses the same fingerprint *waits for the entry* instead of re-running
+the solver.  With N sweep workers sharing one cache directory, each
+distinct design therefore solves exactly once cluster-wide; the waiters
+come back with a disk hit and a bumped ``lock_waits`` counter.  A lock
+whose owner died mid-solve is broken (the pid is probed), so a killed
+worker never wedges the rest of the fleet.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import time
 from pathlib import Path
 
 from repro.errors import SpecificationError
@@ -44,6 +55,12 @@ class SolveCache:
     ``misses`` / ``solves`` count this instance's traffic only.
     """
 
+    #: How often a single-flight waiter polls for the winner's entry.
+    LOCK_POLL_SECONDS = 0.01
+    #: Give up waiting on a (live) lock holder after this long and
+    #: solve anyway - a safety valve, not an expected path.
+    LOCK_WAIT_TIMEOUT = 600.0
+
     def __init__(self, directory: str | Path | None = None) -> None:
         self._directory = None if directory is None else Path(directory)
         if self._directory is not None:
@@ -52,6 +69,7 @@ class SolveCache:
         self.hits = 0
         self.misses = 0
         self.solves = 0
+        self.lock_waits = 0
 
     @property
     def directory(self) -> Path | None:
@@ -62,6 +80,20 @@ class SolveCache:
         assert self._directory is not None
         return self._directory / f"{fingerprint}.pkl"
 
+    def _read_disk(
+        self, fingerprint: str
+    ) -> ProgramDesign | MultiChannelDesign | None:
+        """Load one disk-tier entry without touching any counter."""
+        if self._directory is None:
+            return None
+        try:
+            with open(self._path(fingerprint), "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, ValueError,
+                AttributeError):
+            # Absent, torn, or stale-format entry: a miss either way.
+            return None
+
     def get(
         self, fingerprint: str
     ) -> ProgramDesign | MultiChannelDesign | None:
@@ -70,14 +102,8 @@ class SolveCache:
         design = self._memory.get(fingerprint)
         if design is None and self._directory is not None:
             tier = "disk"
-            try:
-                with open(self._path(fingerprint), "rb") as handle:
-                    design = pickle.load(handle)
-            except (OSError, pickle.PickleError, EOFError, ValueError,
-                    AttributeError):
-                # Absent, torn, or stale-format entry: a miss either way.
-                design = None
-            else:
+            design = self._read_disk(fingerprint)
+            if design is not None:
                 self._memory[fingerprint] = design
         tel = obs.current()
         if design is None:
@@ -108,6 +134,65 @@ class SolveCache:
             pickle.dump(design, handle, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(scratch, target)
 
+    def _lock_path(self, fingerprint: str) -> Path:
+        assert self._directory is not None
+        return self._directory / f"{fingerprint}.lock"
+
+    @staticmethod
+    def _lock_owner_dead(lock: Path) -> bool:
+        """Whether the single-flight lock's owner is provably gone.
+
+        The lockfile holds the owner's pid; a pid that no longer exists
+        means the owner was killed mid-solve and the lock must be
+        broken.  An unreadable or not-yet-written pid is treated as
+        alive - breaking a lock wrongly would double-solve, while
+        waiting a poll longer costs 10ms.
+        """
+        try:
+            text = lock.read_text(encoding="utf-8").strip()
+            pid = int(text)
+        except (OSError, ValueError):
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        except (OSError, OverflowError):
+            return False
+        return False
+
+    def _acquire_single_flight(self, fingerprint: str) -> bool:
+        """Try to become the one process that solves ``fingerprint``.
+
+        Returns ``True`` with the lockfile held (the caller must solve,
+        :meth:`put`, then :meth:`_release_single_flight`); ``False``
+        when another live process holds it.
+        """
+        lock = self._lock_path(fingerprint)
+        try:
+            fd = os.open(
+                lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+            )
+        except FileExistsError:
+            if self._lock_owner_dead(lock):
+                # A killed owner never publishes its entry; break the
+                # lock and race for it again.
+                try:
+                    lock.unlink()
+                except FileNotFoundError:
+                    pass
+                return self._acquire_single_flight(fingerprint)
+            return False
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(str(os.getpid()))
+        return True
+
+    def _release_single_flight(self, fingerprint: str) -> None:
+        try:
+            self._lock_path(fingerprint).unlink()
+        except FileNotFoundError:  # pragma: no cover - belt and braces
+            pass
+
     def design_for(
         self, scenario: Scenario
     ) -> tuple[ProgramDesign | MultiChannelDesign, bool]:
@@ -116,30 +201,87 @@ class SolveCache:
         Returns ``(design, cache_hit)``.  The fingerprint covers exactly
         the inputs the designer consumes, so a hit is always safe to
         inject into :class:`~repro.api.engine.BroadcastEngine`.
+
+        With a disk tier, the miss path is single-flight *across
+        processes*: the first process to take ``<fingerprint>.lock``
+        solves and publishes the entry; every other process misses into
+        a wait loop (counted once per episode in ``lock_waits``) and
+        returns the winner's entry as a disk hit.  Every distinct
+        design therefore solves exactly once per shared cache
+        directory, no matter how many workers race it.
         """
         fingerprint = scenario.design_fingerprint()
         design = self.get(fingerprint)
         if design is not None:
             return design, True
+        if self._directory is None:
+            return self._solve_and_put(scenario, fingerprint), False
+        deadline = time.monotonic() + self.LOCK_WAIT_TIMEOUT
+        waited = False
+        while True:
+            if self._acquire_single_flight(fingerprint):
+                try:
+                    # The winner may have published between our miss
+                    # and the lock: re-check before paying the solver.
+                    design = self._read_disk(fingerprint)
+                    if design is not None:
+                        self._memory[fingerprint] = design
+                        self.hits += 1
+                        obs.inc(
+                            "solve_cache.hits", stability="shape",
+                            tier="disk",
+                        )
+                        return design, True
+                    return (
+                        self._solve_and_put(scenario, fingerprint),
+                        False,
+                    )
+                finally:
+                    self._release_single_flight(fingerprint)
+            if not waited:
+                waited = True
+                self.lock_waits += 1
+                obs.inc("solve_cache.lock_waits", stability="shape")
+            if time.monotonic() >= deadline:
+                # Safety valve: a live-but-wedged owner must not hang
+                # the fleet forever.  Solve without the lock; the put
+                # is content-addressed, so a duplicate write is benign.
+                return self._solve_and_put(scenario, fingerprint), False
+            time.sleep(self.LOCK_POLL_SECONDS)
+            design = self._read_disk(fingerprint)
+            if design is not None:
+                self._memory[fingerprint] = design
+                self.hits += 1
+                obs.inc(
+                    "solve_cache.hits", stability="shape", tier="disk"
+                )
+                return design, True
+
+    def _solve_and_put(
+        self, scenario: Scenario, fingerprint: str
+    ) -> ProgramDesign | MultiChannelDesign:
         design = BroadcastEngine(scenario).design()
         self.solves += 1
         obs.inc("solve_cache.solves")
         self.put(fingerprint, design)
-        return design, False
+        return design
 
     def stats(self) -> dict[str, int]:
         """This instance's traffic counters as a plain dict.
 
-        Keys: ``hits``, ``misses``, ``solves``, ``entries``.  The online
-        broadcast server embeds this in its re-solve provenance (so an
-        as-run log can prove a warm start), and CI smoke steps assert on
-        it (``solves == 0`` on a warm cache) instead of parsing bench
-        output.
+        Keys: ``hits``, ``misses``, ``solves``, ``lock_waits``,
+        ``entries``.  The online broadcast server embeds this in its
+        re-solve provenance (so an as-run log can prove a warm start),
+        and CI smoke steps assert on it (``solves == 0`` on a warm
+        cache) instead of parsing bench output.  ``lock_waits`` counts
+        single-flight wait episodes: misses that found another process
+        already solving the same fingerprint.
         """
         return {
             "hits": self.hits,
             "misses": self.misses,
             "solves": self.solves,
+            "lock_waits": self.lock_waits,
             "entries": len(self),
         }
 
@@ -154,6 +296,7 @@ class SolveCache:
             "hits": self.hits,
             "misses": self.misses,
             "solves": self.solves,
+            "lock_waits": self.lock_waits,
         }
 
     def diff(self, before: dict[str, int]) -> dict[str, int]:

@@ -1,0 +1,65 @@
+"""Distributed sweep service: coordinator/worker fan-out.
+
+A sweep grid becomes a stream of content-addressed work units served
+over a length-prefixed JSON socket protocol; worker processes lease
+cells under heartbeat deadlines (crashed or hung workers forfeit their
+cells back to the queue), share one solve-cache namespace with a
+cross-process single-flight lock (each distinct design solves exactly
+once cluster-wide), and stream rows into the fsync'd run store.  The
+core invariant: modulo wall-clock fields, the distributed row set is
+identical to serial :func:`~repro.sweep.orchestrate.run_sweep` for any
+worker count and any kill schedule.
+
+Entry points: :func:`~repro.sweep.distributed.service.run_distributed_sweep`
+for a one-call local cluster, :class:`SweepCoordinator` +
+``repro sweep work`` for multi-host setups, and
+``repro sweep serve`` / ``repro sweep work`` on the CLI.
+"""
+
+from repro.sweep.distributed.coordinator import (
+    DistributedSweepResult,
+    SweepCoordinator,
+)
+from repro.sweep.distributed.lease import Lease, LeaseTable
+from repro.sweep.distributed.protocol import (
+    PROTOCOL_VERSION,
+    FramedSocket,
+    ProtocolError,
+    connect,
+    parse_address,
+)
+from repro.sweep.distributed.service import (
+    run_distributed_sweep,
+    spawn_worker,
+    wait_for_workers,
+    worker_command,
+)
+from repro.sweep.distributed.units import (
+    WorkUnit,
+    iter_units,
+    strip_volatile,
+    unit_fingerprint,
+)
+from repro.sweep.distributed.worker import WorkerStats, run_worker
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DistributedSweepResult",
+    "FramedSocket",
+    "Lease",
+    "LeaseTable",
+    "ProtocolError",
+    "SweepCoordinator",
+    "WorkUnit",
+    "WorkerStats",
+    "connect",
+    "iter_units",
+    "parse_address",
+    "run_distributed_sweep",
+    "run_worker",
+    "spawn_worker",
+    "strip_volatile",
+    "unit_fingerprint",
+    "wait_for_workers",
+    "worker_command",
+]

@@ -1,0 +1,135 @@
+"""Crash-safe work leases: who is computing which cell, until when.
+
+The coordinator never *assigns* cells - it **leases** them.  A lease is
+a promise with a deadline: the worker must either return the cell's row
+or keep the lease alive with heartbeats; a lease whose deadline passes
+(hung worker) or whose connection drops (killed worker - the kernel
+closes the socket, the coordinator sees EOF) is *released* and its cell
+goes back on the queue for someone else.  That single rule is what
+makes any kill schedule safe: cells can be computed twice (results are
+deterministic and the store dedupes by key) but can never be lost.
+
+:class:`LeaseTable` is the bookkeeping core, deliberately free of
+sockets and threads: time is injected (``clock``), so expiry logic is
+unit-testable at microsecond speed.  Thread safety is the caller's job
+(the coordinator holds one lock around queue + table).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.sweep.distributed.units import WorkUnit
+
+
+@dataclass
+class Lease:
+    """One outstanding promise: ``worker`` computes ``unit`` by
+    ``deadline``."""
+
+    unit: WorkUnit
+    worker: str
+    deadline: float
+    granted_at: float
+
+
+@dataclass
+class LeaseTable:
+    """Outstanding leases, keyed by unit uid.
+
+    ``lease_seconds`` is the heartbeat budget: a worker that stays
+    silent that long forfeits its cells.  Every message from a worker
+    (heartbeat, request, result) renews all of its leases - liveness is
+    a property of the *worker*, not of one cell, so a long-solving cell
+    stays leased as long as its worker keeps breathing.
+    """
+
+    lease_seconds: float = 15.0
+    clock: Callable[[], float] = time.monotonic
+    _leases: dict[str, Lease] = field(default_factory=dict)
+    #: Lifetime counters (the coordinator folds them into telemetry).
+    granted: int = 0
+    expired: int = 0
+    released: int = 0
+    completed: int = 0
+
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def __contains__(self, uid: str) -> bool:
+        return uid in self._leases
+
+    def grant(self, unit: WorkUnit, worker: str) -> Lease:
+        """Lease one unit to ``worker`` (it must not be leased)."""
+        assert unit.uid not in self._leases, unit.key
+        now = self.clock()
+        lease = Lease(
+            unit=unit,
+            worker=worker,
+            deadline=now + self.lease_seconds,
+            granted_at=now,
+        )
+        self._leases[unit.uid] = lease
+        self.granted += 1
+        return lease
+
+    def renew(self, worker: str) -> int:
+        """Push every lease of ``worker`` forward; returns how many."""
+        deadline = self.clock() + self.lease_seconds
+        count = 0
+        for lease in self._leases.values():
+            if lease.worker == worker:
+                lease.deadline = deadline
+                count += 1
+        return count
+
+    def complete(self, uid: str) -> Lease | None:
+        """Drop the lease for a returned row (``None`` if not leased -
+        e.g. the row arrived after the lease expired and re-queued)."""
+        lease = self._leases.pop(uid, None)
+        if lease is not None:
+            self.completed += 1
+        return lease
+
+    def release_worker(self, worker: str) -> list[WorkUnit]:
+        """Take back every lease of a dead worker (EOF path)."""
+        taken = [
+            uid
+            for uid, lease in self._leases.items()
+            if lease.worker == worker
+        ]
+        units = [self._leases.pop(uid).unit for uid in taken]
+        self.released += len(units)
+        return units
+
+    def expire(self) -> list[WorkUnit]:
+        """Take back every lease whose deadline passed (hung-worker
+        path); the caller re-queues the returned units."""
+        now = self.clock()
+        overdue = [
+            uid
+            for uid, lease in self._leases.items()
+            if lease.deadline <= now
+        ]
+        units = [self._leases.pop(uid).unit for uid in overdue]
+        self.expired += len(units)
+        return units
+
+    def workers(self) -> set[str]:
+        """Workers currently holding at least one lease."""
+        return {lease.worker for lease in self._leases.values()}
+
+    def leases(self) -> Iterator[Lease]:
+        yield from self._leases.values()
+
+    def stats(self) -> dict[str, Any]:
+        """Lifetime counters plus the current outstanding count."""
+        return {
+            "outstanding": len(self._leases),
+            "granted": self.granted,
+            "completed": self.completed,
+            "expired": self.expired,
+            "released": self.released,
+        }

@@ -1,0 +1,227 @@
+"""The coordinator/worker wire protocol: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON.  The format is deliberately boring: it survives any
+TCP segmentation, needs no external dependency, and every message stays
+human-readable with ``xxd``-level tooling.  :class:`FramedSocket` wraps
+a connected socket with buffered, timeout-tolerant receives (a timeout
+mid-frame keeps the partial bytes and resumes cleanly) and a send lock
+so a worker's heartbeat thread and its main loop never interleave
+frames.
+
+Message vocabulary (every message is an object with a ``"type"``):
+
+Worker -> coordinator
+    ``hello``      ``{worker, pid, protocol, cache_dir}`` - sign-on.
+    ``request``    ``{max_units}`` - ask for a lease.
+    ``result``     ``{units: [{uid, key, row | error}], stats}`` - one
+                   completed batch (a run-store row per unit, or an
+                   ``error`` string for a cell that failed) plus the
+                   worker's *cumulative* cache counters (so a later
+                   crash cannot lose the solve accounting already
+                   reported).
+    ``heartbeat``  fire-and-forget lease keep-alive; never answered.
+    ``goodbye``    ``{stats, telemetry?}`` - final counters and, when
+                   the coordinator asked for it, the worker's captured
+                   telemetry registry.
+
+Coordinator -> worker
+    ``welcome``    ``{sweep, protocol, lease_seconds, telemetry}``.
+    ``grant``      ``{units: [work units]}`` - leased cells.
+    ``wait``       ``{delay}`` - nothing grantable right now (the tail
+                   of the grid is leased to other workers); retry.
+    ``done``       the grid is complete; disconnect.
+    ``ack``        ``{accepted, duplicates}`` - the result batch is
+                   durable in the run store (sent *after* the fsync'd
+                   append, which is what makes worker handoff
+                   at-least-once rather than at-most-once).
+    ``error``      ``{reason}`` - protocol violation; connection drops.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+import time
+from typing import Any
+
+from repro.errors import SpecificationError
+
+#: Bumped on any incompatible wire change; hello/welcome both carry it.
+PROTOCOL_VERSION = 1
+
+#: One frame must fit a result batch of deep rows, with margin.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct("!I")
+
+
+class ProtocolError(SpecificationError):
+    """A malformed or oversized frame, or a version mismatch."""
+
+
+def encode_frame(message: dict[str, Any]) -> bytes:
+    """Serialize one message into its wire frame."""
+    try:
+        data = json.dumps(
+            message, separators=(",", ":"), allow_nan=False
+        ).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(
+            f"message is not JSON-serializable: {error}"
+        ) from error
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(data)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LENGTH.pack(len(data)) + data
+
+
+def decode_payload(data: bytes) -> dict[str, Any]:
+    """Parse one frame payload back into a message object."""
+    try:
+        message = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"malformed frame payload: {error}") from error
+    if not isinstance(message, dict) or not isinstance(
+        message.get("type"), str
+    ):
+        raise ProtocolError(
+            f"messages must be objects with a string 'type', got "
+            f"{type(message).__name__}"
+        )
+    return message
+
+
+class FramedSocket:
+    """A connected socket speaking length-prefixed JSON messages.
+
+    ``send`` is thread-safe (one lock around the full ``sendall``), so
+    a heartbeat thread can share the socket with the main loop.
+    ``recv`` is single-reader and *timeout-tolerant*: a timeout in the
+    middle of a frame preserves the partial bytes in the receive buffer
+    and returns ``None``, so callers can poll a shutdown flag without
+    ever corrupting the stream.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._buffer = bytearray()
+        self._send_lock = threading.Lock()
+
+    @property
+    def socket(self) -> socket.socket:
+        return self._sock
+
+    def send(self, message: dict[str, Any]) -> None:
+        """Send one message (whole frame, under the send lock)."""
+        frame = encode_frame(message)
+        with self._send_lock:
+            self._sock.sendall(frame)
+
+    def _fill(self, needed: int, deadline: float | None) -> bool:
+        """Grow the buffer to ``needed`` bytes; ``False`` on timeout.
+
+        Raises :class:`EOFError` when the peer closed - a clean close
+        and an abortive one (e.g. a SIGKILL'd worker, surfacing as
+        ``ECONNRESET``) are the same event to the protocol: the peer is
+        gone.
+        """
+        while len(self._buffer) < needed:
+            if deadline is None:
+                self._sock.settimeout(None)
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._sock.settimeout(remaining)
+            try:
+                chunk = self._sock.recv(65536)
+            except (socket.timeout, TimeoutError):
+                return False
+            except ConnectionError as error:
+                raise EOFError(
+                    f"peer connection lost: {error}"
+                ) from error
+            if not chunk:
+                raise EOFError("peer closed the connection")
+            self._buffer.extend(chunk)
+        return True
+
+    def recv(self, timeout: float | None = None) -> dict[str, Any] | None:
+        """The next message, or ``None`` if ``timeout`` elapsed first.
+
+        Raises :class:`EOFError` when the peer closed (including a
+        SIGKILL'd worker, whose exit closes the socket) and
+        :class:`ProtocolError` on a malformed or oversized frame.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        if not self._fill(_LENGTH.size, deadline):
+            return None
+        length = _LENGTH.unpack(bytes(self._buffer[: _LENGTH.size]))[0]
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"incoming frame of {length} bytes exceeds the "
+                f"{MAX_FRAME_BYTES}-byte limit"
+            )
+        if not self._fill(_LENGTH.size + length, deadline):
+            return None
+        del self._buffer[: _LENGTH.size]
+        data = bytes(self._buffer[:length])
+        del self._buffer[:length]
+        return decode_payload(data)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+
+
+def connect(
+    host: str, port: int, *, timeout: float = 10.0
+) -> FramedSocket:
+    """Dial the coordinator, retrying until ``timeout`` elapses.
+
+    Workers routinely start before the coordinator finishes binding
+    (or reconnect across a coordinator restart), so refusal is retried
+    on a short backoff instead of failing the worker outright.
+    """
+    deadline = time.monotonic() + timeout
+    delay = 0.05
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=10.0)
+            sock.settimeout(None)
+            return FramedSocket(sock)
+        except OSError as error:
+            if time.monotonic() >= deadline:
+                raise SpecificationError(
+                    f"cannot connect to sweep coordinator at "
+                    f"{host}:{port}: {error}"
+                ) from error
+            time.sleep(delay)
+            delay = min(delay * 2, 1.0)
+
+
+def parse_address(raw: str) -> tuple[str, int]:
+    """Parse a ``host:port`` flag value."""
+    host, sep, port = raw.rpartition(":")
+    if not sep or not host:
+        raise SpecificationError(
+            f"expected host:port, got {raw!r}"
+        )
+    try:
+        number = int(port)
+    except ValueError as error:
+        raise SpecificationError(
+            f"invalid port in {raw!r}: {port!r}"
+        ) from error
+    if not 0 <= number <= 65535:
+        raise SpecificationError(f"port out of range in {raw!r}")
+    return host, number

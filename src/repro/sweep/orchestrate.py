@@ -172,6 +172,14 @@ class SweepResult:
     elapsed: float
     store_path: str | None = None
     cache_dir: str | None = None
+    #: Resumed runs say *why* each non-reused cell re-ran instead of
+    #: silently re-executing: the stored row's scenario payload no
+    #: longer matched (its design fingerprint drifted - e.g. the base
+    #: scenario changed in a field no axis covers) ...
+    rerun_drift: int = 0
+    #: ... or the cell's key was not in the store at all (a new or
+    #: never-finished cell).  Both are zero on non-resumed runs.
+    rerun_missing: int = 0
 
     def records(self) -> list[dict[str, Any]]:
         """Tidy per-cell records (see :mod:`repro.sweep.aggregate`)."""
@@ -188,6 +196,10 @@ class SweepResult:
             "cells": self.cells,
             "executed": self.executed,
             "resumed": self.resumed,
+            "rerun": {
+                "fingerprint_drift": self.rerun_drift,
+                "missing_key": self.rerun_missing,
+            },
             "distinct_designs": self.distinct_designs,
             "solves": self.solves,
             "cache_hits": self.cache_hits,
@@ -304,6 +316,8 @@ def run_sweep(
 
     store = None if store_path is None else RunStore(store_path)
     rows_by_key: dict[str, dict[str, Any]] = {}
+    rerun_drift = 0
+    rerun_missing = 0
     if store is not None:
         if resume:
             # A row is reusable only if it was produced by the *same*
@@ -317,18 +331,30 @@ def run_sweep(
                 cell.key: json.loads(json.dumps(cell.scenario.to_dict()))
                 for cell in cells
             }
+            drift_keys: set[str] = set()
             for row in store.rows():
                 key = row.get("key")
                 if key not in expected:
                     continue
                 stored = (row.get("result") or {}).get("scenario")
                 if stored != expected[key]:
-                    continue  # stale: the cell re-runs
+                    # Stale: the stored row was produced by a different
+                    # concrete scenario (so its fingerprint drifted);
+                    # the cell re-runs, and the summary says why.
+                    drift_keys.add(key)
+                    continue
                 # The key pins the axis values but not the position -
                 # the grid may have gained cells since the row was
                 # written, so the positional index is rewritten from
                 # the current expansion.
                 rows_by_key[key] = {**row, "index": by_key[key].index}
+            # A later matching row rescues a key an older stale row
+            # would have flagged (duplicate keys: last good row wins).
+            drift_keys -= set(rows_by_key)
+            rerun_drift = len(drift_keys)
+            rerun_missing = (
+                len(expected) - len(rows_by_key) - rerun_drift
+            )
         else:
             # A fresh (non-resume) run over a populated store keeps one
             # .bak generation instead of silently destroying finished
@@ -538,4 +564,6 @@ def run_sweep(
         elapsed=elapsed,
         store_path=None if store is None else str(store.path),
         cache_dir=None if temp_cache is not None else cache_dir_str,
+        rerun_drift=rerun_drift,
+        rerun_missing=rerun_missing,
     )

@@ -83,7 +83,9 @@ class TestCacheCounters:
         before = cache.snapshot()
         cache.design_for(scenario())  # one hit
         delta = cache.diff(before)
-        assert delta == {"hits": 1, "misses": 0, "solves": 0}
+        assert delta == {
+            "hits": 1, "misses": 0, "solves": 0, "lock_waits": 0,
+        }
 
     def test_diff_tolerates_missing_keys(self):
         cache = SolveCache()

@@ -160,7 +160,8 @@ class TestRunScript:
         ])
         result = run_script(scenario, script)
         assert result.cache_stats == {
-            "hits": 2, "misses": 2, "solves": 2, "entries": 2,
+            "hits": 2, "misses": 2, "solves": 2, "lock_waits": 0,
+            "entries": 2,
         }
         assert len(result.epochs) == 4
 

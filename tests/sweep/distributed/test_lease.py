@@ -1,0 +1,102 @@
+"""Tests for the lease table (injected clock, no sockets)."""
+
+import pytest
+
+from repro.api import Scenario
+from repro.sweep import SweepAxis, SweepSpec
+from repro.sweep.distributed import LeaseTable, iter_units
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def units():
+    base = Scenario.from_dict(
+        {
+            "name": "base",
+            "files": [{"name": "pos", "blocks": 2, "latency": 4}],
+        }
+    )
+    spec = SweepSpec(
+        name="grid",
+        base=base,
+        axes=(SweepAxis("faults.seed", (1, 2, 3, 4)),),
+    )
+    return list(iter_units(spec))
+
+
+class TestLeaseTable:
+    def test_grant_and_complete(self, units):
+        clock = FakeClock()
+        table = LeaseTable(lease_seconds=10.0, clock=clock)
+        lease = table.grant(units[0], "w0")
+        assert lease.deadline == 110.0
+        assert units[0].uid in table
+        assert table.complete(units[0].uid) is lease
+        assert len(table) == 0
+        assert table.stats()["completed"] == 1
+
+    def test_complete_unknown_is_none(self, units):
+        table = LeaseTable()
+        assert table.complete(units[0].uid) is None
+
+    def test_expiry_returns_overdue_units_only(self, units):
+        clock = FakeClock()
+        table = LeaseTable(lease_seconds=10.0, clock=clock)
+        table.grant(units[0], "w0")
+        clock.now += 6.0
+        table.grant(units[1], "w1")
+        clock.now += 5.0  # w0's lease is 1s overdue, w1 has 5s left
+        expired = table.expire()
+        assert [unit.key for unit in expired] == [units[0].key]
+        assert units[1].uid in table
+        assert table.stats()["expired"] == 1
+
+    def test_renew_extends_all_of_a_workers_leases(self, units):
+        clock = FakeClock()
+        table = LeaseTable(lease_seconds=10.0, clock=clock)
+        table.grant(units[0], "w0")
+        table.grant(units[1], "w0")
+        table.grant(units[2], "w1")
+        clock.now += 9.0
+        assert table.renew("w0") == 2
+        clock.now += 2.0  # w1's original deadline has now passed
+        expired = table.expire()
+        assert [unit.key for unit in expired] == [units[2].key]
+        assert len(table) == 2
+
+    def test_release_worker_takes_everything_back(self, units):
+        table = LeaseTable(clock=FakeClock())
+        table.grant(units[0], "w0")
+        table.grant(units[1], "w0")
+        table.grant(units[2], "w1")
+        released = table.release_worker("w0")
+        assert {unit.key for unit in released} == {
+            units[0].key,
+            units[1].key,
+        }
+        assert table.workers() == {"w1"}
+        assert table.stats()["released"] == 2
+
+    def test_double_grant_asserts(self, units):
+        table = LeaseTable(clock=FakeClock())
+        table.grant(units[0], "w0")
+        with pytest.raises(AssertionError):
+            table.grant(units[0], "w1")
+
+    def test_stats_shape(self, units):
+        table = LeaseTable(clock=FakeClock())
+        table.grant(units[0], "w0")
+        assert table.stats() == {
+            "outstanding": 1,
+            "granted": 1,
+            "completed": 0,
+            "expired": 0,
+            "released": 0,
+        }

@@ -1,0 +1,168 @@
+"""Tests for the length-prefixed JSON wire protocol."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.sweep.distributed.protocol import (
+    MAX_FRAME_BYTES,
+    FramedSocket,
+    ProtocolError,
+    connect,
+    decode_payload,
+    encode_frame,
+    parse_address,
+)
+
+
+def pair():
+    left, right = socket.socketpair()
+    return FramedSocket(left), FramedSocket(right)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        a, b = pair()
+        try:
+            message = {"type": "hello", "worker": "w0", "n": [1, 2, 3]}
+            a.send(message)
+            assert b.recv(timeout=1.0) == message
+        finally:
+            a.close()
+            b.close()
+
+    def test_many_messages_one_stream(self):
+        a, b = pair()
+        try:
+            for index in range(50):
+                a.send({"type": "tick", "index": index})
+            got = [b.recv(timeout=1.0)["index"] for _ in range(50)]
+            assert got == list(range(50))
+        finally:
+            a.close()
+            b.close()
+
+    def test_partial_delivery_survives(self):
+        # Dribble one frame a byte at a time through a raw socket: the
+        # reader must reassemble it across arbitrary segmentation.
+        left, right = socket.socketpair()
+        framed = FramedSocket(right)
+        frame = encode_frame({"type": "result", "value": "x" * 300})
+        try:
+
+            def dribble():
+                for offset in range(len(frame)):
+                    left.sendall(frame[offset : offset + 1])
+
+            thread = threading.Thread(target=dribble)
+            thread.start()
+            message = framed.recv(timeout=5.0)
+            thread.join()
+            assert message == {"type": "result", "value": "x" * 300}
+        finally:
+            left.close()
+            framed.close()
+
+    def test_timeout_mid_frame_preserves_buffer(self):
+        # A timeout with half a frame buffered must return None and
+        # then complete cleanly once the rest arrives.
+        left, right = socket.socketpair()
+        framed = FramedSocket(right)
+        frame = encode_frame({"type": "grant", "units": []})
+        try:
+            left.sendall(frame[:5])
+            assert framed.recv(timeout=0.05) is None
+            left.sendall(frame[5:])
+            assert framed.recv(timeout=1.0) == {
+                "type": "grant",
+                "units": [],
+            }
+        finally:
+            left.close()
+            framed.close()
+
+    def test_eof_raises(self):
+        a, b = pair()
+        a.close()
+        with pytest.raises(EOFError):
+            b.recv(timeout=1.0)
+        b.close()
+
+    def test_oversize_header_rejected(self):
+        left, right = socket.socketpair()
+        framed = FramedSocket(right)
+        try:
+            left.sendall(
+                (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+            )
+            with pytest.raises(ProtocolError, match="exceeds"):
+                framed.recv(timeout=1.0)
+        finally:
+            left.close()
+            framed.close()
+
+    def test_oversize_outgoing_rejected(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({"type": "x", "blob": "y" * (MAX_FRAME_BYTES)})
+
+    def test_non_serializable_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON"):
+            encode_frame({"type": "x", "bad": object()})
+
+    def test_nan_rejected(self):
+        # allow_nan=False: NaN would not survive a JSON round trip.
+        with pytest.raises(ProtocolError):
+            encode_frame({"type": "x", "value": float("nan")})
+
+
+class TestDecode:
+    def test_requires_object_with_type(self):
+        with pytest.raises(ProtocolError, match="string 'type'"):
+            decode_payload(b"[1, 2]")
+        with pytest.raises(ProtocolError, match="string 'type'"):
+            decode_payload(b'{"no_type": 1}')
+
+    def test_malformed_json(self):
+        with pytest.raises(ProtocolError, match="malformed"):
+            decode_payload(b"{nope")
+
+
+class TestParseAddress:
+    def test_roundtrip(self):
+        assert parse_address("127.0.0.1:8000") == ("127.0.0.1", 8000)
+
+    @pytest.mark.parametrize(
+        "raw", ["nohost", ":8000", "host:", "host:nan", "host:70000"]
+    )
+    def test_rejects(self, raw):
+        with pytest.raises(SpecificationError):
+            parse_address(raw)
+
+
+class TestConnect:
+    def test_connects_to_listener(self):
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        host, port = listener.getsockname()
+        framed = connect(host, port, timeout=5.0)
+        conn, _ = listener.accept()
+        try:
+            framed.send({"type": "hello"})
+            server = FramedSocket(conn)
+            assert server.recv(timeout=1.0) == {"type": "hello"}
+        finally:
+            framed.close()
+            conn.close()
+            listener.close()
+
+    def test_gives_up_after_timeout(self):
+        # A port nothing listens on: bind-then-close reserves one.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        host, port = probe.getsockname()
+        probe.close()
+        with pytest.raises(SpecificationError, match="cannot connect"):
+            connect(host, port, timeout=0.3)

@@ -1,0 +1,165 @@
+"""Tests for content-addressed work units and lazy expansion."""
+
+import pytest
+
+from repro.api import Scenario
+from repro.errors import SpecificationError
+from repro.sweep import SweepAxis, SweepSpec
+from repro.sweep.distributed import (
+    WorkUnit,
+    iter_units,
+    strip_volatile,
+    unit_fingerprint,
+)
+
+
+def grid_spec() -> SweepSpec:
+    base = Scenario.from_dict(
+        {
+            "name": "base",
+            "files": [
+                {"name": "pos", "blocks": 2, "latency": 2,
+                 "fault_budget": 1},
+                {"name": "map", "blocks": 3, "latency": 6},
+            ],
+            "workload": {"requests": 10, "horizon": 60, "seed": 4},
+        }
+    )
+    return SweepSpec(
+        name="grid",
+        base=base,
+        axes=(
+            SweepAxis("faults.kind", ("bernoulli",)),
+            SweepAxis("faults.probability", (0.0, 0.05)),
+            SweepAxis("faults.seed", (1, 2)),
+        ),
+    )
+
+
+class TestLazyExpansion:
+    def test_matches_eager_cells(self):
+        """The core parity contract behind the coordinator's queue.
+
+        Keys, indices, and overrides are exactly ``spec.cells()``'s;
+        the payload is pre-normalization but must *validate to* the
+        identical scenario.
+        """
+        spec = grid_spec()
+        units = list(iter_units(spec))
+        cells = spec.cells()
+        assert len(units) == len(cells) == spec.total_cells
+        for unit, cell in zip(units, cells):
+            assert unit.key == cell.key
+            assert unit.index == cell.index
+            assert unit.overrides == cell.overrides
+            assert (
+                Scenario.from_dict(unit.scenario).to_dict()
+                == cell.scenario.to_dict()
+            )
+
+    def test_uids_are_distinct_and_deterministic(self):
+        spec = grid_spec()
+        first = [unit.uid for unit in iter_units(spec)]
+        second = [unit.uid for unit in iter_units(spec)]
+        assert first == second
+        assert len(set(first)) == len(first)
+
+    def test_uid_covers_scenario_fingerprint(self):
+        # The uid is the fingerprint of {key, scenario}: any payload
+        # change moves the address.
+        spec = grid_spec()
+        unit = next(iter_units(spec))
+        assert unit.uid == unit_fingerprint(unit.key, unit.scenario)
+        tampered = dict(unit.scenario)
+        tampered["name"] = "other"
+        assert unit.uid != unit_fingerprint(unit.key, tampered)
+
+
+class TestWireForm:
+    def test_roundtrip(self):
+        unit = next(iter_units(grid_spec()))
+        assert WorkUnit.from_dict(unit.to_dict()) == unit
+
+    def test_tampered_payload_rejected(self):
+        unit = next(iter_units(grid_spec()))
+        payload = unit.to_dict()
+        payload["scenario"] = dict(payload["scenario"], name="evil")
+        with pytest.raises(SpecificationError, match="content"):
+            WorkUnit.from_dict(payload)
+
+    def test_tampered_key_rejected(self):
+        unit = next(iter_units(grid_spec()))
+        payload = unit.to_dict()
+        payload["key"] = "faults.seed=999"
+        with pytest.raises(SpecificationError, match="content"):
+            WorkUnit.from_dict(payload)
+
+    def test_malformed_unit_rejected(self):
+        with pytest.raises(SpecificationError, match="malformed"):
+            WorkUnit.from_dict({"uid": "x"})
+
+
+class TestScenarioFingerprint:
+    def test_covers_runtime_knobs(self):
+        # design_fingerprint is blind to fault knobs (that is the
+        # solve-cache's whole point); scenario_fingerprint is not.
+        a = Scenario.from_dict(
+            {
+                "name": "s",
+                "files": [{"name": "pos", "blocks": 2, "latency": 4}],
+                "faults": {"kind": "bernoulli", "probability": 0.1,
+                           "seed": 1},
+            }
+        )
+        b = Scenario.from_dict(
+            {
+                "name": "s",
+                "files": [{"name": "pos", "blocks": 2, "latency": 4}],
+                "faults": {"kind": "bernoulli", "probability": 0.1,
+                           "seed": 2},
+            }
+        )
+        assert a.design_fingerprint() == b.design_fingerprint()
+        assert a.scenario_fingerprint() != b.scenario_fingerprint()
+
+    def test_stable_across_instances(self):
+        payload = {
+            "name": "s",
+            "files": [{"name": "pos", "blocks": 2, "latency": 4}],
+        }
+        assert (
+            Scenario.from_dict(payload).scenario_fingerprint()
+            == Scenario.from_dict(payload).scenario_fingerprint()
+        )
+
+
+class TestStripVolatile:
+    def test_drops_exactly_the_wall_clock_fields(self):
+        row = {
+            "key": "k",
+            "index": 0,
+            "fingerprint": "fp",
+            "cache_hit": True,
+            "elapsed": 0.5,
+            "result": {
+                "scenario": {"name": "s"},
+                "traffic": {
+                    "miss_rate": 0.1,
+                    "requests_per_sec": 1234.5,
+                    "workers": 8,
+                },
+            },
+        }
+        stripped = strip_volatile(row)
+        assert "elapsed" not in stripped
+        assert "cache_hit" not in stripped
+        assert stripped["result"]["traffic"] == {"miss_rate": 0.1}
+        # The original is untouched (the copy is deep).
+        assert row["result"]["traffic"]["workers"] == 8
+
+    def test_no_traffic_block(self):
+        row = {"key": "k", "elapsed": 1.0, "result": {"scenario": {}}}
+        assert strip_volatile(row) == {
+            "key": "k",
+            "result": {"scenario": {}},
+        }

@@ -123,3 +123,46 @@ class TestRenderTable:
 
     def test_empty(self):
         assert render_table([]) == "(no rows)"
+
+
+class TestMarginalAccumulator:
+    """The streaming accumulator must reproduce ``marginals`` exactly -
+    the distributed coordinator's live view is not allowed to drift
+    from the batch computation."""
+
+    def test_matches_batch_marginals(self, grid_result):
+        from repro.sweep import MarginalAccumulator
+
+        metrics = ("sim_miss_rate", "sim_p95")
+        fields = ("faults.kind", "faults.probability")
+        accumulator = MarginalAccumulator(fields=fields, metrics=metrics)
+        for row in grid_result.rows:
+            accumulator.add_row(row)
+        records = grid_result.records()
+        expected = {
+            field: marginals(records, field, metrics)
+            for field in fields
+        }
+        assert accumulator.summary() == expected
+        assert accumulator.rows == len(records)
+
+    def test_streaming_order_is_irrelevant(self, grid_result):
+        from repro.sweep import MarginalAccumulator
+
+        forward = MarginalAccumulator(
+            fields=("faults.probability",), metrics=("sim_p95",)
+        )
+        backward = MarginalAccumulator(
+            fields=("faults.probability",), metrics=("sim_p95",)
+        )
+        for row in grid_result.rows:
+            forward.add_row(row)
+        for row in reversed(grid_result.rows):
+            backward.add_row(row)
+        assert forward.summary() == backward.summary()
+
+    def test_requires_metrics(self):
+        from repro.sweep import MarginalAccumulator
+
+        with pytest.raises(SpecificationError):
+            MarginalAccumulator(fields=("x",), metrics=())

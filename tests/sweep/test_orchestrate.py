@@ -328,3 +328,98 @@ class TestValidation:
     def test_non_spec_rejected(self):
         with pytest.raises(SpecificationError, match="SweepSpec"):
             run_sweep({"name": "x"})
+
+
+class TestResumeRerunReasons:
+    """``--resume`` must say *why* a stored row re-ran: the scenario
+    payload drifted (stored row from a different base) vs. the key was
+    simply never completed."""
+
+    def test_missing_key_is_classified(self, tmp_path):
+        store_path = tmp_path / "runs.jsonl"
+        run_sweep(
+            fault_grid(),
+            store_path=store_path,
+            cache_dir=tmp_path / "cache",
+        )
+        rows = RunStore(store_path).rows()
+        with open(store_path, "w", encoding="utf-8") as handle:
+            for row in rows[:4]:
+                handle.write(json.dumps(row) + "\n")
+        resumed = run_sweep(
+            fault_grid(),
+            store_path=store_path,
+            cache_dir=tmp_path / "cache",
+            resume=True,
+        )
+        assert resumed.resumed == 4 and resumed.executed == 2
+        assert resumed.rerun_missing == 2
+        assert resumed.rerun_drift == 0
+        assert resumed.summary()["rerun"] == {
+            "fingerprint_drift": 0,
+            "missing_key": 2,
+        }
+
+    def test_fingerprint_drift_is_classified(self, tmp_path):
+        store_path = tmp_path / "runs.jsonl"
+        run_sweep(
+            fault_grid(),
+            store_path=store_path,
+            cache_dir=tmp_path / "cache",
+        )
+        # Same keys, different base scenario: every stored row is
+        # stale by drift, none by absence.
+        resumed = run_sweep(
+            fault_grid(workload={"requests": 12, "horizon": 60,
+                                 "seed": 4}),
+            store_path=store_path,
+            cache_dir=tmp_path / "cache",
+            resume=True,
+        )
+        assert resumed.resumed == 0 and resumed.executed == 6
+        assert resumed.rerun_drift == 6
+        assert resumed.rerun_missing == 0
+        assert resumed.summary()["rerun"] == {
+            "fingerprint_drift": 6,
+            "missing_key": 0,
+        }
+
+    def test_mixed_reasons(self, tmp_path):
+        store_path = tmp_path / "runs.jsonl"
+        run_sweep(
+            fault_grid(),
+            store_path=store_path,
+            cache_dir=tmp_path / "cache",
+        )
+        rows = RunStore(store_path).rows()
+        # Drop one row entirely; corrupt another's stored scenario.
+        dropped, drifted = rows[0]["key"], rows[1]["key"]
+        with open(store_path, "w", encoding="utf-8") as handle:
+            for row in rows:
+                if row["key"] == dropped:
+                    continue
+                if row["key"] == drifted:
+                    row = json.loads(json.dumps(row))
+                    row["result"]["scenario"]["name"] = "stale"
+                handle.write(json.dumps(row) + "\n")
+        resumed = run_sweep(
+            fault_grid(),
+            store_path=store_path,
+            cache_dir=tmp_path / "cache",
+            resume=True,
+        )
+        assert resumed.resumed == 4 and resumed.executed == 2
+        assert resumed.rerun_drift == 1
+        assert resumed.rerun_missing == 1
+
+    def test_no_resume_reports_zero(self, tmp_path):
+        result = run_sweep(
+            fault_grid(),
+            store_path=tmp_path / "runs.jsonl",
+            cache_dir=tmp_path / "cache",
+        )
+        assert result.rerun_drift == 0 and result.rerun_missing == 0
+        assert result.summary()["rerun"] == {
+            "fingerprint_drift": 0,
+            "missing_key": 0,
+        }

@@ -1,5 +1,7 @@
 """Tests for the content-addressed solve-cache."""
 
+import os
+
 import pytest
 
 from repro.api import BroadcastEngine, Scenario
@@ -95,13 +97,15 @@ class TestStats:
     def test_stats_tracks_hits_misses_solves_entries(self):
         cache = SolveCache()
         assert cache.stats() == {
-            "hits": 0, "misses": 0, "solves": 0, "entries": 0,
+            "hits": 0, "misses": 0, "solves": 0, "lock_waits": 0,
+            "entries": 0,
         }
         cache.design_for(scenario())
         cache.design_for(scenario())
         cache.design_for(scenario(bandwidth=4))
         assert cache.stats() == {
-            "hits": 1, "misses": 2, "solves": 2, "entries": 2,
+            "hits": 1, "misses": 2, "solves": 2, "lock_waits": 0,
+            "entries": 2,
         }
 
     def test_stats_are_per_instance_on_a_shared_directory(self, tmp_path):
@@ -115,3 +119,128 @@ class TestStats:
         assert reader.stats()["solves"] == 0
         assert reader.stats()["hits"] == 1
         assert warm.stats()["entries"] == reader.stats()["entries"] == 1
+
+
+class TestSingleFlight:
+    def test_dead_owner_lock_is_broken(self, tmp_path):
+        """A lock left by a killed process must not wedge the fleet."""
+        import subprocess
+        import sys
+
+        cache = SolveCache(tmp_path)
+        fp = scenario().design_fingerprint()
+        # A real pid that is provably gone: a subprocess that exited.
+        child = subprocess.Popen([sys.executable, "-c", "pass"])
+        child.wait(timeout=30)
+        lock = cache._lock_path(fp)
+        lock.write_text(str(child.pid), encoding="utf-8")
+        design, hit = cache.design_for(scenario())
+        assert hit is False and cache.solves == 1
+        assert not lock.exists()
+
+    def test_live_owner_lock_is_respected_until_entry_appears(
+        self, tmp_path
+    ):
+        """A waiter behind a live owner polls until the entry appears,
+        then returns it as a disk hit with one lock_wait episode."""
+        import threading
+
+        waiter = SolveCache(tmp_path)
+        fp = scenario().design_fingerprint()
+        lock = waiter._lock_path(fp)
+        # This test process *is* the live owner.
+        lock.write_text(str(os.getpid()), encoding="utf-8")
+        solved = BroadcastEngine(scenario()).design()
+
+        def publish():
+            # The "owner" finishes its solve mid-wait: entry lands,
+            # lock is released.
+            import time
+
+            time.sleep(0.1)
+            SolveCache(tmp_path).put(fp, solved)
+            lock.unlink()
+
+        thread = threading.Thread(target=publish)
+        thread.start()
+        design, hit = waiter.design_for(scenario())
+        thread.join(timeout=10.0)
+        assert hit is True
+        assert waiter.solves == 0
+        assert waiter.lock_waits == 1
+        assert waiter.stats()["lock_waits"] == 1
+        assert design.program.render() == solved.program.render()
+
+    def test_two_processes_race_one_solve(self, tmp_path):
+        """Satellite regression: two processes racing the same cold
+        fingerprint perform exactly one solve between them; the loser
+        waits (lock_waits) and comes back with a disk hit."""
+        import json as json_mod
+        import subprocess
+        import sys
+        from pathlib import Path as _Path
+
+        script = tmp_path / "racer.py"
+        script.write_text(
+            """
+import json, sys, time
+import repro.sweep.cache as cache_mod
+from repro.api import Scenario
+from repro.bdisk.file import FileSpec
+from repro.sweep import SolveCache
+
+cache_dir, go_file = sys.argv[1], sys.argv[2]
+
+real = cache_mod.BroadcastEngine
+class SlowEngine(real):
+    def design(self):
+        time.sleep(0.4)  # hold the lock long enough to be raced
+        return super().design()
+cache_mod.BroadcastEngine = SlowEngine
+
+scenario = Scenario(
+    name="raced",
+    files=(FileSpec("pos", 2, 2, fault_budget=1), FileSpec("map", 3, 6)),
+)
+cache = SolveCache(cache_dir)
+deadline = time.monotonic() + 30.0
+while time.monotonic() < deadline:  # start barrier
+    try:
+        open(go_file)
+        break
+    except OSError:
+        time.sleep(0.002)
+design, hit = cache.design_for(scenario)
+print(json.dumps({"hit": hit, **cache.stats()}))
+""",
+            encoding="utf-8",
+        )
+        go_file = tmp_path / "go"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            _Path(__file__).resolve().parents[2] / "src"
+        )
+        children = [
+            subprocess.Popen(
+                [sys.executable, str(script), str(tmp_path / "cache"),
+                 str(go_file)],
+                stdout=subprocess.PIPE,
+                env=env,
+            )
+            for _ in range(2)
+        ]
+        import time as time_mod
+
+        time_mod.sleep(0.5)  # both waiting at the barrier
+        go_file.write_text("go", encoding="utf-8")
+        outputs = []
+        for child in children:
+            out, _ = child.communicate(timeout=120)
+            assert child.returncode == 0
+            outputs.append(json_mod.loads(out))
+        total_solves = sum(o["solves"] for o in outputs)
+        assert total_solves == 1, outputs
+        hits = sorted(o["hit"] for o in outputs)
+        assert hits == [False, True], outputs
+        waits = sum(o["lock_waits"] for o in outputs)
+        assert waits >= 1, outputs

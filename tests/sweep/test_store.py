@@ -1,6 +1,7 @@
 """Tests for the resumable JSONL run store."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -107,3 +108,85 @@ class TestRobustness:
             encoding="utf-8",
         )
         assert RunStore(path).completed_keys() == {"a", "b"}
+
+
+class TestAppendMany:
+    def test_group_commit_roundtrip(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        store.append_many([row("a"), row("b", 1), row("c", 2)])
+        assert store.rows() == [row("a"), row("b", 1), row("c", 2)]
+
+    def test_empty_batch_is_a_noop(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        store.append_many([])
+        assert not store.exists()
+
+    def test_heals_torn_tail_before_the_batch(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        store = RunStore(path)
+        store.append(row("a"))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "torn')  # no newline: a killed writer
+        store.append_many([row("b", 1)])
+        assert store.rows() == [row("a"), row("b", 1)]
+
+    def test_batch_is_serialized_before_any_write(self, tmp_path):
+        # A non-serializable row late in the batch must not leave the
+        # earlier rows half-committed.
+        store = RunStore(tmp_path / "runs.jsonl")
+        with pytest.raises(TypeError):
+            store.append_many([row("a"), {"key": "bad", "x": object()}])
+        assert store.rows() == []
+
+
+class TestConcurrentAppenders:
+    def test_two_processes_interleave_without_loss(self, tmp_path):
+        """Satellite regression: the advisory flock means two local
+        writers (e.g. a coordinator and a stray serial run) can append
+        to one store with zero torn or lost rows."""
+        import subprocess
+        import sys
+
+        path = tmp_path / "runs.jsonl"
+        count = 150
+        script = (
+            "import sys, time\n"
+            "from repro.sweep import RunStore\n"
+            "store = RunStore(sys.argv[1])\n"
+            "who = sys.argv[2]\n"
+            # Long values force multi-kilobyte lines: without locking,
+            # interleaved buffered writes would tear visibly.
+            "pad = 'x' * 2048\n"
+            f"for i in range({count}):\n"
+            "    store.append("
+            "{'key': f'{who}-{i}', 'index': i, 'pad': pad})\n"
+        )
+        children = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(path), who],
+                env={
+                    **__import__("os").environ,
+                    "PYTHONPATH": str(
+                        Path(__file__).resolve().parents[2] / "src"
+                    ),
+                },
+            )
+            for who in ("alpha", "beta")
+        ]
+        for child in children:
+            assert child.wait(timeout=120) == 0
+        rows = RunStore(path).rows()
+        assert len(rows) == 2 * count
+        keys = {entry["key"] for entry in rows}
+        assert keys == {
+            f"{who}-{i}"
+            for who in ("alpha", "beta")
+            for i in range(count)
+        }
+        # Per-writer order is preserved even under interleaving.
+        for who in ("alpha", "beta"):
+            indices = [
+                entry["index"] for entry in rows
+                if entry["key"].startswith(who)
+            ]
+            assert indices == sorted(indices)

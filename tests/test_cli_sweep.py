@@ -140,3 +140,104 @@ class TestSweep:
         out = capsys.readouterr().out
         assert status == 0
         assert "sweep     : fault-grid" in out
+
+
+class TestSweepServe:
+    def test_serve_with_local_workers(self, tmp_path, capsys):
+        status = main(
+            [
+                "sweep", "serve", sweep_path(tmp_path),
+                "--workers", "2",
+                "--lease-seconds", "10",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "serving   : cli-grid on 127.0.0.1:" in out
+        assert "cells     : 3 executed, 0 resumed" in out
+        assert "1 solved cluster-wide" in out
+        assert (tmp_path / "sweep.runs.jsonl").exists()
+
+    def test_port_file_and_external_worker(self, tmp_path, capsys):
+        import threading
+
+        port_file = tmp_path / "port.txt"
+        outcome = {}
+
+        def serve():
+            outcome["status"] = main(
+                [
+                    "sweep", "serve", sweep_path(tmp_path),
+                    "--port-file", str(port_file),
+                    "--json",
+                ]
+            )
+
+        server = threading.Thread(target=serve, daemon=True)
+        server.start()
+        deadline = 50
+        while not port_file.exists() and deadline:
+            import time
+
+            time.sleep(0.1)
+            deadline -= 1
+        address = port_file.read_text().strip()
+        status = main(
+            [
+                "sweep", "work",
+                "--connect", address,
+                "--cache-dir", str(tmp_path / "cache"),
+                "--json",
+            ]
+        )
+        server.join(timeout=60.0)
+        assert status == 0
+        assert outcome["status"] == 0
+        out = capsys.readouterr().out
+        # Both JSON payloads landed (print order between the serve
+        # thread and the worker is not guaranteed): the worker's
+        # stats and the coordinator's summary.
+        assert '"cells": 3' in out
+        assert '"solves": 1' in out
+
+    def test_serve_resume_reports_reasons(self, tmp_path, capsys):
+        spec = sweep_path(tmp_path)
+        assert main(["sweep", "serve", spec, "--workers", "1"]) == 0
+        capsys.readouterr()
+        status = main(["sweep", "serve", spec, "--resume"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "cells     : 0 executed, 3 resumed" in out
+        assert (
+            "re-run    : 0 fingerprint drift (stored scenario "
+            "changed), 0 missing key (never completed)" in out
+        )
+
+    def test_no_rows_prints_marginals(self, tmp_path, capsys):
+        status = main(
+            [
+                "sweep", "serve", sweep_path(tmp_path),
+                "--workers", "1",
+                "--no-rows",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "marginal over faults.probability:" in out
+
+    def test_work_bad_address_fails_cleanly(self, capsys):
+        status = main(
+            [
+                "sweep", "work",
+                "--connect", "127.0.0.1:1",
+                "--connect-timeout", "0.3",
+            ]
+        )
+        assert status == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_positional_sweep_form_still_works(self, tmp_path, capsys):
+        # The verb routing must not shadow 'repro sweep spec.json'.
+        status = main(["sweep", sweep_path(tmp_path)])
+        assert status == 0
+        assert "sweep     : cli-grid" in capsys.readouterr().out
